@@ -1,0 +1,50 @@
+// Figures 1-2: service share distribution within a high and a low QoS class.
+// Paper claim: each class has a few (<10) dominating services carrying the
+// majority of usage and a long tail of thousands of small ones; dominant
+// services are mostly storage-family.
+#include "bench_util.h"
+
+#include <algorithm>
+
+namespace {
+
+using namespace netent;
+using namespace netent::bench;
+
+void print_class(const std::vector<traffic::ServiceProfile>& fleet, QosClass qos,
+                 const char* label) {
+  const auto shares = traffic::class_shares(fleet, qos);
+  std::cout << label << " (" << to_string(qos) << "), "
+            << traffic::class_total_gbps(fleet, qos) / 1000.0 << " Tbps total, "
+            << shares.size() << " services:\n";
+
+  Table table({"rank", "service", "share_pct", "cumulative_pct"}, 2);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(shares.size(), 10); ++i) {
+    cumulative += shares[i].second;
+    const auto& name = fleet[shares[i].first.value()].name;
+    table.add_row({static_cast<double>(i + 1), name, shares[i].second * 100.0,
+                   cumulative * 100.0});
+  }
+  table.print(std::cout);
+
+  double top10 = 0.0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(shares.size(), 10); ++i) {
+    top10 += shares[i].second;
+  }
+  std::cout << "top-10 services carry " << top10 * 100.0 << "% of " << to_string(qos)
+            << " traffic; remaining " << (shares.size() > 10 ? shares.size() - 10 : 0)
+            << " services share " << (1.0 - top10) * 100.0 << "%\n\n";
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figures 1-2: service distribution per QoS class",
+               "Expect: <10 dominant services per class (storage-heavy head), long tail.");
+  Rng rng(kSeed);
+  const auto fleet = standard_fleet(rng);
+  print_class(fleet, QosClass::c1_high, "High QoS class");
+  print_class(fleet, QosClass::c3_low, "Low QoS class");
+  return 0;
+}

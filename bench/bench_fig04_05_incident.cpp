@@ -1,0 +1,87 @@
+// Figures 4-5: a misbehaving service (client bug downloading duplicate
+// videos) ramps +50% over predicted volume within three minutes and induces
+// loss for BOTH QoS classes it occupies; QoS isolation protects other
+// classes but not well-behaved services inside the same class. With the
+// entitlement enforcement plane active, the same surge is remarked
+// non-conforming and the victims' loss returns to ~zero.
+#include "bench_util.h"
+
+#include "enforce/meter.h"
+#include "enforce/wfq.h"
+#include "traffic/incident.h"
+#include "traffic/patterns.h"
+
+namespace {
+
+using namespace netent;
+using namespace netent::bench;
+
+struct ClassLoads {
+  double victim_a, culprit_a, victim_b, culprit_b;
+};
+
+}  // namespace
+
+int main() {
+  print_header("Figures 4-5: misbehaving-service incident",
+               "Expect: spike forms within ~3 min, +50% over predicted volume; loss appears "
+               "in both classes the culprit occupies (A a few %, B smaller); with "
+               "entitlement enforcement the victims' loss returns to ~0.");
+
+  Rng rng(kSeed);
+
+  // Port shared by Class A (weight .45) and Class B (.55); total 10 Tbps.
+  const enforce::WeightedFairSwitch port(Gbps(10000), {0.45, 0.55});
+
+  // Baseline offered load (Gbps). The culprit has most traffic in A plus a
+  // side share in B (services span classes, §2.1).
+  const ClassLoads base{2400.0, 2000.0, 5000.0, 500.0};
+
+  // The culprit's traffic over time with the §2.2 bug spike: ramp to +50%
+  // within 3 minutes, hold 20 minutes.
+  traffic::TimeSeries culprit(60.0, std::vector<double>(40 * 1, 1.0));
+  traffic::inject_bug_spike(culprit, 5.0 * 60.0, 3.0 * 60.0, 20.0 * 60.0, 0.5);
+
+  // Entitlement enforcement: culprit entitled at its predicted volume.
+  const double culprit_entitled = base.culprit_a + base.culprit_b;
+  enforce::StatefulMeter meter;
+
+  Table table({"minute", "culprit_factor", "lossA_no_ent_pct", "lossB_no_ent_pct",
+               "victim_lossA_ent_pct", "victim_lossB_ent_pct", "culprit_nonconf_pct"},
+              2);
+
+  for (int minute = 0; minute < 40; minute += 2) {
+    const double factor = culprit.at_time(minute * 60.0);
+    const double culprit_a = base.culprit_a * factor;
+    const double culprit_b = base.culprit_b * factor;
+
+    // --- Without entitlement: everything competes inside its class. ------
+    const std::vector<double> offered{base.victim_a + culprit_a, base.victim_b + culprit_b};
+    const auto outcomes = port.transmit(offered);
+    const double loss_a = outcomes[0].dropped_gbps / offered[0];
+    const double loss_b = outcomes[1].dropped_gbps / offered[1];
+
+    // --- With entitlement: the culprit's surplus is marked non-conforming
+    // and queued behind everything (lowest priority). 3 queues: A, B, NC.
+    const double culprit_total = culprit_a + culprit_b;
+    const double nonconf_ratio = meter.update(
+        {Gbps(culprit_total), Gbps(culprit_total * meter.conform_ratio()),
+         Gbps(culprit_entitled)});
+    const double culprit_conf_a = culprit_a * (1.0 - nonconf_ratio);
+    const double culprit_conf_b = culprit_b * (1.0 - nonconf_ratio);
+    const double culprit_nonconf =
+        (culprit_a + culprit_b) * nonconf_ratio;
+    const enforce::WeightedFairSwitch ent_port(Gbps(10000), {0.45, 0.549, 0.001});
+    const std::vector<double> ent_offered{base.victim_a + culprit_conf_a,
+                                          base.victim_b + culprit_conf_b, culprit_nonconf};
+    const auto ent_outcomes = ent_port.transmit(ent_offered);
+    // Victims share their class queue pro-rata with culprit conforming.
+    const double victim_loss_a = ent_outcomes[0].dropped_gbps / ent_offered[0];
+    const double victim_loss_b = ent_outcomes[1].dropped_gbps / ent_offered[1];
+
+    table.add_row({static_cast<double>(minute), factor, loss_a * 100.0, loss_b * 100.0,
+                   victim_loss_a * 100.0, victim_loss_b * 100.0, nonconf_ratio * 100.0});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 7: traffic distribution across source regions toward one
+// destination DC for a storage service. Paper claim: ~67% of the traffic
+// comes from the top 3 source regions (two peer storage regions plus the
+// compute region), the observation that motivates segmented hose.
+#include "bench_util.h"
+
+#include <algorithm>
+
+#include "traffic/service.h"
+
+int main() {
+  using namespace netent;
+  using namespace netent::bench;
+
+  print_header("Figure 7: source-region concentration for one destination",
+               "Expect: top-3 source regions carry roughly two thirds of the traffic.");
+
+  Rng rng(kSeed);
+  const auto fleet = standard_fleet(rng);
+  const auto& storage = fleet[0];  // Coldstorage
+
+  const traffic::TrafficMatrix tm = traffic::service_matrix(storage, storage.mean_rate_gbps());
+
+  // Pick the destination with the largest ingress.
+  RegionId dst(0);
+  for (std::uint32_t r = 1; r < 12; ++r) {
+    if (tm.ingress(RegionId(r)) > tm.ingress(dst)) dst = RegionId(r);
+  }
+
+  std::vector<std::pair<std::uint32_t, double>> sources;
+  double total = 0.0;
+  for (std::uint32_t src = 0; src < 12; ++src) {
+    const double v = src == dst.value() ? 0.0 : tm.at(RegionId(src), dst);
+    if (v > 0.0) sources.emplace_back(src, v);
+    total += v;
+  }
+  std::sort(sources.begin(), sources.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+
+  Table table({"rank", "src_region", "gbps", "share_pct", "cumulative_pct"}, 2);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    cumulative += sources[i].second / total;
+    table.add_row({static_cast<double>(i + 1), std::string("region") + std::to_string(sources[i].first),
+                   sources[i].second, sources[i].second / total * 100.0, cumulative * 100.0});
+  }
+  table.print(std::cout);
+
+  double top3 = 0.0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, sources.size()); ++i) {
+    top3 += sources[i].second;
+  }
+  std::cout << "\ntop-3 source regions carry " << top3 / total * 100.0 << "% of traffic to "
+            << "region" << dst.value() << " (paper: ~67%)\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Figure 21: hose coverage versus the number of representative TMs.
+// Paper claim: coverage rises with more TMs with diminishing returns past a
+// knee; the trend is consistent across QoS classes. More TMs also means a
+// slower approval computation, the trade-off the figure illustrates.
+#include "bench_util.h"
+
+#include <chrono>
+
+#include "hose/cluster.h"
+#include "hose/coverage.h"
+#include "traffic/service.h"
+
+namespace {
+
+using namespace netent;
+using namespace netent::bench;
+
+hose::HoseSpace service_space(const traffic::ServiceProfile& svc, std::size_t regions) {
+  const traffic::TrafficMatrix tm = traffic::service_matrix(svc, svc.mean_rate_gbps());
+  std::vector<double> egress(regions, 0.0);
+  std::vector<double> ingress(regions, 0.0);
+  for (std::uint32_t r = 0; r < regions; ++r) {
+    egress[r] = tm.egress(RegionId(r)).value() * 1.2;
+    ingress[r] = tm.ingress(RegionId(r)).value() * 1.2;
+  }
+  return hose::HoseSpace(egress, ingress);
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figure 21: hose coverage vs number of TMs",
+               "Expect: coverage saturates with more TMs (knee); consistent across "
+               "classes; approval time grows with the TM count.");
+
+  Rng rng(kSeed);
+  topology::Topology topo = standard_backbone(rng);
+  topology::Router router(topo, 3);
+  const auto fleet = standard_fleet(rng);
+
+  const std::vector<std::size_t> tm_counts{5, 10, 20, 40, 80, 160, 320};
+
+  // Two services standing in for two QoS classes' demand (the head services
+  // dominate each class, Figures 1-2).
+  const struct {
+    const char* label;
+    std::size_t service;
+  } cases[] = {{"high QoS (MultiFeed)", 4}, {"low QoS (Coldstorage)", 0}};
+
+  for (const auto& c : cases) {
+    const hose::HoseSpace space = service_space(fleet[c.service], topo.region_count());
+    Rng curve_rng(kSeed);
+    const auto start = std::chrono::steady_clock::now();
+    const auto curve = hose::coverage_curve(router, space, tm_counts, 150, curve_rng);
+    const auto elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+
+    std::cout << c.label << ":\n";
+    Table table({"tm_count", "coverage_pct"}, 2);
+    for (const auto& point : curve) {
+      table.add_row({static_cast<double>(point.tm_count), point.coverage * 100.0});
+    }
+    table.print(std::cout);
+    std::cout << "(total evaluation time " << elapsed << " s; cost scales with TM count)\n\n";
+  }
+
+  // Ablation: clustered representative selection ([1]-style refinement) vs
+  // raw extreme points at equal TM counts.
+  {
+    const hose::HoseSpace space = service_space(fleet[0], topo.region_count());
+    Rng pool_rng(kSeed + 7);
+    const auto pool = hose::representative_tms(space, 400, pool_rng);
+    std::cout << "Ablation: representative selection from a 400-TM pool vs raw extreme "
+                 "points at equal size:\n";
+    Table ablation({"tm_count", "raw_pct", "kmeans_medoid_pct", "greedy_envelope_pct"}, 2);
+    for (const std::size_t count : {5ul, 10ul, 20ul, 40ul}) {
+      const std::vector<traffic::TrafficMatrix> raw(pool.begin(),
+                                                    pool.begin() + static_cast<long>(count));
+      Rng cluster_rng(kSeed + 8);
+      const auto medoids = hose::cluster_representatives(router, pool, count, cluster_rng);
+      const auto greedy = hose::greedy_envelope_selection(router, pool, count);
+      Rng eval1(kSeed + 9);
+      Rng eval2(kSeed + 9);
+      Rng eval3(kSeed + 9);
+      ablation.add_row(
+          {static_cast<double>(count),
+           hose::coverage(router, space, hose::load_envelope(router, raw), 200, eval1) * 100.0,
+           hose::coverage(router, space, hose::load_envelope(router, medoids), 200, eval2) *
+               100.0,
+           hose::coverage(router, space, hose::load_envelope(router, greedy), 200, eval3) *
+               100.0});
+    }
+    ablation.print(std::cout);
+  }
+  return 0;
+}

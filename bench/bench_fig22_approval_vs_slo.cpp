@@ -1,0 +1,70 @@
+// Figure 22: bandwidth-approval percentage versus the availability SLO
+// target. Paper claim: as the availability requirement rises, more capacity
+// must be reserved against failures, so the approved share of requests
+// falls; egress and ingress exhibit similar trends.
+#include "bench_util.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "approval/approval.h"
+#include "core/manager.h"
+
+int main() {
+  using namespace netent;
+  using namespace netent::bench;
+  using approval::ApprovalEngine;
+
+  print_header("Figure 22: approval percentage vs availability SLO",
+               "Expect: approval percentage non-increasing in the SLO target; egress and "
+               "ingress track each other.");
+
+  Rng rng(kSeed);
+  topology::GeneratorConfig topo_config;
+  topo_config.region_count = 8;
+  topo_config.base_capacity = Gbps(500);
+  topo_config.max_parallel_fibers = 2;
+  const topology::Topology topo = topology::generate_backbone(topo_config, rng);
+
+  // A demanding fleet: total demand comparable to the backbone capacity so
+  // the SLO actually bites.
+  traffic::FleetConfig fleet_config;
+  fleet_config.region_count = 8;
+  fleet_config.service_count = 8;
+  fleet_config.high_touch_count = 4;
+  fleet_config.total_gbps = 2500.0;
+  const auto fleet = traffic::generate_fleet(fleet_config, rng);
+
+  // Hose requests straight from the service profiles.
+  std::vector<hose::PipeRequest> pipes;
+  for (const auto& svc : fleet) {
+    const traffic::TrafficMatrix tm = traffic::service_matrix(svc, svc.mean_rate_gbps());
+    for (const auto& demand : tm.demands()) {
+      if (demand.amount < Gbps(1)) continue;
+      pipes.push_back({svc.id, svc.qos_mix.front().qos, demand.src, demand.dst, demand.amount});
+    }
+  }
+  const auto hoses = hose::aggregate_to_hoses(pipes, topo.region_count());
+
+  Table table({"availability_slo", "egress_approved_pct", "ingress_approved_pct"}, 2);
+  topology::Router router(topo, 3);
+  for (const double slo : {0.9, 0.99, 0.999, 0.9998, 0.9999, 0.99995}) {
+    approval::ApprovalConfig config;
+    config.slo_availability = slo;
+    config.realizations = 6;
+    // Triple-failure scenarios are needed to resolve availabilities beyond
+    // ~0.9999 (the mass of >2 simultaneous fiber cuts is no longer
+    // negligible at those targets).
+    config.scenarios.max_simultaneous = 3;
+    config.scenarios.min_probability = 1e-10;
+    const ApprovalEngine engine(router, config);
+    Rng approval_rng(kSeed);
+    const auto results = engine.hose_approval(hoses, approval_rng);
+    std::ostringstream slo_text;
+    slo_text << std::setprecision(7) << slo;
+    table.add_row({slo_text.str(), approval_percentage(results, hose::Direction::egress) * 100.0,
+                   approval_percentage(results, hose::Direction::ingress) * 100.0});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figures 23-24: the stateless marking algorithm under congestion.
+// Setup mirrors §7.4: total demand 10 Tbps, entitled 5 Tbps, network drops
+// 0 / 12.5 / 25 / 50 / 100 % of non-conforming traffic.
+// Paper claim: the instantaneous conforming rate oscillates (up to 5-10 Tbps
+// at 100% loss) and the AVERAGE conforming rate stays above the entitlement:
+// the stateless algorithm fails to enforce the entitled rate.
+#include "bench_util.h"
+
+#include "common/stats.h"
+#include "enforce/meter.h"
+
+namespace {
+
+using namespace netent;
+using namespace netent::bench;
+
+constexpr double kDemand = 10000.0;   // 10 Tbps
+constexpr double kEntitled = 5000.0;  // 5 Tbps
+constexpr int kIterations = 40;
+
+/// One §7.4 simulation cell: run `meter` for kIterations cycles at the given
+/// non-conforming loss rate; report instantaneous samples and the average.
+template <class MeterT>
+void run_cell(double loss, Table& series, RunningStats& average) {
+  MeterT meter;
+  for (int iteration = 0; iteration < kIterations; ++iteration) {
+    const double conform = kDemand * meter.conform_ratio();
+    const double nonconf_sent = kDemand * meter.non_conform_ratio() * (1.0 - loss);
+    const double total_observed = conform + nonconf_sent;
+    average.add(conform);
+    if (iteration % 4 == 0) {
+      series.add_row({loss * 100.0, static_cast<double>(iteration), conform, average.mean()});
+    }
+    meter.update({Gbps(total_observed), Gbps(conform), Gbps(kEntitled)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  print_header("Figures 23-24: stateless marking algorithm",
+               "Expect: instantaneous conforming rate oscillates between the entitlement "
+               "and the full demand; average stays ABOVE the 5 Tbps entitlement "
+               "(enforcement failure).");
+
+  Table series({"loss_pct", "iteration", "conform_gbps_instant", "conform_gbps_avg"}, 1);
+  Table summary({"loss_pct", "avg_conform_gbps", "entitled_gbps", "enforced"}, 1);
+  for (const double loss : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    RunningStats average;
+    run_cell<enforce::StatelessMeter>(loss, series, average);
+    summary.add_row({loss * 100.0, average.mean(), kEntitled,
+                     std::string(average.mean() <= kEntitled * 1.05 ? "yes" : "NO")});
+  }
+  series.print(std::cout);
+  std::cout << '\n';
+  summary.print(std::cout);
+  return 0;
+}

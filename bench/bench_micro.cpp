@@ -1,0 +1,137 @@
+// Micro-benchmarks (google-benchmark) of the hot paths: the kernel
+// classification stage runs per packet, the meters per cycle per host, the
+// risk simulator per scenario per approval batch. These bound the system's
+// scalability claims (§3.1 challenge 3, §5 "Efficiency").
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "enforce/bpf.h"
+#include "enforce/meter.h"
+#include "enforce/ratestore.h"
+#include "enforce/switchport.h"
+#include "hose/space.h"
+#include "risk/simulator.h"
+#include "topology/generator.h"
+#include "topology/max_flow.h"
+#include "topology/routing.h"
+
+namespace {
+
+using namespace netent;
+
+void BM_BpfClassify(benchmark::State& state) {
+  enforce::BpfClassifier classifier{enforce::Marker(enforce::MarkingMode::host_based)};
+  classifier.program(NpgId(1), QosClass::c2_low, 0.3);
+  const enforce::EgressMeta meta{NpgId(1), QosClass::c2_low, HostId(17), 42};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(classifier.classify(meta));
+  }
+}
+BENCHMARK(BM_BpfClassify);
+
+void BM_StatefulMeterCycle(benchmark::State& state) {
+  enforce::StatefulMeter meter;
+  const enforce::MeterInput input{Gbps(9000), Gbps(6000), Gbps(5000)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.update(input));
+  }
+}
+BENCHMARK(BM_StatefulMeterCycle);
+
+void BM_RateStoreAggregate(benchmark::State& state) {
+  // One service's aggregate among a large multi-service fleet: the lookup
+  // must touch only the queried service's publishers.
+  enforce::RateStore store(1.0);
+  const auto services = static_cast<std::uint32_t>(state.range(0));
+  for (std::uint32_t svc = 0; svc < services; ++svc) {
+    for (std::uint32_t h = 0; h < 64; ++h) {
+      store.publish(NpgId(svc), QosClass::c2_low, HostId(h), Gbps(10), Gbps(9), 100.0);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.aggregate(NpgId(0), QosClass::c2_low, 200.0));
+  }
+}
+BENCHMARK(BM_RateStoreAggregate)->Arg(10)->Arg(1000);
+
+void BM_SwitchTransmit(benchmark::State& state) {
+  const enforce::PriorityQueueSwitch port(Gbps(10000));
+  const std::vector<double> offered(enforce::kQueueCount, 1500.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(port.transmit(offered));
+  }
+}
+BENCHMARK(BM_SwitchTransmit);
+
+void BM_RouteDemandBatch(benchmark::State& state) {
+  Rng rng(1);
+  topology::GeneratorConfig config;
+  config.region_count = static_cast<std::size_t>(state.range(0));
+  const topology::Topology topo = topology::generate_backbone(config, rng);
+  topology::Router router(topo, 4);
+  std::vector<topology::Demand> demands;
+  for (int i = 0; i < 64; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    auto d = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    if (d == s) d = (d + 1) % static_cast<std::uint32_t>(topo.region_count());
+    demands.push_back({RegionId(s), RegionId(d), Gbps(rng.uniform(1.0, 200.0))});
+  }
+  // Warm the path cache outside the loop (it is shared across iterations).
+  benchmark::DoNotOptimize(router.route(demands));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(router.route(demands));
+  }
+}
+BENCHMARK(BM_RouteDemandBatch)->Arg(8)->Arg(16);
+
+void BM_MaxFlow(benchmark::State& state) {
+  Rng rng(2);
+  topology::GeneratorConfig config;
+  config.region_count = 16;
+  const topology::Topology topo = topology::generate_backbone(config, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        topology::max_flow(topo, RegionId(0), RegionId(8), topology::accept_all_links()));
+  }
+}
+BENCHMARK(BM_MaxFlow);
+
+void BM_HoseExtremePoint(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> egress(n, 100.0);
+  std::vector<double> ingress(n, 100.0);
+  const hose::HoseSpace space(egress, ingress);
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(space.extreme_point(rng));
+  }
+}
+BENCHMARK(BM_HoseExtremePoint)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_RiskScenarioBatch(benchmark::State& state) {
+  Rng rng(4);
+  topology::GeneratorConfig config;
+  config.region_count = 8;
+  config.max_parallel_fibers = 1;
+  const topology::Topology topo = topology::generate_backbone(config, rng);
+  topology::Router router(topo, 3);
+  risk::ScenarioConfig scenario_config;
+  scenario_config.max_simultaneous = static_cast<std::size_t>(state.range(0));
+  const auto scenarios = risk::enumerate_scenarios(topo, scenario_config);
+  const risk::RiskSimulator sim(router, scenarios, router.full_capacities());
+  std::vector<topology::Demand> pipes;
+  for (std::uint32_t r = 1; r < topo.region_count(); ++r) {
+    pipes.push_back({RegionId(0), RegionId(r), Gbps(50)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.availability_curves(pipes));
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios.size());
+}
+BENCHMARK(BM_RiskScenarioBatch)->Arg(1)->Arg(2);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// SLO attainment verification: the granting system's core promise is that
+// traffic within the approved entitlement meets the contract availability.
+// This bench approves a demanding request mix at several SLO targets and
+// replays the failure-scenario distribution against the approvals: achieved
+// availability must be >= the promised target for every pipe (and the
+// headroom shows how conservative the granting is).
+#include "bench_util.h"
+
+#include "risk/verification.h"
+
+int main() {
+  using namespace netent;
+  using namespace netent::bench;
+
+  print_header("SLO verification: promised vs achieved availability",
+               "Expect: worst achieved availability >= the SLO target at every target "
+               "(the granting invariant), with some conservatism headroom.");
+
+  Rng rng(kSeed);
+  topology::GeneratorConfig topo_config;
+  topo_config.region_count = 8;
+  topo_config.max_parallel_fibers = 2;
+  const topology::Topology topo = topology::generate_backbone(topo_config, rng);
+  topology::Router router(topo, 3);
+
+  // A demanding mixed-class request set.
+  std::vector<hose::PipeRequest> pipes;
+  for (std::uint32_t i = 0; i < 48; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    auto d = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    if (d == s) d = (d + 1) % static_cast<std::uint32_t>(topo.region_count());
+    const auto qos = static_cast<QosClass>(rng.uniform_int(kQosClassCount));
+    pipes.push_back({NpgId(i), qos, RegionId(s), RegionId(d), Gbps(rng.uniform(50.0, 500.0))});
+  }
+
+  Table table({"slo_target", "approved_pct_of_request", "worst_achieved", "mean_achieved",
+               "violations"},
+              6);
+  for (const double slo : {0.9, 0.99, 0.999, 0.9998}) {
+    approval::ApprovalConfig config;
+    config.slo_availability = slo;
+    const approval::ApprovalEngine engine(router, config);
+    const auto approvals = engine.pipe_approval(pipes);
+
+    double requested = 0.0;
+    double approved = 0.0;
+    for (const auto& result : approvals) {
+      requested += result.request.rate.value();
+      approved += result.approved.value();
+    }
+
+    const risk::SloVerifier verifier(router,
+                                     risk::enumerate_scenarios(topo, config.scenarios));
+    const auto attainments = verifier.verify(approvals);
+    double worst = 1.0;
+    double sum = 0.0;
+    int violations = 0;
+    for (const auto& attainment : attainments) {
+      worst = std::min(worst, attainment.achieved_availability);
+      sum += attainment.achieved_availability;
+      if (attainment.achieved_availability < slo - 1e-9) ++violations;
+    }
+    table.add_row({slo, approved / requested * 100.0, worst,
+                   sum / static_cast<double>(attainments.size()),
+                   static_cast<double>(violations)});
+  }
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Shared scenario setup for the figure-reproduction benches. Each bench
+// binary prints the rows/series of one paper figure (DESIGN.md §3); the
+// standard fleet/backbone here keeps figures consistent with each other.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "topology/generator.h"
+#include "traffic/fleet.h"
+
+namespace netent::bench {
+
+inline constexpr std::uint64_t kSeed = 20220822;  // SIGCOMM'22 week
+
+/// The standard synthetic backbone: 12 regions, heterogeneous capacity.
+inline topology::Topology standard_backbone(Rng& rng) {
+  topology::GeneratorConfig config;
+  config.region_count = 12;
+  config.base_capacity = Gbps(600);
+  config.max_parallel_fibers = 2;
+  return topology::generate_backbone(config, rng);
+}
+
+/// The standard synthetic fleet: 1200 services, O(100 Tbps) aggregate.
+inline std::vector<traffic::ServiceProfile> standard_fleet(Rng& rng, std::size_t regions = 12) {
+  traffic::FleetConfig config;
+  config.region_count = regions;
+  config.service_count = 1200;
+  config.total_gbps = 100000.0;
+  return traffic::generate_fleet(config, rng);
+}
+
+inline void print_header(const std::string& figure, const std::string& claim) {
+  std::cout << "\n=== " << figure << " ===\n" << claim << "\n\n";
+}
+
+/// Simple "--key=value" flag lookup.
+inline std::string flag_value(int argc, char** argv, const std::string& key,
+                              const std::string& fallback) {
+  const std::string prefix = "--" + key + "=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
+  }
+  return fallback;
+}
+
+}  // namespace netent::bench

@@ -1,0 +1,59 @@
+// Two years of quarterly entitlement operation (the paper's production run,
+// §1: "deployed and operated for over two years"). Each quarter the manager
+// renews contracts from the trailing history; the scorecard shows forecast
+// quality, approval level, provisioning headroom, and SLO attainment.
+#include <iostream>
+
+#include "common/table.h"
+#include "core/lifecycle.h"
+#include "core/serialize.h"
+#include "topology/generator.h"
+
+using namespace netent;
+
+int main() {
+  Rng rng(2026);
+  topology::GeneratorConfig topo_config;
+  topo_config.region_count = 8;
+  topo_config.base_capacity = Gbps(700);
+  const topology::Topology topo = topology::generate_backbone(topo_config, rng);
+
+  core::LifecycleConfig config;
+  config.quarters = 8;  // two years
+  config.history_days = 120;
+  config.fleet.region_count = 8;
+  config.fleet.service_count = 8;
+  config.fleet.high_touch_count = 3;
+  config.fleet.total_gbps = 1500.0;
+  config.manager.approval.realizations = 8;
+  config.manager.approval.slo_availability = 0.999;
+  config.manager.forecaster.prophet.use_yearly = false;
+  config.manager.high_touch_npgs = {0, 1, 2};
+  config.min_pipe_rate_gbps = 2.0;
+
+  std::cout << "Operating the entitlement program for " << config.quarters
+            << " quarters on an 8-region backbone ("
+            << topo.total_capacity().tbps() << " Tbps), SLO target "
+            << config.manager.approval.slo_availability << "...\n\n";
+
+  const core::LifecycleSimulator simulator(topo, config);
+  const auto records = simulator.run(rng);
+
+  Table table({"quarter", "pipes", "contracts", "quota_smape_med", "egress_approved_pct",
+               "provision_ratio", "slo_volume_wtd", "slo_worst"},
+              3);
+  for (const auto& record : records) {
+    table.add_row({static_cast<double>(record.quarter), static_cast<double>(record.pipes),
+                   static_cast<double>(record.contracts), record.quota_smape_median,
+                   record.egress_approval_pct, record.provision_ratio,
+                   record.slo_volume_weighted, record.slo_worst_achieved});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: quota_smape_med ~ how closely the quarterly quota tracked the\n"
+               "realized p95 usage (paper Figs 18-19: mostly < 0.4); provision_ratio is\n"
+               "entitled/realized-peak headroom; slo_volume_wtd is the volume-weighted\n"
+               "replayed availability of granted traffic (compare with the 0.999\n"
+               "target); slo_worst exposes the realization-coverage gap per quarter.\n";
+  return 0;
+}

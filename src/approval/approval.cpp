@@ -1,0 +1,186 @@
+#include "approval/approval.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+
+namespace netent::approval {
+
+using hose::Direction;
+using hose::HoseRequest;
+using hose::PipeRequest;
+using topology::Demand;
+
+namespace {
+constexpr double kEps = 1e-6;
+}
+
+ApprovalEngine::ApprovalEngine(topology::Router& router, ApprovalConfig config)
+    : router_(router),
+      config_(std::move(config)),
+      low_touch_([](NpgId) { return false; }),
+      scenarios_(risk::enumerate_scenarios(router.topo(), config_.scenarios)) {
+  NETENT_EXPECTS(config_.slo_availability > 0.0 && config_.slo_availability <= 1.0);
+  NETENT_EXPECTS(config_.realizations >= 1);
+}
+
+std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
+    std::span<const PipeRequest> pipes) const {
+  std::vector<PipeApprovalResult> results(pipes.size());
+  for (std::size_t i = 0; i < pipes.size(); ++i) results[i].request = pipes[i];
+  if (pipes.empty()) return results;
+
+  // Placement order: QoS classes premium-first (the priority requirement of
+  // SS4.3), low-touch demand first within a class, then input order. Risk is
+  // assessed JOINTLY in this order: strict-priority placement per scenario
+  // both enforces class priority and keeps the availability curves honest
+  // for lower classes (a per-class reservation approximation can overstate
+  // what survives a failure, breaking the SLO promise).
+  std::vector<std::size_t> order;
+  order.reserve(pipes.size());
+  for (const QosClass qos : qos_priority_order()) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < pipes.size(); ++i) {
+      if (pipes[i].qos == qos) indices.push_back(i);
+    }
+    std::stable_sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return low_touch_(pipes[a].npg) && !low_touch_(pipes[b].npg);
+    });
+    order.insert(order.end(), indices.begin(), indices.end());
+  }
+
+  std::vector<Demand> demands;
+  demands.reserve(order.size());
+  for (const std::size_t i : order) {
+    demands.push_back({pipes[i].src, pipes[i].dst, pipes[i].rate});
+  }
+
+  // ASSESS_RISK over the full capacity; priority is encoded in the order.
+  const risk::RiskSimulator simulator(router_, scenarios_, router_.full_capacities());
+  const auto curves = simulator.availability_curves(demands);
+
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    PipeApprovalResult& result = results[order[k]];
+    const Gbps at_slo = curves[k].bandwidth_at(config_.slo_availability);
+    result.approved = min(result.request.rate, at_slo);
+    result.availability_at_request = curves[k].availability_at(result.request.rate);
+  }
+
+  if (config_.strict_batch) {
+    // All-or-nothing per (NPG, QoS class) batch.
+    std::map<std::pair<std::uint32_t, QosClass>, bool> batch_ok;
+    for (std::size_t i = 0; i < pipes.size(); ++i) {
+      const bool ok = results[i].approved >= results[i].request.rate - Gbps(kEps);
+      auto [it, inserted] = batch_ok.emplace(std::make_pair(pipes[i].npg.value(), pipes[i].qos), ok);
+      if (!inserted) it->second = it->second && ok;
+    }
+    for (std::size_t i = 0; i < pipes.size(); ++i) {
+      if (!batch_ok[{pipes[i].npg.value(), pipes[i].qos}]) results[i].approved = Gbps(0);
+    }
+  }
+  return results;
+}
+
+std::vector<HoseApprovalResult> ApprovalEngine::hose_approval(std::span<const HoseRequest> hoses,
+                                                              Rng& rng) const {
+  return hose_approval(hoses, {}, rng);
+}
+
+std::vector<HoseApprovalResult> ApprovalEngine::hose_approval(
+    std::span<const HoseRequest> hoses, std::span<const GroupSegments> segments, Rng& rng) const {
+  NETENT_EXPECTS(!hoses.empty());
+  const std::size_t n = router_.topo().region_count();
+
+  // Group hoses into per-(NPG, QoS) spaces.
+  struct Group {
+    NpgId npg;
+    QosClass qos;
+    std::vector<double> egress;
+    std::vector<double> ingress;
+  };
+  std::map<std::pair<std::uint32_t, QosClass>, Group> groups;
+  for (const HoseRequest& hose : hoses) {
+    NETENT_EXPECTS(hose.region.value() < n);
+    auto& group = groups[{hose.npg.value(), hose.qos}];
+    if (group.egress.empty()) {
+      group.npg = hose.npg;
+      group.qos = hose.qos;
+      group.egress.assign(n, 0.0);
+      group.ingress.assign(n, 0.0);
+    }
+    auto& side = hose.direction == Direction::egress ? group.egress : group.ingress;
+    side[hose.region.value()] += hose.rate.value();
+  }
+
+  // Per-hose approval fraction, aggregated as min over realizations of the
+  // fraction of the realization's demand on that hose that met the SLO.
+  // (Using fractions rather than absolute sums keeps realizations in which a
+  // hose happens to be lightly used from understating its guarantee.)
+  std::map<std::tuple<std::uint32_t, QosClass, std::uint32_t, Direction>, double> fraction;
+  for (const HoseRequest& hose : hoses) {
+    fraction[{hose.npg.value(), hose.qos, hose.region.value(), hose.direction}] = 1.0;
+  }
+
+  for (std::size_t k = 0; k < config_.realizations; ++k) {
+    // GEN_DEMAND: one representative realization per group.
+    std::vector<PipeRequest> pipes;
+    for (auto& [key, group] : groups) {
+      hose::HoseSpace space(group.egress, group.ingress);
+      for (const GroupSegments& gs : segments) {
+        if (gs.npg == group.npg && gs.qos == group.qos) {
+          for (const hose::SegmentConstraint& sc : gs.segments) space.add_segment(sc);
+        }
+      }
+      const traffic::TrafficMatrix tm = k == 0 ? space.sample(rng) : space.extreme_point(rng);
+      for (const Demand& demand : tm.demands()) {
+        pipes.push_back(PipeRequest{group.npg, group.qos, demand.src, demand.dst, demand.amount});
+      }
+    }
+    if (pipes.empty()) continue;
+    const auto pipe_results = pipe_approval(pipes);
+
+    // Aggregate this realization: requested and approved per hose.
+    std::map<std::tuple<std::uint32_t, QosClass, std::uint32_t, Direction>,
+             std::pair<double, double>>
+        sums;  // (requested, approved)
+    for (const PipeApprovalResult& result : pipe_results) {
+      const PipeRequest& pipe = result.request;
+      auto& egress_sum =
+          sums[{pipe.npg.value(), pipe.qos, pipe.src.value(), Direction::egress}];
+      egress_sum.first += pipe.rate.value();
+      egress_sum.second += result.approved.value();
+      auto& ingress_sum =
+          sums[{pipe.npg.value(), pipe.qos, pipe.dst.value(), Direction::ingress}];
+      ingress_sum.first += pipe.rate.value();
+      ingress_sum.second += result.approved.value();
+    }
+    for (auto& [key, frac] : fraction) {
+      const auto it = sums.find(key);
+      if (it == sums.end() || it->second.first <= kEps) continue;  // hose unused this time
+      frac = std::min(frac, it->second.second / it->second.first);
+    }
+  }
+
+  std::vector<HoseApprovalResult> results;
+  results.reserve(hoses.size());
+  for (const HoseRequest& hose : hoses) {
+    const double frac =
+        fraction.at({hose.npg.value(), hose.qos, hose.region.value(), hose.direction});
+    results.push_back({hose, hose.rate * frac});
+  }
+  return results;
+}
+
+double approval_percentage(std::span<const HoseApprovalResult> results, Direction direction) {
+  double requested = 0.0;
+  double approved = 0.0;
+  for (const HoseApprovalResult& result : results) {
+    if (result.request.direction != direction) continue;
+    requested += result.request.rate.value();
+    approved += result.approved.value();
+  }
+  return requested > 0.0 ? approved / requested : 1.0;
+}
+
+}  // namespace netent::approval

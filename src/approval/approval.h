@@ -1,0 +1,99 @@
+// Contract approval (§4.3, Algorithm 2): HOSE_APPROVAL converts hose
+// requests into representative pipe realizations, PIPE_APPROVAL assesses each
+// realization against failure risk (via the Risk Simulation System) with QoS
+// classes processed in priority order, and per-hose approvals are aggregated
+// as min-over-realizations of the summed pipe approvals.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "hose/requests.h"
+#include "hose/space.h"
+#include "risk/simulator.h"
+#include "topology/routing.h"
+
+namespace netent::approval {
+
+struct ApprovalConfig {
+  double slo_availability = 0.9998;  ///< contract SLO target
+  std::size_t realizations = 16;     ///< representative TMs per hose set
+  risk::ScenarioConfig scenarios;
+  /// Paper's strict mode: "Only when 100% of the flow meets SLO, the batch
+  /// of flows is approved. If any flow fails, the batch is rejected." A
+  /// batch is the pipes of one (NPG, QoS class) group. When false, each pipe
+  /// is approved at the largest rate meeting the SLO (partial approvals,
+  /// §4.3's under-approval discussion).
+  bool strict_batch = false;
+};
+
+struct PipeApprovalResult {
+  hose::PipeRequest request;
+  Gbps approved;
+  /// Availability achievable at the full requested rate (diagnostics).
+  double availability_at_request = 0.0;
+};
+
+struct HoseApprovalResult {
+  hose::HoseRequest request;
+  Gbps approved;
+};
+
+/// Predicate marking low-touch NPGs; low-touch demand is satisfied first
+/// within each QoS class (§4.3). Defaults to "nothing is low-touch".
+using LowTouchPredicate = std::function<bool(NpgId)>;
+
+class ApprovalEngine {
+ public:
+  ApprovalEngine(topology::Router& router, ApprovalConfig config);
+
+  void set_low_touch(LowTouchPredicate predicate) { low_touch_ = std::move(predicate); }
+
+  /// Algorithm 2, PIPE_APPROVAL. Pipes are ordered premium-class-first
+  /// (low-touch demand first within a class) and risk is assessed jointly in
+  /// that order: per failure scenario, placement is strict-priority, which
+  /// both enforces the class priority of §4.3 and keeps lower classes'
+  /// availability curves honest. Result order matches the input order.
+  [[nodiscard]] std::vector<PipeApprovalResult> pipe_approval(
+      std::span<const hose::PipeRequest> pipes) const;
+
+  /// Segment constraints (from the segmented-hose algorithm) to apply to one
+  /// (NPG, QoS) group's realizations: tighter realizations mean fewer wild
+  /// corner TMs and therefore higher approvals for the same SLO.
+  struct GroupSegments {
+    NpgId npg;
+    QosClass qos;
+    std::vector<hose::SegmentConstraint> segments;
+  };
+
+  /// Algorithm 2, HOSE_APPROVAL. Hoses of each (NPG, QoS) group span a
+  /// HoseSpace; `realizations` representative TMs are drawn per group (the
+  /// GEN_DEMAND step), each realization's pipes are approved jointly, and
+  /// per-hose approvals aggregate as min over realizations of the summed
+  /// pipe approvals. Result order matches the input order.
+  [[nodiscard]] std::vector<HoseApprovalResult> hose_approval(
+      std::span<const hose::HoseRequest> hoses, Rng& rng) const;
+
+  /// As above, with segmented-hose constraints applied per group.
+  [[nodiscard]] std::vector<HoseApprovalResult> hose_approval(
+      std::span<const hose::HoseRequest> hoses, std::span<const GroupSegments> segments,
+      Rng& rng) const;
+
+  [[nodiscard]] const ApprovalConfig& config() const { return config_; }
+
+ private:
+  topology::Router& router_;
+  ApprovalConfig config_;
+  LowTouchPredicate low_touch_;
+  std::vector<risk::FailureScenario> scenarios_;
+};
+
+/// Total approved / total requested, the Figure 22 metric.
+[[nodiscard]] double approval_percentage(std::span<const HoseApprovalResult> results,
+                                         hose::Direction direction);
+
+}  // namespace netent::approval

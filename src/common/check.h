@@ -1,0 +1,38 @@
+// Precondition / postcondition / invariant checking.
+//
+// Follows the CppCoreGuidelines I.6/I.8 spirit: interfaces state their
+// expectations explicitly. Violations throw `netent::ContractViolation` so
+// that tests can assert on them and callers can distinguish programming
+// errors from domain errors.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace netent {
+
+/// Thrown when a NETENT_EXPECTS / NETENT_ENSURES condition fails.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* cond, const char* file,
+                                       int line) {
+  throw ContractViolation(std::string(kind) + " failed: " + cond + " at " + file + ":" +
+                          std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace netent
+
+#define NETENT_EXPECTS(cond)                                                      \
+  do {                                                                            \
+    if (!(cond)) ::netent::detail::contract_fail("Expects", #cond, __FILE__, __LINE__); \
+  } while (false)
+
+#define NETENT_ENSURES(cond)                                                      \
+  do {                                                                            \
+    if (!(cond)) ::netent::detail::contract_fail("Ensures", #cond, __FILE__, __LINE__); \
+  } while (false)

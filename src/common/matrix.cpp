@@ -1,0 +1,102 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::gram() const {
+  Matrix g(cols_, cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto row_r = row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      const double xi = row_r[i];
+      if (xi == 0.0) continue;
+      for (std::size_t j = i; j < cols_; ++j) g(i, j) += xi * row_r[j];
+    }
+  }
+  for (std::size_t i = 0; i < cols_; ++i)
+    for (std::size_t j = 0; j < i; ++j) g(i, j) = g(j, i);
+  return g;
+}
+
+std::vector<double> Matrix::transpose_times(std::span<const double> v) const {
+  NETENT_EXPECTS(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto row_r = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) out[c] += row_r[c] * v[r];
+  }
+  return out;
+}
+
+std::vector<double> Matrix::times(std::span<const double> v) const {
+  NETENT_EXPECTS(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto row_r = row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row_r[c] * v[c];
+    out[r] = sum;
+  }
+  return out;
+}
+
+std::vector<double> cholesky_solve(Matrix a, std::vector<double> b) {
+  NETENT_EXPECTS(a.rows() == a.cols());
+  NETENT_EXPECTS(b.size() == a.rows());
+  const std::size_t n = a.rows();
+
+  // In-place Cholesky: a becomes lower-triangular L with A = L L'.
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a(j, j);
+    for (std::size_t k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    NETENT_ENSURES(diag > 0.0);
+    const double ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) v -= a(i, k) * a(j, k);
+      a(i, j) = v / ljj;
+    }
+  }
+
+  // Forward substitution: L z = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a(i, k) * b[k];
+    b[i] = v / a(i, i);
+  }
+  // Back substitution: L' x = z.
+  for (std::size_t ii = n; ii-- > 0;) {
+    double v = b[ii];
+    for (std::size_t k = ii + 1; k < n; ++k) v -= a(k, ii) * b[k];
+    b[ii] = v / a(ii, ii);
+  }
+  return b;
+}
+
+std::vector<double> ridge_regression(const Matrix& x, std::span<const double> y, double lambda) {
+  NETENT_EXPECTS(lambda >= 0.0);
+  const std::vector<double> per_coef(x.cols(), lambda);
+  return ridge_regression(x, y, per_coef);
+}
+
+std::vector<double> ridge_regression(const Matrix& x, std::span<const double> y,
+                                     std::span<const double> lambda_per_coef) {
+  NETENT_EXPECTS(y.size() == x.rows());
+  NETENT_EXPECTS(lambda_per_coef.size() == x.cols());
+  constexpr double kJitter = 1e-8;
+  Matrix gram = x.gram();
+  for (std::size_t i = 0; i < gram.rows(); ++i) {
+    NETENT_EXPECTS(lambda_per_coef[i] >= 0.0);
+    gram(i, i) += lambda_per_coef[i] + kJitter;
+  }
+  return cholesky_solve(std::move(gram), x.transpose_times(y));
+}
+
+}  // namespace netent

@@ -1,0 +1,66 @@
+// Minimal dense linear algebra for the forecasting models: the Prophet-like
+// decomposition is fit by ridge regression, which reduces to solving the
+// normal equations (X'X + lambda I) beta = X'y via Cholesky. Dimensions are
+// small (tens of basis functions), so a straightforward dense implementation
+// is the right tool.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netent {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) { return {&data_[r * cols_], cols_}; }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    return {&data_[r * cols_], cols_};
+  }
+
+  /// this' * this  (Gram matrix), cols x cols.
+  [[nodiscard]] Matrix gram() const;
+  /// this' * v, where v has rows() entries.
+  [[nodiscard]] std::vector<double> transpose_times(std::span<const double> v) const;
+  /// this * v, where v has cols() entries.
+  [[nodiscard]] std::vector<double> times(std::span<const double> v) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solves the symmetric positive-definite system A x = b in place via
+/// Cholesky decomposition. A must be square and SPD (a ridge penalty on the
+/// diagonal guarantees this in our usage). Throws ContractViolation if the
+/// decomposition encounters a non-positive pivot.
+[[nodiscard]] std::vector<double> cholesky_solve(Matrix a, std::vector<double> b);
+
+/// Ridge regression: returns beta minimizing ||X beta - y||^2 + lambda ||beta||^2.
+/// The first column is NOT treated specially; include a constant column in X
+/// if an unpenalized-ish intercept is desired (lambda is small in practice).
+[[nodiscard]] std::vector<double> ridge_regression(const Matrix& x, std::span<const double> y,
+                                                   double lambda);
+
+/// Ridge regression with a per-coefficient penalty (generalized Tikhonov with
+/// a diagonal regularizer): minimizes ||X beta - y||^2 + sum_j lambda[j] beta_j^2.
+/// Zero entries leave the corresponding coefficient unpenalized (e.g. the
+/// intercept and base slope of a trend model). A tiny jitter keeps the system
+/// SPD even with all-zero penalties.
+[[nodiscard]] std::vector<double> ridge_regression(const Matrix& x, std::span<const double> y,
+                                                   std::span<const double> lambda_per_coef);
+
+}  // namespace netent

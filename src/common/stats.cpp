@@ -1,0 +1,118 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent {
+
+double percentile(std::span<const double> sorted_values, double q) {
+  NETENT_EXPECTS(!sorted_values.empty());
+  NETENT_EXPECTS(q >= 0.0 && q <= 100.0);
+  if (sorted_values.size() == 1) return sorted_values[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted_values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac;
+}
+
+double percentile_of(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return percentile(values, q);
+}
+
+double mean(std::span<const double> values) {
+  NETENT_EXPECTS(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double stddev(std::span<const double> values) {
+  NETENT_EXPECTS(values.size() >= 2);
+  const double m = mean(values);
+  double sq = 0.0;
+  for (double v : values) sq += (v - m) * (v - m);
+  return std::sqrt(sq / static_cast<double>(values.size() - 1));
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples) : samples_(std::move(samples)) {
+  NETENT_EXPECTS(!samples_.empty());
+  std::sort(samples_.begin(), samples_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) / static_cast<double>(samples_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  NETENT_EXPECTS(q >= 0.0 && q <= 1.0);
+  return percentile(samples_, q * 100.0);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi) {
+  NETENT_EXPECTS(hi > lo);
+  NETENT_EXPECTS(bins > 0);
+  counts_.resize(bins, 0);
+}
+
+void Histogram::add(double x) {
+  const double span = hi_ - lo_;
+  auto idx = static_cast<long>((x - lo_) / span * static_cast<double>(counts_.size()));
+  idx = std::clamp(idx, 0L, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
+
+double Histogram::quantile(double q) const {
+  NETENT_EXPECTS(q >= 0.0 && q <= 1.0);
+  NETENT_EXPECTS(total_ > 0);
+  const auto target = static_cast<std::size_t>(q * static_cast<double>(total_));
+  std::size_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative > target) return (bin_lo(i) + bin_hi(i)) / 2.0;
+  }
+  return hi_;
+}
+
+double smape(std::span<const double> actual, std::span<const double> forecast) {
+  NETENT_EXPECTS(actual.size() == forecast.size());
+  NETENT_EXPECTS(!actual.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double denom = (actual[i] + forecast[i]) / 2.0;
+    if (denom != 0.0) sum += std::fabs(actual[i] - forecast[i]) / denom;
+  }
+  return sum / static_cast<double>(actual.size());
+}
+
+}  // namespace netent

@@ -1,0 +1,83 @@
+// Descriptive statistics used by the evaluation harness: empirical CDFs
+// (Figs 18-20), percentiles of traffic time series (p50/p75/p90 SLI inputs),
+// and streaming accumulators for simulation metrics.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace netent {
+
+/// Percentile of a sample using linear interpolation between order statistics
+/// (the same convention as numpy's default). `q` in [0, 100].
+[[nodiscard]] double percentile(std::span<const double> sorted_values, double q);
+
+/// Convenience: copies, sorts, and computes a percentile.
+[[nodiscard]] double percentile_of(std::vector<double> values, double q);
+
+[[nodiscard]] double mean(std::span<const double> values);
+[[nodiscard]] double stddev(std::span<const double> values);
+
+/// Empirical cumulative distribution over a fixed sample.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  /// P(X <= x).
+  [[nodiscard]] double at(double x) const;
+  /// Inverse CDF / quantile, q in [0, 1].
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;  // sorted ascending
+};
+
+/// Streaming mean/variance/min/max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ > 0 ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp to the edge
+/// bins. Used for latency distributions in the drill simulation.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] const std::vector<std::size_t>& counts() const { return counts_; }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  /// Approximate quantile from bin midpoints, q in [0,1].
+  [[nodiscard]] double quantile(double q) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Symmetric Mean Absolute Percentage Error, the paper's forecast-accuracy
+/// metric (§7.1): sMAPE = (1/n) * sum |A_t - F_t| / ((A_t + F_t)/2) in [0, 2].
+[[nodiscard]] double smape(std::span<const double> actual, std::span<const double> forecast);
+
+}  // namespace netent

@@ -1,0 +1,38 @@
+// Aligned-text and CSV table emission for the benchmark harness. Every bench
+// binary prints the rows/series of the paper figure it reproduces; this
+// writer keeps the output format uniform and diffable.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace netent {
+
+/// A simple column-oriented table. Cells are strings or doubles; doubles are
+/// formatted with a fixed precision chosen per table.
+class Table {
+ public:
+  using Cell = std::variant<std::string, double>;
+
+  explicit Table(std::vector<std::string> headers, int precision = 3);
+
+  Table& add_row(std::vector<Cell> cells);
+
+  /// Pretty-prints with aligned columns.
+  void print(std::ostream& os) const;
+  /// Emits RFC-4180-ish CSV (no quoting needed for our content).
+  void print_csv(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  [[nodiscard]] std::string format(const Cell& cell) const;
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_;
+};
+
+}  // namespace netent

@@ -1,0 +1,100 @@
+// Domain-wide vocabulary types: strong identifiers and the QoS class
+// enumeration shared by every subsystem (§3.2 of the paper).
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace netent {
+
+/// Strong integer identifier. Tag types prevent mixing a RegionId with an
+/// NpgId even though both are 32-bit indices.
+template <class Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::uint32_t v) : value_(v) {}
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return value_; }
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) { return os << id.value_; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+struct RegionTag {};
+struct LinkTag {};
+struct SrlgTag {};
+struct NpgTag {};
+struct HostTag {};
+
+/// A backbone region: a data center or point-of-presence site.
+using RegionId = StrongId<RegionTag>;
+/// A directed backbone link (one direction of a fiber).
+using LinkId = StrongId<LinkTag>;
+/// Shared-risk link group: both directions of a fiber share one SRLG, so a
+/// fiber cut takes out a whole group.
+using SrlgId = StrongId<SrlgTag>;
+/// Network Product Group, the paper's unit of contract ("NPG" == service).
+using NpgId = StrongId<NpgTag>;
+/// An end host running an enforcement agent.
+using HostId = StrongId<HostTag>;
+
+/// Backbone QoS classes (§4.3): four classes c1..c4 each with a low/high
+/// sub-band; approval walks them from most premium (c1_low) to least
+/// (c4_high). Smaller enum value == higher priority.
+enum class QosClass : std::uint8_t {
+  c1_low = 0,
+  c1_high,
+  c2_low,
+  c2_high,
+  c3_low,
+  c3_high,
+  c4_low,
+  c4_high,
+};
+
+inline constexpr std::size_t kQosClassCount = 8;
+
+/// All QoS classes in descending priority order (the approval processing
+/// order of Algorithm 2).
+[[nodiscard]] constexpr std::array<QosClass, kQosClassCount> qos_priority_order() {
+  return {QosClass::c1_low,  QosClass::c1_high, QosClass::c2_low,  QosClass::c2_high,
+          QosClass::c3_low,  QosClass::c3_high, QosClass::c4_low,  QosClass::c4_high};
+}
+
+[[nodiscard]] constexpr const char* to_string(QosClass c) {
+  switch (c) {
+    case QosClass::c1_low: return "c1_low";
+    case QosClass::c1_high: return "c1_high";
+    case QosClass::c2_low: return "c2_low";
+    case QosClass::c2_high: return "c2_high";
+    case QosClass::c3_low: return "c3_low";
+    case QosClass::c3_high: return "c3_high";
+    case QosClass::c4_low: return "c4_low";
+    case QosClass::c4_high: return "c4_high";
+  }
+  return "unknown";
+}
+
+inline std::ostream& operator<<(std::ostream& os, QosClass c) { return os << to_string(c); }
+
+/// True if `a` has strictly higher priority (is more premium) than `b`.
+[[nodiscard]] constexpr bool higher_priority(QosClass a, QosClass b) {
+  return static_cast<std::uint8_t>(a) < static_cast<std::uint8_t>(b);
+}
+
+}  // namespace netent
+
+template <class Tag>
+struct std::hash<netent::StrongId<Tag>> {
+  std::size_t operator()(netent::StrongId<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value());
+  }
+};

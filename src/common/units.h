@@ -1,0 +1,94 @@
+// Strong unit types used throughout netent.
+//
+// Bandwidth is the central quantity of the entitlement system: demand
+// forecasts, hose constraints, entitled rates and switch capacities are all
+// expressed in Gbps. We wrap it in a strong type so that a rate can never be
+// silently mixed with, say, a duration or a ratio.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace netent {
+
+/// Bandwidth in gigabits per second. Arithmetic-closed value type.
+class Gbps {
+ public:
+  constexpr Gbps() = default;
+  constexpr explicit Gbps(double value) : value_(value) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+  [[nodiscard]] constexpr double tbps() const { return value_ / 1000.0; }
+  [[nodiscard]] constexpr double mbps() const { return value_ * 1000.0; }
+  [[nodiscard]] constexpr double bits_per_sec() const { return value_ * 1e9; }
+
+  constexpr auto operator<=>(const Gbps&) const = default;
+
+  constexpr Gbps& operator+=(Gbps other) {
+    value_ += other.value_;
+    return *this;
+  }
+  constexpr Gbps& operator-=(Gbps other) {
+    value_ -= other.value_;
+    return *this;
+  }
+  constexpr Gbps& operator*=(double scale) {
+    value_ *= scale;
+    return *this;
+  }
+  constexpr Gbps& operator/=(double scale) {
+    value_ /= scale;
+    return *this;
+  }
+
+  friend constexpr Gbps operator+(Gbps a, Gbps b) { return Gbps(a.value_ + b.value_); }
+  friend constexpr Gbps operator-(Gbps a, Gbps b) { return Gbps(a.value_ - b.value_); }
+  friend constexpr Gbps operator*(Gbps a, double s) { return Gbps(a.value_ * s); }
+  friend constexpr Gbps operator*(double s, Gbps a) { return Gbps(a.value_ * s); }
+  friend constexpr Gbps operator/(Gbps a, double s) { return Gbps(a.value_ / s); }
+  /// Ratio of two bandwidths (dimensionless).
+  friend constexpr double operator/(Gbps a, Gbps b) { return a.value_ / b.value_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Gbps g) { return os << g.value_ << "Gbps"; }
+
+ private:
+  double value_ = 0.0;
+};
+
+constexpr Gbps operator""_gbps(long double v) { return Gbps(static_cast<double>(v)); }
+constexpr Gbps operator""_gbps(unsigned long long v) { return Gbps(static_cast<double>(v)); }
+constexpr Gbps operator""_tbps(long double v) { return Gbps(static_cast<double>(v) * 1000.0); }
+constexpr Gbps operator""_tbps(unsigned long long v) { return Gbps(static_cast<double>(v) * 1000.0); }
+
+[[nodiscard]] constexpr Gbps min(Gbps a, Gbps b) { return a < b ? a : b; }
+[[nodiscard]] constexpr Gbps max(Gbps a, Gbps b) { return a < b ? b : a; }
+[[nodiscard]] inline Gbps abs(Gbps a) { return Gbps(std::fabs(a.value())); }
+
+/// Simulation time in seconds since simulation start. Double-precision seconds
+/// give sub-microsecond resolution over multi-day drills.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+  constexpr explicit SimTime(double seconds) : seconds_(seconds) {}
+
+  [[nodiscard]] constexpr double seconds() const { return seconds_; }
+  [[nodiscard]] constexpr double minutes() const { return seconds_ / 60.0; }
+  [[nodiscard]] constexpr double hours() const { return seconds_ / 3600.0; }
+
+  constexpr auto operator<=>(const SimTime&) const = default;
+
+  friend constexpr SimTime operator+(SimTime t, double dt) { return SimTime(t.seconds_ + dt); }
+  friend constexpr double operator-(SimTime a, SimTime b) { return a.seconds_ - b.seconds_; }
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) { return os << t.seconds_ << "s"; }
+
+ private:
+  double seconds_ = 0.0;
+};
+
+constexpr SimTime operator""_min(long double v) { return SimTime(static_cast<double>(v) * 60.0); }
+constexpr SimTime operator""_min(unsigned long long v) { return SimTime(static_cast<double>(v) * 60.0); }
+
+}  // namespace netent

@@ -1,0 +1,51 @@
+// The entitlement contract (§3.2): the agreement between the network team
+// and an NPG. It carries the network SLO target and a list of bandwidth
+// entitlements, each <NPG, QoS class, region, entitled rate, enforcement
+// period>. Contracts delineate accountability: traffic within the entitled
+// rate that the network cannot carry is on the network team; traffic above
+// it is on the NPG.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "hose/requests.h"
+
+namespace netent::core {
+
+/// Enforcement period in simulation-epoch seconds (a quarter in production).
+struct Period {
+  double start_seconds = 0.0;
+  double end_seconds = 0.0;
+
+  [[nodiscard]] bool contains(double t) const { return t >= start_seconds && t < end_seconds; }
+  [[nodiscard]] double length_seconds() const { return end_seconds - start_seconds; }
+};
+
+/// One bandwidth entitlement row of a contract.
+struct Entitlement {
+  NpgId npg;
+  QosClass qos = QosClass::c4_high;
+  RegionId region;
+  /// Egress entitlements are enforced at run time; ingress ones are
+  /// currently contract-only (ingress metering is the paper's §8 future
+  /// work).
+  hose::Direction direction = hose::Direction::egress;
+  Gbps entitled_rate;
+  Period period;
+};
+
+struct EntitlementContract {
+  NpgId npg;
+  std::string npg_name;
+  /// Network SLO target, e.g. 0.9998 availability.
+  double slo_availability = 0.0;
+  std::vector<Entitlement> entitlements;
+
+  /// Total entitled rate across entitlements matching (qos, direction).
+  [[nodiscard]] Gbps total_entitled(QosClass qos, hose::Direction direction) const;
+};
+
+}  // namespace netent::core

@@ -1,0 +1,77 @@
+#include "core/contract_db.h"
+
+#include "common/check.h"
+
+namespace netent::core {
+
+Gbps EntitlementContract::total_entitled(QosClass qos, hose::Direction direction) const {
+  Gbps total(0);
+  for (const Entitlement& entitlement : entitlements) {
+    if (entitlement.qos == qos && entitlement.direction == direction) {
+      total += entitlement.entitled_rate;
+    }
+  }
+  return total;
+}
+
+void ContractDb::add(EntitlementContract contract) {
+  NETENT_EXPECTS(contract.slo_availability > 0.0 && contract.slo_availability <= 1.0);
+  for (const Entitlement& entitlement : contract.entitlements) {
+    NETENT_EXPECTS(entitlement.npg == contract.npg);
+    NETENT_EXPECTS(entitlement.entitled_rate >= Gbps(0));
+    NETENT_EXPECTS(entitlement.period.end_seconds > entitlement.period.start_seconds);
+  }
+  contracts_.push_back(std::move(contract));
+}
+
+const EntitlementContract* ContractDb::find(NpgId npg) const {
+  for (const EntitlementContract& contract : contracts_) {
+    if (contract.npg == npg) return &contract;
+  }
+  return nullptr;
+}
+
+std::optional<Gbps> ContractDb::entitled_rate(NpgId npg, QosClass qos, RegionId region,
+                                              hose::Direction direction, double t) const {
+  bool any = false;
+  Gbps total(0);
+  for (const EntitlementContract& contract : contracts_) {
+    if (contract.npg != npg) continue;
+    for (const Entitlement& entitlement : contract.entitlements) {
+      if (entitlement.qos == qos && entitlement.region == region &&
+          entitlement.direction == direction && entitlement.period.contains(t)) {
+        total += entitlement.entitled_rate;
+        any = true;
+      }
+    }
+  }
+  if (!any) return std::nullopt;
+  return total;
+}
+
+std::optional<Gbps> ContractDb::service_entitled_rate(NpgId npg, QosClass qos, double t) const {
+  bool any = false;
+  Gbps total(0);
+  for (const EntitlementContract& contract : contracts_) {
+    if (contract.npg != npg) continue;
+    for (const Entitlement& entitlement : contract.entitlements) {
+      if (entitlement.qos == qos && entitlement.direction == hose::Direction::egress &&
+          entitlement.period.contains(t)) {
+        total += entitlement.entitled_rate;
+        any = true;
+      }
+    }
+  }
+  if (!any) return std::nullopt;
+  return total;
+}
+
+enforce::EntitlementQuery ContractDb::query_adapter() const {
+  return [this](NpgId npg, QosClass qos, double now) {
+    const auto rate = service_entitled_rate(npg, qos, now);
+    if (!rate) return enforce::EntitlementAnswer{false, Gbps(0)};
+    return enforce::EntitlementAnswer{true, *rate};
+  };
+}
+
+}  // namespace netent::core

@@ -1,0 +1,44 @@
+// The centralized contract database (§3.2 step 4, §5 "Querying contract"):
+// stores all contracts and answers the queries the run-time enforcement
+// agents issue — "given NPG X and QoS class Y, what is the EntitledRate in
+// force right now (optionally for my region)?".
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/contract.h"
+#include "enforce/agent.h"
+
+namespace netent::core {
+
+class ContractDb {
+ public:
+  void add(EntitlementContract contract);
+
+  [[nodiscard]] std::size_t size() const { return contracts_.size(); }
+  [[nodiscard]] std::span<const EntitlementContract> contracts() const { return contracts_; }
+
+  [[nodiscard]] const EntitlementContract* find(NpgId npg) const;
+
+  /// EntitledRate for (npg, qos, region, direction) at time t; nullopt when
+  /// no entitlement covers t.
+  [[nodiscard]] std::optional<Gbps> entitled_rate(NpgId npg, QosClass qos, RegionId region,
+                                                  hose::Direction direction, double t) const;
+
+  /// Service-wide egress EntitledRate for (npg, qos) at time t, summed over
+  /// regions — the quantity the §5 metering loop enforces. Nullopt when no
+  /// entitlement covers t.
+  [[nodiscard]] std::optional<Gbps> service_entitled_rate(NpgId npg, QosClass qos,
+                                                          double t) const;
+
+  /// Adapter for the enforcement plane: agents query the database through
+  /// this callback (service-wide egress rate).
+  [[nodiscard]] enforce::EntitlementQuery query_adapter() const;
+
+ private:
+  std::vector<EntitlementContract> contracts_;
+};
+
+}  // namespace netent::core

@@ -1,0 +1,88 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+#include "common/table.h"
+
+namespace netent::core {
+
+void write_cycle_report(std::ostream& os, const CycleResult& cycle,
+                        const topology::Topology& topo,
+                        const EntitlementManager::NameLookup& name_of,
+                        const ReportConfig& config) {
+  os << "=== Entitlement cycle report ===\n";
+  os << cycle.sli.size() << " SLI records, " << cycle.hose_requests.size() << " hoses, "
+     << cycle.contracts.size() << " contracts granted\n\n";
+
+  // Per-class totals.
+  struct ClassTotals {
+    double requested = 0.0;
+    double approved = 0.0;
+  };
+  std::map<QosClass, ClassTotals> per_class;
+  for (const auto& approval : cycle.approvals) {
+    if (approval.request.direction != hose::Direction::egress) continue;
+    auto& totals = per_class[approval.request.qos];
+    totals.requested += approval.request.rate.value();
+    totals.approved += approval.approved.value();
+  }
+  Table classes({"qos_class", "egress_requested_g", "egress_approved_g", "approved_pct"}, 1);
+  for (const auto& [qos, totals] : per_class) {
+    classes.add_row({std::string(to_string(qos)), totals.requested, totals.approved,
+                     totals.requested > 0.0 ? totals.approved / totals.requested * 100.0
+                                            : 100.0});
+  }
+  os << "Per-class egress approvals:\n";
+  classes.print(os);
+
+  // Negotiation candidates: largest absolute under-approvals.
+  std::vector<const approval::HoseApprovalResult*> under;
+  for (const auto& approval : cycle.approvals) under.push_back(&approval);
+  std::sort(under.begin(), under.end(), [](const auto* a, const auto* b) {
+    return (a->request.rate - a->approved).value() > (b->request.rate - b->approved).value();
+  });
+  os << "\nTop under-approved hoses (negotiation candidates):\n";
+  Table gaps({"npg", "qos", "region", "direction", "requested_g", "approved_g", "gap_g"}, 1);
+  for (std::size_t i = 0; i < std::min(config.top_under_approvals, under.size()); ++i) {
+    const auto& result = *under[i];
+    if (result.approved >= result.request.rate - Gbps(1e-6)) break;
+    std::string name = name_of(result.request.npg);
+    if (name.empty()) name = "npg" + std::to_string(result.request.npg.value());
+    gaps.add_row({name, std::string(to_string(result.request.qos)),
+                  topo.region(result.request.region).name,
+                  std::string(to_string(result.request.direction)),
+                  result.request.rate.value(), result.approved.value(),
+                  (result.request.rate - result.approved).value()});
+  }
+  if (gaps.row_count() == 0) {
+    os << "  (none: every hose fully approved)\n";
+  } else {
+    gaps.print(os);
+  }
+
+  // Segmentation summary.
+  if (!cycle.segments.empty()) {
+    std::size_t segment_total = 0;
+    for (const auto& group : cycle.segments) segment_total += group.segments.size();
+    os << "\nSegmented hose applied to " << cycle.segments.size()
+       << " (npg, qos, src) group(s), "
+       << static_cast<double>(segment_total) / static_cast<double>(cycle.segments.size())
+       << " segments on average\n";
+  } else {
+    os << "\nSegmented hose: no productive segmentations this cycle\n";
+  }
+
+  // Balancing (§8).
+  for (const auto& balance : cycle.balance) {
+    if (balance.inflation > Gbps(0)) {
+      os << "Balancing: inflated " << to_string(balance.inflated_direction) << " of "
+         << to_string(balance.qos) << " by " << balance.inflation.value() << " Gbps across "
+         << balance.dummy_hoses_added << " regions\n";
+    }
+  }
+  os << '\n';
+}
+
+}  // namespace netent::core

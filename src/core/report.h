@@ -1,0 +1,24 @@
+// Operator report for one entitlement cycle: the summary the network team
+// reads after a quarterly granting run — totals per QoS class, the most
+// under-approved hoses (negotiation candidates, §4.3/§8), segmentation
+// savings, and the ingress/egress balancing applied.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/manager.h"
+
+namespace netent::core {
+
+struct ReportConfig {
+  std::size_t top_under_approvals = 5;
+};
+
+/// Writes a human-readable text report of the cycle to `os`. `topo` resolves
+/// region names; `name_of` resolves NPG names (may return "").
+void write_cycle_report(std::ostream& os, const CycleResult& cycle,
+                        const topology::Topology& topo,
+                        const EntitlementManager::NameLookup& name_of,
+                        const ReportConfig& config = {});
+
+}  // namespace netent::core

@@ -1,0 +1,114 @@
+#include "core/serialize.h"
+
+#include <iomanip>
+#include <optional>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace netent::core {
+
+namespace {
+
+std::optional<QosClass> qos_from_string(const std::string& name) {
+  for (const QosClass qos : qos_priority_order()) {
+    if (name == to_string(qos)) return qos;
+  }
+  return std::nullopt;
+}
+
+std::optional<hose::Direction> direction_from_string(const std::string& name) {
+  if (name == "egress") return hose::Direction::egress;
+  if (name == "ingress") return hose::Direction::ingress;
+  return std::nullopt;
+}
+
+[[noreturn]] void fail(std::size_t line, const std::string& what) {
+  throw ParseError("line " + std::to_string(line) + ": " + what);
+}
+
+}  // namespace
+
+void write_contracts(std::ostream& os, const ContractDb& db) {
+  os << std::setprecision(17);
+  for (const EntitlementContract& contract : db.contracts()) {
+    os << "contract " << contract.npg.value() << ' ' << contract.slo_availability;
+    if (!contract.npg_name.empty()) os << ' ' << contract.npg_name;
+    os << '\n';
+    for (const Entitlement& entitlement : contract.entitlements) {
+      os << "entitlement " << to_string(entitlement.qos) << ' ' << entitlement.region.value()
+         << ' ' << to_string(entitlement.direction) << ' ' << entitlement.entitled_rate.value()
+         << ' ' << entitlement.period.start_seconds << ' ' << entitlement.period.end_seconds
+         << '\n';
+    }
+    os << "end\n";
+  }
+}
+
+ContractDb read_contracts(std::istream& is) {
+  ContractDb db;
+  std::optional<EntitlementContract> current;
+  std::string line;
+  std::size_t line_number = 0;
+
+  while (std::getline(is, line)) {
+    ++line_number;
+    std::istringstream tokens(line);
+    std::string directive;
+    if (!(tokens >> directive) || directive.front() == '#') continue;
+
+    if (directive == "contract") {
+      if (current) fail(line_number, "nested contract block");
+      std::uint32_t npg = 0;
+      double slo = 0.0;
+      if (!(tokens >> npg >> slo)) fail(line_number, "malformed contract header");
+      EntitlementContract contract;
+      contract.npg = NpgId(npg);
+      contract.slo_availability = slo;
+      tokens >> contract.npg_name;  // optional
+      current = std::move(contract);
+    } else if (directive == "entitlement") {
+      if (!current) fail(line_number, "entitlement outside contract block");
+      std::string qos_name;
+      std::uint32_t region = 0;
+      std::string direction_name;
+      double rate = 0.0;
+      double start = 0.0;
+      double end = 0.0;
+      if (!(tokens >> qos_name >> region >> direction_name >> rate >> start >> end)) {
+        fail(line_number, "malformed entitlement");
+      }
+      const auto qos = qos_from_string(qos_name);
+      if (!qos) fail(line_number, "unknown QoS class '" + qos_name + "'");
+      const auto direction = direction_from_string(direction_name);
+      if (!direction) fail(line_number, "unknown direction '" + direction_name + "'");
+      current->entitlements.push_back(Entitlement{current->npg, *qos, RegionId(region),
+                                                  *direction, Gbps(rate), Period{start, end}});
+    } else if (directive == "end") {
+      if (!current) fail(line_number, "'end' outside contract block");
+      try {
+        db.add(std::move(*current));
+      } catch (const ContractViolation& violation) {
+        fail(line_number, std::string("invalid contract: ") + violation.what());
+      }
+      current.reset();
+    } else {
+      fail(line_number, "unknown directive '" + directive + "'");
+    }
+  }
+  if (current) throw ParseError("unexpected end of input: unclosed contract block");
+  return db;
+}
+
+std::string contracts_to_string(const ContractDb& db) {
+  std::ostringstream os;
+  write_contracts(os, db);
+  return os.str();
+}
+
+ContractDb contracts_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_contracts(is);
+}
+
+}  // namespace netent::core

@@ -1,0 +1,37 @@
+// Contract (de)serialization. Contracts are the durable artifact of the
+// entitlement process ("All contracts are stored in a database", §3.2); the
+// text format below is a line-oriented, diff-friendly representation used by
+// operators and by tests for round-tripping:
+//
+//   contract <npg> <slo_availability> [name]
+//   entitlement <qos> <region> <direction> <rate_gbps> <start_s> <end_s>
+//   ...
+//   end
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/contract_db.h"
+
+namespace netent::core {
+
+/// Thrown by read_contracts on malformed input (line number included).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Writes every contract in the database.
+void write_contracts(std::ostream& os, const ContractDb& db);
+
+/// Parses a database written by write_contracts. Unknown directives,
+/// malformed fields, entitlements outside a contract block, or an unclosed
+/// block raise ParseError. Blank lines and '#' comments are ignored.
+[[nodiscard]] ContractDb read_contracts(std::istream& is);
+
+/// Convenience string round-trip helpers.
+[[nodiscard]] std::string contracts_to_string(const ContractDb& db);
+[[nodiscard]] ContractDb contracts_from_string(const std::string& text);
+
+}  // namespace netent::core

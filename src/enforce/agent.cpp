@@ -1,0 +1,67 @@
+#include "enforce/agent.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+HostAgent::HostAgent(HostId host, NpgId npg, QosClass qos, AgentConfig config,
+                     std::unique_ptr<Meter> meter, EntitlementQuery query, RateStore& store,
+                     BpfClassifier& classifier)
+    : host_(host),
+      npg_(npg),
+      qos_(qos),
+      config_(config),
+      meter_(std::move(meter)),
+      query_(std::move(query)),
+      store_(store),
+      classifier_(classifier) {
+  NETENT_EXPECTS(meter_ != nullptr);
+  NETENT_EXPECTS(query_ != nullptr);
+  NETENT_EXPECTS(config_.metering_interval_seconds > 0.0);
+  NETENT_EXPECTS(config_.publish_interval_seconds > 0.0);
+}
+
+void HostAgent::observe_local(Gbps total, Gbps conform) {
+  NETENT_EXPECTS(total >= Gbps(0));
+  NETENT_EXPECTS(conform >= Gbps(0));
+  local_total_ = total;
+  local_conform_ = conform;
+}
+
+bool HostAgent::tick(double now_seconds) {
+  if (now_seconds - last_publish_ >= config_.publish_interval_seconds) {
+    store_.publish(npg_, qos_, host_, local_total_, local_conform_, now_seconds);
+    last_publish_ = now_seconds;
+  }
+  if (now_seconds - last_metering_ >= config_.metering_interval_seconds) {
+    run_metering_cycle(now_seconds);
+    last_metering_ = now_seconds;
+    return true;
+  }
+  return false;
+}
+
+void HostAgent::run_metering_cycle(double now_seconds) {
+  const EntitlementAnswer answer = query_(npg_, qos_, now_seconds);
+  if (!answer.found) {
+    // No contract for this period: remove any stale kernel entry.
+    classifier_.unprogram(npg_, qos_);
+    programmed_ratio_ = -1.0;
+    return;
+  }
+  const ServiceRates aggregate = store_.aggregate(npg_, qos_, now_seconds);
+  const double ratio = meter_->update(
+      MeterInput{aggregate.total, aggregate.conform, answer.entitled_rate});
+  // Hysteresis keeps the marked set stable at the metering equilibrium; the
+  // endpoints (0 and 1) always program exactly.
+  const bool endpoint = ratio <= 0.0 || ratio >= 1.0;
+  if (programmed_ratio_ < 0.0 || endpoint ||
+      std::fabs(ratio - programmed_ratio_) > config_.ratio_hysteresis) {
+    classifier_.program(npg_, qos_, ratio);
+    programmed_ratio_ = ratio;
+  }
+}
+
+}  // namespace netent::enforce

@@ -1,0 +1,81 @@
+// The host enforcement agent (Figure 9): the user-space component that
+// queries the contract database, publishes and reads service-aggregate rates
+// through the distributed rate store, runs the metering algorithm, and
+// programs the kernel classifier. One agent instance runs per host per
+// enforced (NPG, QoS) entitlement.
+//
+// Fully distributed: agents never talk to a controller or to each other;
+// coordination is implicit through the rate store (§5.1 second-generation
+// architecture).
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "enforce/bpf.h"
+#include "enforce/meter.h"
+#include "enforce/ratestore.h"
+
+namespace netent::enforce {
+
+/// Contract lookup: EntitledRate for (NPG, QoS) as of `now`; Gbps(0) with
+/// `found == false` when no entitlement applies. Kept as a callback so the
+/// enforcement plane does not depend on the contract-database module.
+struct EntitlementAnswer {
+  bool found = false;
+  Gbps entitled_rate;
+};
+using EntitlementQuery = std::function<EntitlementAnswer(NpgId, QosClass, double now_seconds)>;
+
+struct AgentConfig {
+  double metering_interval_seconds = 10.0;
+  double publish_interval_seconds = 5.0;
+  /// The kernel map is only reprogrammed when the meter's NonConformRatio
+  /// moved by more than this since the last programming. Without hysteresis
+  /// the marked set flaps by one group every cycle at the metering
+  /// equilibrium, defeating the application failover that host-based
+  /// remarking exists to enable (§5.3).
+  double ratio_hysteresis = 0.02;
+};
+
+class HostAgent {
+ public:
+  /// The classifier is owned by the host (kernel); the agent programs it.
+  HostAgent(HostId host, NpgId npg, QosClass qos, AgentConfig config,
+            std::unique_ptr<Meter> meter, EntitlementQuery query, RateStore& store,
+            BpfClassifier& classifier);
+
+  /// Reports this host's currently measured egress rates for the service
+  /// (set by the traffic source each cycle before tick()).
+  void observe_local(Gbps total, Gbps conform);
+
+  /// Advances the agent to `now`: publishes local rates and/or runs a
+  /// metering cycle when the respective intervals elapsed. Returns true if a
+  /// metering cycle ran.
+  bool tick(double now_seconds);
+
+  [[nodiscard]] HostId host() const { return host_; }
+  [[nodiscard]] double non_conform_ratio() const { return meter_->non_conform_ratio(); }
+
+ private:
+  void run_metering_cycle(double now_seconds);
+
+  HostId host_;
+  NpgId npg_;
+  QosClass qos_;
+  AgentConfig config_;
+  std::unique_ptr<Meter> meter_;
+  EntitlementQuery query_;
+  RateStore& store_;
+  BpfClassifier& classifier_;
+
+  Gbps local_total_;
+  Gbps local_conform_;
+  double last_publish_ = -1e18;
+  double last_metering_ = -1e18;
+  double programmed_ratio_ = -1.0;  // <0: nothing programmed yet
+};
+
+}  // namespace netent::enforce

@@ -1,0 +1,21 @@
+#include "enforce/bpf.h"
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+void BpfClassifier::program(NpgId npg, QosClass qos, double non_conform_ratio) {
+  NETENT_EXPECTS(non_conform_ratio >= 0.0 && non_conform_ratio <= 1.0);
+  ratios_[{npg.value(), qos}] = non_conform_ratio;
+}
+
+void BpfClassifier::unprogram(NpgId npg, QosClass qos) { ratios_.erase({npg.value(), qos}); }
+
+std::uint8_t BpfClassifier::classify(const EgressMeta& meta) const {
+  const auto it = ratios_.find({meta.npg.value(), meta.qos});
+  if (it == ratios_.end()) return dscp_for(meta.qos);
+  if (marker_.non_conforming(meta.host, meta.flow_id, it->second)) return kNonConformingDscp;
+  return dscp_for(meta.qos);
+}
+
+}  // namespace netent::enforce

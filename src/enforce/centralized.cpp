@@ -1,0 +1,124 @@
+#include "enforce/centralized.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+std::vector<double> max_min_fair(std::span<const double> demands, double capacity) {
+  NETENT_EXPECTS(capacity >= 0.0);
+  std::vector<double> allocation(demands.size(), 0.0);
+  if (demands.empty()) return allocation;
+
+  std::vector<std::size_t> unsatisfied;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    NETENT_EXPECTS(demands[i] >= 0.0);
+    unsatisfied.push_back(i);
+  }
+
+  double remaining = capacity;
+  // Water filling: repeatedly grant the smallest unsatisfied demand or the
+  // fair share, whichever is lower.
+  while (!unsatisfied.empty() && remaining > 1e-12) {
+    const double share = remaining / static_cast<double>(unsatisfied.size());
+    bool someone_satisfied = false;
+    std::vector<std::size_t> next;
+    for (const std::size_t i : unsatisfied) {
+      const double want = demands[i] - allocation[i];
+      if (want <= share + 1e-12) {
+        allocation[i] += want;
+        remaining -= want;
+        someone_satisfied = true;
+      } else {
+        next.push_back(i);
+      }
+    }
+    if (!someone_satisfied) {
+      // Everyone is demand-limited by the share: final equal split.
+      for (const std::size_t i : next) {
+        allocation[i] += share;
+        remaining -= share;
+      }
+      break;
+    }
+    unsatisfied = std::move(next);
+  }
+  return allocation;
+}
+
+CentralController::CentralController(ControllerConfig config, EntitlementQuery query)
+    : config_(config), query_(std::move(query)) {
+  NETENT_EXPECTS(query_ != nullptr);
+  NETENT_EXPECTS(config_.per_report_cost_us >= 0.0);
+}
+
+std::vector<RateLimitDecision> CentralController::control_cycle(
+    std::span<const HostReport> reports, double now_seconds) {
+  std::vector<RateLimitDecision> decisions(reports.size());
+
+  if (failed_) {
+    // Stale limits keep being enforced; new hosts run unlimited.
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+      decisions[i].host = reports[i].host;
+      const auto it = last_limits_.find(reports[i].host.value());
+      decisions[i].limit = it != last_limits_.end() ? Gbps(it->second) : Gbps(1e12);
+    }
+    return decisions;
+  }
+
+  last_cycle_cost_us_ = config_.per_report_cost_us * static_cast<double>(reports.size());
+
+  // Group reports per (NPG, QoS) and allocate each group's entitlement
+  // max-min fairly across its hosts.
+  std::map<std::pair<std::uint32_t, QosClass>, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    groups[{reports[i].npg.value(), reports[i].qos}].push_back(i);
+    decisions[i].host = reports[i].host;
+    decisions[i].limit = Gbps(1e12);  // default: no contract, no limit
+  }
+
+  for (const auto& [key, indices] : groups) {
+    const auto answer = query_(NpgId(key.first), key.second, now_seconds);
+    if (!answer.found) continue;
+    std::vector<double> demands;
+    demands.reserve(indices.size());
+    for (const std::size_t i : indices) demands.push_back(reports[i].demand.value());
+    const auto allocation = max_min_fair(demands, answer.entitled_rate.value());
+    for (std::size_t k = 0; k < indices.size(); ++k) {
+      decisions[indices[k]].limit = Gbps(allocation[k]);
+    }
+  }
+
+  last_limits_.clear();
+  for (const RateLimitDecision& decision : decisions) {
+    last_limits_[decision.host.value()] = decision.limit.value();
+  }
+  return decisions;
+}
+
+SourceRateLimiter::SourceRateLimiter(double burst_allowance)
+    : burst_allowance_(burst_allowance) {
+  NETENT_EXPECTS(burst_allowance >= 0.0);
+}
+
+void SourceRateLimiter::apply(RateLimitDecision decision) {
+  NETENT_EXPECTS(decision.limit >= Gbps(0));
+  limits_[decision.host.value()] = decision.limit.value();
+}
+
+Gbps SourceRateLimiter::shape(HostId host, Gbps demand) const {
+  NETENT_EXPECTS(demand >= Gbps(0));
+  const auto it = limits_.find(host.value());
+  if (it == limits_.end()) return demand;
+  const double cap = it->second * (1.0 + burst_allowance_);
+  return Gbps(std::min(demand.value(), cap));
+}
+
+std::optional<Gbps> SourceRateLimiter::limit_of(HostId host) const {
+  const auto it = limits_.find(host.value());
+  if (it == limits_.end()) return std::nullopt;
+  return Gbps(it->second);
+}
+
+}  // namespace netent::enforce

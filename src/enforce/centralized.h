@@ -1,0 +1,105 @@
+// The FIRST-generation bandwidth manager (§5.1 "First Iteration"): a
+// centralized controller connected to every endhost agent. The controller
+// queries the contract database, collects traffic stats from each agent,
+// computes per-host rate limits, and pushes them back; agents shape egress
+// traffic at the source (the iptables/qdisc model).
+//
+// Kept in the library for the architecture-evolution ablation: it works at
+// O(10k) hosts but (a) per-host rate computation at the controller scales
+// poorly, (b) a controller failure stalls enforcement fleet-wide, and
+// (c) source rate-limiting makes co-flow completion suffer even when the
+// network is NOT congested — the three §5.1 reasons Meta moved to the
+// distributed marking architecture.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "enforce/agent.h"  // EntitlementQuery
+
+namespace netent::enforce {
+
+/// One agent's periodic stats report to the controller.
+struct HostReport {
+  HostId host;
+  NpgId npg;
+  QosClass qos = QosClass::c4_high;
+  Gbps demand;  ///< what the host wants to send this cycle
+};
+
+/// The controller's decision for one host: a hard egress rate limit
+/// (applied by the kernel qdisc in the first-generation agents).
+struct RateLimitDecision {
+  HostId host;
+  Gbps limit;
+};
+
+struct ControllerConfig {
+  /// Per-report processing cost at the controller, modeling the §5.1
+  /// scalability wall; exposed so the ablation bench can report cycle
+  /// latency as a function of fleet size.
+  double per_report_cost_us = 5.0;
+  /// Fraction of each host's limit it may burst above before shaping (the
+  /// qdisc token-bucket allowance).
+  double burst_allowance = 0.0;
+};
+
+/// Centralized controller: collects reports, computes max-min fair per-host
+/// limits within each (NPG, QoS) entitlement, and returns the decisions.
+class CentralController {
+ public:
+  CentralController(ControllerConfig config, EntitlementQuery query);
+
+  /// Runs one control cycle over the full fleet's reports. Returns one
+  /// decision per report (input order). `now_seconds` drives contract
+  /// lookups. When the controller is marked failed, the previous decisions
+  /// are returned unchanged for known hosts (stale limits — the §5.1
+  /// reliability hazard) and unlimited for unknown ones.
+  [[nodiscard]] std::vector<RateLimitDecision> control_cycle(
+      std::span<const HostReport> reports, double now_seconds);
+
+  /// Simulated controller failure switch.
+  void set_failed(bool failed) { failed_ = failed; }
+  [[nodiscard]] bool failed() const { return failed_; }
+
+  /// Modeled controller compute time of the last cycle, microseconds.
+  [[nodiscard]] double last_cycle_cost_us() const { return last_cycle_cost_us_; }
+
+ private:
+  ControllerConfig config_;
+  EntitlementQuery query_;
+  bool failed_ = false;
+  double last_cycle_cost_us_ = 0.0;
+  std::map<std::uint32_t, double> last_limits_;  // host -> Gbps
+};
+
+/// Max-min fair allocation of `capacity` across `demands`: every demand is
+/// satisfied up to the fair share; unused share is redistributed (water
+/// filling). Exposed for tests and reuse.
+[[nodiscard]] std::vector<double> max_min_fair(std::span<const double> demands, double capacity);
+
+/// First-generation endhost shaper: applies the controller's limit at the
+/// source (token-bucket view collapsed to a fluid cap).
+class SourceRateLimiter {
+ public:
+  explicit SourceRateLimiter(double burst_allowance = 0.0);
+
+  void apply(RateLimitDecision decision);
+
+  /// Egress rate actually sent given the host's demand; traffic above the
+  /// limit is queued/dropped at the host (never reaches the network).
+  [[nodiscard]] Gbps shape(HostId host, Gbps demand) const;
+
+  [[nodiscard]] std::optional<Gbps> limit_of(HostId host) const;
+
+ private:
+  double burst_allowance_;
+  std::map<std::uint32_t, double> limits_;  // host -> Gbps
+};
+
+}  // namespace netent::enforce

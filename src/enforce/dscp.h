@@ -1,0 +1,43 @@
+// DSCP marking plan (§5.1): every QoS class has a conforming DSCP code
+// point; non-conforming traffic is remarked to one dedicated value that
+// switches across DC and backbone map to the lowest-priority queue,
+// regardless of the original class (§5.1 footnote).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.h"
+
+namespace netent::enforce {
+
+/// DSCP carried by non-conforming (remarked) traffic.
+inline constexpr std::uint8_t kNonConformingDscp = 1;
+
+/// Conforming DSCP for a QoS class (distinct, ordered by priority).
+[[nodiscard]] constexpr std::uint8_t dscp_for(QosClass qos) {
+  // AF-style code points, descending priority c1_low..c4_high.
+  constexpr std::uint8_t table[kQosClassCount] = {46, 40, 34, 30, 26, 22, 18, 10};
+  return table[static_cast<std::uint8_t>(qos)];
+}
+
+/// Reverse lookup; nullopt for the non-conforming DSCP or unknown values.
+[[nodiscard]] constexpr std::optional<QosClass> class_for(std::uint8_t dscp) {
+  for (std::uint8_t i = 0; i < kQosClassCount; ++i) {
+    if (dscp_for(static_cast<QosClass>(i)) == dscp) return static_cast<QosClass>(i);
+  }
+  return std::nullopt;
+}
+
+/// Switch queue index for a DSCP: queues 0..7 serve the conforming classes
+/// in priority order, queue 8 (lowest priority) serves non-conforming
+/// traffic.
+inline constexpr std::size_t kQueueCount = kQosClassCount + 1;
+inline constexpr std::size_t kNonConformingQueue = kQosClassCount;
+
+[[nodiscard]] constexpr std::size_t queue_for(std::uint8_t dscp) {
+  if (const auto qos = class_for(dscp)) return static_cast<std::size_t>(*qos);
+  return kNonConformingQueue;
+}
+
+}  // namespace netent::enforce

@@ -1,0 +1,60 @@
+#include "enforce/ingress_meter.h"
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+IngressMeterPlanner::IngressMeterPlanner(RegionId destination, IngressMeterConfig config)
+    : destination_(destination), config_(config) {
+  NETENT_EXPECTS(config_.floor_fraction >= 0.0 && config_.floor_fraction < 1.0);
+  NETENT_EXPECTS(config_.smoothing > 0.0 && config_.smoothing <= 1.0);
+}
+
+std::vector<SourceMeter> IngressMeterPlanner::plan(
+    Gbps ingress_entitled, std::span<const SourceObservation> observations) {
+  NETENT_EXPECTS(ingress_entitled >= Gbps(0));
+
+  // EWMA-update shares with this cycle's observations; decay unseen sources.
+  std::map<std::uint32_t, bool> seen;
+  for (const SourceObservation& obs : observations) {
+    NETENT_EXPECTS(obs.source != destination_);
+    NETENT_EXPECTS(obs.observed_rate >= Gbps(0));
+    auto [it, inserted] = share_.emplace(obs.source.value(), obs.observed_rate.value());
+    if (!inserted) {
+      it->second = (1.0 - config_.smoothing) * it->second +
+                   config_.smoothing * obs.observed_rate.value();
+    }
+    seen[obs.source.value()] = true;
+  }
+  for (auto it = share_.begin(); it != share_.end();) {
+    if (!seen.contains(it->first)) {
+      it->second *= 1.0 - config_.smoothing;
+      if (it->second < 1e-9) {
+        it = share_.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+
+  std::vector<SourceMeter> meters;
+  if (share_.empty()) return meters;
+
+  double weight_total = 0.0;
+  for (const auto& [src, weight] : share_) weight_total += weight;
+
+  const double floor_pool = ingress_entitled.value() * config_.floor_fraction;
+  const double floor_each = floor_pool / static_cast<double>(share_.size());
+  const double proportional_pool = ingress_entitled.value() - floor_pool;
+
+  meters.reserve(share_.size());
+  for (const auto& [src, weight] : share_) {
+    const double proportional =
+        weight_total > 0.0 ? proportional_pool * weight / weight_total
+                           : proportional_pool / static_cast<double>(share_.size());
+    meters.push_back({RegionId(src), Gbps(floor_each + proportional)});
+  }
+  return meters;
+}
+
+}  // namespace netent::enforce

@@ -1,0 +1,61 @@
+// Ingress metering (§8 "Ingress metering"). The run-time system enforces
+// egress entitlements at the source host; a destination region's INGRESS
+// entitlement cannot be enforced there, because metering only works at the
+// source. The planner below performs the paper's translation: it splits a
+// destination's ingress entitlement hose into a distributed set of per-source
+// egress sub-entitlements, proportional to each source's recent observed
+// contribution, with a floor so new sources are never starved, and EWMA
+// smoothing so shares do not thrash between cycles. Each source region's
+// agents then enforce their sub-entitlement with the ordinary §5 machinery.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace netent::enforce {
+
+/// Observed egress of one source region toward the metered destination.
+struct SourceObservation {
+  RegionId source;
+  Gbps observed_rate;
+};
+
+/// One source region's egress sub-entitlement toward the destination.
+struct SourceMeter {
+  RegionId source;
+  Gbps sub_entitlement;
+};
+
+struct IngressMeterConfig {
+  /// Fraction of the ingress entitlement reserved as a uniform floor across
+  /// sources (headroom for shifting traffic; keeps new sources unblocked).
+  double floor_fraction = 0.1;
+  /// EWMA weight of the newest observation when updating source shares.
+  double smoothing = 0.3;
+};
+
+/// Centralized planner for one (NPG, QoS, destination region). Stateful:
+/// shares are smoothed across planning cycles.
+class IngressMeterPlanner {
+ public:
+  IngressMeterPlanner(RegionId destination, IngressMeterConfig config);
+
+  /// Computes the per-source sub-entitlements for this cycle. Observations
+  /// missing for a previously seen source decay its share toward zero.
+  /// The sub-entitlements always sum to exactly `ingress_entitled`.
+  [[nodiscard]] std::vector<SourceMeter> plan(Gbps ingress_entitled,
+                                              std::span<const SourceObservation> observations);
+
+  [[nodiscard]] RegionId destination() const { return destination_; }
+
+ private:
+  RegionId destination_;
+  IngressMeterConfig config_;
+  std::map<std::uint32_t, double> share_;  // source region -> smoothed share weight
+};
+
+}  // namespace netent::enforce

@@ -1,0 +1,66 @@
+#include "enforce/meter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+namespace {
+constexpr double kEpsGbps = 1e-9;
+}
+
+double StatelessMeter::update(const MeterInput& input) {
+  NETENT_EXPECTS(input.total_rate >= Gbps(0));
+  NETENT_EXPECTS(input.entitled_rate >= Gbps(0));
+
+  if (input.total_rate.value() <= kEpsGbps ||
+      input.total_rate <= input.entitled_rate) {
+    // At or below entitlement: nothing to remark (Equation 4 would go
+    // negative). This is exactly the statelessness that causes oscillation.
+    conform_ratio_ = 1.0;
+    return 0.0;
+  }
+  const double non_conform =
+      (input.total_rate - input.entitled_rate).value() / input.total_rate.value();
+  conform_ratio_ = 1.0 - non_conform;  // Equation 5
+  return non_conform;
+}
+
+StatefulMeter::StatefulMeter(double max_step, double gain) : max_step_(max_step), gain_(gain) {
+  NETENT_EXPECTS(max_step > 1.0);
+  NETENT_EXPECTS(gain > 0.0 && gain <= 1.0);
+}
+
+double StatefulMeter::update(const MeterInput& input) {
+  NETENT_EXPECTS(input.total_rate >= Gbps(0));
+  NETENT_EXPECTS(input.conform_rate >= Gbps(0));
+  NETENT_EXPECTS(input.entitled_rate >= Gbps(0));
+
+  if (input.total_rate < input.entitled_rate) {
+    // Back in conformance: exponential unthrottle, rapid but not immediate
+    // so a rate hovering around the entitlement does not flap. Strict
+    // inequality matters: at the 100%-loss equilibrium the observed total
+    // equals the entitlement exactly, and doubling there would oscillate.
+    // The recovery step is damped by the same gain as the correction step
+    // (2^gain == 2 for the paper's undamped meter).
+    conform_ratio_ = std::min(1.0, std::pow(2.0, gain_) * conform_ratio_);
+    return 1.0 - conform_ratio_;
+  }
+
+  // Equation 6: ConformRatio = EntitledRate / ConformRate * PrevConformRatio,
+  // with the correction damped by `gain` (factor^gain) and clamped.
+  double factor;
+  if (input.conform_rate.value() <= kEpsGbps) {
+    factor = max_step_;  // nothing conforming observed: grow as fast as allowed
+  } else {
+    factor = input.entitled_rate.value() / input.conform_rate.value();
+    factor = std::clamp(factor, 1.0 / max_step_, max_step_);
+  }
+  if (gain_ != 1.0) factor = std::pow(factor, gain_);
+  conform_ratio_ = std::clamp(conform_ratio_ * factor, 0.0, 1.0);
+  return 1.0 - conform_ratio_;  // Equation 7
+}
+
+}  // namespace netent::enforce

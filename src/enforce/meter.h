@@ -1,0 +1,72 @@
+// Metering algorithms (§5.2): given the service-wide observed rates and the
+// contract's EntitledRate, decide which fraction of traffic each agent should
+// remark as non-conforming.
+//
+// Two implementations:
+//  * StatelessMeter — Equations 4-5. Uses only the current TotalRate; fails
+//    under congestion because dropped non-conforming traffic vanishes from
+//    TotalRate and the meter un-marks everything (the Figure 23-24
+//    oscillation).
+//  * StatefulMeter — Equations 6-7. Tracks the previous ConformRatio and
+//    corrects it using the conforming rate only, with exponential (2x)
+//    recovery when the service returns to conformance (Figure 25).
+#pragma once
+
+#include "common/units.h"
+
+namespace netent::enforce {
+
+/// Observed service-aggregate rates for one metering cycle.
+struct MeterInput {
+  Gbps total_rate;    ///< all traffic of the service (conforming + non-conforming)
+  Gbps conform_rate;  ///< traffic currently marked conforming
+  Gbps entitled_rate; ///< the contract's EntitledRate
+};
+
+/// Interface shared by the §5.2 algorithms. `update` is called once per
+/// metering cycle and returns the NonConformRatio for the next cycle.
+class Meter {
+ public:
+  virtual ~Meter() = default;
+
+  /// Advances one cycle; returns the new NonConformRatio in [0, 1].
+  virtual double update(const MeterInput& input) = 0;
+
+  /// ConformRatio currently in force (1 - NonConformRatio).
+  [[nodiscard]] virtual double conform_ratio() const = 0;
+
+  [[nodiscard]] double non_conform_ratio() const { return 1.0 - conform_ratio(); }
+};
+
+/// Equations 4-5: NonConformRatio = (TotalRate - EntitledRate) / TotalRate.
+class StatelessMeter final : public Meter {
+ public:
+  double update(const MeterInput& input) override;
+  [[nodiscard]] double conform_ratio() const override { return conform_ratio_; }
+
+ private:
+  double conform_ratio_ = 1.0;
+};
+
+/// Equations 6-7 plus the 2x rapid-unthrottle rule.
+class StatefulMeter final : public Meter {
+ public:
+  /// `max_step` bounds the per-cycle multiplicative change of ConformRatio
+  /// (guards against a near-zero ConformRate producing a wild swing).
+  /// `gain` damps the multiplicative correction (factor^gain): 1.0 is the
+  /// paper's Equation 6 and is right when rates are observed instantly;
+  /// deployments whose rate aggregation lags by a cycle or two (distributed
+  /// store) need gain < 1 to keep the delayed feedback loop from limit-
+  /// cycling around the entitlement.
+  explicit StatefulMeter(double max_step = 2.0, double gain = 1.0);
+
+  double update(const MeterInput& input) override;
+  [[nodiscard]] double conform_ratio() const override { return conform_ratio_; }
+
+ private:
+  double conform_ratio_ = 1.0;
+  double max_step_;
+  double gain_;
+};
+
+}  // namespace netent::enforce

@@ -1,0 +1,55 @@
+#include "enforce/ratestore.h"
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+RateStore::RateStore(double visibility_delay_seconds)
+    : visibility_delay_(visibility_delay_seconds) {
+  NETENT_EXPECTS(visibility_delay_seconds >= 0.0);
+}
+
+void RateStore::publish(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps conform,
+                        double now_seconds) {
+  NETENT_EXPECTS(total >= Gbps(0));
+  NETENT_EXPECTS(conform >= Gbps(0));
+  NETENT_EXPECTS(conform <= total + Gbps(1e-9));
+  auto& queue = samples_[{npg.value(), qos}][host.value()];
+  NETENT_EXPECTS(queue.empty() || queue.back().timestamp <= now_seconds);
+  queue.push_back({now_seconds, total.value(), conform.value()});
+}
+
+ServiceRates RateStore::aggregate(NpgId npg, QosClass qos, double now_seconds) const {
+  const double horizon = now_seconds - visibility_delay_;
+  ServiceRates rates{Gbps(0), Gbps(0)};
+  const auto service = samples_.find({npg.value(), qos});
+  if (service == samples_.end()) return rates;
+  for (const auto& [host, queue] : service->second) {
+    // Latest sample visible at the horizon.
+    const Sample* visible = nullptr;
+    for (const Sample& sample : queue) {
+      if (sample.timestamp <= horizon) {
+        visible = &sample;
+      } else {
+        break;
+      }
+    }
+    if (visible != nullptr) {
+      rates.total += Gbps(visible->total_gbps);
+      rates.conform += Gbps(visible->conform_gbps);
+    }
+  }
+  return rates;
+}
+
+void RateStore::compact(double now_seconds) {
+  const double horizon = now_seconds - visibility_delay_;
+  for (auto& [service, hosts] : samples_) {
+    for (auto& [host, queue] : hosts) {
+      // Keep the newest sample at or before the horizon plus everything after.
+      while (queue.size() >= 2 && queue[1].timestamp <= horizon) queue.pop_front();
+    }
+  }
+}
+
+}  // namespace netent::enforce

@@ -1,0 +1,57 @@
+// Simulated distributed key-value store for rate aggregation (§5.1: "Each
+// agent publishes flow rate information periodically using Meta's internal
+// distributed key-value store. These rates are aggregated remotely across
+// the entire service and read by the agent periodically."). The relevant
+// distributed-systems property is staleness: an aggregate read at time t
+// reflects what hosts had published by t - visibility_delay.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace netent::enforce {
+
+/// Service-aggregate rates as seen by an agent.
+struct ServiceRates {
+  Gbps total;
+  Gbps conform;
+};
+
+class RateStore {
+ public:
+  /// `visibility_delay_seconds` models publish + aggregation + fan-out lag.
+  explicit RateStore(double visibility_delay_seconds);
+
+  /// A host publishes its measured per-service rates.
+  void publish(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps conform,
+               double now_seconds);
+
+  /// Aggregate across all hosts of (npg, qos): for each host, the most
+  /// recent sample published at or before now - visibility_delay.
+  [[nodiscard]] ServiceRates aggregate(NpgId npg, QosClass qos, double now_seconds) const;
+
+  /// Drops samples that can no longer be visible (memory hygiene for long
+  /// simulations).
+  void compact(double now_seconds);
+
+  [[nodiscard]] double visibility_delay() const { return visibility_delay_; }
+
+ private:
+  struct Sample {
+    double timestamp;
+    double total_gbps;
+    double conform_gbps;
+  };
+  // Indexed by service key first so aggregate() touches only that service's
+  // publishers, not the whole fleet (the store serves O(100k) agents, §5).
+  using ServiceKey = std::pair<std::uint32_t, QosClass>;  // npg, qos
+
+  double visibility_delay_;
+  std::map<ServiceKey, std::map<std::uint32_t, std::deque<Sample>>> samples_;
+};
+
+}  // namespace netent::enforce

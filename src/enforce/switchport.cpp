@@ -1,0 +1,47 @@
+#include "enforce/switchport.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+PriorityQueueSwitch::PriorityQueueSwitch(Gbps capacity, double service_quantum_ms,
+                                         double max_queue_delay_ms)
+    : capacity_(capacity),
+      service_quantum_ms_(service_quantum_ms),
+      max_queue_delay_ms_(max_queue_delay_ms) {
+  NETENT_EXPECTS(capacity > Gbps(0));
+  NETENT_EXPECTS(service_quantum_ms > 0.0);
+  NETENT_EXPECTS(max_queue_delay_ms > 0.0);
+}
+
+std::vector<QueueOutcome> PriorityQueueSwitch::transmit(
+    std::span<const double> offered_per_queue) const {
+  NETENT_EXPECTS(offered_per_queue.size() == kQueueCount);
+
+  std::vector<QueueOutcome> outcomes(kQueueCount);
+  double remaining = capacity_.value();
+  double served_cumulative = 0.0;
+
+  for (std::size_t q = 0; q < kQueueCount; ++q) {
+    const double offered = offered_per_queue[q];
+    NETENT_EXPECTS(offered >= 0.0);
+    const double delivered = std::min(offered, remaining);
+    outcomes[q].delivered_gbps = delivered;
+    outcomes[q].dropped_gbps = offered - delivered;
+    remaining -= delivered;
+    served_cumulative += delivered;
+
+    // Queueing delay grows with the utilization seen by this priority level
+    // (its own service share plus everything served before it). An M/M/1-
+    // style load factor capped by the buffer bound.
+    const double utilization = std::min(served_cumulative / capacity_.value(), 0.999);
+    double delay = service_quantum_ms_ * utilization / (1.0 - utilization);
+    if (outcomes[q].dropped_gbps > 0.0) delay = max_queue_delay_ms_;  // full buffer
+    outcomes[q].queue_delay_ms = std::min(delay, max_queue_delay_ms_);
+  }
+  return outcomes;
+}
+
+}  // namespace netent::enforce

@@ -1,0 +1,57 @@
+#include "enforce/wfq.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+
+WeightedFairSwitch::WeightedFairSwitch(Gbps capacity, std::vector<double> weights)
+    : capacity_(capacity), weights_(std::move(weights)) {
+  NETENT_EXPECTS(capacity > Gbps(0));
+  NETENT_EXPECTS(!weights_.empty());
+  double sum = 0.0;
+  for (const double w : weights_) {
+    NETENT_EXPECTS(w > 0.0);
+    sum += w;
+  }
+  for (double& w : weights_) w /= sum;
+}
+
+std::vector<WfqOutcome> WeightedFairSwitch::transmit(std::span<const double> offered_gbps) const {
+  NETENT_EXPECTS(offered_gbps.size() == weights_.size());
+
+  const std::size_t n = weights_.size();
+  std::vector<WfqOutcome> outcomes(n);
+  std::vector<double> remaining(offered_gbps.begin(), offered_gbps.end());
+  for (const double offer : remaining) NETENT_EXPECTS(offer >= 0.0);
+
+  double capacity_left = capacity_.value();
+  // Water-filling rounds: serve each backlogged queue up to its weighted
+  // share of the remaining capacity; repeat while progress is possible.
+  for (int round = 0; round < 64 && capacity_left > 1e-9; ++round) {
+    double active_weight = 0.0;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (remaining[q] > 1e-9) active_weight += weights_[q];
+    }
+    if (active_weight <= 0.0) break;
+
+    bool progressed = false;
+    const double pool = capacity_left;
+    for (std::size_t q = 0; q < n; ++q) {
+      if (remaining[q] <= 1e-9) continue;
+      const double share = pool * weights_[q] / active_weight;
+      const double served = std::min(remaining[q], share);
+      outcomes[q].delivered_gbps += served;
+      remaining[q] -= served;
+      capacity_left -= served;
+      if (served > 1e-12) progressed = true;
+    }
+    if (!progressed) break;
+  }
+
+  for (std::size_t q = 0; q < n; ++q) outcomes[q].dropped_gbps = remaining[q];
+  return outcomes;
+}
+
+}  // namespace netent::enforce

@@ -1,0 +1,41 @@
+// Weighted-fair egress scheduling across QoS classes. The backbone's
+// cross-class isolation (§2.2: "we had deployed QoS isolation mechanisms to
+// protect traffic across different classes") guarantees each class a
+// capacity share while staying work-conserving. This is the pre-entitlement
+// baseline the incident figures (4-5) exercise: it protects classes from
+// each other but cannot protect well-behaved services from a misbehaving
+// service *within* the same class.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+
+namespace netent::enforce {
+
+struct WfqOutcome {
+  double delivered_gbps = 0.0;
+  double dropped_gbps = 0.0;
+};
+
+class WeightedFairSwitch {
+ public:
+  /// `weights` define each queue's guaranteed capacity share (normalized
+  /// internally; all must be > 0).
+  WeightedFairSwitch(Gbps capacity, std::vector<double> weights);
+
+  /// Water-filling allocation: every queue gets min(offer, guaranteed
+  /// share); unused share is redistributed to still-backlogged queues in
+  /// proportion to their weights until capacity or demand is exhausted.
+  [[nodiscard]] std::vector<WfqOutcome> transmit(std::span<const double> offered_gbps) const;
+
+  [[nodiscard]] Gbps capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t queue_count() const { return weights_.size(); }
+
+ private:
+  Gbps capacity_;
+  std::vector<double> weights_;  // normalized to sum 1
+};
+
+}  // namespace netent::enforce

@@ -1,0 +1,75 @@
+#include "forecast/backtest.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace netent::forecast {
+
+double BacktestReport::mean_smape() const {
+  NETENT_EXPECTS(!origins.empty());
+  double sum = 0.0;
+  for (const OriginScore& origin : origins) sum += origin.smape;
+  return sum / static_cast<double>(origins.size());
+}
+
+double BacktestReport::worst_smape() const {
+  NETENT_EXPECTS(!origins.empty());
+  double worst = 0.0;
+  for (const OriginScore& origin : origins) worst = std::max(worst, origin.smape);
+  return worst;
+}
+
+double BacktestReport::under_forecast_fraction() const {
+  NETENT_EXPECTS(!origins.empty());
+  std::size_t under = 0;
+  for (const OriginScore& origin : origins) {
+    if (origin.quota_error < 0.0) ++under;
+  }
+  return static_cast<double>(under) / static_cast<double>(origins.size());
+}
+
+BacktestReport backtest(const DemandForecaster& forecaster,
+                        std::span<const double> daily_history, std::span<const int> holidays,
+                        const BacktestConfig& config) {
+  NETENT_EXPECTS(config.train_days >= 14);
+  NETENT_EXPECTS(config.horizon_days >= 1);
+  NETENT_EXPECTS(config.origin_step_days >= 1);
+  NETENT_EXPECTS(daily_history.size() >= config.train_days + config.horizon_days);
+  NETENT_EXPECTS(forecaster.config().horizon_days >= config.horizon_days);
+
+  BacktestReport report;
+  for (std::size_t origin = config.train_days;
+       origin + config.horizon_days <= daily_history.size();
+       origin += config.origin_step_days) {
+    const std::span<const double> train =
+        daily_history.subspan(origin - config.train_days, config.train_days);
+    const std::span<const double> realized = daily_history.subspan(origin, config.horizon_days);
+
+    // The forecaster fits with day 0 = window start; shift holiday indices
+    // into window coordinates (negative ones fall before the window and are
+    // simply never matched).
+    std::vector<int> shifted;
+    shifted.reserve(holidays.size());
+    const auto offset = static_cast<long>(origin - config.train_days);
+    for (const int day : holidays) shifted.push_back(day - static_cast<int>(offset));
+
+    std::vector<double> predicted = forecaster.forecast_daily(train, shifted);
+    predicted.resize(config.horizon_days);
+    for (double& v : predicted) v = std::max(0.0, v);
+
+    OriginScore score;
+    score.origin_day = origin;
+    score.smape = smape(realized, predicted);
+    const double quota = forecaster.forecast_quota(train, shifted).value();
+    const double realized_p95 =
+        percentile_of(std::vector<double>(realized.begin(), realized.end()), 95.0);
+    score.quota_error = realized_p95 > 0.0 ? (quota - realized_p95) / realized_p95 : 0.0;
+    report.origins.push_back(score);
+  }
+  NETENT_ENSURES(!report.origins.empty());
+  return report;
+}
+
+}  // namespace netent::forecast

@@ -1,0 +1,48 @@
+// Rolling-origin backtesting for the demand forecaster. §7.1 evaluates
+// forecast accuracy by comparing actual usage against the forecast over
+// operated quarters; the backtester generalizes this to any history: slide
+// the forecast origin forward, fit on the trailing window, score the next
+// horizon, and aggregate the per-origin errors. This is how a forecast
+// configuration (aggregate choice, changepoints, quota percentile) is
+// validated before it decides real quotas.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "forecast/sli.h"
+
+namespace netent::forecast {
+
+struct BacktestConfig {
+  std::size_t train_days = 180;   ///< trailing window fed to the model
+  std::size_t horizon_days = 90;  ///< scored period after each origin
+  std::size_t origin_step_days = 30;  ///< slide between consecutive origins
+};
+
+/// Score of one forecast origin.
+struct OriginScore {
+  std::size_t origin_day = 0;  ///< first forecast day
+  double smape = 0.0;          ///< daily forecast vs realized daily values
+  /// Signed quota error: (quota - realized p95) / realized p95. Positive =
+  /// over-provisioned quota, negative = the §4.1 risk case (under-forecast).
+  double quota_error = 0.0;
+};
+
+struct BacktestReport {
+  std::vector<OriginScore> origins;
+
+  [[nodiscard]] double mean_smape() const;
+  [[nodiscard]] double worst_smape() const;
+  /// Fraction of origins whose quota under-covered realized p95 usage.
+  [[nodiscard]] double under_forecast_fraction() const;
+};
+
+/// Backtests `forecaster` on one pipe's daily history. Requires enough data
+/// for at least one full (train + horizon) window.
+[[nodiscard]] BacktestReport backtest(const DemandForecaster& forecaster,
+                                      std::span<const double> daily_history,
+                                      std::span<const int> holidays,
+                                      const BacktestConfig& config);
+
+}  // namespace netent::forecast

@@ -1,0 +1,70 @@
+#include "forecast/gbdt.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace netent::forecast {
+
+QuantileGbdt QuantileGbdt::fit(const Matrix& x, std::span<const double> y,
+                               const GbdtConfig& config) {
+  NETENT_EXPECTS(x.rows() == y.size());
+  NETENT_EXPECTS(config.alpha > 0.0 && config.alpha < 1.0);
+  NETENT_EXPECTS(config.learning_rate > 0.0 && config.learning_rate <= 1.0);
+  NETENT_EXPECTS(config.rounds >= 1);
+
+  QuantileGbdt model;
+  model.learning_rate_ = config.learning_rate;
+  model.base_prediction_ =
+      percentile_of(std::vector<double>(y.begin(), y.end()), config.alpha * 100.0);
+
+  const std::size_t n = x.rows();
+  std::vector<double> prediction(n, model.base_prediction_);
+  std::vector<double> gradient(n);
+  std::vector<std::vector<double>> leaf_residuals;
+
+  for (std::size_t round = 0; round < config.rounds; ++round) {
+    // Negative gradient of pinball loss: alpha when under-predicting,
+    // alpha - 1 when over-predicting.
+    for (std::size_t i = 0; i < n; ++i) {
+      gradient[i] = (y[i] > prediction[i]) ? config.alpha : config.alpha - 1.0;
+    }
+    RegressionTree tree = RegressionTree::fit(x, gradient, config.tree);
+
+    // Replace each leaf's value with the alpha-quantile of the residuals
+    // y - prediction of the samples routed to that leaf.
+    leaf_residuals.assign(tree.leaf_count(), {});
+    for (std::size_t i = 0; i < n; ++i) {
+      leaf_residuals[tree.leaf_index(x.row(i))].push_back(y[i] - prediction[i]);
+    }
+    for (std::size_t leaf = 0; leaf < tree.leaf_count(); ++leaf) {
+      if (leaf_residuals[leaf].empty()) {
+        tree.set_leaf_value(leaf, 0.0);
+      } else {
+        tree.set_leaf_value(leaf,
+                            percentile_of(std::move(leaf_residuals[leaf]), config.alpha * 100.0));
+      }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+      prediction[i] += config.learning_rate * tree.predict(x.row(i));
+    }
+    model.trees_.push_back(std::move(tree));
+  }
+  return model;
+}
+
+double QuantileGbdt::predict(std::span<const double> features) const {
+  double sum = base_prediction_;
+  for (const RegressionTree& tree : trees_) sum += learning_rate_ * tree.predict(features);
+  return sum;
+}
+
+std::vector<double> QuantileGbdt::predict_all(const Matrix& x) const {
+  std::vector<double> out(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out[i] = predict(x.row(i));
+  return out;
+}
+
+}  // namespace netent::forecast

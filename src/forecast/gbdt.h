@@ -1,0 +1,40 @@
+// Gradient-boosted regression trees with quantile (pinball) loss, the §4.1
+// inorganic-change model ("a tree-based model with quantile loss, e.g.
+// alpha = 0.5"). Boosting follows the classic LAD-style recipe: each tree is
+// fit to the negative gradient of the pinball loss, then its leaf values are
+// replaced by the alpha-quantile of the residuals in the leaf.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+#include "forecast/tree.h"
+
+namespace netent::forecast {
+
+struct GbdtConfig {
+  std::size_t rounds = 80;
+  double learning_rate = 0.1;
+  double alpha = 0.5;  ///< target quantile
+  TreeConfig tree;
+};
+
+class QuantileGbdt {
+ public:
+  [[nodiscard]] static QuantileGbdt fit(const Matrix& x, std::span<const double> y,
+                                        const GbdtConfig& config);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+  [[nodiscard]] std::vector<double> predict_all(const Matrix& x) const;
+  [[nodiscard]] std::size_t tree_count() const { return trees_.size(); }
+
+ private:
+  QuantileGbdt() = default;
+
+  double base_prediction_ = 0.0;  ///< alpha-quantile of the training target
+  double learning_rate_ = 0.1;
+  std::vector<RegressionTree> trees_;
+};
+
+}  // namespace netent::forecast

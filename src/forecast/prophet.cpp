@@ -1,0 +1,138 @@
+#include "forecast/prophet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/matrix.h"
+
+namespace netent::forecast {
+
+// Coefficient layout in beta_:
+//   [0]                     intercept
+//   [1]                     base slope (per day)
+//   [2 .. 2+C)              changepoint slope deltas, hinge max(0, t - c_j)
+//   next 2*W                weekly Fourier (sin, cos pairs, k = 1..W)
+//   next 2*Y                yearly Fourier (if enabled)
+//   last                    holiday indicator effect
+namespace {
+
+constexpr double kWeeklyPeriod = 7.0;
+constexpr double kYearlyPeriod = 365.25;
+
+std::size_t basis_size(const ProphetConfig& config) {
+  return 2 + config.changepoints + 2 * config.weekly_order +
+         (config.use_yearly ? 2 * config.yearly_order : 0) + 1;
+}
+
+void fill_row(std::span<double> row, double day, const ProphetConfig& config,
+              std::span<const double> changepoints, bool holiday) {
+  std::size_t col = 0;
+  row[col++] = 1.0;
+  row[col++] = day;
+  for (const double cp : changepoints) row[col++] = std::max(0.0, day - cp);
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t k = 1; k <= config.weekly_order; ++k) {
+    row[col++] = std::sin(two_pi * static_cast<double>(k) * day / kWeeklyPeriod);
+    row[col++] = std::cos(two_pi * static_cast<double>(k) * day / kWeeklyPeriod);
+  }
+  if (config.use_yearly) {
+    for (std::size_t k = 1; k <= config.yearly_order; ++k) {
+      row[col++] = std::sin(two_pi * static_cast<double>(k) * day / kYearlyPeriod);
+      row[col++] = std::cos(two_pi * static_cast<double>(k) * day / kYearlyPeriod);
+    }
+  }
+  row[col++] = holiday ? 1.0 : 0.0;
+  NETENT_ENSURES(col == row.size());
+}
+
+}  // namespace
+
+ProphetModel ProphetModel::fit(std::span<const double> history, std::span<const int> holidays,
+                               const ProphetConfig& config) {
+  NETENT_EXPECTS(history.size() >= 14);
+  NETENT_EXPECTS(config.ridge_lambda >= 0.0);
+
+  ProphetModel model;
+  model.config_ = config;
+  model.history_days_ = history.size();
+  model.holidays_.assign(holidays.begin(), holidays.end());
+  std::sort(model.holidays_.begin(), model.holidays_.end());
+
+  // Changepoints evenly spaced over the first 80% of the history (Prophet's
+  // default placement), avoiding the endpoints.
+  const double usable = 0.8 * static_cast<double>(history.size());
+  for (std::size_t j = 1; j <= config.changepoints; ++j) {
+    model.changepoint_days_.push_back(usable * static_cast<double>(j) /
+                                      static_cast<double>(config.changepoints + 1));
+  }
+
+  const std::size_t p = basis_size(config);
+  Matrix x(history.size(), p);
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    const bool holiday = std::binary_search(model.holidays_.begin(), model.holidays_.end(),
+                                            static_cast<int>(t));
+    fill_row(x.row(t), static_cast<double>(t), config, model.changepoint_days_, holiday);
+  }
+  // Prophet-style regularization: only the changepoint slope deltas carry the
+  // configured penalty (a sparse-changepoints prior); intercept, base slope,
+  // seasonality, and holiday effects are fit unpenalized.
+  std::vector<double> penalty(p, 0.0);
+  for (std::size_t j = 0; j < config.changepoints; ++j) {
+    penalty[2 + j] = config.ridge_lambda;
+  }
+  model.beta_ = ridge_regression(x, history, penalty);
+  return model;
+}
+
+bool ProphetModel::is_holiday(double day) const {
+  return std::binary_search(holidays_.begin(), holidays_.end(),
+                            static_cast<int>(std::llround(day)));
+}
+
+double ProphetModel::predict(double day) const {
+  std::vector<double> row(basis_size(config_));
+  fill_row(row, day, config_, changepoint_days_, is_holiday(day));
+  double sum = 0.0;
+  for (std::size_t i = 0; i < row.size(); ++i) sum += row[i] * beta_[i];
+  return sum;
+}
+
+std::vector<double> ProphetModel::predict_range(std::size_t start_day, std::size_t count) const {
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(predict(static_cast<double>(start_day + i)));
+  return out;
+}
+
+double ProphetModel::trend(double day) const {
+  double sum = beta_[0] + beta_[1] * day;
+  for (std::size_t j = 0; j < changepoint_days_.size(); ++j) {
+    sum += beta_[2 + j] * std::max(0.0, day - changepoint_days_[j]);
+  }
+  return sum;
+}
+
+double ProphetModel::seasonality(double day) const {
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  std::size_t col = 2 + changepoint_days_.size();
+  double sum = 0.0;
+  for (std::size_t k = 1; k <= config_.weekly_order; ++k) {
+    sum += beta_[col++] * std::sin(two_pi * static_cast<double>(k) * day / kWeeklyPeriod);
+    sum += beta_[col++] * std::cos(two_pi * static_cast<double>(k) * day / kWeeklyPeriod);
+  }
+  if (config_.use_yearly) {
+    for (std::size_t k = 1; k <= config_.yearly_order; ++k) {
+      sum += beta_[col++] * std::sin(two_pi * static_cast<double>(k) * day / kYearlyPeriod);
+      sum += beta_[col++] * std::cos(two_pi * static_cast<double>(k) * day / kYearlyPeriod);
+    }
+  }
+  return sum;
+}
+
+double ProphetModel::holiday_effect(double day) const {
+  return is_holiday(day) ? beta_.back() : 0.0;
+}
+
+}  // namespace netent::forecast

@@ -1,0 +1,60 @@
+// Prophet-like time-series model (substitute for Meta's open-source Prophet,
+// DESIGN.md §1). Decomposes a daily series into the §4.1 components
+//   y(t) = trend(t) + seasonality(t) + holidays(t) + eps_t
+// where trend is piecewise-linear with evenly spaced changepoints,
+// seasonality is a Fourier expansion (weekly and yearly periods), and
+// holidays are indicator effects. The whole additive model is fit jointly by
+// ridge regression on a basis-function design matrix.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace netent::forecast {
+
+struct ProphetConfig {
+  std::size_t changepoints = 8;     ///< evenly spaced over the history
+  std::size_t weekly_order = 3;     ///< Fourier harmonics, period 7 days
+  std::size_t yearly_order = 2;     ///< Fourier harmonics, period 365.25 days
+  bool use_yearly = true;
+  double ridge_lambda = 0.5;        ///< keeps changepoint slopes tame
+};
+
+/// Fitted model. Extrapolation beyond the history continues the last trend
+/// segment (all changepoint hinges stay active), the standard Prophet
+/// behaviour.
+class ProphetModel {
+ public:
+  /// Fits on `history` (one sample per day, day 0 first). `holidays` lists
+  /// day indices that are holidays; indices beyond the history are allowed
+  /// (future holidays used at prediction time). History must cover at least
+  /// two weeks.
+  [[nodiscard]] static ProphetModel fit(std::span<const double> history,
+                                        std::span<const int> holidays,
+                                        const ProphetConfig& config);
+
+  /// Point prediction for (possibly fractional, possibly future) `day`.
+  [[nodiscard]] double predict(double day) const;
+
+  /// Predictions for days [start_day, start_day + count).
+  [[nodiscard]] std::vector<double> predict_range(std::size_t start_day,
+                                                  std::size_t count) const;
+
+  /// Individual components, for tests and attribution.
+  [[nodiscard]] double trend(double day) const;
+  [[nodiscard]] double seasonality(double day) const;
+  [[nodiscard]] double holiday_effect(double day) const;
+
+ private:
+  ProphetModel() = default;
+
+  [[nodiscard]] bool is_holiday(double day) const;
+
+  ProphetConfig config_;
+  std::vector<double> changepoint_days_;
+  std::vector<int> holidays_;          // sorted
+  std::vector<double> beta_;           // coefficient layout documented in .cpp
+  std::size_t history_days_ = 0;
+};
+
+}  // namespace netent::forecast

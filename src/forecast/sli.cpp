@@ -1,0 +1,75 @@
+#include "forecast/sli.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace netent::forecast {
+
+namespace {
+
+constexpr std::size_t kFeaturesPerResource = 3;  // servers, power, flash
+constexpr std::size_t kLags = 3;
+
+void fill_features(std::span<double> row, const MonthlySample& sample) {
+  std::size_t col = 0;
+  for (std::size_t lag = 0; lag < kLags; ++lag) row[col++] = sample.traffic_lag[lag];
+  for (std::size_t lag = 0; lag < kLags; ++lag) {
+    row[col++] = sample.resources_lag[lag].server_count;
+    row[col++] = sample.resources_lag[lag].power_kw;
+    row[col++] = sample.resources_lag[lag].flash_tb;
+  }
+  row[col++] = sample.resources_now.server_count;
+  row[col++] = sample.resources_now.power_kw;
+  row[col++] = sample.resources_now.flash_tb;
+  row[col++] = sample.organic_forecast;
+  NETENT_ENSURES(col == row.size());
+}
+
+}  // namespace
+
+std::size_t InorganicModel::feature_count() {
+  return kLags + (kLags + 1) * kFeaturesPerResource + 1;
+}
+
+InorganicModel InorganicModel::fit(std::span<const MonthlySample> samples,
+                                   std::span<const double> targets, const GbdtConfig& config) {
+  NETENT_EXPECTS(samples.size() == targets.size());
+  NETENT_EXPECTS(!samples.empty());
+
+  Matrix x(samples.size(), feature_count());
+  for (std::size_t i = 0; i < samples.size(); ++i) fill_features(x.row(i), samples[i]);
+
+  InorganicModel model;
+  model.model_ = QuantileGbdt::fit(x, targets, config);
+  return model;
+}
+
+double InorganicModel::predict(const MonthlySample& sample) const {
+  NETENT_EXPECTS(model_.has_value());
+  std::vector<double> row(feature_count());
+  fill_features(row, sample);
+  return model_->predict(row);
+}
+
+std::vector<double> DemandForecaster::daily_input(const traffic::TimeSeries& series) const {
+  return series.daily(config_.aggregate);
+}
+
+std::vector<double> DemandForecaster::forecast_daily(std::span<const double> daily_history,
+                                                     std::span<const int> holidays) const {
+  const ProphetModel model = ProphetModel::fit(daily_history, holidays, config_.prophet);
+  return model.predict_range(daily_history.size(), config_.horizon_days);
+}
+
+Gbps DemandForecaster::forecast_quota(std::span<const double> daily_history,
+                                      std::span<const int> holidays) const {
+  std::vector<double> forecast = forecast_daily(daily_history, holidays);
+  // Negative daily predictions (possible for tiny services with steep
+  // downward trends) are clamped: a quota is never negative.
+  for (double& v : forecast) v = std::max(0.0, v);
+  return Gbps(percentile_of(std::move(forecast), config_.quota_percentile));
+}
+
+}  // namespace netent::forecast

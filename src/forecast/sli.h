@@ -1,0 +1,100 @@
+// The SLI (Service Level Indicator) pipeline of §4.1: turns a service's
+// traffic history into the quarterly demand metric
+//   (NPG, QoS, src_region, dst_region, bandwidth)
+// that seeds the draft entitlement contract.
+//
+// Organic changes (trend/seasonality/holidays) are captured by the
+// Prophet-like model on daily aggregates; inorganic changes (region moves,
+// architecture changes) are captured by a quantile GBDT over monthly traffic
+// lags and resource regressors (power, server counts), per the paper's
+//   f(X_{t-1..3}, Y_{t-1..3}) -> X_t
+// formulation.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "forecast/gbdt.h"
+#include "forecast/prophet.h"
+#include "traffic/timeseries.h"
+
+namespace netent::forecast {
+
+/// One forecast demand record: the SLI metric of §4.1.
+struct SliRecord {
+  NpgId npg;
+  QosClass qos;
+  RegionId src;
+  RegionId dst;
+  Gbps bandwidth;
+};
+
+/// Resource regressors for inorganic modelling (power and regional fluidity
+/// usages: flash, disk, server counts - §4.1).
+struct ResourceSnapshot {
+  double server_count = 0.0;
+  double power_kw = 0.0;
+  double flash_tb = 0.0;
+};
+
+/// One training/inference sample of the monthly inorganic model: three lagged
+/// months of traffic (X) and resources (Y), plus the organic forecast for the
+/// target month.
+struct MonthlySample {
+  double traffic_lag[3] = {0.0, 0.0, 0.0};  ///< X_{t-1}, X_{t-2}, X_{t-3}
+  ResourceSnapshot resources_lag[3];        ///< Y_{t-1}, Y_{t-2}, Y_{t-3}
+  ResourceSnapshot resources_now;           ///< planned resources for month t
+  double organic_forecast = 0.0;            ///< time-series model output for month t
+};
+
+/// Quantile-GBDT wrapper with the fixed MonthlySample featurization.
+class InorganicModel {
+ public:
+  [[nodiscard]] static InorganicModel fit(std::span<const MonthlySample> samples,
+                                          std::span<const double> targets,
+                                          const GbdtConfig& config);
+
+  [[nodiscard]] double predict(const MonthlySample& sample) const;
+
+  /// Number of features in the featurization (for tests).
+  [[nodiscard]] static std::size_t feature_count();
+
+ private:
+  InorganicModel() = default;
+  std::optional<QuantileGbdt> model_;
+};
+
+struct ForecasterConfig {
+  traffic::DailyAggregate aggregate = traffic::DailyAggregate::max_avg_6h;
+  std::size_t horizon_days = 90;  ///< one quarter
+  double quota_percentile = 95.0; ///< quarter bandwidth = this pct of daily forecasts
+  ProphetConfig prophet;
+};
+
+/// Organic forecaster: daily history -> next-quarter bandwidth.
+class DemandForecaster {
+ public:
+  explicit DemandForecaster(ForecasterConfig config) : config_(std::move(config)) {}
+
+  /// Reduces a raw rate series to the model's daily input.
+  [[nodiscard]] std::vector<double> daily_input(const traffic::TimeSeries& series) const;
+
+  /// Fits on `daily_history` and returns the predicted daily values for the
+  /// next `horizon_days`.
+  [[nodiscard]] std::vector<double> forecast_daily(std::span<const double> daily_history,
+                                                   std::span<const int> holidays) const;
+
+  /// The quarter-level SLI bandwidth: quota percentile of the daily forecasts.
+  [[nodiscard]] Gbps forecast_quota(std::span<const double> daily_history,
+                                    std::span<const int> holidays) const;
+
+  [[nodiscard]] const ForecasterConfig& config() const { return config_; }
+
+ private:
+  ForecasterConfig config_;
+};
+
+}  // namespace netent::forecast

@@ -1,0 +1,144 @@
+#include "forecast/tree.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netent::forecast {
+
+namespace {
+
+struct Split {
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double score = std::numeric_limits<double>::infinity();  // weighted SSE
+  bool valid = false;
+};
+
+/// Best variance-reduction split over all features, scanning each feature in
+/// sorted order with running sums.
+Split best_split(const Matrix& x, std::span<const double> y,
+                 std::span<const std::size_t> indices, std::size_t min_samples_leaf) {
+  Split best;
+  const std::size_t n = indices.size();
+  if (n < 2 * min_samples_leaf) return best;
+
+  std::vector<std::pair<double, double>> feature_and_target(n);
+  for (std::size_t f = 0; f < x.cols(); ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      feature_and_target[i] = {x(indices[i], f), y[indices[i]]};
+    }
+    std::sort(feature_and_target.begin(), feature_and_target.end());
+
+    double total_sum = 0.0;
+    double total_sq = 0.0;
+    for (const auto& [fv, tv] : feature_and_target) {
+      total_sum += tv;
+      total_sq += tv * tv;
+    }
+    double left_sum = 0.0;
+    double left_sq = 0.0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      left_sum += feature_and_target[i].second;
+      left_sq += feature_and_target[i].second * feature_and_target[i].second;
+      const std::size_t left_n = i + 1;
+      const std::size_t right_n = n - left_n;
+      if (left_n < min_samples_leaf || right_n < min_samples_leaf) continue;
+      // Can't split between equal feature values.
+      if (feature_and_target[i].first == feature_and_target[i + 1].first) continue;
+      const double right_sum = total_sum - left_sum;
+      const double right_sq = total_sq - left_sq;
+      const double sse_left = left_sq - left_sum * left_sum / static_cast<double>(left_n);
+      const double sse_right = right_sq - right_sum * right_sum / static_cast<double>(right_n);
+      const double score = sse_left + sse_right;
+      if (score < best.score) {
+        best.score = score;
+        best.feature = f;
+        best.threshold = (feature_and_target[i].first + feature_and_target[i + 1].first) / 2.0;
+        best.valid = true;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+RegressionTree RegressionTree::fit(const Matrix& x, std::span<const double> y,
+                                   const TreeConfig& config) {
+  NETENT_EXPECTS(x.rows() == y.size());
+  NETENT_EXPECTS(x.rows() >= 1);
+  NETENT_EXPECTS(config.min_samples_leaf >= 1);
+
+  RegressionTree tree;
+  std::vector<std::size_t> indices(x.rows());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  tree.build(x, y, indices, 0, config);
+  return tree;
+}
+
+int RegressionTree::build(const Matrix& x, std::span<const double> y,
+                          std::vector<std::size_t>& indices, std::size_t depth,
+                          const TreeConfig& config) {
+  const auto make_leaf = [&] {
+    Node node;
+    node.leaf = leaf_count_++;
+    double sum = 0.0;
+    for (const std::size_t i : indices) sum += y[i];
+    node.value = sum / static_cast<double>(indices.size());
+    nodes_.push_back(node);
+    leaf_to_node_.push_back(nodes_.size() - 1);
+    return static_cast<int>(nodes_.size()) - 1;
+  };
+
+  if (depth >= config.max_depth || indices.size() < 2 * config.min_samples_leaf) {
+    return make_leaf();
+  }
+  const Split split = best_split(x, y, indices, config.min_samples_leaf);
+  if (!split.valid) return make_leaf();
+
+  std::vector<std::size_t> left_idx;
+  std::vector<std::size_t> right_idx;
+  for (const std::size_t i : indices) {
+    (x(i, split.feature) <= split.threshold ? left_idx : right_idx).push_back(i);
+  }
+  NETENT_ENSURES(!left_idx.empty() && !right_idx.empty());
+
+  // Reserve this node's slot before recursing so children get later indices.
+  nodes_.emplace_back();
+  const auto self = static_cast<int>(nodes_.size()) - 1;
+  const int left = build(x, y, left_idx, depth + 1, config);
+  const int right = build(x, y, right_idx, depth + 1, config);
+  nodes_[self].feature = split.feature;
+  nodes_[self].threshold = split.threshold;
+  nodes_[self].left = left;
+  nodes_[self].right = right;
+  return self;
+}
+
+const RegressionTree::Node& RegressionTree::descend(std::span<const double> features) const {
+  NETENT_EXPECTS(!nodes_.empty());
+  // Root is node 0 (the first node created, leaf or internal).
+  const Node* node = &nodes_[0];
+  while (node->leaf == npos) {
+    NETENT_EXPECTS(node->feature < features.size());
+    node = &nodes_[features[node->feature] <= node->threshold ? node->left : node->right];
+  }
+  return *node;
+}
+
+double RegressionTree::predict(std::span<const double> features) const {
+  return descend(features).value;
+}
+
+std::size_t RegressionTree::leaf_index(std::span<const double> features) const {
+  return descend(features).leaf;
+}
+
+void RegressionTree::set_leaf_value(std::size_t leaf, double value) {
+  NETENT_EXPECTS(leaf < leaf_count_);
+  nodes_[leaf_to_node_[leaf]].value = value;
+}
+
+}  // namespace netent::forecast

@@ -1,0 +1,57 @@
+// CART-style regression tree, the weak learner of the quantile GBDT used for
+// inorganic-change forecasting (§4.1: "these regressors are fit into a
+// tree-based model with quantile loss").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/matrix.h"
+
+namespace netent::forecast {
+
+struct TreeConfig {
+  std::size_t max_depth = 3;
+  std::size_t min_samples_leaf = 5;
+};
+
+/// Binary regression tree fit by greedy variance-reduction splits. Leaf
+/// values can be overridden post-fit (gradient boosting replaces them with
+/// loss-specific optimal values).
+class RegressionTree {
+ public:
+  /// `x` has one sample per row; `y` is the regression target.
+  [[nodiscard]] static RegressionTree fit(const Matrix& x, std::span<const double> y,
+                                          const TreeConfig& config);
+
+  [[nodiscard]] double predict(std::span<const double> features) const;
+
+  /// Index of the leaf a sample falls into (for leaf-value refitting).
+  [[nodiscard]] std::size_t leaf_index(std::span<const double> features) const;
+  [[nodiscard]] std::size_t leaf_count() const { return leaf_count_; }
+  void set_leaf_value(std::size_t leaf, double value);
+
+ private:
+  struct Node {
+    // Internal node: feature/threshold valid, left/right set, leaf == npos.
+    // Leaf: leaf is the dense leaf index, value is the prediction.
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    int left = -1;
+    int right = -1;
+    std::size_t leaf = npos;
+    double value = 0.0;
+  };
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  int build(const Matrix& x, std::span<const double> y, std::vector<std::size_t>& indices,
+            std::size_t depth, const TreeConfig& config);
+  [[nodiscard]] const Node& descend(std::span<const double> features) const;
+
+  std::vector<Node> nodes_;
+  std::vector<std::size_t> leaf_to_node_;
+  std::size_t leaf_count_ = 0;
+};
+
+}  // namespace netent::forecast

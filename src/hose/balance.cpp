@@ -1,0 +1,63 @@
+#include "hose/balance.h"
+
+#include <cmath>
+#include <map>
+
+#include "common/check.h"
+
+namespace netent::hose {
+
+namespace {
+
+struct Totals {
+  double egress = 0.0;
+  double ingress = 0.0;
+};
+
+std::map<QosClass, Totals> totals_per_class(std::span<const HoseRequest> hoses) {
+  std::map<QosClass, Totals> totals;
+  for (const HoseRequest& hose : hoses) {
+    auto& t = totals[hose.qos];
+    (hose.direction == Direction::egress ? t.egress : t.ingress) += hose.rate.value();
+  }
+  return totals;
+}
+
+}  // namespace
+
+std::vector<BalanceReport> balance_hoses(std::vector<HoseRequest>& hoses,
+                                         std::size_t region_count) {
+  NETENT_EXPECTS(region_count >= 1);
+  std::vector<BalanceReport> reports;
+
+  for (const auto& [qos, totals] : totals_per_class(hoses)) {
+    BalanceReport report;
+    report.qos = qos;
+    report.egress_total = Gbps(totals.egress);
+    report.ingress_total = Gbps(totals.ingress);
+
+    const double delta = totals.ingress - totals.egress;
+    if (std::fabs(delta) > 1e-9) {
+      // Inflate the shortage direction: egress if egress < ingress.
+      report.inflated_direction = delta > 0.0 ? Direction::egress : Direction::ingress;
+      report.inflation = Gbps(std::fabs(delta));
+      const double per_region = std::fabs(delta) / static_cast<double>(region_count);
+      for (std::uint32_t r = 0; r < region_count; ++r) {
+        hoses.push_back(HoseRequest{kBalancingDummyNpg, qos, RegionId(r),
+                                    report.inflated_direction, Gbps(per_region)});
+        ++report.dummy_hoses_added;
+      }
+    }
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+bool is_balanced(std::span<const HoseRequest> hoses, double tolerance_gbps) {
+  for (const auto& [qos, totals] : totals_per_class(hoses)) {
+    if (std::fabs(totals.egress - totals.ingress) > tolerance_gbps) return false;
+  }
+  return true;
+}
+
+}  // namespace netent::hose

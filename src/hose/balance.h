@@ -1,0 +1,42 @@
+// Ingress/egress hose balancing (§8 "Unbalanced ingress and egress Hoses").
+// Forecasts are made per hose independently, so the fleet-wide totals of
+// ingress and egress hoses drift apart even though every byte sent must be
+// received. The preprocessing inflates the shortage direction so the totals
+// match, attributing the delta to a dummy service spread evenly across all
+// regions — exactly the paper's corrective.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "hose/requests.h"
+
+namespace netent::hose {
+
+/// Synthetic NPG that absorbs the balancing delta.
+inline constexpr NpgId kBalancingDummyNpg{0xFFFFFFFEu};
+
+struct BalanceReport {
+  QosClass qos = QosClass::c4_high;
+  Gbps egress_total;
+  Gbps ingress_total;
+  /// Delta added to the shortage direction (0 when already balanced).
+  Gbps inflation;
+  Direction inflated_direction = Direction::egress;
+  std::size_t dummy_hoses_added = 0;
+};
+
+/// Balances `hoses` in place, per QoS class: computes the ingress and egress
+/// totals, and appends dummy-service hoses of the shortage direction evenly
+/// across all `region_count` regions until the totals match. Returns one
+/// report per QoS class present.
+[[nodiscard]] std::vector<BalanceReport> balance_hoses(std::vector<HoseRequest>& hoses,
+                                                       std::size_t region_count);
+
+/// True if every QoS class's ingress and egress totals match within
+/// `tolerance_gbps`.
+[[nodiscard]] bool is_balanced(std::span<const HoseRequest> hoses, double tolerance_gbps = 1e-6);
+
+}  // namespace netent::hose

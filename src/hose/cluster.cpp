@@ -1,0 +1,164 @@
+#include "hose/cluster.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netent::hose {
+
+using traffic::TrafficMatrix;
+
+namespace {
+
+double squared_distance(std::span<const double> a, std::span<const double> b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::vector<TrafficMatrix> cluster_representatives(
+    topology::Router& router, std::span<const TrafficMatrix> candidates, std::size_t k, Rng& rng,
+    const ClusterConfig& config) {
+  NETENT_EXPECTS(k >= 1);
+  NETENT_EXPECTS(config.iterations >= 1);
+  if (candidates.size() <= k) {
+    return {candidates.begin(), candidates.end()};
+  }
+
+  // Feature extraction: routed per-link load of each candidate.
+  const std::size_t dims = router.topo().link_count();
+  const std::vector<double> unlimited(dims, 1e12);
+  std::vector<std::vector<double>> features;
+  features.reserve(candidates.size());
+  for (const TrafficMatrix& tm : candidates) {
+    const auto demands = tm.demands();
+    features.push_back(router.route(demands, unlimited).link_load);
+  }
+
+  // k-means++ seeding.
+  std::vector<std::vector<double>> centroids;
+  centroids.push_back(features[rng.uniform_int(features.size())]);
+  std::vector<double> nearest_sq(features.size(), std::numeric_limits<double>::max());
+  while (centroids.size() < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      nearest_sq[i] = std::min(nearest_sq[i], squared_distance(features[i], centroids.back()));
+      total += nearest_sq[i];
+    }
+    if (total <= 0.0) break;  // fewer distinct points than k
+    double draw = rng.uniform(0.0, total);
+    std::size_t chosen = features.size() - 1;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      draw -= nearest_sq[i];
+      if (draw <= 0.0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(features[chosen]);
+  }
+
+  // Lloyd iterations.
+  std::vector<std::size_t> assignment(features.size(), 0);
+  for (std::size_t iteration = 0; iteration < config.iterations; ++iteration) {
+    bool moved = false;
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      std::size_t best = 0;
+      double best_sq = std::numeric_limits<double>::max();
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double sq = squared_distance(features[i], centroids[c]);
+        if (sq < best_sq) {
+          best_sq = sq;
+          best = c;
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        moved = true;
+      }
+    }
+    if (!moved && iteration > 0) break;
+    // Recompute centroids.
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      std::vector<double> mean(dims, 0.0);
+      std::size_t members = 0;
+      for (std::size_t i = 0; i < features.size(); ++i) {
+        if (assignment[i] != c) continue;
+        ++members;
+        for (std::size_t d = 0; d < dims; ++d) mean[d] += features[i][d];
+      }
+      if (members == 0) continue;  // empty cluster keeps its old centroid
+      for (double& v : mean) v /= static_cast<double>(members);
+      centroids[c] = std::move(mean);
+    }
+  }
+
+  // Medoid per non-empty cluster.
+  std::vector<TrafficMatrix> representatives;
+  for (std::size_t c = 0; c < centroids.size(); ++c) {
+    std::size_t medoid = features.size();
+    double best_sq = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < features.size(); ++i) {
+      if (assignment[i] != c) continue;
+      const double sq = squared_distance(features[i], centroids[c]);
+      if (sq < best_sq) {
+        best_sq = sq;
+        medoid = i;
+      }
+    }
+    if (medoid < features.size()) representatives.push_back(candidates[medoid]);
+  }
+  NETENT_ENSURES(!representatives.empty());
+  NETENT_ENSURES(representatives.size() <= k);
+  return representatives;
+}
+
+std::vector<TrafficMatrix> greedy_envelope_selection(
+    topology::Router& router, std::span<const TrafficMatrix> candidates, std::size_t k) {
+  NETENT_EXPECTS(k >= 1);
+  if (candidates.empty()) return {};
+
+  const std::size_t dims = router.topo().link_count();
+  const std::vector<double> unlimited(dims, 1e12);
+  std::vector<std::vector<double>> features;
+  features.reserve(candidates.size());
+  for (const TrafficMatrix& tm : candidates) {
+    const auto demands = tm.demands();
+    features.push_back(router.route(demands, unlimited).link_load);
+  }
+
+  std::vector<double> envelope(dims, 0.0);
+  std::vector<bool> used(candidates.size(), false);
+  std::vector<TrafficMatrix> picks;
+  while (picks.size() < std::min(k, candidates.size())) {
+    std::size_t best = candidates.size();
+    double best_gain = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      double gain = 0.0;
+      for (std::size_t d = 0; d < dims; ++d) {
+        gain += std::max(0.0, features[i][d] - envelope[d]);
+      }
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = i;
+      }
+    }
+    if (best == candidates.size()) break;  // nothing grows the envelope
+    used[best] = true;
+    for (std::size_t d = 0; d < dims; ++d) {
+      envelope[d] = std::max(envelope[d], features[best][d]);
+    }
+    picks.push_back(candidates[best]);
+  }
+  NETENT_ENSURES(!picks.empty());
+  return picks;
+}
+
+}  // namespace netent::hose

@@ -1,0 +1,45 @@
+// Representative-TM selection by clustering. Random extreme points of the
+// hose polytope are redundant: many saturate the same directions and add
+// nothing to the provisioning envelope. Following the spirit of the
+// planning work the paper builds on ([1]: "narrow down infinite possible
+// pipe realizations into a small set of representative ones"), candidates
+// are clustered in routed link-load space (k-means++ seeding, Lloyd
+// iterations) and each cluster is represented by its medoid — a smaller set
+// with the same envelope diversity, which shrinks the approval engine's TM
+// count at equal coverage (the Figure 21 trade-off).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "topology/routing.h"
+#include "traffic/matrix.h"
+
+namespace netent::hose {
+
+struct ClusterConfig {
+  std::size_t iterations = 10;  ///< Lloyd iterations
+};
+
+/// Reduces `candidates` to (at most) `k` representatives: each returned TM
+/// is a member of `candidates` (the medoid of its cluster). When
+/// `candidates.size() <= k`, the input is returned unchanged. Features are
+/// the per-link loads of each candidate routed on the uncapacitated
+/// topology, so "similar" means "loads the same links".
+[[nodiscard]] std::vector<traffic::TrafficMatrix> cluster_representatives(
+    topology::Router& router, std::span<const traffic::TrafficMatrix> candidates, std::size_t k,
+    Rng& rng, const ClusterConfig& config = {});
+
+/// Greedy envelope-growth selection: repeatedly picks the candidate that
+/// adds the most per-link load above the current provisioning envelope
+/// (a submodular max-coverage greedy). Unlike medoid clustering, this keeps
+/// the corner TMs that the envelope actually needs; it is the stronger
+/// refinement for the Figure 21 coverage-vs-count trade-off. Returns at
+/// most `k` members of `candidates`, in pick order; stops early when no
+/// candidate grows the envelope.
+[[nodiscard]] std::vector<traffic::TrafficMatrix> greedy_envelope_selection(
+    topology::Router& router, std::span<const traffic::TrafficMatrix> candidates,
+    std::size_t k);
+
+}  // namespace netent::hose

@@ -1,0 +1,169 @@
+#include "hose/coverage.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::hose {
+
+using traffic::TrafficMatrix;
+
+std::vector<TrafficMatrix> representative_tms(const HoseSpace& space, std::size_t count,
+                                              Rng& rng) {
+  NETENT_EXPECTS(count >= 1);
+  std::vector<TrafficMatrix> tms;
+  tms.reserve(count);
+  tms.push_back(space.sample(rng));  // interior seed covers the typical case
+  while (tms.size() < count) tms.push_back(space.extreme_point(rng));
+  return tms;
+}
+
+std::vector<double> load_envelope(topology::Router& router,
+                                  std::span<const TrafficMatrix> tms) {
+  std::vector<double> envelope(router.topo().link_count(), 0.0);
+  // Route each TM on an uncapacitated copy of the topology (infinite
+  // capacity) so the envelope reflects demand placement, not clipping.
+  const std::vector<double> unlimited(router.topo().link_count(), 1e12);
+  for (const TrafficMatrix& tm : tms) {
+    const auto demands = tm.demands();
+    const auto result = router.route(demands, unlimited);
+    for (std::size_t l = 0; l < envelope.size(); ++l) {
+      envelope[l] = std::max(envelope[l], result.link_load[l]);
+    }
+  }
+  return envelope;
+}
+
+namespace {
+
+/// Incrementally maintained per-link load envelope: add_tm folds one more
+/// representative TM into the running max without re-routing older ones.
+class IncrementalEnvelope {
+ public:
+  explicit IncrementalEnvelope(topology::Router& router)
+      : router_(router),
+        envelope_(router.topo().link_count(), 0.0),
+        unlimited_(router.topo().link_count(), 1e12) {}
+
+  void add_tm(const TrafficMatrix& tm) {
+    const auto demands = tm.demands();
+    const auto result = router_.route(demands, unlimited_);
+    for (std::size_t l = 0; l < envelope_.size(); ++l) {
+      envelope_[l] = std::max(envelope_[l], result.link_load[l]);
+    }
+  }
+
+  [[nodiscard]] std::span<const double> get() const { return envelope_; }
+
+ private:
+  topology::Router& router_;
+  std::vector<double> envelope_;
+  std::vector<double> unlimited_;
+};
+
+}  // namespace
+
+double coverage(topology::Router& router, const HoseSpace& space,
+                std::span<const double> envelope_gbps, std::size_t samples, Rng& rng) {
+  NETENT_EXPECTS(samples > 0);
+  std::size_t fit = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Hard-corner samples: near-full hoses concentrated on few
+    // destinations, the agile-movement scenarios coverage must protect.
+    const TrafficMatrix tm = space.concentrated_sample(rng, 3);
+    const auto demands = tm.demands();
+    if (router.route(demands, envelope_gbps).fully_placed) ++fit;
+  }
+  return static_cast<double>(fit) / static_cast<double>(samples);
+}
+
+double contract_coverage(topology::Router& router, const HoseSpace& general,
+                         const HoseSpace& contract, std::span<const double> envelope_gbps,
+                         std::size_t samples, Rng& rng, std::span<const double> dst_weights) {
+  NETENT_EXPECTS(samples > 0);
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    // Scenario mix: half ordinary near-capacity use, half aggressive
+    // concentrated movements (the agility cases of Figure 6).
+    const TrafficMatrix tm = i % 2 == 0
+                                 ? general.sample(rng, 0.85, 1.0)
+                                 : general.concentrated_sample(rng, 3, dst_weights);
+    if (!contract.feasible(tm, 1e-6)) {
+      ++covered;  // the contract does not promise this movement
+      continue;
+    }
+    const auto demands = tm.demands();
+    if (router.route(demands, envelope_gbps).fully_placed) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(samples);
+}
+
+std::size_t tms_needed_for_contract_coverage(topology::Router& router, const HoseSpace& general,
+                                             const HoseSpace& contract, double target,
+                                             std::size_t step, std::size_t max_tms,
+                                             std::size_t samples, Rng& rng,
+                                             std::span<const double> dst_weights) {
+  NETENT_EXPECTS(target > 0.0 && target <= 1.0);
+  NETENT_EXPECTS(step >= 1);
+  IncrementalEnvelope envelope(router);
+  std::size_t added = 0;
+  Rng sample_rng = rng.fork();
+  while (added < max_tms) {
+    const std::size_t goal = std::min(added + step, max_tms);
+    while (added < goal) {
+      envelope.add_tm(added == 0 ? contract.sample(rng) : contract.extreme_point(rng));
+      ++added;
+    }
+    Rng eval = sample_rng;
+    if (contract_coverage(router, general, contract, envelope.get(), samples, eval,
+                          dst_weights) >= target) {
+      return added;
+    }
+  }
+  return max_tms;
+}
+
+
+std::vector<CoverageCurvePoint> coverage_curve(topology::Router& router, const HoseSpace& space,
+                                               std::span<const std::size_t> tm_counts,
+                                               std::size_t samples, Rng& rng) {
+  NETENT_EXPECTS(!tm_counts.empty());
+  NETENT_EXPECTS(std::is_sorted(tm_counts.begin(), tm_counts.end()));
+
+  std::vector<CoverageCurvePoint> curve;
+  IncrementalEnvelope envelope(router);
+  std::size_t added = 0;
+  Rng sample_rng = rng.fork();  // same evaluation set for every point
+  for (const std::size_t count : tm_counts) {
+    while (added < count) {
+      envelope.add_tm(added == 0 ? space.sample(rng) : space.extreme_point(rng));
+      ++added;
+    }
+    Rng eval = sample_rng;  // reset: identical samples per curve point
+    curve.push_back({count, coverage(router, space, envelope.get(), samples, eval)});
+  }
+  return curve;
+}
+
+std::size_t tms_needed_for_coverage(topology::Router& router, const HoseSpace& space,
+                                    double target, std::size_t step, std::size_t max_tms,
+                                    std::size_t samples, Rng& rng) {
+  NETENT_EXPECTS(target > 0.0 && target <= 1.0);
+  NETENT_EXPECTS(step >= 1);
+
+  IncrementalEnvelope envelope(router);
+  std::size_t added = 0;
+  Rng sample_rng = rng.fork();
+  while (added < max_tms) {
+    const std::size_t goal = std::min(added + step, max_tms);
+    while (added < goal) {
+      envelope.add_tm(added == 0 ? space.sample(rng) : space.extreme_point(rng));
+      ++added;
+    }
+    Rng eval = sample_rng;
+    if (coverage(router, space, envelope.get(), samples, eval) >= target) return added;
+  }
+  return max_tms;
+}
+
+}  // namespace netent::hose

@@ -1,0 +1,75 @@
+// Representative-TM generation and the hose-coverage metric (§7.2-§7.3,
+// Figures 20-21). Coverage is defined operationally (DESIGN.md §5): the
+// per-link load envelope provisioned for the representative set must be able
+// to carry a random hose-feasible TM; coverage is the fraction of sampled
+// TMs that fit.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "hose/space.h"
+#include "topology/routing.h"
+#include "traffic/matrix.h"
+
+namespace netent::hose {
+
+/// Generates `count` representative TMs for the space: the gravity-like
+/// interior seed first, then random extreme points.
+[[nodiscard]] std::vector<traffic::TrafficMatrix> representative_tms(const HoseSpace& space,
+                                                                     std::size_t count, Rng& rng);
+
+/// Per-link load envelope: element-wise max of each TM's routed link load.
+[[nodiscard]] std::vector<double> load_envelope(topology::Router& router,
+                                                std::span<const traffic::TrafficMatrix> tms);
+
+/// Fraction of `samples` random hose-feasible TMs whose demands fully fit
+/// when routed against the envelope (taken as link capacities).
+[[nodiscard]] double coverage(topology::Router& router, const HoseSpace& space,
+                              std::span<const double> envelope_gbps, std::size_t samples,
+                              Rng& rng);
+
+/// Contract-scoped coverage (the Figure 20 comparison): demand scenarios are
+/// drawn from the service's *general* hose space (what the service might do
+/// with full agility), but a scenario outside `contract` (e.g. violating a
+/// segment constraint) is out of the contract's scope and does not need to
+/// be covered. Coverage = P(scenario fits envelope OR scenario not promised).
+/// With `contract == general` this reduces to `coverage()` on hard-corner
+/// samples.
+/// `dst_weights` (optional) biases concentrated scenarios toward the
+/// destinations the service already favors (Figure 7).
+[[nodiscard]] double contract_coverage(topology::Router& router, const HoseSpace& general,
+                                       const HoseSpace& contract,
+                                       std::span<const double> envelope_gbps,
+                                       std::size_t samples, Rng& rng,
+                                       std::span<const double> dst_weights = {});
+
+/// Smallest number of representative TMs of `contract` (tried in increments
+/// of `step`) whose envelope reaches `target` contract-scoped coverage.
+[[nodiscard]] std::size_t tms_needed_for_contract_coverage(
+    topology::Router& router, const HoseSpace& general, const HoseSpace& contract,
+    double target, std::size_t step, std::size_t max_tms, std::size_t samples, Rng& rng,
+    std::span<const double> dst_weights = {});
+
+struct CoverageCurvePoint {
+  std::size_t tm_count;
+  double coverage;
+};
+
+/// Coverage as a function of the representative-set size, evaluated at each
+/// size in `tm_counts` (Figure 21). TMs are accumulated incrementally so the
+/// curve is monotone in expectation.
+[[nodiscard]] std::vector<CoverageCurvePoint> coverage_curve(topology::Router& router,
+                                                             const HoseSpace& space,
+                                                             std::span<const std::size_t> tm_counts,
+                                                             std::size_t samples, Rng& rng);
+
+/// Smallest number of representative TMs (tried in increments of `step`)
+/// whose envelope reaches `target` coverage; capped at `max_tms` (returns
+/// max_tms when the target is not reached). The Figure 20 metric.
+[[nodiscard]] std::size_t tms_needed_for_coverage(topology::Router& router, const HoseSpace& space,
+                                                  double target, std::size_t step,
+                                                  std::size_t max_tms, std::size_t samples,
+                                                  Rng& rng);
+
+}  // namespace netent::hose

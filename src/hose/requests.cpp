@@ -1,0 +1,38 @@
+#include "hose/requests.h"
+
+#include <map>
+
+#include "common/check.h"
+
+namespace netent::hose {
+
+std::vector<HoseRequest> aggregate_to_hoses(std::span<const PipeRequest> pipes,
+                                            std::size_t region_count) {
+  // Keyed accumulation keeps the output deterministic and sorted.
+  std::map<std::tuple<std::uint32_t, QosClass, std::uint32_t, Direction>, double> acc;
+  for (const PipeRequest& pipe : pipes) {
+    NETENT_EXPECTS(pipe.src.value() < region_count);
+    NETENT_EXPECTS(pipe.dst.value() < region_count);
+    NETENT_EXPECTS(pipe.src != pipe.dst);
+    NETENT_EXPECTS(pipe.rate >= Gbps(0));
+    acc[{pipe.npg.value(), pipe.qos, pipe.src.value(), Direction::egress}] += pipe.rate.value();
+    acc[{pipe.npg.value(), pipe.qos, pipe.dst.value(), Direction::ingress}] += pipe.rate.value();
+  }
+
+  std::vector<HoseRequest> hoses;
+  hoses.reserve(acc.size());
+  for (const auto& [key, rate] : acc) {
+    if (rate <= 0.0) continue;
+    const auto& [npg, qos, region, dir] = key;
+    hoses.push_back(HoseRequest{NpgId(npg), qos, RegionId(region), dir, Gbps(rate)});
+  }
+  return hoses;
+}
+
+Gbps total_rate(std::span<const PipeRequest> pipes) {
+  Gbps total(0);
+  for (const PipeRequest& pipe : pipes) total += pipe.rate;
+  return total;
+}
+
+}  // namespace netent::hose

@@ -1,0 +1,50 @@
+// Demand-request representations of §4.2: pipe-based requests (the raw
+// forecast form, a source-destination pair each) and hose-based requests
+// (per-region ingress/egress aggregates, the agile contract form), plus the
+// aggregation between them.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace netent::hose {
+
+/// A pipe-based demand: the direct output of the §4.1 forecast.
+struct PipeRequest {
+  NpgId npg;
+  QosClass qos;
+  RegionId src;
+  RegionId dst;
+  Gbps rate;
+};
+
+enum class Direction : std::uint8_t { egress, ingress };
+
+[[nodiscard]] constexpr const char* to_string(Direction d) {
+  return d == Direction::egress ? "egress" : "ingress";
+}
+
+/// A hose-based demand: aggregate ingress or egress of one region for one
+/// (NPG, QoS). This is the unit the entitlement contract is written in.
+struct HoseRequest {
+  NpgId npg;
+  QosClass qos;
+  RegionId region;
+  Direction direction = Direction::egress;
+  Gbps rate;
+};
+
+/// Aggregates pipe requests into hose requests: for every (npg, qos, region)
+/// the egress hose sums rates of pipes sourced there and the ingress hose
+/// sums rates of pipes terminating there (Figure 6(b) -> 6(c)). Zero-rate
+/// hoses are omitted.
+[[nodiscard]] std::vector<HoseRequest> aggregate_to_hoses(std::span<const PipeRequest> pipes,
+                                                          std::size_t region_count);
+
+/// Sum of pipe rates (the pipe model's total reservation, Figure 6(b)).
+[[nodiscard]] Gbps total_rate(std::span<const PipeRequest> pipes);
+
+}  // namespace netent::hose

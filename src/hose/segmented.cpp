@@ -1,0 +1,172 @@
+#include "hose/segmented.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::hose {
+
+ShareSeries ShareSeries::restricted_to(std::span<const std::uint32_t> members) const {
+  NETENT_EXPECTS(members.size() >= 2);
+  std::vector<std::vector<double>> sub(flows_.size());
+  for (std::size_t t = 0; t < flows_.size(); ++t) {
+    sub[t].reserve(members.size());
+    for (const std::uint32_t dst : members) {
+      NETENT_EXPECTS(dst < destinations_);
+      sub[t].push_back(flows_[t][dst]);
+    }
+  }
+  return ShareSeries(std::move(sub));
+}
+
+ShareSeries::ShareSeries(std::vector<std::vector<double>> flows) : flows_(std::move(flows)) {
+  NETENT_EXPECTS(!flows_.empty());
+  destinations_ = flows_[0].size();
+  NETENT_EXPECTS(destinations_ >= 2);
+  totals_.reserve(flows_.size());
+  for (const auto& step : flows_) {
+    NETENT_EXPECTS(step.size() == destinations_);
+    double total = 0.0;
+    for (const double v : step) {
+      NETENT_EXPECTS(v >= 0.0);
+      total += v;
+    }
+    totals_.push_back(total);
+  }
+}
+
+double ShareSeries::share(std::span<const std::uint32_t> segment, std::size_t t) const {
+  NETENT_EXPECTS(t < flows_.size());
+  if (totals_[t] <= 0.0) return 0.0;
+  double sum = 0.0;
+  for (const std::uint32_t dst : segment) {
+    NETENT_EXPECTS(dst < destinations_);
+    sum += flows_[t][dst];
+  }
+  return sum / totals_[t];
+}
+
+double ShareSeries::alpha_minus(std::span<const std::uint32_t> segment) const {
+  double lo = 1.0;
+  bool any = false;
+  for (std::size_t t = 0; t < flows_.size(); ++t) {
+    if (totals_[t] <= 0.0) continue;
+    lo = std::min(lo, share(segment, t));
+    any = true;
+  }
+  return any ? lo : 0.0;
+}
+
+double ShareSeries::alpha_plus(std::span<const std::uint32_t> segment) const {
+  double hi = 0.0;
+  for (std::size_t t = 0; t < flows_.size(); ++t) {
+    if (totals_[t] <= 0.0) continue;
+    hi = std::max(hi, share(segment, t));
+  }
+  return hi;
+}
+
+double Segmentation::capacity_fraction_total() const {
+  double sum = 0.0;
+  for (const Segment& segment : segments) sum += segment.alpha_plus;
+  return sum;
+}
+
+namespace {
+
+Segment make_segment(const ShareSeries& series, std::vector<std::uint32_t> members) {
+  Segment segment;
+  segment.members = std::move(members);
+  std::sort(segment.members.begin(), segment.members.end());
+  segment.alpha_minus = series.alpha_minus(segment.members);
+  segment.alpha_plus = series.alpha_plus(segment.members);
+  return segment;
+}
+
+/// Partitions `nodes` per Algorithm 1, using shares measured by `series`
+/// restricted to those nodes' flows relative to the hose total.
+std::pair<std::vector<std::uint32_t>, std::vector<std::uint32_t>> split_members(
+    const ShareSeries& series, std::span<const std::uint32_t> nodes) {
+  // Line 2-4: rank nodes by single-node alpha- non-increasingly.
+  struct Ranked {
+    std::uint32_t node;
+    double r;
+  };
+  std::vector<Ranked> ranked;
+  ranked.reserve(nodes.size());
+  for (const std::uint32_t node : nodes) {
+    const std::uint32_t single[] = {node};
+    ranked.push_back({node, series.alpha_minus(single)});
+  }
+  std::stable_sort(ranked.begin(), ranked.end(),
+                   [](const Ranked& a, const Ranked& b) { return a.r > b.r; });
+
+  // Line 5-9: grow SEG while alpha-(SEG) <= 0.5.
+  std::vector<std::uint32_t> seg;
+  for (const Ranked& entry : ranked) {
+    if (series.alpha_minus(seg) <= 0.5) {
+      seg.push_back(entry.node);
+    } else {
+      break;
+    }
+  }
+  // Line 10: SEG' = N \ SEG.
+  std::vector<std::uint32_t> seg_prime;
+  for (const std::uint32_t node : nodes) {
+    if (std::find(seg.begin(), seg.end(), node) == seg.end()) seg_prime.push_back(node);
+  }
+  return {std::move(seg), std::move(seg_prime)};
+}
+
+}  // namespace
+
+Segmentation two_segment_split(const ShareSeries& series) {
+  std::vector<std::uint32_t> all(series.destinations());
+  for (std::uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+
+  auto [seg, seg_prime] = split_members(series, all);
+
+  Segmentation result;
+  if (!seg.empty()) result.segments.push_back(make_segment(series, std::move(seg)));
+  if (!seg_prime.empty()) result.segments.push_back(make_segment(series, std::move(seg_prime)));
+  return result;
+}
+
+Segmentation n_segment_split(const ShareSeries& series, std::size_t n) {
+  NETENT_EXPECTS(n >= 2);
+  Segmentation result = two_segment_split(series);
+
+  while (result.segments.size() < n) {
+    // Split the largest (by member count) splittable segment.
+    std::size_t target = result.segments.size();
+    std::size_t best_size = 1;
+    for (std::size_t i = 0; i < result.segments.size(); ++i) {
+      if (result.segments[i].members.size() > best_size) {
+        best_size = result.segments[i].members.size();
+        target = i;
+      }
+    }
+    if (target == result.segments.size()) break;  // nothing splittable
+
+    // Split within the segment: shares must be relative to the segment's own
+    // flow, so run Algorithm 1 on the restricted sub-series and map member
+    // indices back.
+    const std::vector<std::uint32_t>& members = result.segments[target].members;
+    const ShareSeries sub = series.restricted_to(members);
+    std::vector<std::uint32_t> local(members.size());
+    for (std::uint32_t i = 0; i < local.size(); ++i) local[i] = i;
+    auto [seg_local, seg_prime_local] = split_members(sub, local);
+    if (seg_local.empty() || seg_prime_local.empty()) break;  // split not productive
+
+    std::vector<std::uint32_t> seg;
+    std::vector<std::uint32_t> seg_prime;
+    for (const std::uint32_t i : seg_local) seg.push_back(members[i]);
+    for (const std::uint32_t i : seg_prime_local) seg_prime.push_back(members[i]);
+
+    result.segments[target] = make_segment(series, std::move(seg));
+    result.segments.push_back(make_segment(series, std::move(seg_prime)));
+  }
+  return result;
+}
+
+}  // namespace netent::hose

@@ -1,0 +1,73 @@
+// Segmented Hose (§4.2, Equations 2-3, Algorithm 1): the paper's key
+// contribution for reconciling agility with capacity efficiency. A hose's
+// egress (or ingress) constraint is decomposed into per-segment constraints,
+// where each segment covers a subset of destination regions and a fraction of
+// the hose rate derived from the observed share time series R(S, t).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+
+namespace netent::hose {
+
+/// Observed per-destination flow series F(dst, t) for one hose (one source
+/// region, one service, one direction). Rows are time steps, columns are
+/// destination regions. This is the input of Equation 3.
+class ShareSeries {
+ public:
+  /// `flows[t][dst]` = flow to destination dst at time t, in Gbps.
+  explicit ShareSeries(std::vector<std::vector<double>> flows);
+
+  [[nodiscard]] std::size_t steps() const { return flows_.size(); }
+  [[nodiscard]] std::size_t destinations() const { return destinations_; }
+
+  /// R(S, t) of Equation 3: segment share of total flow at step t. Steps with
+  /// zero total flow are skipped by the alpha computations.
+  [[nodiscard]] double share(std::span<const std::uint32_t> segment, std::size_t t) const;
+
+  /// alpha-(S) = min_t R(S, t)   (Equation 3)
+  [[nodiscard]] double alpha_minus(std::span<const std::uint32_t> segment) const;
+  /// alpha+(S) = max_t R(S, t)   (Equation 3)
+  [[nodiscard]] double alpha_plus(std::span<const std::uint32_t> segment) const;
+
+  /// Sub-series containing only the given destinations (columns reindexed to
+  /// 0..members.size()-1); shares in the sub-series are relative to the
+  /// members' own total. Used by the recursive N-segment split.
+  [[nodiscard]] ShareSeries restricted_to(std::span<const std::uint32_t> members) const;
+
+ private:
+  std::vector<std::vector<double>> flows_;
+  std::vector<double> totals_;  // per-step total flow
+  std::size_t destinations_ = 0;
+};
+
+/// One segment of a segmented hose.
+struct Segment {
+  std::vector<std::uint32_t> members;  ///< destination region indices
+  double alpha_minus = 0.0;            ///< min observed share
+  double alpha_plus = 0.0;             ///< max observed share (the capacity fraction)
+};
+
+struct Segmentation {
+  std::vector<Segment> segments;
+
+  /// Sum of alpha_plus over segments; 1.0 would be the ideal decomposition,
+  /// larger values quantify over-provisioning (§4.2 discussion).
+  [[nodiscard]] double capacity_fraction_total() const;
+};
+
+/// Algorithm 1: greedy two-segment split. Ranks destinations by their
+/// single-node alpha- non-increasingly and grows SEG until alpha-(SEG)
+/// exceeds 0.5; SEG' is the remainder. Either segment may end up empty when
+/// the traffic split is extremely lopsided; callers treat that as "do not
+/// segment".
+[[nodiscard]] Segmentation two_segment_split(const ShareSeries& series);
+
+/// Generalization to N segments (the paper's future work): recursively apply
+/// the two-segment split to the largest remaining segment until `n` segments
+/// exist or no further split is productive.
+[[nodiscard]] Segmentation n_segment_split(const ShareSeries& series, std::size_t n);
+
+}  // namespace netent::hose

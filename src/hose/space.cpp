@@ -1,0 +1,227 @@
+#include "hose/space.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent::hose {
+
+using traffic::TrafficMatrix;
+
+HoseSpace::HoseSpace(std::vector<double> egress_gbps, std::vector<double> ingress_gbps)
+    : egress_(std::move(egress_gbps)), ingress_(std::move(ingress_gbps)) {
+  NETENT_EXPECTS(egress_.size() == ingress_.size());
+  NETENT_EXPECTS(egress_.size() >= 2);
+  for (const double v : egress_) NETENT_EXPECTS(v >= 0.0);
+  for (const double v : ingress_) NETENT_EXPECTS(v >= 0.0);
+}
+
+void HoseSpace::add_segment(SegmentConstraint constraint) {
+  NETENT_EXPECTS(constraint.src < egress_.size());
+  NETENT_EXPECTS(!constraint.members.empty());
+  NETENT_EXPECTS(constraint.cap_gbps >= 0.0);
+  for (const std::uint32_t m : constraint.members) NETENT_EXPECTS(m < egress_.size());
+  segments_.push_back(std::move(constraint));
+}
+
+bool HoseSpace::feasible(const TrafficMatrix& tm, double tolerance) const {
+  NETENT_EXPECTS(tm.region_count() == egress_.size());
+  const auto within = [tolerance](double value, double cap) {
+    return value <= cap * (1.0 + tolerance) + tolerance;
+  };
+  for (std::size_t r = 0; r < egress_.size(); ++r) {
+    const RegionId region(static_cast<std::uint32_t>(r));
+    if (!within(tm.egress(region).value(), egress_[r])) return false;
+    if (!within(tm.ingress(region).value(), ingress_[r])) return false;
+  }
+  for (const SegmentConstraint& seg : segments_) {
+    double flow = 0.0;
+    for (const std::uint32_t m : seg.members) {
+      if (m != seg.src) flow += tm.at(RegionId(seg.src), RegionId(m));
+    }
+    if (!within(flow, seg.cap_gbps)) return false;
+  }
+  return true;
+}
+
+TrafficMatrix HoseSpace::sample(Rng& rng, double min_utilization,
+                                double max_utilization) const {
+  NETENT_EXPECTS(min_utilization >= 0.0 && min_utilization <= max_utilization);
+  NETENT_EXPECTS(max_utilization <= 1.0);
+  const std::size_t n = egress_.size();
+  TrafficMatrix tm(n);
+
+  // Random gravity split of each egress hose at a random utilization.
+  for (std::size_t s = 0; s < n; ++s) {
+    if (egress_[s] <= 0.0) continue;
+    std::vector<double> weights(n, 0.0);
+    double norm = 0.0;
+    for (std::size_t d = 0; d < n; ++d) {
+      if (d == s || ingress_[d] <= 0.0) continue;
+      weights[d] = rng.exponential(1.0);
+      norm += weights[d];
+    }
+    if (norm <= 0.0) continue;
+    const double utilization = rng.uniform(min_utilization, max_utilization);
+    for (std::size_t d = 0; d < n; ++d) {
+      if (weights[d] > 0.0) {
+        tm.at(RegionId(static_cast<std::uint32_t>(s)), RegionId(static_cast<std::uint32_t>(d))) =
+            egress_[s] * utilization * weights[d] / norm;
+      }
+    }
+  }
+
+  repair(tm);
+  NETENT_ENSURES(feasible(tm, 1e-6));
+  return tm;
+}
+
+void HoseSpace::repair(TrafficMatrix& tm) const {
+  // Scale down columns violating ingress caps and segment flows violating
+  // their caps. Scaling down never violates satisfied constraints, so a few
+  // passes suffice.
+  const std::size_t n = egress_.size();
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::size_t d = 0; d < n; ++d) {
+      const RegionId dst(static_cast<std::uint32_t>(d));
+      const double in = tm.ingress(dst).value();
+      if (in > ingress_[d] && in > 0.0) {
+        const double scale = ingress_[d] / in;
+        for (std::size_t s = 0; s < n; ++s) {
+          const RegionId src(static_cast<std::uint32_t>(s));
+          tm.at(src, dst) *= scale;
+        }
+      }
+    }
+    for (const SegmentConstraint& seg : segments_) {
+      double flow = 0.0;
+      for (const std::uint32_t m : seg.members) {
+        if (m != seg.src) flow += tm.at(RegionId(seg.src), RegionId(m));
+      }
+      if (flow > seg.cap_gbps && flow > 0.0) {
+        const double scale = seg.cap_gbps / flow;
+        for (const std::uint32_t m : seg.members) {
+          if (m != seg.src) tm.at(RegionId(seg.src), RegionId(m)) *= scale;
+        }
+      }
+    }
+  }
+}
+
+TrafficMatrix HoseSpace::concentrated_sample(Rng& rng, std::size_t max_destinations,
+                                             std::span<const double> dst_weights) const {
+  NETENT_EXPECTS(max_destinations >= 1);
+  NETENT_EXPECTS(dst_weights.empty() || dst_weights.size() == egress_.size());
+  const std::size_t n = egress_.size();
+  TrafficMatrix tm(n);
+  for (std::size_t s = 0; s < n; ++s) {
+    if (egress_[s] <= 0.0) continue;
+    std::vector<std::uint32_t> candidates;
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (d != s && ingress_[d] > 0.0) candidates.push_back(d);
+    }
+    if (candidates.empty()) continue;
+    const std::size_t picks = 1 + rng.uniform_int(std::min(max_destinations, candidates.size()));
+    if (dst_weights.empty()) {
+      // Partial Fisher-Yates to select `picks` distinct destinations.
+      for (std::size_t i = 0; i < picks; ++i) {
+        std::swap(candidates[i], candidates[i + rng.uniform_int(candidates.size() - i)]);
+      }
+    } else {
+      // Weighted selection without replacement: draw proportional to
+      // dst_weights among the remaining candidates.
+      for (std::size_t i = 0; i < picks; ++i) {
+        double norm = 0.0;
+        for (std::size_t j = i; j < candidates.size(); ++j) norm += dst_weights[candidates[j]];
+        std::size_t chosen = i;
+        if (norm > 0.0) {
+          double draw = rng.uniform(0.0, norm);
+          for (std::size_t j = i; j < candidates.size(); ++j) {
+            draw -= dst_weights[candidates[j]];
+            if (draw <= 0.0) {
+              chosen = j;
+              break;
+            }
+          }
+        }
+        std::swap(candidates[i], candidates[chosen]);
+      }
+    }
+    std::vector<double> weights(picks);
+    double norm = 0.0;
+    for (double& w : weights) {
+      w = rng.exponential(1.0);
+      norm += w;
+    }
+    const double utilization = rng.uniform(0.85, 1.0);
+    for (std::size_t i = 0; i < picks; ++i) {
+      tm.at(RegionId(static_cast<std::uint32_t>(s)), RegionId(candidates[i])) =
+          egress_[s] * utilization * weights[i] / norm;
+    }
+  }
+  repair(tm);
+  NETENT_ENSURES(feasible(tm, 1e-6));
+  return tm;
+}
+
+TrafficMatrix HoseSpace::extreme_point(Rng& rng) const {
+  const std::size_t n = egress_.size();
+  TrafficMatrix tm(n);
+
+  std::vector<double> egress_left = egress_;
+  std::vector<double> ingress_left = ingress_;
+  std::vector<double> segment_left;
+  segment_left.reserve(segments_.size());
+  for (const SegmentConstraint& seg : segments_) segment_left.push_back(seg.cap_gbps);
+
+  // Random priority order over all (src, dst) pairs.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  pairs.reserve(n * (n - 1));
+  for (std::uint32_t s = 0; s < n; ++s) {
+    for (std::uint32_t d = 0; d < n; ++d) {
+      if (s != d) pairs.emplace_back(s, d);
+    }
+  }
+  for (std::size_t i = pairs.size(); i-- > 1;) {
+    std::swap(pairs[i], pairs[rng.uniform_int(i + 1)]);
+  }
+
+  for (const auto& [s, d] : pairs) {
+    double amount = std::min(egress_left[s], ingress_left[d]);
+    // Tighten by every segment constraint covering (s, d).
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      const SegmentConstraint& seg = segments_[k];
+      if (seg.src == s &&
+          std::find(seg.members.begin(), seg.members.end(), d) != seg.members.end()) {
+        amount = std::min(amount, segment_left[k]);
+      }
+    }
+    if (amount <= 0.0) continue;
+    tm.at(RegionId(s), RegionId(d)) = amount;
+    egress_left[s] -= amount;
+    ingress_left[d] -= amount;
+    for (std::size_t k = 0; k < segments_.size(); ++k) {
+      const SegmentConstraint& seg = segments_[k];
+      if (seg.src == s &&
+          std::find(seg.members.begin(), seg.members.end(), d) != seg.members.end()) {
+        segment_left[k] -= amount;
+      }
+    }
+  }
+  NETENT_ENSURES(feasible(tm, 1e-6));
+  return tm;
+}
+
+double HoseSpace::segment_volume_fraction(std::size_t samples, Rng& rng) const {
+  NETENT_EXPECTS(samples > 0);
+  if (segments_.empty()) return 1.0;
+  HoseSpace unsegmented(egress_, ingress_);
+  std::size_t inside = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    if (feasible(unsegmented.sample(rng))) ++inside;
+  }
+  return static_cast<double>(inside) / static_cast<double>(samples);
+}
+
+}  // namespace netent::hose

@@ -1,0 +1,82 @@
+// The hose polytope (§4.2): the space of traffic matrices consistent with a
+// service's per-region ingress/egress constraints (Equation 1), optionally
+// tightened by segment constraints (Equation 2). Provides feasibility tests,
+// uniform-ish interior sampling, and extreme-point (vertex) generation — the
+// raw material for representative-TM selection and the coverage metric.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "traffic/matrix.h"
+
+namespace netent::hose {
+
+/// Segment constraint for one source region: flow from `src` into `members`
+/// is capped at `cap_gbps` (= alpha+ * egress hose of src).
+struct SegmentConstraint {
+  std::uint32_t src;
+  std::vector<std::uint32_t> members;
+  double cap_gbps;
+};
+
+class HoseSpace {
+ public:
+  /// `egress[r]` / `ingress[r]` are the per-region hose rates in Gbps; zero
+  /// means the service neither sources nor sinks traffic there.
+  HoseSpace(std::vector<double> egress_gbps, std::vector<double> ingress_gbps);
+
+  void add_segment(SegmentConstraint constraint);
+
+  [[nodiscard]] std::size_t region_count() const { return egress_.size(); }
+  [[nodiscard]] std::span<const double> egress() const { return egress_; }
+  [[nodiscard]] std::span<const double> ingress() const { return ingress_; }
+  [[nodiscard]] std::span<const SegmentConstraint> segments() const { return segments_; }
+
+  /// True if the matrix satisfies all hose and segment constraints within
+  /// a relative tolerance.
+  [[nodiscard]] bool feasible(const traffic::TrafficMatrix& tm, double tolerance = 1e-6) const;
+
+  /// Random interior point: random gravity weights scaled to a random
+  /// utilization (drawn from [min_utilization, max_utilization]) of each
+  /// egress hose, then repaired against ingress and segment caps by
+  /// iterative proportional scaling. Always feasible.
+  [[nodiscard]] traffic::TrafficMatrix sample(Rng& rng, double min_utilization = 0.3,
+                                              double max_utilization = 1.0) const;
+
+  /// Concentrated near-boundary point: each source region dumps its whole
+  /// egress hose onto at most `max_destinations` random destinations (then
+  /// repaired against ingress/segment caps). These are the hard corners the
+  /// coverage metric must protect against: a service moving most of a hose
+  /// toward one region, the §4.2 agility scenario.
+  /// `dst_weights` (optional, per-region) biases the destination choice:
+  /// services concentrate where they already send (the Figure 7
+  /// observation). Empty means uniform.
+  [[nodiscard]] traffic::TrafficMatrix concentrated_sample(
+      Rng& rng, std::size_t max_destinations,
+      std::span<const double> dst_weights = {}) const;
+
+  /// Random extreme point (vertex-like): greedy saturation of hoses in a
+  /// random (src, dst) order. These are the representative-TM candidates:
+  /// they exercise the far corners of the polytope ([1]'s "representative
+  /// pipe realizations").
+  [[nodiscard]] traffic::TrafficMatrix extreme_point(Rng& rng) const;
+
+  /// Monte-Carlo estimate of the fractional volume of this space relative to
+  /// the space without segment constraints: the §4.2 "polytope volume
+  /// reduction". Returns the fraction of unsegmented samples that satisfy
+  /// the segment constraints.
+  [[nodiscard]] double segment_volume_fraction(std::size_t samples, Rng& rng) const;
+
+ private:
+  /// In-place proportional scaling against ingress and segment caps.
+  void repair(traffic::TrafficMatrix& tm) const;
+
+  std::vector<double> egress_;
+  std::vector<double> ingress_;
+  std::vector<SegmentConstraint> segments_;
+};
+
+}  // namespace netent::hose

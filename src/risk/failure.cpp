@@ -1,0 +1,86 @@
+#include "risk/failure.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::risk {
+
+using topology::Topology;
+
+std::vector<double> srlg_unavailability(const Topology& topo) {
+  std::vector<double> u(topo.srlg_count(), 0.0);
+  for (const topology::Link& link : topo.links()) {
+    u[link.srlg.value()] = topology::link_unavailability(link);
+  }
+  return u;
+}
+
+std::vector<FailureScenario> enumerate_scenarios(const Topology& topo,
+                                                 const ScenarioConfig& config) {
+  NETENT_EXPECTS(config.max_simultaneous >= 1);
+  const std::vector<double> u = srlg_unavailability(topo);
+  const std::size_t m = u.size();
+
+  double all_up = 1.0;
+  for (const double ui : u) all_up *= 1.0 - ui;
+
+  std::vector<FailureScenario> scenarios;
+  scenarios.push_back({{}, all_up});
+
+  // Single failures: P = all_up * u_i / (1 - u_i).
+  for (std::size_t i = 0; i < m; ++i) {
+    const double p = all_up * u[i] / (1.0 - u[i]);
+    if (p >= config.min_probability) {
+      scenarios.push_back({{SrlgId(static_cast<std::uint32_t>(i))}, p});
+    }
+  }
+
+  if (config.max_simultaneous >= 2) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const double pi = all_up * u[i] / (1.0 - u[i]);
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double p = pi * u[j] / (1.0 - u[j]);
+        if (p >= config.min_probability) {
+          scenarios.push_back(
+              {{SrlgId(static_cast<std::uint32_t>(i)), SrlgId(static_cast<std::uint32_t>(j))}, p});
+        }
+      }
+    }
+  }
+
+  if (config.max_simultaneous >= 3) {
+    // Triple failures matter only for very unreliable fibers; enumerate them
+    // too when asked (probability pruning keeps this tractable).
+    for (std::size_t i = 0; i < m; ++i) {
+      const double pi = all_up * u[i] / (1.0 - u[i]);
+      for (std::size_t j = i + 1; j < m; ++j) {
+        const double pij = pi * u[j] / (1.0 - u[j]);
+        if (pij < config.min_probability) continue;
+        for (std::size_t k = j + 1; k < m; ++k) {
+          const double p = pij * u[k] / (1.0 - u[k]);
+          if (p >= config.min_probability) {
+            scenarios.push_back({{SrlgId(static_cast<std::uint32_t>(i)),
+                                  SrlgId(static_cast<std::uint32_t>(j)),
+                                  SrlgId(static_cast<std::uint32_t>(k))},
+                                 p});
+          }
+        }
+      }
+    }
+  }
+
+  std::sort(scenarios.begin(), scenarios.end(),
+            [](const FailureScenario& a, const FailureScenario& b) {
+              return a.probability > b.probability;
+            });
+  return scenarios;
+}
+
+double total_probability(std::span<const FailureScenario> scenarios) {
+  double total = 0.0;
+  for (const FailureScenario& s : scenarios) total += s.probability;
+  return total;
+}
+
+}  // namespace netent::risk

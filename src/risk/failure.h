@@ -1,0 +1,40 @@
+// Failure scenarios: the raw material of the Risk Simulation System (§4.3).
+// A scenario is a set of simultaneously-failed SRLGs (fibers). Stationary
+// per-fiber unavailability follows from MTBF/MTTR, and scenarios are
+// enumerated exhaustively up to a simultaneity bound with exact independent-
+// failure probabilities; the unenumerated tail mass is reported so the
+// approval engine can treat it conservatively as downtime.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace netent::risk {
+
+struct FailureScenario {
+  std::vector<SrlgId> down;  ///< sorted; empty == no-failure scenario
+  double probability = 0.0;
+};
+
+struct ScenarioConfig {
+  std::size_t max_simultaneous = 2;  ///< enumerate up to k-fiber failures
+  double min_probability = 1e-12;    ///< drop scenarios rarer than this
+};
+
+/// Per-SRLG stationary unavailability, indexed by SrlgId.
+[[nodiscard]] std::vector<double> srlg_unavailability(const topology::Topology& topo);
+
+/// Enumerates the no-failure scenario plus all failure sets of size up to
+/// `config.max_simultaneous`, with exact probabilities under independent
+/// fiber failures. Scenarios are ordered by decreasing probability.
+[[nodiscard]] std::vector<FailureScenario> enumerate_scenarios(const topology::Topology& topo,
+                                                               const ScenarioConfig& config);
+
+/// Total probability mass of the enumerated scenarios (<= 1; the shortfall
+/// is the unmodeled tail).
+[[nodiscard]] double total_probability(std::span<const FailureScenario> scenarios);
+
+}  // namespace netent::risk

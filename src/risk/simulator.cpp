@@ -1,0 +1,84 @@
+#include "risk/simulator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::risk {
+
+AvailabilityCurve::AvailabilityCurve(std::vector<std::pair<double, double>> outcomes)
+    : outcomes_(std::move(outcomes)) {
+  NETENT_EXPECTS(!outcomes_.empty());
+  std::sort(outcomes_.begin(), outcomes_.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& [bandwidth, probability] : outcomes_) {
+    NETENT_EXPECTS(bandwidth >= 0.0);
+    NETENT_EXPECTS(probability >= 0.0);
+    total_mass_ += probability;
+  }
+}
+
+double AvailabilityCurve::availability_at(Gbps bandwidth) const {
+  double mass = 0.0;
+  for (const auto& [placed, probability] : outcomes_) {
+    if (placed >= bandwidth.value() - 1e-9) {
+      mass += probability;
+    } else {
+      break;  // sorted descending: nothing further qualifies
+    }
+  }
+  return mass;
+}
+
+Gbps AvailabilityCurve::bandwidth_at(double target_availability) const {
+  NETENT_EXPECTS(target_availability > 0.0 && target_availability <= 1.0);
+  if (total_mass_ < target_availability) return Gbps(0);
+  double mass = 0.0;
+  for (const auto& [placed, probability] : outcomes_) {
+    mass += probability;
+    if (mass >= target_availability) return Gbps(placed);
+  }
+  return Gbps(outcomes_.back().first);
+}
+
+RiskSimulator::RiskSimulator(topology::Router& router, std::vector<FailureScenario> scenarios,
+                             std::vector<double> base_capacity_gbps)
+    : router_(router),
+      scenarios_(std::move(scenarios)),
+      base_capacity_(std::move(base_capacity_gbps)) {
+  NETENT_EXPECTS(!scenarios_.empty());
+  NETENT_EXPECTS(base_capacity_.size() == router_.topo().link_count());
+}
+
+std::vector<AvailabilityCurve> RiskSimulator::availability_curves(
+    std::span<const topology::Demand> pipes) const {
+  NETENT_EXPECTS(!pipes.empty());
+
+  std::vector<std::vector<std::pair<double, double>>> outcomes(pipes.size());
+  std::vector<double> scenario_capacity(base_capacity_.size());
+
+  for (const FailureScenario& scenario : scenarios_) {
+    // Zero out links riding failed fibers.
+    scenario_capacity = base_capacity_;
+    for (const topology::Link& link : router_.topo().links()) {
+      for (const SrlgId srlg : scenario.down) {
+        if (link.srlg == srlg) {
+          scenario_capacity[link.id.value()] = 0.0;
+          break;
+        }
+      }
+    }
+    const auto result = router_.route(pipes, scenario_capacity);
+    NETENT_ENSURES(result.placed_per_demand.size() == pipes.size());
+    for (std::size_t i = 0; i < pipes.size(); ++i) {
+      outcomes[i].emplace_back(result.placed_per_demand[i], scenario.probability);
+    }
+  }
+
+  std::vector<AvailabilityCurve> curves;
+  curves.reserve(pipes.size());
+  for (auto& pipe_outcomes : outcomes) curves.emplace_back(std::move(pipe_outcomes));
+  return curves;
+}
+
+}  // namespace netent::risk

@@ -1,0 +1,59 @@
+// The Risk Simulation System (RSS, §4.3): generates per-pipe bandwidth
+// availability curves by placing a batch of pipe requests on the network
+// under every enumerated failure scenario. The approval engine reads the
+// curve at the contract's SLO target to decide how much of a request can be
+// guaranteed.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/units.h"
+#include "risk/failure.h"
+#include "topology/routing.h"
+
+namespace netent::risk {
+
+/// Availability as a function of delivered bandwidth for one pipe:
+/// A(b) = P(admissible bandwidth >= b) over failure scenarios. Probability
+/// mass not covered by the enumeration counts as unavailable (conservative).
+class AvailabilityCurve {
+ public:
+  /// `outcomes` pairs (admissible Gbps under scenario, scenario probability).
+  explicit AvailabilityCurve(std::vector<std::pair<double, double>> outcomes);
+
+  /// P(admissible >= bandwidth).
+  [[nodiscard]] double availability_at(Gbps bandwidth) const;
+
+  /// Largest bandwidth whose availability meets `target` (the §4.3 "flow
+  /// volume associated with the desired SLO target"). Returns 0 Gbps when
+  /// even zero-bandwidth availability (total enumerated mass) misses target.
+  [[nodiscard]] Gbps bandwidth_at(double target_availability) const;
+
+ private:
+  std::vector<std::pair<double, double>> outcomes_;  // sorted by bandwidth desc
+  double total_mass_ = 0.0;
+};
+
+class RiskSimulator {
+ public:
+  /// `base_capacity_gbps` is the per-link capacity available to the batch
+  /// (full capacity minus higher-priority reservations), indexed by LinkId.
+  RiskSimulator(topology::Router& router, std::vector<FailureScenario> scenarios,
+                std::vector<double> base_capacity_gbps);
+
+  /// Places the batch under every scenario (links on failed SRLGs get zero
+  /// capacity) and returns one availability curve per input pipe. Placement
+  /// order within the batch is the input order.
+  [[nodiscard]] std::vector<AvailabilityCurve> availability_curves(
+      std::span<const topology::Demand> pipes) const;
+
+  [[nodiscard]] std::span<const FailureScenario> scenarios() const { return scenarios_; }
+
+ private:
+  topology::Router& router_;
+  std::vector<FailureScenario> scenarios_;
+  std::vector<double> base_capacity_;
+};
+
+}  // namespace netent::risk

@@ -1,0 +1,93 @@
+#include "risk/verification.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::risk {
+
+SloVerifier::SloVerifier(topology::Router& router, std::vector<FailureScenario> scenarios,
+                         approval::LowTouchPredicate low_touch)
+    : router_(router), scenarios_(std::move(scenarios)), low_touch_(std::move(low_touch)) {
+  NETENT_EXPECTS(!scenarios_.empty());
+  NETENT_EXPECTS(low_touch_ != nullptr);
+}
+
+std::vector<PipeAttainment> SloVerifier::verify(
+    std::span<const approval::PipeApprovalResult> approvals) const {
+  // Order pipes as the approval engine placed them: premium classes first,
+  // then input order within a class.
+  std::vector<std::size_t> order;
+  for (const QosClass qos : qos_priority_order()) {
+    std::vector<std::size_t> indices;
+    for (std::size_t i = 0; i < approvals.size(); ++i) {
+      if (approvals[i].request.qos == qos && approvals[i].approved > Gbps(0)) {
+        indices.push_back(i);
+      }
+    }
+    std::stable_sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return low_touch_(approvals[a].request.npg) && !low_touch_(approvals[b].request.npg);
+    });
+    order.insert(order.end(), indices.begin(), indices.end());
+  }
+
+  std::vector<topology::Demand> demands;
+  demands.reserve(order.size());
+  for (const std::size_t i : order) {
+    demands.push_back(
+        {approvals[i].request.src, approvals[i].request.dst, approvals[i].approved});
+  }
+
+  std::vector<double> admitted_mass(order.size(), 0.0);
+  std::vector<double> scenario_capacity(router_.topo().link_count());
+  for (const FailureScenario& scenario : scenarios_) {
+    for (const topology::Link& link : router_.topo().links()) {
+      double capacity = link.capacity.value();
+      for (const SrlgId srlg : scenario.down) {
+        if (link.srlg == srlg) {
+          capacity = 0.0;
+          break;
+        }
+      }
+      scenario_capacity[link.id.value()] = capacity;
+    }
+    const auto result = router_.route(demands, scenario_capacity);
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      if (result.placed_per_demand[k] >= demands[k].amount.value() - 1e-6) {
+        admitted_mass[k] += scenario.probability;
+      }
+    }
+  }
+
+  std::vector<PipeAttainment> attainments;
+  attainments.reserve(order.size());
+  for (std::size_t k = 0; k < order.size(); ++k) {
+    const std::size_t i = order[k];
+    attainments.push_back(
+        {approvals[i].request, approvals[i].approved, admitted_mass[k]});
+  }
+  return attainments;
+}
+
+std::vector<ClassAttainment> SloVerifier::per_class(
+    std::span<const PipeAttainment> attainments) {
+  std::vector<ClassAttainment> classes;
+  for (const QosClass qos : qos_priority_order()) {
+    ClassAttainment entry;
+    entry.qos = qos;
+    double sum = 0.0;
+    for (const PipeAttainment& attainment : attainments) {
+      if (attainment.request.qos != qos) continue;
+      ++entry.pipes;
+      sum += attainment.achieved_availability;
+      entry.worst_availability =
+          std::min(entry.worst_availability, attainment.achieved_availability);
+    }
+    if (entry.pipes == 0) continue;
+    entry.mean_availability = sum / static_cast<double>(entry.pipes);
+    classes.push_back(entry);
+  }
+  return classes;
+}
+
+}  // namespace netent::risk

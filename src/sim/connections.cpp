@@ -1,0 +1,69 @@
+#include "sim/connections.h"
+
+#include <algorithm>
+
+namespace netent::sim {
+
+ConnectionPool::ConnectionPool(ConnectionPoolConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  NETENT_EXPECTS(config_.slots >= 1);
+  NETENT_EXPECTS(config_.mean_lifetime_ticks > 0.0);
+  NETENT_EXPECTS(config_.max_backoff_ticks >= 1);
+  NETENT_EXPECTS(config_.reset_loss_threshold > 0.0 && config_.reset_loss_threshold <= 1.0);
+  slots_.resize(config_.slots);
+}
+
+ConnectionStats ConnectionPool::tick(double loss) {
+  NETENT_EXPECTS(loss >= 0.0 && loss <= 1.0);
+  ConnectionStats stats;
+  const double close_probability = 1.0 / config_.mean_lifetime_ticks;
+
+  for (Slot& slot : slots_) {
+    switch (slot.state) {
+      case State::connecting: {
+        if (slot.backoff > 0) {
+          --slot.backoff;
+          break;
+        }
+        ++stats.syn_sent;
+        // The handshake needs SYN and SYN-ACK to survive; approximate both
+        // directions with the same loss.
+        if (!rng_.bernoulli(loss) && !rng_.bernoulli(loss)) {
+          slot.state = State::established;
+          slot.next_backoff = 1;
+          ++stats.established;
+        } else {
+          slot.backoff = slot.next_backoff;
+          slot.next_backoff = std::min(slot.next_backoff * 2, config_.max_backoff_ticks);
+        }
+        break;
+      }
+      case State::established: {
+        if (loss >= config_.reset_loss_threshold && rng_.bernoulli(loss)) {
+          // Sustained heavy loss: the peer or a middlebox resets the flow.
+          slot.state = State::connecting;
+          slot.backoff = slot.next_backoff;
+          ++stats.resets;
+        } else if (rng_.bernoulli(close_probability)) {
+          // Natural completion; the application immediately opens a new one.
+          slot.state = State::connecting;
+          slot.backoff = 0;
+          ++stats.fins;
+        }
+        break;
+      }
+    }
+    if (slot.state == State::established) ++stats.live;
+  }
+  return stats;
+}
+
+std::size_t ConnectionPool::live_connections() const {
+  std::size_t live = 0;
+  for (const Slot& slot : slots_) {
+    if (slot.state == State::established) ++live;
+  }
+  return live;
+}
+
+}  // namespace netent::sim

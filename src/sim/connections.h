@@ -1,0 +1,60 @@
+// Connection-level model of a host's flow population. The §6 drill reports
+// TCP stats (SYN / SYN-ACK / FIN / RST / retransmits); this model produces
+// them mechanistically instead of by formula: each connection slot cycles
+// through connecting -> established -> closed, SYN attempts succeed with
+// probability (1 - loss), failed attempts retry with a capped exponential
+// backoff, and established connections are torn down (RST) when loss stays
+// above a threshold. Aggregated per tick, this yields the Figure 14 shape:
+// baseline SYN rate when healthy, a retry storm under heavy loss, recovery
+// after rollback.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace netent::sim {
+
+struct ConnectionStats {
+  std::size_t syn_sent = 0;        ///< SYN transmissions (first tries + retries)
+  std::size_t established = 0;     ///< handshakes completed this tick
+  std::size_t resets = 0;          ///< established connections torn down (RST)
+  std::size_t fins = 0;            ///< graceful closes
+  std::size_t live = 0;            ///< established connections after the tick
+};
+
+struct ConnectionPoolConfig {
+  std::size_t slots = 25;              ///< concurrent connections the host keeps
+  double mean_lifetime_ticks = 60.0;   ///< graceful close rate when healthy
+  std::size_t max_backoff_ticks = 8;   ///< SYN retry backoff cap
+  double reset_loss_threshold = 0.5;   ///< sustained loss above this RSTs established flows
+};
+
+/// The connection population of one host. Deterministic for a given Rng.
+class ConnectionPool {
+ public:
+  ConnectionPool(ConnectionPoolConfig config, Rng rng);
+
+  /// Advances one tick under the given packet-loss fraction; returns the
+  /// tick's aggregate stats.
+  ConnectionStats tick(double loss);
+
+  [[nodiscard]] std::size_t live_connections() const;
+
+ private:
+  enum class State : std::uint8_t { connecting, established };
+
+  struct Slot {
+    State state = State::connecting;
+    std::size_t backoff = 0;        ///< ticks until the next SYN attempt
+    std::size_t next_backoff = 1;   ///< exponential schedule
+  };
+
+  ConnectionPoolConfig config_;
+  Rng rng_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace netent::sim

@@ -1,0 +1,115 @@
+// The §6 real-world enforcement drill, reproduced in simulation: a big
+// storage service (Coldstorage) with hundreds of hosts behind one backbone
+// bottleneck port, full distributed enforcement (agents + rate store + BPF
+// classifiers + priority-queue switch), and an ACL stage that drops a
+// scheduled, increasing percentage of non-conforming traffic to mimic
+// congestion. Network-level (Figures 11-14) and application-level
+// (Figures 15-17) metrics are collected every tick.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "enforce/marker.h"
+#include "sim/tcp.h"
+
+namespace netent::sim {
+
+struct AclStage {
+  double start_seconds;
+  double drop_fraction;  ///< of non-conforming traffic, in [0, 1]
+};
+
+struct DrillConfig {
+  std::size_t host_count = 200;
+  double duration_seconds = 210.0 * 60.0;
+  double tick_seconds = 5.0;
+
+  QosClass qos = QosClass::c2_low;
+  Gbps entitled_initial = Gbps(5000);
+  Gbps entitled_reduced = Gbps(1000);
+  double entitled_cut_seconds = 30.0 * 60.0;  ///< "At x=30 min, the entitled rate is reduced"
+
+  /// The §6 methodology: progressively increase the dropped percentage of
+  /// non-conforming traffic, then roll back (final stage with fraction 0).
+  std::vector<AclStage> acl_stages = {
+      {65.0 * 60.0, 0.125}, {100.0 * 60.0, 0.50}, {135.0 * 60.0, 1.0}, {170.0 * 60.0, 0.0}};
+
+  /// Service demand ramp: starts below the reduced entitlement ("the service
+  /// is not busy") and grows past it.
+  Gbps demand_start = Gbps(900);
+  Gbps demand_end = Gbps(3000);
+  double demand_ramp_end_seconds = 120.0 * 60.0;
+
+  Gbps port_capacity = Gbps(6000);
+  Gbps background_conforming = Gbps(1500);  ///< other services sharing the port
+
+  enforce::MarkingMode marking = enforce::MarkingMode::host_based;
+  bool stateful_meter = true;
+  /// Transport reaction of non-conforming flows to loss: the default EWMA
+  /// collapse/recover, or the fluid AIMD aggregate of sim/tcp.h.
+  enum class Transport : std::uint8_t { ewma, aimd };
+  Transport transport = Transport::ewma;
+  TcpAggregateConfig tcp;
+  double store_visibility_delay_seconds = 10.0;
+  double metering_interval_seconds = 10.0;
+  double publish_interval_seconds = 5.0;
+  std::uint32_t marking_groups = 100;
+  std::size_t flows_per_host = 25;
+
+  double base_rtt_ms = 35.0;           ///< cross-region propagation
+  double read_base_latency_ms = 120.0;  ///< Coldstorage restore service time
+  double write_base_latency_ms = 180.0;
+  double failover_delay_seconds = 120.0;  ///< reads re-balance away from dead hosts
+  double write_session_tau_seconds = 900.0;  ///< stateful writes move away slowly
+};
+
+/// One tick of collected metrics. Rates in Gbps, delays in ms.
+struct DrillTick {
+  double t_seconds = 0.0;
+  double acl_drop_fraction = 0.0;
+  double entitled = 0.0;
+  double demand = 0.0;
+
+  // Figure 12: rates as reported by the endhosts.
+  double total_rate = 0.0;
+  double conform_rate = 0.0;
+
+  // Figure 11: network loss ratio per marking.
+  double conform_loss_ratio = 0.0;
+  double nonconform_loss_ratio = 0.0;
+
+  // Figure 13: RTT per marking.
+  double conform_rtt_ms = 0.0;
+  double nonconform_rtt_ms = 0.0;
+
+  // Figure 14 family: TCP stats per second. The paper collects SYN,
+  // SYN/ACK, FIN/RST, FIN, RST and retransmits; SYN is the one it plots.
+  double conform_syn_per_s = 0.0;
+  double nonconform_syn_per_s = 0.0;
+  double nonconform_rst_per_s = 0.0;
+  double conform_fin_per_s = 0.0;
+
+  // Figures 15-17: application metrics.
+  double read_latency_ms = 0.0;
+  double write_latency_ms = 0.0;
+  double block_error_rate = 0.0;  ///< failed write blocks / attempted
+};
+
+class DrillSim {
+ public:
+  DrillSim(DrillConfig config, Rng rng);
+
+  /// Runs the whole drill; one DrillTick per tick.
+  [[nodiscard]] std::vector<DrillTick> run();
+
+  [[nodiscard]] const DrillConfig& config() const { return config_; }
+
+ private:
+  DrillConfig config_;
+  Rng rng_;
+};
+
+}  // namespace netent::sim

@@ -1,0 +1,27 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace netent::sim {
+
+void EventQueue::schedule(double when, Action action) {
+  NETENT_EXPECTS(when >= now_);
+  NETENT_EXPECTS(action != nullptr);
+  events_.push(Event{when, next_sequence_++, std::move(action)});
+}
+
+void EventQueue::run_until(double horizon) {
+  NETENT_EXPECTS(horizon >= now_);
+  while (!events_.empty() && events_.top().when <= horizon) {
+    // Copy out before pop: the action may schedule new events.
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.when;
+    event.action();
+  }
+  if (events_.empty() || events_.top().when > horizon) now_ = horizon;
+}
+
+}  // namespace netent::sim

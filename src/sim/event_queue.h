@@ -1,0 +1,51 @@
+// Minimal discrete-event engine driving the enforcement simulations: a time-
+// ordered queue of callbacks with a monotonic clock. Events scheduled at
+// equal times fire in scheduling order (stable), which keeps runs
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace netent::sim {
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  /// Schedules `action` at absolute time `when` (>= now).
+  void schedule(double when, Action action);
+
+  /// Schedules `action` `delay` seconds from now.
+  void schedule_in(double delay, Action action) { schedule(now_ + delay, std::move(action)); }
+
+  /// Runs events until the queue is empty or the next event is after
+  /// `horizon`; the clock ends at the last executed event (or `horizon` if
+  /// nothing remains before it).
+  void run_until(double horizon);
+
+  [[nodiscard]] double now() const { return now_; }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+
+ private:
+  struct Event {
+    double when;
+    std::uint64_t sequence;  // tie-break: stable FIFO at equal times
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_sequence_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+};
+
+}  // namespace netent::sim

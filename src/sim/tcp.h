@@ -1,0 +1,56 @@
+// Fluid AIMD model of a TCP flow aggregate. The drill's transport reaction
+// ("non-conforming flows collapse under loss and recover when it clears")
+// can be modeled by a simple EWMA (the default) or by this AIMD aggregate:
+// every control interval the send fraction grows additively toward the full
+// demand and is cut multiplicatively in proportion to the observed loss,
+// with a retry floor representing SYN/retransmit attempts that never stop.
+// The per-interval map f' = (f + a(1-f)) * (1 - c*p) has the fixed point
+//   f* = a (1 - c p) / (1 - (1 - a)(1 - c p))
+// (additive gain a, cut factor c, loss p) — monotone decreasing in loss,
+// full rate at zero loss — which tests pin.
+#pragma once
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::sim {
+
+struct TcpAggregateConfig {
+  double additive_gain = 0.1;       ///< recovery toward full demand per interval
+  double multiplicative_cut = 2.0;  ///< rate *= (1 - cut * loss), floored at 0
+  double retry_floor = 0.05;        ///< minimum send fraction (connection attempts)
+};
+
+/// Send rate of a host's flow aggregate as a fraction of its demand,
+/// advanced by per-interval loss observations.
+class TcpAggregate {
+ public:
+  explicit TcpAggregate(TcpAggregateConfig config = {}) : config_(config) {
+    NETENT_EXPECTS(config_.additive_gain > 0.0 && config_.additive_gain <= 1.0);
+    NETENT_EXPECTS(config_.multiplicative_cut > 0.0);
+    NETENT_EXPECTS(config_.retry_floor >= 0.0 && config_.retry_floor < 1.0);
+  }
+
+  /// Advances one control interval with the loss fraction observed over the
+  /// previous interval; returns the new send fraction in [retry_floor, 1].
+  double observe_loss(double loss) {
+    NETENT_EXPECTS(loss >= 0.0 && loss <= 1.0);
+    // Additive increase toward full demand...
+    fraction_ += config_.additive_gain * (1.0 - fraction_);
+    // ...multiplicative decrease in proportion to loss.
+    fraction_ *= std::max(0.0, 1.0 - config_.multiplicative_cut * loss);
+    fraction_ = std::clamp(fraction_, config_.retry_floor, 1.0);
+    return fraction_;
+  }
+
+  [[nodiscard]] double send_fraction() const { return fraction_; }
+
+  void reset() { fraction_ = 1.0; }
+
+ private:
+  TcpAggregateConfig config_;
+  double fraction_ = 1.0;
+};
+
+}  // namespace netent::sim

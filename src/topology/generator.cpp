@@ -1,0 +1,95 @@
+#include "topology/generator.h"
+
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace netent::topology {
+
+Topology generate_backbone(const GeneratorConfig& config, Rng& rng) {
+  NETENT_EXPECTS(config.region_count >= 3);
+  NETENT_EXPECTS(config.dc_fraction >= 0.0 && config.dc_fraction <= 1.0);
+  NETENT_EXPECTS(config.max_parallel_fibers >= 1);
+
+  Topology topo;
+  const auto dc_count = static_cast<std::size_t>(
+      std::round(config.dc_fraction * static_cast<double>(config.region_count)));
+  for (std::size_t i = 0; i < config.region_count; ++i) {
+    const bool is_dc = i < dc_count;
+    topo.add_region((is_dc ? "dc" : "pop") + std::to_string(i),
+                    is_dc ? RegionKind::data_center : RegionKind::pop);
+  }
+
+  const auto draw_capacity = [&](bool dc_to_dc) {
+    // Lognormal heterogeneity; DC-DC adjacencies are provisioned fatter.
+    const double mult = std::exp(config.capacity_sigma * rng.normal());
+    const double dc_boost = dc_to_dc ? 1.5 : 1.0;
+    return Gbps(config.base_capacity.value() * mult * dc_boost);
+  };
+  const auto draw_mtbf = [&] {
+    return rng.uniform(config.mtbf_hours_min, config.mtbf_hours_max);
+  };
+  const auto draw_mttr = [&] {
+    return rng.uniform(config.mttr_hours_min, config.mttr_hours_max);
+  };
+  const auto add_adjacency = [&](RegionId a, RegionId b) {
+    const bool dc_to_dc = topo.region(a).kind == RegionKind::data_center &&
+                          topo.region(b).kind == RegionKind::data_center;
+    // Fat adjacencies get parallel fibers; each extra fiber independently
+    // either gets its own SRLG or shares the first fiber's conduit.
+    const std::size_t fibers = 1 + rng.uniform_int(config.max_parallel_fibers);
+    const LinkId first = topo.add_fiber(a, b, draw_capacity(dc_to_dc), draw_mtbf(), draw_mttr());
+    for (std::size_t f = 1; f < fibers; ++f) {
+      if (rng.bernoulli(config.shared_conduit_probability)) {
+        topo.add_fiber_in_conduit(a, b, draw_capacity(dc_to_dc), first);
+      } else {
+        topo.add_fiber(a, b, draw_capacity(dc_to_dc), draw_mtbf(), draw_mttr());
+      }
+    }
+  };
+
+  // Continental ring: guarantees biconnectivity of the region graph.
+  for (std::size_t i = 0; i < config.region_count; ++i) {
+    add_adjacency(RegionId(static_cast<std::uint32_t>(i)),
+                  RegionId(static_cast<std::uint32_t>((i + 1) % config.region_count)));
+  }
+  // Express chords between non-adjacent pairs.
+  for (std::size_t i = 0; i < config.region_count; ++i) {
+    for (std::size_t j = i + 2; j < config.region_count; ++j) {
+      if (i == 0 && j == config.region_count - 1) continue;  // ring edge
+      if (rng.bernoulli(config.chord_probability)) {
+        add_adjacency(RegionId(static_cast<std::uint32_t>(i)),
+                      RegionId(static_cast<std::uint32_t>(j)));
+      }
+    }
+  }
+
+  NETENT_ENSURES(topo.link_count() >= 2 * config.region_count);
+  return topo;
+}
+
+Topology figure6_topology() {
+  Topology topo;
+  const RegionId a = topo.add_region("A", RegionKind::data_center);
+  const RegionId b = topo.add_region("B", RegionKind::data_center);
+  const RegionId c = topo.add_region("C", RegionKind::data_center);
+  const RegionId d = topo.add_region("D", RegionKind::data_center);
+  const RegionId e = topo.add_region("E", RegionKind::data_center);
+  // Full mesh from A plus a ring among B..E, generous capacity so the worked
+  // example is demand-limited rather than capacity-limited.
+  const Gbps cap(1000);
+  const double mtbf = 10000.0;
+  const double mttr = 12.0;
+  topo.add_fiber(a, b, cap, mtbf, mttr);
+  topo.add_fiber(a, c, cap, mtbf, mttr);
+  topo.add_fiber(a, d, cap, mtbf, mttr);
+  topo.add_fiber(a, e, cap, mtbf, mttr);
+  topo.add_fiber(b, c, cap, mtbf, mttr);
+  topo.add_fiber(c, d, cap, mtbf, mttr);
+  topo.add_fiber(d, e, cap, mtbf, mttr);
+  topo.add_fiber(e, b, cap, mtbf, mttr);
+  return topo;
+}
+
+}  // namespace netent::topology

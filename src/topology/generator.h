@@ -1,0 +1,39 @@
+// Synthetic WAN backbone generator (substitute for Meta's production
+// backbone, see DESIGN.md §1). Produces a Meta-like topology: a biconnected
+// continental ring of regions with random express chords, heterogeneous
+// region capacity (each DC is built differently, §3.1 challenge 2), parallel
+// fibers on fat adjacencies, and per-fiber reliability parameters.
+#pragma once
+
+#include "common/rng.h"
+#include "topology/topology.h"
+
+namespace netent::topology {
+
+struct GeneratorConfig {
+  std::size_t region_count = 16;
+  double dc_fraction = 0.6;           ///< remaining regions are PoPs
+  Gbps base_capacity = Gbps(400);     ///< median per-direction fiber capacity
+  double capacity_sigma = 0.5;        ///< lognormal spread of fiber capacity
+  double chord_probability = 0.25;    ///< probability of an express chord per non-adjacent pair
+  std::size_t max_parallel_fibers = 3; ///< fat adjacencies get up to this many fibers
+  /// Probability that an additional parallel fiber is laid in the same
+  /// conduit as the adjacency's first fiber (correlated failure).
+  double shared_conduit_probability = 0.0;
+  double mtbf_hours_min = 1000.0;     ///< fiber reliability range
+  double mtbf_hours_max = 20000.0;
+  double mttr_hours_min = 4.0;
+  double mttr_hours_max = 48.0;
+};
+
+/// Builds a random backbone. Deterministic for a fixed config and rng state.
+/// Guarantees: at least `region_count` regions, ring connectivity (every
+/// region pair connected even after any single fiber cut on the ring, since
+/// the ring plus chords is 2-edge-connected w.r.t. SRLGs).
+[[nodiscard]] Topology generate_backbone(const GeneratorConfig& config, Rng& rng);
+
+/// The five-region example of Figure 6 (regions A..E, generous uniform
+/// capacity) used by the §4.2 worked example and the quickstart.
+[[nodiscard]] Topology figure6_topology();
+
+}  // namespace netent::topology

@@ -1,0 +1,109 @@
+#include "topology/max_flow.h"
+
+#include <limits>
+#include <queue>
+#include <vector>
+
+#include "common/check.h"
+
+namespace netent::topology {
+
+namespace {
+
+/// Dinic over an explicit residual-edge arena. Each usable topology link
+/// contributes a forward edge plus a zero-capacity reverse companion.
+class Dinic {
+ public:
+  explicit Dinic(std::size_t node_count) : head_(node_count, -1), level_(node_count), it_(node_count) {}
+
+  void add_edge(std::uint32_t u, std::uint32_t v, double cap) {
+    edges_.push_back({v, head_[u], cap});
+    head_[u] = static_cast<int>(edges_.size()) - 1;
+    edges_.push_back({u, head_[v], 0.0});
+    head_[v] = static_cast<int>(edges_.size()) - 1;
+  }
+
+  double run(std::uint32_t s, std::uint32_t t) {
+    double flow = 0.0;
+    while (bfs(s, t)) {
+      it_ = head_;
+      while (true) {
+        const double pushed = dfs(s, t, std::numeric_limits<double>::infinity());
+        if (pushed <= 0.0) break;
+        flow += pushed;
+      }
+    }
+    return flow;
+  }
+
+ private:
+  struct Edge {
+    std::uint32_t to;
+    int next;
+    double cap;
+  };
+
+  bool bfs(std::uint32_t s, std::uint32_t t) {
+    std::fill(level_.begin(), level_.end(), -1);
+    std::queue<std::uint32_t> q;
+    level_[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const std::uint32_t u = q.front();
+      q.pop();
+      for (int e = head_[u]; e != -1; e = edges_[e].next) {
+        if (edges_[e].cap > 1e-12 && level_[edges_[e].to] == -1) {
+          level_[edges_[e].to] = level_[u] + 1;
+          q.push(edges_[e].to);
+        }
+      }
+    }
+    return level_[t] != -1;
+  }
+
+  double dfs(std::uint32_t u, std::uint32_t t, double limit) {
+    if (u == t) return limit;
+    for (int& e = it_[u]; e != -1; e = edges_[e].next) {
+      Edge& edge = edges_[e];
+      if (edge.cap > 1e-12 && level_[edge.to] == level_[u] + 1) {
+        const double pushed = dfs(edge.to, t, std::min(limit, edge.cap));
+        if (pushed > 0.0) {
+          edge.cap -= pushed;
+          edges_[e ^ 1].cap += pushed;
+          return pushed;
+        }
+      }
+    }
+    return 0.0;
+  }
+
+  std::vector<Edge> edges_;
+  std::vector<int> head_;
+  std::vector<int> level_;
+  std::vector<int> it_;
+};
+
+}  // namespace
+
+Gbps max_flow(const Topology& topo, RegionId src, RegionId dst,
+              std::span<const double> residual_gbps, const LinkFilter& filter) {
+  NETENT_EXPECTS(src != dst);
+  NETENT_EXPECTS(residual_gbps.size() == topo.link_count());
+
+  Dinic dinic(topo.region_count());
+  for (const Link& link : topo.links()) {
+    const double cap = residual_gbps[link.id.value()];
+    if (cap > 0.0 && filter(link)) {
+      dinic.add_edge(link.src.value(), link.dst.value(), cap);
+    }
+  }
+  return Gbps(dinic.run(src.value(), dst.value()));
+}
+
+Gbps max_flow(const Topology& topo, RegionId src, RegionId dst, const LinkFilter& filter) {
+  std::vector<double> caps(topo.link_count());
+  for (const Link& link : topo.links()) caps[link.id.value()] = link.capacity.value();
+  return max_flow(topo, src, dst, caps, filter);
+}
+
+}  // namespace netent::topology

@@ -1,0 +1,26 @@
+// Max-flow between two regions (Dinic's algorithm). This is the admissible-
+// bandwidth primitive of the risk simulator: under a failure scenario, the
+// most traffic a pipe <src, dst> can push is the max-flow over the surviving
+// residual capacities.
+#pragma once
+
+#include <span>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "topology/paths.h"
+#include "topology/topology.h"
+
+namespace netent::topology {
+
+/// Maximum flow from `src` to `dst` using per-link capacities `residual`
+/// (indexed by LinkId; pass link.capacity values for a fresh network) over
+/// links accepted by `filter`.
+[[nodiscard]] Gbps max_flow(const Topology& topo, RegionId src, RegionId dst,
+                            std::span<const double> residual_gbps, const LinkFilter& filter);
+
+/// Convenience overload using full link capacities.
+[[nodiscard]] Gbps max_flow(const Topology& topo, RegionId src, RegionId dst,
+                            const LinkFilter& filter);
+
+}  // namespace netent::topology

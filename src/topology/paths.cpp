@@ -1,0 +1,149 @@
+#include "topology/paths.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <set>
+
+#include "common/check.h"
+
+namespace netent::topology {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Dijkstra with an extra per-call ban list of links and regions, needed by
+/// Yen's spur-path computation.
+std::optional<Path> dijkstra(const Topology& topo, RegionId src, RegionId dst,
+                             const LinkFilter& filter, const std::vector<bool>& banned_links,
+                             const std::vector<bool>& banned_regions) {
+  const std::size_t n = topo.region_count();
+  std::vector<double> dist(n, kInf);
+  std::vector<LinkId> via(n, LinkId(0));
+  std::vector<bool> has_via(n, false);
+
+  using Entry = std::pair<double, std::uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[src.value()] = 0.0;
+  heap.emplace(0.0, src.value());
+
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst.value()) break;
+    for (const LinkId lid : topo.out_links(RegionId(u))) {
+      if (banned_links[lid.value()]) continue;
+      const Link& link = topo.link(lid);
+      if (banned_regions[link.dst.value()]) continue;
+      if (!filter(link)) continue;
+      const double nd = d + 1.0;
+      if (nd < dist[link.dst.value()]) {
+        dist[link.dst.value()] = nd;
+        via[link.dst.value()] = lid;
+        has_via[link.dst.value()] = true;
+        heap.emplace(nd, link.dst.value());
+      }
+    }
+  }
+
+  if (dist[dst.value()] == kInf) return std::nullopt;
+  Path path;
+  path.cost = dist[dst.value()];
+  for (RegionId at = dst; at != src;) {
+    NETENT_ENSURES(has_via[at.value()]);
+    const LinkId lid = via[at.value()];
+    path.links.push_back(lid);
+    at = topo.link(lid).src;
+  }
+  std::reverse(path.links.begin(), path.links.end());
+  return path;
+}
+
+}  // namespace
+
+LinkFilter accept_all_links() {
+  return [](const Link&) { return true; };
+}
+
+LinkFilter exclude_srlgs(std::vector<SrlgId> down) {
+  std::sort(down.begin(), down.end());
+  return [down = std::move(down)](const Link& link) {
+    return !std::binary_search(down.begin(), down.end(), link.srlg);
+  };
+}
+
+std::optional<Path> shortest_path(const Topology& topo, RegionId src, RegionId dst,
+                                  const LinkFilter& filter) {
+  NETENT_EXPECTS(src != dst);
+  const std::vector<bool> no_links(topo.link_count(), false);
+  const std::vector<bool> no_regions(topo.region_count(), false);
+  return dijkstra(topo, src, dst, filter, no_links, no_regions);
+}
+
+std::vector<Path> k_shortest_paths(const Topology& topo, RegionId src, RegionId dst, std::size_t k,
+                                   const LinkFilter& filter) {
+  NETENT_EXPECTS(src != dst);
+  NETENT_EXPECTS(k > 0);
+
+  std::vector<Path> result;
+  auto first = shortest_path(topo, src, dst, filter);
+  if (!first) return result;
+  result.push_back(std::move(*first));
+
+  // Candidate pool ordered by cost; ties broken by link sequence to keep the
+  // algorithm deterministic.
+  const auto path_less = [](const Path& a, const Path& b) {
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return std::lexicographical_compare(
+        a.links.begin(), a.links.end(), b.links.begin(), b.links.end(),
+        [](LinkId x, LinkId y) { return x.value() < y.value(); });
+  };
+  std::set<Path, decltype(path_less)> candidates(path_less);
+
+  std::vector<bool> banned_links(topo.link_count(), false);
+  std::vector<bool> banned_regions(topo.region_count(), false);
+
+  while (result.size() < k) {
+    const Path& prev = result.back();
+    // Spur from every node of the previous path.
+    RegionId spur_node = src;
+    Path root;  // prefix of prev up to (not including) the spur link
+    for (std::size_t i = 0; i < prev.links.size(); ++i) {
+      std::fill(banned_links.begin(), banned_links.end(), false);
+      std::fill(banned_regions.begin(), banned_regions.end(), false);
+
+      // Ban the next link of every accepted/candidate path sharing this root.
+      for (const Path& p : result) {
+        if (p.links.size() > i &&
+            std::equal(root.links.begin(), root.links.end(), p.links.begin())) {
+          banned_links[p.links[i].value()] = true;
+        }
+      }
+      // Ban root nodes (except the spur node) to keep paths simple.
+      for (const LinkId lid : root.links) banned_regions[topo.link(lid).src.value()] = true;
+
+      if (auto spur = dijkstra(topo, spur_node, dst, filter, banned_links, banned_regions)) {
+        Path total;
+        total.links = root.links;
+        total.links.insert(total.links.end(), spur->links.begin(), spur->links.end());
+        total.cost = root.cost + spur->cost;
+        candidates.insert(std::move(total));
+      }
+
+      // Extend the root by one link and advance the spur node.
+      const LinkId lid = prev.links[i];
+      root.links.push_back(lid);
+      root.cost += 1.0;
+      spur_node = topo.link(lid).dst;
+    }
+
+    if (candidates.empty()) break;
+    result.push_back(*candidates.begin());
+    candidates.erase(candidates.begin());
+  }
+  return result;
+}
+
+}  // namespace netent::topology

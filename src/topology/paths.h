@@ -1,0 +1,44 @@
+// Shortest-path machinery over the backbone: Dijkstra and Yen's k-shortest
+// simple paths. Used by the routing engine to build candidate path sets for
+// traffic-matrix placement and availability computation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/topology.h"
+
+namespace netent::topology {
+
+/// A simple path expressed as a sequence of directed link ids.
+struct Path {
+  std::vector<LinkId> links;
+  double cost = 0.0;
+
+  [[nodiscard]] bool empty() const { return links.empty(); }
+  [[nodiscard]] std::size_t hops() const { return links.size(); }
+};
+
+/// Predicate selecting which links are usable (e.g. excludes failed SRLGs).
+/// Returning true means the link may carry traffic.
+using LinkFilter = std::function<bool(const Link&)>;
+
+/// Accepts every link.
+[[nodiscard]] LinkFilter accept_all_links();
+
+/// Rejects links whose SRLG appears in `down` (sorted or unsorted list).
+[[nodiscard]] LinkFilter exclude_srlgs(std::vector<SrlgId> down);
+
+/// Dijkstra shortest path by hop count (unit link cost). Returns nullopt if
+/// `dst` is unreachable under `filter`.
+[[nodiscard]] std::optional<Path> shortest_path(const Topology& topo, RegionId src, RegionId dst,
+                                                const LinkFilter& filter);
+
+/// Yen's algorithm: up to k loop-free shortest paths in nondecreasing cost
+/// order. Fewer than k are returned when the graph runs out of simple paths.
+[[nodiscard]] std::vector<Path> k_shortest_paths(const Topology& topo, RegionId src, RegionId dst,
+                                                 std::size_t k, const LinkFilter& filter);
+
+}  // namespace netent::topology

@@ -1,0 +1,71 @@
+#include "topology/routing.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace netent::topology {
+
+namespace {
+constexpr double kEps = 1e-6;
+}
+
+Router::Router(const Topology& topo, std::size_t k_paths) : topo_(topo), k_paths_(k_paths) {
+  NETENT_EXPECTS(k_paths > 0);
+}
+
+const std::vector<Path>& Router::paths(RegionId src, RegionId dst) {
+  NETENT_EXPECTS(src != dst);
+  const auto key = std::make_pair(src.value(), dst.value());
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    it = cache_.emplace(key, k_shortest_paths(topo_, src, dst, k_paths_, accept_all_links()))
+             .first;
+  }
+  return it->second;
+}
+
+RouteResult Router::route(std::span<const Demand> demands, std::span<const double> capacity_gbps) {
+  NETENT_EXPECTS(capacity_gbps.size() == topo_.link_count());
+
+  RouteResult result;
+  result.link_load.assign(topo_.link_count(), 0.0);
+  result.placed_per_demand.reserve(demands.size());
+  std::vector<double> residual(capacity_gbps.begin(), capacity_gbps.end());
+
+  for (const Demand& demand : demands) {
+    NETENT_EXPECTS(demand.amount >= Gbps(0));
+    result.demand_total += demand.amount;
+    double remaining = demand.amount.value();
+    for (const Path& path : paths(demand.src, demand.dst)) {
+      if (remaining <= kEps) break;
+      // Bottleneck residual along this path.
+      double bottleneck = remaining;
+      for (const LinkId lid : path.links) bottleneck = std::min(bottleneck, residual[lid.value()]);
+      if (bottleneck <= kEps) continue;
+      for (const LinkId lid : path.links) {
+        residual[lid.value()] -= bottleneck;
+        result.link_load[lid.value()] += bottleneck;
+      }
+      remaining -= bottleneck;
+      result.placed_total += Gbps(bottleneck);
+    }
+    result.placed_per_demand.push_back(demand.amount.value() - remaining);
+  }
+
+  result.fully_placed = (result.demand_total - result.placed_total) <= Gbps(kEps);
+  return result;
+}
+
+RouteResult Router::route(std::span<const Demand> demands) {
+  const auto caps = full_capacities();
+  return route(demands, caps);
+}
+
+std::vector<double> Router::full_capacities() const {
+  std::vector<double> caps(topo_.link_count());
+  for (const Link& link : topo_.links()) caps[link.id.value()] = link.capacity.value();
+  return caps;
+}
+
+}  // namespace netent::topology

@@ -1,0 +1,66 @@
+// Path-based routing engine. Demands are placed greedily on k-shortest
+// candidate paths with water-filling: fill the shortest path up to the
+// residual capacity, spill the remainder to the next path. This is the
+// routing model shared by the hose-coverage metric, the risk simulator's
+// multi-pipe admissibility and the approval engine.
+#pragma once
+
+#include <map>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "topology/paths.h"
+#include "topology/topology.h"
+
+namespace netent::topology {
+
+/// A point-to-point bandwidth demand.
+struct Demand {
+  RegionId src;
+  RegionId dst;
+  Gbps amount;
+};
+
+/// Outcome of routing a demand set.
+struct RouteResult {
+  Gbps demand_total;            ///< sum of requested demand
+  Gbps placed_total;            ///< how much was actually placed
+  std::vector<double> link_load;  ///< Gbps load per LinkId
+  std::vector<double> placed_per_demand;  ///< Gbps placed for each input demand
+  bool fully_placed = false;    ///< placed_total == demand_total (within epsilon)
+};
+
+/// Caches k-shortest path sets per (src, dst) pair over a fixed topology.
+/// The cache is populated lazily; `paths()` is therefore non-const but the
+/// router is cheap to share by reference within one thread.
+class Router {
+ public:
+  Router(const Topology& topo, std::size_t k_paths);
+
+  /// Candidate paths for a pair on the intact topology.
+  [[nodiscard]] const std::vector<Path>& paths(RegionId src, RegionId dst);
+
+  /// Routes `demands` (in order) over candidate paths against per-link
+  /// capacities `capacity_gbps` (indexed by LinkId). Partial placement is
+  /// allowed; the result says how much fit.
+  [[nodiscard]] RouteResult route(std::span<const Demand> demands,
+                                  std::span<const double> capacity_gbps);
+
+  /// Routes against the topology's full link capacities.
+  [[nodiscard]] RouteResult route(std::span<const Demand> demands);
+
+  [[nodiscard]] const Topology& topo() const { return topo_; }
+  [[nodiscard]] std::size_t k_paths() const { return k_paths_; }
+
+  /// Per-link capacities of the intact topology, indexed by LinkId.
+  [[nodiscard]] std::vector<double> full_capacities() const;
+
+ private:
+  const Topology& topo_;
+  std::size_t k_paths_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Path>> cache_;
+};
+
+}  // namespace netent::topology

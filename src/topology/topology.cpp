@@ -1,0 +1,86 @@
+#include "topology/topology.h"
+
+#include "common/check.h"
+
+namespace netent::topology {
+
+double link_unavailability(const Link& link) {
+  return link.mttr_hours / (link.mtbf_hours + link.mttr_hours);
+}
+
+RegionId Topology::add_region(std::string name, RegionKind kind) {
+  NETENT_EXPECTS(!name.empty());
+  const RegionId id(static_cast<std::uint32_t>(regions_.size()));
+  regions_.push_back(Region{id, std::move(name), kind});
+  out_links_.emplace_back();
+  return id;
+}
+
+LinkId Topology::add_fiber(RegionId a, RegionId b, Gbps capacity_per_direction, double mtbf_hours,
+                           double mttr_hours) {
+  NETENT_EXPECTS(a.value() < regions_.size());
+  NETENT_EXPECTS(b.value() < regions_.size());
+  NETENT_EXPECTS(a != b);
+  NETENT_EXPECTS(capacity_per_direction > Gbps(0));
+  NETENT_EXPECTS(mtbf_hours > 0.0 && mttr_hours > 0.0);
+
+  const SrlgId srlg(static_cast<std::uint32_t>(srlg_count_++));
+  const LinkId fwd(static_cast<std::uint32_t>(links_.size()));
+  const LinkId rev(static_cast<std::uint32_t>(links_.size() + 1));
+  links_.push_back(Link{fwd, a, b, srlg, rev, capacity_per_direction, mtbf_hours, mttr_hours});
+  links_.push_back(Link{rev, b, a, srlg, fwd, capacity_per_direction, mtbf_hours, mttr_hours});
+  out_links_[a.value()].push_back(fwd);
+  out_links_[b.value()].push_back(rev);
+  return fwd;
+}
+
+LinkId Topology::add_fiber_in_conduit(RegionId a, RegionId b, Gbps capacity_per_direction,
+                                      LinkId existing) {
+  NETENT_EXPECTS(a.value() < regions_.size());
+  NETENT_EXPECTS(b.value() < regions_.size());
+  NETENT_EXPECTS(a != b);
+  NETENT_EXPECTS(capacity_per_direction > Gbps(0));
+  NETENT_EXPECTS(existing.value() < links_.size());
+
+  // Copy, not reference: the push_backs below may reallocate links_.
+  const Link conduit_peer = links_[existing.value()];
+  const LinkId fwd(static_cast<std::uint32_t>(links_.size()));
+  const LinkId rev(static_cast<std::uint32_t>(links_.size() + 1));
+  links_.push_back(Link{fwd, a, b, conduit_peer.srlg, rev, capacity_per_direction,
+                        conduit_peer.mtbf_hours, conduit_peer.mttr_hours});
+  links_.push_back(Link{rev, b, a, conduit_peer.srlg, fwd, capacity_per_direction,
+                        conduit_peer.mtbf_hours, conduit_peer.mttr_hours});
+  out_links_[a.value()].push_back(fwd);
+  out_links_[b.value()].push_back(rev);
+  return fwd;
+}
+
+const Region& Topology::region(RegionId id) const {
+  NETENT_EXPECTS(id.value() < regions_.size());
+  return regions_[id.value()];
+}
+
+const Link& Topology::link(LinkId id) const {
+  NETENT_EXPECTS(id.value() < links_.size());
+  return links_[id.value()];
+}
+
+std::span<const LinkId> Topology::out_links(RegionId id) const {
+  NETENT_EXPECTS(id.value() < out_links_.size());
+  return out_links_[id.value()];
+}
+
+std::optional<RegionId> Topology::find_region(const std::string& name) const {
+  for (const auto& region : regions_) {
+    if (region.name == name) return region.id;
+  }
+  return std::nullopt;
+}
+
+Gbps Topology::total_capacity() const {
+  Gbps total(0);
+  for (const auto& link : links_) total += link.capacity;
+  return total;
+}
+
+}  // namespace netent::topology

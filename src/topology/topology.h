@@ -1,0 +1,84 @@
+// The WAN backbone model: regions (DCs and PoPs) connected by fibers, each
+// fiber being a pair of directed links that share an SRLG (a fiber cut takes
+// out both directions). Links carry capacity and reliability (MTBF/MTTR),
+// which the risk subsystem turns into failure-scenario probabilities.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace netent::topology {
+
+enum class RegionKind : std::uint8_t { data_center, pop };
+
+struct Region {
+  RegionId id;
+  std::string name;
+  RegionKind kind = RegionKind::data_center;
+};
+
+/// One direction of a fiber. `reverse` is the opposite direction's LinkId.
+struct Link {
+  LinkId id;
+  RegionId src;
+  RegionId dst;
+  SrlgId srlg;      ///< fiber identity; shared with `reverse`
+  LinkId reverse;   ///< the other direction of the same fiber
+  Gbps capacity;
+  double mtbf_hours = 8760.0;  ///< mean time between failures
+  double mttr_hours = 12.0;    ///< mean time to repair
+};
+
+/// Stationary unavailability of a link: the long-run fraction of time the
+/// fiber is down, MTTR / (MTBF + MTTR).
+[[nodiscard]] double link_unavailability(const Link& link);
+
+/// Immutable-after-build backbone topology. Built through `add_region` /
+/// `add_fiber`; the query interface is const.
+class Topology {
+ public:
+  RegionId add_region(std::string name, RegionKind kind);
+
+  /// Adds a bidirectional fiber: two directed links sharing one SRLG.
+  /// Returns the forward-direction link id (a -> b).
+  LinkId add_fiber(RegionId a, RegionId b, Gbps capacity_per_direction, double mtbf_hours,
+                   double mttr_hours);
+
+  /// Adds a bidirectional fiber laid in the same conduit as `existing`
+  /// (same SRLG, same reliability): a single cut takes out both fibers.
+  /// Models the correlated-failure reality that "parallel" capacity often
+  /// shares physical risk. Returns the forward-direction link id.
+  LinkId add_fiber_in_conduit(RegionId a, RegionId b, Gbps capacity_per_direction,
+                              LinkId existing);
+
+  [[nodiscard]] std::size_t region_count() const { return regions_.size(); }
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] std::size_t srlg_count() const { return srlg_count_; }
+
+  [[nodiscard]] const Region& region(RegionId id) const;
+  [[nodiscard]] const Link& link(LinkId id) const;
+  [[nodiscard]] std::span<const Region> regions() const { return regions_; }
+  [[nodiscard]] std::span<const Link> links() const { return links_; }
+
+  /// Outgoing links of a region.
+  [[nodiscard]] std::span<const LinkId> out_links(RegionId id) const;
+
+  /// Looks up a region by name; nullopt if absent.
+  [[nodiscard]] std::optional<RegionId> find_region(const std::string& name) const;
+
+  /// Sum of capacities of all directed links.
+  [[nodiscard]] Gbps total_capacity() const;
+
+ private:
+  std::vector<Region> regions_;
+  std::vector<Link> links_;
+  std::vector<std::vector<LinkId>> out_links_;
+  std::size_t srlg_count_ = 0;
+};
+
+}  // namespace netent::topology

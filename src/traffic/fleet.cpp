@@ -1,0 +1,166 @@
+#include "traffic/fleet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/check.h"
+
+namespace netent::traffic {
+
+namespace {
+
+/// The dominant services of §2.1, with their characteristic patterns. The
+/// storage family dominates, matching the paper's observation.
+struct HeadService {
+  const char* name;
+  PatternSpec (*pattern)(double);
+  QosClass main_class;
+  QosClass side_class;
+  double side_fraction;  ///< e.g. Warmstorage: data in B, control in A
+  DailyAggregate aggregate;  ///< §4.1 per-service-type SLI input
+};
+
+constexpr double kNoSide = 0.0;
+
+const HeadService kHeadServices[] = {
+    {"Coldstorage", coldstorage_pattern, QosClass::c3_low, QosClass::c2_high, 0.02,
+     DailyAggregate::max_avg_6h},
+    {"Warmstorage", warmstorage_pattern, QosClass::c2_low, QosClass::c1_high, 0.03,
+     DailyAggregate::max_avg_6h},
+    {"Logging", logging_pattern, QosClass::c2_high, QosClass::c2_low, 0.10,
+     DailyAggregate::max_avg_6h},
+    {"Datawarehouse", logging_pattern, QosClass::c3_low, QosClass::c3_high, 0.15,
+     DailyAggregate::max_avg_6h},
+    {"MultiFeed", warmstorage_pattern, QosClass::c1_high, QosClass::c2_low, 0.05,
+     DailyAggregate::p99},
+    {"Everstore", warmstorage_pattern, QosClass::c2_low, QosClass::c2_high, 0.20,
+     DailyAggregate::max_avg_6h},
+    {"Ads", ads_pattern, QosClass::c1_low, QosClass::c1_high, 0.10, DailyAggregate::p99},
+    {"Video", ads_pattern, QosClass::c2_high, QosClass::c3_low, 0.25, DailyAggregate::p99},
+    {"Search", warmstorage_pattern, QosClass::c1_high, QosClass::c2_low, 0.10,
+     DailyAggregate::p99},
+    {"CDN-Fill", logging_pattern, QosClass::c3_high, QosClass::c4_low, 0.30,
+     DailyAggregate::max},
+};
+
+std::vector<double> draw_region_weights(std::size_t region_count, std::size_t min_regions,
+                                        double sigma, Rng& rng) {
+  // Deployment footprint: a random subset of regions, at least min_regions.
+  const std::size_t deployed =
+      min_regions + rng.uniform_int(region_count - min_regions + 1);
+  std::vector<std::size_t> order(region_count);
+  for (std::size_t i = 0; i < region_count; ++i) order[i] = i;
+  for (std::size_t i = region_count; i-- > 1;) {
+    std::swap(order[i], order[rng.uniform_int(i + 1)]);
+  }
+  // Lognormal gravity weights on the deployed subset: concentrated shares,
+  // reproducing the Figure 7 observation (top few regions dominate).
+  std::vector<double> weights(region_count, 0.0);
+  for (std::size_t i = 0; i < deployed; ++i) {
+    weights[order[i]] = std::exp(sigma * rng.normal());
+  }
+  return weights;
+}
+
+}  // namespace
+
+std::vector<ServiceProfile> generate_fleet(const FleetConfig& config, Rng& rng) {
+  NETENT_EXPECTS(config.service_count >= config.high_touch_count);
+  NETENT_EXPECTS(config.high_touch_count <= std::size(kHeadServices));
+  NETENT_EXPECTS(config.region_count >= config.min_deploy_regions);
+  NETENT_EXPECTS(config.total_gbps > 0.0);
+
+  // Zipf shares over service ranks.
+  std::vector<double> shares(config.service_count);
+  double norm = 0.0;
+  for (std::size_t r = 0; r < config.service_count; ++r) {
+    shares[r] = 1.0 / std::pow(static_cast<double>(r + 1), config.zipf_exponent);
+    norm += shares[r];
+  }
+  for (double& s : shares) s *= config.total_gbps / norm;
+
+  std::vector<ServiceProfile> fleet;
+  fleet.reserve(config.service_count);
+  for (std::size_t i = 0; i < config.service_count; ++i) {
+    ServiceProfile svc;
+    svc.id = NpgId(static_cast<std::uint32_t>(i));
+    svc.high_touch = i < config.high_touch_count;
+
+    if (i < std::size(kHeadServices)) {
+      const HeadService& head = kHeadServices[i];
+      svc.name = head.name;
+      svc.pattern = head.pattern(shares[i]);
+      svc.preferred_aggregate = head.aggregate;
+      if (head.side_fraction > kNoSide) {
+        svc.qos_mix = {{head.main_class, 1.0 - head.side_fraction},
+                       {head.side_class, head.side_fraction}};
+      } else {
+        svc.qos_mix = {{head.main_class, 1.0}};
+      }
+    } else {
+      svc.name = "svc" + std::to_string(i);
+      // Tail services: random pattern family (with its matching SLI input)
+      // and a random dominant class.
+      switch (rng.uniform_int(4)) {
+        case 0:
+          svc.pattern = coldstorage_pattern(shares[i]);
+          svc.preferred_aggregate = DailyAggregate::max_avg_6h;
+          break;
+        case 1:
+          svc.pattern = warmstorage_pattern(shares[i]);
+          svc.preferred_aggregate = DailyAggregate::max_avg_6h;
+          break;
+        case 2:
+          svc.pattern = ads_pattern(shares[i]);
+          svc.preferred_aggregate = DailyAggregate::p99;
+          break;
+        default:
+          svc.pattern = logging_pattern(shares[i]);
+          svc.preferred_aggregate = DailyAggregate::max_avg_6h;
+          break;
+      }
+      const auto main_class = static_cast<QosClass>(rng.uniform_int(kQosClassCount));
+      if (rng.bernoulli(0.3)) {
+        const auto side_class = static_cast<QosClass>(rng.uniform_int(kQosClassCount));
+        if (side_class != main_class) {
+          const double side = rng.uniform(0.02, 0.2);
+          svc.qos_mix = {{main_class, 1.0 - side}, {side_class, side}};
+        } else {
+          svc.qos_mix = {{main_class, 1.0}};
+        }
+      } else {
+        svc.qos_mix = {{main_class, 1.0}};
+      }
+    }
+
+    svc.src_weights = draw_region_weights(config.region_count, config.min_deploy_regions,
+                                          config.deploy_sigma, rng);
+    svc.dst_weights = draw_region_weights(config.region_count, config.min_deploy_regions,
+                                          config.deploy_sigma, rng);
+    fleet.push_back(std::move(svc));
+  }
+  return fleet;
+}
+
+double class_total_gbps(std::span<const ServiceProfile> fleet, QosClass qos) {
+  double total = 0.0;
+  for (const ServiceProfile& svc : fleet) total += svc.mean_rate_gbps() * svc.qos_fraction(qos);
+  return total;
+}
+
+std::vector<std::pair<NpgId, double>> class_shares(std::span<const ServiceProfile> fleet,
+                                                   QosClass qos) {
+  const double total = class_total_gbps(fleet, qos);
+  std::vector<std::pair<NpgId, double>> shares;
+  if (total <= 0.0) return shares;
+  for (const ServiceProfile& svc : fleet) {
+    const double rate = svc.mean_rate_gbps() * svc.qos_fraction(qos);
+    if (rate > 0.0) shares.emplace_back(svc.id, rate / total);
+  }
+  std::sort(shares.begin(), shares.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return shares;
+}
+
+}  // namespace netent::traffic

@@ -1,0 +1,39 @@
+// Fleet generator: a synthetic population of services reproducing the
+// paper's §2.1 service ontology — thousands of services, a handful of
+// dominant (high-touch) consumers per QoS class, storage-heavy heads with
+// distinct micro-patterns, and concentrated regional deployments.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "traffic/service.h"
+
+namespace netent::traffic {
+
+struct FleetConfig {
+  std::size_t region_count = 16;
+  std::size_t service_count = 1200;
+  double total_gbps = 100000.0;   ///< O(100 Tbps) fleet aggregate (§1)
+  double zipf_exponent = 1.1;     ///< service-size skew; yields <10 dominant services
+  double deploy_sigma = 1.2;      ///< lognormal sigma for region gravity weights
+  std::size_t min_deploy_regions = 3;  ///< minimum deployment footprint
+  std::size_t high_touch_count = 8;    ///< the ~10 high-touch services (§4.3)
+};
+
+/// Generates the fleet. The first `high_touch_count` services are the named
+/// dominant consumers (Coldstorage, Warmstorage, Logging, ...) with their
+/// §2.1 patterns; the tail is thousands of small generic services.
+[[nodiscard]] std::vector<ServiceProfile> generate_fleet(const FleetConfig& config, Rng& rng);
+
+/// Total mean rate of the fleet within one QoS class.
+[[nodiscard]] double class_total_gbps(std::span<const ServiceProfile> fleet, QosClass qos);
+
+/// Per-service share of one class's traffic, sorted descending: the data
+/// behind Figures 1-2.
+[[nodiscard]] std::vector<std::pair<NpgId, double>> class_shares(
+    std::span<const ServiceProfile> fleet, QosClass qos);
+
+}  // namespace netent::traffic

@@ -1,0 +1,34 @@
+#include "traffic/incident.h"
+
+#include "common/check.h"
+
+namespace netent::traffic {
+
+void inject_bug_spike(TimeSeries& series, double start_seconds, double ramp_seconds,
+                      double hold_seconds, double magnitude) {
+  NETENT_EXPECTS(ramp_seconds > 0.0);
+  NETENT_EXPECTS(magnitude >= 0.0);
+  const double step = series.step_seconds();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const double t = static_cast<double>(i) * step;
+    if (t < start_seconds) continue;
+    const double since = t - start_seconds;
+    double factor = 1.0;
+    if (since < ramp_seconds) {
+      factor = 1.0 + magnitude * (since / ramp_seconds);
+    } else if (since < ramp_seconds + hold_seconds) {
+      factor = 1.0 + magnitude;
+    }
+    series[i] *= factor;
+  }
+}
+
+void inject_feature_step(TimeSeries& series, double start_seconds, double extra_gbps) {
+  NETENT_EXPECTS(extra_gbps >= 0.0);
+  const double step = series.step_seconds();
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (static_cast<double>(i) * step >= start_seconds) series[i] += extra_gbps;
+  }
+}
+
+}  // namespace netent::traffic

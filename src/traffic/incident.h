@@ -1,0 +1,22 @@
+// Incident injection: reproduces the misbehaving-service events of §2.2.
+// Incident 1 (service bug): a traffic spike that ramps to +50% of the
+// predicted volume within three minutes. Incident 2 (new feature): a step
+// surge of backbone traffic from one region, +10% over estimated peak.
+#pragma once
+
+#include "traffic/timeseries.h"
+
+namespace netent::traffic {
+
+/// Multiplies `series` by a ramp that rises linearly from 1.0 at
+/// `start_seconds` to `1 + magnitude` over `ramp_seconds`, stays there for
+/// `hold_seconds`, then returns to 1.0. Models the §2.2 video-client bug
+/// (magnitude 0.5, ramp 180s).
+void inject_bug_spike(TimeSeries& series, double start_seconds, double ramp_seconds,
+                      double hold_seconds, double magnitude);
+
+/// Adds a step of `extra_gbps` from `start_seconds` onward: the §2.2 caching
+/// feature change that redirected edge fetches to backend data centers.
+void inject_feature_step(TimeSeries& series, double start_seconds, double extra_gbps);
+
+}  // namespace netent::traffic

@@ -1,0 +1,67 @@
+#include "traffic/matrix.h"
+
+#include "common/check.h"
+
+namespace netent::traffic {
+
+TrafficMatrix::TrafficMatrix(std::size_t region_count)
+    : n_(region_count), cells_(region_count * region_count, 0.0) {
+  NETENT_EXPECTS(region_count >= 2);
+}
+
+double& TrafficMatrix::at(RegionId src, RegionId dst) {
+  NETENT_EXPECTS(src.value() < n_ && dst.value() < n_);
+  return cells_[src.value() * n_ + dst.value()];
+}
+
+double TrafficMatrix::at(RegionId src, RegionId dst) const {
+  NETENT_EXPECTS(src.value() < n_ && dst.value() < n_);
+  return cells_[src.value() * n_ + dst.value()];
+}
+
+Gbps TrafficMatrix::egress(RegionId src) const {
+  NETENT_EXPECTS(src.value() < n_);
+  double sum = 0.0;
+  for (std::size_t d = 0; d < n_; ++d) sum += cells_[src.value() * n_ + d];
+  return Gbps(sum);
+}
+
+Gbps TrafficMatrix::ingress(RegionId dst) const {
+  NETENT_EXPECTS(dst.value() < n_);
+  double sum = 0.0;
+  for (std::size_t s = 0; s < n_; ++s) sum += cells_[s * n_ + dst.value()];
+  return Gbps(sum);
+}
+
+Gbps TrafficMatrix::total() const {
+  double sum = 0.0;
+  for (double v : cells_) sum += v;
+  return Gbps(sum);
+}
+
+TrafficMatrix& TrafficMatrix::operator+=(const TrafficMatrix& other) {
+  NETENT_EXPECTS(other.n_ == n_);
+  for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] += other.cells_[i];
+  return *this;
+}
+
+TrafficMatrix& TrafficMatrix::operator*=(double scale) {
+  for (double& v : cells_) v *= scale;
+  return *this;
+}
+
+std::vector<topology::Demand> TrafficMatrix::demands() const {
+  std::vector<topology::Demand> out;
+  for (std::size_t s = 0; s < n_; ++s) {
+    for (std::size_t d = 0; d < n_; ++d) {
+      const double v = cells_[s * n_ + d];
+      if (v > 0.0 && s != d) {
+        out.push_back({RegionId(static_cast<std::uint32_t>(s)),
+                       RegionId(static_cast<std::uint32_t>(d)), Gbps(v)});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace netent::traffic

@@ -1,0 +1,42 @@
+// Region-to-region traffic matrix. The hose subsystem reasons about sets of
+// these (representative TMs, hose-feasible samples); the enforcement drill
+// aggregates per-service TMs into offered load.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+#include "topology/routing.h"
+
+namespace netent::traffic {
+
+/// Dense n x n matrix of offered Gbps; diagonal is unused (kept zero).
+class TrafficMatrix {
+ public:
+  explicit TrafficMatrix(std::size_t region_count);
+
+  [[nodiscard]] std::size_t region_count() const { return n_; }
+
+  [[nodiscard]] double& at(RegionId src, RegionId dst);
+  [[nodiscard]] double at(RegionId src, RegionId dst) const;
+
+  /// Row sum: total egress of a region.
+  [[nodiscard]] Gbps egress(RegionId src) const;
+  /// Column sum: total ingress of a region.
+  [[nodiscard]] Gbps ingress(RegionId dst) const;
+  [[nodiscard]] Gbps total() const;
+
+  TrafficMatrix& operator+=(const TrafficMatrix& other);
+  TrafficMatrix& operator*=(double scale);
+
+  /// Nonzero entries as routing demands (row-major order).
+  [[nodiscard]] std::vector<topology::Demand> demands() const;
+
+ private:
+  std::size_t n_;
+  std::vector<double> cells_;
+};
+
+}  // namespace netent::traffic

@@ -1,0 +1,105 @@
+#include "traffic/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+
+namespace netent::traffic {
+
+TimeSeries generate_pattern(const PatternSpec& spec, double duration_seconds, double step_seconds,
+                            Rng& rng) {
+  NETENT_EXPECTS(spec.base_gbps >= 0.0);
+  NETENT_EXPECTS(duration_seconds > 0.0 && step_seconds > 0.0);
+  NETENT_EXPECTS(spec.spike_duty > 0.0 && spec.spike_duty <= 1.0);
+
+  const auto n = static_cast<std::size_t>(duration_seconds / step_seconds);
+  std::vector<double> values(n);
+
+  std::vector<bool> holiday_lookup;
+  if (!spec.holiday_days.empty()) {
+    const int max_day = *std::max_element(spec.holiday_days.begin(), spec.holiday_days.end());
+    holiday_lookup.assign(static_cast<std::size_t>(max_day) + 1, false);
+    for (const int d : spec.holiday_days) {
+      NETENT_EXPECTS(d >= 0);
+      holiday_lookup[static_cast<std::size_t>(d)] = true;
+    }
+  }
+
+  constexpr double two_pi = 2.0 * std::numbers::pi;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) * step_seconds;
+    const double day = t / 86400.0;
+    const double hour = std::fmod(t, 86400.0) / 3600.0;
+
+    double rate = spec.base_gbps;
+    rate *= 1.0 + spec.trend_per_year * (day / 365.0);
+    if (spec.diurnal_amplitude > 0.0) {
+      rate *= 1.0 + spec.diurnal_amplitude *
+                        std::cos(two_pi * (hour - spec.diurnal_peak_hour) / 24.0);
+    }
+    if (spec.weekly_amplitude > 0.0) {
+      rate *= 1.0 + spec.weekly_amplitude * std::cos(two_pi * day / 7.0);
+    }
+    if (spec.spike_period_seconds > 0.0) {
+      const double phase = std::fmod(t, spec.spike_period_seconds) / spec.spike_period_seconds;
+      if (phase < spec.spike_duty) rate *= 1.0 + spec.spike_amplitude;
+    }
+    const auto day_idx = static_cast<std::size_t>(day);
+    if (day_idx < holiday_lookup.size() && holiday_lookup[day_idx]) {
+      rate *= 1.0 + spec.holiday_boost;
+    }
+    if (spec.noise_sigma > 0.0) {
+      rate *= std::max(0.0, 1.0 + spec.noise_sigma * rng.normal());
+    }
+    values[i] = std::max(0.0, rate);
+  }
+  return TimeSeries(step_seconds, std::move(values));
+}
+
+PatternSpec coldstorage_pattern(double base_gbps) {
+  PatternSpec spec;
+  spec.base_gbps = base_gbps;
+  spec.trend_per_year = 0.25;
+  spec.diurnal_amplitude = 0.05;
+  spec.spike_amplitude = 2.5;
+  spec.spike_period_seconds = 4.0 * 3600.0;  // rack rotation every 4h
+  spec.spike_duty = 0.15;
+  spec.noise_sigma = 0.03;
+  return spec;
+}
+
+PatternSpec warmstorage_pattern(double base_gbps) {
+  PatternSpec spec;
+  spec.base_gbps = base_gbps;
+  spec.trend_per_year = 0.35;
+  spec.diurnal_amplitude = 0.35;
+  spec.diurnal_peak_hour = 19.0;
+  spec.weekly_amplitude = 0.08;
+  spec.noise_sigma = 0.02;
+  return spec;
+}
+
+PatternSpec ads_pattern(double base_gbps) {
+  PatternSpec spec;
+  spec.base_gbps = base_gbps;
+  spec.trend_per_year = 0.5;
+  spec.diurnal_amplitude = 0.45;
+  spec.diurnal_peak_hour = 20.0;
+  spec.weekly_amplitude = 0.15;
+  spec.holiday_boost = 0.4;
+  spec.noise_sigma = 0.04;
+  return spec;
+}
+
+PatternSpec logging_pattern(double base_gbps) {
+  PatternSpec spec;
+  spec.base_gbps = base_gbps;
+  spec.trend_per_year = 0.3;
+  spec.diurnal_amplitude = 0.15;
+  spec.noise_sigma = 0.02;
+  return spec;
+}
+
+}  // namespace netent::traffic

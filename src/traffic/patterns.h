@@ -1,0 +1,48 @@
+// Synthetic traffic pattern library (substitute for production telemetry,
+// DESIGN.md §1). Reproduces the micro-level behaviours of §2.1: Coldstorage's
+// regular rack-rotation spikes, Warmstorage's smooth time-of-day fluctuation,
+// weekly seasonality, organic trend growth, holiday bursts and noise.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "traffic/timeseries.h"
+
+namespace netent::traffic {
+
+/// Declarative description of a service's traffic shape. The generated rate is
+///   base * trend(t) * diurnal(t) * weekly(t) * holidays(t) * spike(t) * noise
+/// with each factor optional (amplitude 0 disables it).
+struct PatternSpec {
+  double base_gbps = 100.0;
+  double trend_per_year = 0.0;        ///< fractional growth per 365 days
+  double diurnal_amplitude = 0.0;     ///< 0..1 time-of-day swing
+  double diurnal_peak_hour = 20.0;    ///< local hour of the daily peak
+  double weekly_amplitude = 0.0;      ///< 0..1 weekday/weekend swing
+  double spike_amplitude = 0.0;       ///< multiplicative burst height (e.g. 1.5 => +150%)
+  double spike_period_seconds = 0.0;  ///< rack-rotation cadence; 0 disables
+  double spike_duty = 0.2;            ///< fraction of the period the burst is on
+  double noise_sigma = 0.02;          ///< relative gaussian noise per sample
+  double holiday_boost = 0.0;         ///< extra fraction on holiday days
+  std::vector<int> holiday_days;      ///< day indices (from series start) that are holidays
+};
+
+/// Generates `duration_seconds / step_seconds` samples of the spec.
+[[nodiscard]] TimeSeries generate_pattern(const PatternSpec& spec, double duration_seconds,
+                                          double step_seconds, Rng& rng);
+
+/// Coldstorage-like: flat base with tall regular spikes (a rack of storage
+/// servers turned on periodically, Figure 3 top).
+[[nodiscard]] PatternSpec coldstorage_pattern(double base_gbps);
+
+/// Warmstorage-like: smooth diurnal fluctuation (Figure 3 bottom).
+[[nodiscard]] PatternSpec warmstorage_pattern(double base_gbps);
+
+/// Ads-like: strong diurnal + weekly pattern with holiday bursts and growth.
+[[nodiscard]] PatternSpec ads_pattern(double base_gbps);
+
+/// Logging-like: steady with mild diurnal and steady growth.
+[[nodiscard]] PatternSpec logging_pattern(double base_gbps);
+
+}  // namespace netent::traffic

@@ -1,0 +1,90 @@
+#include "traffic/service.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent::traffic {
+
+double ServiceProfile::qos_fraction(QosClass qos) const {
+  for (const QosShare& share : qos_mix) {
+    if (share.qos == qos) return share.fraction;
+  }
+  return 0.0;
+}
+
+TrafficMatrix service_matrix(const ServiceProfile& profile, double total_rate_gbps) {
+  NETENT_EXPECTS(total_rate_gbps >= 0.0);
+  NETENT_EXPECTS(profile.src_weights.size() == profile.dst_weights.size());
+  const std::size_t n = profile.src_weights.size();
+  TrafficMatrix tm(n);
+
+  double norm = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s != d) norm += profile.src_weights[s] * profile.dst_weights[d];
+    }
+  }
+  NETENT_EXPECTS(norm > 0.0);
+
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      const double share = profile.src_weights[s] * profile.dst_weights[d] / norm;
+      if (share > 0.0) {
+        tm.at(RegionId(static_cast<std::uint32_t>(s)), RegionId(static_cast<std::uint32_t>(d))) =
+            total_rate_gbps * share;
+      }
+    }
+  }
+  return tm;
+}
+
+std::vector<TimeSeries> per_destination_series(const ServiceProfile& profile, RegionId src,
+                                               double duration_seconds, double step_seconds,
+                                               double share_jitter, Rng& rng) {
+  NETENT_EXPECTS(src.value() < profile.src_weights.size());
+  NETENT_EXPECTS(share_jitter >= 0.0);
+
+  const std::size_t n = profile.dst_weights.size();
+  double dst_norm = 0.0;
+  for (std::size_t d = 0; d < n; ++d) {
+    if (d != src.value()) dst_norm += profile.dst_weights[d];
+  }
+  NETENT_EXPECTS(dst_norm > 0.0);
+
+  // Source share of the aggregate rate, by the same gravity model as
+  // service_matrix (ignoring the diagonal correction, which is second-order).
+  double src_norm = 0.0;
+  for (const double w : profile.src_weights) src_norm += w;
+  NETENT_EXPECTS(src_norm > 0.0);
+  const double src_share = profile.src_weights[src.value()] / src_norm;
+
+  std::vector<TimeSeries> out;
+  out.reserve(n);
+  for (std::size_t d = 0; d < n; ++d) {
+    if (d == src.value() || profile.dst_weights[d] == 0.0) {
+      const auto samples = static_cast<std::size_t>(duration_seconds / step_seconds);
+      out.emplace_back(step_seconds, std::vector<double>(samples, 0.0));
+      continue;
+    }
+    const double dst_share = profile.dst_weights[d] / dst_norm;
+    Rng stream = rng.fork();
+    TimeSeries series = generate_pattern(profile.pattern, duration_seconds, step_seconds, stream);
+    // Slowly drifting multiplicative jitter on the destination share: a
+    // random walk in log-space, re-stepped every 6 hours.
+    const auto jitter_steps = static_cast<std::size_t>(std::max(1.0, 6.0 * 3600.0 / step_seconds));
+    double log_jitter = 0.0;
+    for (std::size_t i = 0; i < series.size(); ++i) {
+      if (share_jitter > 0.0 && i % jitter_steps == 0) {
+        log_jitter = 0.9 * log_jitter + share_jitter * stream.normal();
+      }
+      series[i] *= src_share * dst_share * std::exp(log_jitter);
+    }
+    out.push_back(std::move(series));
+  }
+  return out;
+}
+
+}  // namespace netent::traffic

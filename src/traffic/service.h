@@ -1,0 +1,59 @@
+// Service (NPG) profiles: the unit the entitlement process contracts with.
+// A profile captures the paper's §2.1 facts about a service — its traffic
+// shape, its QoS-class mix (a service's traffic can span classes), and its
+// deployment footprint (which regions source/sink its traffic, and how
+// concentrated that split is — the observation that enables segmented hose).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "traffic/matrix.h"
+#include "traffic/patterns.h"
+#include "traffic/timeseries.h"
+
+namespace netent::traffic {
+
+/// Fraction of a service's traffic in one QoS class.
+struct QosShare {
+  QosClass qos;
+  double fraction;  ///< in (0, 1]; a profile's fractions sum to 1
+};
+
+struct ServiceProfile {
+  NpgId id;
+  std::string name;
+  bool high_touch = false;  ///< one of the ~10 dominant consumers (§4.3)
+  PatternSpec pattern;      ///< aggregate traffic shape (base_gbps = mean rate)
+  /// §4.1: "different services need different types of daily data... daily
+  /// max average of 6 hours for storage services, and daily p99 for ads".
+  DailyAggregate preferred_aggregate = DailyAggregate::max_avg_6h;
+  std::vector<QosShare> qos_mix;
+  /// Gravity weights over regions, zero where the service is not deployed.
+  std::vector<double> src_weights;
+  std::vector<double> dst_weights;
+
+  /// Mean aggregate rate across all regions and classes.
+  [[nodiscard]] double mean_rate_gbps() const { return pattern.base_gbps; }
+
+  /// Fraction of this service's traffic in `qos` (0 if none).
+  [[nodiscard]] double qos_fraction(QosClass qos) const;
+};
+
+/// Splits an aggregate rate over region pairs by the gravity model
+/// share(s, d) ∝ src_weights[s] * dst_weights[d], s != d.
+[[nodiscard]] TrafficMatrix service_matrix(const ServiceProfile& profile, double total_rate_gbps);
+
+/// Per-destination traffic series for one source region: F(dst, t) of Eq. 3.
+/// Scales the profile's pattern by each destination's gravity share and adds
+/// independent per-destination jitter so destination shares drift over time
+/// (`share_jitter` is the relative sigma of that drift).
+[[nodiscard]] std::vector<TimeSeries> per_destination_series(const ServiceProfile& profile,
+                                                             RegionId src,
+                                                             double duration_seconds,
+                                                             double step_seconds,
+                                                             double share_jitter, Rng& rng);
+
+}  // namespace netent::traffic

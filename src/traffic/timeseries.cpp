@@ -1,0 +1,102 @@
+#include "traffic/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace netent::traffic {
+
+TimeSeries::TimeSeries(double step_seconds, std::vector<double> values)
+    : step_seconds_(step_seconds), values_(std::move(values)) {
+  NETENT_EXPECTS(step_seconds > 0.0);
+}
+
+double TimeSeries::at_time(double t_seconds) const {
+  NETENT_EXPECTS(!values_.empty());
+  auto idx = static_cast<long>(std::llround(t_seconds / step_seconds_));
+  idx = std::clamp(idx, 0L, static_cast<long>(values_.size()) - 1);
+  return values_[static_cast<std::size_t>(idx)];
+}
+
+TimeSeries& TimeSeries::operator+=(const TimeSeries& other) {
+  NETENT_EXPECTS(other.step_seconds_ == step_seconds_);
+  NETENT_EXPECTS(other.size() == size());
+  for (std::size_t i = 0; i < values_.size(); ++i) values_[i] += other.values_[i];
+  return *this;
+}
+
+TimeSeries& TimeSeries::operator*=(double scale) {
+  for (double& v : values_) v *= scale;
+  return *this;
+}
+
+double TimeSeries::total() const {
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum;
+}
+
+double TimeSeries::peak() const {
+  NETENT_EXPECTS(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+std::vector<double> TimeSeries::daily(DailyAggregate kind) const {
+  NETENT_EXPECTS(!values_.empty());
+  const auto per_day = static_cast<std::size_t>(std::llround(86400.0 / step_seconds_));
+  NETENT_EXPECTS(per_day >= 1);
+  const std::size_t window_6h = std::max<std::size_t>(1, per_day / 4);
+
+  std::vector<double> result;
+  for (std::size_t begin = 0; begin < values_.size(); begin += per_day) {
+    const std::size_t end = std::min(begin + per_day, values_.size());
+    const std::span<const double> day(&values_[begin], end - begin);
+    switch (kind) {
+      case DailyAggregate::mean:
+        result.push_back(mean(day));
+        break;
+      case DailyAggregate::max:
+        result.push_back(*std::max_element(day.begin(), day.end()));
+        break;
+      case DailyAggregate::p99: {
+        std::vector<double> sorted(day.begin(), day.end());
+        std::sort(sorted.begin(), sorted.end());
+        result.push_back(percentile(sorted, 99.0));
+        break;
+      }
+      case DailyAggregate::max_avg_6h: {
+        // Sliding-window average, maximum over all windows in the day.
+        const std::size_t w = std::min(window_6h, day.size());
+        double window_sum = 0.0;
+        for (std::size_t i = 0; i < w; ++i) window_sum += day[i];
+        double best = window_sum;
+        for (std::size_t i = w; i < day.size(); ++i) {
+          window_sum += day[i] - day[i - w];
+          best = std::max(best, window_sum);
+        }
+        result.push_back(best / static_cast<double>(w));
+        break;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<double> TimeSeries::daily_percentile(double q) const {
+  NETENT_EXPECTS(!values_.empty());
+  const auto per_day = static_cast<std::size_t>(std::llround(86400.0 / step_seconds_));
+  NETENT_EXPECTS(per_day >= 1);
+  std::vector<double> result;
+  for (std::size_t begin = 0; begin < values_.size(); begin += per_day) {
+    const std::size_t end = std::min(begin + per_day, values_.size());
+    std::vector<double> sorted(values_.begin() + static_cast<long>(begin),
+                               values_.begin() + static_cast<long>(end));
+    std::sort(sorted.begin(), sorted.end());
+    result.push_back(percentile(sorted, q));
+  }
+  return result;
+}
+
+}  // namespace netent::traffic

@@ -1,0 +1,61 @@
+// Fixed-step time series of bandwidth samples. The demand-forecast pipeline
+// consumes daily aggregates of these series (§4.1: "daily max average of 6
+// hours for storage services, and daily p99 for ads"), and the segmented-hose
+// algorithm consumes per-destination flow series F(dst, t) (§4.2, Eq. 3).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace netent::traffic {
+
+/// Aggregation used to reduce one day of samples to a single SLI input.
+enum class DailyAggregate {
+  mean,
+  max,
+  p99,
+  max_avg_6h,  ///< maximum over the day of the 6-hour sliding average
+};
+
+/// A time series sampled every `step_seconds`, starting at t = 0.
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+  TimeSeries(double step_seconds, std::vector<double> values);
+
+  [[nodiscard]] double step_seconds() const { return step_seconds_; }
+  [[nodiscard]] std::size_t size() const { return values_.size(); }
+  [[nodiscard]] bool empty() const { return values_.empty(); }
+  [[nodiscard]] double duration_seconds() const {
+    return step_seconds_ * static_cast<double>(values_.size());
+  }
+
+  [[nodiscard]] double operator[](std::size_t i) const { return values_[i]; }
+  [[nodiscard]] double& operator[](std::size_t i) { return values_[i]; }
+  [[nodiscard]] std::span<const double> values() const { return values_; }
+
+  /// Sample at time t (seconds), nearest-neighbor.
+  [[nodiscard]] double at_time(double t_seconds) const;
+
+  TimeSeries& operator+=(const TimeSeries& other);
+  TimeSeries& operator*=(double scale);
+
+  [[nodiscard]] double total() const;
+  [[nodiscard]] double peak() const;
+
+  /// Reduces to one value per day using the given aggregate. The series
+  /// length need not be a whole number of days; a trailing partial day is
+  /// aggregated over the samples it has.
+  [[nodiscard]] std::vector<double> daily(DailyAggregate kind) const;
+
+  /// Reduces to one value per day: the q-th percentile of the day's samples
+  /// (q in [0, 100]). Figures 18-19 evaluate forecasts on p50/p75/p90 inputs.
+  [[nodiscard]] std::vector<double> daily_percentile(double q) const;
+
+ private:
+  double step_seconds_ = 0.0;
+  std::vector<double> values_;
+};
+
+}  // namespace netent::traffic

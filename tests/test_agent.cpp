@@ -1,0 +1,142 @@
+#include "enforce/agent.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+#include "enforce/bpf.h"
+#include "enforce/dscp.h"
+
+namespace netent::enforce {
+namespace {
+
+constexpr NpgId kSvc{1};
+constexpr QosClass kQos = QosClass::c2_low;
+
+EntitlementQuery fixed_entitlement(double gbps) {
+  return [gbps](NpgId, QosClass, double) { return EntitlementAnswer{true, Gbps(gbps)}; };
+}
+
+EntitlementQuery no_entitlement() {
+  return [](NpgId, QosClass, double) { return EntitlementAnswer{false, Gbps(0)}; };
+}
+
+TEST(HostAgent, PublishesAndMetersOnSchedule) {
+  RateStore store(0.0);
+  BpfClassifier classifier{Marker(MarkingMode::host_based)};
+  HostAgent agent(HostId(1), kSvc, kQos, AgentConfig{10.0, 5.0},
+                  std::make_unique<StatefulMeter>(), fixed_entitlement(100.0), store,
+                  classifier);
+  agent.observe_local(Gbps(50), Gbps(50));
+  EXPECT_TRUE(agent.tick(0.0));       // first tick: metering due
+  EXPECT_FALSE(agent.tick(5.0));      // publish only
+  EXPECT_FALSE(agent.tick(9.0));      // nothing due
+  EXPECT_TRUE(agent.tick(10.0));      // metering due again
+  EXPECT_EQ(store.aggregate(kSvc, kQos, 10.0).total, Gbps(50));
+}
+
+TEST(HostAgent, NoContractUnprogramsClassifier) {
+  RateStore store(0.0);
+  BpfClassifier classifier{Marker(MarkingMode::host_based)};
+  classifier.program(kSvc, kQos, 0.5);  // stale entry
+  HostAgent agent(HostId(1), kSvc, kQos, AgentConfig{}, std::make_unique<StatefulMeter>(),
+                  no_entitlement(), store, classifier);
+  agent.observe_local(Gbps(10), Gbps(10));
+  agent.tick(0.0);
+  EXPECT_EQ(classifier.map_size(), 0u);
+}
+
+TEST(HostAgent, FleetConvergesToEntitlement) {
+  // End-to-end control loop: 20 hosts, 10 Gbps demand each (200 total),
+  // entitled 100. After several metering cycles the conforming share must
+  // settle at ~0.5.
+  const std::size_t hosts = 20;
+  const double per_host = 10.0;
+  const double entitled = 100.0;
+  RateStore store(1.0);
+  const Marker marker(MarkingMode::host_based);
+  std::vector<BpfClassifier> classifiers(hosts, BpfClassifier(marker));
+  std::vector<std::unique_ptr<HostAgent>> agents;
+  for (std::uint32_t h = 0; h < hosts; ++h) {
+    agents.push_back(std::make_unique<HostAgent>(
+        HostId(h), kSvc, kQos, AgentConfig{5.0, 5.0}, std::make_unique<StatefulMeter>(),
+        fixed_entitlement(entitled), store, classifiers[h]));
+  }
+
+  double conform_total = 0.0;
+  for (double t = 0.0; t < 200.0; t += 5.0) {
+    conform_total = 0.0;
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      const EgressMeta meta{kSvc, kQos, HostId(h), 0};
+      const bool conforming = classifiers[h].classify(meta) != kNonConformingDscp;
+      const double conform = conforming ? per_host : 0.0;
+      conform_total += conform;
+      // No congestion: everything sent is delivered.
+      agents[h]->observe_local(Gbps(per_host), Gbps(conform));
+    }
+    for (auto& agent : agents) agent->tick(t);
+  }
+  EXPECT_NEAR(conform_total, entitled, 25.0);
+}
+
+TEST(HostAgent, AgentsShareStateOnlyViaStore) {
+  // Two agents of the same service: each sees the aggregate, not only its
+  // own rate.
+  RateStore store(0.0);
+  const Marker marker(MarkingMode::host_based);
+  BpfClassifier c1{marker};
+  BpfClassifier c2{marker};
+  HostAgent a1(HostId(1), kSvc, kQos, AgentConfig{10.0, 5.0},
+               std::make_unique<StatefulMeter>(), fixed_entitlement(100.0), store, c1);
+  HostAgent a2(HostId(2), kSvc, kQos, AgentConfig{10.0, 5.0},
+               std::make_unique<StatefulMeter>(), fixed_entitlement(100.0), store, c2);
+  a1.observe_local(Gbps(80), Gbps(80));
+  a2.observe_local(Gbps(80), Gbps(80));
+  a1.tick(0.0);
+  a2.tick(0.0);
+  // Aggregate 160 > 100: both classifiers must now hold a non-zero ratio.
+  a1.observe_local(Gbps(80), Gbps(80));
+  a2.observe_local(Gbps(80), Gbps(80));
+  a1.tick(10.0);
+  a2.tick(10.0);
+  EXPECT_EQ(c1.map_size(), 1u);
+  EXPECT_EQ(c2.map_size(), 1u);
+}
+
+TEST(HostAgent, HysteresisSuppressesSmallReprogramming) {
+  RateStore store(0.0);
+  BpfClassifier classifier{Marker(MarkingMode::host_based, 1000)};
+  AgentConfig config{10.0, 5.0};
+  config.ratio_hysteresis = 0.05;
+  HostAgent agent(HostId(1), kSvc, kQos, config, std::make_unique<StatefulMeter>(),
+                  fixed_entitlement(100.0), store, classifier);
+  // First cycle programs (200 observed vs 100 entitled -> ratio 0.5).
+  agent.observe_local(Gbps(200), Gbps(200));
+  agent.tick(0.0);
+  const EgressMeta probe{kSvc, kQos, HostId(42), 0};
+  const std::uint8_t before = classifier.classify(probe);
+  // Next cycle's ratio moves by ~2% (conform 102 vs entitled 100): within
+  // hysteresis, so the kernel map must stay untouched.
+  agent.observe_local(Gbps(202), Gbps(102));
+  agent.tick(10.0);
+  agent.observe_local(Gbps(202), Gbps(102));
+  agent.tick(20.0);
+  EXPECT_EQ(classifier.classify(probe), before);
+}
+
+TEST(HostAgent, InvalidConstructionRejected) {
+  RateStore store(0.0);
+  BpfClassifier classifier{Marker(MarkingMode::host_based)};
+  EXPECT_THROW(HostAgent(HostId(1), kSvc, kQos, AgentConfig{}, nullptr,
+                         fixed_entitlement(1.0), store, classifier),
+               ContractViolation);
+  EXPECT_THROW(HostAgent(HostId(1), kSvc, kQos, AgentConfig{0.0, 5.0},
+                         std::make_unique<StatefulMeter>(), fixed_entitlement(1.0), store,
+                         classifier),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::enforce

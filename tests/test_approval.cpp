@@ -1,0 +1,224 @@
+#include "approval/approval.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace netent::approval {
+namespace {
+
+using hose::Direction;
+using hose::HoseRequest;
+using hose::PipeRequest;
+using topology::RegionKind;
+using topology::Router;
+using topology::Topology;
+
+/// Two regions joined by two parallel fibers of 100 each (u=0.01, 0.02).
+Topology two_fiber_topo() {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(100), 990.0, 10.0);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(100), 980.0, 20.0);
+  return topo;
+}
+
+PipeRequest pipe(std::uint32_t npg, QosClass qos, double rate) {
+  return {NpgId(npg), qos, RegionId(0), RegionId(1), Gbps(rate)};
+}
+
+TEST(PipeApproval, FullApprovalWhenSafe) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.9998;
+  const ApprovalEngine engine(router, config);
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 80.0)};
+  const auto results = engine.pipe_approval(pipes);
+  ASSERT_EQ(results.size(), 1u);
+  // 80 survives any single fiber cut: fully approvable at 0.9998.
+  EXPECT_EQ(results[0].approved, Gbps(80));
+}
+
+TEST(PipeApproval, PartialApprovalAtHighSlo) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.9998;
+  const ApprovalEngine engine(router, config);
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 150.0)};
+  const auto results = engine.pipe_approval(pipes);
+  // 150 needs both fibers (availability 0.9702 < SLO); only 100 meets SLO.
+  EXPECT_EQ(results[0].approved, Gbps(100));
+  EXPECT_NEAR(results[0].availability_at_request, 0.99 * 0.98, 1e-9);
+}
+
+TEST(PipeApproval, LowerSloApprovesMore) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig strict;
+  strict.slo_availability = 0.9998;
+  ApprovalConfig relaxed;
+  relaxed.slo_availability = 0.95;
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 150.0)};
+  const auto strict_results = ApprovalEngine(router, strict).pipe_approval(pipes);
+  const auto relaxed_results = ApprovalEngine(router, relaxed).pipe_approval(pipes);
+  EXPECT_LT(strict_results[0].approved.value(), relaxed_results[0].approved.value());
+  EXPECT_EQ(relaxed_results[0].approved, Gbps(150));
+}
+
+TEST(PipeApproval, PremiumClassReservesBeforeLower) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.95;
+  const ApprovalEngine engine(router, config);
+  // Premium wants 150 of the 200; the lower class then competes for scraps.
+  const std::vector<PipeRequest> pipes{pipe(2, QosClass::c4_high, 150.0),
+                                       pipe(1, QosClass::c1_low, 150.0)};
+  const auto results = engine.pipe_approval(pipes);
+  // Input order preserved; c1_low (index 1) processed first.
+  EXPECT_EQ(results[1].approved, Gbps(150));
+  EXPECT_LE(results[0].approved.value(), 50.0 + 1e-6);
+}
+
+TEST(PipeApproval, StrictBatchAllOrNothing) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.9998;
+  config.strict_batch = true;
+  const ApprovalEngine engine(router, config);
+  // Same NPG: one pipe passes alone, the other cannot -> batch rejected.
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 50.0),
+                                       pipe(1, QosClass::c1_low, 150.0)};
+  const auto results = engine.pipe_approval(pipes);
+  EXPECT_EQ(results[0].approved, Gbps(0));
+  EXPECT_EQ(results[1].approved, Gbps(0));
+}
+
+TEST(PipeApproval, StrictBatchIndependentPerNpg) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.9998;
+  config.strict_batch = true;
+  const ApprovalEngine engine(router, config);
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 50.0),
+                                       pipe(2, QosClass::c1_low, 500.0)};
+  const auto results = engine.pipe_approval(pipes);
+  EXPECT_EQ(results[0].approved, Gbps(50));  // NPG 1 batch unaffected
+  EXPECT_EQ(results[1].approved, Gbps(0));   // NPG 2 batch rejected
+}
+
+TEST(PipeApproval, LowTouchServedFirstWithinClass) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.95;
+  ApprovalEngine engine(router, config);
+  engine.set_low_touch([](NpgId npg) { return npg == NpgId(7); });
+  // Both in the same class; low-touch comes second in input order but must
+  // be assessed first.
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c2_low, 150.0),
+                                       pipe(7, QosClass::c2_low, 150.0)};
+  const auto results = engine.pipe_approval(pipes);
+  EXPECT_EQ(results[1].approved, Gbps(150));
+  EXPECT_LT(results[0].approved.value(), 150.0);
+}
+
+TEST(HoseApproval, SingleGroupFullApproval) {
+  const Topology topo = topology::figure6_topology();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.99;
+  config.realizations = 6;
+  const ApprovalEngine engine(router, config);
+  // Modest hoses on a generously provisioned mesh: everything approved.
+  std::vector<HoseRequest> hoses;
+  hoses.push_back({NpgId(1), QosClass::c1_low, RegionId(0), Direction::egress, Gbps(200)});
+  for (std::uint32_t r = 1; r <= 4; ++r) {
+    hoses.push_back({NpgId(1), QosClass::c1_low, RegionId(r), Direction::ingress, Gbps(100)});
+  }
+  Rng rng(1);
+  const auto results = engine.hose_approval(hoses, rng);
+  ASSERT_EQ(results.size(), hoses.size());
+  for (const auto& result : results) {
+    EXPECT_NEAR(result.approved.value(), result.request.rate.value(), 1e-6)
+        << "hose should be fully approved on an uncongested mesh";
+  }
+}
+
+TEST(HoseApproval, OversizedHosePartiallyApproved) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = 0.9998;
+  config.realizations = 4;
+  const ApprovalEngine engine(router, config);
+  const std::vector<HoseRequest> hoses{
+      {NpgId(1), QosClass::c1_low, RegionId(0), Direction::egress, Gbps(180)},
+      {NpgId(1), QosClass::c1_low, RegionId(1), Direction::ingress, Gbps(180)}};
+  Rng rng(2);
+  const auto results = engine.hose_approval(hoses, rng);
+  for (const auto& result : results) {
+    EXPECT_LT(result.approved.value(), 180.0);
+    EXPECT_GT(result.approved.value(), 0.0);
+  }
+}
+
+TEST(HoseApproval, ResultsMatchInputOrder) {
+  const Topology topo = topology::figure6_topology();
+  Router router(topo, 2);
+  ApprovalConfig config;
+  config.realizations = 2;
+  const ApprovalEngine engine(router, config);
+  const std::vector<HoseRequest> hoses{
+      {NpgId(3), QosClass::c2_low, RegionId(2), Direction::egress, Gbps(50)},
+      {NpgId(3), QosClass::c2_low, RegionId(1), Direction::ingress, Gbps(25)},
+      {NpgId(3), QosClass::c2_low, RegionId(3), Direction::ingress, Gbps(25)}};
+  Rng rng(3);
+  const auto results = engine.hose_approval(hoses, rng);
+  ASSERT_EQ(results.size(), 3u);
+  for (std::size_t i = 0; i < hoses.size(); ++i) {
+    EXPECT_EQ(results[i].request.region, hoses[i].region);
+    EXPECT_EQ(results[i].request.direction, hoses[i].direction);
+  }
+}
+
+TEST(ApprovalPercentage, ComputedPerDirection) {
+  std::vector<HoseApprovalResult> results;
+  results.push_back({{NpgId(1), QosClass::c1_low, RegionId(0), Direction::egress, Gbps(100)},
+                     Gbps(50)});
+  results.push_back({{NpgId(1), QosClass::c1_low, RegionId(1), Direction::ingress, Gbps(100)},
+                     Gbps(100)});
+  EXPECT_DOUBLE_EQ(approval_percentage(results, Direction::egress), 0.5);
+  EXPECT_DOUBLE_EQ(approval_percentage(results, Direction::ingress), 1.0);
+}
+
+/// Figure 22 property: approval percentage is non-increasing in the SLO
+/// target.
+class ApprovalVsSlo : public ::testing::TestWithParam<double> {};
+
+TEST_P(ApprovalVsSlo, MonotoneEnvelope) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  ApprovalConfig config;
+  config.slo_availability = GetParam();
+  const ApprovalEngine engine(router, config);
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 150.0)};
+  const auto results = engine.pipe_approval(pipes);
+  // At 0.97 or below: 150; between 0.9702 and 0.9998: 100.
+  if (GetParam() <= 0.97) {
+    EXPECT_EQ(results[0].approved, Gbps(150));
+  } else {
+    EXPECT_EQ(results[0].approved, Gbps(100));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SloSweep, ApprovalVsSlo,
+                         ::testing::Values(0.9, 0.95, 0.97, 0.98, 0.999, 0.9998));
+
+}  // namespace
+}  // namespace netent::approval

@@ -1,0 +1,129 @@
+#include "forecast/backtest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace netent::forecast {
+namespace {
+
+DemandForecaster simple_forecaster(std::size_t horizon = 90) {
+  ForecasterConfig config;
+  config.prophet.use_yearly = false;
+  config.horizon_days = horizon;
+  return DemandForecaster(config);
+}
+
+/// Daily series: trend + weekly wave + noise.
+std::vector<double> synthetic_daily(std::size_t days, double base, double slope,
+                                    double weekly_amp, double noise, Rng& rng) {
+  std::vector<double> out(days);
+  for (std::size_t t = 0; t < days; ++t) {
+    out[t] = base + slope * static_cast<double>(t) +
+             weekly_amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 7.0) +
+             noise * rng.normal();
+  }
+  return out;
+}
+
+TEST(Backtest, OriginsCoverTheHistory) {
+  Rng rng(1);
+  const auto history = synthetic_daily(400, 100.0, 0.2, 5.0, 1.0, rng);
+  BacktestConfig config;
+  config.train_days = 180;
+  config.horizon_days = 90;
+  config.origin_step_days = 30;
+  const auto report = backtest(simple_forecaster(), history, {}, config);
+  // Origins at 180, 210, 240, 270, 300, 310(no: step 30 -> 300); last origin
+  // must leave a full horizon: origin + 90 <= 400 -> origin <= 310.
+  ASSERT_EQ(report.origins.size(), 5u);
+  EXPECT_EQ(report.origins.front().origin_day, 180u);
+  EXPECT_EQ(report.origins.back().origin_day, 300u);
+}
+
+TEST(Backtest, PredictableSeriesScoresWell) {
+  Rng rng(2);
+  const auto history = synthetic_daily(420, 200.0, 0.3, 10.0, 1.0, rng);
+  const auto report = backtest(simple_forecaster(), history, {}, BacktestConfig{});
+  EXPECT_LT(report.mean_smape(), 0.05);
+  EXPECT_LT(report.worst_smape(), 0.1);
+}
+
+TEST(Backtest, GenerousQuotaPercentileUnderForecastsLess) {
+  // The quota percentile is the provisioning-margin knob: a p99 quota must
+  // under-cover realized usage at no more origins than a p50 quota (the
+  // smooth forecast carries no noise, so the absolute sign is marginal, but
+  // the ordering is strict).
+  Rng rng(3);
+  const auto history = synthetic_daily(400, 300.0, 0.0, 20.0, 2.0, rng);
+  ForecasterConfig median_fc;
+  median_fc.prophet.use_yearly = false;
+  median_fc.quota_percentile = 50.0;
+  ForecasterConfig generous_fc = median_fc;
+  generous_fc.quota_percentile = 99.0;
+  const auto median_report =
+      backtest(DemandForecaster(median_fc), history, {}, BacktestConfig{});
+  const auto generous_report =
+      backtest(DemandForecaster(generous_fc), history, {}, BacktestConfig{});
+  EXPECT_LT(generous_report.under_forecast_fraction(),
+            median_report.under_forecast_fraction());
+  // And the generous quota's signed error is higher at every origin.
+  for (std::size_t i = 0; i < median_report.origins.size(); ++i) {
+    EXPECT_GT(generous_report.origins[i].quota_error, median_report.origins[i].quota_error);
+  }
+}
+
+TEST(Backtest, UnforeseenSurgeShowsUpAsUnderForecast) {
+  // A step surge in the scored horizon that the training window never saw:
+  // the affected origins must report negative quota error.
+  Rng rng(4);
+  auto history = synthetic_daily(360, 100.0, 0.0, 5.0, 1.0, rng);
+  for (std::size_t t = 300; t < history.size(); ++t) history[t] *= 2.0;
+  BacktestConfig config;
+  config.train_days = 180;
+  config.horizon_days = 60;
+  config.origin_step_days = 60;
+  const auto report = backtest(simple_forecaster(60), history, {}, config);
+  // Origins: 180 (clean horizon 180-240), 240 (240-300 clean), 300 (surged).
+  ASSERT_EQ(report.origins.size(), 3u);
+  EXPECT_GT(report.origins[0].quota_error, -0.1);
+  EXPECT_LT(report.origins[2].quota_error, -0.3);
+  EXPECT_GT(report.under_forecast_fraction(), 0.0);
+}
+
+TEST(Backtest, SmapeWorseWithShorterTraining) {
+  Rng rng(5);
+  const auto history = synthetic_daily(420, 150.0, 0.4, 15.0, 3.0, rng);
+  BacktestConfig long_train;
+  long_train.train_days = 200;
+  BacktestConfig short_train;
+  short_train.train_days = 21;
+  const auto long_report = backtest(simple_forecaster(), history, {}, long_train);
+  const auto short_report = backtest(simple_forecaster(), history, {}, short_train);
+  EXPECT_LE(long_report.mean_smape(), short_report.mean_smape() * 1.5)
+      << "longer training should not be much worse";
+}
+
+TEST(Backtest, InvalidInputsRejected) {
+  Rng rng(6);
+  const auto history = synthetic_daily(100, 10.0, 0.0, 0.0, 0.1, rng);
+  BacktestConfig config;
+  config.train_days = 90;
+  config.horizon_days = 90;  // 180 > 100 days of history
+  EXPECT_THROW((void)backtest(simple_forecaster(), history, {}, config), ContractViolation);
+
+  // Backtest horizon longer than the forecaster's own horizon.
+  BacktestConfig too_long;
+  too_long.train_days = 90;
+  too_long.horizon_days = 120;
+  const auto long_history = synthetic_daily(400, 10.0, 0.0, 0.0, 0.1, rng);
+  EXPECT_THROW((void)backtest(simple_forecaster(90), long_history, {}, too_long),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::forecast

@@ -1,0 +1,94 @@
+#include "hose/balance.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::hose {
+namespace {
+
+HoseRequest hose(std::uint32_t npg, QosClass qos, std::uint32_t region, Direction dir,
+                 double rate) {
+  return {NpgId(npg), qos, RegionId(region), dir, Gbps(rate)};
+}
+
+TEST(BalanceHoses, AlreadyBalancedIsNoop) {
+  std::vector<HoseRequest> hoses{hose(1, QosClass::c1_low, 0, Direction::egress, 100.0),
+                                 hose(1, QosClass::c1_low, 1, Direction::ingress, 100.0)};
+  const auto reports = balance_hoses(hoses, 4);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].inflation, Gbps(0));
+  EXPECT_EQ(reports[0].dummy_hoses_added, 0u);
+  EXPECT_EQ(hoses.size(), 2u);
+}
+
+TEST(BalanceHoses, InflatesEgressShortage) {
+  // Egress 100 vs ingress 160: egress must be inflated by 60.
+  std::vector<HoseRequest> hoses{hose(1, QosClass::c1_low, 0, Direction::egress, 100.0),
+                                 hose(1, QosClass::c1_low, 1, Direction::ingress, 160.0)};
+  const auto reports = balance_hoses(hoses, 4);
+  ASSERT_EQ(reports.size(), 1u);
+  EXPECT_EQ(reports[0].inflated_direction, Direction::egress);
+  EXPECT_NEAR(reports[0].inflation.value(), 60.0, 1e-9);
+  EXPECT_EQ(reports[0].dummy_hoses_added, 4u);
+  EXPECT_TRUE(is_balanced(hoses));
+}
+
+TEST(BalanceHoses, InflatesIngressShortage) {
+  std::vector<HoseRequest> hoses{hose(1, QosClass::c2_low, 0, Direction::egress, 300.0),
+                                 hose(1, QosClass::c2_low, 1, Direction::ingress, 120.0)};
+  const auto reports = balance_hoses(hoses, 3);
+  EXPECT_EQ(reports[0].inflated_direction, Direction::ingress);
+  EXPECT_NEAR(reports[0].inflation.value(), 180.0, 1e-9);
+  EXPECT_TRUE(is_balanced(hoses));
+}
+
+TEST(BalanceHoses, DeltaSpreadEvenlyAcrossRegions) {
+  std::vector<HoseRequest> hoses{hose(1, QosClass::c1_low, 0, Direction::egress, 100.0),
+                                 hose(1, QosClass::c1_low, 1, Direction::ingress, 180.0)};
+  (void)balance_hoses(hoses, 4);
+  int dummies = 0;
+  for (const HoseRequest& h : hoses) {
+    if (h.npg == kBalancingDummyNpg) {
+      EXPECT_NEAR(h.rate.value(), 20.0, 1e-9);  // 80 / 4 regions
+      EXPECT_EQ(h.direction, Direction::egress);
+      ++dummies;
+    }
+  }
+  EXPECT_EQ(dummies, 4);
+}
+
+TEST(BalanceHoses, ClassesBalancedIndependently) {
+  std::vector<HoseRequest> hoses{hose(1, QosClass::c1_low, 0, Direction::egress, 100.0),
+                                 hose(1, QosClass::c1_low, 1, Direction::ingress, 150.0),
+                                 hose(2, QosClass::c3_low, 0, Direction::egress, 90.0),
+                                 hose(2, QosClass::c3_low, 1, Direction::ingress, 40.0)};
+  const auto reports = balance_hoses(hoses, 2);
+  ASSERT_EQ(reports.size(), 2u);
+  EXPECT_TRUE(is_balanced(hoses));
+  // c1_low short on egress by 50; c3_low short on ingress by 50.
+  for (const auto& report : reports) {
+    if (report.qos == QosClass::c1_low) {
+      EXPECT_EQ(report.inflated_direction, Direction::egress);
+    } else {
+      EXPECT_EQ(report.inflated_direction, Direction::ingress);
+    }
+    EXPECT_NEAR(report.inflation.value(), 50.0, 1e-9);
+  }
+}
+
+TEST(IsBalanced, DetectsImbalance) {
+  const std::vector<HoseRequest> unbalanced{
+      hose(1, QosClass::c1_low, 0, Direction::egress, 100.0),
+      hose(1, QosClass::c1_low, 1, Direction::ingress, 150.0)};
+  EXPECT_FALSE(is_balanced(unbalanced));
+  EXPECT_TRUE(is_balanced(unbalanced, 60.0));  // generous tolerance
+}
+
+TEST(BalanceHoses, ZeroRegionsRejected) {
+  std::vector<HoseRequest> hoses;
+  EXPECT_THROW((void)balance_hoses(hoses, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::hose

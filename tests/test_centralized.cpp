@@ -1,0 +1,151 @@
+#include "enforce/centralized.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+namespace {
+
+constexpr NpgId kSvc{1};
+constexpr QosClass kQos = QosClass::c2_low;
+
+EntitlementQuery fixed_entitlement(double gbps) {
+  return [gbps](NpgId, QosClass, double) { return EntitlementAnswer{true, Gbps(gbps)}; };
+}
+
+TEST(MaxMinFair, AllDemandsFitWithinCapacity) {
+  const std::vector<double> demands{10, 20, 30};
+  const auto allocation = max_min_fair(demands, 100.0);
+  EXPECT_DOUBLE_EQ(allocation[0], 10.0);
+  EXPECT_DOUBLE_EQ(allocation[1], 20.0);
+  EXPECT_DOUBLE_EQ(allocation[2], 30.0);
+}
+
+TEST(MaxMinFair, EqualSplitWhenAllDemandHigh) {
+  const std::vector<double> demands{100, 100, 100};
+  const auto allocation = max_min_fair(demands, 90.0);
+  for (const double a : allocation) EXPECT_NEAR(a, 30.0, 1e-9);
+}
+
+TEST(MaxMinFair, SmallDemandSatisfiedLeftoversRedistributed) {
+  // Classic max-min example: {10, 100, 100} at 90 -> {10, 40, 40}.
+  const std::vector<double> demands{10, 100, 100};
+  const auto allocation = max_min_fair(demands, 90.0);
+  EXPECT_NEAR(allocation[0], 10.0, 1e-9);
+  EXPECT_NEAR(allocation[1], 40.0, 1e-9);
+  EXPECT_NEAR(allocation[2], 40.0, 1e-9);
+}
+
+TEST(MaxMinFair, ConservationAndBounds) {
+  const std::vector<double> demands{5, 17, 42, 3, 88};
+  const auto allocation = max_min_fair(demands, 60.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_LE(allocation[i], demands[i] + 1e-9);
+    EXPECT_GE(allocation[i], 0.0);
+    total += allocation[i];
+  }
+  EXPECT_NEAR(total, 60.0, 1e-9);  // oversubscribed: fully used
+}
+
+TEST(MaxMinFair, ZeroCapacity) {
+  const std::vector<double> demands{1, 2};
+  const auto allocation = max_min_fair(demands, 0.0);
+  EXPECT_DOUBLE_EQ(allocation[0], 0.0);
+  EXPECT_DOUBLE_EQ(allocation[1], 0.0);
+}
+
+TEST(CentralController, SplitsEntitlementMaxMinFair) {
+  CentralController controller(ControllerConfig{}, fixed_entitlement(90.0));
+  const std::vector<HostReport> reports{{HostId(1), kSvc, kQos, Gbps(10)},
+                                        {HostId(2), kSvc, kQos, Gbps(100)},
+                                        {HostId(3), kSvc, kQos, Gbps(100)}};
+  const auto decisions = controller.control_cycle(reports, 0.0);
+  ASSERT_EQ(decisions.size(), 3u);
+  EXPECT_NEAR(decisions[0].limit.value(), 10.0, 1e-9);
+  EXPECT_NEAR(decisions[1].limit.value(), 40.0, 1e-9);
+  EXPECT_NEAR(decisions[2].limit.value(), 40.0, 1e-9);
+}
+
+TEST(CentralController, SeparateGroupsIndependent) {
+  CentralController controller(ControllerConfig{}, fixed_entitlement(50.0));
+  const std::vector<HostReport> reports{{HostId(1), NpgId(1), kQos, Gbps(100)},
+                                        {HostId(2), NpgId(2), kQos, Gbps(100)}};
+  const auto decisions = controller.control_cycle(reports, 0.0);
+  EXPECT_NEAR(decisions[0].limit.value(), 50.0, 1e-9);
+  EXPECT_NEAR(decisions[1].limit.value(), 50.0, 1e-9);
+}
+
+TEST(CentralController, NoContractMeansNoLimit) {
+  CentralController controller(ControllerConfig{},
+                               [](NpgId, QosClass, double) {
+                                 return EntitlementAnswer{false, Gbps(0)};
+                               });
+  const std::vector<HostReport> reports{{HostId(1), kSvc, kQos, Gbps(100)}};
+  const auto decisions = controller.control_cycle(reports, 0.0);
+  EXPECT_GT(decisions[0].limit.value(), 1e9);
+}
+
+TEST(CentralController, CycleCostScalesWithFleet) {
+  ControllerConfig config;
+  config.per_report_cost_us = 5.0;
+  CentralController controller(config, fixed_entitlement(100.0));
+  std::vector<HostReport> small(100, {HostId(0), kSvc, kQos, Gbps(1)});
+  std::vector<HostReport> large(10000, {HostId(0), kSvc, kQos, Gbps(1)});
+  (void)controller.control_cycle(small, 0.0);
+  const double small_cost = controller.last_cycle_cost_us();
+  (void)controller.control_cycle(large, 0.0);
+  const double large_cost = controller.last_cycle_cost_us();
+  EXPECT_NEAR(large_cost / small_cost, 100.0, 1e-6);
+}
+
+TEST(CentralController, FailureFreezesLimits) {
+  CentralController controller(ControllerConfig{}, fixed_entitlement(90.0));
+  const std::vector<HostReport> reports{{HostId(1), kSvc, kQos, Gbps(100)},
+                                        {HostId(2), kSvc, kQos, Gbps(100)}};
+  const auto before = controller.control_cycle(reports, 0.0);
+  controller.set_failed(true);
+  // Demands changed, but the failed controller hands out stale limits.
+  const std::vector<HostReport> changed{{HostId(1), kSvc, kQos, Gbps(1)},
+                                        {HostId(2), kSvc, kQos, Gbps(1)}};
+  const auto after = controller.control_cycle(changed, 10.0);
+  EXPECT_EQ(after[0].limit, before[0].limit);
+  EXPECT_EQ(after[1].limit, before[1].limit);
+  // A brand-new host gets no limit at all during the outage.
+  const std::vector<HostReport> newcomer{{HostId(9), kSvc, kQos, Gbps(100)}};
+  const auto fresh = controller.control_cycle(newcomer, 20.0);
+  EXPECT_GT(fresh[0].limit.value(), 1e9);
+}
+
+TEST(SourceRateLimiter, ShapesToLimit) {
+  SourceRateLimiter limiter;
+  limiter.apply({HostId(1), Gbps(10)});
+  EXPECT_EQ(limiter.shape(HostId(1), Gbps(25)), Gbps(10));
+  EXPECT_EQ(limiter.shape(HostId(1), Gbps(5)), Gbps(5));
+  // Unknown host: unshaped.
+  EXPECT_EQ(limiter.shape(HostId(2), Gbps(25)), Gbps(25));
+}
+
+TEST(SourceRateLimiter, BurstAllowance) {
+  SourceRateLimiter limiter(0.2);
+  limiter.apply({HostId(1), Gbps(10)});
+  EXPECT_EQ(limiter.shape(HostId(1), Gbps(25)), Gbps(12));
+}
+
+TEST(SourceRateLimiter, LimitLookup) {
+  SourceRateLimiter limiter;
+  EXPECT_EQ(limiter.limit_of(HostId(1)), std::nullopt);
+  limiter.apply({HostId(1), Gbps(10)});
+  EXPECT_EQ(limiter.limit_of(HostId(1)), Gbps(10));
+}
+
+TEST(Centralized, InvalidInputsRejected) {
+  EXPECT_THROW(CentralController(ControllerConfig{}, nullptr), ContractViolation);
+  EXPECT_THROW(SourceRateLimiter(-0.1), ContractViolation);
+  const std::vector<double> negative{-1.0};
+  EXPECT_THROW((void)max_min_fair(negative, 10.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::enforce

@@ -1,0 +1,171 @@
+#include "hose/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "hose/coverage.h"
+#include "hose/space.h"
+#include "topology/generator.h"
+
+namespace netent::hose {
+namespace {
+
+using topology::Router;
+using topology::Topology;
+using traffic::TrafficMatrix;
+
+struct Fixture {
+  Topology topo = topology::figure6_topology();
+  Router router{topo, 3};
+};
+
+HoseSpace fig6_space() {
+  return HoseSpace({900.0, 0.0, 0.0, 0.0, 0.0}, {0.0, 400.0, 400.0, 400.0, 400.0});
+}
+
+TEST(ClusterRepresentatives, SmallInputReturnedUnchanged) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(1);
+  const auto tms = representative_tms(space, 5, rng);
+  const auto out = cluster_representatives(fx.router, tms, 10, rng);
+  EXPECT_EQ(out.size(), tms.size());
+}
+
+TEST(ClusterRepresentatives, ReducesToAtMostK) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(2);
+  const auto tms = representative_tms(space, 60, rng);
+  const auto out = cluster_representatives(fx.router, tms, 8, rng);
+  EXPECT_LE(out.size(), 8u);
+  EXPECT_GE(out.size(), 1u);
+}
+
+TEST(ClusterRepresentatives, OutputsAreMembersOfInput) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(3);
+  const auto tms = representative_tms(space, 40, rng);
+  const auto out = cluster_representatives(fx.router, tms, 6, rng);
+  for (const TrafficMatrix& rep : out) {
+    bool found = false;
+    for (const TrafficMatrix& tm : tms) {
+      bool equal = true;
+      for (std::uint32_t s = 0; s < 5 && equal; ++s) {
+        for (std::uint32_t d = 0; d < 5 && equal; ++d) {
+          if (tm.at(RegionId(s), RegionId(d)) != rep.at(RegionId(s), RegionId(d))) equal = false;
+        }
+      }
+      if (equal) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "medoid must be one of the candidates";
+  }
+}
+
+TEST(ClusterRepresentatives, DuplicatesCollapse) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(4);
+  const TrafficMatrix one = space.extreme_point(rng);
+  const std::vector<TrafficMatrix> duplicates(20, one);
+  const auto out = cluster_representatives(fx.router, duplicates, 5, rng);
+  // All candidates identical: k-means++ cannot find a second distinct seed.
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ClusterRepresentatives, ClusteredBeatsRandomSubsetOnCoverage) {
+  // The point of the refinement: k medoids of a large candidate pool cover
+  // the hose space at least as well as the first k raw candidates.
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(5);
+  const auto pool = representative_tms(space, 120, rng);
+  const std::vector<TrafficMatrix> head(pool.begin(), pool.begin() + 12);
+  Rng cluster_rng(6);
+  const auto medoids = cluster_representatives(fx.router, pool, 12, cluster_rng);
+
+  const auto head_envelope = load_envelope(fx.router, head);
+  const auto medoid_envelope = load_envelope(fx.router, medoids);
+  Rng eval1(7);
+  Rng eval2(7);
+  const double head_coverage = coverage(fx.router, space, head_envelope, 300, eval1);
+  const double medoid_coverage = coverage(fx.router, space, medoid_envelope, 300, eval2);
+  EXPECT_GE(medoid_coverage, head_coverage - 0.02)
+      << "clustered selection must not lose coverage at equal size";
+}
+
+TEST(GreedyEnvelopeSelection, PicksAtMostKMembers) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(10);
+  const auto pool = representative_tms(space, 50, rng);
+  const auto picks = greedy_envelope_selection(fx.router, pool, 7);
+  EXPECT_LE(picks.size(), 7u);
+  EXPECT_GE(picks.size(), 1u);
+}
+
+TEST(GreedyEnvelopeSelection, StopsEarlyOnDuplicates) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(11);
+  const TrafficMatrix one = space.extreme_point(rng);
+  const std::vector<TrafficMatrix> duplicates(10, one);
+  const auto picks = greedy_envelope_selection(fx.router, duplicates, 5);
+  EXPECT_EQ(picks.size(), 1u) << "identical TMs add no envelope after the first";
+}
+
+TEST(GreedyEnvelopeSelection, BeatsRawPrefixOnCoverage) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(12);
+  const auto pool = representative_tms(space, 150, rng);
+  const std::vector<TrafficMatrix> head(pool.begin(), pool.begin() + 8);
+  const auto picks = greedy_envelope_selection(fx.router, pool, 8);
+  Rng eval1(13);
+  Rng eval2(13);
+  const double raw = coverage(fx.router, space, load_envelope(fx.router, head), 300, eval1);
+  const double greedy = coverage(fx.router, space, load_envelope(fx.router, picks), 300, eval2);
+  EXPECT_GE(greedy, raw) << "greedy selection must dominate an arbitrary prefix";
+}
+
+TEST(GreedyEnvelopeSelection, FirstPickMaximizesTotalLoad) {
+  // With an empty envelope, the first pick is the candidate with the
+  // largest routed total load.
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(14);
+  const auto pool = representative_tms(space, 30, rng);
+  const auto picks = greedy_envelope_selection(fx.router, pool, 1);
+  ASSERT_EQ(picks.size(), 1u);
+  const std::vector<double> unlimited(fx.topo.link_count(), 1e12);
+  const auto load_of = [&](const TrafficMatrix& tm) {
+    const auto demands = tm.demands();
+    const auto result = fx.router.route(demands, unlimited);
+    double sum = 0.0;
+    for (const double v : result.link_load) sum += v;
+    return sum;
+  };
+  const double picked = load_of(picks[0]);
+  for (const TrafficMatrix& tm : pool) {
+    EXPECT_LE(load_of(tm), picked + 1e-6);
+  }
+}
+
+TEST(ClusterRepresentatives, InvalidInputsRejected) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(8);
+  const auto tms = representative_tms(space, 4, rng);
+  EXPECT_THROW((void)cluster_representatives(fx.router, tms, 0, rng), ContractViolation);
+  ClusterConfig bad;
+  bad.iterations = 0;
+  EXPECT_THROW((void)cluster_representatives(fx.router, tms, 2, rng, bad), ContractViolation);
+  EXPECT_THROW((void)greedy_envelope_selection(fx.router, tms, 0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::hose

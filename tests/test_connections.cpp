@@ -1,0 +1,123 @@
+#include "sim/connections.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::sim {
+namespace {
+
+ConnectionStats run_ticks(ConnectionPool& pool, double loss, int ticks) {
+  ConnectionStats total;
+  for (int i = 0; i < ticks; ++i) {
+    const ConnectionStats stats = pool.tick(loss);
+    total.syn_sent += stats.syn_sent;
+    total.established += stats.established;
+    total.resets += stats.resets;
+    total.fins += stats.fins;
+    total.live = stats.live;
+  }
+  return total;
+}
+
+TEST(ConnectionPool, HealthyPoolStaysEstablished) {
+  ConnectionPool pool(ConnectionPoolConfig{}, Rng(1));
+  const auto stats = run_ticks(pool, 0.0, 200);
+  // Slots that gracefully closed this very tick reconnect next tick, so
+  // "live" sits within a few slots of full.
+  EXPECT_GE(stats.live, ConnectionPoolConfig{}.slots - 5);
+  EXPECT_EQ(stats.resets, 0u);
+  EXPECT_GT(stats.fins, 0u) << "healthy flows complete and reopen";
+}
+
+TEST(ConnectionPool, BaselineSynRateTracksTurnover) {
+  // Healthy steady state: one SYN per graceful close (reconnect), so the
+  // SYN rate ~ slots / mean_lifetime per tick.
+  ConnectionPoolConfig config;
+  config.slots = 100;
+  config.mean_lifetime_ticks = 20.0;
+  ConnectionPool pool(config, Rng(2));
+  (void)run_ticks(pool, 0.0, 50);  // warm up
+  const auto stats = run_ticks(pool, 0.0, 400);
+  const double syn_per_tick = static_cast<double>(stats.syn_sent) / 400.0;
+  EXPECT_NEAR(syn_per_tick, 100.0 / 20.0, 1.0);
+}
+
+TEST(ConnectionPool, SynStormUnderHeavyLoss) {
+  // Figure 14's mechanism: heavy loss turns the pool into a retry storm
+  // with SYN counts far above the healthy baseline.
+  ConnectionPoolConfig config;
+  config.slots = 100;
+  config.mean_lifetime_ticks = 20.0;
+  ConnectionPool healthy(config, Rng(3));
+  ConnectionPool lossy(config, Rng(3));
+  (void)run_ticks(healthy, 0.0, 50);
+  (void)run_ticks(lossy, 0.95, 50);
+  const auto healthy_stats = run_ticks(healthy, 0.0, 200);
+  const auto lossy_stats = run_ticks(lossy, 0.95, 200);
+  EXPECT_GT(lossy_stats.syn_sent, healthy_stats.syn_sent * 2);
+  EXPECT_LT(lossy_stats.live, 20u) << "few connections survive 95% loss";
+}
+
+TEST(ConnectionPool, FullLossMeansNoEstablishment) {
+  ConnectionPool pool(ConnectionPoolConfig{}, Rng(4));
+  const auto stats = run_ticks(pool, 1.0, 100);
+  EXPECT_EQ(stats.established, 0u);
+  EXPECT_EQ(stats.live, 0u);
+  EXPECT_GT(stats.syn_sent, 0u) << "retries keep going (with backoff)";
+}
+
+TEST(ConnectionPool, BackoffBoundsTheStorm) {
+  // With max backoff B, a fully dead path still costs at least one SYN per
+  // B ticks per slot, and at most one SYN per tick per slot.
+  ConnectionPoolConfig config;
+  config.slots = 50;
+  config.max_backoff_ticks = 8;
+  ConnectionPool pool(config, Rng(5));
+  (void)run_ticks(pool, 1.0, 64);  // reach max backoff
+  const auto stats = run_ticks(pool, 1.0, 160);
+  EXPECT_GE(stats.syn_sent, 50u * 160u / (8u + 1u));
+  EXPECT_LE(stats.syn_sent, 50u * 160u);
+}
+
+TEST(ConnectionPool, RecoveryAfterLossClears) {
+  ConnectionPool pool(ConnectionPoolConfig{}, Rng(6));
+  (void)run_ticks(pool, 1.0, 100);
+  EXPECT_EQ(pool.live_connections(), 0u);
+  (void)run_ticks(pool, 0.0, 50);
+  EXPECT_GE(pool.live_connections(), ConnectionPoolConfig{}.slots - 5);
+}
+
+TEST(ConnectionPool, ResetsOnlyAboveThreshold) {
+  ConnectionPoolConfig config;
+  config.reset_loss_threshold = 0.5;
+  ConnectionPool pool(config, Rng(7));
+  (void)run_ticks(pool, 0.0, 100);  // all established
+  const auto mild = run_ticks(pool, 0.3, 100);
+  EXPECT_EQ(mild.resets, 0u) << "below-threshold loss never RSTs";
+  const auto severe = run_ticks(pool, 0.8, 100);
+  EXPECT_GT(severe.resets, 0u);
+}
+
+TEST(ConnectionPool, DeterministicForSeed) {
+  ConnectionPool a(ConnectionPoolConfig{}, Rng(8));
+  ConnectionPool b(ConnectionPoolConfig{}, Rng(8));
+  for (int i = 0; i < 50; ++i) {
+    const auto sa = a.tick(0.4);
+    const auto sb = b.tick(0.4);
+    EXPECT_EQ(sa.syn_sent, sb.syn_sent);
+    EXPECT_EQ(sa.live, sb.live);
+  }
+}
+
+TEST(ConnectionPool, InvalidInputsRejected) {
+  ConnectionPoolConfig bad;
+  bad.slots = 0;
+  EXPECT_THROW(ConnectionPool(bad, Rng(1)), ContractViolation);
+  ConnectionPool pool(ConnectionPoolConfig{}, Rng(1));
+  EXPECT_THROW((void)pool.tick(-0.1), ContractViolation);
+  EXPECT_THROW((void)pool.tick(1.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::sim

@@ -1,0 +1,128 @@
+#include "core/contract_db.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::core {
+namespace {
+
+using hose::Direction;
+
+EntitlementContract sample_contract() {
+  EntitlementContract contract;
+  contract.npg = NpgId(1);
+  contract.npg_name = "Ads";
+  contract.slo_availability = 0.9998;
+  const Period period{0.0, 100.0};
+  contract.entitlements.push_back(
+      {NpgId(1), QosClass::c1_low, RegionId(0), Direction::egress, Gbps(100), period});
+  contract.entitlements.push_back(
+      {NpgId(1), QosClass::c1_low, RegionId(1), Direction::egress, Gbps(50), period});
+  contract.entitlements.push_back(
+      {NpgId(1), QosClass::c1_low, RegionId(0), Direction::ingress, Gbps(70), period});
+  contract.entitlements.push_back(
+      {NpgId(1), QosClass::c2_low, RegionId(0), Direction::egress, Gbps(30), period});
+  return contract;
+}
+
+TEST(Period, Contains) {
+  const Period period{10.0, 20.0};
+  EXPECT_FALSE(period.contains(9.9));
+  EXPECT_TRUE(period.contains(10.0));
+  EXPECT_TRUE(period.contains(19.9));
+  EXPECT_FALSE(period.contains(20.0));  // half-open
+  EXPECT_DOUBLE_EQ(period.length_seconds(), 10.0);
+}
+
+TEST(EntitlementContract, TotalEntitled) {
+  const EntitlementContract contract = sample_contract();
+  EXPECT_EQ(contract.total_entitled(QosClass::c1_low, Direction::egress), Gbps(150));
+  EXPECT_EQ(contract.total_entitled(QosClass::c1_low, Direction::ingress), Gbps(70));
+  EXPECT_EQ(contract.total_entitled(QosClass::c2_low, Direction::egress), Gbps(30));
+  EXPECT_EQ(contract.total_entitled(QosClass::c4_high, Direction::egress), Gbps(0));
+}
+
+TEST(ContractDb, FindByNpg) {
+  ContractDb db;
+  db.add(sample_contract());
+  ASSERT_NE(db.find(NpgId(1)), nullptr);
+  EXPECT_EQ(db.find(NpgId(1))->npg_name, "Ads");
+  EXPECT_EQ(db.find(NpgId(9)), nullptr);
+}
+
+TEST(ContractDb, EntitledRatePerRegion) {
+  ContractDb db;
+  db.add(sample_contract());
+  const auto rate =
+      db.entitled_rate(NpgId(1), QosClass::c1_low, RegionId(0), Direction::egress, 50.0);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_EQ(*rate, Gbps(100));
+}
+
+TEST(ContractDb, PeriodBoundsRespected) {
+  ContractDb db;
+  db.add(sample_contract());
+  EXPECT_FALSE(db.entitled_rate(NpgId(1), QosClass::c1_low, RegionId(0), Direction::egress,
+                                150.0)
+                   .has_value());
+  EXPECT_FALSE(db.service_entitled_rate(NpgId(1), QosClass::c1_low, 150.0).has_value());
+}
+
+TEST(ContractDb, ServiceEntitledRateSumsEgressRegions) {
+  ContractDb db;
+  db.add(sample_contract());
+  const auto rate = db.service_entitled_rate(NpgId(1), QosClass::c1_low, 50.0);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_EQ(*rate, Gbps(150));  // 100 + 50 egress; ingress not counted
+}
+
+TEST(ContractDb, UnknownQueriesReturnNullopt) {
+  ContractDb db;
+  db.add(sample_contract());
+  EXPECT_FALSE(db.service_entitled_rate(NpgId(2), QosClass::c1_low, 50.0).has_value());
+  EXPECT_FALSE(db.service_entitled_rate(NpgId(1), QosClass::c4_high, 50.0).has_value());
+}
+
+TEST(ContractDb, QueryAdapterBridgesToEnforcement) {
+  ContractDb db;
+  db.add(sample_contract());
+  const auto query = db.query_adapter();
+  const auto hit = query(NpgId(1), QosClass::c1_low, 50.0);
+  EXPECT_TRUE(hit.found);
+  EXPECT_EQ(hit.entitled_rate, Gbps(150));
+  const auto miss = query(NpgId(1), QosClass::c1_low, 500.0);
+  EXPECT_FALSE(miss.found);
+  EXPECT_EQ(miss.entitled_rate, Gbps(0));
+}
+
+TEST(ContractDb, InvalidContractsRejected) {
+  ContractDb db;
+  EntitlementContract bad = sample_contract();
+  bad.slo_availability = 0.0;
+  EXPECT_THROW(db.add(bad), ContractViolation);
+
+  bad = sample_contract();
+  bad.entitlements[0].npg = NpgId(2);  // entitlement for a different NPG
+  EXPECT_THROW(db.add(bad), ContractViolation);
+
+  bad = sample_contract();
+  bad.entitlements[0].period = {10.0, 10.0};  // empty period
+  EXPECT_THROW(db.add(bad), ContractViolation);
+}
+
+TEST(ContractDb, MultipleContractsAccumulate) {
+  ContractDb db;
+  db.add(sample_contract());
+  EntitlementContract more;
+  more.npg = NpgId(1);
+  more.slo_availability = 0.999;
+  more.entitlements.push_back({NpgId(1), QosClass::c1_low, RegionId(2), Direction::egress,
+                               Gbps(25), Period{0.0, 100.0}});
+  db.add(more);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(*db.service_entitled_rate(NpgId(1), QosClass::c1_low, 50.0), Gbps(175));
+}
+
+}  // namespace
+}  // namespace netent::core

@@ -1,0 +1,159 @@
+#include "hose/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace netent::hose {
+namespace {
+
+using topology::Router;
+using topology::Topology;
+
+struct Fixture {
+  Topology topo = topology::figure6_topology();
+  Router router{topo, 3};
+};
+
+HoseSpace fig6_space() {
+  // Region A (0) sends 900 to B..E; each can absorb 400.
+  return HoseSpace({900.0, 0.0, 0.0, 0.0, 0.0}, {0.0, 400.0, 400.0, 400.0, 400.0});
+}
+
+TEST(RepresentativeTms, CountAndFeasibility) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(1);
+  const auto tms = representative_tms(space, 10, rng);
+  ASSERT_EQ(tms.size(), 10u);
+  for (const auto& tm : tms) EXPECT_TRUE(space.feasible(tm, 1e-6));
+}
+
+TEST(LoadEnvelope, DominatesEveryMemberTm) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(2);
+  const auto tms = representative_tms(space, 8, rng);
+  const auto envelope = load_envelope(fx.router, tms);
+  const std::vector<double> unlimited(fx.topo.link_count(), 1e12);
+  for (const auto& tm : tms) {
+    const auto demands = tm.demands();
+    const auto result = fx.router.route(demands, unlimited);
+    for (std::size_t l = 0; l < envelope.size(); ++l) {
+      EXPECT_LE(result.link_load[l], envelope[l] + 1e-6);
+    }
+  }
+}
+
+TEST(Coverage, EnvelopeOfManyTmsCoversSamples) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(3);
+  const auto tms = representative_tms(space, 200, rng);
+  const auto envelope = load_envelope(fx.router, tms);
+  const double c = coverage(fx.router, space, envelope, 200, rng);
+  EXPECT_GT(c, 0.8);
+}
+
+TEST(Coverage, ZeroEnvelopeCoversNothing) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(4);
+  const std::vector<double> empty_envelope(fx.topo.link_count(), 0.0);
+  EXPECT_DOUBLE_EQ(coverage(fx.router, space, empty_envelope, 50, rng), 0.0);
+}
+
+TEST(CoverageCurve, MonotoneNondecreasing) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(5);
+  const std::vector<std::size_t> counts{1, 5, 20, 80};
+  const auto curve = coverage_curve(fx.router, space, counts, 150, rng);
+  ASSERT_EQ(curve.size(), counts.size());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].coverage, curve[i - 1].coverage - 1e-9)
+        << "coverage must not shrink when TMs are added";
+  }
+  EXPECT_GT(curve.back().coverage, curve.front().coverage);
+}
+
+TEST(TmsNeeded, ReachesTargetWithinCap) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(6);
+  const std::size_t needed =
+      tms_needed_for_coverage(fx.router, space, 0.75, 10, 500, 150, rng);
+  EXPECT_LT(needed, 500u);
+  EXPECT_GE(needed, 1u);
+}
+
+TEST(TmsNeeded, SegmentedNeedsFewerOrEqual) {
+  // The Figure 20 claim: segmentation shrinks the feasible space, so fewer
+  // representative TMs reach the same coverage.
+  Fixture fx;
+  HoseSpace general = fig6_space();
+  HoseSpace segmented = fig6_space();
+  segmented.add_segment({0, {1, 2}, 450.0});
+  segmented.add_segment({0, {3, 4}, 550.0});
+
+  Rng rng1(7);
+  Rng rng2(7);
+  const std::size_t general_needed =
+      tms_needed_for_coverage(fx.router, general, 0.75, 10, 400, 120, rng1);
+  const std::size_t segmented_needed =
+      tms_needed_for_coverage(fx.router, segmented, 0.75, 10, 400, 120, rng2);
+  EXPECT_LE(segmented_needed, general_needed);
+}
+
+TEST(ContractCoverage, EqualsOrdinaryWhenContractIsGeneral) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(20);
+  const auto tms = representative_tms(space, 60, rng);
+  const auto envelope = load_envelope(fx.router, tms);
+  Rng r1 = rng;
+  const double scoped = contract_coverage(fx.router, space, space, envelope, 150, r1);
+  EXPECT_GE(scoped, 0.0);
+  EXPECT_LE(scoped, 1.0);
+}
+
+TEST(ContractCoverage, OutOfScopeScenariosCountAsCovered) {
+  Fixture fx;
+  const HoseSpace general = fig6_space();
+  // A contract that promises (almost) nothing: nearly every scenario is out
+  // of scope, so coverage is high even with an empty envelope.
+  HoseSpace tiny = fig6_space();
+  tiny.add_segment({0, {1, 2, 3, 4}, 1.0});
+  Rng rng(21);
+  const std::vector<double> empty_envelope(fx.topo.link_count(), 0.0);
+  const double coverage_value =
+      contract_coverage(fx.router, general, tiny, empty_envelope, 100, rng);
+  EXPECT_GT(coverage_value, 0.9);
+}
+
+TEST(ContractCoverage, TmsNeededSegmentedNeverMore) {
+  Fixture fx;
+  const HoseSpace general = fig6_space();
+  HoseSpace segmented = fig6_space();
+  segmented.add_segment({0, {1, 2}, 450.0});
+  segmented.add_segment({0, {3, 4}, 550.0});
+  Rng r1(22);
+  Rng r2(22);
+  const std::size_t g = tms_needed_for_contract_coverage(fx.router, general, general, 0.75, 5,
+                                                         300, 100, r1);
+  const std::size_t s = tms_needed_for_contract_coverage(fx.router, general, segmented, 0.75, 5,
+                                                         300, 100, r2);
+  EXPECT_LE(s, g);
+}
+
+TEST(TmsNeeded, UnreachableTargetReturnsCap) {
+  Fixture fx;
+  const HoseSpace space = fig6_space();
+  Rng rng(8);
+  // Cap of 1 TM with a high bar: will not reach it.
+  const std::size_t needed = tms_needed_for_coverage(fx.router, space, 0.999, 1, 1, 100, rng);
+  EXPECT_EQ(needed, 1u);
+}
+
+}  // namespace
+}  // namespace netent::hose

@@ -1,0 +1,90 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+
+namespace netent::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(3.0, [&] { order.push_back(3); });
+  queue.schedule(1.0, [&] { order.push_back(1); });
+  queue.schedule(2.0, [&] { order.push_back(2); });
+  queue.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(queue.now(), 10.0);
+}
+
+TEST(EventQueue, StableOrderAtEqualTimes) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    queue.schedule(1.0, [&, i] { order.push_back(i); });
+  }
+  queue.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonStopsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(1.0, [&] { ++fired; });
+  queue.schedule(5.0, [&] { ++fired; });
+  queue.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_until(10.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents) {
+  EventQueue queue;
+  std::vector<double> fire_times;
+  // Self-rescheduling tick.
+  std::function<void()> tick = [&] {
+    fire_times.push_back(queue.now());
+    if (queue.now() < 4.5) queue.schedule_in(1.0, tick);
+  };
+  queue.schedule(1.0, tick);
+  queue.run_until(10.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0}));
+}
+
+TEST(EventQueue, NowAdvancesWithEvents) {
+  EventQueue queue;
+  double seen = -1.0;
+  queue.schedule(2.5, [&] { seen = queue.now(); });
+  queue.run_until(2.5);
+  EXPECT_DOUBLE_EQ(seen, 2.5);
+}
+
+TEST(EventQueue, PastSchedulingRejected) {
+  EventQueue queue;
+  queue.schedule(5.0, [] {});
+  queue.run_until(5.0);
+  EXPECT_THROW(queue.schedule(1.0, [] {}), ContractViolation);
+}
+
+TEST(EventQueue, NullActionRejected) {
+  EventQueue queue;
+  EXPECT_THROW(queue.schedule(1.0, nullptr), ContractViolation);
+}
+
+TEST(EventQueue, EmptyAndPending) {
+  EventQueue queue;
+  EXPECT_TRUE(queue.empty());
+  queue.schedule(1.0, [] {});
+  EXPECT_FALSE(queue.empty());
+  EXPECT_EQ(queue.pending(), 1u);
+  queue.run_until(1.0);
+  EXPECT_TRUE(queue.empty());
+}
+
+}  // namespace
+}  // namespace netent::sim

@@ -1,0 +1,114 @@
+#include "risk/failure.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace netent::risk {
+namespace {
+
+using topology::RegionKind;
+using topology::Topology;
+
+Topology small_topo() {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_region("c", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(100), 990.0, 10.0);   // u = 0.01
+  topo.add_fiber(RegionId(1), RegionId(2), Gbps(100), 980.0, 20.0);   // u = 0.02
+  topo.add_fiber(RegionId(0), RegionId(2), Gbps(100), 950.0, 50.0);   // u = 0.05
+  return topo;
+}
+
+TEST(SrlgUnavailability, MatchesMtbfMttr) {
+  const Topology topo = small_topo();
+  const auto u = srlg_unavailability(topo);
+  ASSERT_EQ(u.size(), 3u);
+  EXPECT_NEAR(u[0], 0.01, 1e-12);
+  EXPECT_NEAR(u[1], 0.02, 1e-12);
+  EXPECT_NEAR(u[2], 0.05, 1e-12);
+}
+
+TEST(EnumerateScenarios, NoFailureScenarioFirst) {
+  const Topology topo = small_topo();
+  ScenarioConfig config;
+  const auto scenarios = enumerate_scenarios(topo, config);
+  ASSERT_FALSE(scenarios.empty());
+  EXPECT_TRUE(scenarios[0].down.empty());
+  EXPECT_NEAR(scenarios[0].probability, 0.99 * 0.98 * 0.95, 1e-12);
+}
+
+TEST(EnumerateScenarios, CountsWithPairs) {
+  const Topology topo = small_topo();
+  ScenarioConfig config;
+  config.max_simultaneous = 2;
+  const auto scenarios = enumerate_scenarios(topo, config);
+  // 1 (none) + 3 singles + 3 pairs.
+  EXPECT_EQ(scenarios.size(), 7u);
+}
+
+TEST(EnumerateScenarios, SingleFailureProbabilityExact) {
+  const Topology topo = small_topo();
+  ScenarioConfig config;
+  const auto scenarios = enumerate_scenarios(topo, config);
+  for (const FailureScenario& s : scenarios) {
+    if (s.down.size() == 1 && s.down[0] == SrlgId(0)) {
+      EXPECT_NEAR(s.probability, 0.01 * 0.98 * 0.95, 1e-12);
+    }
+  }
+}
+
+TEST(EnumerateScenarios, PairProbabilityExact) {
+  const Topology topo = small_topo();
+  ScenarioConfig config;
+  const auto scenarios = enumerate_scenarios(topo, config);
+  for (const FailureScenario& s : scenarios) {
+    if (s.down.size() == 2 && s.down[0] == SrlgId(0) && s.down[1] == SrlgId(1)) {
+      EXPECT_NEAR(s.probability, 0.01 * 0.02 * 0.95, 1e-12);
+    }
+  }
+}
+
+TEST(EnumerateScenarios, SortedByProbabilityDescending) {
+  const Topology topo = small_topo();
+  const auto scenarios = enumerate_scenarios(topo, ScenarioConfig{});
+  for (std::size_t i = 1; i < scenarios.size(); ++i) {
+    EXPECT_LE(scenarios[i].probability, scenarios[i - 1].probability);
+  }
+}
+
+TEST(EnumerateScenarios, TotalMassApproachesOne) {
+  const Topology topo = small_topo();
+  ScenarioConfig config;
+  config.max_simultaneous = 3;
+  const auto scenarios = enumerate_scenarios(topo, config);
+  // With all 2^3 subsets enumerated the mass is exactly 1.
+  EXPECT_EQ(scenarios.size(), 8u);
+  EXPECT_NEAR(total_probability(scenarios), 1.0, 1e-12);
+}
+
+TEST(EnumerateScenarios, PruningDropsRareScenarios) {
+  const Topology topo = small_topo();
+  ScenarioConfig config;
+  config.min_probability = 1e-3;  // pairs are ~2e-4 .. 1e-3
+  const auto scenarios = enumerate_scenarios(topo, config);
+  for (const FailureScenario& s : scenarios) {
+    EXPECT_GE(s.probability, 1e-3);
+  }
+  EXPECT_LT(total_probability(scenarios), 1.0);
+}
+
+TEST(EnumerateScenarios, MassBoundedByOne) {
+  Rng rng(1);
+  topology::GeneratorConfig gen;
+  gen.region_count = 8;
+  const Topology topo = generate_backbone(gen, rng);
+  const auto scenarios = enumerate_scenarios(topo, ScenarioConfig{});
+  const double mass = total_probability(scenarios);
+  EXPECT_LE(mass, 1.0 + 1e-9);
+  EXPECT_GT(mass, 0.9);  // singles + pairs capture nearly everything
+}
+
+}  // namespace
+}  // namespace netent::risk

@@ -1,0 +1,135 @@
+#include "topology/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include <set>
+
+#include "topology/paths.h"
+
+namespace netent::topology {
+namespace {
+
+TEST(Generator, RegionCountAndKinds) {
+  Rng rng(1);
+  GeneratorConfig config;
+  config.region_count = 10;
+  config.dc_fraction = 0.6;
+  const Topology topo = generate_backbone(config, rng);
+  EXPECT_EQ(topo.region_count(), 10u);
+  std::size_t dcs = 0;
+  for (const Region& region : topo.regions()) {
+    if (region.kind == RegionKind::data_center) ++dcs;
+  }
+  EXPECT_EQ(dcs, 6u);
+}
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorConfig config;
+  Rng rng1(5);
+  Rng rng2(5);
+  const Topology a = generate_backbone(config, rng1);
+  const Topology b = generate_backbone(config, rng2);
+  ASSERT_EQ(a.link_count(), b.link_count());
+  for (std::uint32_t i = 0; i < a.link_count(); ++i) {
+    EXPECT_EQ(a.link(LinkId(i)).capacity, b.link(LinkId(i)).capacity);
+    EXPECT_EQ(a.link(LinkId(i)).src, b.link(LinkId(i)).src);
+  }
+}
+
+TEST(Generator, RingGuaranteesAllPairsConnectivity) {
+  Rng rng(3);
+  GeneratorConfig config;
+  config.region_count = 12;
+  config.chord_probability = 0.0;  // ring only
+  const Topology topo = generate_backbone(config, rng);
+  for (std::uint32_t s = 0; s < topo.region_count(); ++s) {
+    for (std::uint32_t d = 0; d < topo.region_count(); ++d) {
+      if (s == d) continue;
+      EXPECT_TRUE(shortest_path(topo, RegionId(s), RegionId(d), accept_all_links()).has_value());
+    }
+  }
+}
+
+TEST(Generator, SurvivesAnySingleFiberCut) {
+  Rng rng(4);
+  GeneratorConfig config;
+  config.region_count = 8;
+  config.chord_probability = 0.0;
+  config.max_parallel_fibers = 1;
+  const Topology topo = generate_backbone(config, rng);
+  // Ring: after any single SRLG cut every pair must stay connected.
+  for (std::uint32_t srlg = 0; srlg < topo.srlg_count(); ++srlg) {
+    const auto filter = exclude_srlgs({SrlgId(srlg)});
+    EXPECT_TRUE(shortest_path(topo, RegionId(0), RegionId(4), filter).has_value());
+  }
+}
+
+TEST(Generator, ReliabilityParametersInRange) {
+  Rng rng(6);
+  GeneratorConfig config;
+  const Topology topo = generate_backbone(config, rng);
+  for (const Link& link : topo.links()) {
+    EXPECT_GE(link.mtbf_hours, config.mtbf_hours_min);
+    EXPECT_LE(link.mtbf_hours, config.mtbf_hours_max);
+    EXPECT_GE(link.mttr_hours, config.mttr_hours_min);
+    EXPECT_LE(link.mttr_hours, config.mttr_hours_max);
+    EXPECT_GT(link.capacity, Gbps(0));
+  }
+}
+
+TEST(Generator, HeterogeneousCapacities) {
+  Rng rng(8);
+  GeneratorConfig config;
+  config.region_count = 16;
+  const Topology topo = generate_backbone(config, rng);
+  Gbps lo = topo.link(LinkId(0)).capacity;
+  Gbps hi = lo;
+  for (const Link& link : topo.links()) {
+    lo = min(lo, link.capacity);
+    hi = max(hi, link.capacity);
+  }
+  EXPECT_GT(hi / lo, 1.5) << "capacities should be heterogeneous";
+}
+
+TEST(Generator, SharedConduitsReduceSrlgCount) {
+  GeneratorConfig independent_config;
+  independent_config.region_count = 10;
+  independent_config.max_parallel_fibers = 3;
+  independent_config.shared_conduit_probability = 0.0;
+  GeneratorConfig shared_config = independent_config;
+  shared_config.shared_conduit_probability = 1.0;
+  Rng rng1(9);
+  Rng rng2(9);
+  const Topology independent = generate_backbone(independent_config, rng1);
+  const Topology shared = generate_backbone(shared_config, rng2);
+  // Independent fibers: one SRLG per fiber. Fully shared conduits: one SRLG
+  // per adjacency (distinct region pair).
+  EXPECT_EQ(independent.srlg_count(), independent.link_count() / 2);
+  std::set<std::pair<std::uint32_t, std::uint32_t>> adjacencies;
+  for (const Link& link : shared.links()) {
+    adjacencies.insert({std::min(link.src.value(), link.dst.value()),
+                        std::max(link.src.value(), link.dst.value())});
+  }
+  EXPECT_EQ(shared.srlg_count(), adjacencies.size())
+      << "fully shared conduits collapse every adjacency to one SRLG";
+}
+
+TEST(Generator, TooFewRegionsRejected) {
+  Rng rng(1);
+  GeneratorConfig config;
+  config.region_count = 2;
+  EXPECT_THROW((void)generate_backbone(config, rng), ContractViolation);
+}
+
+TEST(Figure6Topology, MatchesPaperExample) {
+  const Topology topo = figure6_topology();
+  EXPECT_EQ(topo.region_count(), 5u);
+  EXPECT_EQ(topo.find_region("A"), RegionId(0));
+  EXPECT_EQ(topo.find_region("E"), RegionId(4));
+  // A has direct fibers to all of B..E.
+  EXPECT_EQ(topo.out_links(RegionId(0)).size(), 4u);
+}
+
+}  // namespace
+}  // namespace netent::topology

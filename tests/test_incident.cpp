@@ -1,0 +1,46 @@
+#include "traffic/incident.h"
+
+#include <gtest/gtest.h>
+
+namespace netent::traffic {
+namespace {
+
+TimeSeries flat_series(double value, std::size_t samples, double step) {
+  return TimeSeries(step, std::vector<double>(samples, value));
+}
+
+TEST(BugSpike, RampReachesConfiguredMagnitude) {
+  TimeSeries series = flat_series(100.0, 600, 1.0);
+  // §2.2 incident 1: +50% within three minutes.
+  inject_bug_spike(series, 60.0, 180.0, 300.0, 0.5);
+  EXPECT_DOUBLE_EQ(series[0], 100.0);             // before
+  EXPECT_DOUBLE_EQ(series[59], 100.0);            // just before start
+  EXPECT_NEAR(series[150], 125.0, 1.0);           // mid-ramp
+  EXPECT_NEAR(series[240], 150.0, 1.0);           // ramp complete
+  EXPECT_NEAR(series[300], 150.0, 1.0);           // holding
+  EXPECT_DOUBLE_EQ(series[599], 100.0);           // after hold
+}
+
+TEST(BugSpike, RampIsMonotoneDuringRise) {
+  TimeSeries series = flat_series(100.0, 300, 1.0);
+  inject_bug_spike(series, 0.0, 180.0, 60.0, 0.5);
+  for (std::size_t i = 1; i < 180; ++i) EXPECT_GE(series[i], series[i - 1]);
+}
+
+TEST(FeatureStep, AddsConstantAfterStart) {
+  TimeSeries series = flat_series(50.0, 100, 60.0);
+  inject_feature_step(series, 30.0 * 60.0, 10.0);
+  EXPECT_DOUBLE_EQ(series[0], 50.0);
+  EXPECT_DOUBLE_EQ(series[29], 50.0);
+  EXPECT_DOUBLE_EQ(series[30], 60.0);
+  EXPECT_DOUBLE_EQ(series[99], 60.0);
+}
+
+TEST(FeatureStep, ZeroExtraIsNoop) {
+  TimeSeries series = flat_series(50.0, 10, 1.0);
+  inject_feature_step(series, 0.0, 0.0);
+  for (std::size_t i = 0; i < series.size(); ++i) EXPECT_DOUBLE_EQ(series[i], 50.0);
+}
+
+}  // namespace
+}  // namespace netent::traffic

@@ -1,0 +1,189 @@
+#include "enforce/ingress_meter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include <memory>
+
+#include "common/rng.h"
+#include "enforce/agent.h"
+#include "enforce/bpf.h"
+
+namespace netent::enforce {
+namespace {
+
+constexpr RegionId kDst{5};
+
+TEST(IngressMeterPlanner, SubEntitlementsSumToIngressEntitlement) {
+  IngressMeterPlanner planner(kDst, IngressMeterConfig{});
+  const std::vector<SourceObservation> observations{{RegionId(0), Gbps(60)},
+                                                    {RegionId(1), Gbps(30)},
+                                                    {RegionId(2), Gbps(10)}};
+  const auto meters = planner.plan(Gbps(100), observations);
+  ASSERT_EQ(meters.size(), 3u);
+  double total = 0.0;
+  for (const SourceMeter& meter : meters) total += meter.sub_entitlement.value();
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(IngressMeterPlanner, ProportionalToObservedContribution) {
+  IngressMeterConfig config;
+  config.floor_fraction = 0.0;
+  IngressMeterPlanner planner(kDst, config);
+  const std::vector<SourceObservation> observations{{RegionId(0), Gbps(75)},
+                                                    {RegionId(1), Gbps(25)}};
+  const auto meters = planner.plan(Gbps(200), observations);
+  ASSERT_EQ(meters.size(), 2u);
+  EXPECT_NEAR(meters[0].sub_entitlement.value(), 150.0, 1e-9);
+  EXPECT_NEAR(meters[1].sub_entitlement.value(), 50.0, 1e-9);
+}
+
+TEST(IngressMeterPlanner, FloorKeepsSmallSourcesUnblocked) {
+  IngressMeterConfig config;
+  config.floor_fraction = 0.2;
+  IngressMeterPlanner planner(kDst, config);
+  const std::vector<SourceObservation> observations{{RegionId(0), Gbps(1000)},
+                                                    {RegionId(1), Gbps(0)}};
+  const auto meters = planner.plan(Gbps(100), observations);
+  // Source 1 observed nothing, but gets half the 20% floor pool.
+  for (const SourceMeter& meter : meters) {
+    if (meter.source == RegionId(1)) {
+      EXPECT_NEAR(meter.sub_entitlement.value(), 10.0, 1e-9);
+    }
+  }
+}
+
+TEST(IngressMeterPlanner, SmoothingDampsShareSwings) {
+  IngressMeterConfig config;
+  config.floor_fraction = 0.0;
+  config.smoothing = 0.3;
+  IngressMeterPlanner planner(kDst, config);
+  const std::vector<SourceObservation> first{{RegionId(0), Gbps(100)}, {RegionId(1), Gbps(100)}};
+  (void)planner.plan(Gbps(100), first);
+  // Source 0 suddenly stops; with smoothing, its share decays gradually.
+  const std::vector<SourceObservation> second{{RegionId(0), Gbps(0)}, {RegionId(1), Gbps(100)}};
+  const auto meters = planner.plan(Gbps(100), second);
+  for (const SourceMeter& meter : meters) {
+    if (meter.source == RegionId(0)) {
+      EXPECT_GT(meter.sub_entitlement.value(), 20.0);
+      EXPECT_LT(meter.sub_entitlement.value(), 50.0);
+    }
+  }
+}
+
+TEST(IngressMeterPlanner, UnseenSourcesDecayAndDisappear) {
+  IngressMeterConfig config;
+  config.smoothing = 0.9;  // aggressive decay for the test
+  IngressMeterPlanner planner(kDst, config);
+  const std::vector<SourceObservation> first{{RegionId(0), Gbps(100)}, {RegionId(1), Gbps(100)}};
+  (void)planner.plan(Gbps(100), first);
+  const std::vector<SourceObservation> only_one{{RegionId(1), Gbps(100)}};
+  std::vector<SourceMeter> meters;
+  for (int cycle = 0; cycle < 12; ++cycle) meters = planner.plan(Gbps(100), only_one);
+  ASSERT_EQ(meters.size(), 1u);
+  EXPECT_EQ(meters[0].source, RegionId(1));
+  EXPECT_NEAR(meters[0].sub_entitlement.value(), 100.0, 1e-9);
+}
+
+TEST(IngressMeterPlanner, EmptyObservationsYieldNoMetersInitially) {
+  IngressMeterPlanner planner(kDst, IngressMeterConfig{});
+  const auto meters = planner.plan(Gbps(100), {});
+  EXPECT_TRUE(meters.empty());
+}
+
+TEST(IngressMeterPlanner, InvalidInputsRejected) {
+  IngressMeterConfig bad;
+  bad.floor_fraction = 1.0;
+  EXPECT_THROW(IngressMeterPlanner(kDst, bad), ContractViolation);
+  bad = IngressMeterConfig{};
+  bad.smoothing = 0.0;
+  EXPECT_THROW(IngressMeterPlanner(kDst, bad), ContractViolation);
+
+  IngressMeterPlanner planner(kDst, IngressMeterConfig{});
+  const std::vector<SourceObservation> self{{kDst, Gbps(1)}};
+  EXPECT_THROW((void)planner.plan(Gbps(10), self), ContractViolation);
+}
+
+TEST(IngressMeterPlanner, EndToEndWithAgentsHoldsIngressEntitlement) {
+  // The §8 translation, closed-loop: three source regions send toward one
+  // destination whose INGRESS entitlement is 300 Gbps against 600 Gbps of
+  // demand. Each planning round splits the entitlement into per-source
+  // egress sub-entitlements; each source's agent enforces its share with the
+  // ordinary §5 machinery. The destination's conforming ingress must
+  // converge to the entitlement.
+  constexpr double kIngressEntitled = 300.0;
+  const double source_demand[3] = {300.0, 200.0, 100.0};
+
+  IngressMeterPlanner planner(RegionId(9), IngressMeterConfig{});
+  RateStore store(0.0);
+  const Marker marker(MarkingMode::host_based, 1000);
+  std::vector<BpfClassifier> classifiers(3, BpfClassifier(marker));
+  // One agent per source region (its regional aggregate); the entitlement
+  // each queries is refreshed by the planner every cycle.
+  std::vector<double> sub_entitlement(3, kIngressEntitled / 3.0);
+  std::vector<std::unique_ptr<HostAgent>> agents;
+  for (std::uint32_t src = 0; src < 3; ++src) {
+    const auto query = [&sub_entitlement, src](NpgId, QosClass, double) {
+      return EntitlementAnswer{true, Gbps(sub_entitlement[src])};
+    };
+    agents.push_back(std::make_unique<HostAgent>(
+        HostId(src), NpgId(1), QosClass::c2_low, AgentConfig{5.0, 5.0},
+        std::make_unique<StatefulMeter>(2.0, 0.5), query, store, classifiers[src]));
+  }
+
+  double ingress_conforming = 0.0;
+  for (double t = 0.0; t < 400.0; t += 5.0) {
+    std::vector<SourceObservation> observations;
+    ingress_conforming = 0.0;
+    for (std::uint32_t src = 0; src < 3; ++src) {
+      // The regional aggregate is marked by the source's own ratio.
+      const double conforming =
+          source_demand[src] * (1.0 - agents[src]->non_conform_ratio());
+      ingress_conforming += conforming;
+      observations.push_back({RegionId(src), Gbps(conforming)});
+      agents[src]->observe_local(Gbps(source_demand[src]), Gbps(conforming));
+      agents[src]->tick(t);
+    }
+    // Central planning round: re-split the ingress entitlement.
+    const auto meters = planner.plan(Gbps(kIngressEntitled), observations);
+    for (const SourceMeter& meter : meters) {
+      sub_entitlement[meter.source.value()] = meter.sub_entitlement.value();
+    }
+  }
+  EXPECT_NEAR(ingress_conforming, kIngressEntitled, kIngressEntitled * 0.15);
+  // Every source keeps a non-zero share (the floor guarantee).
+  for (const double share : sub_entitlement) EXPECT_GT(share, 0.0);
+}
+
+/// Property: sub-entitlements are a partition of the ingress entitlement for
+/// any observation mix.
+class IngressMeterPartition : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IngressMeterPartition, SumsExactly) {
+  Rng rng(GetParam());
+  IngressMeterConfig config;
+  config.floor_fraction = rng.uniform(0.0, 0.5);
+  IngressMeterPlanner planner(kDst, config);
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::vector<SourceObservation> observations;
+    const std::size_t sources = 1 + rng.uniform_int(8);
+    for (std::uint32_t s = 0; s < sources; ++s) {
+      if (RegionId(s) == kDst) continue;  // a region never sources its own ingress hose
+      observations.push_back({RegionId(s), Gbps(rng.uniform(0.0, 500.0))});
+    }
+    if (observations.empty()) continue;
+    const double entitled = rng.uniform(10.0, 1000.0);
+    const auto meters = planner.plan(Gbps(entitled), observations);
+    double total = 0.0;
+    for (const SourceMeter& meter : meters) {
+      EXPECT_GE(meter.sub_entitlement.value(), 0.0);
+      total += meter.sub_entitlement.value();
+    }
+    EXPECT_NEAR(total, entitled, 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IngressMeterPartition, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace netent::enforce

@@ -1,0 +1,113 @@
+#include "core/lifecycle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "topology/generator.h"
+
+namespace netent::core {
+namespace {
+
+LifecycleConfig small_config(const topology::Topology& topo) {
+  LifecycleConfig config;
+  config.quarters = 3;
+  config.history_days = 60;
+  config.synthesis_step_seconds = 6.0 * 3600.0;
+  config.min_pipe_rate_gbps = 2.0;
+  config.fleet.region_count = topo.region_count();
+  config.fleet.service_count = 5;
+  config.fleet.high_touch_count = 2;
+  config.fleet.total_gbps = 800.0;
+  config.manager.approval.realizations = 8;
+  config.manager.approval.slo_availability = 0.99;
+  config.manager.forecaster.prophet.use_yearly = false;
+  config.manager.high_touch_npgs = {0, 1};
+  return config;
+}
+
+class LifecycleFixture : public ::testing::Test {
+ protected:
+  static const std::vector<QuarterRecord>& records() {
+    static const topology::Topology topo = [] {
+      Rng rng(55);
+      topology::GeneratorConfig gen;
+      gen.region_count = 6;
+      gen.base_capacity = Gbps(700);
+      return topology::generate_backbone(gen, rng);
+    }();
+    static const std::vector<QuarterRecord> result = [] {
+      Rng rng(56);
+      const LifecycleSimulator simulator(topo, small_config(topo));
+      return simulator.run(rng);
+    }();
+    return result;
+  }
+};
+
+TEST_F(LifecycleFixture, OneRecordPerQuarter) {
+  ASSERT_EQ(records().size(), 3u);
+  for (std::size_t q = 0; q < records().size(); ++q) {
+    EXPECT_EQ(records()[q].quarter, q);
+  }
+}
+
+TEST_F(LifecycleFixture, EveryQuarterGrantsContracts) {
+  for (const QuarterRecord& record : records()) {
+    EXPECT_GT(record.pipes, 0u);
+    EXPECT_GT(record.contracts, 0u);
+  }
+}
+
+TEST_F(LifecycleFixture, QuotaAccuracyInSaneBand) {
+  // The paper's Figures 18-19: the majority of forecast errors sit well
+  // below 0.4 sMAPE; the granted quotas should track realized p95 usage.
+  for (const QuarterRecord& record : records()) {
+    EXPECT_GE(record.quota_smape_median, 0.0);
+    EXPECT_LT(record.quota_smape_median, 0.4) << "quarter " << record.quarter;
+  }
+}
+
+TEST_F(LifecycleFixture, ApprovalPercentageValid) {
+  for (const QuarterRecord& record : records()) {
+    EXPECT_GT(record.egress_approval_pct, 0.0);
+    EXPECT_LE(record.egress_approval_pct, 100.0 + 1e-9);
+  }
+}
+
+TEST_F(LifecycleFixture, ProvisioningHeadroomReasonable) {
+  // Entitled capacity should cover the realized peak without wild
+  // over-provisioning (the efficiency goal of §3.1).
+  for (const QuarterRecord& record : records()) {
+    EXPECT_GT(record.provision_ratio, 0.6) << "quarter " << record.quarter;
+    EXPECT_LT(record.provision_ratio, 3.0) << "quarter " << record.quarter;
+  }
+}
+
+TEST_F(LifecycleFixture, SloAttainmentTracksTarget) {
+  // Granted volumes replayed against the failure distribution: the hose
+  // contract guarantees the aggregate over representative realizations, so
+  // the volume-weighted attainment of the realized quarter must sit near
+  // the 0.99 target; worst-pipe attainment is coverage-limited and only
+  // needs to be a valid probability.
+  for (const QuarterRecord& record : records()) {
+    EXPECT_GE(record.slo_volume_weighted, 0.9) << "quarter " << record.quarter;
+    EXPECT_GE(record.slo_worst_achieved, 0.0);
+    EXPECT_LE(record.slo_worst_achieved, 1.0);
+  }
+}
+
+TEST(LifecycleSimulator, InvalidConfigRejected) {
+  Rng rng(57);
+  topology::GeneratorConfig gen;
+  gen.region_count = 6;
+  const topology::Topology topo = topology::generate_backbone(gen, rng);
+  LifecycleConfig config = small_config(topo);
+  config.quarters = 0;
+  EXPECT_THROW(LifecycleSimulator(topo, config), ContractViolation);
+  config = small_config(topo);
+  config.fleet.region_count = 99;  // mismatched with the topology
+  EXPECT_THROW(LifecycleSimulator(topo, config), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::core

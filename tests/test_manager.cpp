@@ -1,0 +1,241 @@
+#include "core/manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "topology/generator.h"
+
+namespace netent::core {
+namespace {
+
+using hose::Direction;
+
+/// Small deterministic history set: two NPGs, two pipes each, weekly wave.
+std::vector<PipeHistory> small_histories() {
+  std::vector<PipeHistory> histories;
+  const auto make = [](std::uint32_t npg, QosClass qos, std::uint32_t src, std::uint32_t dst,
+                       double base) {
+    PipeHistory history;
+    history.npg = NpgId(npg);
+    history.qos = qos;
+    history.src = RegionId(src);
+    history.dst = RegionId(dst);
+    history.daily.resize(120);
+    for (std::size_t t = 0; t < history.daily.size(); ++t) {
+      history.daily[t] =
+          base * (1.0 + 0.1 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 7.0));
+    }
+    return history;
+  };
+  histories.push_back(make(1, QosClass::c1_low, 0, 1, 100.0));
+  histories.push_back(make(1, QosClass::c1_low, 0, 2, 50.0));
+  histories.push_back(make(2, QosClass::c2_low, 1, 3, 80.0));
+  histories.push_back(make(2, QosClass::c2_low, 2, 3, 40.0));
+  return histories;
+}
+
+ManagerConfig small_config() {
+  ManagerConfig config;
+  config.approval.realizations = 4;
+  config.approval.slo_availability = 0.99;
+  config.forecaster.prophet.use_yearly = false;
+  config.high_touch_npgs = {1};
+  return config;
+}
+
+class ManagerFixture : public ::testing::Test {
+ protected:
+  static const CycleResult& result() {
+    static const topology::Topology topo = topology::figure6_topology();
+    static const CycleResult cycle = [] {
+      const EntitlementManager manager(topo, small_config());
+      Rng rng(1);
+      return manager.run_cycle(small_histories(), rng);
+    }();
+    return cycle;
+  }
+};
+
+TEST_F(ManagerFixture, SliProducedPerPipe) {
+  EXPECT_EQ(result().sli.size(), 4u);
+  for (const auto& sli : result().sli) {
+    EXPECT_GT(sli.bandwidth.value(), 0.0);
+  }
+}
+
+TEST_F(ManagerFixture, ForecastTracksHistoryScale) {
+  // Pipe 0 has base 100 with ±10% wobble: its quota must land nearby.
+  const auto& sli = result().sli[0];
+  EXPECT_EQ(sli.npg, NpgId(1));
+  EXPECT_GT(sli.bandwidth.value(), 80.0);
+  EXPECT_LT(sli.bandwidth.value(), 140.0);
+}
+
+TEST_F(ManagerFixture, HosesBalanceIngressEgress) {
+  double egress = 0.0;
+  double ingress = 0.0;
+  for (const auto& hose : result().hose_requests) {
+    (hose.direction == Direction::egress ? egress : ingress) += hose.rate.value();
+  }
+  EXPECT_NEAR(egress, ingress, 1e-6);
+}
+
+TEST_F(ManagerFixture, ApprovalsNeverExceedRequests) {
+  ASSERT_EQ(result().approvals.size(), result().hose_requests.size());
+  for (const auto& approval : result().approvals) {
+    EXPECT_LE(approval.approved.value(), approval.request.rate.value() + 1e-6);
+    EXPECT_GE(approval.approved.value(), 0.0);
+  }
+}
+
+TEST_F(ManagerFixture, GenerousNetworkApprovesEverything) {
+  // Figure 6 mesh has 1000G fibers; these demands are tiny.
+  for (const auto& approval : result().approvals) {
+    EXPECT_NEAR(approval.approved.value(), approval.request.rate.value(),
+                approval.request.rate.value() * 0.01);
+  }
+}
+
+TEST_F(ManagerFixture, ContractsCoverEveryNpg) {
+  EXPECT_NE(result().contracts.find(NpgId(1)), nullptr);
+  EXPECT_NE(result().contracts.find(NpgId(2)), nullptr);
+}
+
+TEST_F(ManagerFixture, ContractsQueryableThroughAdapter) {
+  const auto query = result().contracts.query_adapter();
+  const auto answer = query(NpgId(1), QosClass::c1_low, 10.0);
+  EXPECT_TRUE(answer.found);
+  EXPECT_GT(answer.entitled_rate.value(), 0.0);
+}
+
+TEST_F(ManagerFixture, ContractSloMatchesConfig) {
+  const auto* contract = result().contracts.find(NpgId(1));
+  ASSERT_NE(contract, nullptr);
+  EXPECT_DOUBLE_EQ(contract->slo_availability, 0.99);
+}
+
+TEST(EntitlementManager, EmptyHistoriesRejected) {
+  const topology::Topology topo = topology::figure6_topology();
+  const EntitlementManager manager(topo, small_config());
+  Rng rng(1);
+  EXPECT_THROW((void)manager.run_cycle({}, rng), ContractViolation);
+}
+
+TEST(EntitlementManager, SegmentationProducedForConcentratedTraffic) {
+  // One NPG whose egress from region 0 splits stably ~55/45 between {1} and
+  // {2,3}: segmentation should trigger and stay within the capacity bound.
+  const topology::Topology topo = topology::figure6_topology();
+  std::vector<PipeHistory> histories;
+  const auto make = [](std::uint32_t dst, double base) {
+    PipeHistory history;
+    history.npg = NpgId(1);
+    history.qos = QosClass::c1_low;
+    history.src = RegionId(0);
+    history.dst = RegionId(dst);
+    history.daily.assign(60, base);
+    for (std::size_t t = 0; t < history.daily.size(); ++t) {
+      history.daily[t] = base * (1.0 + 0.05 * ((t % 2 == 0) ? 1.0 : -1.0));
+    }
+    return history;
+  };
+  histories.push_back(make(1, 550.0));
+  histories.push_back(make(2, 250.0));
+  histories.push_back(make(3, 200.0));
+
+  ManagerConfig config = small_config();
+  config.use_segmented_hose = true;
+  const EntitlementManager manager(topo, config);
+  Rng rng(2);
+  const CycleResult result = manager.run_cycle(histories, rng);
+  ASSERT_FALSE(result.segments.empty());
+  for (const auto& group : result.segments) {
+    EXPECT_GE(group.segments.size(), 2u);
+  }
+}
+
+TEST(EntitlementManager, LowTouchAggregationPreservesPerNpgContracts) {
+  const topology::Topology topo = topology::figure6_topology();
+  ManagerConfig config = small_config();
+  config.high_touch_npgs = {};  // everything low-touch
+  const EntitlementManager manager(topo, config);
+  Rng rng(3);
+  const CycleResult result = manager.run_cycle(small_histories(), rng);
+  // Approval ran on the aggregate, but contracts exist per original NPG.
+  EXPECT_NE(result.contracts.find(NpgId(1)), nullptr);
+  EXPECT_NE(result.contracts.find(NpgId(2)), nullptr);
+}
+
+TEST(SynthesizeHistories, ProducesDailySeriesPerPipe) {
+  Rng rng(4);
+  traffic::FleetConfig fleet_config;
+  fleet_config.service_count = 3;
+  fleet_config.region_count = 4;
+  fleet_config.total_gbps = 300.0;
+  fleet_config.high_touch_count = 2;
+  const auto fleet = traffic::generate_fleet(fleet_config, rng);
+  const auto histories =
+      synthesize_histories(fleet, 30, 3600.0, traffic::DailyAggregate::mean, 0.01, rng);
+  ASSERT_FALSE(histories.empty());
+  for (const auto& history : histories) {
+    EXPECT_EQ(history.daily.size(), 30u);
+    for (const double v : history.daily) EXPECT_GE(v, 0.0);
+    EXPECT_NE(history.src, history.dst);
+  }
+}
+
+TEST(SynthesizeHistories, MinRateFiltersSmallPipes) {
+  Rng rng(5);
+  traffic::FleetConfig fleet_config;
+  fleet_config.service_count = 3;
+  fleet_config.region_count = 4;
+  fleet_config.total_gbps = 300.0;
+  fleet_config.high_touch_count = 2;
+  const auto fleet = traffic::generate_fleet(fleet_config, rng);
+  Rng rng_a = rng;
+  Rng rng_b = rng;
+  const auto all =
+      synthesize_histories(fleet, 30, 3600.0, traffic::DailyAggregate::mean, 0.0, rng_a);
+  const auto filtered =
+      synthesize_histories(fleet, 30, 3600.0, traffic::DailyAggregate::mean, 10.0, rng_b);
+  EXPECT_LT(filtered.size(), all.size());
+}
+
+TEST(SynthesizeHistories, PerServiceAggregateOverload) {
+  // Ads-family services (p99 aggregate) track spikes harder than the mean
+  // aggregate would: for the same profile, the preferred-aggregate overload
+  // must match the explicit-aggregate call per service type.
+  Rng rng(6);
+  traffic::FleetConfig fleet_config;
+  fleet_config.service_count = 2;
+  fleet_config.region_count = 4;
+  fleet_config.total_gbps = 400.0;
+  fleet_config.high_touch_count = 2;
+  auto fleet = traffic::generate_fleet(fleet_config, rng);
+  fleet[0].preferred_aggregate = traffic::DailyAggregate::max;
+  fleet[1].preferred_aggregate = traffic::DailyAggregate::mean;
+
+  Rng rng_pref = rng;
+  Rng rng_max = rng;
+  const auto preferred = synthesize_histories(fleet, 30, 3600.0, 0.01, rng_pref);
+  const auto all_max =
+      synthesize_histories(fleet, 30, 3600.0, traffic::DailyAggregate::max, 0.01, rng_max);
+  ASSERT_EQ(preferred.size(), all_max.size());
+  for (std::size_t i = 0; i < preferred.size(); ++i) {
+    ASSERT_EQ(preferred[i].npg, all_max[i].npg);
+    for (std::size_t d = 0; d < preferred[i].daily.size(); ++d) {
+      if (preferred[i].npg == fleet[0].id) {
+        // Service 0 prefers max: identical to the explicit-max run.
+        EXPECT_DOUBLE_EQ(preferred[i].daily[d], all_max[i].daily[d]);
+      } else {
+        // Service 1 prefers mean: never above the max aggregate.
+        EXPECT_LE(preferred[i].daily[d], all_max[i].daily[d] + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace netent::core

@@ -1,0 +1,111 @@
+#include "enforce/marker.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+namespace {
+
+TEST(Marker, RatioZeroMarksNothing) {
+  const Marker marker(MarkingMode::host_based);
+  for (std::uint32_t h = 0; h < 500; ++h) {
+    EXPECT_FALSE(marker.non_conforming(HostId(h), 0, 0.0));
+  }
+}
+
+TEST(Marker, RatioOneMarksEverything) {
+  const Marker marker(MarkingMode::host_based);
+  for (std::uint32_t h = 0; h < 500; ++h) {
+    EXPECT_TRUE(marker.non_conforming(HostId(h), 0, 1.0));
+  }
+}
+
+TEST(Marker, MarkedFractionTracksRatio) {
+  const Marker marker(MarkingMode::host_based, 100);
+  for (const double ratio : {0.1, 0.25, 0.5, 0.75}) {
+    int marked = 0;
+    const int hosts = 5000;
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      if (marker.non_conforming(HostId(h), 0, ratio)) ++marked;
+    }
+    EXPECT_NEAR(static_cast<double>(marked) / hosts, ratio, 0.03) << "ratio=" << ratio;
+  }
+}
+
+TEST(Marker, MarkedSetGrowsMonotonicallyWithRatio) {
+  // A host marked at ratio r must stay marked at any r' > r: no churn as the
+  // meter adjusts.
+  const Marker marker(MarkingMode::host_based);
+  for (std::uint32_t h = 0; h < 300; ++h) {
+    bool was_marked = false;
+    for (double ratio = 0.0; ratio <= 1.0; ratio += 0.05) {
+      const bool marked = marker.non_conforming(HostId(h), 0, ratio);
+      EXPECT_TRUE(marked || !was_marked) << "host unmarked as ratio grew";
+      was_marked = marked;
+    }
+  }
+}
+
+TEST(Marker, HostBasedIgnoresFlowId) {
+  const Marker marker(MarkingMode::host_based);
+  for (std::uint32_t h = 0; h < 100; ++h) {
+    const bool first = marker.non_conforming(HostId(h), 1, 0.3);
+    for (std::uint64_t flow = 2; flow < 10; ++flow) {
+      EXPECT_EQ(marker.non_conforming(HostId(h), flow, 0.3), first);
+    }
+  }
+}
+
+TEST(Marker, FlowBasedVariesWithinHost) {
+  const Marker marker(MarkingMode::flow_based);
+  // At 50% ratio, a single host must have both marked and unmarked flows.
+  bool any_marked = false;
+  bool any_clean = false;
+  for (std::uint64_t flow = 0; flow < 200; ++flow) {
+    (marker.non_conforming(HostId(1), flow, 0.5) ? any_marked : any_clean) = true;
+  }
+  EXPECT_TRUE(any_marked);
+  EXPECT_TRUE(any_clean);
+}
+
+TEST(Marker, DecisionIsDeterministic) {
+  const Marker a(MarkingMode::host_based);
+  const Marker b(MarkingMode::host_based);
+  for (std::uint32_t h = 0; h < 200; ++h) {
+    EXPECT_EQ(a.non_conforming(HostId(h), 0, 0.37), b.non_conforming(HostId(h), 0, 0.37));
+  }
+}
+
+TEST(Marker, GroupsWithinRange) {
+  const Marker marker(MarkingMode::flow_based, 100);
+  for (std::uint32_t h = 0; h < 100; ++h) {
+    EXPECT_LT(marker.host_group(HostId(h)), 100u);
+    EXPECT_LT(marker.flow_group(h), 100u);
+  }
+}
+
+TEST(Marker, GroupsRoughlyBalanced) {
+  const Marker marker(MarkingMode::host_based, 10);
+  std::vector<int> counts(10, 0);
+  for (std::uint32_t h = 0; h < 10000; ++h) ++counts[marker.host_group(HostId(h))];
+  for (const int c : counts) {
+    EXPECT_GT(c, 700);
+    EXPECT_LT(c, 1300);
+  }
+}
+
+TEST(Marker, InvalidConstructionAndRatioRejected) {
+  EXPECT_THROW(Marker(MarkingMode::host_based, 1), ContractViolation);
+  const Marker marker(MarkingMode::host_based);
+  EXPECT_THROW((void)marker.non_conforming(HostId(1), 0, -0.1), ContractViolation);
+  EXPECT_THROW((void)marker.non_conforming(HostId(1), 0, 1.1), ContractViolation);
+}
+
+TEST(MarkingMode, ToString) {
+  EXPECT_STREQ(to_string(MarkingMode::flow_based), "flow-based");
+  EXPECT_STREQ(to_string(MarkingMode::host_based), "host-based");
+}
+
+}  // namespace
+}  // namespace netent::enforce

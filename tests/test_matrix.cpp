@@ -1,0 +1,106 @@
+#include "common/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace netent {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, GramIsSymmetricAndCorrect) {
+  Matrix x(2, 2);
+  x(0, 0) = 1;
+  x(0, 1) = 2;
+  x(1, 0) = 3;
+  x(1, 1) = 4;
+  const Matrix g = x.gram();
+  EXPECT_DOUBLE_EQ(g(0, 0), 10.0);  // 1+9
+  EXPECT_DOUBLE_EQ(g(0, 1), 14.0);  // 2+12
+  EXPECT_DOUBLE_EQ(g(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 20.0);  // 4+16
+}
+
+TEST(Matrix, TransposeTimesAndTimes) {
+  Matrix x(2, 2);
+  x(0, 0) = 1;
+  x(0, 1) = 2;
+  x(1, 0) = 3;
+  x(1, 1) = 4;
+  const std::vector<double> v{1, 1};
+  const auto xt_v = x.transpose_times(v);
+  EXPECT_DOUBLE_EQ(xt_v[0], 4.0);
+  EXPECT_DOUBLE_EQ(xt_v[1], 6.0);
+  const auto x_v = x.times(v);
+  EXPECT_DOUBLE_EQ(x_v[0], 3.0);
+  EXPECT_DOUBLE_EQ(x_v[1], 7.0);
+}
+
+TEST(CholeskySolve, SolvesSpdSystem) {
+  Matrix a(2, 2);
+  a(0, 0) = 4;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 3;
+  const auto x = cholesky_solve(a, {8, 7});  // solution {1.25, 1.5}
+  EXPECT_NEAR(x[0], 1.25, 1e-12);
+  EXPECT_NEAR(x[1], 1.5, 1e-12);
+}
+
+TEST(CholeskySolve, RejectsNonSpd) {
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(1, 1) = 1;
+  EXPECT_THROW((void)cholesky_solve(a, {1, 1}), ContractViolation);
+}
+
+TEST(RidgeRegression, RecoversCoefficientsLowNoise) {
+  // y = 3 + 2 x with tiny ridge penalty.
+  Rng rng(3);
+  const std::size_t n = 200;
+  Matrix x(n, 2);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = rng.uniform(-1.0, 1.0);
+    x(i, 0) = 1.0;
+    x(i, 1) = xi;
+    y[i] = 3.0 + 2.0 * xi + 0.01 * rng.normal();
+  }
+  const auto beta = ridge_regression(x, y, 1e-6);
+  EXPECT_NEAR(beta[0], 3.0, 0.01);
+  EXPECT_NEAR(beta[1], 2.0, 0.02);
+}
+
+TEST(RidgeRegression, PenaltyShrinksCoefficients) {
+  Rng rng(5);
+  const std::size_t n = 100;
+  Matrix x(n, 1);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double xi = rng.uniform(-1.0, 1.0);
+    x(i, 0) = xi;
+    y[i] = 5.0 * xi;
+  }
+  const auto small = ridge_regression(x, y, 1e-9);
+  const auto large = ridge_regression(x, y, 1e3);
+  EXPECT_NEAR(small[0], 5.0, 1e-6);
+  EXPECT_LT(std::abs(large[0]), std::abs(small[0]));
+}
+
+TEST(RidgeRegression, DimensionMismatchRejected) {
+  Matrix x(3, 1);
+  const std::vector<double> y{1, 2};
+  EXPECT_THROW((void)ridge_regression(x, y, 0.1), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent

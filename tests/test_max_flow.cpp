@@ -1,0 +1,103 @@
+#include "topology/max_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace netent::topology {
+namespace {
+
+TEST(MaxFlow, SingleLink) {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(40), 1000, 10);
+  EXPECT_EQ(max_flow(topo, RegionId(0), RegionId(1), accept_all_links()), Gbps(40));
+}
+
+TEST(MaxFlow, ParallelFibersAdd) {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(40), 1000, 10);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(25), 1000, 10);
+  EXPECT_EQ(max_flow(topo, RegionId(0), RegionId(1), accept_all_links()), Gbps(65));
+}
+
+TEST(MaxFlow, BottleneckInSeries) {
+  Topology topo;
+  for (int i = 0; i < 3; ++i) topo.add_region("r" + std::to_string(i), RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(100), 1000, 10);
+  topo.add_fiber(RegionId(1), RegionId(2), Gbps(30), 1000, 10);
+  EXPECT_EQ(max_flow(topo, RegionId(0), RegionId(2), accept_all_links()), Gbps(30));
+}
+
+TEST(MaxFlow, MultiplePathsCombine) {
+  // Diamond: 0 -> {1, 2} -> 3, each arm 50.
+  Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_region("r" + std::to_string(i), RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(50), 1000, 10);
+  topo.add_fiber(RegionId(1), RegionId(3), Gbps(50), 1000, 10);
+  topo.add_fiber(RegionId(0), RegionId(2), Gbps(50), 1000, 10);
+  topo.add_fiber(RegionId(2), RegionId(3), Gbps(50), 1000, 10);
+  EXPECT_EQ(max_flow(topo, RegionId(0), RegionId(3), accept_all_links()), Gbps(100));
+}
+
+TEST(MaxFlow, FilterRemovesCapacity) {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  const LinkId fiber1 = topo.add_fiber(RegionId(0), RegionId(1), Gbps(40), 1000, 10);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(25), 1000, 10);
+  const auto filter = exclude_srlgs({topo.link(fiber1).srlg});
+  EXPECT_EQ(max_flow(topo, RegionId(0), RegionId(1), filter), Gbps(25));
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_region("c", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(10), 1000, 10);
+  EXPECT_EQ(max_flow(topo, RegionId(0), RegionId(2), accept_all_links()), Gbps(0));
+}
+
+TEST(MaxFlow, ResidualCapacitiesOverride) {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(40), 1000, 10);
+  std::vector<double> residual{15.0, 40.0};  // forward link squeezed
+  EXPECT_EQ(max_flow(topo, RegionId(0), RegionId(1), residual, accept_all_links()), Gbps(15));
+}
+
+/// Property: on generated topologies, max-flow never exceeds the egress or
+/// ingress cut of the endpoint regions.
+class MaxFlowCutBound : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxFlowCutBound, BoundedByEndpointCuts) {
+  Rng rng(GetParam());
+  GeneratorConfig config;
+  config.region_count = 7;
+  const Topology topo = generate_backbone(config, rng);
+  for (std::uint32_t s = 0; s < topo.region_count(); ++s) {
+    for (std::uint32_t d = 0; d < topo.region_count(); ++d) {
+      if (s == d) continue;
+      Gbps egress_cut(0);
+      for (const LinkId lid : topo.out_links(RegionId(s))) egress_cut += topo.link(lid).capacity;
+      Gbps ingress_cut(0);
+      for (const Link& link : topo.links()) {
+        if (link.dst == RegionId(d)) ingress_cut += link.capacity;
+      }
+      const Gbps flow = max_flow(topo, RegionId(s), RegionId(d), accept_all_links());
+      EXPECT_LE(flow.value(), egress_cut.value() + 1e-6);
+      EXPECT_LE(flow.value(), ingress_cut.value() + 1e-6);
+      EXPECT_GT(flow, Gbps(0));  // generated backbones are connected
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxFlowCutBound, ::testing::Values(11, 22, 33));
+
+}  // namespace
+}  // namespace netent::topology

@@ -1,0 +1,188 @@
+#include "enforce/meter.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+namespace {
+
+TEST(StatelessMeter, Equation4Example) {
+  // The paper's example: 5 Tbps entitled, 6 Tbps observed -> remark 1/6.
+  StatelessMeter meter;
+  const double ratio = meter.update({Gbps(6000), Gbps(6000), Gbps(5000)});
+  EXPECT_NEAR(ratio, 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(meter.conform_ratio(), 5.0 / 6.0, 1e-12);
+}
+
+TEST(StatelessMeter, NoRemarkWithinEntitlement) {
+  StatelessMeter meter;
+  EXPECT_DOUBLE_EQ(meter.update({Gbps(4000), Gbps(4000), Gbps(5000)}), 0.0);
+  EXPECT_DOUBLE_EQ(meter.conform_ratio(), 1.0);
+}
+
+TEST(StatelessMeter, ZeroTrafficIsSafe) {
+  StatelessMeter meter;
+  EXPECT_DOUBLE_EQ(meter.update({Gbps(0), Gbps(0), Gbps(5000)}), 0.0);
+}
+
+TEST(StatelessMeter, OscillatesUnderFullLoss) {
+  // The Figure 23 failure mode: with 100% loss of non-conforming traffic the
+  // observed TotalRate collapses to the conforming rate and the stateless
+  // meter un-marks everything, letting the full demand back in next cycle.
+  StatelessMeter meter;
+  const Gbps demand(10000);
+  const Gbps entitled(5000);
+  double observed_total = demand.value();
+  std::vector<double> marked_ratios;
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    const double ratio = meter.update({Gbps(observed_total), Gbps(0), entitled});
+    marked_ratios.push_back(ratio);
+    // Non-conforming traffic is fully dropped: hosts' delivered/observed
+    // total next cycle is only the conforming share.
+    observed_total = demand.value() * (1.0 - ratio);
+  }
+  // Alternates between 0.5 and 0.0 -> average conforming stays above
+  // entitlement (Figure 24).
+  EXPECT_NEAR(marked_ratios[0], 0.5, 1e-9);
+  EXPECT_NEAR(marked_ratios[1], 0.0, 1e-9);
+  EXPECT_NEAR(marked_ratios[2], 0.5, 1e-9);
+  EXPECT_NEAR(marked_ratios[3], 0.0, 1e-9);
+}
+
+TEST(StatefulMeter, Equation6Convergence) {
+  // Figure 25: conforming rate converges to the entitled rate within ~10
+  // iterations regardless of loss on non-conforming traffic.
+  for (const double loss : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    StatefulMeter meter;
+    const double demand = 10000.0;
+    const double entitled = 5000.0;
+    double conform_rate = demand;  // everything conforming initially
+    for (int cycle = 0; cycle < 12; ++cycle) {
+      const double nonconf_sent = demand * meter.non_conform_ratio() * (1.0 - loss);
+      conform_rate = demand * meter.conform_ratio();
+      const double total = conform_rate + nonconf_sent;
+      meter.update({Gbps(total), Gbps(conform_rate), Gbps(entitled)});
+    }
+    EXPECT_NEAR(demand * meter.conform_ratio(), entitled, entitled * 0.05)
+        << "loss=" << loss;
+  }
+}
+
+TEST(StatefulMeter, ExponentialRecovery) {
+  StatefulMeter meter;
+  // Push the conform ratio down to 0.25.
+  meter.update({Gbps(10000), Gbps(10000), Gbps(5000)});  // 0.5
+  meter.update({Gbps(10000), Gbps(5000), Gbps(2500)});   // 0.25
+  EXPECT_NEAR(meter.conform_ratio(), 0.25, 1e-9);
+  // Demand returns to conformance: ratio doubles each cycle, capped at 1.
+  meter.update({Gbps(2000), Gbps(2000), Gbps(5000)});
+  EXPECT_NEAR(meter.conform_ratio(), 0.5, 1e-9);
+  meter.update({Gbps(2000), Gbps(2000), Gbps(5000)});
+  EXPECT_NEAR(meter.conform_ratio(), 1.0, 1e-9);
+  meter.update({Gbps(2000), Gbps(2000), Gbps(5000)});
+  EXPECT_NEAR(meter.conform_ratio(), 1.0, 1e-9);  // stays capped
+}
+
+TEST(StatefulMeter, StepClampPreventsWildSwings) {
+  StatefulMeter meter(2.0);
+  // Conforming rate near zero would naively multiply the ratio by infinity.
+  meter.update({Gbps(10000), Gbps(10000), Gbps(5000)});  // ratio 0.5
+  meter.update({Gbps(10000), Gbps(0.000001), Gbps(5000)});
+  EXPECT_LE(meter.conform_ratio(), 1.0);
+  EXPECT_NEAR(meter.conform_ratio(), 1.0, 1e-9);  // 0.5 * clamp -> 1.0
+}
+
+TEST(StatefulMeter, RatioStaysInUnitInterval) {
+  StatefulMeter meter;
+  for (int i = 0; i < 50; ++i) {
+    meter.update({Gbps(10000), Gbps(100), Gbps(1)});
+    EXPECT_GE(meter.conform_ratio(), 0.0);
+    EXPECT_LE(meter.conform_ratio(), 1.0);
+  }
+}
+
+TEST(StatefulMeter, GainDampsCorrectionStep) {
+  StatefulMeter undamped(2.0, 1.0);
+  StatefulMeter damped(2.0, 0.5);
+  const MeterInput input{Gbps(10000), Gbps(10000), Gbps(5000)};
+  undamped.update(input);
+  damped.update(input);
+  EXPECT_NEAR(undamped.conform_ratio(), 0.5, 1e-12);
+  EXPECT_NEAR(damped.conform_ratio(), std::sqrt(0.5), 1e-12);
+}
+
+TEST(StatefulMeter, GainDampsRecoveryStep) {
+  StatefulMeter meter(2.0, 0.5);
+  meter.update({Gbps(10000), Gbps(10000), Gbps(5000)});  // ratio 0.707
+  const double before = meter.conform_ratio();
+  meter.update({Gbps(1000), Gbps(1000), Gbps(5000)});  // in conformance
+  EXPECT_NEAR(meter.conform_ratio(), std::min(1.0, before * std::sqrt(2.0)), 1e-12);
+}
+
+TEST(StatefulMeter, DampedConvergesUnderObservationDelay) {
+  // One-cycle-stale observations: the undamped paper meter limit-cycles,
+  // gain <= 0.25 converges monotonically (see bench_fig25).
+  StatefulMeter meter(2.0, 0.25);
+  const double demand = 10000.0;
+  const double entitled = 5000.0;
+  double observed_total = demand;
+  double observed_conform = demand;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    const double conform = demand * meter.conform_ratio();
+    const double nonconf_sent = demand * meter.non_conform_ratio() * 0.05;  // retry floor
+    meter.update({Gbps(observed_total), Gbps(observed_conform), Gbps(entitled)});
+    observed_conform = conform;
+    observed_total = conform + nonconf_sent;
+  }
+  EXPECT_NEAR(demand * meter.conform_ratio(), entitled, entitled * 0.05);
+}
+
+TEST(StatefulMeter, InvalidGainRejected) {
+  EXPECT_THROW(StatefulMeter(2.0, 0.0), ContractViolation);
+  EXPECT_THROW(StatefulMeter(2.0, 1.5), ContractViolation);
+}
+
+TEST(StatefulMeter, InvalidMaxStepRejected) {
+  EXPECT_THROW(StatefulMeter(1.0), ContractViolation);
+  EXPECT_THROW(StatefulMeter(0.5), ContractViolation);
+}
+
+TEST(Meters, NegativeRatesRejected) {
+  StatelessMeter stateless;
+  EXPECT_THROW((void)stateless.update({Gbps(-1), Gbps(0), Gbps(1)}), ContractViolation);
+  StatefulMeter stateful;
+  EXPECT_THROW((void)stateful.update({Gbps(1), Gbps(-1), Gbps(1)}), ContractViolation);
+}
+
+/// Convergence property across loss rates and demand multiples.
+struct StatefulCase {
+  double loss;
+  double demand_multiple;  // demand / entitled
+};
+
+class StatefulConvergence : public ::testing::TestWithParam<StatefulCase> {};
+
+TEST_P(StatefulConvergence, ConformRateConverges) {
+  const auto [loss, multiple] = GetParam();
+  StatefulMeter meter;
+  const double entitled = 1000.0;
+  const double demand = entitled * multiple;
+  for (int cycle = 0; cycle < 30; ++cycle) {
+    const double conform = demand * meter.conform_ratio();
+    const double nonconf_sent = demand * meter.non_conform_ratio() * (1.0 - loss);
+    meter.update({Gbps(conform + nonconf_sent), Gbps(conform), Gbps(entitled)});
+  }
+  EXPECT_NEAR(demand * meter.conform_ratio(), entitled, entitled * 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(LossAndDemand, StatefulConvergence,
+                         ::testing::Values(StatefulCase{0.0, 2.0}, StatefulCase{0.125, 2.0},
+                                           StatefulCase{0.5, 2.0}, StatefulCase{1.0, 2.0},
+                                           StatefulCase{0.25, 4.0}, StatefulCase{1.0, 8.0},
+                                           StatefulCase{0.5, 1.5}));
+
+}  // namespace
+}  // namespace netent::enforce

@@ -1,0 +1,155 @@
+#include "topology/paths.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/check.h"
+#include "topology/generator.h"
+
+namespace netent::topology {
+namespace {
+
+/// A ring of 4 regions plus a chord 0-2: multiple distinct simple paths.
+Topology ring4_with_chord() {
+  Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_region("r" + std::to_string(i), RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(100), 1000, 10);
+  topo.add_fiber(RegionId(1), RegionId(2), Gbps(100), 1000, 10);
+  topo.add_fiber(RegionId(2), RegionId(3), Gbps(100), 1000, 10);
+  topo.add_fiber(RegionId(3), RegionId(0), Gbps(100), 1000, 10);
+  topo.add_fiber(RegionId(0), RegionId(2), Gbps(100), 1000, 10);
+  return topo;
+}
+
+TEST(ShortestPath, DirectLinkPreferred) {
+  const Topology topo = ring4_with_chord();
+  const auto path = shortest_path(topo, RegionId(0), RegionId(2), accept_all_links());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 1u);
+  EXPECT_EQ(topo.link(path->links[0]).dst, RegionId(2));
+}
+
+TEST(ShortestPath, MultiHop) {
+  const Topology topo = ring4_with_chord();
+  const auto path = shortest_path(topo, RegionId(1), RegionId(3), accept_all_links());
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2u);
+}
+
+TEST(ShortestPath, PathLinksAreContiguous) {
+  const Topology topo = ring4_with_chord();
+  const auto path = shortest_path(topo, RegionId(1), RegionId(3), accept_all_links());
+  ASSERT_TRUE(path.has_value());
+  RegionId at = RegionId(1);
+  for (const LinkId lid : path->links) {
+    EXPECT_EQ(topo.link(lid).src, at);
+    at = topo.link(lid).dst;
+  }
+  EXPECT_EQ(at, RegionId(3));
+}
+
+TEST(ShortestPath, RespectsFilter) {
+  const Topology topo = ring4_with_chord();
+  // Kill the direct chord 0-2 (srlg of its forward link).
+  const SrlgId chord_srlg = topo.link(LinkId(8)).srlg;
+  const auto path =
+      shortest_path(topo, RegionId(0), RegionId(2), exclude_srlgs({chord_srlg}));
+  ASSERT_TRUE(path.has_value());
+  EXPECT_EQ(path->hops(), 2u);
+}
+
+TEST(ShortestPath, UnreachableReturnsNullopt) {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_region("c", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(1), 1000, 10);
+  EXPECT_EQ(shortest_path(topo, RegionId(0), RegionId(2), accept_all_links()), std::nullopt);
+}
+
+TEST(ShortestPath, SameSrcDstRejected) {
+  const Topology topo = ring4_with_chord();
+  EXPECT_THROW((void)shortest_path(topo, RegionId(0), RegionId(0), accept_all_links()),
+               ContractViolation);
+}
+
+TEST(KShortestPaths, CostsNondecreasingAndDistinct) {
+  const Topology topo = ring4_with_chord();
+  const auto paths = k_shortest_paths(topo, RegionId(0), RegionId(2), 4, accept_all_links());
+  ASSERT_GE(paths.size(), 3u);
+  std::set<std::vector<std::uint32_t>> seen;
+  double prev_cost = 0.0;
+  for (const Path& path : paths) {
+    EXPECT_GE(path.cost, prev_cost);
+    prev_cost = path.cost;
+    std::vector<std::uint32_t> key;
+    for (const LinkId lid : path.links) key.push_back(lid.value());
+    EXPECT_TRUE(seen.insert(key).second) << "duplicate path";
+  }
+}
+
+TEST(KShortestPaths, AllPathsAreSimple) {
+  const Topology topo = ring4_with_chord();
+  const auto paths = k_shortest_paths(topo, RegionId(0), RegionId(2), 6, accept_all_links());
+  for (const Path& path : paths) {
+    std::set<std::uint32_t> visited{0};  // src region
+    for (const LinkId lid : path.links) {
+      EXPECT_TRUE(visited.insert(topo.link(lid).dst.value()).second)
+          << "region revisited: path not simple";
+    }
+  }
+}
+
+TEST(KShortestPaths, FindsAtMostExistingPaths) {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(1), 1000, 10);
+  const auto paths = k_shortest_paths(topo, RegionId(0), RegionId(1), 5, accept_all_links());
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(KShortestPaths, FirstEqualsShortest) {
+  const Topology topo = ring4_with_chord();
+  const auto paths = k_shortest_paths(topo, RegionId(1), RegionId(3), 3, accept_all_links());
+  const auto single = shortest_path(topo, RegionId(1), RegionId(3), accept_all_links());
+  ASSERT_FALSE(paths.empty());
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(paths[0].cost, single->cost);
+}
+
+TEST(ExcludeSrlgs, FilterSemantics) {
+  const Topology topo = ring4_with_chord();
+  const auto filter = exclude_srlgs({topo.link(LinkId(0)).srlg});
+  EXPECT_FALSE(filter(topo.link(LinkId(0))));
+  EXPECT_FALSE(filter(topo.link(LinkId(1))));  // reverse direction also down
+  EXPECT_TRUE(filter(topo.link(LinkId(2))));
+}
+
+/// Property sweep: on generated backbones, every pair is connected and Yen
+/// returns nondecreasing costs.
+class PathsOnGeneratedTopo : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PathsOnGeneratedTopo, AllPairsConnectedAndYenSorted) {
+  Rng rng(GetParam());
+  GeneratorConfig config;
+  config.region_count = 8;
+  const Topology topo = generate_backbone(config, rng);
+  for (std::uint32_t s = 0; s < topo.region_count(); ++s) {
+    for (std::uint32_t d = 0; d < topo.region_count(); ++d) {
+      if (s == d) continue;
+      const auto paths =
+          k_shortest_paths(topo, RegionId(s), RegionId(d), 3, accept_all_links());
+      ASSERT_FALSE(paths.empty());
+      for (std::size_t i = 1; i < paths.size(); ++i) {
+        EXPECT_GE(paths[i].cost, paths[i - 1].cost);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PathsOnGeneratedTopo, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace netent::topology

@@ -1,0 +1,116 @@
+#include "traffic/patterns.h"
+
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace netent::traffic {
+namespace {
+
+PatternSpec flat(double base) {
+  PatternSpec spec;
+  spec.base_gbps = base;
+  spec.noise_sigma = 0.0;
+  return spec;
+}
+
+TEST(Patterns, FlatSpecIsConstant) {
+  Rng rng(1);
+  const TimeSeries series = generate_pattern(flat(42.0), 86400.0, 300.0, rng);
+  EXPECT_EQ(series.size(), 288u);
+  for (std::size_t i = 0; i < series.size(); ++i) EXPECT_DOUBLE_EQ(series[i], 42.0);
+}
+
+TEST(Patterns, TrendGrowsAsConfigured) {
+  Rng rng(1);
+  PatternSpec spec = flat(100.0);
+  spec.trend_per_year = 0.365;  // 0.1% per day
+  const TimeSeries series = generate_pattern(spec, 10.0 * 86400.0, 3600.0, rng);
+  EXPECT_NEAR(series[0], 100.0, 1e-9);
+  // After ~10 days, growth ~1%.
+  EXPECT_NEAR(series[series.size() - 1], 101.0, 0.1);
+}
+
+TEST(Patterns, DiurnalPeaksAtConfiguredHour) {
+  Rng rng(1);
+  PatternSpec spec = flat(100.0);
+  spec.diurnal_amplitude = 0.5;
+  spec.diurnal_peak_hour = 20.0;
+  const TimeSeries series = generate_pattern(spec, 86400.0, 300.0, rng);
+  std::size_t argmax = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] > series[argmax]) argmax = i;
+  }
+  const double peak_hour = static_cast<double>(argmax) * 300.0 / 3600.0;
+  EXPECT_NEAR(peak_hour, 20.0, 0.5);
+}
+
+TEST(Patterns, SpikesHaveConfiguredCadenceAndHeight) {
+  Rng rng(1);
+  PatternSpec spec = flat(10.0);
+  spec.spike_amplitude = 2.0;
+  spec.spike_period_seconds = 3600.0;
+  spec.spike_duty = 0.25;
+  const TimeSeries series = generate_pattern(spec, 4.0 * 3600.0, 60.0, rng);
+  // First quarter of each hour is boosted to 30, the rest stays 10.
+  EXPECT_DOUBLE_EQ(series[0], 30.0);
+  EXPECT_DOUBLE_EQ(series[20], 10.0);
+  EXPECT_DOUBLE_EQ(series[60], 30.0);
+  int boosted = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    if (series[i] > 20.0) ++boosted;
+  }
+  EXPECT_NEAR(static_cast<double>(boosted) / static_cast<double>(series.size()), 0.25, 0.02);
+}
+
+TEST(Patterns, HolidayBoostAppliesOnListedDays) {
+  Rng rng(1);
+  PatternSpec spec = flat(100.0);
+  spec.holiday_boost = 0.5;
+  spec.holiday_days = {1};
+  const TimeSeries series = generate_pattern(spec, 3.0 * 86400.0, 3600.0, rng);
+  EXPECT_DOUBLE_EQ(series[0], 100.0);           // day 0
+  EXPECT_DOUBLE_EQ(series[30], 150.0);          // day 1
+  EXPECT_DOUBLE_EQ(series[60], 100.0);          // day 2
+}
+
+TEST(Patterns, NoiseIsUnbiased) {
+  Rng rng(2);
+  PatternSpec spec = flat(100.0);
+  spec.noise_sigma = 0.05;
+  const TimeSeries series = generate_pattern(spec, 30.0 * 86400.0, 3600.0, rng);
+  EXPECT_NEAR(series.total() / static_cast<double>(series.size()), 100.0, 0.5);
+}
+
+TEST(Patterns, ValuesNeverNegative) {
+  Rng rng(3);
+  PatternSpec spec = flat(1.0);
+  spec.noise_sigma = 2.0;  // extreme noise
+  const TimeSeries series = generate_pattern(spec, 86400.0, 300.0, rng);
+  for (std::size_t i = 0; i < series.size(); ++i) EXPECT_GE(series[i], 0.0);
+}
+
+TEST(Patterns, ColdstorageSpikierThanWarmstorage) {
+  // The Figure 3 contrast: Coldstorage has a much higher peak-to-mean ratio.
+  Rng rng1(4);
+  Rng rng2(4);
+  const TimeSeries cold =
+      generate_pattern(coldstorage_pattern(100.0), 7.0 * 86400.0, 300.0, rng1);
+  const TimeSeries warm =
+      generate_pattern(warmstorage_pattern(100.0), 7.0 * 86400.0, 300.0, rng2);
+  const double cold_ratio = cold.peak() / (cold.total() / static_cast<double>(cold.size()));
+  const double warm_ratio = warm.peak() / (warm.total() / static_cast<double>(warm.size()));
+  EXPECT_GT(cold_ratio, warm_ratio * 1.5);
+}
+
+TEST(Patterns, NamedPatternsHavePositiveRates) {
+  Rng rng(5);
+  for (const auto& spec : {coldstorage_pattern(50.0), warmstorage_pattern(50.0),
+                           ads_pattern(50.0), logging_pattern(50.0)}) {
+    const TimeSeries series = generate_pattern(spec, 86400.0, 3600.0, rng);
+    EXPECT_GT(series.total(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace netent::traffic

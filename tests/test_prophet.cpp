@@ -1,0 +1,156 @@
+#include "forecast/prophet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace netent::forecast {
+namespace {
+
+/// Synthetic daily series: linear trend + weekly wave + holidays + noise.
+std::vector<double> synthetic_history(std::size_t days, double base, double slope,
+                                      double weekly_amp, double holiday_boost,
+                                      std::span<const int> holidays, double noise, Rng& rng) {
+  std::vector<double> history(days);
+  for (std::size_t t = 0; t < days; ++t) {
+    double y = base + slope * static_cast<double>(t);
+    y += weekly_amp * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 7.0);
+    for (const int h : holidays) {
+      if (h == static_cast<int>(t)) y += holiday_boost;
+    }
+    y += noise * rng.normal();
+    history[t] = y;
+  }
+  return history;
+}
+
+TEST(Prophet, FitsLinearTrend) {
+  Rng rng(1);
+  const auto history = synthetic_history(120, 100.0, 0.5, 0.0, 0.0, {}, 0.1, rng);
+  ProphetConfig config;
+  config.use_yearly = false;
+  const auto model = ProphetModel::fit(history, {}, config);
+  // In-sample fit.
+  for (std::size_t t = 0; t < history.size(); t += 10) {
+    EXPECT_NEAR(model.predict(static_cast<double>(t)), history[t], 2.0);
+  }
+  // Extrapolation continues the trend.
+  EXPECT_NEAR(model.predict(150.0), 100.0 + 0.5 * 150.0, 5.0);
+}
+
+TEST(Prophet, RecoversWeeklySeasonality) {
+  Rng rng(2);
+  const auto history = synthetic_history(140, 100.0, 0.0, 10.0, 0.0, {}, 0.1, rng);
+  ProphetConfig config;
+  config.use_yearly = false;
+  const auto model = ProphetModel::fit(history, {}, config);
+  // Seasonality component should reproduce the sine within tolerance.
+  for (int t = 140; t < 154; ++t) {
+    const double expected =
+        10.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 7.0);
+    EXPECT_NEAR(model.seasonality(static_cast<double>(t)), expected, 1.5);
+  }
+}
+
+TEST(Prophet, HolidayEffectLearnedAndApplied) {
+  Rng rng(3);
+  const std::vector<int> holidays{20, 27, 90, 120};  // last one is future
+  const auto history = synthetic_history(100, 100.0, 0.0, 0.0, 30.0, holidays, 0.1, rng);
+  ProphetConfig config;
+  config.use_yearly = false;
+  const auto model = ProphetModel::fit(history, holidays, config);
+  EXPECT_NEAR(model.holiday_effect(20.0), 30.0, 5.0);
+  EXPECT_DOUBLE_EQ(model.holiday_effect(21.0), 0.0);
+  // Future holiday gets the same effect applied.
+  const double with_holiday = model.predict(120.0);
+  const double without = model.predict(119.0);
+  EXPECT_NEAR(with_holiday - without, 30.0, 5.0);
+}
+
+TEST(Prophet, ForecastAccuracyOnHeldOutQuarter) {
+  Rng rng(4);
+  const auto full = synthetic_history(455, 200.0, 0.3, 15.0, 0.0, {}, 2.0, rng);
+  const std::vector<double> train(full.begin(), full.begin() + 365);
+  const std::vector<double> test(full.begin() + 365, full.end());
+  const auto model = ProphetModel::fit(train, {}, ProphetConfig{});
+  const auto forecast = model.predict_range(365, 90);
+  EXPECT_LT(smape(test, forecast), 0.05);
+}
+
+TEST(Prophet, PredictRangeMatchesPredict) {
+  Rng rng(5);
+  const auto history = synthetic_history(60, 50.0, 0.1, 5.0, 0.0, {}, 0.5, rng);
+  ProphetConfig config;
+  config.use_yearly = false;
+  const auto model = ProphetModel::fit(history, {}, config);
+  const auto range = model.predict_range(60, 5);
+  for (std::size_t i = 0; i < range.size(); ++i) {
+    EXPECT_DOUBLE_EQ(range[i], model.predict(60.0 + static_cast<double>(i)));
+  }
+}
+
+TEST(Prophet, ComponentsSumToPrediction) {
+  Rng rng(6);
+  const auto history = synthetic_history(90, 100.0, 0.2, 8.0, 0.0, {}, 0.5, rng);
+  ProphetConfig config;
+  config.use_yearly = false;
+  const auto model = ProphetModel::fit(history, {}, config);
+  for (double t : {10.0, 45.0, 100.0}) {
+    EXPECT_NEAR(model.trend(t) + model.seasonality(t) + model.holiday_effect(t),
+                model.predict(t), 1e-9);
+  }
+}
+
+TEST(Prophet, RecoversYearlySeasonalityWithTwoYearsOfData) {
+  // With two full years of history the yearly Fourier terms are identified
+  // and the next-quarter forecast carries the annual wave.
+  Rng rng(7);
+  std::vector<double> full(820);
+  for (std::size_t t = 0; t < full.size(); ++t) {
+    full[t] = 500.0 +
+              60.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 365.25) +
+              1.0 * rng.normal();
+  }
+  const std::vector<double> train(full.begin(), full.begin() + 730);
+  const std::vector<double> test(full.begin() + 730, full.end());
+  ProphetConfig config;  // yearly enabled by default
+  const auto model = ProphetModel::fit(train, {}, config);
+  const auto forecast = model.predict_range(730, 90);
+  EXPECT_LT(smape(test, forecast), 0.03);
+  // And the yearly component is genuinely used: disabling it degrades.
+  ProphetConfig no_yearly = config;
+  no_yearly.use_yearly = false;
+  const auto flat_model = ProphetModel::fit(train, {}, no_yearly);
+  const auto flat_forecast = flat_model.predict_range(730, 90);
+  EXPECT_GT(smape(test, flat_forecast), smape(test, forecast));
+}
+
+TEST(Prophet, TooShortHistoryRejected) {
+  const std::vector<double> short_history(10, 1.0);
+  EXPECT_THROW((void)ProphetModel::fit(short_history, {}, ProphetConfig{}), ContractViolation);
+}
+
+TEST(Prophet, ChangepointAdaptsToSlopeBreak) {
+  // Slope changes from +1/day to -1/day at day 60; extrapolation should
+  // follow the latter.
+  std::vector<double> history(120);
+  for (std::size_t t = 0; t < 120; ++t) {
+    history[t] = t < 60 ? 100.0 + static_cast<double>(t)
+                        : 160.0 - (static_cast<double>(t) - 60.0);
+  }
+  ProphetConfig config;
+  config.use_yearly = false;
+  config.changepoints = 12;
+  config.ridge_lambda = 0.01;
+  const auto model = ProphetModel::fit(history, {}, config);
+  const double extrapolated = model.predict(130.0);
+  EXPECT_LT(extrapolated, 105.0);  // still falling, nowhere near +1/day line
+}
+
+}  // namespace
+}  // namespace netent::forecast

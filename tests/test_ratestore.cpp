@@ -1,0 +1,87 @@
+#include "enforce/ratestore.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+namespace {
+
+constexpr NpgId kSvc{1};
+constexpr QosClass kQos = QosClass::c2_low;
+
+TEST(RateStore, AggregatesAcrossHosts) {
+  RateStore store(0.0);
+  store.publish(kSvc, kQos, HostId(1), Gbps(10), Gbps(8), 100.0);
+  store.publish(kSvc, kQos, HostId(2), Gbps(20), Gbps(15), 100.0);
+  const ServiceRates rates = store.aggregate(kSvc, kQos, 100.0);
+  EXPECT_EQ(rates.total, Gbps(30));
+  EXPECT_EQ(rates.conform, Gbps(23));
+}
+
+TEST(RateStore, VisibilityDelayHidesFreshSamples) {
+  RateStore store(10.0);
+  store.publish(kSvc, kQos, HostId(1), Gbps(10), Gbps(10), 100.0);
+  // At t=105 the sample from t=100 is not yet visible (horizon 95).
+  EXPECT_EQ(store.aggregate(kSvc, kQos, 105.0).total, Gbps(0));
+  // At t=110 it becomes visible.
+  EXPECT_EQ(store.aggregate(kSvc, kQos, 110.0).total, Gbps(10));
+}
+
+TEST(RateStore, LatestVisibleSampleWins) {
+  RateStore store(5.0);
+  store.publish(kSvc, kQos, HostId(1), Gbps(10), Gbps(10), 100.0);
+  store.publish(kSvc, kQos, HostId(1), Gbps(50), Gbps(40), 110.0);
+  EXPECT_EQ(store.aggregate(kSvc, kQos, 112.0).total, Gbps(10));  // horizon 107
+  EXPECT_EQ(store.aggregate(kSvc, kQos, 116.0).total, Gbps(50));  // horizon 111
+}
+
+TEST(RateStore, SeparatesServicesAndClasses) {
+  RateStore store(0.0);
+  store.publish(kSvc, kQos, HostId(1), Gbps(10), Gbps(10), 1.0);
+  store.publish(NpgId(2), kQos, HostId(1), Gbps(99), Gbps(99), 1.0);
+  store.publish(kSvc, QosClass::c1_low, HostId(1), Gbps(77), Gbps(77), 1.0);
+  EXPECT_EQ(store.aggregate(kSvc, kQos, 1.0).total, Gbps(10));
+  EXPECT_EQ(store.aggregate(NpgId(2), kQos, 1.0).total, Gbps(99));
+  EXPECT_EQ(store.aggregate(kSvc, QosClass::c1_low, 1.0).total, Gbps(77));
+}
+
+TEST(RateStore, UnknownServiceIsZero) {
+  RateStore store(0.0);
+  const ServiceRates rates = store.aggregate(NpgId(42), kQos, 1.0);
+  EXPECT_EQ(rates.total, Gbps(0));
+  EXPECT_EQ(rates.conform, Gbps(0));
+}
+
+TEST(RateStore, CompactKeepsVisibleState) {
+  RateStore store(5.0);
+  for (int t = 0; t < 100; t += 10) {
+    store.publish(kSvc, kQos, HostId(1), Gbps(t + 1.0), Gbps(t + 1.0),
+                  static_cast<double>(t));
+  }
+  const ServiceRates before = store.aggregate(kSvc, kQos, 100.0);
+  store.compact(100.0);
+  const ServiceRates after = store.aggregate(kSvc, kQos, 100.0);
+  EXPECT_EQ(before.total, after.total);
+  EXPECT_EQ(before.conform, after.conform);
+}
+
+TEST(RateStore, OutOfOrderPublishRejected) {
+  RateStore store(0.0);
+  store.publish(kSvc, kQos, HostId(1), Gbps(1), Gbps(1), 100.0);
+  EXPECT_THROW(store.publish(kSvc, kQos, HostId(1), Gbps(1), Gbps(1), 50.0),
+               ContractViolation);
+}
+
+TEST(RateStore, ConformAboveTotalRejected) {
+  RateStore store(0.0);
+  EXPECT_THROW(store.publish(kSvc, kQos, HostId(1), Gbps(1), Gbps(2), 1.0),
+               ContractViolation);
+}
+
+TEST(RateStore, NegativeDelayRejected) {
+  EXPECT_THROW(RateStore(-1.0), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::enforce

@@ -1,0 +1,79 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+#include "topology/generator.h"
+
+namespace netent::core {
+namespace {
+
+/// Small cycle on the Figure 6 topology with one oversized hose so the
+/// report has an under-approval to surface.
+CycleResult sample_cycle(const topology::Topology& topo) {
+  std::vector<PipeHistory> histories;
+  const auto make = [](std::uint32_t npg, std::uint32_t src, std::uint32_t dst, double base) {
+    PipeHistory history;
+    history.npg = NpgId(npg);
+    history.qos = QosClass::c1_low;
+    history.src = RegionId(src);
+    history.dst = RegionId(dst);
+    for (int day = 0; day < 90; ++day) {
+      history.daily.push_back(
+          base * (1.0 + 0.05 * std::sin(2.0 * std::numbers::pi * day / 7.0)));
+    }
+    return history;
+  };
+  histories.push_back(make(1, 0, 1, 400.0));
+  histories.push_back(make(1, 0, 2, 300.0));
+  // NPG 2 asks for far more than the B->C fiber can guarantee.
+  histories.push_back(make(2, 1, 2, 2500.0));
+
+  ManagerConfig config;
+  config.approval.realizations = 3;
+  config.approval.slo_availability = 0.999;
+  config.forecaster.prophet.use_yearly = false;
+  config.high_touch_npgs = {1, 2};
+  const EntitlementManager manager(topo, config);
+  Rng rng(1);
+  return manager.run_cycle(histories, rng);
+}
+
+TEST(CycleReport, ContainsTheKeySections) {
+  const topology::Topology topo = topology::figure6_topology();
+  const CycleResult cycle = sample_cycle(topo);
+  std::ostringstream os;
+  write_cycle_report(os, cycle, topo, [](NpgId npg) {
+    return npg == NpgId(1) ? "Ads" : (npg == NpgId(2) ? "Feed" : "");
+  });
+  const std::string report = os.str();
+  EXPECT_NE(report.find("Entitlement cycle report"), std::string::npos);
+  EXPECT_NE(report.find("Per-class egress approvals"), std::string::npos);
+  EXPECT_NE(report.find("c1_low"), std::string::npos);
+  EXPECT_NE(report.find("negotiation candidates"), std::string::npos);
+  EXPECT_NE(report.find("Segmented hose"), std::string::npos);
+}
+
+TEST(CycleReport, SurfacesTheUnderApprovedHose) {
+  const topology::Topology topo = topology::figure6_topology();
+  const CycleResult cycle = sample_cycle(topo);
+  std::ostringstream os;
+  write_cycle_report(os, cycle, topo,
+                     [](NpgId npg) { return npg == NpgId(2) ? "Feed" : ""; });
+  // The 2500G request against 1000G fibers must show up as a gap for Feed.
+  EXPECT_NE(os.str().find("Feed"), std::string::npos);
+}
+
+TEST(CycleReport, FallsBackToNumericNpgNames) {
+  const topology::Topology topo = topology::figure6_topology();
+  const CycleResult cycle = sample_cycle(topo);
+  std::ostringstream os;
+  write_cycle_report(os, cycle, topo, [](NpgId) { return std::string(); });
+  EXPECT_NE(os.str().find("npg2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netent::core

@@ -1,0 +1,101 @@
+#include "hose/requests.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::hose {
+namespace {
+
+PipeRequest pipe(std::uint32_t npg, QosClass qos, std::uint32_t src, std::uint32_t dst,
+                 double rate) {
+  return {NpgId(npg), qos, RegionId(src), RegionId(dst), Gbps(rate)};
+}
+
+TEST(AggregateToHoses, Figure6Example) {
+  // The paper's worked example: A->B 300, A->C 100, A->D 250, A->E 250.
+  const std::vector<PipeRequest> pipes{
+      pipe(1, QosClass::c1_low, 0, 1, 300.0), pipe(1, QosClass::c1_low, 0, 2, 100.0),
+      pipe(1, QosClass::c1_low, 0, 3, 250.0), pipe(1, QosClass::c1_low, 0, 4, 250.0)};
+  const auto hoses = aggregate_to_hoses(pipes, 5);
+  // One egress hose (A, 900G) and four ingress hoses.
+  ASSERT_EQ(hoses.size(), 5u);
+  double egress_total = 0.0;
+  double ingress_total = 0.0;
+  for (const HoseRequest& hose : hoses) {
+    if (hose.direction == Direction::egress) {
+      EXPECT_EQ(hose.region, RegionId(0));
+      egress_total += hose.rate.value();
+    } else {
+      ingress_total += hose.rate.value();
+    }
+  }
+  EXPECT_DOUBLE_EQ(egress_total, 900.0);
+  EXPECT_DOUBLE_EQ(ingress_total, 900.0);
+}
+
+TEST(AggregateToHoses, SeparatesNpgAndQos) {
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 0, 1, 10.0),
+                                       pipe(2, QosClass::c1_low, 0, 1, 20.0),
+                                       pipe(1, QosClass::c2_low, 0, 1, 30.0)};
+  const auto hoses = aggregate_to_hoses(pipes, 2);
+  EXPECT_EQ(hoses.size(), 6u);  // 3 egress + 3 ingress
+  for (const HoseRequest& hose : hoses) {
+    if (hose.npg == NpgId(1) && hose.qos == QosClass::c1_low &&
+        hose.direction == Direction::egress) {
+      EXPECT_DOUBLE_EQ(hose.rate.value(), 10.0);
+    }
+  }
+}
+
+TEST(AggregateToHoses, SumsPipesPerRegion) {
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 0, 1, 10.0),
+                                       pipe(1, QosClass::c1_low, 0, 2, 15.0),
+                                       pipe(1, QosClass::c1_low, 2, 1, 5.0)};
+  const auto hoses = aggregate_to_hoses(pipes, 3);
+  for (const HoseRequest& hose : hoses) {
+    if (hose.direction == Direction::egress && hose.region == RegionId(0)) {
+      EXPECT_DOUBLE_EQ(hose.rate.value(), 25.0);
+    }
+    if (hose.direction == Direction::ingress && hose.region == RegionId(1)) {
+      EXPECT_DOUBLE_EQ(hose.rate.value(), 15.0);
+    }
+  }
+}
+
+TEST(AggregateToHoses, TotalIngressEqualsTotalEgress) {
+  const std::vector<PipeRequest> pipes{pipe(3, QosClass::c3_low, 0, 1, 7.0),
+                                       pipe(3, QosClass::c3_low, 1, 2, 11.0),
+                                       pipe(3, QosClass::c3_low, 2, 0, 13.0)};
+  const auto hoses = aggregate_to_hoses(pipes, 3);
+  double egress = 0.0;
+  double ingress = 0.0;
+  for (const HoseRequest& hose : hoses) {
+    (hose.direction == Direction::egress ? egress : ingress) += hose.rate.value();
+  }
+  EXPECT_DOUBLE_EQ(egress, ingress);
+}
+
+TEST(AggregateToHoses, SelfPipeRejected) {
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 0, 0, 10.0)};
+  EXPECT_THROW((void)aggregate_to_hoses(pipes, 2), ContractViolation);
+}
+
+TEST(AggregateToHoses, OutOfRangeRegionRejected) {
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 0, 5, 10.0)};
+  EXPECT_THROW((void)aggregate_to_hoses(pipes, 3), ContractViolation);
+}
+
+TEST(TotalRate, SumsPipes) {
+  const std::vector<PipeRequest> pipes{pipe(1, QosClass::c1_low, 0, 1, 300.0),
+                                       pipe(1, QosClass::c1_low, 0, 2, 100.0)};
+  EXPECT_EQ(total_rate(pipes), Gbps(400));
+}
+
+TEST(Direction, ToString) {
+  EXPECT_STREQ(to_string(Direction::egress), "egress");
+  EXPECT_STREQ(to_string(Direction::ingress), "ingress");
+}
+
+}  // namespace
+}  // namespace netent::hose

@@ -1,0 +1,132 @@
+#include "topology/routing.h"
+
+#include <gtest/gtest.h>
+
+#include "topology/generator.h"
+
+namespace netent::topology {
+namespace {
+
+Topology diamond() {
+  Topology topo;
+  for (int i = 0; i < 4; ++i) topo.add_region("r" + std::to_string(i), RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(50), 1000, 10);
+  topo.add_fiber(RegionId(1), RegionId(3), Gbps(50), 1000, 10);
+  topo.add_fiber(RegionId(0), RegionId(2), Gbps(50), 1000, 10);
+  topo.add_fiber(RegionId(2), RegionId(3), Gbps(50), 1000, 10);
+  return topo;
+}
+
+TEST(Router, PlacesWithinCapacity) {
+  const Topology topo = diamond();
+  Router router(topo, 3);
+  const std::vector<Demand> demands{{RegionId(0), RegionId(3), Gbps(40)}};
+  const auto result = router.route(demands);
+  EXPECT_TRUE(result.fully_placed);
+  EXPECT_EQ(result.placed_total, Gbps(40));
+  ASSERT_EQ(result.placed_per_demand.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.placed_per_demand[0], 40.0);
+}
+
+TEST(Router, SpillsToSecondPath) {
+  const Topology topo = diamond();
+  Router router(topo, 3);
+  const std::vector<Demand> demands{{RegionId(0), RegionId(3), Gbps(80)}};
+  const auto result = router.route(demands);
+  EXPECT_TRUE(result.fully_placed);  // 50 on one arm + 30 on the other
+  EXPECT_EQ(result.placed_total, Gbps(80));
+}
+
+TEST(Router, PartialPlacementWhenSaturated) {
+  const Topology topo = diamond();
+  Router router(topo, 3);
+  const std::vector<Demand> demands{{RegionId(0), RegionId(3), Gbps(150)}};
+  const auto result = router.route(demands);
+  EXPECT_FALSE(result.fully_placed);
+  EXPECT_EQ(result.placed_total, Gbps(100));  // both arms saturated
+  EXPECT_DOUBLE_EQ(result.placed_per_demand[0], 100.0);
+}
+
+TEST(Router, LinkLoadNeverExceedsCapacity) {
+  const Topology topo = diamond();
+  Router router(topo, 3);
+  const std::vector<Demand> demands{{RegionId(0), RegionId(3), Gbps(500)},
+                                    {RegionId(1), RegionId(2), Gbps(500)}};
+  const auto result = router.route(demands);
+  for (const Link& link : topo.links()) {
+    EXPECT_LE(result.link_load[link.id.value()], link.capacity.value() + 1e-6);
+  }
+}
+
+TEST(Router, EarlierDemandsHavePriority) {
+  const Topology topo = diamond();
+  Router router(topo, 1);  // direct-arm path only
+  const std::vector<Demand> demands{{RegionId(0), RegionId(1), Gbps(50)},
+                                    {RegionId(0), RegionId(1), Gbps(50)}};
+  const auto result = router.route(demands);
+  EXPECT_DOUBLE_EQ(result.placed_per_demand[0], 50.0);
+  EXPECT_DOUBLE_EQ(result.placed_per_demand[1], 0.0);
+}
+
+TEST(Router, ExplicitCapacitiesRespected) {
+  const Topology topo = diamond();
+  Router router(topo, 3);
+  std::vector<double> caps(topo.link_count(), 10.0);
+  const std::vector<Demand> demands{{RegionId(0), RegionId(3), Gbps(100)}};
+  const auto result = router.route(demands, caps);
+  EXPECT_EQ(result.placed_total, Gbps(20));  // 10 per arm
+}
+
+TEST(Router, ZeroDemandIsNoop) {
+  const Topology topo = diamond();
+  Router router(topo, 2);
+  const std::vector<Demand> demands{{RegionId(0), RegionId(3), Gbps(0)}};
+  const auto result = router.route(demands);
+  EXPECT_TRUE(result.fully_placed);
+  EXPECT_EQ(result.placed_total, Gbps(0));
+}
+
+TEST(Router, PathCacheIsStable) {
+  const Topology topo = diamond();
+  Router router(topo, 2);
+  const auto& first = router.paths(RegionId(0), RegionId(3));
+  const auto& second = router.paths(RegionId(0), RegionId(3));
+  EXPECT_EQ(&first, &second);
+  EXPECT_FALSE(first.empty());
+}
+
+/// Property: demand conservation — placed_total equals the sum of
+/// per-demand placements, and no demand is over-served.
+class RoutingConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RoutingConservation, PlacementsConsistent) {
+  Rng rng(GetParam());
+  GeneratorConfig config;
+  config.region_count = 8;
+  const Topology topo = generate_backbone(config, rng);
+  Router router(topo, 4);
+
+  std::vector<Demand> demands;
+  for (int i = 0; i < 40; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    auto d = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    if (d == s) d = (d + 1) % static_cast<std::uint32_t>(topo.region_count());
+    demands.push_back({RegionId(s), RegionId(d), Gbps(rng.uniform(0.0, 400.0))});
+  }
+  const auto result = router.route(demands);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    EXPECT_LE(result.placed_per_demand[i], demands[i].amount.value() + 1e-6);
+    EXPECT_GE(result.placed_per_demand[i], 0.0);
+    sum += result.placed_per_demand[i];
+  }
+  EXPECT_NEAR(sum, result.placed_total.value(), 1e-6);
+  for (const Link& link : topo.links()) {
+    EXPECT_LE(result.link_load[link.id.value()], link.capacity.value() + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutingConservation, ::testing::Values(7, 8, 9, 10));
+
+}  // namespace
+}  // namespace netent::topology

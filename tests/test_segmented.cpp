@@ -1,0 +1,173 @@
+#include "hose/segmented.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace netent::hose {
+namespace {
+
+/// Figure-6-like share series over 4 destinations: {0,1} jointly carry
+/// 40-48% of the flow, {2,3} the rest, with small wobble.
+ShareSeries figure6_like_series() {
+  std::vector<std::vector<double>> flows;
+  // t: flows to B, C, D, E.
+  flows.push_back({300, 100, 250, 250});  // shares: .33 .11 .28 .28
+  flows.push_back({250, 150, 260, 240});
+  flows.push_back({280, 150, 240, 230});
+  flows.push_back({320, 120, 255, 205});
+  return ShareSeries(std::move(flows));
+}
+
+TEST(ShareSeries, ShareComputation) {
+  const ShareSeries series = figure6_like_series();
+  const std::uint32_t seg[] = {0, 1};
+  EXPECT_NEAR(series.share(seg, 0), 400.0 / 900.0, 1e-12);
+}
+
+TEST(ShareSeries, AlphaIdentities) {
+  // Equation 3: alpha+(S) + alpha-(S') = 1 and alpha-(S) + alpha+(S') = 1.
+  const ShareSeries series = figure6_like_series();
+  const std::uint32_t seg[] = {0, 1};
+  const std::uint32_t seg_prime[] = {2, 3};
+  EXPECT_NEAR(series.alpha_plus(seg) + series.alpha_minus(seg_prime), 1.0, 1e-12);
+  EXPECT_NEAR(series.alpha_minus(seg) + series.alpha_plus(seg_prime), 1.0, 1e-12);
+}
+
+TEST(ShareSeries, AlphaBounds) {
+  const ShareSeries series = figure6_like_series();
+  const std::uint32_t all[] = {0, 1, 2, 3};
+  EXPECT_DOUBLE_EQ(series.alpha_minus(all), 1.0);
+  EXPECT_DOUBLE_EQ(series.alpha_plus(all), 1.0);
+  const std::vector<std::uint32_t> none;
+  EXPECT_DOUBLE_EQ(series.alpha_minus(none), 0.0);
+}
+
+TEST(ShareSeries, ZeroTotalStepsSkipped) {
+  std::vector<std::vector<double>> flows{{0.0, 0.0}, {10.0, 30.0}};
+  const ShareSeries series(std::move(flows));
+  const std::uint32_t seg[] = {0};
+  EXPECT_DOUBLE_EQ(series.alpha_minus(seg), 0.25);
+  EXPECT_DOUBLE_EQ(series.alpha_plus(seg), 0.25);
+}
+
+TEST(TwoSegmentSplit, PartitionsAllDestinations) {
+  const Segmentation result = two_segment_split(figure6_like_series());
+  ASSERT_EQ(result.segments.size(), 2u);
+  std::size_t total = 0;
+  for (const Segment& segment : result.segments) total += segment.members.size();
+  EXPECT_EQ(total, 4u);
+}
+
+TEST(TwoSegmentSplit, FirstSegmentCrossesHalf) {
+  // Algorithm 1 stops adding once alpha-(SEG) > 0.5, so the first segment's
+  // alpha- exceeds 0.5 (the "smallest set with alpha- > 0.5" condition).
+  const Segmentation result = two_segment_split(figure6_like_series());
+  ASSERT_EQ(result.segments.size(), 2u);
+  EXPECT_GT(result.segments[0].alpha_minus, 0.5);
+}
+
+TEST(TwoSegmentSplit, CapacityFractionNearOneForStableShares) {
+  // Perfectly stable shares: alpha+ == alpha- per segment, so fractions sum
+  // to exactly 1 (the optimal decomposition the paper describes).
+  std::vector<std::vector<double>> flows;
+  for (int t = 0; t < 5; ++t) flows.push_back({30.0, 30.0, 20.0, 20.0});
+  const Segmentation result = two_segment_split(ShareSeries(std::move(flows)));
+  ASSERT_EQ(result.segments.size(), 2u);
+  EXPECT_NEAR(result.capacity_fraction_total(), 1.0, 1e-9);
+}
+
+TEST(TwoSegmentSplit, WobbleOverprovisionsModestly) {
+  const Segmentation result = two_segment_split(figure6_like_series());
+  EXPECT_GE(result.capacity_fraction_total(), 1.0);
+  EXPECT_LT(result.capacity_fraction_total(), 1.3);
+}
+
+TEST(TwoSegmentSplit, SegmentMembersSorted) {
+  const Segmentation result = two_segment_split(figure6_like_series());
+  for (const Segment& segment : result.segments) {
+    EXPECT_TRUE(std::is_sorted(segment.members.begin(), segment.members.end()));
+  }
+}
+
+TEST(NSegmentSplit, ProducesRequestedSegments) {
+  std::vector<std::vector<double>> flows;
+  for (int t = 0; t < 8; ++t) {
+    flows.push_back({25.0 + t * 0.1, 25.0 - t * 0.1, 20.0, 10.0, 10.0, 10.0});
+  }
+  const Segmentation result = n_segment_split(ShareSeries(std::move(flows)), 3);
+  EXPECT_EQ(result.segments.size(), 3u);
+  std::size_t total = 0;
+  for (const Segment& segment : result.segments) total += segment.members.size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(NSegmentSplit, TwoEqualsTwoSegmentSplit) {
+  const Segmentation a = two_segment_split(figure6_like_series());
+  const Segmentation b = n_segment_split(figure6_like_series(), 2);
+  ASSERT_EQ(a.segments.size(), b.segments.size());
+  for (std::size_t i = 0; i < a.segments.size(); ++i) {
+    EXPECT_EQ(a.segments[i].members, b.segments[i].members);
+  }
+}
+
+TEST(ShareSeries, RestrictedToRelativeShares) {
+  const ShareSeries series = figure6_like_series();
+  const std::uint32_t members[] = {2, 3};
+  const ShareSeries sub = series.restricted_to(members);
+  EXPECT_EQ(sub.destinations(), 2u);
+  const std::uint32_t first[] = {0};  // original destination 2
+  EXPECT_NEAR(sub.share(first, 0), 250.0 / 500.0, 1e-12);
+}
+
+TEST(ShareSeries, InvalidConstructionRejected) {
+  using Flows = std::vector<std::vector<double>>;
+  EXPECT_THROW(ShareSeries(Flows{}), ContractViolation);
+  EXPECT_THROW(ShareSeries(Flows{{1.0}}), ContractViolation);              // 1 destination
+  EXPECT_THROW(ShareSeries(Flows{{1.0, 2.0}, {1.0}}), ContractViolation);  // ragged
+  EXPECT_THROW(ShareSeries(Flows{{1.0, -2.0}}), ContractViolation);        // negative flow
+}
+
+/// Property sweep over random share series: Algorithm 1 invariants hold.
+class SegmentedHoseProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SegmentedHoseProperty, InvariantsOnRandomSeries) {
+  Rng rng(GetParam());
+  const std::size_t destinations = 3 + rng.uniform_int(8);
+  std::vector<std::vector<double>> flows;
+  std::vector<double> base(destinations);
+  for (double& b : base) b = rng.uniform(1.0, 100.0);
+  for (int t = 0; t < 30; ++t) {
+    std::vector<double> step(destinations);
+    for (std::size_t d = 0; d < destinations; ++d) {
+      step[d] = base[d] * rng.uniform(0.7, 1.3);
+    }
+    flows.push_back(std::move(step));
+  }
+  const ShareSeries series(std::move(flows));
+  const Segmentation result = two_segment_split(series);
+
+  // Partition covers all destinations exactly once.
+  std::vector<bool> seen(destinations, false);
+  std::size_t total = 0;
+  for (const Segment& segment : result.segments) {
+    for (const std::uint32_t member : segment.members) {
+      EXPECT_FALSE(seen[member]);
+      seen[member] = true;
+      ++total;
+    }
+    EXPECT_LE(segment.alpha_minus, segment.alpha_plus + 1e-12);
+    EXPECT_GE(segment.alpha_minus, 0.0);
+    EXPECT_LE(segment.alpha_plus, 1.0 + 1e-12);
+  }
+  EXPECT_EQ(total, destinations);
+  // Sum of alpha+ >= 1 (cannot cover less than the whole hose).
+  EXPECT_GE(result.capacity_fraction_total(), 1.0 - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentedHoseProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace netent::hose

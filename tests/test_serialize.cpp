@@ -1,0 +1,154 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+
+namespace netent::core {
+namespace {
+
+using hose::Direction;
+
+ContractDb sample_db() {
+  ContractDb db;
+  EntitlementContract ads;
+  ads.npg = NpgId(1);
+  ads.npg_name = "Ads";
+  ads.slo_availability = 0.9998;
+  ads.entitlements.push_back(
+      {NpgId(1), QosClass::c1_low, RegionId(0), Direction::egress, Gbps(970.125), {0.0, 7776000.0}});
+  ads.entitlements.push_back(
+      {NpgId(1), QosClass::c1_low, RegionId(1), Direction::ingress, Gbps(323.5), {0.0, 7776000.0}});
+  db.add(std::move(ads));
+
+  EntitlementContract storage;
+  storage.npg = NpgId(7);
+  storage.slo_availability = 0.999;
+  storage.entitlements.push_back(
+      {NpgId(7), QosClass::c3_low, RegionId(2), Direction::egress, Gbps(120), {100.0, 200.0}});
+  db.add(std::move(storage));
+  return db;
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const ContractDb original = sample_db();
+  const ContractDb parsed = contracts_from_string(contracts_to_string(original));
+  ASSERT_EQ(parsed.size(), original.size());
+  for (const auto& contract : original.contracts()) {
+    const auto* loaded = parsed.find(contract.npg);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->npg_name, contract.npg_name);
+    EXPECT_DOUBLE_EQ(loaded->slo_availability, contract.slo_availability);
+    ASSERT_EQ(loaded->entitlements.size(), contract.entitlements.size());
+    for (std::size_t i = 0; i < contract.entitlements.size(); ++i) {
+      const auto& a = contract.entitlements[i];
+      const auto& b = loaded->entitlements[i];
+      EXPECT_EQ(a.qos, b.qos);
+      EXPECT_EQ(a.region, b.region);
+      EXPECT_EQ(a.direction, b.direction);
+      EXPECT_DOUBLE_EQ(a.entitled_rate.value(), b.entitled_rate.value());
+      EXPECT_DOUBLE_EQ(a.period.start_seconds, b.period.start_seconds);
+      EXPECT_DOUBLE_EQ(a.period.end_seconds, b.period.end_seconds);
+    }
+  }
+}
+
+TEST(Serialize, ParsedDbAnswersQueries) {
+  const ContractDb parsed = contracts_from_string(contracts_to_string(sample_db()));
+  const auto rate = parsed.service_entitled_rate(NpgId(1), QosClass::c1_low, 50.0);
+  ASSERT_TRUE(rate.has_value());
+  EXPECT_DOUBLE_EQ(rate->value(), 970.125);
+}
+
+TEST(Serialize, CommentsAndBlankLinesIgnored) {
+  const std::string text =
+      "# contracts exported 2026-07-07\n"
+      "\n"
+      "contract 3 0.99 Video\n"
+      "entitlement c2_low 4 egress 55.5 0 100\n"
+      "end\n";
+  const ContractDb db = contracts_from_string(text);
+  ASSERT_EQ(db.size(), 1u);
+  EXPECT_EQ(db.find(NpgId(3))->npg_name, "Video");
+}
+
+TEST(Serialize, MalformedInputsRejected) {
+  EXPECT_THROW((void)contracts_from_string("bogus directive\n"), ParseError);
+  EXPECT_THROW((void)contracts_from_string("entitlement c1_low 0 egress 1 0 1\n"), ParseError);
+  EXPECT_THROW((void)contracts_from_string("contract 1 0.99\ncontract 2 0.99\n"), ParseError);
+  EXPECT_THROW((void)contracts_from_string("contract 1 0.99\n"), ParseError);  // unclosed
+  EXPECT_THROW((void)contracts_from_string("contract 1 0.99\nentitlement WAT 0 egress 1 0 1\nend\n"),
+               ParseError);
+  EXPECT_THROW((void)contracts_from_string("contract 1 0.99\nentitlement c1_low 0 sideways 1 0 1\nend\n"),
+               ParseError);
+  EXPECT_THROW((void)contracts_from_string("end\n"), ParseError);
+}
+
+TEST(Serialize, InvalidContractContentRejected) {
+  // Period end <= start violates the database invariant, surfaced as a
+  // ParseError with the line number.
+  const std::string text =
+      "contract 1 0.99\n"
+      "entitlement c1_low 0 egress 1 100 100\n"
+      "end\n";
+  EXPECT_THROW((void)contracts_from_string(text), ParseError);
+}
+
+TEST(Serialize, EmptyDatabaseRoundTrips) {
+  const ContractDb empty;
+  EXPECT_EQ(contracts_to_string(empty), "");
+  EXPECT_EQ(contracts_from_string("").size(), 0u);
+}
+
+/// Property sweep: randomized databases round-trip losslessly.
+class SerializeRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializeRoundTrip, RandomDatabases) {
+  Rng rng(GetParam());
+  ContractDb db;
+  const std::size_t contracts = 1 + rng.uniform_int(6);
+  for (std::uint32_t c = 0; c < contracts; ++c) {
+    EntitlementContract contract;
+    contract.npg = NpgId(c * 7 + 1);
+    contract.slo_availability = rng.uniform(0.9, 1.0);
+    if (rng.bernoulli(0.5)) contract.npg_name = "svc" + std::to_string(c);
+    const std::size_t entitlements = 1 + rng.uniform_int(8);
+    for (std::size_t e = 0; e < entitlements; ++e) {
+      const double start = rng.uniform(0.0, 1e6);
+      contract.entitlements.push_back(
+          {contract.npg, static_cast<QosClass>(rng.uniform_int(kQosClassCount)),
+           RegionId(static_cast<std::uint32_t>(rng.uniform_int(16))),
+           rng.bernoulli(0.5) ? hose::Direction::egress : hose::Direction::ingress,
+           Gbps(rng.uniform(0.001, 5000.0)), Period{start, start + rng.uniform(1.0, 1e7)}});
+    }
+    db.add(std::move(contract));
+  }
+
+  const ContractDb restored = contracts_from_string(contracts_to_string(db));
+  ASSERT_EQ(restored.size(), db.size());
+  for (const auto& original : db.contracts()) {
+    const auto* loaded = restored.find(original.npg);
+    ASSERT_NE(loaded, nullptr);
+    EXPECT_EQ(loaded->npg_name, original.npg_name);
+    EXPECT_DOUBLE_EQ(loaded->slo_availability, original.slo_availability);
+    ASSERT_EQ(loaded->entitlements.size(), original.entitlements.size());
+    for (std::size_t e = 0; e < original.entitlements.size(); ++e) {
+      EXPECT_EQ(loaded->entitlements[e].qos, original.entitlements[e].qos);
+      EXPECT_EQ(loaded->entitlements[e].region, original.entitlements[e].region);
+      EXPECT_EQ(loaded->entitlements[e].direction, original.entitlements[e].direction);
+      EXPECT_DOUBLE_EQ(loaded->entitlements[e].entitled_rate.value(),
+                       original.entitlements[e].entitled_rate.value());
+      EXPECT_DOUBLE_EQ(loaded->entitlements[e].period.start_seconds,
+                       original.entitlements[e].period.start_seconds);
+      EXPECT_DOUBLE_EQ(loaded->entitlements[e].period.end_seconds,
+                       original.entitlements[e].period.end_seconds);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeRoundTrip, ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace netent::core

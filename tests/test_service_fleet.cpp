@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "traffic/fleet.h"
+#include "traffic/service.h"
+
+namespace netent::traffic {
+namespace {
+
+ServiceProfile simple_profile() {
+  ServiceProfile svc;
+  svc.id = NpgId(7);
+  svc.name = "test";
+  svc.pattern.base_gbps = 100.0;
+  svc.pattern.noise_sigma = 0.0;
+  svc.qos_mix = {{QosClass::c2_low, 0.8}, {QosClass::c1_high, 0.2}};
+  svc.src_weights = {1.0, 1.0, 0.0, 2.0};
+  svc.dst_weights = {0.0, 1.0, 1.0, 2.0};
+  return svc;
+}
+
+TEST(ServiceProfile, QosFraction) {
+  const ServiceProfile svc = simple_profile();
+  EXPECT_DOUBLE_EQ(svc.qos_fraction(QosClass::c2_low), 0.8);
+  EXPECT_DOUBLE_EQ(svc.qos_fraction(QosClass::c1_high), 0.2);
+  EXPECT_DOUBLE_EQ(svc.qos_fraction(QosClass::c4_high), 0.0);
+}
+
+TEST(ServiceMatrix, TotalMatchesRequestedRate) {
+  const ServiceProfile svc = simple_profile();
+  const TrafficMatrix tm = service_matrix(svc, 100.0);
+  EXPECT_NEAR(tm.total().value(), 100.0, 1e-9);
+}
+
+TEST(ServiceMatrix, RespectsZeroWeights) {
+  const ServiceProfile svc = simple_profile();
+  const TrafficMatrix tm = service_matrix(svc, 100.0);
+  // Region 2 has zero src weight: no egress.
+  EXPECT_DOUBLE_EQ(tm.egress(RegionId(2)).value(), 0.0);
+  // Region 0 has zero dst weight: no ingress.
+  EXPECT_DOUBLE_EQ(tm.ingress(RegionId(0)).value(), 0.0);
+  // Diagonal unused.
+  EXPECT_DOUBLE_EQ(tm.at(RegionId(1), RegionId(1)), 0.0);
+}
+
+TEST(ServiceMatrix, GravityProportions) {
+  ServiceProfile svc = simple_profile();
+  svc.src_weights = {1.0, 0.0, 0.0, 0.0};
+  svc.dst_weights = {0.0, 1.0, 3.0, 0.0};
+  const TrafficMatrix tm = service_matrix(svc, 100.0);
+  EXPECT_NEAR(tm.at(RegionId(0), RegionId(1)), 25.0, 1e-9);
+  EXPECT_NEAR(tm.at(RegionId(0), RegionId(2)), 75.0, 1e-9);
+}
+
+TEST(TrafficMatrix, EgressIngressTotals) {
+  TrafficMatrix tm(3);
+  tm.at(RegionId(0), RegionId(1)) = 10.0;
+  tm.at(RegionId(0), RegionId(2)) = 5.0;
+  tm.at(RegionId(2), RegionId(1)) = 2.0;
+  EXPECT_DOUBLE_EQ(tm.egress(RegionId(0)).value(), 15.0);
+  EXPECT_DOUBLE_EQ(tm.ingress(RegionId(1)).value(), 12.0);
+  EXPECT_DOUBLE_EQ(tm.total().value(), 17.0);
+}
+
+TEST(TrafficMatrix, DemandsSkipZerosAndDiagonal) {
+  TrafficMatrix tm(3);
+  tm.at(RegionId(0), RegionId(1)) = 10.0;
+  const auto demands = tm.demands();
+  ASSERT_EQ(demands.size(), 1u);
+  EXPECT_EQ(demands[0].src, RegionId(0));
+  EXPECT_EQ(demands[0].dst, RegionId(1));
+  EXPECT_EQ(demands[0].amount, Gbps(10));
+}
+
+TEST(TrafficMatrix, ArithmeticOps) {
+  TrafficMatrix a(2);
+  a.at(RegionId(0), RegionId(1)) = 1.0;
+  TrafficMatrix b(2);
+  b.at(RegionId(0), RegionId(1)) = 2.0;
+  a += b;
+  a *= 3.0;
+  EXPECT_DOUBLE_EQ(a.at(RegionId(0), RegionId(1)), 9.0);
+}
+
+TEST(PerDestinationSeries, SharesSumToSourceShare) {
+  ServiceProfile svc = simple_profile();
+  Rng rng(1);
+  const auto per_dst = per_destination_series(svc, RegionId(3), 86400.0, 3600.0, 0.0, rng);
+  ASSERT_EQ(per_dst.size(), 4u);
+  // Source region 3 itself gets a zero series.
+  EXPECT_DOUBLE_EQ(per_dst[3].total(), 0.0);
+  // src 3 share = 2/4; aggregate mean = 100 => expected per-step total ~50.
+  double step_total = 0.0;
+  for (const auto& series : per_dst) {
+    if (!series.empty()) step_total += series[0];
+  }
+  EXPECT_NEAR(step_total, 50.0, 1.0);
+}
+
+TEST(FleetGenerator, CountsAndHighTouchFlags) {
+  Rng rng(1);
+  FleetConfig config;
+  config.service_count = 100;
+  config.region_count = 8;
+  config.high_touch_count = 5;
+  const auto fleet = generate_fleet(config, rng);
+  ASSERT_EQ(fleet.size(), 100u);
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    EXPECT_EQ(fleet[i].high_touch, i < 5);
+    EXPECT_EQ(fleet[i].id, NpgId(static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_EQ(fleet[0].name, "Coldstorage");
+  EXPECT_EQ(fleet[1].name, "Warmstorage");
+}
+
+TEST(FleetGenerator, QosMixFractionsSumToOne) {
+  Rng rng(2);
+  FleetConfig config;
+  config.service_count = 200;
+  const auto fleet = generate_fleet(config, rng);
+  for (const ServiceProfile& svc : fleet) {
+    double sum = 0.0;
+    for (const QosShare& share : svc.qos_mix) sum += share.fraction;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(FleetGenerator, TotalRateMatchesConfig) {
+  Rng rng(3);
+  FleetConfig config;
+  config.service_count = 300;
+  config.total_gbps = 50000.0;
+  const auto fleet = generate_fleet(config, rng);
+  double total = 0.0;
+  for (const ServiceProfile& svc : fleet) total += svc.mean_rate_gbps();
+  EXPECT_NEAR(total, 50000.0, 1.0);
+}
+
+TEST(FleetGenerator, ZipfHeadDominates) {
+  // The Figures 1-2 property: a handful of services carries most traffic.
+  Rng rng(4);
+  FleetConfig config;
+  config.service_count = 1000;
+  const auto fleet = generate_fleet(config, rng);
+  double head = 0.0;
+  double total = 0.0;
+  for (std::size_t i = 0; i < fleet.size(); ++i) {
+    if (i < 10) head += fleet[i].mean_rate_gbps();
+    total += fleet[i].mean_rate_gbps();
+  }
+  EXPECT_GT(head / total, 0.45);
+}
+
+TEST(FleetGenerator, DeploymentFootprintRespectsMinimum) {
+  Rng rng(5);
+  FleetConfig config;
+  config.service_count = 50;
+  config.region_count = 10;
+  config.min_deploy_regions = 3;
+  const auto fleet = generate_fleet(config, rng);
+  for (const ServiceProfile& svc : fleet) {
+    std::size_t deployed = 0;
+    for (const double w : svc.src_weights) {
+      if (w > 0.0) ++deployed;
+    }
+    EXPECT_GE(deployed, 3u);
+  }
+}
+
+TEST(ClassShares, SortedDescendingAndSumToOne) {
+  Rng rng(6);
+  FleetConfig config;
+  config.service_count = 400;
+  const auto fleet = generate_fleet(config, rng);
+  const auto shares = class_shares(fleet, QosClass::c2_low);
+  ASSERT_FALSE(shares.empty());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LE(shares[i].second, shares[i - 1].second);
+    }
+    sum += shares[i].second;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(ClassTotals, SumOverClassesEqualsFleetTotal) {
+  Rng rng(7);
+  FleetConfig config;
+  config.service_count = 150;
+  const auto fleet = generate_fleet(config, rng);
+  double by_class = 0.0;
+  for (const QosClass qos : qos_priority_order()) by_class += class_total_gbps(fleet, qos);
+  double direct = 0.0;
+  for (const ServiceProfile& svc : fleet) direct += svc.mean_rate_gbps();
+  EXPECT_NEAR(by_class, direct, 1e-6);
+}
+
+}  // namespace
+}  // namespace netent::traffic

@@ -1,0 +1,126 @@
+#include "forecast/sli.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "traffic/patterns.h"
+
+namespace netent::forecast {
+namespace {
+
+TEST(DemandForecaster, DailyInputUsesConfiguredAggregate) {
+  ForecasterConfig config;
+  config.aggregate = traffic::DailyAggregate::max;
+  const DemandForecaster forecaster(config);
+  traffic::TimeSeries series(43200.0, {1.0, 9.0, 2.0, 8.0});
+  const auto daily = forecaster.daily_input(series);
+  ASSERT_EQ(daily.size(), 2u);
+  EXPECT_DOUBLE_EQ(daily[0], 9.0);
+  EXPECT_DOUBLE_EQ(daily[1], 8.0);
+}
+
+TEST(DemandForecaster, QuotaTracksGrowingDemand) {
+  // Steady 1%/day growth: the quarter quota must exceed today's level.
+  std::vector<double> history(180);
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    history[t] = 100.0 * (1.0 + 0.01 * static_cast<double>(t));
+  }
+  ForecasterConfig config;
+  config.prophet.use_yearly = false;
+  const DemandForecaster forecaster(config);
+  const Gbps quota = forecaster.forecast_quota(history, {});
+  EXPECT_GT(quota.value(), history.back());
+  // And stays in a sane band (linear extrapolation ~280-300 at day 270).
+  EXPECT_LT(quota.value(), 400.0);
+}
+
+TEST(DemandForecaster, QuotaNeverNegative) {
+  // Steeply shrinking service.
+  std::vector<double> history(120);
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    history[t] = std::max(0.0, 100.0 - static_cast<double>(t));
+  }
+  ForecasterConfig config;
+  config.prophet.use_yearly = false;
+  const DemandForecaster forecaster(config);
+  EXPECT_GE(forecaster.forecast_quota(history, {}).value(), 0.0);
+}
+
+TEST(DemandForecaster, QuotaPercentileMonotone) {
+  std::vector<double> history(120);
+  for (std::size_t t = 0; t < history.size(); ++t) {
+    history[t] = 100.0 + 20.0 * std::sin(2.0 * std::numbers::pi * static_cast<double>(t) / 7.0);
+  }
+  ForecasterConfig median_config;
+  median_config.quota_percentile = 50.0;
+  median_config.prophet.use_yearly = false;
+  ForecasterConfig high_config = median_config;
+  high_config.quota_percentile = 99.0;
+  const Gbps median_quota = DemandForecaster(median_config).forecast_quota(history, {});
+  const Gbps high_quota = DemandForecaster(high_config).forecast_quota(history, {});
+  EXPECT_GT(high_quota, median_quota);
+}
+
+TEST(InorganicModel, FeatureCountStable) {
+  // 3 traffic lags + 4 resource snapshots * 3 fields + organic forecast.
+  EXPECT_EQ(InorganicModel::feature_count(), 3u + 4u * 3u + 1u);
+}
+
+TEST(InorganicModel, LearnsServerCountRelationship) {
+  // Ground truth: traffic = 2 Gbps per server. Training spans organic noise;
+  // the model must predict a region-move month (doubled servers) well above
+  // the organic-only forecast.
+  Rng rng(1);
+  std::vector<MonthlySample> samples;
+  std::vector<double> targets;
+  for (int i = 0; i < 400; ++i) {
+    const double servers = rng.uniform(50.0, 200.0);
+    MonthlySample sample;
+    for (int lag = 0; lag < 3; ++lag) {
+      sample.traffic_lag[lag] = 2.0 * servers * rng.uniform(0.9, 1.1);
+      sample.resources_lag[lag].server_count = servers;
+      sample.resources_lag[lag].power_kw = servers * 0.4;
+      sample.resources_lag[lag].flash_tb = servers * 1.5;
+    }
+    // Half of the samples model planned changes: servers_now != past.
+    const double servers_now = rng.bernoulli(0.5) ? servers * rng.uniform(1.2, 2.0) : servers;
+    sample.resources_now.server_count = servers_now;
+    sample.resources_now.power_kw = servers_now * 0.4;
+    sample.resources_now.flash_tb = servers_now * 1.5;
+    sample.organic_forecast = 2.0 * servers;  // time-series model: no inorganic knowledge
+    samples.push_back(sample);
+    targets.push_back(2.0 * servers_now * rng.uniform(0.97, 1.03));
+  }
+  GbdtConfig config;
+  config.rounds = 120;
+  const auto model = InorganicModel::fit(samples, targets, config);
+
+  MonthlySample probe;
+  for (int lag = 0; lag < 3; ++lag) {
+    probe.traffic_lag[lag] = 200.0;  // 100 servers historically
+    probe.resources_lag[lag].server_count = 100.0;
+    probe.resources_lag[lag].power_kw = 40.0;
+    probe.resources_lag[lag].flash_tb = 150.0;
+  }
+  probe.resources_now.server_count = 200.0;  // planned region move: 2x servers
+  probe.resources_now.power_kw = 80.0;
+  probe.resources_now.flash_tb = 300.0;
+  probe.organic_forecast = 200.0;
+  const double predicted = model.predict(probe);
+  EXPECT_GT(predicted, 300.0) << "model must anticipate the inorganic change";
+  EXPECT_LT(predicted, 500.0);
+}
+
+TEST(InorganicModel, MismatchedInputsRejected) {
+  const std::vector<MonthlySample> samples(3);
+  const std::vector<double> targets(2);
+  EXPECT_THROW((void)InorganicModel::fit(samples, targets, GbdtConfig{}),
+               ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::forecast

@@ -1,0 +1,181 @@
+#include "hose/space.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::hose {
+namespace {
+
+HoseSpace simple_space() {
+  // 3 regions; region 0 sends up to 100, regions 1 and 2 receive up to 80.
+  return HoseSpace({100.0, 0.0, 0.0}, {0.0, 80.0, 80.0});
+}
+
+TEST(HoseSpace, FeasibilityChecksEgress) {
+  const HoseSpace space = simple_space();
+  traffic::TrafficMatrix tm(3);
+  tm.at(RegionId(0), RegionId(1)) = 60.0;
+  tm.at(RegionId(0), RegionId(2)) = 30.0;
+  EXPECT_TRUE(space.feasible(tm));
+  tm.at(RegionId(0), RegionId(2)) = 50.0;  // egress 110 > 100
+  EXPECT_FALSE(space.feasible(tm));
+}
+
+TEST(HoseSpace, FeasibilityChecksIngress) {
+  const HoseSpace space = simple_space();
+  traffic::TrafficMatrix tm(3);
+  tm.at(RegionId(0), RegionId(1)) = 90.0;  // ingress of 1 is 90 > 80
+  EXPECT_FALSE(space.feasible(tm));
+}
+
+TEST(HoseSpace, SegmentConstraintTightens) {
+  HoseSpace space = simple_space();
+  traffic::TrafficMatrix tm(3);
+  tm.at(RegionId(0), RegionId(1)) = 70.0;
+  tm.at(RegionId(0), RegionId(2)) = 20.0;
+  EXPECT_TRUE(space.feasible(tm));
+  space.add_segment({0, {1}, 50.0});  // flow 0->{1} capped at 50
+  EXPECT_FALSE(space.feasible(tm));
+}
+
+TEST(HoseSpace, SamplesAreAlwaysFeasible) {
+  HoseSpace space = simple_space();
+  space.add_segment({0, {1}, 55.0});
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(space.feasible(space.sample(rng)));
+  }
+}
+
+TEST(HoseSpace, ExtremePointsAreFeasible) {
+  HoseSpace space = simple_space();
+  space.add_segment({0, {2}, 40.0});
+  Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_TRUE(space.feasible(space.extreme_point(rng)));
+  }
+}
+
+TEST(HoseSpace, ExtremePointsSaturateABindingConstraint) {
+  const HoseSpace space = simple_space();
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const auto tm = space.extreme_point(rng);
+    // Egress hose of region 0 is the binding constraint (100 < 80+80).
+    EXPECT_NEAR(tm.egress(RegionId(0)).value(), 100.0, 1e-6);
+  }
+}
+
+TEST(HoseSpace, ExtremePointsExceedInteriorSamplesInSpread) {
+  const HoseSpace space = simple_space();
+  Rng rng(4);
+  double max_single_pipe_extreme = 0.0;
+  double max_single_pipe_sample = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const auto extreme = space.extreme_point(rng);
+    const auto sample = space.sample(rng);
+    for (std::uint32_t d = 1; d < 3; ++d) {
+      max_single_pipe_extreme =
+          std::max(max_single_pipe_extreme, extreme.at(RegionId(0), RegionId(d)));
+      max_single_pipe_sample =
+          std::max(max_single_pipe_sample, sample.at(RegionId(0), RegionId(d)));
+    }
+  }
+  EXPECT_GE(max_single_pipe_extreme, max_single_pipe_sample);
+  EXPECT_NEAR(max_single_pipe_extreme, 80.0, 1e-6);  // ingress cap binds
+}
+
+TEST(HoseSpace, SegmentVolumeFractionBelowOneWhenConstrained) {
+  HoseSpace space = simple_space();
+  space.add_segment({0, {1}, 40.0});  // half of what ingress would allow
+  Rng rng(5);
+  const double fraction = space.segment_volume_fraction(500, rng);
+  EXPECT_LT(fraction, 0.95);
+  EXPECT_GT(fraction, 0.0);
+}
+
+TEST(HoseSpace, SegmentVolumeFractionIsOneWithoutSegments) {
+  const HoseSpace space = simple_space();
+  Rng rng(6);
+  EXPECT_DOUBLE_EQ(space.segment_volume_fraction(50, rng), 1.0);
+}
+
+TEST(HoseSpace, MultiRegionSampleRespectsEveryHose) {
+  const HoseSpace space({50.0, 60.0, 70.0, 0.0}, {40.0, 40.0, 40.0, 100.0});
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    const auto tm = space.sample(rng);
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      EXPECT_LE(tm.egress(RegionId(r)).value(), space.egress()[r] + 1e-6);
+      EXPECT_LE(tm.ingress(RegionId(r)).value(), space.ingress()[r] + 1e-6);
+    }
+  }
+}
+
+TEST(HoseSpace, ConcentratedSamplesFeasibleAndConcentrated) {
+  HoseSpace space({100.0, 0.0, 0.0, 0.0}, {0.0, 200.0, 200.0, 200.0});
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    const auto tm = space.concentrated_sample(rng, 1);
+    EXPECT_TRUE(space.feasible(tm));
+    // All egress lands on exactly one destination.
+    int used = 0;
+    for (std::uint32_t d = 1; d < 4; ++d) {
+      if (tm.at(RegionId(0), RegionId(d)) > 0.0) ++used;
+    }
+    EXPECT_EQ(used, 1);
+    EXPECT_GE(tm.egress(RegionId(0)).value(), 85.0);  // near-full utilization
+  }
+}
+
+TEST(HoseSpace, ConcentratedSampleRespectsSegments) {
+  HoseSpace space({100.0, 0.0, 0.0, 0.0}, {0.0, 200.0, 200.0, 200.0});
+  space.add_segment({0, {1}, 30.0});
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    const auto tm = space.concentrated_sample(rng, 2);
+    EXPECT_TRUE(space.feasible(tm));
+    EXPECT_LE(tm.at(RegionId(0), RegionId(1)), 30.0 + 1e-6);
+  }
+}
+
+TEST(HoseSpace, ConcentratedSampleWeightsBiasDestinations) {
+  HoseSpace space({100.0, 0.0, 0.0, 0.0}, {0.0, 200.0, 200.0, 200.0});
+  const std::vector<double> weights{0.0, 100.0, 1.0, 1.0};
+  Rng rng(10);
+  int hits_region1 = 0;
+  const int trials = 300;
+  for (int i = 0; i < trials; ++i) {
+    const auto tm = space.concentrated_sample(rng, 1, weights);
+    if (tm.at(RegionId(0), RegionId(1)) > 0.0) ++hits_region1;
+  }
+  EXPECT_GT(hits_region1, trials * 4 / 5);
+}
+
+TEST(HoseSpace, SampleUtilizationRangeRespected) {
+  const HoseSpace space({100.0, 0.0}, {0.0, 200.0});
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const auto tm = space.sample(rng, 0.9, 1.0);
+    EXPECT_GE(tm.egress(RegionId(0)).value(), 90.0 - 1e-6);
+  }
+  EXPECT_THROW((void)space.sample(rng, 0.9, 0.5), ContractViolation);
+  EXPECT_THROW((void)space.sample(rng, 0.5, 1.5), ContractViolation);
+}
+
+TEST(HoseSpace, InvalidConstructionRejected) {
+  EXPECT_THROW(HoseSpace({1.0}, {1.0}), ContractViolation);          // too few regions
+  EXPECT_THROW(HoseSpace({1.0, 2.0}, {1.0}), ContractViolation);     // size mismatch
+  EXPECT_THROW(HoseSpace({-1.0, 2.0}, {1.0, 1.0}), ContractViolation);
+}
+
+TEST(HoseSpace, InvalidSegmentRejected) {
+  HoseSpace space = simple_space();
+  EXPECT_THROW(space.add_segment({9, {1}, 10.0}), ContractViolation);  // bad src
+  EXPECT_THROW(space.add_segment({0, {}, 10.0}), ContractViolation);   // empty members
+  EXPECT_THROW(space.add_segment({0, {7}, 10.0}), ContractViolation);  // bad member
+}
+
+}  // namespace
+}  // namespace netent::hose

@@ -1,0 +1,128 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent {
+namespace {
+
+TEST(Percentile, EndpointsAndMedian) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  const std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75.0), 7.5);
+}
+
+TEST(Percentile, SingleElement) {
+  const std::vector<double> v{7};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 99.0), 7.0);
+}
+
+TEST(Percentile, RejectsEmptyAndBadQ) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)percentile(empty, 50.0), ContractViolation);
+  const std::vector<double> v{1.0};
+  EXPECT_THROW((void)percentile(v, -1.0), ContractViolation);
+  EXPECT_THROW((void)percentile(v, 101.0), ContractViolation);
+}
+
+TEST(PercentileOf, SortsInput) {
+  EXPECT_DOUBLE_EQ(percentile_of({5, 1, 3}, 50.0), 3.0);
+}
+
+TEST(MeanStddev, KnownValues) {
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(v), 5.0);
+  EXPECT_NEAR(stddev(v), 2.138, 1e-3);  // sample stddev
+}
+
+TEST(EmpiricalCdf, AtAndQuantileAreConsistent) {
+  EmpiricalCdf cdf({1, 2, 3, 4, 5, 6, 7, 8, 9, 10});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(5.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 10.0);
+}
+
+TEST(EmpiricalCdf, UnsortedInputHandled) {
+  EmpiricalCdf cdf({9, 1, 5});
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 1.0 / 3.0);
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+TEST(RunningStats, MatchesBatch) {
+  RunningStats stats;
+  const std::vector<double> v{2, 4, 4, 4, 5, 5, 7, 9};
+  for (const double x : v) stats.add(x);
+  EXPECT_EQ(stats.count(), v.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), mean(v));
+  EXPECT_NEAR(stats.stddev(), stddev(v), 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(9.5);
+  h.add(-100.0);  // clamps into first bin
+  h.add(100.0);   // clamps into last bin
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.counts().front(), 2u);
+  EXPECT_EQ(h.counts().back(), 2u);
+}
+
+TEST(Histogram, QuantileApproximation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.9), 90.0, 1.5);
+}
+
+TEST(Smape, PerfectForecastIsZero) {
+  const std::vector<double> a{1, 2, 3};
+  EXPECT_DOUBLE_EQ(smape(a, a), 0.0);
+}
+
+TEST(Smape, MaximumIsTwo) {
+  const std::vector<double> actual{1, 1};
+  const std::vector<double> forecast{0, 0};
+  EXPECT_DOUBLE_EQ(smape(actual, forecast), 2.0);
+}
+
+TEST(Smape, SymmetricInArguments) {
+  const std::vector<double> a{1, 2, 3};
+  const std::vector<double> b{2, 3, 4};
+  EXPECT_DOUBLE_EQ(smape(a, b), smape(b, a));
+}
+
+TEST(Smape, KnownValue) {
+  const std::vector<double> actual{100};
+  const std::vector<double> forecast{150};
+  EXPECT_NEAR(smape(actual, forecast), 50.0 / 125.0, 1e-12);
+}
+
+TEST(Smape, MismatchedSizesRejected) {
+  const std::vector<double> a{1, 2};
+  const std::vector<double> b{1};
+  EXPECT_THROW((void)smape(a, b), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent

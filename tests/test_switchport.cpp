@@ -1,0 +1,108 @@
+#include "enforce/switchport.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+namespace {
+
+std::vector<double> offered_with(std::size_t queue, double gbps) {
+  std::vector<double> offered(kQueueCount, 0.0);
+  offered[queue] = gbps;
+  return offered;
+}
+
+TEST(PriorityQueueSwitch, DeliversEverythingUnderCapacity) {
+  const PriorityQueueSwitch port(Gbps(100));
+  std::vector<double> offered(kQueueCount, 5.0);  // 45 total
+  const auto outcomes = port.transmit(offered);
+  for (const auto& outcome : outcomes) {
+    EXPECT_DOUBLE_EQ(outcome.delivered_gbps, 5.0);
+    EXPECT_DOUBLE_EQ(outcome.dropped_gbps, 0.0);
+  }
+}
+
+TEST(PriorityQueueSwitch, WorkConservingForNonConforming) {
+  // §5.1: "When there is enough capacity, the switches transmit all packets
+  // irrespective of allocated entitlements."
+  const PriorityQueueSwitch port(Gbps(100));
+  const auto outcomes = port.transmit(offered_with(kNonConformingQueue, 90.0));
+  EXPECT_DOUBLE_EQ(outcomes[kNonConformingQueue].delivered_gbps, 90.0);
+  EXPECT_DOUBLE_EQ(outcomes[kNonConformingQueue].dropped_gbps, 0.0);
+}
+
+TEST(PriorityQueueSwitch, NonConformingDroppedFirst) {
+  const PriorityQueueSwitch port(Gbps(100));
+  std::vector<double> offered(kQueueCount, 0.0);
+  offered[0] = 80.0;                    // premium conforming
+  offered[kNonConformingQueue] = 50.0;  // non-conforming
+  const auto outcomes = port.transmit(offered);
+  EXPECT_DOUBLE_EQ(outcomes[0].delivered_gbps, 80.0);
+  EXPECT_DOUBLE_EQ(outcomes[0].dropped_gbps, 0.0);
+  EXPECT_DOUBLE_EQ(outcomes[kNonConformingQueue].delivered_gbps, 20.0);
+  EXPECT_DOUBLE_EQ(outcomes[kNonConformingQueue].dropped_gbps, 30.0);
+}
+
+TEST(PriorityQueueSwitch, StrictPriorityAmongConformingClasses) {
+  const PriorityQueueSwitch port(Gbps(100));
+  std::vector<double> offered(kQueueCount, 0.0);
+  offered[0] = 60.0;
+  offered[4] = 60.0;
+  const auto outcomes = port.transmit(offered);
+  EXPECT_DOUBLE_EQ(outcomes[0].delivered_gbps, 60.0);
+  EXPECT_DOUBLE_EQ(outcomes[4].delivered_gbps, 40.0);
+  EXPECT_DOUBLE_EQ(outcomes[4].dropped_gbps, 20.0);
+}
+
+TEST(PriorityQueueSwitch, ConservationOfTraffic) {
+  const PriorityQueueSwitch port(Gbps(100));
+  std::vector<double> offered(kQueueCount, 20.0);  // 180 total
+  const auto outcomes = port.transmit(offered);
+  double delivered = 0.0;
+  double dropped = 0.0;
+  for (const auto& outcome : outcomes) {
+    delivered += outcome.delivered_gbps;
+    dropped += outcome.dropped_gbps;
+  }
+  EXPECT_NEAR(delivered, 100.0, 1e-9);
+  EXPECT_NEAR(delivered + dropped, 180.0, 1e-9);
+}
+
+TEST(PriorityQueueSwitch, DelayGrowsWithPriorityLevel) {
+  const PriorityQueueSwitch port(Gbps(100));
+  std::vector<double> offered(kQueueCount, 10.0);  // 90 total, no drops
+  const auto outcomes = port.transmit(offered);
+  for (std::size_t q = 1; q < kQueueCount; ++q) {
+    EXPECT_GE(outcomes[q].queue_delay_ms, outcomes[q - 1].queue_delay_ms);
+  }
+}
+
+TEST(PriorityQueueSwitch, DroppedQueueSeesMaxDelay) {
+  const PriorityQueueSwitch port(Gbps(100), 0.05, 20.0);
+  std::vector<double> offered(kQueueCount, 0.0);
+  offered[0] = 90.0;
+  offered[kNonConformingQueue] = 50.0;
+  const auto outcomes = port.transmit(offered);
+  EXPECT_DOUBLE_EQ(outcomes[kNonConformingQueue].queue_delay_ms, 20.0);
+  EXPECT_LT(outcomes[0].queue_delay_ms, 1.0);
+}
+
+TEST(PriorityQueueSwitch, LightLoadMeansLowDelay) {
+  const PriorityQueueSwitch port(Gbps(1000));
+  const auto outcomes = port.transmit(offered_with(0, 10.0));
+  EXPECT_LT(outcomes[0].queue_delay_ms, 0.01);
+}
+
+TEST(PriorityQueueSwitch, InvalidInputsRejected) {
+  EXPECT_THROW(PriorityQueueSwitch(Gbps(0)), ContractViolation);
+  const PriorityQueueSwitch port(Gbps(100));
+  const std::vector<double> wrong_size(3, 0.0);
+  EXPECT_THROW((void)port.transmit(wrong_size), ContractViolation);
+  std::vector<double> negative(kQueueCount, 0.0);
+  negative[0] = -1.0;
+  EXPECT_THROW((void)port.transmit(negative), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::enforce

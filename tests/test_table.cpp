@@ -1,0 +1,57 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace netent {
+namespace {
+
+TEST(Table, CsvOutput) {
+  Table table({"name", "value"}, 2);
+  table.add_row({std::string("a"), 1.5});
+  table.add_row({std::string("b"), 2.25});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "name,value\na,1.50\nb,2.25\n");
+}
+
+TEST(Table, PrettyOutputContainsAlignedHeaders) {
+  Table table({"col", "x"});
+  table.add_row({std::string("value"), 1.0});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, PrecisionRespected) {
+  Table table({"v"}, 4);
+  table.add_row({1.23456789});
+  std::ostringstream os;
+  table.print_csv(os);
+  EXPECT_EQ(os.str(), "v\n1.2346\n");
+}
+
+TEST(Table, RowWidthMismatchRejected) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({std::string("only-one")}), ContractViolation);
+}
+
+TEST(Table, EmptyHeadersRejected) {
+  EXPECT_THROW(Table({}), ContractViolation);
+}
+
+TEST(Table, RowCount) {
+  Table table({"a"});
+  EXPECT_EQ(table.row_count(), 0u);
+  table.add_row({1.0}).add_row({2.0});
+  EXPECT_EQ(table.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace netent

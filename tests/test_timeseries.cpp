@@ -1,0 +1,103 @@
+#include "traffic/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::traffic {
+namespace {
+
+TEST(TimeSeries, BasicAccessors) {
+  TimeSeries series(60.0, {1, 2, 3});
+  EXPECT_EQ(series.size(), 3u);
+  EXPECT_DOUBLE_EQ(series.step_seconds(), 60.0);
+  EXPECT_DOUBLE_EQ(series.duration_seconds(), 180.0);
+  EXPECT_DOUBLE_EQ(series[1], 2.0);
+  EXPECT_DOUBLE_EQ(series.total(), 6.0);
+  EXPECT_DOUBLE_EQ(series.peak(), 3.0);
+}
+
+TEST(TimeSeries, AtTimeNearestNeighborAndClamping) {
+  TimeSeries series(10.0, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(series.at_time(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(series.at_time(10.0), 2.0);
+  EXPECT_DOUBLE_EQ(series.at_time(14.0), 2.0);
+  EXPECT_DOUBLE_EQ(series.at_time(16.0), 3.0);
+  EXPECT_DOUBLE_EQ(series.at_time(-5.0), 1.0);   // clamps
+  EXPECT_DOUBLE_EQ(series.at_time(1e6), 3.0);    // clamps
+}
+
+TEST(TimeSeries, AdditionAndScaling) {
+  TimeSeries a(1.0, {1, 2});
+  const TimeSeries b(1.0, {10, 20});
+  a += b;
+  EXPECT_DOUBLE_EQ(a[0], 11.0);
+  a *= 2.0;
+  EXPECT_DOUBLE_EQ(a[1], 44.0);
+}
+
+TEST(TimeSeries, MismatchedAdditionRejected) {
+  TimeSeries a(1.0, {1, 2});
+  const TimeSeries b(2.0, {1, 2});
+  EXPECT_THROW(a += b, ContractViolation);
+}
+
+TEST(TimeSeries, DailyMeanAndMax) {
+  // 2 samples per day (step = 12h).
+  TimeSeries series(43200.0, {1, 3, 5, 7});
+  const auto daily_mean = series.daily(DailyAggregate::mean);
+  ASSERT_EQ(daily_mean.size(), 2u);
+  EXPECT_DOUBLE_EQ(daily_mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(daily_mean[1], 6.0);
+  const auto daily_max = series.daily(DailyAggregate::max);
+  EXPECT_DOUBLE_EQ(daily_max[0], 3.0);
+  EXPECT_DOUBLE_EQ(daily_max[1], 7.0);
+}
+
+TEST(TimeSeries, DailyHandlesPartialTrailingDay) {
+  TimeSeries series(43200.0, {1, 3, 9});
+  const auto daily = series.daily(DailyAggregate::mean);
+  ASSERT_EQ(daily.size(), 2u);
+  EXPECT_DOUBLE_EQ(daily[1], 9.0);
+}
+
+TEST(TimeSeries, DailyMaxAvg6hIsBetweenMeanAndMax) {
+  std::vector<double> day(288, 1.0);  // 5-min samples
+  for (int i = 100; i < 130; ++i) day[i] = 10.0;  // 2.5h burst
+  TimeSeries series(300.0, std::move(day));
+  const double avg6 = series.daily(DailyAggregate::max_avg_6h)[0];
+  const double mean_v = series.daily(DailyAggregate::mean)[0];
+  const double max_v = series.daily(DailyAggregate::max)[0];
+  EXPECT_GT(avg6, mean_v);
+  EXPECT_LT(avg6, max_v);
+}
+
+TEST(TimeSeries, DailyP99TracksSpikes) {
+  std::vector<double> day(288, 1.0);
+  for (int i = 7; i < 14; ++i) day[i] = 100.0;
+  TimeSeries series(300.0, std::move(day));
+  const double p99 = series.daily(DailyAggregate::p99)[0];
+  EXPECT_GT(p99, 50.0);
+}
+
+TEST(TimeSeries, DailyPercentileMedianOfConstantIsConstant) {
+  TimeSeries series(3600.0, std::vector<double>(48, 4.2));
+  const auto daily = series.daily_percentile(50.0);
+  ASSERT_EQ(daily.size(), 2u);
+  EXPECT_DOUBLE_EQ(daily[0], 4.2);
+}
+
+TEST(TimeSeries, DailyPercentileOrdering) {
+  std::vector<double> samples(24);
+  for (int i = 0; i < 24; ++i) samples[i] = static_cast<double>(i);
+  TimeSeries series(3600.0, std::move(samples));
+  EXPECT_LT(series.daily_percentile(50.0)[0], series.daily_percentile(75.0)[0]);
+  EXPECT_LT(series.daily_percentile(75.0)[0], series.daily_percentile(90.0)[0]);
+}
+
+TEST(TimeSeries, NonPositiveStepRejected) {
+  EXPECT_THROW(TimeSeries(0.0, {1.0}), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::traffic

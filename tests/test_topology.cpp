@@ -1,0 +1,117 @@
+#include "topology/topology.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "topology/paths.h"
+
+namespace netent::topology {
+namespace {
+
+Topology two_region_topo() {
+  Topology topo;
+  const RegionId a = topo.add_region("a", RegionKind::data_center);
+  const RegionId b = topo.add_region("b", RegionKind::pop);
+  topo.add_fiber(a, b, Gbps(100), 1000.0, 10.0);
+  return topo;
+}
+
+TEST(Topology, RegionsAndNames) {
+  const Topology topo = two_region_topo();
+  EXPECT_EQ(topo.region_count(), 2u);
+  EXPECT_EQ(topo.region(RegionId(0)).name, "a");
+  EXPECT_EQ(topo.region(RegionId(1)).kind, RegionKind::pop);
+  EXPECT_EQ(topo.find_region("b"), RegionId(1));
+  EXPECT_EQ(topo.find_region("missing"), std::nullopt);
+}
+
+TEST(Topology, FiberCreatesTwoDirectedLinksSharingSrlg) {
+  const Topology topo = two_region_topo();
+  ASSERT_EQ(topo.link_count(), 2u);
+  const Link& fwd = topo.link(LinkId(0));
+  const Link& rev = topo.link(LinkId(1));
+  EXPECT_EQ(fwd.src, RegionId(0));
+  EXPECT_EQ(fwd.dst, RegionId(1));
+  EXPECT_EQ(rev.src, RegionId(1));
+  EXPECT_EQ(rev.dst, RegionId(0));
+  EXPECT_EQ(fwd.srlg, rev.srlg);
+  EXPECT_EQ(fwd.reverse, rev.id);
+  EXPECT_EQ(rev.reverse, fwd.id);
+  EXPECT_EQ(topo.srlg_count(), 1u);
+}
+
+TEST(Topology, OutLinks) {
+  const Topology topo = two_region_topo();
+  ASSERT_EQ(topo.out_links(RegionId(0)).size(), 1u);
+  EXPECT_EQ(topo.out_links(RegionId(0))[0], LinkId(0));
+  ASSERT_EQ(topo.out_links(RegionId(1)).size(), 1u);
+  EXPECT_EQ(topo.out_links(RegionId(1))[0], LinkId(1));
+}
+
+TEST(Topology, TotalCapacityCountsBothDirections) {
+  const Topology topo = two_region_topo();
+  EXPECT_EQ(topo.total_capacity(), Gbps(200));
+}
+
+TEST(Topology, LinkUnavailabilityFormula) {
+  const Topology topo = two_region_topo();
+  // MTTR / (MTBF + MTTR) = 10 / 1010.
+  EXPECT_NEAR(link_unavailability(topo.link(LinkId(0))), 10.0 / 1010.0, 1e-12);
+}
+
+TEST(Topology, SelfLoopRejected) {
+  Topology topo;
+  const RegionId a = topo.add_region("a", RegionKind::data_center);
+  EXPECT_THROW(topo.add_fiber(a, a, Gbps(1), 1.0, 1.0), ContractViolation);
+}
+
+TEST(Topology, InvalidRegionRejected) {
+  Topology topo;
+  const RegionId a = topo.add_region("a", RegionKind::data_center);
+  EXPECT_THROW(topo.add_fiber(a, RegionId(5), Gbps(1), 1.0, 1.0), ContractViolation);
+}
+
+TEST(Topology, NonPositiveCapacityRejected) {
+  Topology topo;
+  const RegionId a = topo.add_region("a", RegionKind::data_center);
+  const RegionId b = topo.add_region("b", RegionKind::data_center);
+  EXPECT_THROW(topo.add_fiber(a, b, Gbps(0), 1.0, 1.0), ContractViolation);
+}
+
+TEST(Topology, ConduitFibersShareSrlgAndReliability) {
+  Topology topo;
+  const RegionId a = topo.add_region("a", RegionKind::data_center);
+  const RegionId b = topo.add_region("b", RegionKind::data_center);
+  const LinkId first = topo.add_fiber(a, b, Gbps(100), 1000.0, 10.0);
+  const LinkId second = topo.add_fiber_in_conduit(a, b, Gbps(50), first);
+  EXPECT_EQ(topo.link(first).srlg, topo.link(second).srlg);
+  EXPECT_EQ(topo.srlg_count(), 1u);  // one conduit, one risk group
+  EXPECT_DOUBLE_EQ(topo.link(second).mtbf_hours, 1000.0);
+  EXPECT_DOUBLE_EQ(topo.link(second).mttr_hours, 10.0);
+  EXPECT_EQ(topo.link(second).capacity, Gbps(50));
+}
+
+TEST(Topology, ConduitCutTakesOutBothFibers) {
+  Topology topo;
+  const RegionId a = topo.add_region("a", RegionKind::data_center);
+  const RegionId b = topo.add_region("b", RegionKind::data_center);
+  const LinkId first = topo.add_fiber(a, b, Gbps(100), 1000.0, 10.0);
+  topo.add_fiber_in_conduit(a, b, Gbps(100), first);
+  const auto filter = exclude_srlgs({topo.link(first).srlg});
+  for (const Link& link : topo.links()) {
+    EXPECT_FALSE(filter(link)) << "every fiber in the conduit must be down";
+  }
+}
+
+TEST(Topology, ParallelFibersGetDistinctSrlgs) {
+  Topology topo;
+  const RegionId a = topo.add_region("a", RegionKind::data_center);
+  const RegionId b = topo.add_region("b", RegionKind::data_center);
+  topo.add_fiber(a, b, Gbps(100), 1000.0, 10.0);
+  topo.add_fiber(a, b, Gbps(100), 1000.0, 10.0);
+  EXPECT_EQ(topo.srlg_count(), 2u);
+  EXPECT_NE(topo.link(LinkId(0)).srlg, topo.link(LinkId(2)).srlg);
+}
+
+}  // namespace
+}  // namespace netent::topology

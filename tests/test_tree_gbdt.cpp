@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "forecast/gbdt.h"
+#include "forecast/tree.h"
+
+namespace netent::forecast {
+namespace {
+
+TEST(RegressionTree, LearnsStepFunction) {
+  Matrix x(100, 1);
+  std::vector<double> y(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = i < 50 ? 1.0 : 5.0;
+  }
+  const auto tree = RegressionTree::fit(x, y, TreeConfig{});
+  const std::vector<double> lo{10.0};
+  const std::vector<double> hi{90.0};
+  EXPECT_NEAR(tree.predict(lo), 1.0, 1e-9);
+  EXPECT_NEAR(tree.predict(hi), 5.0, 1e-9);
+}
+
+TEST(RegressionTree, SingleSampleIsLeaf) {
+  Matrix x(1, 2);
+  const std::vector<double> y{3.5};
+  const auto tree = RegressionTree::fit(x, y, TreeConfig{});
+  EXPECT_EQ(tree.leaf_count(), 1u);
+  const std::vector<double> any{0.0, 0.0};
+  EXPECT_DOUBLE_EQ(tree.predict(any), 3.5);
+}
+
+TEST(RegressionTree, RespectsMaxDepth) {
+  Matrix x(64, 1);
+  std::vector<double> y(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    x(i, 0) = static_cast<double>(i);
+    y[i] = static_cast<double>(i);
+  }
+  TreeConfig config;
+  config.max_depth = 2;
+  config.min_samples_leaf = 1;
+  const auto tree = RegressionTree::fit(x, y, config);
+  EXPECT_LE(tree.leaf_count(), 4u);  // 2^depth
+}
+
+TEST(RegressionTree, ChoosesInformativeFeature) {
+  // Feature 1 is pure noise, feature 0 carries the signal.
+  Rng rng(1);
+  Matrix x(200, 2);
+  std::vector<double> y(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    x(i, 1) = rng.uniform(0.0, 1.0);
+    y[i] = x(i, 0) > 0.5 ? 10.0 : 0.0;
+  }
+  const auto tree = RegressionTree::fit(x, y, TreeConfig{});
+  const std::vector<double> a{0.9, 0.1};
+  const std::vector<double> b{0.1, 0.9};
+  EXPECT_GT(tree.predict(a), 8.0);
+  EXPECT_LT(tree.predict(b), 2.0);
+}
+
+TEST(RegressionTree, LeafValueOverride) {
+  Matrix x(10, 1);
+  std::vector<double> y(10, 1.0);
+  auto tree = RegressionTree::fit(x, y, TreeConfig{});
+  ASSERT_EQ(tree.leaf_count(), 1u);
+  tree.set_leaf_value(0, 42.0);
+  const std::vector<double> any{0.0};
+  EXPECT_DOUBLE_EQ(tree.predict(any), 42.0);
+}
+
+TEST(QuantileGbdt, MedianFitsNoiselessFunction) {
+  Matrix x(256, 1);
+  std::vector<double> y(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    x(i, 0) = static_cast<double>(i) / 256.0;
+    y[i] = 3.0 * x(i, 0);
+  }
+  GbdtConfig config;
+  config.rounds = 100;
+  const auto model = QuantileGbdt::fit(x, y, config);
+  for (double v : {0.1, 0.5, 0.9}) {
+    const std::vector<double> features{v};
+    EXPECT_NEAR(model.predict(features), 3.0 * v, 0.15);
+  }
+}
+
+TEST(QuantileGbdt, AlphaControlsQuantile) {
+  // Heteroskedastic noise: higher alpha must give systematically higher
+  // predictions.
+  Rng rng(2);
+  Matrix x(800, 1);
+  std::vector<double> y(800);
+  for (std::size_t i = 0; i < 800; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    y[i] = 10.0 + 4.0 * rng.normal();
+  }
+  GbdtConfig lo_config;
+  lo_config.alpha = 0.1;
+  GbdtConfig hi_config;
+  hi_config.alpha = 0.9;
+  const auto lo = QuantileGbdt::fit(x, y, lo_config);
+  const auto hi = QuantileGbdt::fit(x, y, hi_config);
+  const std::vector<double> probe{0.5};
+  EXPECT_LT(lo.predict(probe), 10.0);
+  EXPECT_GT(hi.predict(probe), 10.0);
+  EXPECT_GT(hi.predict(probe) - lo.predict(probe), 4.0);
+}
+
+TEST(QuantileGbdt, MedianCoverageProperty) {
+  // About half the training targets should sit below the alpha=0.5 fit.
+  Rng rng(3);
+  Matrix x(500, 1);
+  std::vector<double> y(500);
+  for (std::size_t i = 0; i < 500; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    y[i] = 5.0 * x(i, 0) + rng.normal();
+  }
+  const auto model = QuantileGbdt::fit(x, y, GbdtConfig{});
+  const auto pred = model.predict_all(x);
+  int below = 0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    if (y[i] <= pred[i]) ++below;
+  }
+  EXPECT_NEAR(static_cast<double>(below) / 500.0, 0.5, 0.08);
+}
+
+TEST(QuantileGbdt, TreeCountMatchesRounds) {
+  Matrix x(32, 1);
+  std::vector<double> y(32, 1.0);
+  GbdtConfig config;
+  config.rounds = 17;
+  const auto model = QuantileGbdt::fit(x, y, config);
+  EXPECT_EQ(model.tree_count(), 17u);
+}
+
+/// Parameterized sweep: monotonicity of predicted quantiles in alpha.
+class GbdtAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GbdtAlphaSweep, PredictionWithinDataRange) {
+  Rng rng(4);
+  Matrix x(300, 1);
+  std::vector<double> y(300);
+  for (std::size_t i = 0; i < 300; ++i) {
+    x(i, 0) = rng.uniform(0.0, 1.0);
+    y[i] = rng.uniform(0.0, 100.0);
+  }
+  GbdtConfig config;
+  config.alpha = GetParam();
+  const auto model = QuantileGbdt::fit(x, y, config);
+  const std::vector<double> probe{0.5};
+  const double pred = model.predict(probe);
+  EXPECT_GE(pred, -5.0);
+  EXPECT_LE(pred, 105.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GbdtAlphaSweep, ::testing::Values(0.1, 0.25, 0.5, 0.75, 0.9));
+
+}  // namespace
+}  // namespace netent::forecast

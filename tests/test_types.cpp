@@ -1,0 +1,66 @@
+#include "common/types.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace netent {
+namespace {
+
+TEST(StrongId, DistinctTagsDoNotCompare) {
+  const RegionId region(3);
+  const NpgId npg(3);
+  EXPECT_EQ(region.value(), npg.value());
+  // RegionId and NpgId are different types; this is a compile-time property.
+  static_assert(!std::is_same_v<RegionId, NpgId>);
+}
+
+TEST(StrongId, Ordering) {
+  EXPECT_LT(RegionId(1), RegionId(2));
+  EXPECT_EQ(RegionId(5), RegionId(5));
+}
+
+TEST(StrongId, Hashable) {
+  std::unordered_set<HostId> hosts;
+  hosts.insert(HostId(1));
+  hosts.insert(HostId(2));
+  hosts.insert(HostId(1));
+  EXPECT_EQ(hosts.size(), 2u);
+}
+
+TEST(StrongId, Streaming) {
+  std::ostringstream os;
+  os << LinkId(17);
+  EXPECT_EQ(os.str(), "17");
+}
+
+TEST(QosClass, PriorityOrderIsMonotone) {
+  const auto order = qos_priority_order();
+  ASSERT_EQ(order.size(), kQosClassCount);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    EXPECT_TRUE(higher_priority(order[i], order[i + 1]))
+        << to_string(order[i]) << " should outrank " << to_string(order[i + 1]);
+  }
+}
+
+TEST(QosClass, MostAndLeastPremium) {
+  const auto order = qos_priority_order();
+  EXPECT_EQ(order.front(), QosClass::c1_low);
+  EXPECT_EQ(order.back(), QosClass::c4_high);
+}
+
+TEST(QosClass, ToStringCoversAll) {
+  std::unordered_set<std::string> names;
+  for (const QosClass qos : qos_priority_order()) names.insert(to_string(qos));
+  EXPECT_EQ(names.size(), kQosClassCount);
+}
+
+TEST(QosClass, HigherPriorityIsIrreflexive) {
+  for (const QosClass qos : qos_priority_order()) {
+    EXPECT_FALSE(higher_priority(qos, qos));
+  }
+}
+
+}  // namespace
+}  // namespace netent

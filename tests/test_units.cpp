@@ -1,0 +1,81 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netent {
+namespace {
+
+TEST(Gbps, DefaultIsZero) { EXPECT_EQ(Gbps().value(), 0.0); }
+
+TEST(Gbps, LiteralsConstruct) {
+  EXPECT_DOUBLE_EQ((5_gbps).value(), 5.0);
+  EXPECT_DOUBLE_EQ((2.5_gbps).value(), 2.5);
+  EXPECT_DOUBLE_EQ((3_tbps).value(), 3000.0);
+  EXPECT_DOUBLE_EQ((1.5_tbps).value(), 1500.0);
+}
+
+TEST(Gbps, UnitConversions) {
+  const Gbps rate(1234.0);
+  EXPECT_DOUBLE_EQ(rate.tbps(), 1.234);
+  EXPECT_DOUBLE_EQ(rate.mbps(), 1234000.0);
+  EXPECT_DOUBLE_EQ(rate.bits_per_sec(), 1.234e12);
+}
+
+TEST(Gbps, Arithmetic) {
+  EXPECT_EQ(Gbps(3) + Gbps(4), Gbps(7));
+  EXPECT_EQ(Gbps(10) - Gbps(4), Gbps(6));
+  EXPECT_EQ(Gbps(3) * 2.0, Gbps(6));
+  EXPECT_EQ(2.0 * Gbps(3), Gbps(6));
+  EXPECT_EQ(Gbps(8) / 2.0, Gbps(4));
+}
+
+TEST(Gbps, RatioIsDimensionless) { EXPECT_DOUBLE_EQ(Gbps(6) / Gbps(4), 1.5); }
+
+TEST(Gbps, CompoundAssignment) {
+  Gbps rate(10);
+  rate += Gbps(5);
+  EXPECT_EQ(rate, Gbps(15));
+  rate -= Gbps(3);
+  EXPECT_EQ(rate, Gbps(12));
+  rate *= 2.0;
+  EXPECT_EQ(rate, Gbps(24));
+  rate /= 4.0;
+  EXPECT_EQ(rate, Gbps(6));
+}
+
+TEST(Gbps, Ordering) {
+  EXPECT_LT(Gbps(1), Gbps(2));
+  EXPECT_GT(Gbps(3), Gbps(2));
+  EXPECT_LE(Gbps(2), Gbps(2));
+}
+
+TEST(Gbps, MinMaxAbs) {
+  EXPECT_EQ(min(Gbps(1), Gbps(2)), Gbps(1));
+  EXPECT_EQ(max(Gbps(1), Gbps(2)), Gbps(2));
+  EXPECT_EQ(abs(Gbps(-3)), Gbps(3));
+  EXPECT_EQ(abs(Gbps(3)), Gbps(3));
+}
+
+TEST(Gbps, Streaming) {
+  std::ostringstream os;
+  os << Gbps(42);
+  EXPECT_EQ(os.str(), "42Gbps");
+}
+
+TEST(SimTime, ConversionsAndLiterals) {
+  EXPECT_DOUBLE_EQ((30_min).seconds(), 1800.0);
+  EXPECT_DOUBLE_EQ(SimTime(7200).hours(), 2.0);
+  EXPECT_DOUBLE_EQ(SimTime(90).minutes(), 1.5);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime t(100);
+  EXPECT_DOUBLE_EQ((t + 50.0).seconds(), 150.0);
+  EXPECT_DOUBLE_EQ(SimTime(130) - SimTime(100), 30.0);
+  EXPECT_LT(SimTime(1), SimTime(2));
+}
+
+}  // namespace
+}  // namespace netent

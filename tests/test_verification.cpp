@@ -1,0 +1,120 @@
+#include "risk/verification.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "topology/generator.h"
+
+namespace netent::risk {
+namespace {
+
+using approval::ApprovalConfig;
+using approval::ApprovalEngine;
+using approval::PipeApprovalResult;
+using hose::PipeRequest;
+using topology::RegionKind;
+using topology::Router;
+using topology::Topology;
+
+Topology two_fiber_topo() {
+  Topology topo;
+  topo.add_region("a", RegionKind::data_center);
+  topo.add_region("b", RegionKind::data_center);
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(100), 990.0, 10.0);  // u=0.01
+  topo.add_fiber(RegionId(0), RegionId(1), Gbps(100), 980.0, 20.0);  // u=0.02
+  return topo;
+}
+
+TEST(SloVerifier, AttainmentMatchesAnalyticAvailability) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  const auto scenarios = enumerate_scenarios(topo, ScenarioConfig{});
+  const SloVerifier verifier(router, scenarios);
+
+  // 100 Gbps approved: survives any single fiber cut.
+  std::vector<PipeApprovalResult> approvals(1);
+  approvals[0].request = PipeRequest{NpgId(1), QosClass::c1_low, RegionId(0), RegionId(1),
+                                     Gbps(100)};
+  approvals[0].approved = Gbps(100);
+  const auto attainments = verifier.verify(approvals);
+  ASSERT_EQ(attainments.size(), 1u);
+  EXPECT_NEAR(attainments[0].achieved_availability, 1.0 - 0.01 * 0.02, 1e-9);
+}
+
+TEST(SloVerifier, ZeroApprovedPipesSkipped) {
+  const Topology topo = two_fiber_topo();
+  Router router(topo, 3);
+  const SloVerifier verifier(router, enumerate_scenarios(topo, ScenarioConfig{}));
+  std::vector<PipeApprovalResult> approvals(2);
+  approvals[0].request = PipeRequest{NpgId(1), QosClass::c1_low, RegionId(0), RegionId(1),
+                                     Gbps(100)};
+  approvals[0].approved = Gbps(0);
+  approvals[1].request = PipeRequest{NpgId(2), QosClass::c1_low, RegionId(0), RegionId(1),
+                                     Gbps(50)};
+  approvals[1].approved = Gbps(50);
+  const auto attainments = verifier.verify(approvals);
+  ASSERT_EQ(attainments.size(), 1u);
+  EXPECT_EQ(attainments[0].request.npg, NpgId(2));
+}
+
+TEST(SloVerifier, PerClassAggregation) {
+  std::vector<PipeAttainment> attainments;
+  attainments.push_back({{NpgId(1), QosClass::c1_low, RegionId(0), RegionId(1), Gbps(10)},
+                         Gbps(10), 0.999});
+  attainments.push_back({{NpgId(2), QosClass::c1_low, RegionId(0), RegionId(1), Gbps(10)},
+                         Gbps(10), 0.997});
+  attainments.push_back({{NpgId(3), QosClass::c3_low, RegionId(0), RegionId(1), Gbps(10)},
+                         Gbps(10), 0.9});
+  const auto classes = SloVerifier::per_class(attainments);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0].qos, QosClass::c1_low);
+  EXPECT_EQ(classes[0].pipes, 2u);
+  EXPECT_NEAR(classes[0].worst_availability, 0.997, 1e-12);
+  EXPECT_NEAR(classes[0].mean_availability, 0.998, 1e-12);
+  EXPECT_EQ(classes[1].qos, QosClass::c3_low);
+}
+
+/// THE granting invariant: whatever the approval engine guarantees at SLO
+/// target theta is achieved with availability >= theta when replayed against
+/// the same scenario distribution.
+class GrantingInvariant : public ::testing::TestWithParam<double> {};
+
+TEST_P(GrantingInvariant, AchievedAtLeastPromised) {
+  const double slo = GetParam();
+  Rng rng(33);
+  topology::GeneratorConfig gen;
+  gen.region_count = 7;
+  gen.max_parallel_fibers = 2;
+  const Topology topo = topology::generate_backbone(gen, rng);
+  Router router(topo, 3);
+
+  // A demanding request mix across classes.
+  std::vector<PipeRequest> pipes;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    const auto s = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    auto d = static_cast<std::uint32_t>(rng.uniform_int(topo.region_count()));
+    if (d == s) d = (d + 1) % static_cast<std::uint32_t>(topo.region_count());
+    const auto qos = static_cast<QosClass>(rng.uniform_int(kQosClassCount));
+    pipes.push_back({NpgId(i), qos, RegionId(s), RegionId(d), Gbps(rng.uniform(50.0, 600.0))});
+  }
+
+  ApprovalConfig config;
+  config.slo_availability = slo;
+  config.scenarios.max_simultaneous = 2;
+  const ApprovalEngine engine(router, config);
+  const auto approvals = engine.pipe_approval(pipes);
+
+  const SloVerifier verifier(router, enumerate_scenarios(topo, config.scenarios));
+  const auto attainments = verifier.verify(approvals);
+  for (const PipeAttainment& attainment : attainments) {
+    EXPECT_GE(attainment.achieved_availability, slo - 1e-9)
+        << "pipe " << attainment.request.npg << " promised " << slo << " but achieves "
+        << attainment.achieved_availability;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SloTargets, GrantingInvariant,
+                         ::testing::Values(0.9, 0.99, 0.999, 0.9998));
+
+}  // namespace
+}  // namespace netent::risk

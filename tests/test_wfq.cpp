@@ -1,0 +1,82 @@
+#include "enforce/wfq.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace netent::enforce {
+namespace {
+
+TEST(WeightedFairSwitch, UnderloadedDeliversEverything) {
+  const WeightedFairSwitch port(Gbps(100), {0.5, 0.5});
+  const std::vector<double> offered{30.0, 40.0};
+  const auto outcomes = port.transmit(offered);
+  EXPECT_DOUBLE_EQ(outcomes[0].delivered_gbps, 30.0);
+  EXPECT_DOUBLE_EQ(outcomes[1].delivered_gbps, 40.0);
+}
+
+TEST(WeightedFairSwitch, GuaranteedSharesUnderOverload) {
+  const WeightedFairSwitch port(Gbps(100), {0.6, 0.4});
+  const std::vector<double> offered{200.0, 200.0};
+  const auto outcomes = port.transmit(offered);
+  EXPECT_NEAR(outcomes[0].delivered_gbps, 60.0, 1e-6);
+  EXPECT_NEAR(outcomes[1].delivered_gbps, 40.0, 1e-6);
+  EXPECT_NEAR(outcomes[0].dropped_gbps, 140.0, 1e-6);
+}
+
+TEST(WeightedFairSwitch, WorkConservingRedistribution) {
+  // Queue 0 uses only 10 of its 60 share; queue 1 absorbs the leftover.
+  const WeightedFairSwitch port(Gbps(100), {0.6, 0.4});
+  const std::vector<double> offered{10.0, 200.0};
+  const auto outcomes = port.transmit(offered);
+  EXPECT_DOUBLE_EQ(outcomes[0].delivered_gbps, 10.0);
+  EXPECT_NEAR(outcomes[1].delivered_gbps, 90.0, 1e-6);
+}
+
+TEST(WeightedFairSwitch, WeightsNormalized) {
+  const WeightedFairSwitch a(Gbps(100), {3.0, 2.0});
+  const WeightedFairSwitch b(Gbps(100), {0.6, 0.4});
+  const std::vector<double> offered{200.0, 200.0};
+  const auto oa = a.transmit(offered);
+  const auto ob = b.transmit(offered);
+  EXPECT_NEAR(oa[0].delivered_gbps, ob[0].delivered_gbps, 1e-9);
+}
+
+TEST(WeightedFairSwitch, ConservationHolds) {
+  const WeightedFairSwitch port(Gbps(100), {0.2, 0.3, 0.5});
+  const std::vector<double> offered{80.0, 10.0, 70.0};
+  const auto outcomes = port.transmit(offered);
+  double delivered = 0.0;
+  for (std::size_t q = 0; q < 3; ++q) {
+    delivered += outcomes[q].delivered_gbps;
+    EXPECT_NEAR(outcomes[q].delivered_gbps + outcomes[q].dropped_gbps, offered[q], 1e-9);
+  }
+  EXPECT_LE(delivered, 100.0 + 1e-9);
+  EXPECT_NEAR(delivered, 100.0, 1e-6);  // demand exceeds capacity: fully used
+}
+
+TEST(WeightedFairSwitch, CrossClassIsolation) {
+  // §2.2 semantics: a surge in queue 0 cannot take queue 1 below its share.
+  const WeightedFairSwitch port(Gbps(100), {0.5, 0.5});
+  const std::vector<double> calm{45.0, 45.0};
+  const std::vector<double> surge{500.0, 45.0};
+  const auto calm_out = port.transmit(calm);
+  const auto surge_out = port.transmit(surge);
+  EXPECT_DOUBLE_EQ(calm_out[1].delivered_gbps, 45.0);
+  EXPECT_NEAR(surge_out[1].delivered_gbps, 45.0, 1e-6)
+      << "queue 1 must keep its share during queue 0's surge";
+}
+
+TEST(WeightedFairSwitch, InvalidInputsRejected) {
+  EXPECT_THROW(WeightedFairSwitch(Gbps(0), {1.0}), ContractViolation);
+  EXPECT_THROW(WeightedFairSwitch(Gbps(1), {}), ContractViolation);
+  EXPECT_THROW(WeightedFairSwitch(Gbps(1), {1.0, 0.0}), ContractViolation);
+  const WeightedFairSwitch port(Gbps(100), {1.0, 1.0});
+  const std::vector<double> wrong{1.0};
+  EXPECT_THROW((void)port.transmit(wrong), ContractViolation);
+  const std::vector<double> negative{1.0, -1.0};
+  EXPECT_THROW((void)port.transmit(negative), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::enforce
