@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_storage_patterns.dir/bench_fig03_storage_patterns.cpp.o"
+  "CMakeFiles/bench_fig03_storage_patterns.dir/bench_fig03_storage_patterns.cpp.o.d"
+  "bench_fig03_storage_patterns"
+  "bench_fig03_storage_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_storage_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

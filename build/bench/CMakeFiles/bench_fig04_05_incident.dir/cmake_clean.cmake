@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_05_incident.dir/bench_fig04_05_incident.cpp.o"
+  "CMakeFiles/bench_fig04_05_incident.dir/bench_fig04_05_incident.cpp.o.d"
+  "bench_fig04_05_incident"
+  "bench_fig04_05_incident.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_05_incident.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_14_drill_network.dir/bench_fig11_14_drill_network.cpp.o"
+  "CMakeFiles/bench_fig11_14_drill_network.dir/bench_fig11_14_drill_network.cpp.o.d"
+  "bench_fig11_14_drill_network"
+  "bench_fig11_14_drill_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_14_drill_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

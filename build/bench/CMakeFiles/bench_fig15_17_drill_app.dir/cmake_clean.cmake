@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_17_drill_app.dir/bench_fig15_17_drill_app.cpp.o"
+  "CMakeFiles/bench_fig15_17_drill_app.dir/bench_fig15_17_drill_app.cpp.o.d"
+  "bench_fig15_17_drill_app"
+  "bench_fig15_17_drill_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_17_drill_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

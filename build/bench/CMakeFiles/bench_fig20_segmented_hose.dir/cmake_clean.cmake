@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig20_segmented_hose.dir/bench_fig20_segmented_hose.cpp.o"
+  "CMakeFiles/bench_fig20_segmented_hose.dir/bench_fig20_segmented_hose.cpp.o.d"
+  "bench_fig20_segmented_hose"
+  "bench_fig20_segmented_hose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig20_segmented_hose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_approval_vs_slo.dir/bench_fig22_approval_vs_slo.cpp.o"
+  "CMakeFiles/bench_fig22_approval_vs_slo.dir/bench_fig22_approval_vs_slo.cpp.o.d"
+  "bench_fig22_approval_vs_slo"
+  "bench_fig22_approval_vs_slo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_approval_vs_slo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

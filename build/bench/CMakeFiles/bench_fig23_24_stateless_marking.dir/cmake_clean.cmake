@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_24_stateless_marking.dir/bench_fig23_24_stateless_marking.cpp.o"
+  "CMakeFiles/bench_fig23_24_stateless_marking.dir/bench_fig23_24_stateless_marking.cpp.o.d"
+  "bench_fig23_24_stateless_marking"
+  "bench_fig23_24_stateless_marking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_24_stateless_marking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

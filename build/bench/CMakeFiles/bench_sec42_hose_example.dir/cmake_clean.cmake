@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec42_hose_example.dir/bench_sec42_hose_example.cpp.o"
+  "CMakeFiles/bench_sec42_hose_example.dir/bench_sec42_hose_example.cpp.o.d"
+  "bench_sec42_hose_example"
+  "bench_sec42_hose_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec42_hose_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slo_verification.dir/bench_slo_verification.cpp.o"
+  "CMakeFiles/bench_slo_verification.dir/bench_slo_verification.cpp.o.d"
+  "bench_slo_verification"
+  "bench_slo_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slo_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

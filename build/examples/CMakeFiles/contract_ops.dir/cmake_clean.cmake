@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/contract_ops.dir/contract_ops.cpp.o"
+  "CMakeFiles/contract_ops.dir/contract_ops.cpp.o.d"
+  "contract_ops"
+  "contract_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/contract_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

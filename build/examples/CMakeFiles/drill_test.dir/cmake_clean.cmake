@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drill_test.dir/drill_test.cpp.o"
+  "CMakeFiles/drill_test.dir/drill_test.cpp.o.d"
+  "drill_test"
+  "drill_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_year_operation.dir/two_year_operation.cpp.o"
+  "CMakeFiles/two_year_operation.dir/two_year_operation.cpp.o.d"
+  "two_year_operation"
+  "two_year_operation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_year_operation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_approval.dir/approval.cpp.o"
+  "CMakeFiles/netent_approval.dir/approval.cpp.o.d"
+  "CMakeFiles/netent_approval.dir/negotiation.cpp.o"
+  "CMakeFiles/netent_approval.dir/negotiation.cpp.o.d"
+  "libnetent_approval.a"
+  "libnetent_approval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_approval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_common.dir/matrix.cpp.o"
+  "CMakeFiles/netent_common.dir/matrix.cpp.o.d"
+  "CMakeFiles/netent_common.dir/stats.cpp.o"
+  "CMakeFiles/netent_common.dir/stats.cpp.o.d"
+  "CMakeFiles/netent_common.dir/table.cpp.o"
+  "CMakeFiles/netent_common.dir/table.cpp.o.d"
+  "libnetent_common.a"
+  "libnetent_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

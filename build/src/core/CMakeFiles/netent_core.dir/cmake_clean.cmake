@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_core.dir/contract_db.cpp.o"
+  "CMakeFiles/netent_core.dir/contract_db.cpp.o.d"
+  "CMakeFiles/netent_core.dir/lifecycle.cpp.o"
+  "CMakeFiles/netent_core.dir/lifecycle.cpp.o.d"
+  "CMakeFiles/netent_core.dir/manager.cpp.o"
+  "CMakeFiles/netent_core.dir/manager.cpp.o.d"
+  "CMakeFiles/netent_core.dir/report.cpp.o"
+  "CMakeFiles/netent_core.dir/report.cpp.o.d"
+  "CMakeFiles/netent_core.dir/serialize.cpp.o"
+  "CMakeFiles/netent_core.dir/serialize.cpp.o.d"
+  "libnetent_core.a"
+  "libnetent_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

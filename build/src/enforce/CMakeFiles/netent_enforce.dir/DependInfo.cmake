@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/enforce/agent.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/agent.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/agent.cpp.o.d"
+  "/root/repo/src/enforce/bpf.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/bpf.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/bpf.cpp.o.d"
+  "/root/repo/src/enforce/centralized.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/centralized.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/centralized.cpp.o.d"
+  "/root/repo/src/enforce/ingress_meter.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/ingress_meter.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/ingress_meter.cpp.o.d"
+  "/root/repo/src/enforce/marker.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/marker.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/marker.cpp.o.d"
+  "/root/repo/src/enforce/meter.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/meter.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/meter.cpp.o.d"
+  "/root/repo/src/enforce/ratestore.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/ratestore.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/ratestore.cpp.o.d"
+  "/root/repo/src/enforce/switchport.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/switchport.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/switchport.cpp.o.d"
+  "/root/repo/src/enforce/wfq.cpp" "src/enforce/CMakeFiles/netent_enforce.dir/wfq.cpp.o" "gcc" "src/enforce/CMakeFiles/netent_enforce.dir/wfq.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netent_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_enforce.dir/agent.cpp.o"
+  "CMakeFiles/netent_enforce.dir/agent.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/bpf.cpp.o"
+  "CMakeFiles/netent_enforce.dir/bpf.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/centralized.cpp.o"
+  "CMakeFiles/netent_enforce.dir/centralized.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/ingress_meter.cpp.o"
+  "CMakeFiles/netent_enforce.dir/ingress_meter.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/marker.cpp.o"
+  "CMakeFiles/netent_enforce.dir/marker.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/meter.cpp.o"
+  "CMakeFiles/netent_enforce.dir/meter.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/ratestore.cpp.o"
+  "CMakeFiles/netent_enforce.dir/ratestore.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/switchport.cpp.o"
+  "CMakeFiles/netent_enforce.dir/switchport.cpp.o.d"
+  "CMakeFiles/netent_enforce.dir/wfq.cpp.o"
+  "CMakeFiles/netent_enforce.dir/wfq.cpp.o.d"
+  "libnetent_enforce.a"
+  "libnetent_enforce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_enforce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

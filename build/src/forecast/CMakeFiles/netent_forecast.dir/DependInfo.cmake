@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/forecast/backtest.cpp" "src/forecast/CMakeFiles/netent_forecast.dir/backtest.cpp.o" "gcc" "src/forecast/CMakeFiles/netent_forecast.dir/backtest.cpp.o.d"
+  "/root/repo/src/forecast/gbdt.cpp" "src/forecast/CMakeFiles/netent_forecast.dir/gbdt.cpp.o" "gcc" "src/forecast/CMakeFiles/netent_forecast.dir/gbdt.cpp.o.d"
+  "/root/repo/src/forecast/prophet.cpp" "src/forecast/CMakeFiles/netent_forecast.dir/prophet.cpp.o" "gcc" "src/forecast/CMakeFiles/netent_forecast.dir/prophet.cpp.o.d"
+  "/root/repo/src/forecast/sli.cpp" "src/forecast/CMakeFiles/netent_forecast.dir/sli.cpp.o" "gcc" "src/forecast/CMakeFiles/netent_forecast.dir/sli.cpp.o.d"
+  "/root/repo/src/forecast/tree.cpp" "src/forecast/CMakeFiles/netent_forecast.dir/tree.cpp.o" "gcc" "src/forecast/CMakeFiles/netent_forecast.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netent_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/netent_traffic.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netent_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_forecast.dir/backtest.cpp.o"
+  "CMakeFiles/netent_forecast.dir/backtest.cpp.o.d"
+  "CMakeFiles/netent_forecast.dir/gbdt.cpp.o"
+  "CMakeFiles/netent_forecast.dir/gbdt.cpp.o.d"
+  "CMakeFiles/netent_forecast.dir/prophet.cpp.o"
+  "CMakeFiles/netent_forecast.dir/prophet.cpp.o.d"
+  "CMakeFiles/netent_forecast.dir/sli.cpp.o"
+  "CMakeFiles/netent_forecast.dir/sli.cpp.o.d"
+  "CMakeFiles/netent_forecast.dir/tree.cpp.o"
+  "CMakeFiles/netent_forecast.dir/tree.cpp.o.d"
+  "libnetent_forecast.a"
+  "libnetent_forecast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_forecast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

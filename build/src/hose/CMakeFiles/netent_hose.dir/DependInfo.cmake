@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hose/balance.cpp" "src/hose/CMakeFiles/netent_hose.dir/balance.cpp.o" "gcc" "src/hose/CMakeFiles/netent_hose.dir/balance.cpp.o.d"
+  "/root/repo/src/hose/cluster.cpp" "src/hose/CMakeFiles/netent_hose.dir/cluster.cpp.o" "gcc" "src/hose/CMakeFiles/netent_hose.dir/cluster.cpp.o.d"
+  "/root/repo/src/hose/coverage.cpp" "src/hose/CMakeFiles/netent_hose.dir/coverage.cpp.o" "gcc" "src/hose/CMakeFiles/netent_hose.dir/coverage.cpp.o.d"
+  "/root/repo/src/hose/requests.cpp" "src/hose/CMakeFiles/netent_hose.dir/requests.cpp.o" "gcc" "src/hose/CMakeFiles/netent_hose.dir/requests.cpp.o.d"
+  "/root/repo/src/hose/segmented.cpp" "src/hose/CMakeFiles/netent_hose.dir/segmented.cpp.o" "gcc" "src/hose/CMakeFiles/netent_hose.dir/segmented.cpp.o.d"
+  "/root/repo/src/hose/space.cpp" "src/hose/CMakeFiles/netent_hose.dir/space.cpp.o" "gcc" "src/hose/CMakeFiles/netent_hose.dir/space.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netent_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netent_topology.dir/DependInfo.cmake"
+  "/root/repo/build/src/traffic/CMakeFiles/netent_traffic.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

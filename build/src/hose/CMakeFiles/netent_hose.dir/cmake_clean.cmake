@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_hose.dir/balance.cpp.o"
+  "CMakeFiles/netent_hose.dir/balance.cpp.o.d"
+  "CMakeFiles/netent_hose.dir/cluster.cpp.o"
+  "CMakeFiles/netent_hose.dir/cluster.cpp.o.d"
+  "CMakeFiles/netent_hose.dir/coverage.cpp.o"
+  "CMakeFiles/netent_hose.dir/coverage.cpp.o.d"
+  "CMakeFiles/netent_hose.dir/requests.cpp.o"
+  "CMakeFiles/netent_hose.dir/requests.cpp.o.d"
+  "CMakeFiles/netent_hose.dir/segmented.cpp.o"
+  "CMakeFiles/netent_hose.dir/segmented.cpp.o.d"
+  "CMakeFiles/netent_hose.dir/space.cpp.o"
+  "CMakeFiles/netent_hose.dir/space.cpp.o.d"
+  "libnetent_hose.a"
+  "libnetent_hose.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_hose.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/risk/failure.cpp" "src/risk/CMakeFiles/netent_risk.dir/failure.cpp.o" "gcc" "src/risk/CMakeFiles/netent_risk.dir/failure.cpp.o.d"
+  "/root/repo/src/risk/simulator.cpp" "src/risk/CMakeFiles/netent_risk.dir/simulator.cpp.o" "gcc" "src/risk/CMakeFiles/netent_risk.dir/simulator.cpp.o.d"
+  "/root/repo/src/risk/verification.cpp" "src/risk/CMakeFiles/netent_risk.dir/verification.cpp.o" "gcc" "src/risk/CMakeFiles/netent_risk.dir/verification.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netent_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netent_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

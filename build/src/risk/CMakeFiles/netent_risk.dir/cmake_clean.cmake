@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_risk.dir/failure.cpp.o"
+  "CMakeFiles/netent_risk.dir/failure.cpp.o.d"
+  "CMakeFiles/netent_risk.dir/simulator.cpp.o"
+  "CMakeFiles/netent_risk.dir/simulator.cpp.o.d"
+  "CMakeFiles/netent_risk.dir/verification.cpp.o"
+  "CMakeFiles/netent_risk.dir/verification.cpp.o.d"
+  "libnetent_risk.a"
+  "libnetent_risk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_risk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

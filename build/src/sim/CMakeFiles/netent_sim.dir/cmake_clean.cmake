@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_sim.dir/connections.cpp.o"
+  "CMakeFiles/netent_sim.dir/connections.cpp.o.d"
+  "CMakeFiles/netent_sim.dir/drill.cpp.o"
+  "CMakeFiles/netent_sim.dir/drill.cpp.o.d"
+  "CMakeFiles/netent_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/netent_sim.dir/event_queue.cpp.o.d"
+  "libnetent_sim.a"
+  "libnetent_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

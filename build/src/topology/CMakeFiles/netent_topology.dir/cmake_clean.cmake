@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_topology.dir/generator.cpp.o"
+  "CMakeFiles/netent_topology.dir/generator.cpp.o.d"
+  "CMakeFiles/netent_topology.dir/max_flow.cpp.o"
+  "CMakeFiles/netent_topology.dir/max_flow.cpp.o.d"
+  "CMakeFiles/netent_topology.dir/paths.cpp.o"
+  "CMakeFiles/netent_topology.dir/paths.cpp.o.d"
+  "CMakeFiles/netent_topology.dir/routing.cpp.o"
+  "CMakeFiles/netent_topology.dir/routing.cpp.o.d"
+  "CMakeFiles/netent_topology.dir/topology.cpp.o"
+  "CMakeFiles/netent_topology.dir/topology.cpp.o.d"
+  "libnetent_topology.a"
+  "libnetent_topology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

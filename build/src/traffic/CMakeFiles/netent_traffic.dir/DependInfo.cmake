@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/traffic/fleet.cpp" "src/traffic/CMakeFiles/netent_traffic.dir/fleet.cpp.o" "gcc" "src/traffic/CMakeFiles/netent_traffic.dir/fleet.cpp.o.d"
+  "/root/repo/src/traffic/incident.cpp" "src/traffic/CMakeFiles/netent_traffic.dir/incident.cpp.o" "gcc" "src/traffic/CMakeFiles/netent_traffic.dir/incident.cpp.o.d"
+  "/root/repo/src/traffic/matrix.cpp" "src/traffic/CMakeFiles/netent_traffic.dir/matrix.cpp.o" "gcc" "src/traffic/CMakeFiles/netent_traffic.dir/matrix.cpp.o.d"
+  "/root/repo/src/traffic/patterns.cpp" "src/traffic/CMakeFiles/netent_traffic.dir/patterns.cpp.o" "gcc" "src/traffic/CMakeFiles/netent_traffic.dir/patterns.cpp.o.d"
+  "/root/repo/src/traffic/service.cpp" "src/traffic/CMakeFiles/netent_traffic.dir/service.cpp.o" "gcc" "src/traffic/CMakeFiles/netent_traffic.dir/service.cpp.o.d"
+  "/root/repo/src/traffic/timeseries.cpp" "src/traffic/CMakeFiles/netent_traffic.dir/timeseries.cpp.o" "gcc" "src/traffic/CMakeFiles/netent_traffic.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/netent_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/topology/CMakeFiles/netent_topology.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

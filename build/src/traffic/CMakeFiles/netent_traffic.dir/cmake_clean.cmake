@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netent_traffic.dir/fleet.cpp.o"
+  "CMakeFiles/netent_traffic.dir/fleet.cpp.o.d"
+  "CMakeFiles/netent_traffic.dir/incident.cpp.o"
+  "CMakeFiles/netent_traffic.dir/incident.cpp.o.d"
+  "CMakeFiles/netent_traffic.dir/matrix.cpp.o"
+  "CMakeFiles/netent_traffic.dir/matrix.cpp.o.d"
+  "CMakeFiles/netent_traffic.dir/patterns.cpp.o"
+  "CMakeFiles/netent_traffic.dir/patterns.cpp.o.d"
+  "CMakeFiles/netent_traffic.dir/service.cpp.o"
+  "CMakeFiles/netent_traffic.dir/service.cpp.o.d"
+  "CMakeFiles/netent_traffic.dir/timeseries.cpp.o"
+  "CMakeFiles/netent_traffic.dir/timeseries.cpp.o.d"
+  "libnetent_traffic.a"
+  "libnetent_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netent_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_approval.dir/test_approval.cpp.o"
+  "CMakeFiles/test_approval.dir/test_approval.cpp.o.d"
+  "test_approval"
+  "test_approval.pdb"
+  "test_approval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_approval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bpf.dir/test_bpf.cpp.o"
+  "CMakeFiles/test_bpf.dir/test_bpf.cpp.o.d"
+  "test_bpf"
+  "test_bpf.pdb"
+  "test_bpf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bpf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_connections.dir/test_connections.cpp.o"
+  "CMakeFiles/test_connections.dir/test_connections.cpp.o.d"
+  "test_connections"
+  "test_connections.pdb"
+  "test_connections[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

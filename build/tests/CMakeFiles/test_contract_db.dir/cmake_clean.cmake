@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_contract_db.dir/test_contract_db.cpp.o"
+  "CMakeFiles/test_contract_db.dir/test_contract_db.cpp.o.d"
+  "test_contract_db"
+  "test_contract_db.pdb"
+  "test_contract_db[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_contract_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drill.dir/test_drill.cpp.o"
+  "CMakeFiles/test_drill.dir/test_drill.cpp.o.d"
+  "test_drill"
+  "test_drill.pdb"
+  "test_drill[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drill.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ingress_meter.dir/test_ingress_meter.cpp.o"
+  "CMakeFiles/test_ingress_meter.dir/test_ingress_meter.cpp.o.d"
+  "test_ingress_meter"
+  "test_ingress_meter.pdb"
+  "test_ingress_meter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ingress_meter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

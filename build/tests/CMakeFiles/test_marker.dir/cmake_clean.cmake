@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_marker.dir/test_marker.cpp.o"
+  "CMakeFiles/test_marker.dir/test_marker.cpp.o.d"
+  "test_marker"
+  "test_marker.pdb"
+  "test_marker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_marker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_negotiation.dir/test_negotiation.cpp.o"
+  "CMakeFiles/test_negotiation.dir/test_negotiation.cpp.o.d"
+  "test_negotiation"
+  "test_negotiation.pdb"
+  "test_negotiation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_negotiation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

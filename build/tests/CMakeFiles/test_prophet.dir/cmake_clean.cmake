@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_prophet.dir/test_prophet.cpp.o"
+  "CMakeFiles/test_prophet.dir/test_prophet.cpp.o.d"
+  "test_prophet"
+  "test_prophet.pdb"
+  "test_prophet[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_prophet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ratestore.dir/test_ratestore.cpp.o"
+  "CMakeFiles/test_ratestore.dir/test_ratestore.cpp.o.d"
+  "test_ratestore"
+  "test_ratestore.pdb"
+  "test_ratestore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ratestore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_risk_simulator.dir/test_risk_simulator.cpp.o"
+  "CMakeFiles/test_risk_simulator.dir/test_risk_simulator.cpp.o.d"
+  "test_risk_simulator"
+  "test_risk_simulator.pdb"
+  "test_risk_simulator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_risk_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_segmented.dir/test_segmented.cpp.o"
+  "CMakeFiles/test_segmented.dir/test_segmented.cpp.o.d"
+  "test_segmented"
+  "test_segmented.pdb"
+  "test_segmented[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_segmented.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

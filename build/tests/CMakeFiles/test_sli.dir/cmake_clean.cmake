@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sli.dir/test_sli.cpp.o"
+  "CMakeFiles/test_sli.dir/test_sli.cpp.o.d"
+  "test_sli"
+  "test_sli.pdb"
+  "test_sli[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

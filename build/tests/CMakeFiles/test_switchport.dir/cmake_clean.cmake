@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_switchport.dir/test_switchport.cpp.o"
+  "CMakeFiles/test_switchport.dir/test_switchport.cpp.o.d"
+  "test_switchport"
+  "test_switchport.pdb"
+  "test_switchport[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_switchport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

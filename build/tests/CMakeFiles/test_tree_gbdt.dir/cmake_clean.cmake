@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tree_gbdt.dir/test_tree_gbdt.cpp.o"
+  "CMakeFiles/test_tree_gbdt.dir/test_tree_gbdt.cpp.o.d"
+  "test_tree_gbdt"
+  "test_tree_gbdt.pdb"
+  "test_tree_gbdt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tree_gbdt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

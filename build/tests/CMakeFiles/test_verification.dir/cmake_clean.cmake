@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_verification.dir/test_verification.cpp.o"
+  "CMakeFiles/test_verification.dir/test_verification.cpp.o.d"
+  "test_verification"
+  "test_verification.pdb"
+  "test_verification[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wfq.dir/test_wfq.cpp.o"
+  "CMakeFiles/test_wfq.dir/test_wfq.cpp.o.d"
+  "test_wfq"
+  "test_wfq.pdb"
+  "test_wfq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wfq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
