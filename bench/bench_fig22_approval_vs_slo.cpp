@@ -4,10 +4,13 @@
 // falls; egress and ingress exhibit similar trends.
 #include "bench_util.h"
 
+#include <algorithm>
+#include <chrono>
 #include <iomanip>
 #include <sstream>
 
 #include "approval/approval.h"
+#include "common/thread_pool.h"
 #include "core/manager.h"
 
 int main() {
@@ -66,5 +69,48 @@ int main() {
                    approval_percentage(results, hose::Direction::ingress) * 100.0});
   }
   table.print(std::cout);
+
+  // Scenario-sweep timing: the same risk simulation the approvals above run,
+  // serial vs fanned out over the work-stealing pool. Curves must be
+  // bit-identical at every thread count (the determinism guarantee).
+  print_header("Risk-scenario sweep: serial vs parallel",
+               "Expect: identical=yes at every thread count and >= 2x speedup at 4+ threads.");
+  risk::ScenarioConfig scenario_config;
+  scenario_config.max_simultaneous = 3;
+  scenario_config.min_probability = 1e-10;
+  const auto scenarios = risk::enumerate_scenarios(topo, scenario_config);
+  const risk::RiskSimulator simulator(router, scenarios, router.full_capacities());
+  std::vector<topology::Demand> demands;
+  demands.reserve(pipes.size());
+  for (const auto& pipe : pipes) demands.push_back({pipe.src, pipe.dst, pipe.rate});
+
+  const auto sweep_ms = [&](std::size_t threads, std::vector<risk::AvailabilityCurve>& out) {
+    const auto start = std::chrono::steady_clock::now();
+    out = simulator.availability_curves(demands, threads);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  };
+  std::vector<risk::AvailabilityCurve> serial_curves;
+  const double serial_ms = sweep_ms(1, serial_curves);
+
+  Table timing({"threads", "scenarios", "sweep_ms", "speedup", "identical"}, 2);
+  timing.add_row(
+      {1.0, static_cast<double>(scenarios.size()), serial_ms, 1.0, std::string("yes")});
+  std::vector<std::size_t> counts{2, 4};
+  const std::size_t hw = ThreadPool::default_thread_count();
+  if (hw > 4) counts.push_back(hw);
+  for (const std::size_t threads : counts) {
+    std::vector<risk::AvailabilityCurve> curves;
+    const double ms = sweep_ms(threads, curves);
+    bool identical = curves.size() == serial_curves.size();
+    for (std::size_t i = 0; identical && i < curves.size(); ++i) {
+      const auto a = curves[i].outcomes();
+      const auto b = serial_curves[i].outcomes();
+      identical = std::equal(a.begin(), a.end(), b.begin(), b.end());
+    }
+    timing.add_row({static_cast<double>(threads), static_cast<double>(scenarios.size()), ms,
+                    serial_ms / ms, std::string(identical ? "yes" : "no")});
+  }
+  timing.print(std::cout);
   return 0;
 }

@@ -126,11 +126,35 @@ void BM_RiskScenarioBatch(benchmark::State& state) {
     pipes.push_back({RegionId(0), RegionId(r), Gbps(50)});
   }
   for (auto _ : state) {
-    benchmark::DoNotOptimize(sim.availability_curves(pipes));
+    benchmark::DoNotOptimize(sim.availability_curves(pipes, 1));
   }
   state.counters["scenarios"] = static_cast<double>(scenarios.size());
 }
 BENCHMARK(BM_RiskScenarioBatch)->Arg(1)->Arg(2);
+
+void BM_RiskScenarioBatchParallel(benchmark::State& state) {
+  Rng rng(4);
+  topology::GeneratorConfig config;
+  config.region_count = 8;
+  config.max_parallel_fibers = 1;
+  const topology::Topology topo = topology::generate_backbone(config, rng);
+  topology::Router router(topo, 3);
+  risk::ScenarioConfig scenario_config;
+  scenario_config.max_simultaneous = 2;
+  const auto scenarios = risk::enumerate_scenarios(topo, scenario_config);
+  const risk::RiskSimulator sim(router, scenarios, router.full_capacities());
+  std::vector<topology::Demand> pipes;
+  for (std::uint32_t r = 1; r < topo.region_count(); ++r) {
+    pipes.push_back({RegionId(0), RegionId(r), Gbps(50)});
+  }
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim.availability_curves(pipes, threads));
+  }
+  state.counters["scenarios"] = static_cast<double>(scenarios.size());
+  state.counters["threads"] = static_cast<double>(threads);
+}
+BENCHMARK(BM_RiskScenarioBatchParallel)->Arg(2)->Arg(4)->Arg(8);
 
 }  // namespace
 

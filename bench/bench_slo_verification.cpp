@@ -6,6 +6,9 @@
 // headroom shows how conservative the granting is).
 #include "bench_util.h"
 
+#include <chrono>
+
+#include "common/thread_pool.h"
 #include "risk/verification.h"
 
 int main() {
@@ -65,5 +68,46 @@ int main() {
                    static_cast<double>(violations)});
   }
   table.print(std::cout);
+
+  // Replay timing: the same failure-distribution replay, serial vs fanned
+  // out over the work-stealing pool (attainments are bit-identical).
+  print_header("SLO verification replay: serial vs parallel",
+               "Expect: identical attainments at every thread count, speedup > 1 at 4+ threads.");
+  approval::ApprovalConfig timing_config;
+  timing_config.slo_availability = 0.9998;
+  timing_config.scenarios.max_simultaneous = 3;
+  timing_config.scenarios.min_probability = 1e-10;
+  const approval::ApprovalEngine timing_engine(router, timing_config);
+  const auto approvals = timing_engine.pipe_approval(pipes);
+  const risk::SloVerifier verifier(router,
+                                   risk::enumerate_scenarios(topo, timing_config.scenarios));
+
+  const auto replay_ms = [&](std::size_t threads, std::vector<risk::PipeAttainment>& out) {
+    const auto start = std::chrono::steady_clock::now();
+    out = verifier.verify(approvals, threads);
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    return std::chrono::duration<double, std::milli>(elapsed).count();
+  };
+  std::vector<risk::PipeAttainment> serial_attainments;
+  const double serial_ms = replay_ms(1, serial_attainments);
+
+  Table timing({"threads", "replay_ms", "speedup", "identical"}, 2);
+  timing.add_row({1.0, serial_ms, 1.0, std::string("yes")});
+  std::vector<std::size_t> counts{2, 4};
+  const std::size_t hw = ThreadPool::default_thread_count();
+  if (hw > 4) counts.push_back(hw);
+  for (const std::size_t threads : counts) {
+    std::vector<risk::PipeAttainment> attainments;
+    const double ms = replay_ms(threads, attainments);
+    bool identical = attainments.size() == serial_attainments.size();
+    for (std::size_t i = 0; identical && i < attainments.size(); ++i) {
+      identical = attainments[i].achieved_availability ==
+                      serial_attainments[i].achieved_availability &&
+                  attainments[i].approved.value() == serial_attainments[i].approved.value();
+    }
+    timing.add_row({static_cast<double>(threads), ms, serial_ms / ms,
+                    std::string(identical ? "yes" : "no")});
+  }
+  timing.print(std::cout);
   return 0;
 }

@@ -58,7 +58,7 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
 
   // ASSESS_RISK over the full capacity; priority is encoded in the order.
   const risk::RiskSimulator simulator(router_, scenarios_, router_.full_capacities());
-  const auto curves = simulator.availability_curves(demands);
+  const auto curves = simulator.availability_curves(demands, config_.risk_threads);
 
   for (std::size_t k = 0; k < order.size(); ++k) {
     PipeApprovalResult& result = results[order[k]];

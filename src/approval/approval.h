@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "common/types.h"
 #include "common/units.h"
 #include "hose/requests.h"
@@ -23,6 +24,9 @@ struct ApprovalConfig {
   double slo_availability = 0.9998;  ///< contract SLO target
   std::size_t realizations = 16;     ///< representative TMs per hose set
   risk::ScenarioConfig scenarios;
+  /// Threads for the risk-scenario sweep (1 = serial). Approvals are
+  /// bit-identical for every value; this only changes wall-clock time.
+  std::size_t risk_threads = ThreadPool::default_thread_count();
   /// Paper's strict mode: "Only when 100% of the flow meets SLO, the batch
   /// of flows is approved. If any flow fails, the batch is rejected." A
   /// batch is the pipes of one (NPG, QoS class) group. When false, each pipe

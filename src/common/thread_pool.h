@@ -1,0 +1,76 @@
+// A small work-stealing thread pool for the embarrassingly-parallel sweeps
+// (risk scenarios, per-host drill loops). Each worker owns a deque; submit()
+// distributes round-robin, idle workers steal from the back of their peers'
+// deques. parallel_for() is the intended entry point for deterministic
+// fan-out: invocations write to index-addressed slots, so results are
+// bit-identical to a serial loop regardless of thread count — only the
+// schedule is nondeterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace netent {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t num_threads = default_thread_count());
+
+  /// Drains every already-submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// std::thread::hardware_concurrency(), never less than 1.
+  [[nodiscard]] static std::size_t default_thread_count();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues one task. The future completes when the task ran; a thrown
+  /// exception is captured and rethrown from future::get(). A single-thread
+  /// pool executes submissions in FIFO order.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs body(i) exactly once for every i in [begin, end), spread over the
+  /// workers plus the calling thread, and returns once all invocations
+  /// finished. Indices are claimed dynamically (work stealing by atomic
+  /// increment), so uneven per-index cost balances out. If any invocations
+  /// throw, the exception of the lowest throwing index is rethrown.
+  /// Not reentrant: do not call from inside a pool task.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  /// One worker's deque. The owner pops from the front, thieves steal from
+  /// the back.
+  struct Queue {
+    std::mutex mutex;
+    std::deque<std::packaged_task<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+  bool try_pop(std::size_t self, std::packaged_task<void()>& out);
+
+  std::vector<std::unique_ptr<Queue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  std::uint64_t epoch_ = 0;  ///< bumped per submit, guarded by wake_mutex_
+  bool stop_ = false;        ///< guarded by wake_mutex_
+
+  std::size_t next_queue_ = 0;  ///< round-robin cursor, guarded by submit_mutex_
+  std::mutex submit_mutex_;
+};
+
+}  // namespace netent

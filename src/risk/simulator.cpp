@@ -50,28 +50,51 @@ RiskSimulator::RiskSimulator(topology::Router& router, std::vector<FailureScenar
   NETENT_EXPECTS(base_capacity_.size() == router_.topo().link_count());
 }
 
-std::vector<AvailabilityCurve> RiskSimulator::availability_curves(
-    std::span<const topology::Demand> pipes) const {
-  NETENT_EXPECTS(!pipes.empty());
-
-  std::vector<std::vector<std::pair<double, double>>> outcomes(pipes.size());
-  std::vector<double> scenario_capacity(base_capacity_.size());
-
-  for (const FailureScenario& scenario : scenarios_) {
-    // Zero out links riding failed fibers.
-    scenario_capacity = base_capacity_;
-    for (const topology::Link& link : router_.topo().links()) {
-      for (const SrlgId srlg : scenario.down) {
-        if (link.srlg == srlg) {
-          scenario_capacity[link.id.value()] = 0.0;
-          break;
-        }
+std::vector<double> RiskSimulator::scenario_capacities(const FailureScenario& scenario) const {
+  // Zero out links riding failed fibers.
+  std::vector<double> capacity = base_capacity_;
+  for (const topology::Link& link : router_.topo().links()) {
+    for (const SrlgId srlg : scenario.down) {
+      if (link.srlg == srlg) {
+        capacity[link.id.value()] = 0.0;
+        break;
       }
     }
-    const auto result = router_.route(pipes, scenario_capacity);
+  }
+  return capacity;
+}
+
+std::vector<AvailabilityCurve> RiskSimulator::availability_curves(
+    std::span<const topology::Demand> pipes, std::size_t num_threads) const {
+  NETENT_EXPECTS(!pipes.empty());
+
+  // Populate the path cache up front; the fan-out below only reads it.
+  router_.warm(pipes);
+  const topology::Router& router = router_;
+
+  // Fan the scenarios out; each placement is independent and keeps its
+  // mutable state (scenario capacities, PlacementState) thread-confined.
+  std::vector<std::vector<double>> placed(scenarios_.size());
+  const auto run_scenario = [&](std::size_t s) {
+    const auto capacity = scenario_capacities(scenarios_[s]);
+    auto result = router.route_warmed(pipes, capacity);
     NETENT_ENSURES(result.placed_per_demand.size() == pipes.size());
+    placed[s] = std::move(result.placed_per_demand);
+  };
+  if (num_threads <= 1 || scenarios_.size() < 2) {
+    for (std::size_t s = 0; s < scenarios_.size(); ++s) run_scenario(s);
+  } else {
+    ThreadPool pool(std::min(num_threads, scenarios_.size()));
+    pool.parallel_for(0, scenarios_.size(), run_scenario);
+  }
+
+  // Merge back in scenario order: the outcome sequence each curve sees is
+  // exactly the serial sweep's, so curves are bit-identical per thread count.
+  std::vector<std::vector<std::pair<double, double>>> outcomes(pipes.size());
+  for (auto& pipe_outcomes : outcomes) pipe_outcomes.reserve(scenarios_.size());
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
     for (std::size_t i = 0; i < pipes.size(); ++i) {
-      outcomes[i].emplace_back(result.placed_per_demand[i], scenario.probability);
+      outcomes[i].emplace_back(placed[s][i], scenarios_[s].probability);
     }
   }
 

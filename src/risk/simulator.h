@@ -3,11 +3,18 @@
 // under every enumerated failure scenario. The approval engine reads the
 // curve at the contract's SLO target to decide how much of a request can be
 // guaranteed.
+//
+// Scenarios are independent placements, so the sweep fans out over a
+// work-stealing thread pool; per-scenario outcomes are merged back in
+// scenario order, which makes the curves bit-identical to the serial sweep
+// for every thread count.
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "risk/failure.h"
 #include "topology/routing.h"
@@ -30,6 +37,16 @@ class AvailabilityCurve {
   /// even zero-bandwidth availability (total enumerated mass) misses target.
   [[nodiscard]] Gbps bandwidth_at(double target_availability) const;
 
+  /// The (bandwidth, probability) outcomes, sorted by bandwidth descending.
+  /// Exposed so tests can assert bit-identity between serial and parallel
+  /// sweeps.
+  [[nodiscard]] std::span<const std::pair<double, double>> outcomes() const {
+    return outcomes_;
+  }
+
+  /// Total enumerated probability mass (<= 1).
+  [[nodiscard]] double total_mass() const { return total_mass_; }
+
  private:
   std::vector<std::pair<double, double>> outcomes_;  // sorted by bandwidth desc
   double total_mass_ = 0.0;
@@ -44,13 +61,19 @@ class RiskSimulator {
 
   /// Places the batch under every scenario (links on failed SRLGs get zero
   /// capacity) and returns one availability curve per input pipe. Placement
-  /// order within the batch is the input order.
+  /// order within the batch is the input order. Scenarios are swept in
+  /// parallel over `num_threads` threads (1 = serial, in the calling
+  /// thread); the result is bit-identical for every thread count.
   [[nodiscard]] std::vector<AvailabilityCurve> availability_curves(
-      std::span<const topology::Demand> pipes) const;
+      std::span<const topology::Demand> pipes,
+      std::size_t num_threads = ThreadPool::default_thread_count()) const;
 
   [[nodiscard]] std::span<const FailureScenario> scenarios() const { return scenarios_; }
 
  private:
+  /// Per-link capacities with the scenario's failed SRLGs zeroed out.
+  [[nodiscard]] std::vector<double> scenario_capacities(const FailureScenario& scenario) const;
+
   topology::Router& router_;
   std::vector<FailureScenario> scenarios_;
   std::vector<double> base_capacity_;

@@ -14,7 +14,7 @@ SloVerifier::SloVerifier(topology::Router& router, std::vector<FailureScenario> 
 }
 
 std::vector<PipeAttainment> SloVerifier::verify(
-    std::span<const approval::PipeApprovalResult> approvals) const {
+    std::span<const approval::PipeApprovalResult> approvals, std::size_t num_threads) const {
   // Order pipes as the approval engine placed them: premium classes first,
   // then input order within a class.
   std::vector<std::size_t> order;
@@ -38,12 +38,18 @@ std::vector<PipeAttainment> SloVerifier::verify(
         {approvals[i].request.src, approvals[i].request.dst, approvals[i].approved});
   }
 
-  std::vector<double> admitted_mass(order.size(), 0.0);
-  std::vector<double> scenario_capacity(router_.topo().link_count());
-  for (const FailureScenario& scenario : scenarios_) {
-    for (const topology::Link& link : router_.topo().links()) {
+  // Fan the scenario replay out (same pattern as the risk simulator): each
+  // scenario records which pipes were fully admitted; the probability masses
+  // are then accumulated serially in scenario order, so the attainments are
+  // bit-identical to the serial replay for every thread count.
+  router_.warm(demands);
+  const topology::Router& router = router_;
+  std::vector<std::vector<char>> admitted(scenarios_.size());
+  const auto run_scenario = [&](std::size_t s) {
+    std::vector<double> scenario_capacity(router.topo().link_count());
+    for (const topology::Link& link : router.topo().links()) {
       double capacity = link.capacity.value();
-      for (const SrlgId srlg : scenario.down) {
+      for (const SrlgId srlg : scenarios_[s].down) {
         if (link.srlg == srlg) {
           capacity = 0.0;
           break;
@@ -51,11 +57,26 @@ std::vector<PipeAttainment> SloVerifier::verify(
       }
       scenario_capacity[link.id.value()] = capacity;
     }
-    const auto result = router_.route(demands, scenario_capacity);
-    for (std::size_t k = 0; k < order.size(); ++k) {
+    const auto result = router.route_warmed(demands, scenario_capacity);
+    std::vector<char> fully_admitted(demands.size(), 0);
+    for (std::size_t k = 0; k < demands.size(); ++k) {
       if (result.placed_per_demand[k] >= demands[k].amount.value() - 1e-6) {
-        admitted_mass[k] += scenario.probability;
+        fully_admitted[k] = 1;
       }
+    }
+    admitted[s] = std::move(fully_admitted);
+  };
+  if (num_threads <= 1 || scenarios_.size() < 2) {
+    for (std::size_t s = 0; s < scenarios_.size(); ++s) run_scenario(s);
+  } else {
+    ThreadPool pool(std::min(num_threads, scenarios_.size()));
+    pool.parallel_for(0, scenarios_.size(), run_scenario);
+  }
+
+  std::vector<double> admitted_mass(order.size(), 0.0);
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    for (std::size_t k = 0; k < order.size(); ++k) {
+      if (admitted[s][k] != 0) admitted_mass[k] += scenarios_[s].probability;
     }
   }
 

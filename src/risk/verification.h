@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "approval/approval.h"
+#include "common/thread_pool.h"
 #include "risk/simulator.h"
 
 namespace netent::risk {
@@ -41,9 +42,12 @@ class SloVerifier {
 
   /// Replays every scenario with the approved pipes placed in the approval
   /// order (classes premium-first, then input order). Pipes approved at zero
-  /// are skipped (nothing was promised).
+  /// are skipped (nothing was promised). The scenario replay fans out over
+  /// `num_threads` threads (1 = serial); attainments are merged in scenario
+  /// order and are bit-identical for every thread count.
   [[nodiscard]] std::vector<PipeAttainment> verify(
-      std::span<const approval::PipeApprovalResult> approvals) const;
+      std::span<const approval::PipeApprovalResult> approvals,
+      std::size_t num_threads = ThreadPool::default_thread_count()) const;
 
   /// Aggregates pipe attainments per QoS class.
   [[nodiscard]] static std::vector<ClassAttainment> per_class(

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "enforce/agent.h"
 #include "enforce/bpf.h"
 #include "enforce/dscp.h"
@@ -132,6 +133,21 @@ std::vector<DrillTick> DrillSim::run() {
   double write_pinned = 0.0;
   double write_latency_ewma = config_.write_base_latency_ms;
 
+  // Per-host loops fan out over the pool; every host writes only its own
+  // index and all cross-host reductions stay serial in host order, so ticks
+  // are bit-identical for any thread count.
+  std::unique_ptr<ThreadPool> pool;
+  if (config_.num_threads > 1 && n > 1) {
+    pool = std::make_unique<ThreadPool>(std::min(config_.num_threads, n));
+  }
+  const auto for_each_host = [&](const std::function<void(std::size_t)>& body) {
+    if (pool) {
+      pool->parallel_for(0, n, body);
+    } else {
+      for (std::size_t h = 0; h < n; ++h) body(h);
+    }
+  };
+
   // --- main loop --------------------------------------------------------
   std::vector<DrillTick> ticks;
   EventQueue queue;
@@ -154,7 +170,7 @@ std::vector<DrillTick> DrillSim::run() {
     std::vector<double> host_nonconf(n, 0.0);
     std::vector<double> host_marked_share(n, 0.0);
     const double flow_rate_divisor = static_cast<double>(config_.flows_per_host);
-    for (std::size_t h = 0; h < n; ++h) {
+    for_each_host([&](std::size_t h) {
       const double host_demand = demand * weight[h];
       double marked = 0.0;
       for (std::size_t f = 0; f < config_.flows_per_host; ++f) {
@@ -169,6 +185,8 @@ std::vector<DrillTick> DrillSim::run() {
       // metrics flat throughout).
       host_conf[h] = host_demand * (1.0 - marked);
       host_nonconf[h] = host_demand * marked * nonconf_send_factor[h];
+    });
+    for (std::size_t h = 0; h < n; ++h) {
       conf_sent += host_conf[h];
       nonconf_sent += host_nonconf[h];
     }
@@ -264,10 +282,15 @@ std::vector<DrillTick> DrillSim::run() {
     double nonconf_syn = 0.0;
     double nonconf_rst = 0.0;
     double conf_fin = 0.0;
-    for (std::size_t h = 0; h < n; ++h) {
+    std::vector<ConnectionStats> host_stats(n);
+    for_each_host([&](std::size_t h) {
       const bool marked = host_marked_share[h] > 0.5;
       const double host_loss = marked ? nonconf_loss : prev_conf_loss;
-      const ConnectionStats stats = connections[h].tick(host_loss);
+      host_stats[h] = connections[h].tick(host_loss);
+    });
+    for (std::size_t h = 0; h < n; ++h) {
+      const bool marked = host_marked_share[h] > 0.5;
+      const ConnectionStats& stats = host_stats[h];
       const double syn_per_s = static_cast<double>(stats.syn_sent) / config_.tick_seconds;
       (marked ? nonconf_syn : conf_syn) += syn_per_s;
       if (marked) {

@@ -59,6 +59,10 @@ struct DrillConfig {
   std::uint32_t marking_groups = 100;
   std::size_t flows_per_host = 25;
 
+  /// Threads for the per-host loops (classification, connection pools).
+  /// Ticks are bit-identical for every value; 1 runs fully serial.
+  std::size_t num_threads = 1;
+
   double base_rtt_ms = 35.0;           ///< cross-region propagation
   double read_base_latency_ms = 120.0;  ///< Coldstorage restore service time
   double write_base_latency_ms = 180.0;

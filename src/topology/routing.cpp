@@ -25,34 +25,60 @@ const std::vector<Path>& Router::paths(RegionId src, RegionId dst) {
   return it->second;
 }
 
-RouteResult Router::route(std::span<const Demand> demands, std::span<const double> capacity_gbps) {
+void Router::warm(std::span<const Demand> demands) {
+  for (const Demand& demand : demands) (void)paths(demand.src, demand.dst);
+}
+
+const std::vector<Path>* Router::cached_paths(RegionId src, RegionId dst) const {
+  const auto it = cache_.find(std::make_pair(src.value(), dst.value()));
+  return it == cache_.end() ? nullptr : &it->second;
+}
+
+double Router::place_demand(const Demand& demand, const std::vector<Path>& candidate_paths,
+                            PlacementState& state) {
+  NETENT_EXPECTS(demand.amount >= Gbps(0));
+  double remaining = demand.amount.value();
+  for (const Path& path : candidate_paths) {
+    if (remaining <= kEps) break;
+    // Bottleneck residual along this path.
+    double bottleneck = remaining;
+    for (const LinkId lid : path.links) {
+      bottleneck = std::min(bottleneck, state.residual[lid.value()]);
+    }
+    if (bottleneck <= kEps) continue;
+    for (const LinkId lid : path.links) {
+      state.residual[lid.value()] -= bottleneck;
+      state.link_load[lid.value()] += bottleneck;
+    }
+    remaining -= bottleneck;
+  }
+  return demand.amount.value() - remaining;
+}
+
+RouteResult Router::route(std::span<const Demand> demands,
+                          std::span<const double> capacity_gbps) {
+  warm(demands);
+  return route_warmed(demands, capacity_gbps);
+}
+
+RouteResult Router::route_warmed(std::span<const Demand> demands,
+                                 std::span<const double> capacity_gbps) const {
   NETENT_EXPECTS(capacity_gbps.size() == topo_.link_count());
 
   RouteResult result;
-  result.link_load.assign(topo_.link_count(), 0.0);
   result.placed_per_demand.reserve(demands.size());
-  std::vector<double> residual(capacity_gbps.begin(), capacity_gbps.end());
+  PlacementState state(capacity_gbps);
 
   for (const Demand& demand : demands) {
-    NETENT_EXPECTS(demand.amount >= Gbps(0));
     result.demand_total += demand.amount;
-    double remaining = demand.amount.value();
-    for (const Path& path : paths(demand.src, demand.dst)) {
-      if (remaining <= kEps) break;
-      // Bottleneck residual along this path.
-      double bottleneck = remaining;
-      for (const LinkId lid : path.links) bottleneck = std::min(bottleneck, residual[lid.value()]);
-      if (bottleneck <= kEps) continue;
-      for (const LinkId lid : path.links) {
-        residual[lid.value()] -= bottleneck;
-        result.link_load[lid.value()] += bottleneck;
-      }
-      remaining -= bottleneck;
-      result.placed_total += Gbps(bottleneck);
-    }
-    result.placed_per_demand.push_back(demand.amount.value() - remaining);
+    const std::vector<Path>* candidate_paths = cached_paths(demand.src, demand.dst);
+    NETENT_EXPECTS(candidate_paths != nullptr);  // warm() must cover the pair
+    const double placed = place_demand(demand, *candidate_paths, state);
+    result.placed_total += Gbps(placed);
+    result.placed_per_demand.push_back(placed);
   }
 
+  result.link_load = std::move(state.link_load);
   result.fully_placed = (result.demand_total - result.placed_total) <= Gbps(kEps);
   return result;
 }

@@ -32,15 +32,36 @@ struct RouteResult {
   bool fully_placed = false;    ///< placed_total == demand_total (within epsilon)
 };
 
+/// The mutable state of one placement pass: residual per-link capacity plus
+/// the load accumulated so far. Each route() call owns a fresh instance, so
+/// concurrent placements (e.g. the parallel risk-scenario sweep) never share
+/// mutable state — one PlacementState per thread, passed by value/locally.
+struct PlacementState {
+  explicit PlacementState(std::span<const double> capacity_gbps)
+      : residual(capacity_gbps.begin(), capacity_gbps.end()),
+        link_load(capacity_gbps.size(), 0.0) {}
+
+  std::vector<double> residual;   ///< remaining Gbps per LinkId
+  std::vector<double> link_load;  ///< placed Gbps per LinkId
+};
+
 /// Caches k-shortest path sets per (src, dst) pair over a fixed topology.
-/// The cache is populated lazily; `paths()` is therefore non-const but the
-/// router is cheap to share by reference within one thread.
+/// The cache is populated lazily by `paths()` / the non-const `route()`
+/// overloads (single-threaded use). For concurrent use, `warm()` the cache
+/// with every (src, dst) pair of the demand set up front; `route_warmed()`
+/// is then const, reads only the immutable cache, and keeps all per-
+/// placement mutable state in a thread-confined PlacementState.
 class Router {
  public:
   Router(const Topology& topo, std::size_t k_paths);
 
-  /// Candidate paths for a pair on the intact topology.
+  /// Candidate paths for a pair on the intact topology (computed lazily).
   [[nodiscard]] const std::vector<Path>& paths(RegionId src, RegionId dst);
+
+  /// Precomputes candidate paths for every (src, dst) pair in `demands`.
+  /// After this, `route_warmed()` may be called concurrently for any demand
+  /// sequence drawn from those pairs.
+  void warm(std::span<const Demand> demands);
 
   /// Routes `demands` (in order) over candidate paths against per-link
   /// capacities `capacity_gbps` (indexed by LinkId). Partial placement is
@@ -51,6 +72,13 @@ class Router {
   /// Routes against the topology's full link capacities.
   [[nodiscard]] RouteResult route(std::span<const Demand> demands);
 
+  /// As route(), but strictly read-only: every (src, dst) pair must already
+  /// be cached (via warm() or earlier routing), otherwise a contract
+  /// violation is raised. Safe to call from many threads at once; results
+  /// are bit-identical to route() for the same inputs.
+  [[nodiscard]] RouteResult route_warmed(std::span<const Demand> demands,
+                                         std::span<const double> capacity_gbps) const;
+
   [[nodiscard]] const Topology& topo() const { return topo_; }
   [[nodiscard]] std::size_t k_paths() const { return k_paths_; }
 
@@ -58,6 +86,13 @@ class Router {
   [[nodiscard]] std::vector<double> full_capacities() const;
 
  private:
+  [[nodiscard]] const std::vector<Path>* cached_paths(RegionId src, RegionId dst) const;
+
+  /// The shared placement pass: water-fill `demand` over `candidate_paths`
+  /// against `state`. Returns the placed amount.
+  static double place_demand(const Demand& demand, const std::vector<Path>& candidate_paths,
+                             PlacementState& state);
+
   const Topology& topo_;
   std::size_t k_paths_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Path>> cache_;

@@ -173,6 +173,31 @@ TEST(DrillSim, DeterministicForSeed) {
   }
 }
 
+TEST(DrillSim, ParallelTicksBitIdenticalToSerial) {
+  // The per-host classify and connection loops may fan out over a pool; the
+  // reductions stay in host order, so every tick field must replay exactly.
+  DrillConfig serial_config = fast_config();
+  serial_config.duration_seconds = 40.0 * 60.0;
+  DrillConfig parallel_config = serial_config;
+  parallel_config.num_threads = 4;
+
+  DrillSim serial(serial_config, Rng(7));
+  DrillSim parallel(parallel_config, Rng(7));
+  const auto ta = serial.run();
+  const auto tb = parallel.run();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_EQ(ta[i].total_rate, tb[i].total_rate) << "tick " << i;
+    EXPECT_EQ(ta[i].conform_rate, tb[i].conform_rate) << "tick " << i;
+    EXPECT_EQ(ta[i].conform_loss_ratio, tb[i].conform_loss_ratio) << "tick " << i;
+    EXPECT_EQ(ta[i].nonconform_loss_ratio, tb[i].nonconform_loss_ratio) << "tick " << i;
+    EXPECT_EQ(ta[i].nonconform_syn_per_s, tb[i].nonconform_syn_per_s) << "tick " << i;
+    EXPECT_EQ(ta[i].read_latency_ms, tb[i].read_latency_ms) << "tick " << i;
+    EXPECT_EQ(ta[i].write_latency_ms, tb[i].write_latency_ms) << "tick " << i;
+    EXPECT_EQ(ta[i].block_error_rate, tb[i].block_error_rate) << "tick " << i;
+  }
+}
+
 TEST(DrillSim, InvalidConfigRejected) {
   DrillConfig config = fast_config();
   config.host_count = 1;

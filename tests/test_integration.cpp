@@ -132,6 +132,77 @@ TEST(Integration, ContractDrivesEnforcementConvergence) {
   EXPECT_NEAR(conform_total, entitled.value(), entitled.value() * 0.25);
 }
 
+// --- determinism replay -----------------------------------------------
+// The full forecast -> hose -> approval -> enforce cycle must replay
+// bit-identically from a fixed seed, across runs and across risk-sweep
+// thread counts (the parallel sweep's determinism guarantee, end to end).
+
+CycleResult run_seeded_cycle(std::size_t risk_threads, std::uint64_t seed) {
+  Rng rng(seed);
+  topology::GeneratorConfig topo_config;
+  topo_config.region_count = 5;
+  topo_config.base_capacity = Gbps(600);
+  const topology::Topology topo = topology::generate_backbone(topo_config, rng);
+
+  traffic::FleetConfig fleet_config;
+  fleet_config.service_count = 4;
+  fleet_config.region_count = 5;
+  fleet_config.total_gbps = 600.0;
+  fleet_config.high_touch_count = 2;
+  const auto fleet = traffic::generate_fleet(fleet_config, rng);
+  const auto histories = synthesize_histories(fleet, 30, 3600.0,
+                                              traffic::DailyAggregate::max_avg_6h, 0.5, rng);
+
+  ManagerConfig config;
+  config.approval.realizations = 2;
+  config.approval.slo_availability = 0.99;
+  config.approval.scenarios.min_probability = 1e-7;
+  config.approval.risk_threads = risk_threads;
+  config.forecaster.prophet.use_yearly = false;
+  config.high_touch_npgs = {0, 1};
+  const EntitlementManager manager(topo, config);
+  return manager.run_cycle(histories, rng);
+}
+
+void expect_identical_cycles(const CycleResult& a, const CycleResult& b) {
+  // Approval decisions: same requests, bit-identical approved rates.
+  ASSERT_EQ(a.approvals.size(), b.approvals.size());
+  for (std::size_t i = 0; i < a.approvals.size(); ++i) {
+    EXPECT_EQ(a.approvals[i].request.npg, b.approvals[i].request.npg);
+    EXPECT_EQ(a.approvals[i].request.qos, b.approvals[i].request.qos);
+    EXPECT_EQ(a.approvals[i].request.region, b.approvals[i].request.region);
+    EXPECT_EQ(a.approvals[i].request.direction, b.approvals[i].request.direction);
+    EXPECT_EQ(a.approvals[i].request.rate.value(), b.approvals[i].request.rate.value());
+    EXPECT_EQ(a.approvals[i].approved.value(), b.approvals[i].approved.value()) << "pipe " << i;
+  }
+  // Contracts (what enforcement consumes): identical entitlements.
+  ASSERT_EQ(a.contracts.size(), b.contracts.size());
+  const auto& contracts_a = a.contracts.contracts();
+  const auto& contracts_b = b.contracts.contracts();
+  for (std::size_t c = 0; c < contracts_a.size(); ++c) {
+    EXPECT_EQ(contracts_a[c].npg, contracts_b[c].npg);
+    ASSERT_EQ(contracts_a[c].entitlements.size(), contracts_b[c].entitlements.size());
+    for (std::size_t e = 0; e < contracts_a[c].entitlements.size(); ++e) {
+      EXPECT_EQ(contracts_a[c].entitlements[e].entitled_rate.value(),
+                contracts_b[c].entitlements[e].entitled_rate.value());
+    }
+  }
+}
+
+TEST(Integration, DeterministicReplayAcrossRuns) {
+  const CycleResult first = run_seeded_cycle(1, 2024);
+  const CycleResult second = run_seeded_cycle(1, 2024);
+  expect_identical_cycles(first, second);
+}
+
+TEST(Integration, DeterministicReplayAcrossThreadCounts) {
+  const CycleResult serial = run_seeded_cycle(1, 2024);
+  for (const std::size_t threads : {2u, 8u}) {
+    const CycleResult parallel = run_seeded_cycle(threads, 2024);
+    expect_identical_cycles(serial, parallel);
+  }
+}
+
 TEST(Integration, SwitchProtectsConformingAtContractLoad) {
   // Offered load at exactly the contract level in the conforming queue plus
   // an equal non-conforming burst on a port sized to the contract: the

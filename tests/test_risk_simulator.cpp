@@ -52,6 +52,52 @@ TEST(AvailabilityCurve, InvalidInputsRejected) {
   EXPECT_THROW((void)curve.bandwidth_at(1.5), ContractViolation);
 }
 
+TEST(AvailabilityCurve, EmptyOutcomesRejected) {
+  EXPECT_THROW(AvailabilityCurve(std::vector<std::pair<double, double>>{}), ContractViolation);
+}
+
+TEST(AvailabilityCurve, TotalMassBelowTargetYieldsZeroBandwidth) {
+  // Only 0.75 of the probability mass enumerated (binary-exact values).
+  AvailabilityCurve curve({{100.0, 0.5}, {40.0, 0.25}});
+  EXPECT_DOUBLE_EQ(curve.total_mass(), 0.75);
+  // Any target above the enumerated mass is unreachable, even at 0 Gbps.
+  EXPECT_EQ(curve.bandwidth_at(0.80), Gbps(0));
+  EXPECT_EQ(curve.bandwidth_at(0.9999), Gbps(0));
+  // At exactly the enumerated mass the lowest outcome is still guaranteed.
+  EXPECT_EQ(curve.bandwidth_at(0.75), Gbps(40));
+}
+
+TEST(AvailabilityCurve, DuplicateBandwidthOutcomesAccumulate) {
+  // Two scenarios deliver the same 50 Gbps; their masses must add.
+  AvailabilityCurve curve({{50.0, 0.25}, {100.0, 0.5}, {50.0, 0.125}, {0.0, 0.125}});
+  EXPECT_DOUBLE_EQ(curve.availability_at(Gbps(100)), 0.5);
+  EXPECT_DOUBLE_EQ(curve.availability_at(Gbps(50)), 0.875);
+  EXPECT_DOUBLE_EQ(curve.availability_at(Gbps(0)), 1.0);
+  // The 0.875 mass at 50 covers a 0.6 target; 100 only covers up to 0.5.
+  EXPECT_EQ(curve.bandwidth_at(0.5), Gbps(100));
+  EXPECT_EQ(curve.bandwidth_at(0.6), Gbps(50));
+}
+
+TEST(AvailabilityCurve, BandwidthAtBoundaries) {
+  AvailabilityCurve curve({{100.0, 0.5}, {40.0, 0.25}, {10.0, 0.25}});
+  // target == 0.0 is a contract violation (an SLO of zero is meaningless)...
+  EXPECT_THROW((void)curve.bandwidth_at(0.0), ContractViolation);
+  // ...while target == 1.0 is valid and yields the worst-case outcome.
+  EXPECT_EQ(curve.bandwidth_at(1.0), Gbps(10));
+  // Just inside the boundary behaves continuously.
+  EXPECT_EQ(curve.bandwidth_at(1e-12), Gbps(100));
+}
+
+TEST(AvailabilityCurve, OutcomesSortedDescendingWithTotalMass) {
+  AvailabilityCurve curve({{10.0, 0.25}, {30.0, 0.5}, {20.0, 0.25}});
+  const auto outcomes = curve.outcomes();
+  ASSERT_EQ(outcomes.size(), 3u);
+  EXPECT_DOUBLE_EQ(outcomes[0].first, 30.0);
+  EXPECT_DOUBLE_EQ(outcomes[1].first, 20.0);
+  EXPECT_DOUBLE_EQ(outcomes[2].first, 10.0);
+  EXPECT_DOUBLE_EQ(curve.total_mass(), 1.0);
+}
+
 /// Two regions, two parallel fibers with known unavailability.
 struct TwoFiberFixture {
   Topology topo;
@@ -138,6 +184,15 @@ TEST(RiskSimulator, SharedConduitLowersAvailability) {
   EXPECT_NEAR(availability_of_100(independent), 1.0 - 0.01 * 0.01, 1e-9);
   // Shared conduit: one cut kills both -> availability = 1 - u.
   EXPECT_NEAR(availability_of_100(conduit), 0.99, 1e-9);
+}
+
+TEST(RiskSimulator, EmptyPipeBatchRejected) {
+  TwoFiberFixture fx;
+  Router router(fx.topo, 3);
+  RiskSimulator sim(router, enumerate_scenarios(fx.topo, ScenarioConfig{}),
+                    router.full_capacities());
+  const std::vector<Demand> no_pipes;
+  EXPECT_THROW((void)sim.availability_curves(no_pipes), ContractViolation);
 }
 
 TEST(RiskSimulator, CurvesForEveryPipe) {
