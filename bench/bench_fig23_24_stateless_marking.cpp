@@ -4,10 +4,18 @@
 // Paper claim: the instantaneous conforming rate oscillates (up to 5-10 Tbps
 // at 100% loss) and the AVERAGE conforming rate stays above the entitlement:
 // the stateless algorithm fails to enforce the entitled rate.
+//
+// The per-cycle series also reports the cumulative remarked / dropped
+// volume counters from the obs registry (sampled every cycle), so the
+// oscillation is visible as counter deltas; `--metrics-json[=PATH]` dumps
+// the registry (including the per-loss-cell counters) after the run.
 #include "bench_util.h"
+
+#include <cmath>
 
 #include "common/stats.h"
 #include "enforce/meter.h"
+#include "obs/metrics.h"
 
 namespace {
 
@@ -22,14 +30,29 @@ constexpr int kIterations = 40;
 /// non-conforming loss rate; report instantaneous samples and the average.
 template <class MeterT>
 void run_cell(double loss, Table& series, RunningStats& average) {
+  // Cumulative volume the meter remarked non-conforming and the network then
+  // dropped, in integer milli-Gbps-cycles. One counter pair per loss cell so
+  // the JSON dump keeps the cells separate.
+  auto& reg = obs::Registry::global();
+  const std::string cell = std::to_string(static_cast<int>(loss * 1000.0));
+  obs::Counter& remarked = reg.counter("fig23.loss" + cell + ".remarked_mgbps");
+  obs::Counter& dropped = reg.counter("fig23.loss" + cell + ".dropped_mgbps");
+  obs::Gauge& conform_gauge = reg.gauge("fig23.loss" + cell + ".conform_gbps");
+
   MeterT meter;
   for (int iteration = 0; iteration < kIterations; ++iteration) {
     const double conform = kDemand * meter.conform_ratio();
-    const double nonconf_sent = kDemand * meter.non_conform_ratio() * (1.0 - loss);
+    const double nonconf = kDemand * meter.non_conform_ratio();
+    const double nonconf_sent = nonconf * (1.0 - loss);
     const double total_observed = conform + nonconf_sent;
     average.add(conform);
+    remarked.add(static_cast<std::uint64_t>(std::llround(nonconf * 1e3)));
+    dropped.add(static_cast<std::uint64_t>(std::llround(nonconf * loss * 1e3)));
+    conform_gauge.set(conform);
     if (iteration % 4 == 0) {
-      series.add_row({loss * 100.0, static_cast<double>(iteration), conform, average.mean()});
+      series.add_row({loss * 100.0, static_cast<double>(iteration), conform, average.mean(),
+                      static_cast<double>(remarked.value()) / 1e3,
+                      static_cast<double>(dropped.value()) / 1e3});
     }
     meter.update({Gbps(total_observed), Gbps(conform), Gbps(kEntitled)});
   }
@@ -37,13 +60,15 @@ void run_cell(double loss, Table& series, RunningStats& average) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   print_header("Figures 23-24: stateless marking algorithm",
                "Expect: instantaneous conforming rate oscillates between the entitlement "
                "and the full demand; average stays ABOVE the 5 Tbps entitlement "
                "(enforcement failure).");
 
-  Table series({"loss_pct", "iteration", "conform_gbps_instant", "conform_gbps_avg"}, 1);
+  Table series({"loss_pct", "iteration", "conform_gbps_instant", "conform_gbps_avg",
+                "remarked_cum_gbps", "dropped_cum_gbps"},
+               1);
   Table summary({"loss_pct", "avg_conform_gbps", "entitled_gbps", "enforced"}, 1);
   for (const double loss : {0.0, 0.125, 0.25, 0.5, 1.0}) {
     RunningStats average;
@@ -54,5 +79,6 @@ int main() {
   series.print(std::cout);
   std::cout << '\n';
   summary.print(std::cout);
+  maybe_dump_metrics(argc, argv);
   return 0;
 }

@@ -2,16 +2,25 @@
 // classification stage runs per packet, the meters per cycle per host, the
 // risk simulator per scenario per approval batch. These bound the system's
 // scalability claims (§3.1 challenge 3, §5 "Efficiency").
+//
+// Extra flags (stripped before google-benchmark sees argv):
+//   --smoke              fast CI pass (injects --benchmark_min_time=0.01)
+//   --metrics-json[=P]   dump the obs registry after the run (see bench_util.h)
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "enforce/bpf.h"
 #include "enforce/meter.h"
 #include "enforce/ratestore.h"
 #include "enforce/switchport.h"
 #include "hose/space.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 #include "risk/simulator.h"
 #include "topology/generator.h"
 #include "topology/max_flow.h"
@@ -156,6 +165,78 @@ void BM_RiskScenarioBatchParallel(benchmark::State& state) {
 }
 BENCHMARK(BM_RiskScenarioBatchParallel)->Arg(2)->Arg(4)->Arg(8);
 
+// --- obs substrate primitives -------------------------------------------
+// These price the instrumentation itself (tests/test_obs_overhead.cpp holds
+// the <2% budget against the hot-path costs above). In a NETENT_OBS=OFF
+// build they measure the no-op stubs, i.e. the cost of nothing.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter& counter = obs::Registry::global().counter("bench.obs.counter");
+  for (auto _ : state) {
+    counter.add();
+  }
+  if (state.thread_index() == 0) counter.reset();
+}
+BENCHMARK(BM_ObsCounterAdd);
+BENCHMARK(BM_ObsCounterAdd)->Threads(8)->UseRealTime();
+
+void BM_ObsHistogramRecord(benchmark::State& state) {
+  const double bounds[] = {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0};
+  obs::Histogram& histogram =
+      obs::Registry::global().histogram("bench.obs.histogram", bounds);
+  double value = 0.0;
+  for (auto _ : state) {
+    histogram.record(value);
+    value = value < 100.0 ? value + 0.125 : 0.0;
+  }
+  if (state.thread_index() == 0) histogram.reset();
+}
+BENCHMARK(BM_ObsHistogramRecord);
+BENCHMARK(BM_ObsHistogramRecord)->Threads(8)->UseRealTime();
+
+void BM_ObsScopedTimer(benchmark::State& state) {
+  obs::Histogram& sink = obs::Registry::global().timer_histogram("bench.obs.timer");
+  for (auto _ : state) {
+    const obs::ScopedTimer span(sink);
+    benchmark::ClobberMemory();
+  }
+  if (state.thread_index() == 0) sink.reset();
+}
+BENCHMARK(BM_ObsScopedTimer);
+
+void BM_ObsRegistryLookup(benchmark::State& state) {
+  // The cost call sites avoid by caching handles in function-local statics.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(&obs::Registry::global().counter("bench.obs.lookup"));
+  }
+}
+BENCHMARK(BM_ObsRegistryLookup);
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Split our flags from google-benchmark's.
+  std::vector<char*> bench_args;
+  bench_args.push_back(argv[0]);
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--smoke") {
+      smoke = true;
+    } else if (arg == "--metrics-json" || arg.rfind("--metrics-json=", 0) == 0) {
+      // handled after the run
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  std::string min_time = "--benchmark_min_time=0.01";
+  if (smoke) bench_args.push_back(min_time.data());
+
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  netent::bench::maybe_dump_metrics(argc, argv);
+  return 0;
+}

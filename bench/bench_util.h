@@ -3,12 +3,14 @@
 // standard fleet/backbone here keeps figures consistent with each other.
 #pragma once
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/table.h"
+#include "obs/export.h"
 #include "topology/generator.h"
 #include "traffic/fleet.h"
 
@@ -47,6 +49,32 @@ inline std::string flag_value(int argc, char** argv, const std::string& key,
     if (arg.rfind(prefix, 0) == 0) return arg.substr(prefix.size());
   }
   return fallback;
+}
+
+/// True when `--flag` is present (exact match, no value).
+inline bool flag_present(int argc, char** argv, const std::string& flag) {
+  const std::string needle = "--" + flag;
+  for (int i = 1; i < argc; ++i) {
+    if (needle == argv[i]) return true;
+  }
+  return false;
+}
+
+/// Honors `--metrics-json` (dump the global obs registry to stdout) and
+/// `--metrics-json=PATH` (write it to PATH). Call once at the end of main;
+/// in a NETENT_OBS=OFF build the dump is an empty registry, not an error.
+inline void maybe_dump_metrics(int argc, char** argv) {
+  const std::string path = flag_value(argc, argv, "metrics-json", "");
+  if (!path.empty()) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "cannot open metrics output file: " << path << '\n';
+      return;
+    }
+    obs::dump_global_json(out);
+  } else if (flag_present(argc, argv, "metrics-json")) {
+    obs::dump_global_json(std::cout);
+  }
 }
 
 }  // namespace netent::bench

@@ -2,16 +2,42 @@
 // §1: "deployed and operated for over two years"). Each quarter the manager
 // renews contracts from the trailing history; the scorecard shows forecast
 // quality, approval level, provisioning headroom, and SLO attainment.
+// Pass --metrics-json=PATH (or bare --metrics-json for stdout) to dump the
+// obs registry after the run: approval verdict counters, risk-sweep scenario
+// tallies and placement-latency histograms for the whole two-year exercise.
+#include <fstream>
 #include <iostream>
+#include <string>
 
 #include "common/table.h"
 #include "core/lifecycle.h"
 #include "core/serialize.h"
+#include "obs/export.h"
 #include "topology/generator.h"
 
 using namespace netent;
 
-int main() {
+namespace {
+
+void maybe_dump_metrics(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-json") {
+      obs::dump_global_json(std::cout);
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      std::ofstream out(arg.substr(std::string("--metrics-json=").size()));
+      if (!out) {
+        std::cerr << "cannot open metrics output file from " << arg << '\n';
+        continue;
+      }
+      obs::dump_global_json(out);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   Rng rng(2026);
   topology::GeneratorConfig topo_config;
   topo_config.region_count = 8;
@@ -55,5 +81,6 @@ int main() {
                "entitled/realized-peak headroom; slo_volume_wtd is the volume-weighted\n"
                "replayed availability of granted traffic (compare with the 0.999\n"
                "target); slo_worst exposes the realization-coverage gap per quarter.\n";
+  maybe_dump_metrics(argc, argv);
   return 0;
 }

@@ -1,9 +1,12 @@
 #include "approval/approval.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace netent::approval {
 
@@ -14,7 +17,46 @@ using topology::Demand;
 
 namespace {
 constexpr double kEps = 1e-6;
+
+struct ApprovalMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& pipe_requests = reg.counter("approval.pipe.requests");
+  obs::Counter& pipe_approved_full = reg.counter("approval.pipe.approved_full");
+  obs::Counter& pipe_downgraded = reg.counter("approval.pipe.downgraded");
+  obs::Counter& pipe_denied = reg.counter("approval.pipe.denied");
+  obs::Counter& pipe_batch_rejected = reg.counter("approval.pipe.batch_rejected");
+  obs::Counter& pipe_requested_mgbps = reg.counter("approval.pipe.requested_mgbps");
+  obs::Counter& pipe_approved_mgbps = reg.counter("approval.pipe.approved_mgbps");
+  obs::Counter& hose_requests = reg.counter("approval.hose.requests");
+  obs::Counter& hose_approved_full = reg.counter("approval.hose.approved_full");
+  obs::Counter& hose_downgraded = reg.counter("approval.hose.downgraded");
+  obs::Counter& hose_denied = reg.counter("approval.hose.denied");
+  obs::Counter& hose_requested_mgbps = reg.counter("approval.hose.requested_mgbps");
+  obs::Counter& hose_approved_mgbps = reg.counter("approval.hose.approved_mgbps");
+  obs::Histogram& assess_seconds = reg.timer_histogram("approval.pipe.assess_seconds");
+};
+
+ApprovalMetrics& metrics() {
+  static ApprovalMetrics instance;
+  return instance;
 }
+
+std::uint64_t mgbps(Gbps rate) {
+  return static_cast<std::uint64_t>(std::llround(rate.value() * 1e3));
+}
+
+/// full / downgraded / denied verdict tallies shared by both pipelines.
+void count_verdict(Gbps requested, Gbps approved, obs::Counter& full, obs::Counter& downgraded,
+                   obs::Counter& denied) {
+  if (approved >= requested - Gbps(kEps)) {
+    full.add();
+  } else if (approved <= Gbps(kEps)) {
+    denied.add();
+  } else {
+    downgraded.add();
+  }
+}
+}  // namespace
 
 ApprovalEngine::ApprovalEngine(topology::Router& router, ApprovalConfig config)
     : router_(router),
@@ -30,6 +72,10 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
   std::vector<PipeApprovalResult> results(pipes.size());
   for (std::size_t i = 0; i < pipes.size(); ++i) results[i].request = pipes[i];
   if (pipes.empty()) return results;
+
+  ApprovalMetrics& m = metrics();
+  const obs::ScopedTimer span(m.assess_seconds);
+  m.pipe_requests.add(pipes.size());
 
   // Placement order: QoS classes premium-first (the priority requirement of
   // SS4.3), low-touch demand first within a class, then input order. Risk is
@@ -76,8 +122,18 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
       if (!inserted) it->second = it->second && ok;
     }
     for (std::size_t i = 0; i < pipes.size(); ++i) {
-      if (!batch_ok[{pipes[i].npg.value(), pipes[i].qos}]) results[i].approved = Gbps(0);
+      if (!batch_ok[{pipes[i].npg.value(), pipes[i].qos}]) {
+        if (results[i].approved > Gbps(kEps)) m.pipe_batch_rejected.add();
+        results[i].approved = Gbps(0);
+      }
     }
+  }
+
+  for (const PipeApprovalResult& result : results) {
+    count_verdict(result.request.rate, result.approved, m.pipe_approved_full, m.pipe_downgraded,
+                  m.pipe_denied);
+    m.pipe_requested_mgbps.add(mgbps(result.request.rate));
+    m.pipe_approved_mgbps.add(mgbps(result.approved));
   }
   return results;
 }
@@ -164,10 +220,16 @@ std::vector<HoseApprovalResult> ApprovalEngine::hose_approval(
 
   std::vector<HoseApprovalResult> results;
   results.reserve(hoses.size());
+  ApprovalMetrics& m = metrics();
+  m.hose_requests.add(hoses.size());
   for (const HoseRequest& hose : hoses) {
     const double frac =
         fraction.at({hose.npg.value(), hose.qos, hose.region.value(), hose.direction});
-    results.push_back({hose, hose.rate * frac});
+    const Gbps approved = hose.rate * frac;
+    count_verdict(hose.rate, approved, m.hose_approved_full, m.hose_downgraded, m.hose_denied);
+    m.hose_requested_mgbps.add(mgbps(hose.rate));
+    m.hose_approved_mgbps.add(mgbps(approved));
+    results.push_back({hose, approved});
   }
   return results;
 }

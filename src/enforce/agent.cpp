@@ -1,10 +1,47 @@
 #include "enforce/agent.h"
 
 #include <cmath>
+#include <optional>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace netent::enforce {
+
+namespace {
+
+/// Metering cycles happen on a seconds cadence per agent, so registry-handle
+/// lookup is hoisted into one process-wide static; every agent shares the
+/// counters (they are fleet aggregates, like the dashboards the §6 drill
+/// reads).
+struct AgentMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& publishes = reg.counter("enforce.agent.publishes");
+  obs::Counter& metering_cycles = reg.counter("enforce.agent.metering_cycles");
+  obs::Counter& no_contract_cycles = reg.counter("enforce.agent.no_contract_cycles");
+  obs::Counter& kernel_programs = reg.counter("enforce.agent.kernel_programs");
+  obs::Counter& kernel_unprograms = reg.counter("enforce.agent.kernel_unprograms");
+  obs::Counter& reprograms_suppressed = reg.counter("enforce.agent.reprograms_suppressed");
+  obs::Counter& meter_updates = reg.counter("enforce.meter.updates");
+  obs::Counter& meter_recoveries = reg.counter("enforce.meter.recoveries");
+  obs::Counter& meter_clamps = reg.counter("enforce.meter.clamps");
+  obs::Counter& meter_idle_cycles = reg.counter("enforce.meter.idle_cycles");
+  obs::Gauge& conform_ratio = reg.gauge("enforce.agent.conform_ratio");
+  obs::Histogram& cycle_seconds = reg.timer_histogram("enforce.agent.cycle_seconds");
+};
+
+AgentMetrics& metrics() {
+  static AgentMetrics instance;
+  return instance;
+}
+
+/// 1-in-16 cycles carry a wall-clock span: the latency histogram stays
+/// representative while the steady_clock reads stay off 15/16ths of the
+/// (already cheap) cycles.
+constexpr std::uint64_t kCycleSampleMask = 0xF;
+
+}  // namespace
 
 HostAgent::HostAgent(HostId host, NpgId npg, QosClass qos, AgentConfig config,
                      std::unique_ptr<Meter> meter, EntitlementQuery query, RateStore& store,
@@ -33,6 +70,7 @@ void HostAgent::observe_local(Gbps total, Gbps conform) {
 bool HostAgent::tick(double now_seconds) {
   if (now_seconds - last_publish_ >= config_.publish_interval_seconds) {
     store_.publish(npg_, qos_, host_, local_total_, local_conform_, now_seconds);
+    metrics().publishes.add();
     last_publish_ = now_seconds;
   }
   if (now_seconds - last_metering_ >= config_.metering_interval_seconds) {
@@ -44,9 +82,16 @@ bool HostAgent::tick(double now_seconds) {
 }
 
 void HostAgent::run_metering_cycle(double now_seconds) {
+  AgentMetrics& m = metrics();
+  std::optional<obs::ScopedTimer> span;
+  if ((cycle_count_++ & kCycleSampleMask) == 0) span.emplace(m.cycle_seconds);
+  m.metering_cycles.add();
+
   const EntitlementAnswer answer = query_(npg_, qos_, now_seconds);
   if (!answer.found) {
     // No contract for this period: remove any stale kernel entry.
+    m.no_contract_cycles.add();
+    if (programmed_ratio_ >= 0.0) m.kernel_unprograms.add();
     classifier_.unprogram(npg_, qos_);
     programmed_ratio_ = -1.0;
     return;
@@ -54,6 +99,22 @@ void HostAgent::run_metering_cycle(double now_seconds) {
   const ServiceRates aggregate = store_.aggregate(npg_, qos_, now_seconds);
   const double ratio = meter_->update(
       MeterInput{aggregate.total, aggregate.conform, answer.entitled_rate});
+
+  // Flush the meter's event deltas at cycle cadence (the meter itself keeps
+  // plain members so its per-update cost stays instrumentation-free).
+  // Zero deltas are the common case for every tally but `updates` in steady
+  // state; skipping them keeps the per-cycle obs cost to a couple of adds.
+  const MeterEvents& events = meter_->events();
+  const auto flush = [](obs::Counter& counter, std::uint64_t current, std::uint64_t flushed) {
+    if (current != flushed) counter.add(current - flushed);
+  };
+  flush(m.meter_updates, events.updates, flushed_events_.updates);
+  flush(m.meter_recoveries, events.recoveries, flushed_events_.recoveries);
+  flush(m.meter_clamps, events.clamps, flushed_events_.clamps);
+  flush(m.meter_idle_cycles, events.idle_cycles, flushed_events_.idle_cycles);
+  flushed_events_ = events;
+  m.conform_ratio.set(meter_->conform_ratio());
+
   // Hysteresis keeps the marked set stable at the metering equilibrium; the
   // endpoints (0 and 1) always program exactly.
   const bool endpoint = ratio <= 0.0 || ratio >= 1.0;
@@ -61,6 +122,9 @@ void HostAgent::run_metering_cycle(double now_seconds) {
       std::fabs(ratio - programmed_ratio_) > config_.ratio_hysteresis) {
     classifier_.program(npg_, qos_, ratio);
     programmed_ratio_ = ratio;
+    m.kernel_programs.add();
+  } else {
+    m.reprograms_suppressed.add();
   }
 }
 

@@ -76,6 +76,8 @@ class HostAgent {
   double last_publish_ = -1e18;
   double last_metering_ = -1e18;
   double programmed_ratio_ = -1.0;  // <0: nothing programmed yet
+  MeterEvents flushed_events_;      // meter tallies already pushed to obs
+  std::uint64_t cycle_count_ = 0;   // drives the sampled cycle-latency span
 };
 
 }  // namespace netent::enforce

@@ -14,11 +14,21 @@ constexpr double kEpsGbps = 1e-9;
 double StatelessMeter::update(const MeterInput& input) {
   NETENT_EXPECTS(input.total_rate >= Gbps(0));
   NETENT_EXPECTS(input.entitled_rate >= Gbps(0));
+  ++events_.updates;
 
-  if (input.total_rate.value() <= kEpsGbps ||
-      input.total_rate <= input.entitled_rate) {
+  if (input.total_rate.value() <= kEpsGbps) {
+    // Zero traffic: Equation 4 is 0/0 (and negative for entitled > 0).
+    // Specified edge (see Meter docs): nothing flows, nothing is remarked —
+    // even when the entitlement is also zero.
+    ++events_.idle_cycles;
+    ++events_.recoveries;
+    conform_ratio_ = 1.0;
+    return 0.0;
+  }
+  if (input.total_rate <= input.entitled_rate) {
     // At or below entitlement: nothing to remark (Equation 4 would go
     // negative). This is exactly the statelessness that causes oscillation.
+    if (conform_ratio_ < 1.0) ++events_.recoveries;
     conform_ratio_ = 1.0;
     return 0.0;
   }
@@ -37,14 +47,21 @@ double StatefulMeter::update(const MeterInput& input) {
   NETENT_EXPECTS(input.total_rate >= Gbps(0));
   NETENT_EXPECTS(input.conform_rate >= Gbps(0));
   NETENT_EXPECTS(input.entitled_rate >= Gbps(0));
+  ++events_.updates;
 
-  if (input.total_rate < input.entitled_rate) {
+  const bool idle = input.total_rate.value() <= kEpsGbps;
+  if (idle || input.total_rate < input.entitled_rate) {
     // Back in conformance: exponential unthrottle, rapid but not immediate
     // so a rate hovering around the entitlement does not flap. Strict
     // inequality matters: at the 100%-loss equilibrium the observed total
     // equals the entitlement exactly, and doubling there would oscillate.
     // The recovery step is damped by the same gain as the correction step
-    // (2^gain == 2 for the paper's undamped meter).
+    // (2^gain == 2 for the paper's undamped meter). The idle check makes the
+    // TotalRate == 0 edge explicit for a zero entitlement too: with no
+    // traffic there is nothing to throttle, so recover rather than fall
+    // through to the Equation 6 growth clamp.
+    if (idle) ++events_.idle_cycles;
+    ++events_.recoveries;
     conform_ratio_ = std::min(1.0, std::pow(2.0, gain_) * conform_ratio_);
     return 1.0 - conform_ratio_;
   }
@@ -54,9 +71,12 @@ double StatefulMeter::update(const MeterInput& input) {
   double factor;
   if (input.conform_rate.value() <= kEpsGbps) {
     factor = max_step_;  // nothing conforming observed: grow as fast as allowed
+    ++events_.clamps;
   } else {
     factor = input.entitled_rate.value() / input.conform_rate.value();
-    factor = std::clamp(factor, 1.0 / max_step_, max_step_);
+    const double clamped = std::clamp(factor, 1.0 / max_step_, max_step_);
+    if (clamped != factor) ++events_.clamps;
+    factor = clamped;
   }
   if (gain_ != 1.0) factor = std::pow(factor, gain_);
   conform_ratio_ = std::clamp(conform_ratio_ * factor, 0.0, 1.0);

@@ -12,6 +12,8 @@
 //    recovery when the service returns to conformance (Figure 25).
 #pragma once
 
+#include <cstdint>
+
 #include "common/units.h"
 
 namespace netent::enforce {
@@ -23,8 +25,28 @@ struct MeterInput {
   Gbps entitled_rate; ///< the contract's EntitledRate
 };
 
+/// Per-meter event tallies: plain (non-atomic) members bumped on the
+/// branches update() takes, so a meter costs nothing extra on its common
+/// path and the HostAgent can flush deltas into the obs registry at the
+/// metering-cycle cadence instead of per update. Always compiled (these are
+/// algorithm diagnostics, not wall-clock observability); deterministic for a
+/// deterministic input sequence.
+struct MeterEvents {
+  std::uint64_t updates = 0;     ///< update() calls
+  std::uint64_t recoveries = 0;  ///< back-in-conformance steps (ratio raised toward 1)
+  std::uint64_t clamps = 0;      ///< max_step clamp engaged on the Eq. 6 factor
+  std::uint64_t idle_cycles = 0; ///< cycles with TotalRate ~ 0 (the specified edge)
+};
+
 /// Interface shared by the §5.2 algorithms. `update` is called once per
 /// metering cycle and returns the NonConformRatio for the next cycle.
+///
+/// Zero-traffic edge (both implementations): when TotalRate is zero (below
+/// an epsilon), nothing is flowing, so nothing can be remarked — Equation 4
+/// would divide by zero, and with EntitledRate also zero would produce an
+/// indeterminate ratio. Specified behaviour: the cycle counts as conforming
+/// (StatelessMeter resets ConformRatio to 1; StatefulMeter takes its normal
+/// recovery step) and `MeterEvents::idle_cycles` is bumped.
 class Meter {
  public:
   virtual ~Meter() = default;
@@ -36,6 +58,12 @@ class Meter {
   [[nodiscard]] virtual double conform_ratio() const = 0;
 
   [[nodiscard]] double non_conform_ratio() const { return 1.0 - conform_ratio(); }
+
+  /// Cumulative event tallies since construction.
+  [[nodiscard]] const MeterEvents& events() const { return events_; }
+
+ protected:
+  MeterEvents events_;
 };
 
 /// Equations 4-5: NonConformRatio = (TotalRate - EntitledRate) / TotalRate.

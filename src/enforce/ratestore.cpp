@@ -1,8 +1,34 @@
 #include "enforce/ratestore.h"
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace netent::enforce {
+
+namespace {
+
+struct StoreMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& publishes = reg.counter("enforce.ratestore.publishes");
+  obs::Counter& reads = reg.counter("enforce.ratestore.reads");
+  obs::Counter& empty_reads = reg.counter("enforce.ratestore.empty_reads");
+  obs::Counter& compactions = reg.counter("enforce.ratestore.compactions");
+  obs::Counter& samples_dropped = reg.counter("enforce.ratestore.samples_dropped");
+  /// Age of the freshest sample an aggregate read actually used (one record
+  /// per read, the max over publishers): how stale the metering control loop
+  /// really runs, visibility delay included. Sim-time-valued, so the bucket
+  /// counts are deterministic.
+  obs::Histogram& staleness = reg.histogram(
+      "enforce.ratestore.read_staleness_seconds",
+      std::initializer_list<double>{0.5, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 60.0, 120.0});
+};
+
+StoreMetrics& metrics() {
+  static StoreMetrics instance;
+  return instance;
+}
+
+}  // namespace
 
 RateStore::RateStore(double visibility_delay_seconds)
     : visibility_delay_(visibility_delay_seconds) {
@@ -17,13 +43,20 @@ void RateStore::publish(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps c
   auto& queue = samples_[{npg.value(), qos}][host.value()];
   NETENT_EXPECTS(queue.empty() || queue.back().timestamp <= now_seconds);
   queue.push_back({now_seconds, total.value(), conform.value()});
+  metrics().publishes.add();
 }
 
 ServiceRates RateStore::aggregate(NpgId npg, QosClass qos, double now_seconds) const {
+  StoreMetrics& m = metrics();
+  m.reads.add();
   const double horizon = now_seconds - visibility_delay_;
   ServiceRates rates{Gbps(0), Gbps(0)};
   const auto service = samples_.find({npg.value(), qos});
-  if (service == samples_.end()) return rates;
+  if (service == samples_.end()) {
+    m.empty_reads.add();
+    return rates;
+  }
+  double newest_used = -1.0;  // timestamp of the freshest sample merged
   for (const auto& [host, queue] : service->second) {
     // Latest sample visible at the horizon.
     const Sample* visible = nullptr;
@@ -37,19 +70,31 @@ ServiceRates RateStore::aggregate(NpgId npg, QosClass qos, double now_seconds) c
     if (visible != nullptr) {
       rates.total += Gbps(visible->total_gbps);
       rates.conform += Gbps(visible->conform_gbps);
+      if (visible->timestamp > newest_used) newest_used = visible->timestamp;
     }
+  }
+  if (newest_used < 0.0) {
+    m.empty_reads.add();
+  } else {
+    m.staleness.record(now_seconds - newest_used);
   }
   return rates;
 }
 
 void RateStore::compact(double now_seconds) {
+  metrics().compactions.add();
   const double horizon = now_seconds - visibility_delay_;
+  std::uint64_t dropped = 0;
   for (auto& [service, hosts] : samples_) {
     for (auto& [host, queue] : hosts) {
       // Keep the newest sample at or before the horizon plus everything after.
-      while (queue.size() >= 2 && queue[1].timestamp <= horizon) queue.pop_front();
+      while (queue.size() >= 2 && queue[1].timestamp <= horizon) {
+        queue.pop_front();
+        ++dropped;
+      }
     }
   }
+  if (dropped != 0) metrics().samples_dropped.add(dropped);
 }
 
 }  // namespace netent::enforce

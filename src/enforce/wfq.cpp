@@ -1,10 +1,48 @@
 #include "enforce/wfq.h"
 
 #include <algorithm>
+#include <array>
+#include <cmath>
+#include <string>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace netent::enforce {
+
+namespace {
+
+/// WFQ queue counts are caller-defined; instrument the first kMaxObsQueues
+/// and tally the rest into an overflow pair so an exotic config cannot bloat
+/// the registry.
+constexpr std::size_t kMaxObsQueues = 16;
+
+struct WfqMetrics {
+  obs::Counter& transmits;
+  std::array<obs::Counter*, kMaxObsQueues> delivered{};
+  std::array<obs::Counter*, kMaxObsQueues> dropped{};
+  obs::Counter& delivered_overflow;
+  obs::Counter& dropped_overflow;
+
+  WfqMetrics()
+      : transmits(obs::Registry::global().counter("enforce.wfq.transmits")),
+        delivered_overflow(obs::Registry::global().counter("enforce.wfq.qrest.delivered_mgbps")),
+        dropped_overflow(obs::Registry::global().counter("enforce.wfq.qrest.dropped_mgbps")) {
+    auto& reg = obs::Registry::global();
+    for (std::size_t q = 0; q < kMaxObsQueues; ++q) {
+      const std::string base = "enforce.wfq.q" + std::to_string(q);
+      delivered[q] = &reg.counter(base + ".delivered_mgbps");
+      dropped[q] = &reg.counter(base + ".dropped_mgbps");
+    }
+  }
+};
+
+WfqMetrics& metrics() {
+  static WfqMetrics instance;
+  return instance;
+}
+
+}  // namespace
 
 WeightedFairSwitch::WeightedFairSwitch(Gbps capacity, std::vector<double> weights)
     : capacity_(capacity), weights_(std::move(weights)) {
@@ -51,6 +89,19 @@ std::vector<WfqOutcome> WeightedFairSwitch::transmit(std::span<const double> off
   }
 
   for (std::size_t q = 0; q < n; ++q) outcomes[q].dropped_gbps = remaining[q];
+
+  if constexpr (obs::kEnabled) {
+    WfqMetrics& m = metrics();
+    m.transmits.add();
+    for (std::size_t q = 0; q < n; ++q) {
+      const auto add_mgbps = [](obs::Counter& c, double gbps) {
+        if (gbps > 0.0) c.add(static_cast<std::uint64_t>(std::llround(gbps * 1e3)));
+      };
+      add_mgbps(q < kMaxObsQueues ? *m.delivered[q] : m.delivered_overflow,
+                outcomes[q].delivered_gbps);
+      add_mgbps(q < kMaxObsQueues ? *m.dropped[q] : m.dropped_overflow, outcomes[q].dropped_gbps);
+    }
+  }
   return outcomes;
 }
 

@@ -1,0 +1,100 @@
+#include "obs/export.h"
+
+#include <cstdio>
+
+#include "common/table.h"
+
+namespace netent::obs {
+
+namespace {
+
+/// Round-trip double formatting, locale-independent for our content
+/// (metric values never need locale-specific separators).
+std::string format_double(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+/// Metric names are dotted identifiers; escape defensively anyway.
+std::string escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snapshot) {
+  std::string json = "{\"counters\":{";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const CounterSnapshot& counter = snapshot.counters[i];
+    if (i != 0) json += ',';
+    json += '"' + escape(counter.name) + "\":" + std::to_string(counter.value);
+  }
+  json += "},\"gauges\":{";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const GaugeSnapshot& gauge = snapshot.gauges[i];
+    if (i != 0) json += ',';
+    json += '"' + escape(gauge.name) + "\":" + format_double(gauge.value);
+  }
+  json += "},\"histograms\":{";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& histogram = snapshot.histograms[i];
+    if (i != 0) json += ',';
+    json += '"' + escape(histogram.name) + "\":{\"bounds\":[";
+    for (std::size_t b = 0; b < histogram.bounds.size(); ++b) {
+      if (b != 0) json += ',';
+      json += format_double(histogram.bounds[b]);
+    }
+    json += "],\"counts\":[";
+    for (std::size_t b = 0; b < histogram.counts.size(); ++b) {
+      if (b != 0) json += ',';
+      json += std::to_string(histogram.counts[b]);
+    }
+    json += "],\"count\":" + std::to_string(histogram.total_count) +
+            ",\"sum\":" + format_double(histogram.sum) + '}';
+  }
+  json += "}}";
+  return json;
+}
+
+void print_text(const Snapshot& snapshot, std::ostream& os) {
+  if (!snapshot.counters.empty()) {
+    Table table({"counter", "value"}, 0);
+    for (const CounterSnapshot& counter : snapshot.counters) {
+      table.add_row({counter.name, static_cast<double>(counter.value)});
+    }
+    table.print(os);
+    os << '\n';
+  }
+  if (!snapshot.gauges.empty()) {
+    Table table({"gauge", "value"}, 4);
+    for (const GaugeSnapshot& gauge : snapshot.gauges) {
+      table.add_row({gauge.name, gauge.value});
+    }
+    table.print(os);
+    os << '\n';
+  }
+  if (!snapshot.histograms.empty()) {
+    Table table({"histogram", "count", "mean", "p50", "p99"}, 6);
+    for (const HistogramSnapshot& histogram : snapshot.histograms) {
+      table.add_row({histogram.name, static_cast<double>(histogram.total_count),
+                     histogram.mean(),
+                     histogram.total_count ? histogram.quantile(0.5) : 0.0,
+                     histogram.total_count ? histogram.quantile(0.99) : 0.0});
+    }
+    table.print(os);
+  }
+}
+
+void dump_global_json(std::ostream& os, bool deterministic_only) {
+  const Snapshot snapshot = Registry::global().snapshot();
+  os << to_json(deterministic_only ? snapshot.deterministic_only() : snapshot) << '\n';
+}
+
+}  // namespace netent::obs

@@ -1,0 +1,28 @@
+// Snapshot exporters: a stable JSON encoding (sorted by metric name, fixed
+// number formatting — two exports of the same snapshot are bit-identical,
+// which the golden determinism tests rely on) and an aligned text table for
+// humans. Both consume Snapshot, so they work identically on the global
+// registry or a filtered subset.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace netent::obs {
+
+/// JSON object {"counters":{...},"gauges":{...},"histograms":{...}} with
+/// keys in snapshot (i.e. name-sorted) order. Doubles are emitted with
+/// round-trip precision ("%.17g"), so equal values encode identically.
+[[nodiscard]] std::string to_json(const Snapshot& snapshot);
+
+/// Aligned text tables (one per metric kind) via common/table.h; histograms
+/// report count, mean and approximate p50/p99 from the bucket boundaries.
+void print_text(const Snapshot& snapshot, std::ostream& os);
+
+/// Convenience: serialize the global registry. `deterministic_only` drops
+/// timing-flagged metrics (see Snapshot::deterministic_only).
+void dump_global_json(std::ostream& os, bool deterministic_only = false);
+
+}  // namespace netent::obs

@@ -1,0 +1,197 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace netent::obs {
+
+// --- Snapshot helpers (compiled in every build) ----------------------------
+
+double HistogramSnapshot::mean() const {
+  return total_count == 0 ? 0.0 : sum / static_cast<double>(total_count);
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  NETENT_EXPECTS(q > 0.0 && q <= 1.0);
+  if (total_count == 0) return 0.0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    cumulative += counts[i];
+    if (cumulative >= target) {
+      return i < bounds.size() ? bounds[i] : (bounds.empty() ? 0.0 : bounds.back());
+    }
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+Snapshot Snapshot::deterministic_only() const {
+  Snapshot filtered;
+  filtered.counters = counters;  // counters are always deterministic-eligible
+  for (const GaugeSnapshot& gauge : gauges) {
+    if (!gauge.timing) filtered.gauges.push_back(gauge);
+  }
+  for (const HistogramSnapshot& histogram : histograms) {
+    if (!histogram.timing) filtered.histograms.push_back(histogram);
+  }
+  return filtered;
+}
+
+#if NETENT_OBS_ENABLED
+
+namespace detail {
+
+std::size_t assign_shard() noexcept {
+  static std::atomic<std::size_t> next{0};
+  return next.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+}
+
+}  // namespace detail
+
+// --- Histogram -------------------------------------------------------------
+
+namespace {
+/// Default duration buckets for timer histograms, in seconds: 100ns..10s in
+/// a 1-3-10 ladder. Covers everything from a counter bump to a full sweep.
+constexpr double kTimerBoundsSeconds[] = {1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4,
+                                          1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0};
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds, bool timing)
+    : bounds_(std::move(bounds)), timing_(timing) {
+  NETENT_EXPECTS(!bounds_.empty());
+  NETENT_EXPECTS(std::is_sorted(bounds_.begin(), bounds_.end()));
+  shards_.reserve(kShardCount);
+  for (std::size_t s = 0; s < kShardCount; ++s) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::record(double value) noexcept {
+  const double clamped = value < 0.0 ? 0.0 : value;
+  const auto bucket = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), clamped) - bounds_.begin());
+  Shard& shard = *shards_[this_thread_shard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  shard.sum_micro.fetch_add(static_cast<std::uint64_t>(std::llround(clamped * 1e6)),
+                            std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const noexcept {
+  // Derived from the bucket counts: record() pays for two fetch_adds, not
+  // three, and reads are the rare path.
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& count : shard->counts) total += count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+double Histogram::sum() const noexcept {
+  std::uint64_t micro = 0;
+  for (const auto& shard : shards_) micro += shard->sum_micro.load(std::memory_order_relaxed);
+  return static_cast<double>(micro) / 1e6;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> merged(bounds_.size() + 1, 0);
+  for (const auto& shard : shards_) {
+    for (std::size_t b = 0; b < merged.size(); ++b) {
+      merged[b] += shard->counts[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+void Histogram::reset() noexcept {
+  for (const auto& shard : shards_) {
+    for (auto& count : shard->counts) count.store(0, std::memory_order_relaxed);
+    shard->sum_micro.store(0, std::memory_order_relaxed);
+  }
+}
+
+// --- Registry --------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  const std::scoped_lock lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name, bool timing) {
+  const std::scoped_lock lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    auto gauge = std::unique_ptr<Gauge>(new Gauge());
+    gauge->timing_ = timing;
+    it = gauges_.emplace(std::string(name), std::move(gauge)).first;
+  }
+  NETENT_EXPECTS(it->second->timing_ == timing);
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, std::span<const double> bounds,
+                               bool timing) {
+  const std::scoped_lock lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    auto histogram = std::unique_ptr<Histogram>(
+        new Histogram(std::vector<double>(bounds.begin(), bounds.end()), timing));
+    it = histograms_.emplace(std::string(name), std::move(histogram)).first;
+  }
+  NETENT_EXPECTS(it->second->timing_ == timing);
+  NETENT_EXPECTS(std::equal(bounds.begin(), bounds.end(), it->second->bounds_.begin(),
+                            it->second->bounds_.end()));
+  return *it->second;
+}
+
+Histogram& Registry::timer_histogram(std::string_view name) {
+  return histogram(name, kTimerBoundsSeconds, /*timing=*/true);
+}
+
+Snapshot Registry::snapshot() const {
+  const std::scoped_lock lock(mutex_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.push_back({name, gauge->value(), gauge->timing()});
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.timing = histogram->timing();
+    hs.bounds.assign(histogram->bounds().begin(), histogram->bounds().end());
+    hs.counts = histogram->bucket_counts();
+    hs.total_count = histogram->count();
+    hs.sum = histogram->sum();
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  const std::scoped_lock lock(mutex_);
+  for (const auto& [name, counter] : counters_) counter->reset();
+  for (const auto& [name, gauge] : gauges_) gauge->reset();
+  for (const auto& [name, histogram] : histograms_) histogram->reset();
+}
+
+#endif  // NETENT_OBS_ENABLED
+
+}  // namespace netent::obs

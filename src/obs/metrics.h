@@ -1,0 +1,270 @@
+// Low-overhead metrics substrate (`netent::obs`): monotonic counters, gauges
+// and fixed-bucket histograms behind a process-global named registry, plus
+// snapshot/export for the figure benches and tests.
+//
+// Design rules (DESIGN.md "Observability"):
+//  * Hot-path writes are per-thread sharded: every metric owns kShardCount
+//    cache-line-padded slots and a thread writes only "its" slot with a
+//    relaxed atomic, so the risk-sweep / drill worker threads never contend.
+//    Reads merge the shards (merge-on-read); integer merges are
+//    order-independent, so merged values are exact and bit-identical for any
+//    thread count.
+//  * Everything deterministic is integer-valued. Counters are uint64;
+//    histogram sums are accumulated in integer micro-units. Gauges hold the
+//    last-set double. Wall-clock-derived metrics (timer histograms, pool
+//    utilization) are flagged `timing` and excluded from
+//    Snapshot::deterministic_only(), which the serial-vs-parallel golden
+//    tests compare.
+//  * Compile-time removable: configuring with -DNETENT_OBS=OFF swaps every
+//    class below for an empty stub with the identical API, so unchanged call
+//    sites compile to no-ops (tests/test_obs_overhead.cpp pins this).
+//
+// Handles returned by the registry are stable for the process lifetime;
+// instrumented code looks a metric up once (function-local static) and keeps
+// the reference.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef NETENT_OBS_ENABLED
+#define NETENT_OBS_ENABLED 1
+#endif
+
+namespace netent::obs {
+
+/// True when the instrumentation is compiled in (NETENT_OBS=ON).
+inline constexpr bool kEnabled = NETENT_OBS_ENABLED != 0;
+
+// ---------------------------------------------------------------------------
+// Snapshots: merged, point-in-time values, sorted by metric name. These are
+// real data in every build (an OFF build just produces empty snapshots), so
+// exporters and tests compile unconditionally.
+// ---------------------------------------------------------------------------
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+  bool timing = false;  ///< wall-clock/schedule dependent; not deterministic
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  bool timing = false;
+  std::vector<double> bounds;          ///< upper bounds, ascending
+  std::vector<std::uint64_t> counts;   ///< bounds.size() + 1 (last = overflow)
+  std::uint64_t total_count = 0;
+  double sum = 0.0;
+
+  [[nodiscard]] double mean() const;
+  /// Upper bound of the bucket where the cumulative count reaches q (in
+  /// (0, 1]); the overflow bucket reports the largest finite bound.
+  [[nodiscard]] double quantile(double q) const;
+};
+
+struct Snapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Everything except timing-flagged metrics: the subset that must be
+  /// bit-identical between serial and parallel runs of the same seed.
+  [[nodiscard]] Snapshot deterministic_only() const;
+};
+
+#if NETENT_OBS_ENABLED
+
+/// Shards per metric. Threads are assigned a shard round-robin on first
+/// metric touch; more threads than shards just share (still exact, only
+/// contended).
+inline constexpr std::size_t kShardCount = 16;
+
+namespace detail {
+/// Round-robin shard assignment, taken once per thread (out of line: cold).
+[[nodiscard]] std::size_t assign_shard() noexcept;
+}  // namespace detail
+
+/// This thread's shard index (stable for the thread's lifetime). The cached
+/// slot is constant-initialized (0 = unassigned, else shard + 1) so the hot
+/// path is a plain TLS load with no init-guard or wrapper call.
+[[nodiscard]] inline std::size_t this_thread_shard() noexcept {
+  thread_local std::size_t assigned = 0;
+  std::size_t slot = assigned;
+  if (slot == 0) [[unlikely]] {
+    slot = detail::assign_shard() + 1;
+    assigned = slot;
+  }
+  return slot - 1;
+}
+
+/// Monotonic counter. add() is one relaxed fetch_add on a thread-private
+/// cache line; value() merges the shards (exact: integer sum).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    shards_[this_thread_shard()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    std::uint64_t total = 0;
+    for (const Shard& shard : shards_) total += shard.value.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& shard : shards_) shard.value.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  std::array<Shard, kShardCount> shards_{};
+};
+
+/// Last-written value (not sharded: set/read are both rare).
+class Gauge {
+ public:
+  void set(double value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  [[nodiscard]] bool timing() const noexcept { return timing_; }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  friend class Registry;
+  std::atomic<double> value_{0.0};
+  bool timing_ = false;
+};
+
+/// Fixed-bucket histogram with per-thread sharding. record() clamps the
+/// value to >= 0, bumps the shard's bucket count and adds the value to the
+/// shard's sum in integer micro-units, so merged counts AND sums are exact
+/// and order-independent.
+class Histogram {
+ public:
+  void record(double value) noexcept;
+
+  [[nodiscard]] std::span<const double> bounds() const noexcept { return bounds_; }
+  [[nodiscard]] bool timing() const noexcept { return timing_; }
+  [[nodiscard]] std::uint64_t count() const noexcept;
+  [[nodiscard]] double sum() const noexcept;
+  /// Merged per-bucket counts (bounds().size() + 1 entries).
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+  void reset() noexcept;
+
+ private:
+  friend class Registry;
+  Histogram(std::vector<double> bounds, bool timing);
+
+  struct Shard {
+    explicit Shard(std::size_t buckets) : counts(buckets) {}
+    std::vector<std::atomic<std::uint64_t>> counts;  // total is their sum
+    alignas(64) std::atomic<std::uint64_t> sum_micro{0};
+  };
+
+  std::vector<double> bounds_;  // ascending upper bounds
+  bool timing_;
+  std::vector<std::unique_ptr<Shard>> shards_;  // kShardCount, heap for padding
+};
+
+/// Name -> metric registry. Lookup is mutex + map and intended to happen
+/// once per call site (function-local static handle); the handles themselves
+/// are lock-free. Metric objects live until process exit; reset() zeroes
+/// values but keeps registrations.
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global();
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name, bool timing = false);
+  /// `bounds` are ascending upper bounds; re-registration with different
+  /// bounds is a contract violation.
+  [[nodiscard]] Histogram& histogram(std::string_view name, std::span<const double> bounds,
+                                     bool timing = false);
+  /// Histogram with the default duration buckets (100ns..10s), timing-flagged.
+  [[nodiscard]] Histogram& timer_histogram(std::string_view name);
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void reset();
+
+  [[nodiscard]] static constexpr bool enabled() { return true; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // NETENT_OBS_ENABLED == 0: identical API, empty bodies. Call sites
+       // compile unchanged and the optimizer erases them.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  [[nodiscard]] bool timing() const noexcept { return false; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void record(double) noexcept {}
+  [[nodiscard]] std::span<const double> bounds() const noexcept { return {}; }
+  [[nodiscard]] bool timing() const noexcept { return false; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] double sum() const noexcept { return 0.0; }
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const { return {}; }
+  void reset() noexcept {}
+};
+
+class Registry {
+ public:
+  [[nodiscard]] static Registry& global() {
+    static Registry registry;
+    return registry;
+  }
+  [[nodiscard]] Counter& counter(std::string_view) {
+    static Counter stub;
+    return stub;
+  }
+  [[nodiscard]] Gauge& gauge(std::string_view, bool = false) {
+    static Gauge stub;
+    return stub;
+  }
+  [[nodiscard]] Histogram& histogram(std::string_view, std::span<const double>, bool = false) {
+    static Histogram stub;
+    return stub;
+  }
+  [[nodiscard]] Histogram& timer_histogram(std::string_view) {
+    static Histogram stub;
+    return stub;
+  }
+  [[nodiscard]] Snapshot snapshot() const { return {}; }
+  void reset() {}
+  [[nodiscard]] static constexpr bool enabled() { return false; }
+};
+
+#endif  // NETENT_OBS_ENABLED
+
+}  // namespace netent::obs

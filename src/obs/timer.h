@@ -1,0 +1,52 @@
+// RAII scoped-timer spans. A span measures the wall-clock time between its
+// construction and destruction and records it (in seconds) into a timer
+// histogram. RAII is the point: every exit path of the instrumented scope —
+// early returns, exceptions propagating out of a placement, the hysteresis
+// short-circuit in the agent — is measured identically, with no paired
+// begin/end calls to keep in sync.
+//
+// With NETENT_OBS=OFF the span is an empty struct: no clock reads, no
+// record, same call sites.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace netent::obs {
+
+#if NETENT_OBS_ENABLED
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& sink) noexcept
+      : sink_(&sink), start_(std::chrono::steady_clock::now()) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  ~ScopedTimer() { sink_->record(elapsed_seconds()); }
+
+  [[nodiscard]] double elapsed_seconds() const noexcept {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration_cast<std::chrono::duration<double>>(elapsed).count();
+  }
+
+ private:
+  Histogram* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) noexcept {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  [[nodiscard]] double elapsed_seconds() const noexcept { return 0.0; }
+};
+
+#endif  // NETENT_OBS_ENABLED
+
+}  // namespace netent::obs

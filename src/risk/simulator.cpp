@@ -1,10 +1,42 @@
 #include "risk/simulator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace netent::risk {
+
+namespace {
+
+/// Placement spans are sampled one scenario in this many (by scenario
+/// index, so the sampled set is identical for every thread count).
+constexpr std::size_t kPlaceSampleStride = 8;
+
+struct SweepMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& sweeps = reg.counter("risk.sweeps");
+  obs::Counter& scenarios_swept = reg.counter("risk.scenarios_swept");
+  obs::Counter& pipes_assessed = reg.counter("risk.pipes_assessed");
+  /// Wall-clock per-scenario placement latency; recorded from pool threads,
+  /// so it exercises the sharded write path.
+  obs::Histogram& place_seconds = reg.timer_histogram("risk.scenario_place_seconds");
+  obs::Gauge& threads = reg.gauge("risk.sweep.threads", /*timing=*/true);
+  /// busy / (threads * wall) for the last sweep: how well the scenario
+  /// fan-out kept the pool fed (placement cost is skewed, so the tail
+  /// scenario can idle the rest of the pool).
+  obs::Gauge& utilization_pct = reg.gauge("risk.sweep.utilization_pct", /*timing=*/true);
+};
+
+SweepMetrics& metrics() {
+  static SweepMetrics instance;
+  return instance;
+}
+
+}  // namespace
 
 AvailabilityCurve::AvailabilityCurve(std::vector<std::pair<double, double>> outcomes)
     : outcomes_(std::move(outcomes)) {
@@ -74,18 +106,45 @@ std::vector<AvailabilityCurve> RiskSimulator::availability_curves(
 
   // Fan the scenarios out; each placement is independent and keeps its
   // mutable state (scenario capacities, PlacementState) thread-confined.
+  SweepMetrics& m = metrics();
+  m.sweeps.add();
+  m.scenarios_swept.add(scenarios_.size());
+  m.pipes_assessed.add(pipes.size());
+
   std::vector<std::vector<double>> placed(scenarios_.size());
   const auto run_scenario = [&](std::size_t s) {
+    // 1-in-kPlaceSampleStride placements carry a wall-clock span: keyed on
+    // the scenario index, so the sample set is thread-count independent and
+    // the steady_clock reads stay off the other placements (which can be
+    // sub-microsecond on small topologies).
+    std::optional<obs::ScopedTimer> span;
+    if (s % kPlaceSampleStride == 0) span.emplace(m.place_seconds);
     const auto capacity = scenario_capacities(scenarios_[s]);
     auto result = router.route_warmed(pipes, capacity);
     NETENT_ENSURES(result.placed_per_demand.size() == pipes.size());
     placed[s] = std::move(result.placed_per_demand);
   };
-  if (num_threads <= 1 || scenarios_.size() < 2) {
+  const std::size_t threads_used =
+      (num_threads <= 1 || scenarios_.size() < 2) ? 1 : std::min(num_threads, scenarios_.size());
+  const double busy_before = m.place_seconds.sum();
+  const auto sweep_start = std::chrono::steady_clock::now();
+  if (threads_used == 1) {
     for (std::size_t s = 0; s < scenarios_.size(); ++s) run_scenario(s);
   } else {
-    ThreadPool pool(std::min(num_threads, scenarios_.size()));
+    ThreadPool pool(threads_used);
     pool.parallel_for(0, scenarios_.size(), run_scenario);
+  }
+  if constexpr (obs::kEnabled) {
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();
+    m.threads.set(static_cast<double>(threads_used));
+    if (wall > 0.0) {
+      // Spans are sampled 1-in-kPlaceSampleStride; scale the sampled busy
+      // time back up for the estimate.
+      const double busy = (m.place_seconds.sum() - busy_before) *
+                          static_cast<double>(kPlaceSampleStride);
+      m.utilization_pct.set(100.0 * busy / (wall * static_cast<double>(threads_used)));
+    }
   }
 
   // Merge back in scenario order: the outcome sequence each curve sees is

@@ -3,8 +3,30 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
 
 namespace netent::risk {
+
+namespace {
+
+struct VerifyMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& verifications = reg.counter("risk.slo.verifications");
+  obs::Counter& pipes_verified = reg.counter("risk.slo.pipes_verified");
+  obs::Counter& scenarios_replayed = reg.counter("risk.slo.scenarios_replayed");
+  /// (scenario, pipe) pairs where the approved pipe was fully admitted —
+  /// the integer numerator behind the attainment fractions.
+  obs::Counter& admitted_outcomes = reg.counter("risk.slo.admitted_outcomes");
+  obs::Histogram& replay_seconds = reg.timer_histogram("risk.slo.scenario_replay_seconds");
+};
+
+VerifyMetrics& metrics() {
+  static VerifyMetrics instance;
+  return instance;
+}
+
+}  // namespace
 
 SloVerifier::SloVerifier(topology::Router& router, std::vector<FailureScenario> scenarios,
                          approval::LowTouchPredicate low_touch)
@@ -42,10 +64,16 @@ std::vector<PipeAttainment> SloVerifier::verify(
   // scenario records which pipes were fully admitted; the probability masses
   // are then accumulated serially in scenario order, so the attainments are
   // bit-identical to the serial replay for every thread count.
+  VerifyMetrics& m = metrics();
+  m.verifications.add();
+  m.pipes_verified.add(order.size());
+  m.scenarios_replayed.add(scenarios_.size());
+
   router_.warm(demands);
   const topology::Router& router = router_;
   std::vector<std::vector<char>> admitted(scenarios_.size());
   const auto run_scenario = [&](std::size_t s) {
+    const obs::ScopedTimer span(m.replay_seconds);
     std::vector<double> scenario_capacity(router.topo().link_count());
     for (const topology::Link& link : router.topo().links()) {
       double capacity = link.capacity.value();
@@ -74,11 +102,16 @@ std::vector<PipeAttainment> SloVerifier::verify(
   }
 
   std::vector<double> admitted_mass(order.size(), 0.0);
+  std::uint64_t admitted_count = 0;
   for (std::size_t s = 0; s < scenarios_.size(); ++s) {
     for (std::size_t k = 0; k < order.size(); ++k) {
-      if (admitted[s][k] != 0) admitted_mass[k] += scenarios_[s].probability;
+      if (admitted[s][k] != 0) {
+        admitted_mass[k] += scenarios_[s].probability;
+        ++admitted_count;
+      }
     }
   }
+  if (admitted_count != 0) m.admitted_outcomes.add(admitted_count);
 
   std::vector<PipeAttainment> attainments;
   attainments.reserve(order.size());

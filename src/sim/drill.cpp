@@ -13,6 +13,7 @@
 #include "enforce/meter.h"
 #include "enforce/ratestore.h"
 #include "enforce/switchport.h"
+#include "obs/metrics.h"
 #include "sim/connections.h"
 #include "sim/event_queue.h"
 
@@ -24,6 +25,32 @@ using namespace netent::enforce;
 
 constexpr NpgId kColdstorage{0};
 constexpr double kEps = 1e-9;
+
+/// Drill-wide tallies. flows_classified / flows_marked are bumped inside the
+/// per-host fan-out (integer adds on sharded counters merge to the same
+/// totals for every thread count); the volume counters are accumulated in
+/// the serial reduction as milli-gbit of traffic (rate x tick, rounded).
+struct DrillMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& runs = reg.counter("sim.drill.runs");
+  obs::Counter& ticks = reg.counter("sim.drill.ticks");
+  obs::Counter& flows_classified = reg.counter("sim.drill.flows_classified");
+  obs::Counter& flows_marked = reg.counter("sim.drill.flows_marked");
+  obs::Counter& conform_sent_mgbit = reg.counter("sim.drill.conform_sent_mgbit");
+  obs::Counter& nonconf_sent_mgbit = reg.counter("sim.drill.nonconf_sent_mgbit");
+  obs::Counter& acl_dropped_mgbit = reg.counter("sim.drill.acl_dropped_mgbit");
+  obs::Counter& port_conf_dropped_mgbit = reg.counter("sim.drill.port_conf_dropped_mgbit");
+  obs::Counter& port_nonconf_dropped_mgbit = reg.counter("sim.drill.port_nonconf_dropped_mgbit");
+};
+
+DrillMetrics& drill_metrics() {
+  static DrillMetrics instance;
+  return instance;
+}
+
+std::uint64_t mgbit(double gbps, double seconds) {
+  return static_cast<std::uint64_t>(std::llround(gbps * seconds * 1e3));
+}
 
 /// Latency multiplier of a lossy path: retries and timeouts inflate service
 /// time sharply as loss grows (loss in [0, 1)).
@@ -46,6 +73,8 @@ DrillSim::DrillSim(DrillConfig config, Rng rng) : config_(std::move(config)), rn
 
 std::vector<DrillTick> DrillSim::run() {
   const std::size_t n = config_.host_count;
+  DrillMetrics& dm = drill_metrics();
+  dm.runs.add();
 
   // --- static setup ---------------------------------------------------
   // Heterogeneous host demand weights.
@@ -172,13 +201,17 @@ std::vector<DrillTick> DrillSim::run() {
     const double flow_rate_divisor = static_cast<double>(config_.flows_per_host);
     for_each_host([&](std::size_t h) {
       const double host_demand = demand * weight[h];
-      double marked = 0.0;
+      std::uint64_t marked_flows = 0;
       for (std::size_t f = 0; f < config_.flows_per_host; ++f) {
         const EgressMeta meta{kColdstorage, config_.qos, HostId(static_cast<std::uint32_t>(h)),
                               static_cast<std::uint64_t>(h) * 1000 + f};
-        if (classifiers[h].classify(meta) == kNonConformingDscp) marked += 1.0;
+        if (classifiers[h].classify(meta) == kNonConformingDscp) ++marked_flows;
       }
-      marked /= flow_rate_divisor;
+      // Sharded-counter writes from the pool threads; integer increments, so
+      // the merged totals match the serial run bit for bit.
+      dm.flows_classified.add(config_.flows_per_host);
+      if (marked_flows != 0) dm.flows_marked.add(marked_flows);
+      const double marked = static_cast<double>(marked_flows) / flow_rate_divisor;
       host_marked_share[h] = marked;
       // Transport reaction: non-conforming flows send at a collapsed rate
       // under loss; conforming flows are unaffected (paper: conforming
@@ -209,6 +242,18 @@ std::vector<DrillTick> DrillSim::run() {
         acl_dropped + outcomes[kNonConformingQueue].dropped_gbps;
     const double nonconf_loss =
         nonconf_sent > kEps ? nonconf_network_dropped / nonconf_sent : acl;
+
+    if constexpr (obs::kEnabled) {
+      // Serial reduction values, converted to integer volumes: identical for
+      // every thread count.
+      const double dt = config_.tick_seconds;
+      dm.ticks.add();
+      dm.conform_sent_mgbit.add(mgbit(conf_sent, dt));
+      dm.nonconf_sent_mgbit.add(mgbit(nonconf_sent, dt));
+      dm.acl_dropped_mgbit.add(mgbit(acl_dropped, dt));
+      dm.port_conf_dropped_mgbit.add(mgbit(outcomes[service_queue].dropped_gbps, dt));
+      dm.port_nonconf_dropped_mgbit.add(mgbit(outcomes[kNonConformingQueue].dropped_gbps, dt));
+    }
 
     // 4. Transport adaptation for the next tick (EWMA toward goodput share).
     // The floor models retry/SYN baseline traffic: even fully-dropped flows

@@ -52,6 +52,64 @@ TEST(StatelessMeter, OscillatesUnderFullLoss) {
   EXPECT_NEAR(marked_ratios[3], 0.0, 1e-9);
 }
 
+TEST(StatelessMeter, ZeroTrafficWithZeroEntitlementIsSafe) {
+  // TotalRate == 0 with EntitledRate == 0 made Equation 4 literally 0/0;
+  // the specified edge resolves it to "nothing flows, nothing is remarked".
+  StatelessMeter meter;
+  (void)meter.update({Gbps(6000), Gbps(6000), Gbps(5000)});
+  EXPECT_LT(meter.conform_ratio(), 1.0);
+  const double ratio = meter.update({Gbps(0), Gbps(0), Gbps(0)});
+  EXPECT_DOUBLE_EQ(ratio, 0.0);
+  EXPECT_DOUBLE_EQ(meter.conform_ratio(), 1.0);
+  EXPECT_EQ(meter.events().idle_cycles, 1u);
+}
+
+TEST(StatelessMeter, TinyTotalTreatedAsIdleNotNegativeRatio) {
+  // A sub-epsilon total with a positive entitlement would drive Equation 4
+  // to a huge negative ratio; the idle edge must win.
+  StatelessMeter meter;
+  const double ratio = meter.update({Gbps(1e-12), Gbps(0), Gbps(5000)});
+  EXPECT_DOUBLE_EQ(ratio, 0.0);
+  EXPECT_DOUBLE_EQ(meter.conform_ratio(), 1.0);
+  EXPECT_EQ(meter.events().idle_cycles, 1u);
+}
+
+TEST(StatefulMeter, ZeroTrafficWithZeroEntitlementRecovers) {
+  StatefulMeter meter;
+  meter.update({Gbps(10000), Gbps(10000), Gbps(5000)});  // ratio 0.5
+  meter.update({Gbps(10000), Gbps(5000), Gbps(2500)});   // ratio 0.25
+  EXPECT_NEAR(meter.conform_ratio(), 0.25, 1e-12);
+  // The all-zero input used to fall through to the Equation 6 growth clamp
+  // (EntitledRate/ConformRate with both zero); the specified edge takes the
+  // normal 2x recovery step instead.
+  const double ratio = meter.update({Gbps(0), Gbps(0), Gbps(0)});
+  EXPECT_NEAR(meter.conform_ratio(), 0.5, 1e-12);
+  EXPECT_NEAR(ratio, 0.5, 1e-12);
+  EXPECT_EQ(meter.events().idle_cycles, 1u);
+  EXPECT_EQ(meter.events().recoveries, 1u);
+}
+
+TEST(StatefulMeter, IdleWithPositiveEntitlementRecovers) {
+  StatefulMeter meter;
+  meter.update({Gbps(10000), Gbps(10000), Gbps(5000)});  // ratio 0.5
+  meter.update({Gbps(0), Gbps(0), Gbps(5000)});
+  EXPECT_NEAR(meter.conform_ratio(), 1.0, 1e-12);
+  EXPECT_EQ(meter.events().idle_cycles, 1u);
+}
+
+TEST(Meters, EventTalliesTrackBranches) {
+  StatefulMeter meter;
+  meter.update({Gbps(10000), Gbps(10000), Gbps(5000)});  // Eq. 6, no clamp
+  meter.update({Gbps(10000), Gbps(1e-12), Gbps(5000)});  // conform ~ 0: clamp
+  meter.update({Gbps(1000), Gbps(1000), Gbps(5000)});    // recovery
+  meter.update({Gbps(0), Gbps(0), Gbps(5000)});          // idle (also recovery)
+  const MeterEvents& events = meter.events();
+  EXPECT_EQ(events.updates, 4u);
+  EXPECT_EQ(events.clamps, 1u);
+  EXPECT_EQ(events.recoveries, 2u);
+  EXPECT_EQ(events.idle_cycles, 1u);
+}
+
 TEST(StatefulMeter, Equation6Convergence) {
   // Figure 25: conforming rate converges to the entitled rate within ~10
   // iterations regardless of loss on non-conforming traffic.

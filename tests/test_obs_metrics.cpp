@@ -1,0 +1,230 @@
+// Unit tests of the netent::obs substrate: registry semantics, histogram
+// bucketing/merging, snapshot filtering and the stable exporters. The
+// exporter tests run against hand-built snapshots, so they hold in
+// NETENT_OBS=OFF builds too; registry behaviour tests are gated on the
+// instrumentation being compiled in.
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "obs/export.h"
+#include "obs/timer.h"
+
+namespace netent::obs {
+namespace {
+
+TEST(ObsSnapshot, DeterministicOnlyDropsTimingMetrics) {
+  Snapshot snap;
+  snap.counters.push_back({"a.count", 3});
+  snap.gauges.push_back({"a.gauge", 1.5, /*timing=*/false});
+  snap.gauges.push_back({"a.wall", 0.2, /*timing=*/true});
+  HistogramSnapshot det;
+  det.name = "a.hist";
+  det.timing = false;
+  HistogramSnapshot wall;
+  wall.name = "a.latency";
+  wall.timing = true;
+  snap.histograms.push_back(det);
+  snap.histograms.push_back(wall);
+
+  const Snapshot filtered = snap.deterministic_only();
+  ASSERT_EQ(filtered.counters.size(), 1u);  // counters always survive
+  ASSERT_EQ(filtered.gauges.size(), 1u);
+  EXPECT_EQ(filtered.gauges[0].name, "a.gauge");
+  ASSERT_EQ(filtered.histograms.size(), 1u);
+  EXPECT_EQ(filtered.histograms[0].name, "a.hist");
+}
+
+TEST(ObsSnapshot, MeanAndQuantileFromBuckets) {
+  HistogramSnapshot hs;
+  hs.bounds = {1.0, 2.0, 5.0};
+  hs.counts = {2, 1, 1, 0};  // 2 in (..1], 1 in (1,2], 1 in (2,5]
+  hs.total_count = 4;
+  hs.sum = 6.0;
+  EXPECT_DOUBLE_EQ(hs.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(hs.quantile(0.5), 1.0);   // 2nd of 4 lands in the first bucket
+  EXPECT_DOUBLE_EQ(hs.quantile(0.75), 2.0);
+  EXPECT_DOUBLE_EQ(hs.quantile(1.0), 5.0);
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(empty.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+}
+
+TEST(ObsExport, JsonIsStableAndEscaped) {
+  Snapshot snap;
+  snap.counters.push_back({"b.count", 42});
+  snap.gauges.push_back({"b.gauge", 0.5, false});
+  HistogramSnapshot hs;
+  hs.name = "b \"quoted\"";
+  hs.bounds = {1.0, 10.0};
+  hs.counts = {1, 0, 2};
+  hs.total_count = 3;
+  hs.sum = 25.25;
+  snap.histograms.push_back(hs);
+
+  const std::string json = to_json(snap);
+  EXPECT_EQ(json,
+            "{\"counters\":{\"b.count\":42},"
+            "\"gauges\":{\"b.gauge\":0.5},"
+            "\"histograms\":{\"b \\\"quoted\\\"\":{\"bounds\":[1,10],"
+            "\"counts\":[1,0,2],\"count\":3,\"sum\":25.25}}}");
+  // Same snapshot, same bytes.
+  EXPECT_EQ(to_json(snap), json);
+}
+
+TEST(ObsExport, EmptySnapshotJson) {
+  EXPECT_EQ(to_json(Snapshot{}), "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+}
+
+TEST(ObsExport, TextTablePrintsAllKinds) {
+  Snapshot snap;
+  snap.counters.push_back({"c.count", 7});
+  snap.gauges.push_back({"c.gauge", 2.5, false});
+  HistogramSnapshot hs;
+  hs.name = "c.hist";
+  hs.bounds = {1.0};
+  hs.counts = {4, 0};
+  hs.total_count = 4;
+  hs.sum = 2.0;
+  snap.histograms.push_back(hs);
+  std::ostringstream os;
+  print_text(snap, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("c.count"), std::string::npos);
+  EXPECT_NE(text.find("c.gauge"), std::string::npos);
+  EXPECT_NE(text.find("c.hist"), std::string::npos);
+}
+
+#if NETENT_OBS_ENABLED
+
+TEST(ObsRegistry, HandlesAreStableAndNamed) {
+  auto& reg = Registry::global();
+  Counter& a = reg.counter("test.reg.counter");
+  Counter& b = reg.counter("test.reg.counter");
+  EXPECT_EQ(&a, &b);  // same name, same object
+  EXPECT_NE(&a, &reg.counter("test.reg.other"));
+  EXPECT_TRUE(Registry::enabled());
+  EXPECT_TRUE(kEnabled);
+}
+
+TEST(ObsRegistry, CounterAddsAndResets) {
+  Counter& counter = Registry::global().counter("test.counter.basic");
+  counter.reset();
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.value(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.value(), 0u);
+}
+
+TEST(ObsRegistry, GaugeKeepsLastValueAndTimingFlag) {
+  Gauge& gauge = Registry::global().gauge("test.gauge.basic");
+  gauge.set(1.0);
+  gauge.set(-2.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), -2.5);
+  EXPECT_FALSE(gauge.timing());
+  Gauge& wall = Registry::global().gauge("test.gauge.wall", /*timing=*/true);
+  EXPECT_TRUE(wall.timing());
+  // Re-registering with a different timing flag is a contract violation.
+  EXPECT_THROW((void)Registry::global().gauge("test.gauge.wall", false), ContractViolation);
+}
+
+TEST(ObsRegistry, HistogramBucketsByUpperBound) {
+  const double bounds[] = {1.0, 2.0, 5.0};
+  Histogram& histogram = Registry::global().histogram("test.hist.buckets", bounds);
+  histogram.reset();
+  histogram.record(0.5);   // <= 1       -> bucket 0
+  histogram.record(1.0);   // == bound   -> bucket 0 (upper bounds are inclusive)
+  histogram.record(1.5);   //            -> bucket 1
+  histogram.record(5.0);   //            -> bucket 2
+  histogram.record(7.0);   // > last     -> overflow
+  histogram.record(-3.0);  // clamped to 0 -> bucket 0
+  const std::vector<std::uint64_t> counts = histogram.bucket_counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(histogram.count(), 6u);
+  // Sum in integer micro-units; the negative record contributed 0.
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.5 + 1.0 + 1.5 + 5.0 + 7.0);
+  histogram.reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.sum(), 0.0);
+}
+
+TEST(ObsRegistry, HistogramReRegistrationMustMatch) {
+  const double bounds[] = {1.0, 2.0};
+  (void)Registry::global().histogram("test.hist.rereg", bounds);
+  const double other[] = {3.0, 4.0};
+  EXPECT_THROW((void)Registry::global().histogram("test.hist.rereg", other),
+               ContractViolation);
+  EXPECT_THROW((void)Registry::global().histogram("test.hist.rereg", bounds, /*timing=*/true),
+               ContractViolation);
+}
+
+TEST(ObsRegistry, TimerHistogramIsTimingFlagged) {
+  Histogram& timer = Registry::global().timer_histogram("test.hist.timer");
+  EXPECT_TRUE(timer.timing());
+  EXPECT_FALSE(timer.bounds().empty());
+  timer.reset();
+  {
+    const ScopedTimer span(timer);
+  }
+  EXPECT_EQ(timer.count(), 1u);  // the span recorded exactly one duration
+}
+
+TEST(ObsRegistry, SnapshotIsNameSortedAndComplete) {
+  auto& reg = Registry::global();
+  Counter& z = reg.counter("test.snap.z");
+  Counter& a = reg.counter("test.snap.a");
+  z.reset();
+  a.reset();
+  z.add(2);
+  a.add(1);
+  const Snapshot snap = reg.snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  std::uint64_t a_val = 0;
+  std::uint64_t z_val = 0;
+  for (const CounterSnapshot& counter : snap.counters) {
+    if (counter.name == "test.snap.a") a_val = counter.value;
+    if (counter.name == "test.snap.z") z_val = counter.value;
+  }
+  EXPECT_EQ(a_val, 1u);
+  EXPECT_EQ(z_val, 2u);
+}
+
+TEST(ObsRegistry, ResetZeroesButKeepsRegistrations) {
+  auto& reg = Registry::global();
+  Counter& counter = reg.counter("test.reset.counter");
+  counter.add(5);
+  reg.reset();
+  EXPECT_EQ(counter.value(), 0u);
+  EXPECT_EQ(&reg.counter("test.reset.counter"), &counter);
+}
+
+#else  // stubs: the API exists, does nothing, and says so
+
+TEST(ObsRegistry, DisabledBuildReportsDisabled) {
+  EXPECT_FALSE(kEnabled);
+  EXPECT_FALSE(Registry::enabled());
+  Counter& counter = Registry::global().counter("test.off.counter");
+  counter.add(100);
+  EXPECT_EQ(counter.value(), 0u);
+  const Snapshot snap = Registry::global().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+#endif  // NETENT_OBS_ENABLED
+
+}  // namespace
+}  // namespace netent::obs
