@@ -12,8 +12,11 @@
 #include "approval/approval.h"
 #include "common/thread_pool.h"
 #include "core/manager.h"
+#include "obs/metrics.h"
+#include "risk/simulator.h"
+#include "topology/srlg_index.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netent;
   using namespace netent::bench;
   using approval::ApprovalEngine;
@@ -70,47 +73,150 @@ int main() {
   }
   table.print(std::cout);
 
-  // Scenario-sweep timing: the same risk simulation the approvals above run,
-  // serial vs fanned out over the work-stealing pool. Curves must be
-  // bit-identical at every thread count (the determinism guarantee).
-  print_header("Risk-scenario sweep: serial vs parallel",
-               "Expect: identical=yes at every thread count and >= 2x speedup at 4+ threads.");
+  // Scenario-sweep timing: the per-scenario placement engine underneath the
+  // availability curves, full from-scratch placement vs the incremental
+  // checkpointed replay, both serial and fanned out over the work-stealing
+  // pool. The workload is a production-scale 20-region backbone with a
+  // uniform pipe mesh at moderate utilization — the single-digit-failure
+  // regime (a scenario zeroes ~2-4% of the links) the incremental engine
+  // targets. Placed matrices must be bit-identical across modes and thread
+  // counts (the determinism and exactness guarantees).
+  print_header("Risk-scenario sweep: full vs incremental replay",
+               "Expect: identical=yes in every row and >= 3x incremental speedup over the "
+               "full serial sweep.");
+  topology::GeneratorConfig sweep_topo_config;
+  sweep_topo_config.region_count = 20;
+  sweep_topo_config.base_capacity = Gbps(600);
+  sweep_topo_config.max_parallel_fibers = 2;
+  Rng sweep_rng(kSeed);
+  const topology::Topology sweep_topo = topology::generate_backbone(sweep_topo_config, sweep_rng);
+
+  std::vector<topology::Demand> demands;
+  for (std::uint32_t s = 0; s < sweep_topo.region_count(); ++s) {
+    for (std::uint32_t d = 0; d < sweep_topo.region_count(); ++d) {
+      if (s == d) continue;
+      for (int r = 0; r < 4; ++r) {
+        demands.push_back({RegionId(s), RegionId(d), Gbps(sweep_rng.uniform(10.0, 50.0))});
+      }
+    }
+  }
+  // Scale the mesh to ~12% of total backbone capacity: high enough that
+  // failures genuinely reroute traffic, low enough that most demands are
+  // untouched by any one scenario.
+  double mesh_total = 0.0;
+  for (const auto& demand : demands) mesh_total += demand.amount.value();
+  const double mesh_target = 0.12 * sweep_topo.total_capacity().value();
+  for (auto& demand : demands) {
+    demand.amount = Gbps(demand.amount.value() * mesh_target / mesh_total);
+  }
+
   risk::ScenarioConfig scenario_config;
   scenario_config.max_simultaneous = 3;
   scenario_config.min_probability = 1e-10;
-  const auto scenarios = risk::enumerate_scenarios(topo, scenario_config);
-  const risk::RiskSimulator simulator(router, scenarios, router.full_capacities());
-  std::vector<topology::Demand> demands;
-  demands.reserve(pipes.size());
-  for (const auto& pipe : pipes) demands.push_back({pipe.src, pipe.dst, pipe.rate});
+  const auto all_scenarios = risk::enumerate_scenarios(sweep_topo, scenario_config);
+  // Stride-sample the scenario set so the placed matrices (scenarios x
+  // demands doubles, two copies held for the bit-equality check) stay within
+  // a bench-friendly footprint while keeping the 1/2/3-failure mix.
+  const std::size_t stride = std::max<std::size_t>(1, all_scenarios.size() / 6000);
+  std::vector<risk::FailureScenario> scenarios;
+  for (std::size_t s = 0; s < all_scenarios.size(); s += stride) {
+    scenarios.push_back(all_scenarios[s]);
+  }
 
-  const auto sweep_ms = [&](std::size_t threads, std::vector<risk::AvailabilityCurve>& out) {
+  topology::Router sweep_router(sweep_topo, 3);
+  sweep_router.warm(demands);
+  const std::vector<double> base_capacity = sweep_router.full_capacities();
+  const topology::SrlgIndex srlg_index(sweep_topo);
+
+  const auto sweep_ms = [&](std::size_t threads, risk::SweepMode mode,
+                            std::vector<std::vector<double>>& out) {
     const auto start = std::chrono::steady_clock::now();
-    out = simulator.availability_curves(demands, threads);
+    out = risk::sweep_scenario_placements(sweep_router, demands, base_capacity, srlg_index,
+                                          scenarios, threads, mode);
     const auto elapsed = std::chrono::steady_clock::now() - start;
     return std::chrono::duration<double, std::milli>(elapsed).count();
   };
-  std::vector<risk::AvailabilityCurve> serial_curves;
-  const double serial_ms = sweep_ms(1, serial_curves);
+  std::vector<std::vector<double>> reference_placed;
+  const double full_serial_ms = sweep_ms(1, risk::SweepMode::kFull, reference_placed);
 
-  Table timing({"threads", "scenarios", "sweep_ms", "speedup", "identical"}, 2);
-  timing.add_row(
-      {1.0, static_cast<double>(scenarios.size()), serial_ms, 1.0, std::string("yes")});
+  const auto identical_to_reference = [&](const std::vector<std::vector<double>>& placed) {
+    bool identical = placed.size() == reference_placed.size();
+    for (std::size_t s = 0; identical && s < placed.size(); ++s) {
+      identical = placed[s].size() == reference_placed[s].size() &&
+                  std::equal(placed[s].begin(), placed[s].end(), reference_placed[s].begin());
+    }
+    return identical;
+  };
+
+  // Replay-skip accounting from the obs counters (deltas around one
+  // incremental sweep; identical for every thread count).
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t replayed_before = reg.counter("risk.replay.demands_replayed").value();
+  const std::uint64_t skipped_before = reg.counter("risk.replay.demands_skipped").value();
+  const std::uint64_t shorted_before =
+      reg.counter("risk.replay.scenarios_short_circuited").value();
+  std::vector<std::vector<double>> incremental_placed;
+  const double incr_serial_ms = sweep_ms(1, risk::SweepMode::kIncremental, incremental_placed);
+  const std::uint64_t replayed = reg.counter("risk.replay.demands_replayed").value() -
+                                 replayed_before;
+  const std::uint64_t skipped = reg.counter("risk.replay.demands_skipped").value() -
+                                skipped_before;
+  const std::uint64_t shorted = reg.counter("risk.replay.scenarios_short_circuited").value() -
+                                shorted_before;
+  const double replay_skip_ratio =
+      replayed + skipped > 0 ? static_cast<double>(skipped) /
+                                   static_cast<double>(replayed + skipped)
+                             : 0.0;
+  const double short_circuit_ratio =
+      static_cast<double>(shorted) / static_cast<double>(scenarios.size());
+  const bool incr_serial_identical = identical_to_reference(incremental_placed);
+
+  Table timing({"mode", "threads", "scenarios", "sweep_ms", "speedup_vs_full_serial",
+                "identical"},
+               2);
+  timing.add_row({std::string("full"), 1.0, static_cast<double>(scenarios.size()),
+                  full_serial_ms, 1.0, std::string("yes")});
+  timing.add_row({std::string("incremental"), 1.0, static_cast<double>(scenarios.size()),
+                  incr_serial_ms, full_serial_ms / incr_serial_ms,
+                  std::string(incr_serial_identical ? "yes" : "no")});
+
   std::vector<std::size_t> counts{2, 4};
   const std::size_t hw = ThreadPool::default_thread_count();
   if (hw > 4) counts.push_back(hw);
+  bool all_identical = incr_serial_identical;
+  double full_parallel_ms = full_serial_ms;
+  double incr_parallel_ms = incr_serial_ms;
   for (const std::size_t threads : counts) {
-    std::vector<risk::AvailabilityCurve> curves;
-    const double ms = sweep_ms(threads, curves);
-    bool identical = curves.size() == serial_curves.size();
-    for (std::size_t i = 0; identical && i < curves.size(); ++i) {
-      const auto a = curves[i].outcomes();
-      const auto b = serial_curves[i].outcomes();
-      identical = std::equal(a.begin(), a.end(), b.begin(), b.end());
+    for (const risk::SweepMode mode : {risk::SweepMode::kFull, risk::SweepMode::kIncremental}) {
+      std::vector<std::vector<double>> placed;
+      const double ms = sweep_ms(threads, mode, placed);
+      const bool identical = identical_to_reference(placed);
+      all_identical = all_identical && identical;
+      const bool incremental = mode == risk::SweepMode::kIncremental;
+      if (threads == counts.back()) (incremental ? incr_parallel_ms : full_parallel_ms) = ms;
+      timing.add_row({std::string(incremental ? "incremental" : "full"),
+                      static_cast<double>(threads), static_cast<double>(scenarios.size()), ms,
+                      full_serial_ms / ms, std::string(identical ? "yes" : "no")});
     }
-    timing.add_row({static_cast<double>(threads), static_cast<double>(scenarios.size()), ms,
-                    serial_ms / ms, std::string(identical ? "yes" : "no")});
   }
   timing.print(std::cout);
+
+  BenchJson json;
+  json.add("bench", std::string("fig22_risk_sweep"));
+  json.add("scenarios", static_cast<std::uint64_t>(scenarios.size()));
+  json.add("scenarios_enumerated", static_cast<std::uint64_t>(all_scenarios.size()));
+  json.add("pipes", static_cast<std::uint64_t>(demands.size()));
+  json.add("full_serial_ms", full_serial_ms);
+  json.add("incremental_serial_ms", incr_serial_ms);
+  json.add("full_parallel_ms", full_parallel_ms);
+  json.add("incremental_parallel_ms", incr_parallel_ms);
+  json.add("parallel_threads", static_cast<std::uint64_t>(counts.back()));
+  json.add("speedup_serial", full_serial_ms / incr_serial_ms);
+  json.add("speedup_parallel", full_parallel_ms / incr_parallel_ms);
+  json.add("replay_skip_ratio", replay_skip_ratio);
+  json.add("short_circuit_ratio", short_circuit_ratio);
+  json.add("identical", all_identical);
+  maybe_write_bench_json(argc, argv, json);
+  maybe_dump_metrics(argc, argv);
   return 0;
 }

@@ -9,9 +9,10 @@
 #include <chrono>
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 #include "risk/verification.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace netent;
   using namespace netent::bench;
 
@@ -69,45 +70,101 @@ int main() {
   }
   table.print(std::cout);
 
-  // Replay timing: the same failure-distribution replay, serial vs fanned
-  // out over the work-stealing pool (attainments are bit-identical).
-  print_header("SLO verification replay: serial vs parallel",
-               "Expect: identical attainments at every thread count, speedup > 1 at 4+ threads.");
+  // Replay timing: the same failure-distribution replay, full from-scratch
+  // placement vs the incremental checkpointed replay, serial and fanned out
+  // over the work-stealing pool (attainments are bit-identical throughout).
+  print_header("SLO verification replay: full vs incremental",
+               "Expect: identical attainments in every row, incremental speedup over the "
+               "full serial replay.");
   approval::ApprovalConfig timing_config;
   timing_config.slo_availability = 0.9998;
   timing_config.scenarios.max_simultaneous = 3;
   timing_config.scenarios.min_probability = 1e-10;
   const approval::ApprovalEngine timing_engine(router, timing_config);
   const auto approvals = timing_engine.pipe_approval(pipes);
-  const risk::SloVerifier verifier(router,
-                                   risk::enumerate_scenarios(topo, timing_config.scenarios));
+  const auto timing_scenarios = risk::enumerate_scenarios(topo, timing_config.scenarios);
+  const risk::SloVerifier verifier(router, timing_scenarios);
 
-  const auto replay_ms = [&](std::size_t threads, std::vector<risk::PipeAttainment>& out) {
+  const auto replay_ms = [&](std::size_t threads, risk::SweepMode mode,
+                             std::vector<risk::PipeAttainment>& out) {
     const auto start = std::chrono::steady_clock::now();
-    out = verifier.verify(approvals, threads);
+    out = verifier.verify(approvals, threads, mode);
     const auto elapsed = std::chrono::steady_clock::now() - start;
     return std::chrono::duration<double, std::milli>(elapsed).count();
   };
-  std::vector<risk::PipeAttainment> serial_attainments;
-  const double serial_ms = replay_ms(1, serial_attainments);
+  std::vector<risk::PipeAttainment> reference;
+  const double full_serial_ms = replay_ms(1, risk::SweepMode::kFull, reference);
 
-  Table timing({"threads", "replay_ms", "speedup", "identical"}, 2);
-  timing.add_row({1.0, serial_ms, 1.0, std::string("yes")});
+  const auto identical_to_reference = [&](const std::vector<risk::PipeAttainment>& attainments) {
+    bool identical = attainments.size() == reference.size();
+    for (std::size_t i = 0; identical && i < attainments.size(); ++i) {
+      identical = attainments[i].achieved_availability == reference[i].achieved_availability &&
+                  attainments[i].approved.value() == reference[i].approved.value();
+    }
+    return identical;
+  };
+
+  obs::Registry& reg = obs::Registry::global();
+  const std::uint64_t replayed_before = reg.counter("risk.replay.demands_replayed").value();
+  const std::uint64_t skipped_before = reg.counter("risk.replay.demands_skipped").value();
+  const std::uint64_t shorted_before =
+      reg.counter("risk.replay.scenarios_short_circuited").value();
+  std::vector<risk::PipeAttainment> incremental;
+  const double incr_serial_ms = replay_ms(1, risk::SweepMode::kIncremental, incremental);
+  const std::uint64_t replayed =
+      reg.counter("risk.replay.demands_replayed").value() - replayed_before;
+  const std::uint64_t skipped =
+      reg.counter("risk.replay.demands_skipped").value() - skipped_before;
+  const std::uint64_t shorted =
+      reg.counter("risk.replay.scenarios_short_circuited").value() - shorted_before;
+  const double replay_skip_ratio =
+      replayed + skipped > 0
+          ? static_cast<double>(skipped) / static_cast<double>(replayed + skipped)
+          : 0.0;
+  const double short_circuit_ratio =
+      static_cast<double>(shorted) / static_cast<double>(timing_scenarios.size());
+  bool all_identical = identical_to_reference(incremental);
+
+  Table timing({"mode", "threads", "replay_ms", "speedup_vs_full_serial", "identical"}, 2);
+  timing.add_row({std::string("full"), 1.0, full_serial_ms, 1.0, std::string("yes")});
+  timing.add_row({std::string("incremental"), 1.0, incr_serial_ms,
+                  full_serial_ms / incr_serial_ms,
+                  std::string(all_identical ? "yes" : "no")});
   std::vector<std::size_t> counts{2, 4};
   const std::size_t hw = ThreadPool::default_thread_count();
   if (hw > 4) counts.push_back(hw);
+  double full_parallel_ms = full_serial_ms;
+  double incr_parallel_ms = incr_serial_ms;
   for (const std::size_t threads : counts) {
-    std::vector<risk::PipeAttainment> attainments;
-    const double ms = replay_ms(threads, attainments);
-    bool identical = attainments.size() == serial_attainments.size();
-    for (std::size_t i = 0; identical && i < attainments.size(); ++i) {
-      identical = attainments[i].achieved_availability ==
-                      serial_attainments[i].achieved_availability &&
-                  attainments[i].approved.value() == serial_attainments[i].approved.value();
+    for (const risk::SweepMode mode : {risk::SweepMode::kFull, risk::SweepMode::kIncremental}) {
+      std::vector<risk::PipeAttainment> attainments;
+      const double ms = replay_ms(threads, mode, attainments);
+      const bool identical = identical_to_reference(attainments);
+      all_identical = all_identical && identical;
+      const bool is_incremental = mode == risk::SweepMode::kIncremental;
+      if (threads == counts.back()) (is_incremental ? incr_parallel_ms : full_parallel_ms) = ms;
+      timing.add_row({std::string(is_incremental ? "incremental" : "full"),
+                      static_cast<double>(threads), ms, full_serial_ms / ms,
+                      std::string(identical ? "yes" : "no")});
     }
-    timing.add_row({static_cast<double>(threads), ms, serial_ms / ms,
-                    std::string(identical ? "yes" : "no")});
   }
   timing.print(std::cout);
+
+  BenchJson json;
+  json.add("bench", std::string("slo_verification_replay"));
+  json.add("scenarios", static_cast<std::uint64_t>(timing_scenarios.size()));
+  json.add("pipes", static_cast<std::uint64_t>(approvals.size()));
+  json.add("full_serial_ms", full_serial_ms);
+  json.add("incremental_serial_ms", incr_serial_ms);
+  json.add("full_parallel_ms", full_parallel_ms);
+  json.add("incremental_parallel_ms", incr_parallel_ms);
+  json.add("parallel_threads", static_cast<std::uint64_t>(counts.back()));
+  json.add("speedup_serial", full_serial_ms / incr_serial_ms);
+  json.add("speedup_parallel", full_parallel_ms / incr_parallel_ms);
+  json.add("replay_skip_ratio", replay_skip_ratio);
+  json.add("short_circuit_ratio", short_circuit_ratio);
+  json.add("identical", all_identical);
+  maybe_write_bench_json(argc, argv, json);
+  maybe_dump_metrics(argc, argv);
   return 0;
 }

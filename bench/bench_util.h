@@ -4,7 +4,9 @@
 #pragma once
 
 #include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -58,6 +60,50 @@ inline bool flag_present(int argc, char** argv, const std::string& flag) {
     if (needle == argv[i]) return true;
   }
   return false;
+}
+
+/// Flat JSON object builder for machine-readable bench results (the CI
+/// perf-smoke artifacts). Insertion order is preserved.
+class BenchJson {
+ public:
+  void add(const std::string& key, const std::string& value) {
+    fields_.push_back("\"" + key + "\": \"" + value + "\"");
+  }
+  void add(const std::string& key, double value) {
+    std::ostringstream text;
+    text << std::setprecision(10) << value;
+    fields_.push_back("\"" + key + "\": " + text.str());
+  }
+  void add(const std::string& key, bool value) {
+    fields_.push_back("\"" + key + "\": " + (value ? "true" : "false"));
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    fields_.push_back("\"" + key + "\": " + std::to_string(value));
+  }
+
+  void write(std::ostream& out) const {
+    out << "{\n";
+    for (std::size_t i = 0; i < fields_.size(); ++i) {
+      out << "  " << fields_[i] << (i + 1 < fields_.size() ? "," : "") << '\n';
+    }
+    out << "}\n";
+  }
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+/// Honors `--bench-json=PATH`: writes `json` there (the perf-smoke CI step
+/// uploads these BENCH_*.json files as artifacts).
+inline void maybe_write_bench_json(int argc, char** argv, const BenchJson& json) {
+  const std::string path = flag_value(argc, argv, "bench-json", "");
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open bench output file: " << path << '\n';
+    return;
+  }
+  json.write(out);
 }
 
 /// Honors `--metrics-json` (dump the global obs registry to stdout) and

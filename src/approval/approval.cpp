@@ -62,7 +62,8 @@ ApprovalEngine::ApprovalEngine(topology::Router& router, ApprovalConfig config)
     : router_(router),
       config_(std::move(config)),
       low_touch_([](NpgId) { return false; }),
-      scenarios_(risk::enumerate_scenarios(router.topo(), config_.scenarios)) {
+      scenarios_(risk::enumerate_scenarios(router.topo(), config_.scenarios)),
+      simulator_(router_, scenarios_, router_.full_capacities()) {
   NETENT_EXPECTS(config_.slo_availability > 0.0 && config_.slo_availability <= 1.0);
   NETENT_EXPECTS(config_.realizations >= 1);
 }
@@ -103,8 +104,9 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
   }
 
   // ASSESS_RISK over the full capacity; priority is encoded in the order.
-  const risk::RiskSimulator simulator(router_, scenarios_, router_.full_capacities());
-  const auto curves = simulator.availability_curves(demands, config_.risk_threads);
+  // The simulator (and the router's warmed path cache) is shared across
+  // calls — hose_approval's realizations never rebuild it.
+  const auto curves = simulator_.availability_curves(demands, config_.risk_threads);
 
   for (std::size_t k = 0; k < order.size(); ++k) {
     PipeApprovalResult& result = results[order[k]];

@@ -94,6 +94,11 @@ class ApprovalEngine {
   ApprovalConfig config_;
   LowTouchPredicate low_touch_;
   std::vector<risk::FailureScenario> scenarios_;
+  /// One risk simulator (scenario set, SRLG index, base capacities) for the
+  /// engine's lifetime: hose_approval's per-realization pipe approvals — and
+  /// every pipe_approval call — reuse it and the router's warmed path cache
+  /// instead of rebuilding per call.
+  risk::RiskSimulator simulator_;
 };
 
 /// Total approved / total requested, the Figure 22 metric.

@@ -106,6 +106,14 @@ void ThreadPool::worker_loop(std::size_t self) {
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& body) {
   NETENT_EXPECTS(body != nullptr);
+  parallel_for_with_worker(begin, end,
+                           [&body](std::size_t /*worker*/, std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_with_worker(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t worker, std::size_t index)>& body) {
+  NETENT_EXPECTS(body != nullptr);
   if (begin >= end) return;
 
   struct Shared {
@@ -117,12 +125,14 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   auto shared = std::make_shared<Shared>();
   shared->next.store(begin, std::memory_order_relaxed);
 
-  const auto drain = [shared, end, &body] {
+  // Each drain call runs on exactly one thread and is the sole user of its
+  // worker slot, so slot-indexed caller state is thread-confined.
+  const auto drain = [shared, end, &body](std::size_t worker) {
     for (;;) {
       const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
       if (i >= end) return;
       try {
-        body(i);
+        body(worker, i);
       } catch (...) {
         const std::lock_guard<std::mutex> lock(shared->mutex);
         if (i < shared->first_error_index) {
@@ -138,8 +148,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   const std::size_t helpers = std::min(workers_.size(), end - begin);
   std::vector<std::future<void>> futures;
   futures.reserve(helpers);
-  for (std::size_t t = 0; t < helpers; ++t) futures.push_back(submit(drain));
-  drain();
+  for (std::size_t t = 0; t < helpers; ++t) {
+    futures.push_back(submit([drain, t] { drain(t); }));
+  }
+  drain(helpers);  // the calling thread's slot
   for (std::future<void>& future : futures) future.get();
 
   if (shared->first_error) std::rethrow_exception(shared->first_error);

@@ -50,6 +50,14 @@ class ThreadPool {
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body);
 
+  /// As parallel_for(), but hands the body a worker slot in [0, size()]
+  /// alongside the index: each concurrently-draining task owns a distinct
+  /// slot (the calling thread included), so callers can pre-allocate
+  /// size() + 1 scratch workspaces and index them without locking.
+  void parallel_for_with_worker(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t worker, std::size_t index)>& body);
+
  private:
   /// One worker's deque. The owner pops from the front, thieves steal from
   /// the back.

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 #include <optional>
 
 #include "common/check.h"
-#include "obs/metrics.h"
 #include "obs/timer.h"
 
 namespace netent::risk {
@@ -36,6 +36,22 @@ SweepMetrics& metrics() {
   return instance;
 }
 
+/// Incremental-replay accounting (deterministic: the skip/replay split
+/// depends only on the scenario and demand sets, never on the schedule).
+struct ReplayMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& scenarios_incremental = reg.counter("risk.replay.scenarios_incremental");
+  obs::Counter& scenarios_full = reg.counter("risk.replay.scenarios_full");
+  obs::Counter& scenarios_short_circuited = reg.counter("risk.replay.scenarios_short_circuited");
+  obs::Counter& demands_replayed = reg.counter("risk.replay.demands_replayed");
+  obs::Counter& demands_skipped = reg.counter("risk.replay.demands_skipped");
+};
+
+ReplayMetrics& replay_metrics() {
+  static ReplayMetrics instance;
+  return instance;
+}
+
 }  // namespace
 
 AvailabilityCurve::AvailabilityCurve(std::vector<std::pair<double, double>> outcomes)
@@ -43,97 +59,158 @@ AvailabilityCurve::AvailabilityCurve(std::vector<std::pair<double, double>> outc
   NETENT_EXPECTS(!outcomes_.empty());
   std::sort(outcomes_.begin(), outcomes_.end(),
             [](const auto& a, const auto& b) { return a.first > b.first; });
+  prefix_mass_.reserve(outcomes_.size());
   for (const auto& [bandwidth, probability] : outcomes_) {
     NETENT_EXPECTS(bandwidth >= 0.0);
     NETENT_EXPECTS(probability >= 0.0);
     total_mass_ += probability;
+    prefix_mass_.push_back(total_mass_);
   }
 }
 
 double AvailabilityCurve::availability_at(Gbps bandwidth) const {
-  double mass = 0.0;
-  for (const auto& [placed, probability] : outcomes_) {
-    if (placed >= bandwidth.value() - 1e-9) {
-      mass += probability;
-    } else {
-      break;  // sorted descending: nothing further qualifies
-    }
-  }
-  return mass;
+  // Outcomes are sorted descending, so the qualifying set is a prefix; its
+  // mass was pre-accumulated in the same left-to-right order the old linear
+  // scan used, so the returned double is bit-identical to that scan.
+  const double threshold = bandwidth.value() - 1e-9;
+  const auto first_below =
+      std::partition_point(outcomes_.begin(), outcomes_.end(),
+                           [&](const auto& outcome) { return outcome.first >= threshold; });
+  const auto qualifying = static_cast<std::size_t>(first_below - outcomes_.begin());
+  return qualifying == 0 ? 0.0 : prefix_mass_[qualifying - 1];
 }
 
 Gbps AvailabilityCurve::bandwidth_at(double target_availability) const {
   NETENT_EXPECTS(target_availability > 0.0 && target_availability <= 1.0);
   if (total_mass_ < target_availability) return Gbps(0);
-  double mass = 0.0;
-  for (const auto& [placed, probability] : outcomes_) {
-    mass += probability;
-    if (mass >= target_availability) return Gbps(placed);
+  // prefix_mass_ is non-decreasing (probabilities are >= 0): binary-search
+  // the first prefix whose mass covers the target.
+  const auto covering =
+      std::partition_point(prefix_mass_.begin(), prefix_mass_.end(),
+                           [&](double mass) { return mass < target_availability; });
+  if (covering == prefix_mass_.end()) return Gbps(outcomes_.back().first);
+  return Gbps(outcomes_[static_cast<std::size_t>(covering - prefix_mass_.begin())].first);
+}
+
+std::vector<double> scenario_capacities(const topology::SrlgIndex& index,
+                                        std::span<const double> base_capacity,
+                                        const FailureScenario& scenario) {
+  std::vector<double> capacity(base_capacity.begin(), base_capacity.end());
+  for (const SrlgId srlg : scenario.down) {
+    for (const LinkId lid : index.links_of(srlg)) capacity[lid.value()] = 0.0;
   }
-  return Gbps(outcomes_.back().first);
+  return capacity;
+}
+
+ScenarioCapacityScratch::ScenarioCapacityScratch(const topology::SrlgIndex& index,
+                                                 std::span<const double> base_capacity)
+    : index_(index), base_(base_capacity), capacity_(base_capacity.begin(), base_capacity.end()) {}
+
+std::span<const double> ScenarioCapacityScratch::apply(const FailureScenario& scenario) {
+  for (const LinkId lid : dirty_) capacity_[lid.value()] = base_[lid.value()];
+  dirty_.clear();
+  for (const SrlgId srlg : scenario.down) {
+    for (const LinkId lid : index_.links_of(srlg)) {
+      capacity_[lid.value()] = 0.0;
+      dirty_.push_back(lid);
+    }
+  }
+  return capacity_;
+}
+
+std::vector<std::vector<double>> sweep_scenario_placements(
+    topology::Router& router, std::span<const topology::Demand> demands,
+    std::span<const double> base_capacity, const topology::SrlgIndex& index,
+    std::span<const FailureScenario> scenarios, std::size_t num_threads, SweepMode mode,
+    obs::Histogram* scenario_timer, std::size_t timer_stride) {
+  NETENT_EXPECTS(!scenarios.empty());
+  NETENT_EXPECTS(timer_stride >= 1);
+
+  // Populate the path cache up front; the fan-out below only reads it (the
+  // guard turns any accidental lazy insertion into a contract violation).
+  router.warm(demands);
+  const topology::Router& warmed = router;
+  const topology::Router::SweepGuard guard(warmed);
+
+  const std::size_t threads_used =
+      (num_threads <= 1 || scenarios.size() < 2) ? 1 : std::min(num_threads, scenarios.size());
+
+  ReplayMetrics& m = replay_metrics();
+  std::vector<std::vector<double>> placed(scenarios.size());
+  std::function<void(std::size_t, std::size_t)> run_scenario;
+
+  // Per-worker mutable state (workspaces / capacity scratch) is indexed by
+  // the pool's worker slot, so scenarios racing over *which* index they
+  // claim never share placement state.
+  std::optional<topology::ScenarioSweeper> sweeper;
+  std::vector<topology::ScenarioSweeper::Workspace> workspaces;
+  std::vector<std::unique_ptr<ScenarioCapacityScratch>> scratch;
+
+  if (mode == SweepMode::kIncremental) {
+    sweeper.emplace(warmed, demands, base_capacity);
+    workspaces.resize(threads_used + 1);
+    m.scenarios_incremental.add(scenarios.size());
+    run_scenario = [&, scenario_timer, timer_stride](std::size_t worker, std::size_t s) {
+      std::optional<obs::ScopedTimer> span;
+      if (scenario_timer != nullptr && s % timer_stride == 0) span.emplace(*scenario_timer);
+      placed[s].resize(demands.size());
+      topology::ScenarioSweeper::ReplayStats stats;
+      sweeper->replay(scenarios[s].down, workspaces[worker], placed[s], &stats);
+      m.demands_replayed.add(stats.demands_replayed);
+      m.demands_skipped.add(stats.demands_skipped);
+      if (stats.short_circuited) m.scenarios_short_circuited.add();
+    };
+  } else {
+    scratch.reserve(threads_used + 1);
+    for (std::size_t w = 0; w <= threads_used; ++w) {
+      scratch.push_back(std::make_unique<ScenarioCapacityScratch>(index, base_capacity));
+    }
+    m.scenarios_full.add(scenarios.size());
+    run_scenario = [&, scenario_timer, timer_stride](std::size_t worker, std::size_t s) {
+      std::optional<obs::ScopedTimer> span;
+      if (scenario_timer != nullptr && s % timer_stride == 0) span.emplace(*scenario_timer);
+      const auto capacity = scratch[worker]->apply(scenarios[s]);
+      auto result = warmed.route_warmed(demands, capacity);
+      NETENT_ENSURES(result.placed_per_demand.size() == demands.size());
+      placed[s] = std::move(result.placed_per_demand);
+    };
+  }
+
+  if (threads_used == 1) {
+    for (std::size_t s = 0; s < scenarios.size(); ++s) run_scenario(0, s);
+  } else {
+    ThreadPool pool(threads_used);
+    pool.parallel_for_with_worker(0, scenarios.size(), run_scenario);
+  }
+  return placed;
 }
 
 RiskSimulator::RiskSimulator(topology::Router& router, std::vector<FailureScenario> scenarios,
                              std::vector<double> base_capacity_gbps)
     : router_(router),
       scenarios_(std::move(scenarios)),
-      base_capacity_(std::move(base_capacity_gbps)) {
+      base_capacity_(std::move(base_capacity_gbps)),
+      index_(router.topo()) {
   NETENT_EXPECTS(!scenarios_.empty());
   NETENT_EXPECTS(base_capacity_.size() == router_.topo().link_count());
 }
 
-std::vector<double> RiskSimulator::scenario_capacities(const FailureScenario& scenario) const {
-  // Zero out links riding failed fibers.
-  std::vector<double> capacity = base_capacity_;
-  for (const topology::Link& link : router_.topo().links()) {
-    for (const SrlgId srlg : scenario.down) {
-      if (link.srlg == srlg) {
-        capacity[link.id.value()] = 0.0;
-        break;
-      }
-    }
-  }
-  return capacity;
-}
-
 std::vector<AvailabilityCurve> RiskSimulator::availability_curves(
-    std::span<const topology::Demand> pipes, std::size_t num_threads) const {
+    std::span<const topology::Demand> pipes, std::size_t num_threads, SweepMode mode) const {
   NETENT_EXPECTS(!pipes.empty());
 
-  // Populate the path cache up front; the fan-out below only reads it.
-  router_.warm(pipes);
-  const topology::Router& router = router_;
-
-  // Fan the scenarios out; each placement is independent and keeps its
-  // mutable state (scenario capacities, PlacementState) thread-confined.
   SweepMetrics& m = metrics();
   m.sweeps.add();
   m.scenarios_swept.add(scenarios_.size());
   m.pipes_assessed.add(pipes.size());
 
-  std::vector<std::vector<double>> placed(scenarios_.size());
-  const auto run_scenario = [&](std::size_t s) {
-    // 1-in-kPlaceSampleStride placements carry a wall-clock span: keyed on
-    // the scenario index, so the sample set is thread-count independent and
-    // the steady_clock reads stay off the other placements (which can be
-    // sub-microsecond on small topologies).
-    std::optional<obs::ScopedTimer> span;
-    if (s % kPlaceSampleStride == 0) span.emplace(m.place_seconds);
-    const auto capacity = scenario_capacities(scenarios_[s]);
-    auto result = router.route_warmed(pipes, capacity);
-    NETENT_ENSURES(result.placed_per_demand.size() == pipes.size());
-    placed[s] = std::move(result.placed_per_demand);
-  };
   const std::size_t threads_used =
       (num_threads <= 1 || scenarios_.size() < 2) ? 1 : std::min(num_threads, scenarios_.size());
   const double busy_before = m.place_seconds.sum();
   const auto sweep_start = std::chrono::steady_clock::now();
-  if (threads_used == 1) {
-    for (std::size_t s = 0; s < scenarios_.size(); ++s) run_scenario(s);
-  } else {
-    ThreadPool pool(threads_used);
-    pool.parallel_for(0, scenarios_.size(), run_scenario);
-  }
+  const auto placed = sweep_scenario_placements(router_, pipes, base_capacity_, index_,
+                                                scenarios_, num_threads, mode, &m.place_seconds,
+                                                kPlaceSampleStride);
   if constexpr (obs::kEnabled) {
     const double wall =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - sweep_start).count();

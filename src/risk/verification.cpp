@@ -30,13 +30,17 @@ VerifyMetrics& metrics() {
 
 SloVerifier::SloVerifier(topology::Router& router, std::vector<FailureScenario> scenarios,
                          approval::LowTouchPredicate low_touch)
-    : router_(router), scenarios_(std::move(scenarios)), low_touch_(std::move(low_touch)) {
+    : router_(router),
+      scenarios_(std::move(scenarios)),
+      low_touch_(std::move(low_touch)),
+      index_(router.topo()) {
   NETENT_EXPECTS(!scenarios_.empty());
   NETENT_EXPECTS(low_touch_ != nullptr);
 }
 
 std::vector<PipeAttainment> SloVerifier::verify(
-    std::span<const approval::PipeApprovalResult> approvals, std::size_t num_threads) const {
+    std::span<const approval::PipeApprovalResult> approvals, std::size_t num_threads,
+    SweepMode mode) const {
   // Order pipes as the approval engine placed them: premium classes first,
   // then input order within a class.
   std::vector<std::size_t> order;
@@ -60,52 +64,26 @@ std::vector<PipeAttainment> SloVerifier::verify(
         {approvals[i].request.src, approvals[i].request.dst, approvals[i].approved});
   }
 
-  // Fan the scenario replay out (same pattern as the risk simulator): each
-  // scenario records which pipes were fully admitted; the probability masses
-  // are then accumulated serially in scenario order, so the attainments are
-  // bit-identical to the serial replay for every thread count.
+  // Fan the scenario replay out through the shared SRLG-indexed sweep
+  // driver (the same codepath the risk simulator uses); the probability
+  // masses are then accumulated serially in scenario order, so the
+  // attainments are bit-identical to the serial replay for every thread
+  // count and sweep mode.
   VerifyMetrics& m = metrics();
   m.verifications.add();
   m.pipes_verified.add(order.size());
   m.scenarios_replayed.add(scenarios_.size());
 
-  router_.warm(demands);
-  const topology::Router& router = router_;
-  std::vector<std::vector<char>> admitted(scenarios_.size());
-  const auto run_scenario = [&](std::size_t s) {
-    const obs::ScopedTimer span(m.replay_seconds);
-    std::vector<double> scenario_capacity(router.topo().link_count());
-    for (const topology::Link& link : router.topo().links()) {
-      double capacity = link.capacity.value();
-      for (const SrlgId srlg : scenarios_[s].down) {
-        if (link.srlg == srlg) {
-          capacity = 0.0;
-          break;
-        }
-      }
-      scenario_capacity[link.id.value()] = capacity;
-    }
-    const auto result = router.route_warmed(demands, scenario_capacity);
-    std::vector<char> fully_admitted(demands.size(), 0);
-    for (std::size_t k = 0; k < demands.size(); ++k) {
-      if (result.placed_per_demand[k] >= demands[k].amount.value() - 1e-6) {
-        fully_admitted[k] = 1;
-      }
-    }
-    admitted[s] = std::move(fully_admitted);
-  };
-  if (num_threads <= 1 || scenarios_.size() < 2) {
-    for (std::size_t s = 0; s < scenarios_.size(); ++s) run_scenario(s);
-  } else {
-    ThreadPool pool(std::min(num_threads, scenarios_.size()));
-    pool.parallel_for(0, scenarios_.size(), run_scenario);
-  }
+  const std::vector<double> base_capacity = router_.full_capacities();
+  const auto placed = sweep_scenario_placements(router_, demands, base_capacity, index_,
+                                                scenarios_, num_threads, mode,
+                                                &m.replay_seconds, /*timer_stride=*/1);
 
   std::vector<double> admitted_mass(order.size(), 0.0);
   std::uint64_t admitted_count = 0;
   for (std::size_t s = 0; s < scenarios_.size(); ++s) {
     for (std::size_t k = 0; k < order.size(); ++k) {
-      if (admitted[s][k] != 0) {
+      if (placed[s][k] >= demands[k].amount.value() - 1e-6) {
         admitted_mass[k] += scenarios_[s].probability;
         ++admitted_count;
       }

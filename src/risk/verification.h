@@ -43,11 +43,14 @@ class SloVerifier {
   /// Replays every scenario with the approved pipes placed in the approval
   /// order (classes premium-first, then input order). Pipes approved at zero
   /// are skipped (nothing was promised). The scenario replay fans out over
-  /// `num_threads` threads (1 = serial); attainments are merged in scenario
-  /// order and are bit-identical for every thread count.
+  /// `num_threads` threads (1 = serial) through the same SRLG-indexed sweep
+  /// driver the risk simulator uses (incremental by default); attainments
+  /// are merged in scenario order and are bit-identical for every thread
+  /// count and sweep mode.
   [[nodiscard]] std::vector<PipeAttainment> verify(
       std::span<const approval::PipeApprovalResult> approvals,
-      std::size_t num_threads = ThreadPool::default_thread_count()) const;
+      std::size_t num_threads = ThreadPool::default_thread_count(),
+      SweepMode mode = SweepMode::kIncremental) const;
 
   /// Aggregates pipe attainments per QoS class.
   [[nodiscard]] static std::vector<ClassAttainment> per_class(
@@ -57,6 +60,7 @@ class SloVerifier {
   topology::Router& router_;
   std::vector<FailureScenario> scenarios_;
   approval::LowTouchPredicate low_touch_;
+  topology::SrlgIndex index_;
 };
 
 }  // namespace netent::risk

@@ -10,6 +10,38 @@ namespace {
 constexpr double kEps = 1e-6;
 }
 
+double water_fill_demand(double amount_gbps, std::span<const Path> candidate_paths,
+                         std::span<double> residual, std::span<double> link_load,
+                         std::vector<std::pair<LinkId, double>>* op_log,
+                         std::size_t* scanned_paths_out,
+                         std::vector<double>* path_placed_out) {
+  NETENT_EXPECTS(amount_gbps >= 0.0);
+  if (path_placed_out != nullptr) path_placed_out->assign(candidate_paths.size(), 0.0);
+  double remaining = amount_gbps;
+  std::size_t scanned = 0;
+  for (const Path& path : candidate_paths) {
+    if (remaining <= kEps) break;
+    ++scanned;
+    // Bottleneck residual along this path.
+    double bottleneck = remaining;
+    for (const LinkId lid : path.links) {
+      bottleneck = std::min(bottleneck, residual[lid.value()]);
+    }
+    if (bottleneck <= kEps) continue;
+    if (path_placed_out != nullptr) {
+      (*path_placed_out)[static_cast<std::size_t>(&path - candidate_paths.data())] = bottleneck;
+    }
+    for (const LinkId lid : path.links) {
+      residual[lid.value()] -= bottleneck;
+      if (!link_load.empty()) link_load[lid.value()] += bottleneck;
+      if (op_log != nullptr) op_log->emplace_back(lid, bottleneck);
+    }
+    remaining -= bottleneck;
+  }
+  if (scanned_paths_out != nullptr) *scanned_paths_out = scanned;
+  return amount_gbps - remaining;
+}
+
 Router::Router(const Topology& topo, std::size_t k_paths) : topo_(topo), k_paths_(k_paths) {
   NETENT_EXPECTS(k_paths > 0);
 }
@@ -19,6 +51,8 @@ const std::vector<Path>& Router::paths(RegionId src, RegionId dst) {
   const auto key = std::make_pair(src.value(), dst.value());
   auto it = cache_.find(key);
   if (it == cache_.end()) {
+    NETENT_EXPECTS(active_sweeps_.load(std::memory_order_acquire) == 0 &&
+                   "path-cache insertion during an active sweep");
     it = cache_.emplace(key, k_shortest_paths(topo_, src, dst, k_paths_, accept_all_links()))
              .first;
   }
@@ -32,27 +66,6 @@ void Router::warm(std::span<const Demand> demands) {
 const std::vector<Path>* Router::cached_paths(RegionId src, RegionId dst) const {
   const auto it = cache_.find(std::make_pair(src.value(), dst.value()));
   return it == cache_.end() ? nullptr : &it->second;
-}
-
-double Router::place_demand(const Demand& demand, const std::vector<Path>& candidate_paths,
-                            PlacementState& state) {
-  NETENT_EXPECTS(demand.amount >= Gbps(0));
-  double remaining = demand.amount.value();
-  for (const Path& path : candidate_paths) {
-    if (remaining <= kEps) break;
-    // Bottleneck residual along this path.
-    double bottleneck = remaining;
-    for (const LinkId lid : path.links) {
-      bottleneck = std::min(bottleneck, state.residual[lid.value()]);
-    }
-    if (bottleneck <= kEps) continue;
-    for (const LinkId lid : path.links) {
-      state.residual[lid.value()] -= bottleneck;
-      state.link_load[lid.value()] += bottleneck;
-    }
-    remaining -= bottleneck;
-  }
-  return demand.amount.value() - remaining;
 }
 
 RouteResult Router::route(std::span<const Demand> demands,
@@ -73,7 +86,8 @@ RouteResult Router::route_warmed(std::span<const Demand> demands,
     result.demand_total += demand.amount;
     const std::vector<Path>* candidate_paths = cached_paths(demand.src, demand.dst);
     NETENT_EXPECTS(candidate_paths != nullptr);  // warm() must cover the pair
-    const double placed = place_demand(demand, *candidate_paths, state);
+    const double placed =
+        water_fill_demand(demand.amount.value(), *candidate_paths, state.residual, state.link_load);
     result.placed_total += Gbps(placed);
     result.placed_per_demand.push_back(placed);
   }

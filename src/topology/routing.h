@@ -5,8 +5,10 @@
 // multi-pipe admissibility and the approval engine.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -45,6 +47,38 @@ struct PlacementState {
   std::vector<double> link_load;  ///< placed Gbps per LinkId
 };
 
+/// THE placement arithmetic: water-fills `amount_gbps` over
+/// `candidate_paths` in order, capping each path at its bottleneck residual
+/// and spilling the remainder to the next path. `residual` (indexed by
+/// LinkId) is updated in place; when `link_load` is non-empty the placed
+/// traffic is also accumulated there. Returns the placed amount.
+///
+/// When `op_log` is non-null, every `residual[link] -= amount` this call
+/// performs is appended to it in execution order; replaying the log against
+/// an equal residual vector reproduces the exact same bits (a link shared by
+/// two chosen paths is subtracted twice, not once by the sum — the log
+/// preserves that).
+///
+/// When `scanned_paths_out` is non-null it receives the number of leading
+/// candidate paths the fill actually evaluated (read residuals of) before
+/// terminating — the demand's outcome is a pure function of those paths'
+/// link residuals, which is what lets the scenario replay skip demands whose
+/// scanned links are untouched even when a failed link sits on an unreached
+/// backup path. When `path_placed_out` is non-null it is resized to
+/// `candidate_paths.size()` and receives the Gbps placed on each path (0 for
+/// skipped or unreached paths), letting callers reconstruct the remaining
+/// amount in front of every path.
+///
+/// Every routing codepath — Router::route_warmed and the incremental
+/// scenario replay (replay.h) — must go through this one function so their
+/// floating-point operation sequences, and therefore their results, stay
+/// bit-identical.
+double water_fill_demand(double amount_gbps, std::span<const Path> candidate_paths,
+                         std::span<double> residual, std::span<double> link_load,
+                         std::vector<std::pair<LinkId, double>>* op_log = nullptr,
+                         std::size_t* scanned_paths_out = nullptr,
+                         std::vector<double>* path_placed_out = nullptr);
+
 /// Caches k-shortest path sets per (src, dst) pair over a fixed topology.
 /// The cache is populated lazily by `paths()` / the non-const `route()`
 /// overloads (single-threaded use). For concurrent use, `warm()` the cache
@@ -55,7 +89,31 @@ class Router {
  public:
   Router(const Topology& topo, std::size_t k_paths);
 
+  /// RAII marker for an active read-only sweep (e.g. the parallel
+  /// risk-scenario fan-out). While any guard is alive, lazy path-cache
+  /// insertion is a contract violation: `paths()` / `route()` / `warm()` on
+  /// an uncached pair throw instead of mutating the cache under concurrent
+  /// readers. Cheap enough to be enforced in every build, not just debug.
+  class SweepGuard {
+   public:
+    explicit SweepGuard(const Router& router) : router_(&router) {
+      router_->active_sweeps_.fetch_add(1, std::memory_order_acq_rel);
+    }
+    ~SweepGuard() {
+      if (router_ != nullptr) router_->active_sweeps_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    SweepGuard(SweepGuard&& other) noexcept : router_(std::exchange(other.router_, nullptr)) {}
+    SweepGuard(const SweepGuard&) = delete;
+    SweepGuard& operator=(const SweepGuard&) = delete;
+    SweepGuard& operator=(SweepGuard&&) = delete;
+
+   private:
+    const Router* router_;
+  };
+
   /// Candidate paths for a pair on the intact topology (computed lazily).
+  /// Precondition: no SweepGuard is active when the pair misses the cache
+  /// (insertion would race the sweep's readers).
   [[nodiscard]] const std::vector<Path>& paths(RegionId src, RegionId dst);
 
   /// Precomputes candidate paths for every (src, dst) pair in `demands`.
@@ -82,20 +140,21 @@ class Router {
   [[nodiscard]] const Topology& topo() const { return topo_; }
   [[nodiscard]] std::size_t k_paths() const { return k_paths_; }
 
+  /// Read-only cache lookup: the candidate paths for a pair, or nullptr if
+  /// the pair was never warmed. Never inserts, so it is safe during an
+  /// active sweep (the incremental replay engine resolves its per-demand
+  /// path pointers through this once, up front).
+  [[nodiscard]] const std::vector<Path>* cached_paths(RegionId src, RegionId dst) const;
+
   /// Per-link capacities of the intact topology, indexed by LinkId.
   [[nodiscard]] std::vector<double> full_capacities() const;
 
  private:
-  [[nodiscard]] const std::vector<Path>* cached_paths(RegionId src, RegionId dst) const;
-
-  /// The shared placement pass: water-fill `demand` over `candidate_paths`
-  /// against `state`. Returns the placed amount.
-  static double place_demand(const Demand& demand, const std::vector<Path>& candidate_paths,
-                             PlacementState& state);
-
   const Topology& topo_;
   std::size_t k_paths_;
   std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Path>> cache_;
+  /// Count of live SweepGuards; paths() refuses cache insertion while > 0.
+  mutable std::atomic<int> active_sweeps_{0};
 };
 
 }  // namespace netent::topology

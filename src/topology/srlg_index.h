@@ -1,0 +1,39 @@
+// SRLG -> link inverted index. Failure scenarios are expressed as sets of
+// down SRLGs; turning a scenario into its affected links used to cost a full
+// O(links x |down|) scan per scenario. The index is built once per topology
+// and answers the same question in O(|down|) lookups, which is what makes
+// the incremental scenario-replay engine (replay.h) and the shared
+// scenario-capacity helper cheap per scenario.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "topology/paths.h"
+#include "topology/topology.h"
+
+namespace netent::topology {
+
+/// Immutable inverted index from SRLG to the directed links riding it.
+/// Every link belongs to exactly one SRLG, so the per-SRLG link lists are
+/// disjoint and their union is the full link set.
+class SrlgIndex {
+ public:
+  explicit SrlgIndex(const Topology& topo);
+
+  /// Directed links whose fiber is `srlg` (ascending LinkId order).
+  [[nodiscard]] std::span<const LinkId> links_of(SrlgId srlg) const;
+
+  [[nodiscard]] std::size_t srlg_count() const { return links_by_srlg_.size(); }
+
+ private:
+  std::vector<std::vector<LinkId>> links_by_srlg_;
+};
+
+/// The sorted, deduplicated set of SRLGs traversed by `path`: the path's
+/// failure signature. A scenario affects the path iff its down set
+/// intersects this set.
+[[nodiscard]] std::vector<SrlgId> path_srlgs(const Topology& topo, const Path& path);
+
+}  // namespace netent::topology
