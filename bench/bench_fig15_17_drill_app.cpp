@@ -12,9 +12,18 @@
 //           rollback.
 // With --marker=flow every host has failing flows, failover cannot isolate
 // them, and read latency stays elevated through the 100% stage.
+//
+// Flags: --phase-jitter=SECONDS and --faults=SPEC (see drill_flags.h) run
+// the drill desynchronized / with runtime fault injection;
+// --bench-json=PATH records the run's wall time and event-engine stats;
+// --metrics-json dumps the sim.events.* / sim.faults.* obs counters.
 #include "bench_util.h"
 
+#include <chrono>
+
+#include "drill_flags.h"
 #include "sim/drill.h"
+#include "sim/drill_engine.h"
 
 int main(int argc, char** argv) {
   using namespace netent;
@@ -30,8 +39,18 @@ int main(int argc, char** argv) {
   config.host_count = 200;
   config.marking =
       marker == "flow" ? enforce::MarkingMode::flow_based : enforce::MarkingMode::host_based;
-  sim::DrillSim drill(config, Rng(kSeed));
+  try {
+    apply_drill_flags(argc, argv, config);
+  } catch (const std::exception& error) {
+    std::cerr << "bad drill flag: " << error.what() << '\n';
+    return 2;
+  }
+  sim::DrillEngine drill(config, Rng(kSeed));
+  const auto start = std::chrono::steady_clock::now();
   const auto ticks = drill.run();
+  const double wall_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+          .count();
 
   Table table({"minute", "acl_pct", "read_latency_ms", "write_latency_ms", "block_error_pct"},
               1);
@@ -46,5 +65,21 @@ int main(int argc, char** argv) {
   if (marker != "flow") {
     std::cout << "\n(ablation: rerun with --marker=flow for the flow-based comparison)\n";
   }
+
+  BenchJson json;
+  json.add("bench", std::string("drill_app"));
+  json.add("marker", marker);
+  json.add("host_count", static_cast<std::uint64_t>(config.host_count));
+  json.add("phase_jitter_seconds", config.phase_jitter_seconds);
+  json.add("faults", static_cast<std::uint64_t>(config.faults.size()));
+  json.add("wall_ms", wall_ms);
+  json.add("ticks", static_cast<std::uint64_t>(ticks.size()));
+  const sim::DrillEngineStats& stats = drill.stats();
+  json.add("events_scheduled", stats.events_scheduled);
+  json.add("events_executed", stats.events_executed);
+  json.add("events_cancelled", stats.events_cancelled);
+  json.add("events_per_sec", static_cast<double>(stats.events_executed) / wall_ms * 1e3);
+  maybe_write_bench_json(argc, argv, json);
+  maybe_dump_metrics(argc, argv);
   return 0;
 }

@@ -16,6 +16,7 @@
 #include "common/stats.h"
 #include "enforce/meter.h"
 #include "obs/metrics.h"
+#include "sim/marking_cell.h"
 
 namespace {
 
@@ -26,8 +27,10 @@ constexpr double kDemand = 10000.0;   // 10 Tbps
 constexpr double kEntitled = 5000.0;  // 5 Tbps
 constexpr int kIterations = 40;
 
-/// One §7.4 simulation cell: run `meter` for kIterations cycles at the given
-/// non-conforming loss rate; report instantaneous samples and the average.
+/// One §7.4 simulation cell on the event-driven marking-cell driver
+/// (sim/marking_cell.h): instant observation, no retry floor — the
+/// stateless algorithm's historical setup, bit-identical to the old inline
+/// loop (tests/test_marking_cell.cpp).
 template <class MeterT>
 void run_cell(double loss, Table& series, RunningStats& average) {
   // Cumulative volume the meter remarked non-conforming and the network then
@@ -40,22 +43,22 @@ void run_cell(double loss, Table& series, RunningStats& average) {
   obs::Gauge& conform_gauge = reg.gauge("fig23.loss" + cell + ".conform_gbps");
 
   MeterT meter;
-  for (int iteration = 0; iteration < kIterations; ++iteration) {
-    const double conform = kDemand * meter.conform_ratio();
-    const double nonconf = kDemand * meter.non_conform_ratio();
-    const double nonconf_sent = nonconf * (1.0 - loss);
-    const double total_observed = conform + nonconf_sent;
-    average.add(conform);
-    remarked.add(static_cast<std::uint64_t>(std::llround(nonconf * 1e3)));
-    dropped.add(static_cast<std::uint64_t>(std::llround(nonconf * loss * 1e3)));
-    conform_gauge.set(conform);
-    if (iteration % 4 == 0) {
-      series.add_row({loss * 100.0, static_cast<double>(iteration), conform, average.mean(),
-                      static_cast<double>(remarked.value()) / 1e3,
+  sim::MarkingCellConfig config;
+  config.demand_gbps = kDemand;
+  config.entitled_gbps = kEntitled;
+  config.loss = loss;
+  config.cycles = kIterations;
+  sim::run_marking_cell(meter, config, [&](const sim::MarkingCycle& cycle) {
+    average.add(cycle.conform_gbps);
+    remarked.add(static_cast<std::uint64_t>(std::llround(cycle.nonconf_gbps * 1e3)));
+    dropped.add(static_cast<std::uint64_t>(std::llround(cycle.nonconf_gbps * loss * 1e3)));
+    conform_gauge.set(cycle.conform_gbps);
+    if (cycle.cycle % 4 == 0) {
+      series.add_row({loss * 100.0, static_cast<double>(cycle.cycle), cycle.conform_gbps,
+                      average.mean(), static_cast<double>(remarked.value()) / 1e3,
                       static_cast<double>(dropped.value()) / 1e3});
     }
-    meter.update({Gbps(total_observed), Gbps(conform), Gbps(kEntitled)});
-  }
+  });
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <algorithm>
 
 #include "enforce/meter.h"
+#include "sim/marking_cell.h"
 
 namespace {
 
@@ -33,7 +34,8 @@ int main() {
       {"loss_pct", "iterations_to_5pct_band", "final_conform_gbps", "entitled_gbps", "enforced"},
       1);
   for (const double loss : {0.0, 0.125, 0.25, 0.5, 1.0}) {
-    // Damped meter fed through a one-cycle observation delay: the §5.1
+    // Damped meter driven through the event-driven marking cell
+    // (sim/marking_cell.h) with a one-cycle observation delay: the §5.1
     // distributed rate store aggregates remotely, so agents act on slightly
     // stale rates (this paces the convergence over several iterations, as
     // in the paper's figure).
@@ -44,26 +46,26 @@ int main() {
     RunningStats average;
     int converged_at = -1;
     double final_conform = kDemand;
-    double observed_conform = kDemand;
-    double observed_total = kDemand;
-    for (int iteration = 0; iteration < kIterations; ++iteration) {
-      const double conform = kDemand * meter.conform_ratio();
-      // Retry floor: dropped flows keep attempting (SYNs, retransmits), so
-      // the host-observed send rate never reaches exactly zero.
-      const double nonconf_sent =
-          kDemand * meter.non_conform_ratio() * std::max(1.0 - loss, 0.05);
-      average.add(conform);
-      if (converged_at < 0 && std::abs(conform - kEntitled) <= kEntitled * 0.05) {
-        converged_at = iteration;
+    sim::MarkingCellConfig config;
+    config.demand_gbps = kDemand;
+    config.entitled_gbps = kEntitled;
+    config.loss = loss;
+    config.cycles = kIterations;
+    config.observation_delay_cycles = 1.0;
+    // Retry floor: dropped flows keep attempting (SYNs, retransmits), so
+    // the host-observed send rate never reaches exactly zero.
+    config.retry_floor = 0.05;
+    sim::run_marking_cell(meter, config, [&](const sim::MarkingCycle& cycle) {
+      average.add(cycle.conform_gbps);
+      if (converged_at < 0 && std::abs(cycle.conform_gbps - kEntitled) <= kEntitled * 0.05) {
+        converged_at = cycle.cycle;
       }
-      if (iteration % 4 == 0) {
-        series.add_row({loss * 100.0, static_cast<double>(iteration), conform, average.mean()});
+      if (cycle.cycle % 4 == 0) {
+        series.add_row({loss * 100.0, static_cast<double>(cycle.cycle), cycle.conform_gbps,
+                        average.mean()});
       }
-      final_conform = conform;
-      meter.update({Gbps(observed_total), Gbps(observed_conform), Gbps(kEntitled)});
-      observed_conform = conform;
-      observed_total = conform + nonconf_sent;
-    }
+      final_conform = cycle.conform_gbps;
+    });
     summary.add_row({loss * 100.0, static_cast<double>(converged_at), final_conform, kEntitled,
                      std::string(std::abs(final_conform - kEntitled) <= kEntitled * 0.05
                                      ? "yes"

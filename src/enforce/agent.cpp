@@ -44,8 +44,8 @@ constexpr std::uint64_t kCycleSampleMask = 0xF;
 }  // namespace
 
 HostAgent::HostAgent(HostId host, NpgId npg, QosClass qos, AgentConfig config,
-                     std::unique_ptr<Meter> meter, EntitlementQuery query, RateStore& store,
-                     BpfClassifier& classifier)
+                     std::unique_ptr<Meter> meter, EntitlementQuery query,
+                     RateStoreIface& store, BpfClassifier& classifier)
     : host_(host),
       npg_(npg),
       qos_(qos),
@@ -69,16 +69,33 @@ void HostAgent::observe_local(Gbps total, Gbps conform) {
 
 bool HostAgent::tick(double now_seconds) {
   if (now_seconds - last_publish_ >= config_.publish_interval_seconds) {
-    store_.publish(npg_, qos_, host_, local_total_, local_conform_, now_seconds);
-    metrics().publishes.add();
-    last_publish_ = now_seconds;
+    publish_now(now_seconds);
   }
   if (now_seconds - last_metering_ >= config_.metering_interval_seconds) {
-    run_metering_cycle(now_seconds);
-    last_metering_ = now_seconds;
+    run_metering(now_seconds);
     return true;
   }
   return false;
+}
+
+void HostAgent::publish_now(double now_seconds) {
+  store_.publish(npg_, qos_, host_, local_total_, local_conform_, now_seconds);
+  metrics().publishes.add();
+  last_publish_ = now_seconds;
+}
+
+void HostAgent::run_metering(double now_seconds) {
+  run_metering_cycle(now_seconds);
+  last_metering_ = now_seconds;
+}
+
+void HostAgent::restart() {
+  meter_->reset();
+  programmed_ratio_ = -1.0;
+  // Interval clocks restart too: a fresh process publishes and meters on its
+  // next timer fire regardless of what the dead one last did.
+  last_publish_ = -1e18;
+  last_metering_ = -1e18;
 }
 
 void HostAgent::run_metering_cycle(double now_seconds) {

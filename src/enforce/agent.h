@@ -43,8 +43,10 @@ struct AgentConfig {
 class HostAgent {
  public:
   /// The classifier is owned by the host (kernel); the agent programs it.
+  /// The store may be the lockstep lookback RateStore or the event engine's
+  /// propagation adapter — the agent cannot tell the difference.
   HostAgent(HostId host, NpgId npg, QosClass qos, AgentConfig config,
-            std::unique_ptr<Meter> meter, EntitlementQuery query, RateStore& store,
+            std::unique_ptr<Meter> meter, EntitlementQuery query, RateStoreIface& store,
             BpfClassifier& classifier);
 
   /// Reports this host's currently measured egress rates for the service
@@ -53,8 +55,23 @@ class HostAgent {
 
   /// Advances the agent to `now`: publishes local rates and/or runs a
   /// metering cycle when the respective intervals elapsed. Returns true if a
-  /// metering cycle ran.
+  /// metering cycle ran. (Lockstep driver entry point; event-driven engines
+  /// call publish_now / run_metering from their own timers instead.)
   bool tick(double now_seconds);
+
+  /// Publishes the local rates unconditionally (event-timer entry point).
+  void publish_now(double now_seconds);
+
+  /// Runs one metering cycle unconditionally (event-timer entry point).
+  void run_metering(double now_seconds);
+
+  /// Models the agent process coming back after a crash: the meter's control
+  /// state is forgotten and the agent no longer knows what it last
+  /// programmed into the kernel (the BPF map itself persists across agent
+  /// restarts — that persistence is what keeps conforming traffic protected
+  /// while the agent is down, the §6 drill invariant). The next metering
+  /// cycle reprograms unconditionally.
+  void restart();
 
   [[nodiscard]] HostId host() const { return host_; }
   [[nodiscard]] double non_conform_ratio() const { return meter_->non_conform_ratio(); }
@@ -68,7 +85,7 @@ class HostAgent {
   AgentConfig config_;
   std::unique_ptr<Meter> meter_;
   EntitlementQuery query_;
-  RateStore& store_;
+  RateStoreIface& store_;
   BpfClassifier& classifier_;
 
   Gbps local_total_;

@@ -54,6 +54,11 @@ class Meter {
   /// Advances one cycle; returns the new NonConformRatio in [0, 1].
   virtual double update(const MeterInput& input) = 0;
 
+  /// Forgets the control state (ConformRatio back to 1), as a freshly
+  /// restarted agent process would. Event tallies are NOT cleared: they are
+  /// cumulative diagnostics and the agent flushes them as deltas.
+  virtual void reset() = 0;
+
   /// ConformRatio currently in force (1 - NonConformRatio).
   [[nodiscard]] virtual double conform_ratio() const = 0;
 
@@ -70,6 +75,7 @@ class Meter {
 class StatelessMeter final : public Meter {
  public:
   double update(const MeterInput& input) override;
+  void reset() override { conform_ratio_ = 1.0; }
   [[nodiscard]] double conform_ratio() const override { return conform_ratio_; }
 
  private:
@@ -89,6 +95,7 @@ class StatefulMeter final : public Meter {
   explicit StatefulMeter(double max_step = 2.0, double gain = 1.0);
 
   double update(const MeterInput& input) override;
+  void reset() override { conform_ratio_ = 1.0; }
   [[nodiscard]] double conform_ratio() const override { return conform_ratio_; }
 
  private:

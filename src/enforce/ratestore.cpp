@@ -1,5 +1,7 @@
 #include "enforce/ratestore.h"
 
+#include <cmath>
+
 #include "common/check.h"
 #include "obs/metrics.h"
 
@@ -14,6 +16,8 @@ struct StoreMetrics {
   obs::Counter& empty_reads = reg.counter("enforce.ratestore.empty_reads");
   obs::Counter& compactions = reg.counter("enforce.ratestore.compactions");
   obs::Counter& samples_dropped = reg.counter("enforce.ratestore.samples_dropped");
+  obs::Counter& deliveries = reg.counter("enforce.ratestore.deliveries");
+  obs::Counter& partition_dropped = reg.counter("enforce.ratestore.partition_dropped");
   /// Age of the freshest sample an aggregate read actually used (one record
   /// per read, the max over publishers): how stale the metering control loop
   /// really runs, visibility delay included. Sim-time-valued, so the bucket
@@ -96,5 +100,70 @@ void RateStore::compact(double now_seconds) {
   }
   if (dropped != 0) metrics().samples_dropped.add(dropped);
 }
+
+EventRateStore::EventRateStore(AggregateMode mode, double visibility_delay_seconds)
+    : mode_(mode), visibility_delay_(visibility_delay_seconds) {
+  NETENT_EXPECTS(visibility_delay_seconds >= 0.0);
+}
+
+void EventRateStore::deliver(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps conform,
+                             double published_seconds, double now_seconds) {
+  NETENT_EXPECTS(total >= Gbps(0));
+  NETENT_EXPECTS(conform >= Gbps(0));
+  NETENT_EXPECTS(conform <= total + Gbps(1e-9));
+  NETENT_EXPECTS(published_seconds <= now_seconds + 1e-9);
+  if (partitioned_) {
+    metrics().partition_dropped.add();
+    return;
+  }
+  Service& service = services_[{npg.value(), qos}];
+  auto [it, inserted] = service.hosts.try_emplace(host.value());
+  HostSample& sample = it->second;
+  if (!inserted) {
+    // Deliveries for one host arrive in publish order (uniform delay), so a
+    // non-monotone timestamp means the engine double-delivered.
+    NETENT_EXPECTS(sample.published <= published_seconds);
+    service.milli_total -= std::llround(sample.total_gbps * 1e3);
+    service.milli_conform -= std::llround(sample.conform_gbps * 1e3);
+  }
+  sample = HostSample{published_seconds, total.value(), conform.value()};
+  service.milli_total += std::llround(total.value() * 1e3);
+  service.milli_conform += std::llround(conform.value() * 1e3);
+  if (published_seconds > service.newest_published) {
+    service.newest_published = published_seconds;
+  }
+  ++service.version;
+  metrics().deliveries.add();
+}
+
+ServiceRates EventRateStore::read(NpgId npg, QosClass qos, double now_seconds) const {
+  StoreMetrics& m = metrics();
+  m.reads.add();
+  const auto service_it = services_.find({npg.value(), qos});
+  if (service_it == services_.end() || service_it->second.hosts.empty()) {
+    m.empty_reads.add();
+    return ServiceRates{Gbps(0), Gbps(0)};
+  }
+  const Service& service = service_it->second;
+  m.staleness.record(now_seconds - service.newest_published);
+  if (mode_ == AggregateMode::kFastDelta) {
+    return ServiceRates{Gbps(static_cast<double>(service.milli_total) * 1e-3),
+                        Gbps(static_cast<double>(service.milli_conform) * 1e-3)};
+  }
+  if (service.cached_version != service.version) {
+    // Ascending-host-id double sum: the same summation order RateStore uses
+    // (its host maps are ordered too), so compat-mode reads are bit-identical.
+    ServiceRates rates{Gbps(0), Gbps(0)};
+    for (const auto& [host, sample] : service.hosts) {
+      rates.total += Gbps(sample.total_gbps);
+      rates.conform += Gbps(sample.conform_gbps);
+    }
+    service.cached = rates;
+    service.cached_version = service.version;
+  }
+  return service.cached;
+}
+
+void EventRateStore::set_partitioned(bool partitioned) { partitioned_ = partitioned; }
 
 }  // namespace netent::enforce

@@ -4,6 +4,18 @@
 // the entire service and read by the agent periodically."). The relevant
 // distributed-systems property is staleness: an aggregate read at time t
 // reflects what hosts had published by t - visibility_delay.
+//
+// Two models of that staleness live here:
+//  * RateStore — the lookback model: publishes are recorded instantly with
+//    their timestamps and aggregate() rewinds by the visibility delay. Right
+//    for lockstep drivers that call publish and aggregate from one loop.
+//  * EventRateStore — the propagation model used by the event-driven drill
+//    engine: a publish becomes a *delivery event* scheduled visibility_delay
+//    later, and deliver() applies it to the store's visible state; reads see
+//    exactly what has arrived. For a uniform delay the two models agree
+//    sample-for-sample (ts <= now - delay  <=>  ts + delay <= now); the
+//    event model additionally supports runtime partition faults and O(1)
+//    aggregate reads.
 #pragma once
 
 #include <cstdint>
@@ -21,18 +33,35 @@ struct ServiceRates {
   Gbps conform;
 };
 
-class RateStore {
+/// What a host agent needs from the rate store: publish its local rates and
+/// read the service aggregate. Kept abstract so the agent works unchanged
+/// against the lockstep lookback store and the event engine's propagation
+/// adapter (which turns publish() into a scheduled delivery).
+class RateStoreIface {
+ public:
+  virtual ~RateStoreIface() = default;
+
+  /// A host publishes its measured per-service rates.
+  virtual void publish(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps conform,
+                       double now_seconds) = 0;
+
+  /// Aggregate across all hosts of (npg, qos) as visible at `now`.
+  [[nodiscard]] virtual ServiceRates aggregate(NpgId npg, QosClass qos,
+                                               double now_seconds) const = 0;
+};
+
+class RateStore final : public RateStoreIface {
  public:
   /// `visibility_delay_seconds` models publish + aggregation + fan-out lag.
   explicit RateStore(double visibility_delay_seconds);
 
-  /// A host publishes its measured per-service rates.
   void publish(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps conform,
-               double now_seconds);
+               double now_seconds) override;
 
   /// Aggregate across all hosts of (npg, qos): for each host, the most
   /// recent sample published at or before now - visibility_delay.
-  [[nodiscard]] ServiceRates aggregate(NpgId npg, QosClass qos, double now_seconds) const;
+  [[nodiscard]] ServiceRates aggregate(NpgId npg, QosClass qos,
+                                       double now_seconds) const override;
 
   /// Drops samples that can no longer be visible (memory hygiene for long
   /// simulations).
@@ -52,6 +81,72 @@ class RateStore {
 
   double visibility_delay_;
   std::map<ServiceKey, std::map<std::uint32_t, std::deque<Sample>>> samples_;
+};
+
+/// The event-modeled store: holds only *arrived* samples (the engine turns
+/// each publish into a delivery event visibility_delay later), so reads are
+/// against real propagated state instead of a lookback. Keeps one sample per
+/// host — the latest delivered — which bounds memory without compaction.
+///
+/// Aggregation modes:
+///  * kExactOrdered — recompute the double sum in ascending host order,
+///    memoized by a version stamp. Bit-identical to RateStore::aggregate on
+///    the same visible samples (same values, same summation order); O(hosts)
+///    on the first read after a delivery, O(1) for the repeat reads of a
+///    lockstep metering sweep. The compatibility mode of the drill engine.
+///  * kFastDelta — maintain the aggregate incrementally in integer
+///    milli-Gbps (exact integer adds commute, so the value is independent of
+///    delivery order). O(1) per read and per delivery: the scale mode that
+///    keeps a 2000-host drill within the per-host budget of the 200-host
+///    lockstep run. Quantizes each host's contribution to 0.001 Gbps.
+class EventRateStore {
+ public:
+  enum class AggregateMode : std::uint8_t { kExactOrdered, kFastDelta };
+
+  explicit EventRateStore(AggregateMode mode, double visibility_delay_seconds);
+
+  /// Applies an arrived publish. `published_seconds` is when the host
+  /// published (must be monotone per host); `now_seconds` is the arrival
+  /// time, used for partition bookkeeping only. Deliveries during a
+  /// partition are lost (dropped, counted), exactly like writes that never
+  /// reach a partitioned KV replica.
+  void deliver(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps conform,
+               double published_seconds, double now_seconds);
+
+  /// Aggregate over everything that has arrived. Records the control loop's
+  /// real staleness (now - newest arrived publish timestamp).
+  [[nodiscard]] ServiceRates read(NpgId npg, QosClass qos, double now_seconds) const;
+
+  /// Partition fault: while partitioned, deliveries are dropped and readers
+  /// keep seeing the pre-partition aggregate (ever-growing staleness).
+  void set_partitioned(bool partitioned);
+  [[nodiscard]] bool partitioned() const { return partitioned_; }
+
+  [[nodiscard]] AggregateMode mode() const { return mode_; }
+  [[nodiscard]] double visibility_delay() const { return visibility_delay_; }
+
+ private:
+  struct HostSample {
+    double published;
+    double total_gbps;
+    double conform_gbps;
+  };
+  struct Service {
+    std::map<std::uint32_t, HostSample> hosts;  // ordered: exact-mode sum order
+    std::int64_t milli_total = 0;               // fast-mode integer aggregate
+    std::int64_t milli_conform = 0;
+    double newest_published = -1.0;
+    std::uint64_t version = 0;
+    // Exact-mode memo: the ordered sum at `cached_version`.
+    mutable std::uint64_t cached_version = ~std::uint64_t{0};
+    mutable ServiceRates cached{Gbps(0), Gbps(0)};
+  };
+  using ServiceKey = std::pair<std::uint32_t, QosClass>;
+
+  AggregateMode mode_;
+  double visibility_delay_;
+  bool partitioned_ = false;
+  std::map<ServiceKey, Service> services_;
 };
 
 }  // namespace netent::enforce

@@ -22,6 +22,22 @@ struct AclStage {
   double drop_fraction;  ///< of non-conforming traffic, in [0, 1]
 };
 
+/// A runtime fault injected into the drill at a scheduled simulation time
+/// (kControlStratum, so it lands before that timestamp's world sweep).
+struct DrillFault {
+  enum class Kind : std::uint8_t {
+    agent_crash,      ///< host's agent process dies; its kernel classifier persists
+    agent_restart,    ///< fresh agent process: meter state forgotten, timers re-based
+    store_partition,  ///< rate-store deliveries are lost until heal
+    store_heal,
+    host_down,  ///< machine death: no traffic, agent dead, reads fail over
+    host_up,    ///< machine returns with a fresh agent
+  };
+  double at_seconds = 0.0;
+  Kind kind = Kind::agent_crash;
+  std::size_t host = 0;  ///< ignored for store_partition / store_heal
+};
+
 struct DrillConfig {
   std::size_t host_count = 200;
   double duration_seconds = 210.0 * 60.0;
@@ -63,6 +79,18 @@ struct DrillConfig {
   /// Ticks are bit-identical for every value; 1 runs fully serial.
   std::size_t num_threads = 1;
 
+  /// Per-agent timer phase jitter: each host's publish and metering timers
+  /// start at an independent uniform offset in [0, phase_jitter_seconds)
+  /// instead of all firing in lockstep with the world sweep. 0 is the compat
+  /// mode that reproduces the historical lockstep tick series bit-for-bit;
+  /// any positive value desynchronizes the control plane the way real agent
+  /// fleets are (runs stay deterministic for a fixed seed and any thread
+  /// count, but differ from the lockstep series).
+  double phase_jitter_seconds = 0.0;
+
+  /// Runtime faults, applied at their scheduled times (any order).
+  std::vector<DrillFault> faults;
+
   double base_rtt_ms = 35.0;           ///< cross-region propagation
   double read_base_latency_ms = 120.0;  ///< Coldstorage restore service time
   double write_base_latency_ms = 180.0;
@@ -102,6 +130,8 @@ struct DrillTick {
   double block_error_rate = 0.0;  ///< failed write blocks / attempted
 };
 
+/// Facade over the event-driven DrillEngine (sim/drill_engine.h), kept for
+/// the historical lockstep-era call sites: construct, run(), collect ticks.
 class DrillSim {
  public:
   DrillSim(DrillConfig config, Rng rng);

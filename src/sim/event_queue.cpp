@@ -3,13 +3,47 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/metrics.h"
 
 namespace netent::sim {
 
-void EventQueue::schedule(double when, Action action) {
+namespace {
+
+/// Queue-level tallies shared by every EventQueue in the process (there is
+/// one live engine per simulation run; the counts are deterministic for a
+/// deterministic schedule, so the drill golden tests may compare them).
+struct QueueMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& scheduled = reg.counter("sim.events.scheduled");
+  obs::Counter& executed = reg.counter("sim.events.executed");
+  obs::Counter& cancelled = reg.counter("sim.events.cancelled");
+};
+
+QueueMetrics& metrics() {
+  static QueueMetrics instance;
+  return instance;
+}
+
+}  // namespace
+
+EventQueue::EventId EventQueue::schedule(double when, EventStratum stratum, Action action) {
   NETENT_EXPECTS(when >= now_);
   NETENT_EXPECTS(action != nullptr);
-  events_.push(Event{when, next_sequence_++, std::move(action)});
+  const EventId id = next_sequence_++;
+  events_.push(Event{when, stratum, id, std::move(action)});
+  live_.insert(id);
+  metrics().scheduled.add();
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  // Only a still-pending event can be cancelled; executed / already-cancelled
+  // / never-issued handles are safely ignored.
+  if (live_.erase(id) == 0) return false;
+  cancelled_.insert(id);
+  ++cancelled_total_;
+  metrics().cancelled.add();
+  return true;
 }
 
 void EventQueue::run_until(double horizon) {
@@ -18,10 +52,56 @@ void EventQueue::run_until(double horizon) {
     // Copy out before pop: the action may schedule new events.
     Event event = std::move(const_cast<Event&>(events_.top()));
     events_.pop();
+    if (cancelled_.erase(event.sequence) != 0) continue;  // discard unexecuted
+    live_.erase(event.sequence);
     now_ = event.when;
+    ++executed_;
+    metrics().executed.add();
     event.action();
   }
-  if (events_.empty() || events_.top().when > horizon) now_ = horizon;
+  // The clock always lands on the horizon, even when later events remain:
+  // back-to-back windows must observe consistent time.
+  now_ = horizon;
+}
+
+PeriodicTimer::PeriodicTimer(EventQueue& queue, double period_seconds, EventStratum stratum,
+                             EventQueue::Action action)
+    : queue_(queue), period_(period_seconds), stratum_(stratum), action_(std::move(action)) {
+  NETENT_EXPECTS(period_ > 0.0);
+  NETENT_EXPECTS(action_ != nullptr);
+}
+
+void PeriodicTimer::start_at(double first_fire_seconds) {
+  stop();
+  active_ = true;
+  base_ = first_fire_seconds;
+  ticks_ = 0;
+  arm();
+}
+
+void PeriodicTimer::stop() {
+  active_ = false;
+  if (pending_ == EventQueue::kInvalidEvent) return;
+  queue_.cancel(pending_);
+  pending_ = EventQueue::kInvalidEvent;
+}
+
+void PeriodicTimer::arm() {
+  // Multiplication, not accumulation: base + n * period keeps timestamps
+  // bit-exact (5.0-second periods never drift), matching the lockstep
+  // driver's `step * tick_seconds` times.
+  pending_ = queue_.schedule(base_ + static_cast<double>(ticks_) * period_, stratum_,
+                             [this] { fire(); });
+}
+
+void PeriodicTimer::fire() {
+  pending_ = EventQueue::kInvalidEvent;
+  ++ticks_;
+  ++fires_;
+  action_();
+  // The action may have stopped the timer (active_ now false) or restarted
+  // it (pending_ now set); re-arm only when it left this occurrence alone.
+  if (active_ && pending_ == EventQueue::kInvalidEvent) arm();
 }
 
 }  // namespace netent::sim

@@ -1,51 +1,150 @@
-// Minimal discrete-event engine driving the enforcement simulations: a time-
-// ordered queue of callbacks with a monotonic clock. Events scheduled at
-// equal times fire in scheduling order (stable), which keeps runs
-// deterministic.
+// Discrete-event engine driving the enforcement simulations: a time-ordered
+// queue of callbacks with a monotonic clock.
+//
+// Ordering contract. Events are executed by ascending (time, stratum,
+// scheduling sequence). The stratum is a small priority class that fixes the
+// execution order of *different kinds* of events that collide on the same
+// timestamp — the drill engine needs contract/fault changes to land before
+// the world sweep, store deliveries to land before the agent reads that
+// depend on them, and the world sweep to land before the agents that consume
+// its rates. Within one (time, stratum) cell, events fire in scheduling
+// order (stable FIFO), which keeps runs deterministic.
+//
+// Cancellation is lazy: cancel() marks the pending event and the run loop
+// discards it unexecuted when it reaches the head of the queue. Handles are
+// unique per queue for its lifetime, so a stale handle (already executed or
+// cancelled) is safely ignored.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 namespace netent::sim {
 
+/// Execution-priority class for events sharing a timestamp (lower runs
+/// first). The named constants are the drill engine's taxonomy; plain
+/// schedule() calls land in kWorld, preserving the original FIFO behaviour.
+using EventStratum = std::uint8_t;
+inline constexpr EventStratum kControlStratum = 0;   ///< contract cuts, ACL stages, faults
+inline constexpr EventStratum kDeliveryStratum = 1;  ///< rate-store propagation arrivals
+inline constexpr EventStratum kWorldStratum = 2;     ///< traffic/world sweeps (default)
+inline constexpr EventStratum kAgentStratum = 3;     ///< host-agent timers (publish/meter)
+
 class EventQueue {
  public:
   using Action = std::function<void()>;
+  /// Handle for cancellation; unique per queue. kInvalidEvent is never
+  /// returned by schedule().
+  using EventId = std::uint64_t;
+  static constexpr EventId kInvalidEvent = std::numeric_limits<EventId>::max();
 
-  /// Schedules `action` at absolute time `when` (>= now).
-  void schedule(double when, Action action);
+  /// Schedules `action` at absolute time `when` (>= now) in `stratum`.
+  EventId schedule(double when, Action action) {
+    return schedule(when, kWorldStratum, std::move(action));
+  }
+  EventId schedule(double when, EventStratum stratum, Action action);
 
   /// Schedules `action` `delay` seconds from now.
-  void schedule_in(double delay, Action action) { schedule(now_ + delay, std::move(action)); }
+  EventId schedule_in(double delay, Action action) {
+    return schedule(now_ + delay, kWorldStratum, std::move(action));
+  }
+  EventId schedule_in(double delay, EventStratum stratum, Action action) {
+    return schedule(now_ + delay, stratum, std::move(action));
+  }
 
-  /// Runs events until the queue is empty or the next event is after
-  /// `horizon`; the clock ends at the last executed event (or `horizon` if
-  /// nothing remains before it).
+  /// Cancels a pending event; returns true if it was still pending (it will
+  /// never execute), false if it already executed, was already cancelled, or
+  /// the handle is invalid.
+  bool cancel(EventId id);
+
+  /// Runs events up to and including `horizon`. The clock always ends at
+  /// exactly `horizon` — even when later events remain pending — so
+  /// back-to-back run_until(h1); run_until(h2) windows observe a consistent
+  /// clock. (If an action throws, the clock stays at that event's time.)
   void run_until(double horizon);
 
   [[nodiscard]] double now() const { return now_; }
-  [[nodiscard]] bool empty() const { return events_.empty(); }
-  [[nodiscard]] std::size_t pending() const { return events_.size(); }
+  /// True when no live (un-cancelled) events are pending.
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  /// Number of live (un-cancelled) pending events.
+  [[nodiscard]] std::size_t pending() const { return live_.size(); }
+  /// Events executed (cancelled events are discarded, not executed).
+  [[nodiscard]] std::uint64_t executed_count() const { return executed_; }
+  [[nodiscard]] std::uint64_t scheduled_count() const { return next_sequence_; }
+  [[nodiscard]] std::uint64_t cancelled_count() const { return cancelled_total_; }
 
  private:
   struct Event {
     double when;
-    std::uint64_t sequence;  // tie-break: stable FIFO at equal times
+    EventStratum stratum;
+    std::uint64_t sequence;  // tie-break within (when, stratum): stable FIFO
     Action action;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
       if (a.when != b.when) return a.when > b.when;
+      if (a.stratum != b.stratum) return a.stratum > b.stratum;
       return a.sequence > b.sequence;
     }
   };
 
   double now_ = 0.0;
-  std::uint64_t next_sequence_ = 0;
+  std::uint64_t next_sequence_ = 0;  // doubles as the EventId namespace
+  std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_total_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> events_;
+  std::unordered_set<EventId> live_;       // pending, not cancelled
+  std::unordered_set<EventId> cancelled_;  // pending-but-cancelled handles
+};
+
+/// Self-rescheduling fixed-period event, the idiom behind agent metering /
+/// publish loops and the drill's world sweep. Fire times are computed as
+/// base + n * period (not by accumulation), so periods like 5.0 s produce
+/// bit-exact tick timestamps with no floating-point drift.
+///
+/// stop() cancels the pending occurrence — this is what agent-crash faults
+/// use — and start_at() (re-)arms the timer, so a crash/restart pair is
+/// stop(); start_at(t). The timer must outlive any queue run in which it has
+/// a pending event.
+class PeriodicTimer {
+ public:
+  /// `action` runs once per period; it may call stop() on this timer.
+  PeriodicTimer(EventQueue& queue, double period_seconds, EventStratum stratum,
+                EventQueue::Action action);
+
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  /// Arms the timer to first fire at absolute time `first_fire_seconds`
+  /// (>= queue.now()), then every period after it. Restarting a running
+  /// timer cancels the pending occurrence and re-bases the schedule.
+  void start_at(double first_fire_seconds);
+
+  /// Cancels the pending occurrence; the timer can be start_at() again.
+  void stop();
+
+  [[nodiscard]] bool running() const { return active_; }
+  [[nodiscard]] double period() const { return period_; }
+  /// Times the action has run since construction.
+  [[nodiscard]] std::uint64_t fire_count() const { return fires_; }
+
+ private:
+  void arm();
+  void fire();
+
+  EventQueue& queue_;
+  double period_;
+  EventStratum stratum_;
+  EventQueue::Action action_;
+  bool active_ = false;        // between start_at() and stop()
+  double base_ = 0.0;          // schedule origin of the current arming
+  std::uint64_t ticks_ = 0;    // occurrences since base_ (next fires at base_ + ticks_ * period_)
+  std::uint64_t fires_ = 0;
+  EventQueue::EventId pending_ = EventQueue::kInvalidEvent;
 };
 
 }  // namespace netent::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 #include <vector>
 
@@ -124,6 +125,99 @@ TEST(HostAgent, HysteresisSuppressesSmallReprogramming) {
   agent.observe_local(Gbps(202), Gbps(102));
   agent.tick(20.0);
   EXPECT_EQ(classifier.classify(probe), before);
+}
+
+TEST(HostAgent, EventApiMatchesTickSchedule) {
+  // Driving the agent with publish_now / run_metering at the times tick()
+  // would have chosen produces the same store and classifier state — this is
+  // what lets the event engine's per-agent timers replace the lockstep sweep.
+  const Marker marker(MarkingMode::host_based, 1000);
+  RateStore tick_store(0.0);
+  BpfClassifier tick_classifier{marker};
+  HostAgent tick_agent(HostId(1), kSvc, kQos, AgentConfig{10.0, 5.0},
+                       std::make_unique<StatefulMeter>(), fixed_entitlement(100.0),
+                       tick_store, tick_classifier);
+  RateStore event_store(0.0);
+  BpfClassifier event_classifier{marker};
+  HostAgent event_agent(HostId(1), kSvc, kQos, AgentConfig{10.0, 5.0},
+                        std::make_unique<StatefulMeter>(), fixed_entitlement(100.0),
+                        event_store, event_classifier);
+  for (double t = 0.0; t <= 40.0; t += 5.0) {
+    tick_agent.observe_local(Gbps(200), Gbps(200));
+    event_agent.observe_local(Gbps(200), Gbps(200));
+    tick_agent.tick(t);
+    event_agent.publish_now(t);                                // 5 s cadence
+    if (std::fmod(t, 10.0) == 0.0) event_agent.run_metering(t);  // 10 s cadence
+  }
+  const EgressMeta probe{kSvc, kQos, HostId(7), 3};
+  EXPECT_EQ(tick_classifier.classify(probe), event_classifier.classify(probe));
+  EXPECT_EQ(tick_store.aggregate(kSvc, kQos, 40.0).total.value(),
+            event_store.aggregate(kSvc, kQos, 40.0).total.value());
+  EXPECT_EQ(tick_agent.non_conform_ratio(), event_agent.non_conform_ratio());
+}
+
+TEST(HostAgent, RestartForgetsMeterStateButKernelMapPersists) {
+  RateStore store(0.0);
+  BpfClassifier classifier{Marker(MarkingMode::host_based, 1000)};
+  HostAgent agent(HostId(1), kSvc, kQos, AgentConfig{10.0, 5.0},
+                  std::make_unique<StatefulMeter>(), fixed_entitlement(100.0), store,
+                  classifier);
+  agent.observe_local(Gbps(200), Gbps(200));
+  agent.tick(0.0);
+  agent.observe_local(Gbps(200), Gbps(100));
+  agent.tick(10.0);
+  EXPECT_GT(agent.non_conform_ratio(), 0.0);
+  EXPECT_EQ(classifier.map_size(), 1u);
+
+  agent.restart();
+  // The agent process forgot its control state...
+  EXPECT_EQ(agent.non_conform_ratio(), 0.0);
+  // ...but the kernel classifier still enforces the last programmed ratio:
+  // conforming traffic stays protected while the agent is down (§6).
+  EXPECT_EQ(classifier.map_size(), 1u);
+
+  // After restart the next tick is due immediately (fresh interval clocks)
+  // and reprograms unconditionally once the meter re-learns the overage.
+  agent.observe_local(Gbps(200), Gbps(200));
+  EXPECT_TRUE(agent.tick(20.0));
+  agent.observe_local(Gbps(200), Gbps(100));
+  EXPECT_TRUE(agent.tick(30.0));
+  EXPECT_GT(agent.non_conform_ratio(), 0.0);
+}
+
+TEST(HostAgent, WorksAgainstEventRateStore) {
+  // The agent runs unchanged against the event-modeled store (via
+  // RateStoreIface): publishes are applied by the engine as deliveries.
+  class DeliveringStore final : public RateStoreIface {
+   public:
+    explicit DeliveringStore(EventRateStore& inner) : inner_(inner) {}
+    void publish(NpgId npg, QosClass qos, HostId host, Gbps total, Gbps conform,
+                 double now_seconds) override {
+      inner_.deliver(npg, qos, host, total, conform, now_seconds, now_seconds);
+    }
+    [[nodiscard]] ServiceRates aggregate(NpgId npg, QosClass qos,
+                                         double now_seconds) const override {
+      return inner_.read(npg, qos, now_seconds);
+    }
+
+   private:
+    EventRateStore& inner_;
+  };
+  EventRateStore inner(EventRateStore::AggregateMode::kExactOrdered, 0.0);
+  DeliveringStore store(inner);
+  BpfClassifier classifier{Marker(MarkingMode::host_based, 1000)};
+  HostAgent agent(HostId(1), kSvc, kQos, AgentConfig{10.0, 5.0},
+                  std::make_unique<StatefulMeter>(), fixed_entitlement(100.0), store,
+                  classifier);
+  agent.observe_local(Gbps(200), Gbps(200));
+  agent.tick(0.0);
+  EXPECT_NEAR(agent.non_conform_ratio(), 0.5, 1e-9);
+  // Marking took effect: conforming traffic now equals the entitlement, so
+  // the loop holds steady.
+  agent.observe_local(Gbps(200), Gbps(100));
+  agent.tick(10.0);
+  EXPECT_NEAR(agent.non_conform_ratio(), 0.5, 0.05);
+  EXPECT_EQ(inner.read(kSvc, kQos, 10.0).total, Gbps(200));
 }
 
 TEST(HostAgent, InvalidConstructionRejected) {

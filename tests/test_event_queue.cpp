@@ -86,5 +86,227 @@ TEST(EventQueue, EmptyAndPending) {
   EXPECT_TRUE(queue.empty());
 }
 
+// --- run_until clock semantics (regression: the clock must always end at
+// --- the horizon, so back-to-back windows observe consistent time) --------
+
+TEST(EventQueue, ClockEndsAtHorizonWhenLaterEventsRemain) {
+  EventQueue queue;
+  double seen_in_second_window = -1.0;
+  queue.schedule(1.0, [] {});
+  queue.schedule(7.0, [&] { seen_in_second_window = queue.now(); });
+  queue.run_until(4.0);
+  // Last executed event was at 1.0, but the window ran to 4.0.
+  EXPECT_DOUBLE_EQ(queue.now(), 4.0);
+  queue.run_until(8.0);
+  EXPECT_DOUBLE_EQ(seen_in_second_window, 7.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 8.0);
+}
+
+TEST(EventQueue, ScheduleInAfterPartialWindowUsesHorizonClock) {
+  EventQueue queue;
+  queue.schedule(1.0, [] {});
+  queue.run_until(4.0);
+  // schedule_in must be relative to the horizon (4.0), not the last event.
+  std::vector<double> fired;
+  queue.schedule_in(2.0, [&] { fired.push_back(queue.now()); });
+  queue.run_until(10.0);
+  EXPECT_EQ(fired, (std::vector<double>{6.0}));
+}
+
+TEST(EventQueue, EventExactlyAtHorizonRuns) {
+  EventQueue queue;
+  int fired = 0;
+  queue.schedule(3.0, [&] { ++fired; });
+  queue.run_until(3.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(queue.now(), 3.0);
+}
+
+TEST(EventQueue, EmptyWindowStillAdvancesClock) {
+  EventQueue queue;
+  queue.run_until(5.0);
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+  queue.run_until(5.0);  // zero-length window is legal
+  EXPECT_DOUBLE_EQ(queue.now(), 5.0);
+}
+
+// --- strata ---------------------------------------------------------------
+
+TEST(EventQueue, StrataOrderEventsAtEqualTime) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, kAgentStratum, [&] { order.push_back(3); });
+  queue.schedule(1.0, kControlStratum, [&] { order.push_back(0); });
+  queue.schedule(1.0, kWorldStratum, [&] { order.push_back(2); });
+  queue.schedule(1.0, kDeliveryStratum, [&] { order.push_back(1); });
+  queue.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(EventQueue, TimeBeatsStratum) {
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(2.0, kControlStratum, [&] { order.push_back(2); });
+  queue.schedule(1.0, kAgentStratum, [&] { order.push_back(1); });
+  queue.run_until(3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, EqualTimeEqualStratumIsFifo) {
+  EventQueue queue;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    queue.schedule(1.0, kAgentStratum, [&, i] { order.push_back(i); });
+  }
+  queue.run_until(1.0);
+  std::vector<int> expected(16);
+  for (int i = 0; i < 16; ++i) expected[i] = i;
+  EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, LowerStratumScheduledDuringExecutionRunsFirstAtSameTime) {
+  // A delivery (stratum 1) scheduled from inside a world event (stratum 2)
+  // at the same timestamp must run before already-queued agent events
+  // (stratum 3) — the zero-delay store-propagation case.
+  EventQueue queue;
+  std::vector<int> order;
+  queue.schedule(1.0, kWorldStratum, [&] {
+    order.push_back(2);
+    queue.schedule(1.0, kDeliveryStratum, [&] { order.push_back(1); });
+  });
+  queue.schedule(1.0, kAgentStratum, [&] { order.push_back(3); });
+  queue.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{2, 1, 3}));
+}
+
+// --- cancellation ---------------------------------------------------------
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue queue;
+  int fired = 0;
+  const auto id = queue.schedule(1.0, [&] { ++fired; });
+  EXPECT_EQ(queue.pending(), 1u);
+  EXPECT_TRUE(queue.cancel(id));
+  EXPECT_EQ(queue.pending(), 0u);
+  EXPECT_TRUE(queue.empty());
+  queue.run_until(2.0);
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(queue.cancelled_count(), 1u);
+  EXPECT_EQ(queue.executed_count(), 0u);
+}
+
+TEST(EventQueue, CancelExecutedOrBogusHandleIsIgnored) {
+  EventQueue queue;
+  const auto id = queue.schedule(1.0, [] {});
+  queue.run_until(1.0);
+  EXPECT_FALSE(queue.cancel(id));                       // already executed
+  EXPECT_FALSE(queue.cancel(EventQueue::kInvalidEvent));  // never issued
+  const auto id2 = queue.schedule(2.0, [] {});
+  EXPECT_TRUE(queue.cancel(id2));
+  EXPECT_FALSE(queue.cancel(id2));  // double-cancel
+  EXPECT_EQ(queue.cancelled_count(), 1u);
+}
+
+TEST(EventQueue, CancellationStress) {
+  // Interleave scheduling and cancelling from inside actions: every third
+  // scheduled event cancels the next one. Survivors must fire in order.
+  EventQueue queue;
+  std::vector<int> fired;
+  std::vector<EventQueue::EventId> ids;
+  constexpr int kEvents = 3000;
+  ids.reserve(kEvents);
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(queue.schedule(static_cast<double>(i % 7), [&fired, i] {
+      fired.push_back(i);
+    }));
+  }
+  std::uint64_t cancelled = 0;
+  for (int i = 0; i + 1 < kEvents; i += 3) {
+    if (queue.cancel(ids[i + 1])) ++cancelled;
+  }
+  EXPECT_EQ(queue.pending(), static_cast<std::size_t>(kEvents) - cancelled);
+  queue.run_until(10.0);
+  EXPECT_EQ(fired.size(), static_cast<std::size_t>(kEvents) - cancelled);
+  EXPECT_EQ(queue.executed_count(), static_cast<std::uint64_t>(kEvents) - cancelled);
+  EXPECT_EQ(queue.cancelled_count(), cancelled);
+  for (const int i : fired) EXPECT_NE((i % 3), 1) << "cancelled event fired";
+  // Equal-time events preserved FIFO among survivors.
+  for (std::size_t k = 1; k < fired.size(); ++k) {
+    if (fired[k - 1] % 7 == fired[k] % 7) {
+      EXPECT_LT(fired[k - 1], fired[k]);
+    }
+  }
+}
+
+// --- PeriodicTimer --------------------------------------------------------
+
+TEST(PeriodicTimer, FiresEveryPeriodFromBase) {
+  EventQueue queue;
+  std::vector<double> fire_times;
+  PeriodicTimer timer(queue, 5.0, kWorldStratum, [&] { fire_times.push_back(queue.now()); });
+  timer.start_at(0.0);
+  queue.run_until(20.0);
+  EXPECT_EQ(fire_times, (std::vector<double>{0.0, 5.0, 10.0, 15.0, 20.0}));
+  EXPECT_EQ(timer.fire_count(), 5u);
+  EXPECT_TRUE(timer.running());
+}
+
+TEST(PeriodicTimer, StopHaltsAndRestartRebases) {
+  EventQueue queue;
+  std::vector<double> fire_times;
+  PeriodicTimer timer(queue, 10.0, kAgentStratum, [&] { fire_times.push_back(queue.now()); });
+  timer.start_at(0.0);
+  queue.run_until(25.0);  // fires at 0, 10, 20
+  timer.stop();
+  EXPECT_FALSE(timer.running());
+  queue.run_until(55.0);  // nothing fires while stopped
+  timer.start_at(57.0);   // crash/restart idiom: re-based, phase reset
+  queue.run_until(80.0);  // fires at 57, 67, 77
+  EXPECT_EQ(fire_times, (std::vector<double>{0.0, 10.0, 20.0, 57.0, 67.0, 77.0}));
+}
+
+TEST(PeriodicTimer, ActionMayStopItsOwnTimer) {
+  EventQueue queue;
+  int fires = 0;
+  PeriodicTimer timer(queue, 1.0, kWorldStratum, [&] {
+    if (++fires == 3) timer.stop();
+  });
+  timer.start_at(1.0);
+  queue.run_until(100.0);
+  EXPECT_EQ(fires, 3);
+  EXPECT_FALSE(timer.running());
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(PeriodicTimer, ActionMayRestartItsOwnTimer) {
+  EventQueue queue;
+  std::vector<double> fire_times;
+  PeriodicTimer timer(queue, 10.0, kWorldStratum, [&] {
+    fire_times.push_back(queue.now());
+    if (fire_times.size() == 2) timer.start_at(queue.now() + 3.0);
+  });
+  timer.start_at(0.0);
+  queue.run_until(30.0);  // 0, 10, then re-based: 13, 23
+  EXPECT_EQ(fire_times, (std::vector<double>{0.0, 10.0, 13.0, 23.0}));
+}
+
+TEST(PeriodicTimer, NoDriftOverManyPeriods) {
+  // base + n * period, not accumulation: after 10^5 periods of 5 s the fire
+  // time is still bit-exact.
+  EventQueue queue;
+  double last = -1.0;
+  PeriodicTimer timer(queue, 5.0, kWorldStratum, [&] { last = queue.now(); });
+  timer.start_at(0.0);
+  queue.run_until(5.0 * 100000.0);
+  EXPECT_EQ(last, 500000.0);
+  EXPECT_EQ(timer.fire_count(), 100001u);
+}
+
+TEST(PeriodicTimer, InvalidConstructionRejected) {
+  EventQueue queue;
+  EXPECT_THROW(PeriodicTimer(queue, 0.0, kWorldStratum, [] {}), ContractViolation);
+  EXPECT_THROW(PeriodicTimer(queue, 1.0, kWorldStratum, nullptr), ContractViolation);
+}
+
 }  // namespace
 }  // namespace netent::sim

@@ -1,0 +1,136 @@
+// Bit-equality proofs for the event-driven marking cell against the
+// historical inline bench loops (the fig23-24 instant-observation loop and
+// the fig25 one-cycle-delay loop), plus the §7.4 behavioural claims.
+#include "sim/marking_cell.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "enforce/meter.h"
+
+namespace netent::sim {
+namespace {
+
+constexpr double kDemand = 10000.0;
+constexpr double kEntitled = 5000.0;
+constexpr int kIterations = 40;
+
+TEST(MarkingCell, MatchesInstantObservationLoopBitForBit) {
+  // Reference: the historical Figures 23-24 loop — sample, then update on
+  // the SAME cycle's rates (instant observation, no retry floor).
+  for (const double loss : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    std::vector<double> reference_conform;
+    std::vector<double> reference_nonconf;
+    {
+      enforce::StatelessMeter meter;
+      for (int iteration = 0; iteration < kIterations; ++iteration) {
+        const double conform = kDemand * meter.conform_ratio();
+        const double nonconf = kDemand * meter.non_conform_ratio();
+        const double nonconf_sent = nonconf * (1.0 - loss);
+        const double total_observed = conform + nonconf_sent;
+        reference_conform.push_back(conform);
+        reference_nonconf.push_back(nonconf);
+        meter.update({Gbps(total_observed), Gbps(conform), Gbps(kEntitled)});
+      }
+    }
+    enforce::StatelessMeter meter;
+    MarkingCellConfig config;
+    config.loss = loss;
+    std::size_t index = 0;
+    run_marking_cell(meter, config, [&](const MarkingCycle& c) {
+      ASSERT_LT(index, reference_conform.size());
+      EXPECT_EQ(c.conform_gbps, reference_conform[index]) << "loss=" << loss << " i=" << index;
+      EXPECT_EQ(c.nonconf_gbps, reference_nonconf[index]) << "loss=" << loss << " i=" << index;
+      EXPECT_EQ(c.cycle, static_cast<int>(index));
+      ++index;
+    });
+    EXPECT_EQ(index, static_cast<std::size_t>(kIterations));
+  }
+}
+
+TEST(MarkingCell, MatchesOneCycleDelayLoopBitForBit) {
+  // Reference: the historical Figure 25 loop — the meter acts on the
+  // PREVIOUS cycle's rates (observed_* lag by one), with the 5% retry floor.
+  for (const double loss : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    std::vector<double> reference_conform;
+    {
+      enforce::StatefulMeter meter(2.0, 0.25);
+      double observed_conform = kDemand;
+      double observed_total = kDemand;
+      for (int iteration = 0; iteration < kIterations; ++iteration) {
+        const double conform = kDemand * meter.conform_ratio();
+        const double nonconf_sent =
+            kDemand * meter.non_conform_ratio() * std::max(1.0 - loss, 0.05);
+        reference_conform.push_back(conform);
+        meter.update({Gbps(observed_total), Gbps(observed_conform), Gbps(kEntitled)});
+        observed_conform = conform;
+        observed_total = conform + nonconf_sent;
+      }
+    }
+    enforce::StatefulMeter meter(2.0, 0.25);
+    MarkingCellConfig config;
+    config.loss = loss;
+    config.observation_delay_cycles = 1.0;
+    config.retry_floor = 0.05;
+    std::size_t index = 0;
+    run_marking_cell(meter, config, [&](const MarkingCycle& c) {
+      ASSERT_LT(index, reference_conform.size());
+      EXPECT_EQ(c.conform_gbps, reference_conform[index]) << "loss=" << loss << " i=" << index;
+      ++index;
+    });
+    EXPECT_EQ(index, static_cast<std::size_t>(kIterations));
+  }
+}
+
+TEST(MarkingCell, StatefulConvergesToEntitlementAtEveryLoss) {
+  for (const double loss : {0.0, 0.125, 0.25, 0.5, 1.0}) {
+    enforce::StatefulMeter meter(2.0, 0.25);
+    MarkingCellConfig config;
+    config.loss = loss;
+    config.observation_delay_cycles = 1.0;
+    config.retry_floor = 0.05;
+    double final_conform = kDemand;
+    run_marking_cell(meter, config,
+                     [&](const MarkingCycle& c) { final_conform = c.conform_gbps; });
+    EXPECT_NEAR(final_conform, kEntitled, kEntitled * 0.05) << "loss=" << loss;
+  }
+}
+
+TEST(MarkingCell, StatelessOscillatesUnderFullLoss) {
+  // The Figure 23 failure mode: at 100% loss the instantaneous conforming
+  // rate alternates between the entitlement and the full demand.
+  enforce::StatelessMeter meter;
+  MarkingCellConfig config;
+  config.loss = 1.0;
+  double min_conform = kDemand;
+  double max_conform = 0.0;
+  double sum = 0.0;
+  int count = 0;
+  run_marking_cell(meter, config, [&](const MarkingCycle& c) {
+    if (c.cycle >= 2) {  // past the initial transient
+      min_conform = std::min(min_conform, c.conform_gbps);
+      max_conform = std::max(max_conform, c.conform_gbps);
+    }
+    sum += c.conform_gbps;
+    ++count;
+  });
+  EXPECT_LT(min_conform, kEntitled * 1.1);
+  EXPECT_GT(max_conform, kDemand * 0.9);
+  EXPECT_GT(sum / count, kEntitled * 1.05);  // average above entitlement: not enforced
+}
+
+TEST(MarkingCell, InvalidConfigRejected) {
+  enforce::StatelessMeter meter;
+  MarkingCellConfig config;
+  config.loss = 1.5;
+  EXPECT_THROW(run_marking_cell(meter, config, nullptr), ContractViolation);
+  config = MarkingCellConfig{};
+  config.cycles = 0;
+  EXPECT_THROW(run_marking_cell(meter, config, nullptr), ContractViolation);
+}
+
+}  // namespace
+}  // namespace netent::sim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 #include "common/check.h"
 
 namespace netent::enforce {
@@ -81,6 +84,122 @@ TEST(RateStore, ConformAboveTotalRejected) {
 
 TEST(RateStore, NegativeDelayRejected) {
   EXPECT_THROW(RateStore(-1.0), ContractViolation);
+}
+
+TEST(EventRateStore, LatestDeliveryPerHostWins) {
+  EventRateStore store(EventRateStore::AggregateMode::kExactOrdered, 10.0);
+  store.deliver(kSvc, kQos, HostId(1), Gbps(10), Gbps(8), 100.0, 110.0);
+  store.deliver(kSvc, kQos, HostId(2), Gbps(20), Gbps(15), 100.0, 110.0);
+  ServiceRates rates = store.read(kSvc, kQos, 110.0);
+  EXPECT_EQ(rates.total, Gbps(30));
+  EXPECT_EQ(rates.conform, Gbps(23));
+  store.deliver(kSvc, kQos, HostId(1), Gbps(50), Gbps(40), 105.0, 115.0);
+  rates = store.read(kSvc, kQos, 115.0);
+  EXPECT_EQ(rates.total, Gbps(70));
+  EXPECT_EQ(rates.conform, Gbps(55));
+}
+
+TEST(EventRateStore, MatchesLookbackStoreSampleForSample) {
+  // The propagation model (deliver at publish + delay) and the lookback model
+  // (aggregate rewinds by delay) must agree bit-for-bit: same samples visible,
+  // same ascending-host summation order.
+  const double delay = 10.0;
+  RateStore lookback(delay);
+  EventRateStore event_store(EventRateStore::AggregateMode::kExactOrdered, delay);
+  // All publishes land in the lookback store immediately (it rewinds on read);
+  // the event store receives each one only when the clock passes its arrival
+  // time, as kDeliveryStratum events would deliver it.
+  struct Pending {
+    double published;
+    std::uint32_t host;
+    Gbps total;
+    Gbps conform;
+  };
+  std::vector<Pending> pending;
+  for (int step = 0; step < 8; ++step) {
+    const double published = 5.0 * step;
+    for (std::uint32_t host = 1; host <= 7; ++host) {
+      const Gbps total(0.37 * host + 0.11 * step);
+      const Gbps conform(0.29 * host + 0.07 * step);
+      lookback.publish(kSvc, kQos, HostId(host), total, conform, published);
+      pending.push_back({published, host, total, conform});
+    }
+  }
+  std::size_t next = 0;
+  for (double now = 0.0; now <= 60.0; now += 2.5) {
+    // A delivery arriving exactly at a read time is visible in both models
+    // (ts <= now - delay  <=>  ts + delay <= now, and the engine runs
+    // kDeliveryStratum before agent reads).
+    while (next < pending.size() && pending[next].published + delay <= now) {
+      const Pending& p = pending[next++];
+      event_store.deliver(kSvc, kQos, HostId(p.host), p.total, p.conform, p.published,
+                          p.published + delay);
+    }
+    const ServiceRates a = lookback.aggregate(kSvc, kQos, now);
+    const ServiceRates b = event_store.read(kSvc, kQos, now);
+    EXPECT_EQ(a.total.value(), b.total.value()) << "now=" << now;
+    EXPECT_EQ(a.conform.value(), b.conform.value()) << "now=" << now;
+  }
+}
+
+TEST(EventRateStore, FastDeltaMatchesExactWithinQuantum) {
+  EventRateStore exact(EventRateStore::AggregateMode::kExactOrdered, 0.0);
+  EventRateStore fast(EventRateStore::AggregateMode::kFastDelta, 0.0);
+  for (std::uint32_t host = 1; host <= 50; ++host) {
+    const Gbps total(1.0 + 0.123 * host);
+    const Gbps conform(0.5 + 0.061 * host);
+    exact.deliver(kSvc, kQos, HostId(host), total, conform, 1.0, 1.0);
+    fast.deliver(kSvc, kQos, HostId(host), total, conform, 1.0, 1.0);
+  }
+  const ServiceRates a = exact.read(kSvc, kQos, 1.0);
+  const ServiceRates b = fast.read(kSvc, kQos, 1.0);
+  // Each host's contribution is quantized to 0.001 Gbps in fast mode.
+  EXPECT_NEAR(a.total.value(), b.total.value(), 50 * 5e-4);
+  EXPECT_NEAR(a.conform.value(), b.conform.value(), 50 * 5e-4);
+}
+
+TEST(EventRateStore, FastDeltaReplacementLeavesNoResidue) {
+  EventRateStore store(EventRateStore::AggregateMode::kFastDelta, 0.0);
+  store.deliver(kSvc, kQos, HostId(1), Gbps(3.125), Gbps(1.25), 1.0, 1.0);
+  store.deliver(kSvc, kQos, HostId(1), Gbps(0), Gbps(0), 2.0, 2.0);
+  const ServiceRates rates = store.read(kSvc, kQos, 2.0);
+  EXPECT_EQ(rates.total.value(), 0.0);
+  EXPECT_EQ(rates.conform.value(), 0.0);
+}
+
+TEST(EventRateStore, PartitionDropsDeliveriesUntilHealed) {
+  EventRateStore store(EventRateStore::AggregateMode::kExactOrdered, 0.0);
+  store.deliver(kSvc, kQos, HostId(1), Gbps(10), Gbps(10), 1.0, 1.0);
+  store.set_partitioned(true);
+  EXPECT_TRUE(store.partitioned());
+  // Lost: the partitioned store keeps serving the pre-partition aggregate.
+  store.deliver(kSvc, kQos, HostId(1), Gbps(99), Gbps(99), 2.0, 2.0);
+  store.deliver(kSvc, kQos, HostId(2), Gbps(42), Gbps(42), 2.0, 2.0);
+  EXPECT_EQ(store.read(kSvc, kQos, 2.0).total, Gbps(10));
+  store.set_partitioned(false);
+  EXPECT_EQ(store.read(kSvc, kQos, 3.0).total, Gbps(10));  // drops stay lost
+  store.deliver(kSvc, kQos, HostId(1), Gbps(7), Gbps(7), 3.0, 3.0);
+  EXPECT_EQ(store.read(kSvc, kQos, 3.0).total, Gbps(7));
+}
+
+TEST(EventRateStore, UnknownServiceIsZero) {
+  EventRateStore store(EventRateStore::AggregateMode::kExactOrdered, 0.0);
+  const ServiceRates rates = store.read(NpgId(42), kQos, 1.0);
+  EXPECT_EQ(rates.total, Gbps(0));
+  EXPECT_EQ(rates.conform, Gbps(0));
+}
+
+TEST(EventRateStore, NonMonotoneDeliveryRejected) {
+  EventRateStore store(EventRateStore::AggregateMode::kExactOrdered, 0.0);
+  store.deliver(kSvc, kQos, HostId(1), Gbps(1), Gbps(1), 100.0, 100.0);
+  EXPECT_THROW(store.deliver(kSvc, kQos, HostId(1), Gbps(1), Gbps(1), 50.0, 101.0),
+               ContractViolation);
+}
+
+TEST(EventRateStore, ConformAboveTotalRejected) {
+  EventRateStore store(EventRateStore::AggregateMode::kExactOrdered, 0.0);
+  EXPECT_THROW(store.deliver(kSvc, kQos, HostId(1), Gbps(1), Gbps(2), 1.0, 1.0),
+               ContractViolation);
 }
 
 }  // namespace
