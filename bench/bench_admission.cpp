@@ -1,0 +1,172 @@
+// Online admission service throughput/latency: streamed (incremental
+// residual-replay) admission versus re-approving the whole admitted set from
+// scratch per request, as the admitted-set size grows. The incremental path
+// assesses only the new request's pipes against the maintained residuals, so
+// its per-request cost is O(window) rather than O(admitted set) — the gap
+// this bench quantifies (and the perf-smoke CI gates at >= 2x for 1000
+// admitted contracts).
+//
+// Usage: ./bench_admission [--smoke] [--bench-json=PATH] [--metrics-json]
+#include "bench_util.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+#include "approval/approval.h"
+#include "common/rng.h"
+#include "service/admission.h"
+#include "topology/generator.h"
+
+namespace {
+
+using namespace netent;
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+double percentile(std::vector<double> sorted, double p) {
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t index = std::min(
+      sorted.size() - 1, static_cast<std::size_t>(p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+std::vector<hose::HoseRequest> contract_hoses(std::uint32_t npg, Rng& rng,
+                                              std::size_t region_count) {
+  const auto src = static_cast<std::uint32_t>(rng.uniform_int(region_count));
+  const auto dst =
+      (src + 1 + static_cast<std::uint32_t>(rng.uniform_int(region_count - 1))) %
+      static_cast<std::uint32_t>(region_count);
+  hose::HoseRequest egress;
+  egress.npg = NpgId(npg);
+  egress.qos = static_cast<QosClass>(rng.uniform_int(kQosClassCount));
+  egress.region = RegionId(src);
+  egress.direction = hose::Direction::egress;
+  egress.rate = Gbps(rng.uniform(0.5, 4.0));
+  hose::HoseRequest ingress = egress;
+  ingress.region = RegionId(dst);
+  ingress.direction = hose::Direction::ingress;
+  return {egress, ingress};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace netent::bench;
+  const bool smoke = flag_present(argc, argv, "smoke");
+
+  print_header("BENCH admission",
+               "Streamed admission (incremental residual replay) vs from-scratch "
+               "re-approval of the whole admitted set, by admitted-set size.");
+
+  const topology::Topology topo = topology::figure6_topology();
+  service::AdmissionConfig config;
+  config.approval.realizations = smoke ? 2 : 3;
+  config.approval.slo_availability = 0.999;
+  config.approval.scenarios.max_simultaneous = 1;
+  config.seed = kSeed;
+  config.background = false;          // timed, deterministic windows
+  config.attach_counter_proposals = false;  // clean request timing
+  service::AdmissionController controller(topo, config);
+
+  // Reference engine for the from-scratch path: same risk model, its own
+  // router so warming costs are attributed to the path that pays them.
+  topology::Router scratch_router(topo, config.router_paths);
+  approval::ApprovalConfig scratch_config = config.approval;
+  const approval::ApprovalEngine scratch_engine(scratch_router, scratch_config);
+
+  const std::vector<std::size_t> sizes = smoke ? std::vector<std::size_t>{100, 1000}
+                                               : std::vector<std::size_t>{10, 100, 1000};
+  const std::size_t probes = smoke ? 3 : 10;
+  const std::size_t scratch_reps = smoke ? 1 : 3;
+
+  Rng rng(kSeed);
+  std::vector<hose::HoseRequest> admitted_hoses;  // mirror of the admitted set
+  std::uint32_t next_npg = 1;
+
+  Table table({"admitted", "incr_p50_ms", "incr_p99_ms", "incr_req_per_s", "scratch_ms",
+               "speedup_p50"},
+              2);
+  BenchJson json;
+  json.add("bench", std::string("admission"));
+  json.add("smoke", smoke);
+  double speedup_at_1000 = 0.0;
+
+  for (const std::size_t size : sizes) {
+    // Grow the admitted set to `size` (untimed). The attempt cap only
+    // triggers if the topology saturates before `size` contracts fit.
+    std::size_t attempts = 0;
+    while (controller.admitted_count() < size && attempts++ < size * 2 + 100) {
+      const std::uint32_t npg = next_npg++;
+      auto hoses = contract_hoses(npg, rng, topo.region_count());
+      const auto outcome = controller.admit(NpgId(npg), "svc" + std::to_string(npg), hoses);
+      if (outcome.status == service::AdmissionStatus::admitted) {
+        admitted_hoses.insert(admitted_hoses.end(), hoses.begin(), hoses.end());
+      }
+    }
+
+    // Incremental path: stream probe admissions, one window each.
+    std::vector<double> latencies_ms;
+    for (std::size_t p = 0; p < probes; ++p) {
+      const std::uint32_t npg = next_npg++;
+      auto hoses = contract_hoses(npg, rng, topo.region_count());
+      const auto start = std::chrono::steady_clock::now();
+      const auto outcome = controller.admit(NpgId(npg), "probe", hoses);
+      latencies_ms.push_back(ms_since(start));
+      if (outcome.status == service::AdmissionStatus::admitted) {
+        admitted_hoses.insert(admitted_hoses.end(), hoses.begin(), hoses.end());
+      }
+    }
+    const double incr_p50 = percentile(latencies_ms, 0.50);
+    const double incr_p99 = percentile(latencies_ms, 0.99);
+    const double req_per_s = incr_p50 > 0.0 ? 1000.0 / incr_p50 : 0.0;
+
+    // From-scratch path: one joint hose_approval over every admitted hose
+    // plus the probe — what each request would cost without residual state.
+    std::vector<hose::HoseRequest> joint = admitted_hoses;
+    const auto probe = contract_hoses(next_npg, rng, topo.region_count());
+    joint.insert(joint.end(), probe.begin(), probe.end());
+    double scratch_best = 0.0;
+    for (std::size_t rep = 0; rep < scratch_reps; ++rep) {
+      Rng scratch_rng(kSeed);
+      const auto start = std::chrono::steady_clock::now();
+      const auto results = scratch_engine.hose_approval(joint, scratch_rng);
+      const double ms = ms_since(start);
+      if (rep == 0 || ms < scratch_best) scratch_best = ms;
+      if (results.empty()) return 1;  // keep the optimizer honest
+    }
+
+    const double speedup = incr_p50 > 0.0 ? scratch_best / incr_p50 : 0.0;
+    const std::size_t admitted = controller.admitted_count();
+    if (size == 1000) speedup_at_1000 = speedup;
+    table.add_row({static_cast<double>(admitted), incr_p50, incr_p99, req_per_s, scratch_best,
+                   speedup});
+    const std::string prefix = "size_" + std::to_string(size) + "_";
+    json.add(prefix + "admitted", static_cast<std::uint64_t>(admitted));
+    json.add(prefix + "incr_p50_ms", incr_p50);
+    json.add(prefix + "incr_p99_ms", incr_p99);
+    json.add(prefix + "incr_req_per_s", req_per_s);
+    json.add(prefix + "scratch_ms", scratch_best);
+    json.add(prefix + "speedup_p50", speedup);
+  }
+  table.print(std::cout);
+
+  // The incremental state must still match a from-scratch replay exactly
+  // after the whole run — the same equivalence the unit tests pin.
+  const bool exact =
+      controller.residual_snapshot() == controller.rebuild_residuals_from_scratch();
+  std::cout << "\nincremental residuals identical to from-scratch rebuild: "
+            << (exact ? "yes" : "NO") << '\n';
+  std::cout << "speedup_2x_at_1000: " << (speedup_at_1000 >= 2.0 ? "true" : "false") << " ("
+            << speedup_at_1000 << "x)\n";
+
+  json.add("residuals_identical", exact);
+  json.add("speedup_at_1000", speedup_at_1000);
+  json.add("speedup_2x_at_1000", speedup_at_1000 >= 2.0);
+  maybe_write_bench_json(argc, argv, json);
+  maybe_dump_metrics(argc, argv);
+  return exact && speedup_at_1000 >= 2.0 ? 0 : 1;
+}

@@ -8,6 +8,7 @@
 
 #include <chrono>
 
+#include "common/exec_config.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "risk/verification.h"
@@ -130,8 +131,13 @@ int main(int argc, char** argv) {
   timing.add_row({std::string("incremental"), 1.0, incr_serial_ms,
                   full_serial_ms / incr_serial_ms,
                   std::string(all_identical ? "yes" : "no")});
+  // Widest sweep width: --threads=N through the unified exec knob, hardware
+  // concurrency otherwise.
+  common::ExecConfig exec;
+  const std::string threads_flag = netent::bench::flag_value(argc, argv, "threads", "");
+  if (!threads_flag.empty()) exec.threads = std::stoul(threads_flag);
   std::vector<std::size_t> counts{2, 4};
-  const std::size_t hw = ThreadPool::default_thread_count();
+  const std::size_t hw = exec.resolve();
   if (hw > 4) counts.push_back(hw);
   double full_parallel_ms = full_serial_ms;
   double incr_parallel_ms = incr_serial_ms;

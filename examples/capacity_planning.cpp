@@ -5,11 +5,7 @@
 #include <algorithm>
 #include <iostream>
 
-#include "common/table.h"
-#include "approval/negotiation.h"
-#include "core/manager.h"
-#include "topology/generator.h"
-#include "traffic/fleet.h"
+#include "netent.h"
 
 using namespace netent;
 

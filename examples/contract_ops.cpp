@@ -9,11 +9,7 @@
 #include <sstream>
 #include <string>
 
-#include "core/manager.h"
-#include "core/report.h"
-#include "core/serialize.h"
-#include "topology/generator.h"
-#include "traffic/fleet.h"
+#include "netent.h"
 
 using namespace netent;
 
@@ -72,7 +68,12 @@ int main(int argc, char** argv) {
   }
 
   // --- 3. Re-import and answer enforcement queries. ------------------------
-  const core::ContractDb restored = core::contracts_from_string(exported);
+  const auto reparsed = core::contracts_from_string(exported);
+  if (!reparsed) {
+    std::cerr << "re-import failed: " << reparsed.error().message << '\n';
+    return 1;
+  }
+  const core::ContractDb& restored = *reparsed;
   std::cout << "\nRestored " << restored.size() << " contracts; enforcement queries:\n";
   const auto query = restored.query_adapter();
   for (const auto& svc : fleet) {

@@ -6,8 +6,7 @@
 #include <iostream>
 #include <string>
 
-#include "common/table.h"
-#include "sim/drill.h"
+#include "netent.h"
 
 using namespace netent;
 

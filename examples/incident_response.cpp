@@ -5,12 +5,7 @@
 #include <iostream>
 #include <memory>
 
-#include "common/table.h"
-#include "enforce/agent.h"
-#include "enforce/bpf.h"
-#include "enforce/dscp.h"
-#include "enforce/switchport.h"
-#include "traffic/incident.h"
+#include "netent.h"
 
 using namespace netent;
 

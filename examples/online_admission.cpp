@@ -1,0 +1,87 @@
+// Online admission: contracts "can be requested at any time" (§5). This
+// example drives the streaming admission service — admit a handful of NPGs
+// one request at a time, resize one of them, release another, and show that
+// the incrementally maintained risk state matches a from-scratch replay.
+//
+// Usage: ./online_admission [--metrics-json]
+#include <iostream>
+#include <string>
+
+#include "netent.h"
+
+using namespace netent;
+
+int main(int argc, char** argv) {
+  bool metrics_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-json") metrics_json = true;
+  }
+
+  // The five-region worked example of Figure 6: well connected, so the demo
+  // shows admissions succeeding until capacity (not connectivity) binds.
+  const topology::Topology topo = topology::figure6_topology();
+
+  service::AdmissionConfig config;
+  config.approval.realizations = 4;
+  config.approval.slo_availability = 0.999;
+  config.seed = 23;
+  config.background = false;  // deterministic windows for a scripted demo
+  service::AdmissionController controller(topo, config);
+
+  // Matched egress+ingress hoses so the realization drawing has traffic on
+  // both sides of the hose space (a lone egress hose is unconstrained).
+  const auto hoses = [](NpgId npg, QosClass qos, std::uint32_t src, std::uint32_t dst,
+                        double gbps) {
+    hose::HoseRequest egress;
+    egress.npg = npg;
+    egress.qos = qos;
+    egress.region = RegionId(src);
+    egress.direction = hose::Direction::egress;
+    egress.rate = Gbps(gbps);
+    hose::HoseRequest ingress = egress;
+    ingress.region = RegionId(dst);
+    ingress.direction = hose::Direction::ingress;
+    return std::vector<hose::HoseRequest>{egress, ingress};
+  };
+
+  // --- 1. Stream three admissions. -----------------------------------------
+  std::cout << "Streaming admissions:\n";
+  service::ContractId ads = 0;
+  service::ContractId batch = 0;
+  for (int i = 0; i < 3; ++i) {
+    const NpgId npg(static_cast<std::uint32_t>(i + 1));
+    const std::string name = "svc" + std::to_string(i + 1);
+    const auto outcome = controller.admit(
+        npg, name,
+        hoses(npg, i == 2 ? QosClass::c3_low : QosClass::c1_low,
+              static_cast<std::uint32_t>(i % 5), static_cast<std::uint32_t>((i + 2) % 5),
+              120.0 + 40.0 * i));
+    double approved = 0.0;
+    for (const auto& approval : outcome.approvals) approved += approval.approved.value();
+    std::cout << "  " << name << ": "
+              << (outcome.status == service::AdmissionStatus::admitted ? "admitted" : "rejected")
+              << " at " << approved << " Gbps (contract #" << outcome.contract << ")\n";
+    if (i == 0) ads = outcome.contract;
+    if (i == 2) batch = outcome.contract;
+  }
+
+  // --- 2. Resize one contract, release another. ----------------------------
+  const auto resized = controller.resize(ads, hoses(NpgId(1), QosClass::c1_low, 0, 3, 220.0));
+  std::cout << "Resize contract #" << ads << ": "
+            << (resized.status == service::AdmissionStatus::resized ? "accepted" : "rejected")
+            << '\n';
+  const auto released = controller.release(batch);
+  std::cout << "Release contract #" << batch << ": "
+            << (released.status == service::AdmissionStatus::released ? "done" : "failed")
+            << "; " << controller.admitted_count() << " contracts remain\n";
+
+  // --- 3. The incremental state matches a from-scratch replay. -------------
+  const bool exact = controller.residual_snapshot() == controller.rebuild_residuals_from_scratch();
+  std::cout << "Incremental residuals == from-scratch rebuild: "
+            << (exact ? "yes (bit-identical)" : "NO — BUG") << '\n';
+
+  if (metrics_json) {
+    std::cout << obs::to_json(obs::Registry::global().snapshot()) << '\n';
+  }
+  return exact ? 0 : 1;
+}

@@ -11,11 +11,7 @@
 #include <iostream>
 #include <memory>
 
-#include "core/manager.h"
-#include "enforce/agent.h"
-#include "enforce/bpf.h"
-#include "enforce/dscp.h"
-#include "topology/generator.h"
+#include "netent.h"
 
 using namespace netent;
 

@@ -9,11 +9,7 @@
 #include <iostream>
 #include <string>
 
-#include "common/table.h"
-#include "core/lifecycle.h"
-#include "core/serialize.h"
-#include "obs/export.h"
-#include "topology/generator.h"
+#include "netent.h"
 
 using namespace netent;
 

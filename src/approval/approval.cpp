@@ -70,14 +70,16 @@ ApprovalEngine::ApprovalEngine(topology::Router& router, ApprovalConfig config)
 
 std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
     std::span<const PipeRequest> pipes) const {
-  std::vector<PipeApprovalResult> results(pipes.size());
-  for (std::size_t i = 0; i < pipes.size(); ++i) results[i].request = pipes[i];
-  if (pipes.empty()) return results;
+  // ASSESS_RISK over the full capacity; priority is encoded in the order.
+  // The simulator (and the router's warmed path cache) is shared across
+  // calls — hose_approval's realizations never rebuild it.
+  return pipe_approval_with(pipes, [this](std::span<const Demand> demands) {
+    return simulator_.availability_curves(demands, config_.sweep_threads());
+  });
+}
 
-  ApprovalMetrics& m = metrics();
-  const obs::ScopedTimer span(m.assess_seconds);
-  m.pipe_requests.add(pipes.size());
-
+std::vector<std::size_t> ApprovalEngine::placement_order(
+    std::span<const PipeRequest> pipes) const {
   // Placement order: QoS classes premium-first (the priority requirement of
   // SS4.3), low-touch demand first within a class, then input order. Risk is
   // assessed JOINTLY in this order: strict-priority placement per scenario
@@ -96,6 +98,20 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
     });
     order.insert(order.end(), indices.begin(), indices.end());
   }
+  return order;
+}
+
+std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval_with(
+    std::span<const PipeRequest> pipes, const CurveProvider& curves_for) const {
+  std::vector<PipeApprovalResult> results(pipes.size());
+  for (std::size_t i = 0; i < pipes.size(); ++i) results[i].request = pipes[i];
+  if (pipes.empty()) return results;
+
+  ApprovalMetrics& m = metrics();
+  const obs::ScopedTimer span(m.assess_seconds);
+  m.pipe_requests.add(pipes.size());
+
+  const std::vector<std::size_t> order = placement_order(pipes);
 
   std::vector<Demand> demands;
   demands.reserve(order.size());
@@ -103,10 +119,8 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
     demands.push_back({pipes[i].src, pipes[i].dst, pipes[i].rate});
   }
 
-  // ASSESS_RISK over the full capacity; priority is encoded in the order.
-  // The simulator (and the router's warmed path cache) is shared across
-  // calls — hose_approval's realizations never rebuild it.
-  const auto curves = simulator_.availability_curves(demands, config_.risk_threads);
+  const auto curves = curves_for(demands);
+  NETENT_ENSURES(curves.size() == demands.size());
 
   for (std::size_t k = 0; k < order.size(); ++k) {
     PipeApprovalResult& result = results[order[k]];
@@ -147,6 +161,15 @@ std::vector<HoseApprovalResult> ApprovalEngine::hose_approval(std::span<const Ho
 
 std::vector<HoseApprovalResult> ApprovalEngine::hose_approval(
     std::span<const HoseRequest> hoses, std::span<const GroupSegments> segments, Rng& rng) const {
+  return hose_approval_with(hoses, segments, rng,
+                            [this](std::size_t, std::span<const PipeRequest> pipes) {
+                              return pipe_approval(pipes);
+                            });
+}
+
+std::vector<HoseApprovalResult> ApprovalEngine::hose_approval_with(
+    std::span<const HoseRequest> hoses, std::span<const GroupSegments> segments, Rng& rng,
+    const PipeAssessor& assess) const {
   NETENT_EXPECTS(!hoses.empty());
   const std::size_t n = router_.topo().region_count();
 
@@ -196,7 +219,8 @@ std::vector<HoseApprovalResult> ApprovalEngine::hose_approval(
       }
     }
     if (pipes.empty()) continue;
-    const auto pipe_results = pipe_approval(pipes);
+    const auto pipe_results = assess(k, pipes);
+    NETENT_ENSURES(pipe_results.size() == pipes.size());
 
     // Aggregate this realization: requested and approved per hose.
     std::map<std::tuple<std::uint32_t, QosClass, std::uint32_t, Direction>,

@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/exec_config.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/types.h"
@@ -24,9 +25,18 @@ struct ApprovalConfig {
   double slo_availability = 0.9998;  ///< contract SLO target
   std::size_t realizations = 16;     ///< representative TMs per hose set
   risk::ScenarioConfig scenarios;
-  /// Threads for the risk-scenario sweep (1 = serial). Approvals are
-  /// bit-identical for every value; this only changes wall-clock time.
+  /// Execution resources for the risk-scenario sweep. Approvals are
+  /// bit-identical for every thread count; this only changes wall-clock
+  /// time. When `exec.threads` is unset the deprecated `risk_threads` alias
+  /// below is honored.
+  common::ExecConfig exec;
+  /// DEPRECATED alias for `exec.threads` (kept for one release so existing
+  /// callers keep compiling): threads for the risk-scenario sweep
+  /// (1 = serial). Ignored when `exec.threads` is set.
   std::size_t risk_threads = ThreadPool::default_thread_count();
+  /// Effective sweep thread count: `exec.threads` when set, else the
+  /// deprecated `risk_threads` alias.
+  [[nodiscard]] std::size_t sweep_threads() const { return exec.resolve(risk_threads); }
   /// Paper's strict mode: "Only when 100% of the flow meets SLO, the batch
   /// of flows is approved. If any flow fails, the batch is rejected." A
   /// batch is the pipes of one (NPG, QoS class) group. When false, each pipe
@@ -65,6 +75,33 @@ class ApprovalEngine {
   [[nodiscard]] std::vector<PipeApprovalResult> pipe_approval(
       std::span<const hose::PipeRequest> pipes) const;
 
+  /// The joint placement order pipe_approval assesses risk in: QoS classes
+  /// premium-first, low-touch demand first within a class, then input order.
+  /// Exposed so alternative risk backends (the admission service's residual-
+  /// capacity assessor) place pipes in the exact same sequence.
+  [[nodiscard]] std::vector<std::size_t> placement_order(
+      std::span<const hose::PipeRequest> pipes) const;
+
+  /// Risk backend extension point: maps placement-ordered demands to one
+  /// availability curve per demand (same order). pipe_approval uses the
+  /// engine's own RiskSimulator; the admission service substitutes a
+  /// residual-capacity sweep. The provider must not consume engine RNG state
+  /// so the surrounding approval stays bit-identical across backends.
+  using CurveProvider =
+      std::function<std::vector<risk::AvailabilityCurve>(std::span<const topology::Demand>)>;
+
+  /// PIPE_APPROVAL with a caller-supplied risk backend. Ordering, SLO
+  /// lookup, strict-batch handling and verdict metrics are identical to
+  /// pipe_approval; only ASSESS_RISK is delegated.
+  [[nodiscard]] std::vector<PipeApprovalResult> pipe_approval_with(
+      std::span<const hose::PipeRequest> pipes, const CurveProvider& curves_for) const;
+
+  /// Per-realization assessor extension point for hose_approval_with:
+  /// receives the realization index and that realization's pipes (all
+  /// groups, input order) and returns their approvals in input order.
+  using PipeAssessor = std::function<std::vector<PipeApprovalResult>(
+      std::size_t realization, std::span<const hose::PipeRequest> pipes)>;
+
   /// Segment constraints (from the segmented-hose algorithm) to apply to one
   /// (NPG, QoS) group's realizations: tighter realizations mean fewer wild
   /// corner TMs and therefore higher approvals for the same SLO.
@@ -87,7 +124,26 @@ class ApprovalEngine {
       std::span<const hose::HoseRequest> hoses, std::span<const GroupSegments> segments,
       Rng& rng) const;
 
+  /// HOSE_APPROVAL with a caller-supplied per-realization pipe assessor.
+  /// The GEN_DEMAND realization drawing (and therefore the RNG stream) and
+  /// the min-over-realizations aggregation are identical to hose_approval;
+  /// only the per-realization PIPE_APPROVAL call is delegated, so a window
+  /// assessed against untouched residual capacity approves bit-identically
+  /// to hose_approval on the same set.
+  [[nodiscard]] std::vector<HoseApprovalResult> hose_approval_with(
+      std::span<const hose::HoseRequest> hoses, std::span<const GroupSegments> segments, Rng& rng,
+      const PipeAssessor& assess) const;
+
   [[nodiscard]] const ApprovalConfig& config() const { return config_; }
+
+  /// The engine's enumerated failure scenarios (shared with callers that run
+  /// their own sweeps against the same risk model, e.g. the admission
+  /// service's residual state).
+  [[nodiscard]] std::span<const risk::FailureScenario> scenarios() const { return scenarios_; }
+
+  /// The engine-lifetime risk simulator (exposes the SRLG index and base
+  /// capacities backing every approval).
+  [[nodiscard]] const risk::RiskSimulator& simulator() const { return simulator_; }
 
  private:
   topology::Router& router_;

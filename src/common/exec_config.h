@@ -1,0 +1,39 @@
+// `common::ExecConfig`: the one execution-resources knob shared by every
+// parallel subsystem. Historically each subsystem grew its own thread count
+// (`ApprovalConfig::risk_threads`, `DrillConfig::num_threads`, ad-hoc
+// defaults in the lifecycle and the benches); those fields survive for one
+// release as documented deprecated aliases, and every consumer resolves the
+// effective count through this struct so one setting drives them all.
+//
+// Thread counts never change results anywhere in netent — sweeps merge
+// deterministically — so this knob only trades wall-clock for cores.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <optional>
+
+#include "common/thread_pool.h"
+
+namespace netent::common {
+
+struct ExecConfig {
+  /// Worker threads for the consumer's parallel sections. Unset (the
+  /// default) falls back to the consumer's deprecated legacy knob, which
+  /// keeps existing callers working unchanged; when set, this wins.
+  std::optional<std::size_t> threads;
+
+  /// Effective thread count given the consumer's legacy field (clamped to
+  /// >= 1).
+  [[nodiscard]] std::size_t resolve(std::size_t legacy_fallback) const {
+    return std::max<std::size_t>(1, threads.value_or(legacy_fallback));
+  }
+
+  /// Effective thread count for consumers with no legacy knob: unset means
+  /// the hardware concurrency.
+  [[nodiscard]] std::size_t resolve() const {
+    return resolve(ThreadPool::default_thread_count());
+  }
+};
+
+}  // namespace netent::common

@@ -1,0 +1,106 @@
+// `netent::Expected<T>`: value-or-error return type for fallible operations
+// (contract parsing, file I/O, database mutation). Replaces the
+// bool/out-param and exception-on-bad-input styles on the load paths: a
+// caller must inspect the result ([[nodiscard]]), so there is no silent
+// failure path, and the error carries a machine-readable code plus a
+// human-readable message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/check.h"
+
+namespace netent {
+
+enum class ErrorCode : std::uint8_t {
+  parse_error,       ///< malformed textual input
+  io_error,          ///< file/stream could not be opened, read or written
+  invalid_argument,  ///< input violates a documented precondition
+  not_found,         ///< the referenced entity does not exist
+};
+
+[[nodiscard]] constexpr const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::parse_error: return "parse_error";
+    case ErrorCode::io_error: return "io_error";
+    case ErrorCode::invalid_argument: return "invalid_argument";
+    case ErrorCode::not_found: return "not_found";
+  }
+  return "unknown";
+}
+
+struct Error {
+  ErrorCode code = ErrorCode::invalid_argument;
+  std::string message;
+};
+
+/// The value of a successful operation or the Error explaining why it
+/// failed. Accessing the wrong alternative is a contract violation, so a
+/// forgotten `if (!result)` check fails loudly rather than silently.
+template <class T>
+class [[nodiscard]] Expected {
+ public:
+  Expected(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  Expected(Error error) : storage_(std::in_place_index<1>, std::move(error)) {}
+  Expected(ErrorCode code, std::string message)
+      : storage_(std::in_place_index<1>, Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool has_value() const { return storage_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] T& value() & {
+    NETENT_EXPECTS(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] const T& value() const& {
+    NETENT_EXPECTS(has_value());
+    return std::get<0>(storage_);
+  }
+  [[nodiscard]] T&& value() && {
+    NETENT_EXPECTS(has_value());
+    return std::get<0>(std::move(storage_));
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return has_value() ? std::get<0>(storage_) : std::move(fallback);
+  }
+
+  [[nodiscard]] const T* operator->() const { return &value(); }
+  [[nodiscard]] T* operator->() { return &value(); }
+  [[nodiscard]] const T& operator*() const& { return value(); }
+  [[nodiscard]] T& operator*() & { return value(); }
+
+  [[nodiscard]] const Error& error() const {
+    NETENT_EXPECTS(!has_value());
+    return std::get<1>(storage_);
+  }
+
+ private:
+  std::variant<T, Error> storage_;
+};
+
+/// Success-or-error for operations with no value to return (saves, adds).
+template <>
+class [[nodiscard]] Expected<void> {
+ public:
+  Expected() = default;
+  Expected(Error error) : error_(std::move(error)) {}
+  Expected(ErrorCode code, std::string message) : error_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool has_value() const { return !error_.has_value(); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const Error& error() const {
+    NETENT_EXPECTS(!has_value());
+    return *error_;
+  }
+
+ private:
+  std::optional<Error> error_;
+};
+
+}  // namespace netent

@@ -43,6 +43,10 @@ struct EntitlementContract {
   /// Network SLO target, e.g. 0.9998 availability.
   double slo_availability = 0.0;
   std::vector<Entitlement> entitlements;
+  /// Runtime handle assigned by the admission service (0 = none). A stream
+  /// of resize/release requests addresses contracts by this id; it is a
+  /// process-local handle and is deliberately not serialized.
+  std::uint64_t id = 0;
 
   /// Total entitled rate across entitlements matching (qos, direction).
   [[nodiscard]] Gbps total_entitled(QosClass qos, hose::Direction direction) const;

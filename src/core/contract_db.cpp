@@ -14,19 +14,50 @@ Gbps EntitlementContract::total_entitled(QosClass qos, hose::Direction direction
   return total;
 }
 
-void ContractDb::add(EntitlementContract contract) {
-  NETENT_EXPECTS(contract.slo_availability > 0.0 && contract.slo_availability <= 1.0);
+Expected<void> ContractDb::try_add(EntitlementContract contract) {
+  if (!(contract.slo_availability > 0.0 && contract.slo_availability <= 1.0)) {
+    return Error{ErrorCode::invalid_argument, "contract SLO availability must be in (0, 1]"};
+  }
   for (const Entitlement& entitlement : contract.entitlements) {
-    NETENT_EXPECTS(entitlement.npg == contract.npg);
-    NETENT_EXPECTS(entitlement.entitled_rate >= Gbps(0));
-    NETENT_EXPECTS(entitlement.period.end_seconds > entitlement.period.start_seconds);
+    if (entitlement.npg != contract.npg) {
+      return Error{ErrorCode::invalid_argument, "entitlement NPG differs from contract NPG"};
+    }
+    if (entitlement.entitled_rate < Gbps(0)) {
+      return Error{ErrorCode::invalid_argument, "entitled rate must be >= 0"};
+    }
+    if (!(entitlement.period.end_seconds > entitlement.period.start_seconds)) {
+      return Error{ErrorCode::invalid_argument, "entitlement period must be non-empty"};
+    }
   }
   contracts_.push_back(std::move(contract));
+  return {};
+}
+
+void ContractDb::add(EntitlementContract contract) {
+  const auto added = try_add(std::move(contract));
+  if (!added) throw ContractViolation(added.error().message);
+}
+
+bool ContractDb::remove(std::uint64_t id) {
+  for (std::size_t i = 0; i < contracts_.size(); ++i) {
+    if (contracts_[i].id == id) {
+      contracts_.erase(contracts_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
 }
 
 const EntitlementContract* ContractDb::find(NpgId npg) const {
   for (const EntitlementContract& contract : contracts_) {
     if (contract.npg == npg) return &contract;
+  }
+  return nullptr;
+}
+
+const EntitlementContract* ContractDb::find_by_id(std::uint64_t id) const {
+  for (const EntitlementContract& contract : contracts_) {
+    if (contract.id == id) return &contract;
   }
   return nullptr;
 }

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "common/expected.h"
 #include "core/contract.h"
 #include "enforce/agent.h"
 
@@ -15,12 +16,25 @@ namespace netent::core {
 
 class ContractDb {
  public:
+  /// Validates and stores a contract. Errors (invalid SLO, negative rates,
+  /// entitlement/contract NPG mismatch, empty period) are returned, never
+  /// silently dropped.
+  [[nodiscard]] Expected<void> try_add(EntitlementContract contract);
+
+  /// As try_add, but a validation error is a programming-contract violation
+  /// (throws). Kept for callers whose input is constructed, not loaded.
   void add(EntitlementContract contract);
+
+  /// Removes the contract with the given runtime id; false when absent.
+  bool remove(std::uint64_t id);
 
   [[nodiscard]] std::size_t size() const { return contracts_.size(); }
   [[nodiscard]] std::span<const EntitlementContract> contracts() const { return contracts_; }
 
   [[nodiscard]] const EntitlementContract* find(NpgId npg) const;
+
+  /// Lookup by runtime id (see EntitlementContract::id); nullptr when absent.
+  [[nodiscard]] const EntitlementContract* find_by_id(std::uint64_t id) const;
 
   /// EntitledRate for (npg, qos, region, direction) at time t; nullopt when
   /// no entitlement covers t.

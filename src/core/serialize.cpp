@@ -1,10 +1,9 @@
 #include "core/serialize.h"
 
+#include <fstream>
 #include <iomanip>
 #include <optional>
 #include <sstream>
-
-#include "common/check.h"
 
 namespace netent::core {
 
@@ -23,8 +22,8 @@ std::optional<hose::Direction> direction_from_string(const std::string& name) {
   return std::nullopt;
 }
 
-[[noreturn]] void fail(std::size_t line, const std::string& what) {
-  throw ParseError("line " + std::to_string(line) + ": " + what);
+Error parse_fail(std::size_t line, const std::string& what) {
+  return Error{ErrorCode::parse_error, "line " + std::to_string(line) + ": " + what};
 }
 
 }  // namespace
@@ -45,7 +44,7 @@ void write_contracts(std::ostream& os, const ContractDb& db) {
   }
 }
 
-ContractDb read_contracts(std::istream& is) {
+Expected<ContractDb> read_contracts(std::istream& is) {
   ContractDb db;
   std::optional<EntitlementContract> current;
   std::string line;
@@ -58,17 +57,17 @@ ContractDb read_contracts(std::istream& is) {
     if (!(tokens >> directive) || directive.front() == '#') continue;
 
     if (directive == "contract") {
-      if (current) fail(line_number, "nested contract block");
+      if (current) return parse_fail(line_number, "nested contract block");
       std::uint32_t npg = 0;
       double slo = 0.0;
-      if (!(tokens >> npg >> slo)) fail(line_number, "malformed contract header");
+      if (!(tokens >> npg >> slo)) return parse_fail(line_number, "malformed contract header");
       EntitlementContract contract;
       contract.npg = NpgId(npg);
       contract.slo_availability = slo;
       tokens >> contract.npg_name;  // optional
       current = std::move(contract);
     } else if (directive == "entitlement") {
-      if (!current) fail(line_number, "entitlement outside contract block");
+      if (!current) return parse_fail(line_number, "entitlement outside contract block");
       std::string qos_name;
       std::uint32_t region = 0;
       std::string direction_name;
@@ -76,27 +75,29 @@ ContractDb read_contracts(std::istream& is) {
       double start = 0.0;
       double end = 0.0;
       if (!(tokens >> qos_name >> region >> direction_name >> rate >> start >> end)) {
-        fail(line_number, "malformed entitlement");
+        return parse_fail(line_number, "malformed entitlement");
       }
       const auto qos = qos_from_string(qos_name);
-      if (!qos) fail(line_number, "unknown QoS class '" + qos_name + "'");
+      if (!qos) return parse_fail(line_number, "unknown QoS class '" + qos_name + "'");
       const auto direction = direction_from_string(direction_name);
-      if (!direction) fail(line_number, "unknown direction '" + direction_name + "'");
+      if (!direction) {
+        return parse_fail(line_number, "unknown direction '" + direction_name + "'");
+      }
       current->entitlements.push_back(Entitlement{current->npg, *qos, RegionId(region),
                                                   *direction, Gbps(rate), Period{start, end}});
     } else if (directive == "end") {
-      if (!current) fail(line_number, "'end' outside contract block");
-      try {
-        db.add(std::move(*current));
-      } catch (const ContractViolation& violation) {
-        fail(line_number, std::string("invalid contract: ") + violation.what());
+      if (!current) return parse_fail(line_number, "'end' outside contract block");
+      if (const auto added = db.try_add(std::move(*current)); !added) {
+        return parse_fail(line_number, "invalid contract: " + added.error().message);
       }
       current.reset();
     } else {
-      fail(line_number, "unknown directive '" + directive + "'");
+      return parse_fail(line_number, "unknown directive '" + directive + "'");
     }
   }
-  if (current) throw ParseError("unexpected end of input: unclosed contract block");
+  if (current) {
+    return Error{ErrorCode::parse_error, "unexpected end of input: unclosed contract block"};
+  }
   return db;
 }
 
@@ -106,9 +107,24 @@ std::string contracts_to_string(const ContractDb& db) {
   return os.str();
 }
 
-ContractDb contracts_from_string(const std::string& text) {
+Expected<ContractDb> contracts_from_string(const std::string& text) {
   std::istringstream is(text);
   return read_contracts(is);
+}
+
+Expected<ContractDb> load_contracts(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Error{ErrorCode::io_error, "cannot open '" + path + "' for reading"};
+  return read_contracts(is);
+}
+
+Expected<void> save_contracts(const std::string& path, const ContractDb& db) {
+  std::ofstream os(path);
+  if (!os) return Error{ErrorCode::io_error, "cannot open '" + path + "' for writing"};
+  write_contracts(os, db);
+  os.flush();
+  if (!os) return Error{ErrorCode::io_error, "write to '" + path + "' failed"};
+  return {};
 }
 
 }  // namespace netent::core

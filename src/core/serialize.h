@@ -7,31 +7,37 @@
 //   entitlement <qos> <region> <direction> <rate_gbps> <start_s> <end_s>
 //   ...
 //   end
+//
+// Load paths return netent::Expected — malformed input is an ErrorCode::
+// parse_error with the offending line number in the message, unreadable or
+// unwritable files are ErrorCode::io_error, and the [[nodiscard]] result
+// forces every caller to handle the failure.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "common/expected.h"
 #include "core/contract_db.h"
 
 namespace netent::core {
-
-/// Thrown by read_contracts on malformed input (line number included).
-class ParseError : public std::runtime_error {
- public:
-  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
-};
 
 /// Writes every contract in the database.
 void write_contracts(std::ostream& os, const ContractDb& db);
 
 /// Parses a database written by write_contracts. Unknown directives,
 /// malformed fields, entitlements outside a contract block, or an unclosed
-/// block raise ParseError. Blank lines and '#' comments are ignored.
-[[nodiscard]] ContractDb read_contracts(std::istream& is);
+/// block yield an ErrorCode::parse_error carrying the line number. Blank
+/// lines and '#' comments are ignored.
+[[nodiscard]] Expected<ContractDb> read_contracts(std::istream& is);
 
 /// Convenience string round-trip helpers.
 [[nodiscard]] std::string contracts_to_string(const ContractDb& db);
-[[nodiscard]] ContractDb contracts_from_string(const std::string& text);
+[[nodiscard]] Expected<ContractDb> contracts_from_string(const std::string& text);
+
+/// File-based load/save: io_error when the file cannot be opened or the
+/// stream fails, parse_error (with line number) on malformed content.
+[[nodiscard]] Expected<ContractDb> load_contracts(const std::string& path);
+[[nodiscard]] Expected<void> save_contracts(const std::string& path, const ContractDb& db);
 
 }  // namespace netent::core

@@ -1,0 +1,632 @@
+#include "service/admission.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+#include <utility>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/timer.h"
+#include "risk/simulator.h"
+
+namespace netent::service {
+
+using approval::HoseApprovalResult;
+using approval::PipeApprovalResult;
+using hose::HoseRequest;
+using hose::PipeRequest;
+using topology::Demand;
+
+namespace {
+
+constexpr double kEps = 1e-6;
+
+struct ServiceMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& requests = reg.counter("service.admission.requests");
+  obs::Counter& admitted = reg.counter("service.admission.admitted");
+  obs::Counter& resized = reg.counter("service.admission.resized");
+  obs::Counter& released = reg.counter("service.admission.released");
+  obs::Counter& rejected = reg.counter("service.admission.rejected");
+  obs::Counter& failed = reg.counter("service.admission.failed");
+  obs::Counter& windows = reg.counter("service.admission.windows");
+  obs::Counter& rebuilds = reg.counter("service.admission.rebuilds");
+  obs::Counter& counter_proposals = reg.counter("service.admission.counter_proposals");
+  obs::Counter& committed_demands = reg.counter("service.admission.committed_demands");
+  obs::Histogram& window_size = reg.histogram("service.admission.window_size",
+                                              std::array{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
+  obs::Histogram& latency_seconds = reg.timer_histogram("service.admission.latency_seconds");
+  obs::Histogram& window_seconds = reg.timer_histogram("service.admission.window_seconds");
+};
+
+ServiceMetrics& metrics() {
+  static ServiceMetrics instance;
+  return instance;
+}
+
+/// The approval config the engine/negotiator are built with: the service's
+/// resolved thread count pinned into the unified exec knob.
+approval::ApprovalConfig with_threads(approval::ApprovalConfig config, std::size_t threads) {
+  config.exec.threads = threads;
+  return config;
+}
+
+AdmissionOutcome failed_outcome(ErrorCode code, std::string message) {
+  AdmissionOutcome outcome;
+  outcome.status = AdmissionStatus::failed;
+  outcome.error = Error{code, std::move(message)};
+  return outcome;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(const topology::Topology& topo, AdmissionConfig config)
+    : config_(std::move(config)),
+      threads_(config_.exec.resolve(config_.approval.sweep_threads())),
+      router_(topo, config_.router_paths),
+      engine_(router_, with_threads(config_.approval, threads_)),
+      negotiator_(router_, with_threads(config_.approval, threads_), config_.negotiation),
+      base_capacity_(router_.full_capacities()),
+      rng_(config_.seed) {
+  NETENT_EXPECTS(config_.batch_window_seconds >= 0.0);
+  NETENT_EXPECTS(config_.admit_min_fraction >= 0.0 && config_.admit_min_fraction <= 1.0);
+  config_.approval.exec.threads = threads_;  // config() reflects the resolution
+  residual_ = residuals_of({});
+  if (config_.background) {
+    worker_ = std::thread(&AdmissionController::worker_loop, this);
+  }
+}
+
+AdmissionController::~AdmissionController() {
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  // Manual-mode leftovers (or submissions that raced shutdown) must not
+  // leave dangling futures.
+  std::vector<Pending> leftover;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    leftover.swap(pending_);
+  }
+  for (Pending& pending : leftover) {
+    pending.promise.set_value(
+        failed_outcome(ErrorCode::invalid_argument, "admission controller shut down"));
+  }
+}
+
+std::future<AdmissionOutcome> AdmissionController::submit(AdmissionRequest request) {
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<AdmissionOutcome> future = pending.promise.get_future();
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    pending_.push_back(std::move(pending));
+  }
+  queue_cv_.notify_all();
+  metrics().requests.add();
+  return future;
+}
+
+AdmissionOutcome AdmissionController::admit(NpgId npg, std::string npg_name,
+                                            std::vector<HoseRequest> hoses) {
+  AdmissionRequest request;
+  request.kind = RequestKind::admit;
+  request.npg = npg;
+  request.npg_name = std::move(npg_name);
+  request.hoses = std::move(hoses);
+  auto future = submit(std::move(request));
+  if (!config_.background) flush();
+  return future.get();
+}
+
+AdmissionOutcome AdmissionController::resize(ContractId contract,
+                                             std::vector<HoseRequest> hoses) {
+  AdmissionRequest request;
+  request.kind = RequestKind::resize;
+  request.contract = contract;
+  request.hoses = std::move(hoses);
+  auto future = submit(std::move(request));
+  if (!config_.background) flush();
+  return future.get();
+}
+
+AdmissionOutcome AdmissionController::release(ContractId contract) {
+  AdmissionRequest request;
+  request.kind = RequestKind::release;
+  request.contract = contract;
+  auto future = submit(std::move(request));
+  if (!config_.background) flush();
+  return future.get();
+}
+
+void AdmissionController::flush() {
+  std::vector<Pending> window;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mutex_);
+    window.swap(pending_);
+  }
+  process_window(std::move(window));
+}
+
+void AdmissionController::worker_loop() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    if (!stopping_ && config_.batch_window_seconds > 0.0) {
+      // Coalesce: requests arriving within the window of the first queued
+      // one join the same joint approval.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double>(config_.batch_window_seconds));
+      while (!stopping_ && std::chrono::steady_clock::now() < deadline) {
+        queue_cv_.wait_until(lock, deadline);
+      }
+    }
+    std::vector<Pending> window;
+    window.swap(pending_);
+    lock.unlock();
+    process_window(std::move(window));
+    lock.lock();
+  }
+}
+
+void AdmissionController::process_window(std::vector<Pending> window) {
+  if (window.empty()) return;
+  ServiceMetrics& m = metrics();
+  std::vector<AdmissionOutcome> outcomes;
+  {
+    const obs::ScopedTimer span(m.window_seconds);
+    const std::lock_guard<std::mutex> lock(state_mutex_);
+    try {
+      outcomes = evaluate_window(window);
+    } catch (const std::exception& e) {
+      // State mutations happen after evaluation succeeds, so a throwing
+      // window leaves the admitted set untouched; fail the whole window.
+      outcomes.clear();
+      for (std::size_t i = 0; i < window.size(); ++i) {
+        outcomes.push_back(failed_outcome(ErrorCode::invalid_argument,
+                                          std::string("window processing failed: ") + e.what()));
+      }
+    }
+  }
+  NETENT_ENSURES(outcomes.size() == window.size());
+  m.windows.add();
+  m.window_size.record(static_cast<double>(window.size()));
+  const auto now = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    switch (outcomes[i].status) {
+      case AdmissionStatus::admitted: m.admitted.add(); break;
+      case AdmissionStatus::resized: m.resized.add(); break;
+      case AdmissionStatus::released: m.released.add(); break;
+      case AdmissionStatus::rejected: m.rejected.add(); break;
+      case AdmissionStatus::failed: m.failed.add(); break;
+    }
+    m.latency_seconds.record(std::chrono::duration<double>(now - window[i].enqueued).count());
+    window[i].promise.set_value(std::move(outcomes[i]));
+  }
+}
+
+std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<Pending>& window) {
+  ++window_seq_;
+  ServiceMetrics& m = metrics();
+  const std::size_t realizations = config_.approval.realizations;
+  const std::size_t region_count = router_.topo().region_count();
+  std::vector<AdmissionOutcome> outcomes(window.size());
+
+  // --- Phase 1: validate and classify, in submission order. ---------------
+  struct EvalEntry {
+    std::size_t index = 0;  ///< window position
+    bool is_resize = false;
+    ContractId id = 0;  ///< resize: the existing contract
+    NpgId npg;
+    std::string name;
+    const std::vector<HoseRequest>* hoses = nullptr;
+    std::size_t hose_begin = 0;  ///< offset into the joint window hose list
+    bool accepted = false;
+  };
+  std::vector<EvalEntry> entries;
+  std::set<ContractId> released_ids;
+  std::set<ContractId> touched_ids;     ///< resize/release targets seen this window
+  std::set<std::uint32_t> window_npgs;  ///< NPGs claimed by this window's admits
+
+  const auto fail = [&](std::size_t i, std::string message) {
+    outcomes[i] = failed_outcome(ErrorCode::invalid_argument, std::move(message));
+  };
+  const auto find_admitted = [&](ContractId id) -> const AdmittedEntry* {
+    for (const AdmittedEntry& entry : admitted_) {
+      if (entry.id == id) return &entry;
+    }
+    return nullptr;
+  };
+  const auto validate_hoses = [&](const AdmissionRequest& request, NpgId npg,
+                                  std::string* error) {
+    if (request.hoses.empty()) {
+      *error = "request has no hoses";
+      return false;
+    }
+    double total = 0.0;
+    for (const HoseRequest& hose : request.hoses) {
+      if (hose.npg != npg) {
+        *error = "hose NPG differs from the request's NPG";
+        return false;
+      }
+      if (hose.region.value() >= region_count) {
+        *error = "hose region out of range";
+        return false;
+      }
+      if (hose.rate < Gbps(0)) {
+        *error = "hose rate must be >= 0";
+        return false;
+      }
+      total += hose.rate.value();
+    }
+    if (total <= kEps) {
+      *error = "request asks for zero bandwidth";
+      return false;
+    }
+    return true;
+  };
+
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    const AdmissionRequest& request = window[i].request;
+    std::string error;
+    switch (request.kind) {
+      case RequestKind::admit: {
+        const bool live = std::any_of(
+            admitted_.begin(), admitted_.end(), [&](const AdmittedEntry& entry) {
+              return entry.npg == request.npg && released_ids.count(entry.id) == 0;
+            });
+        if (live || window_npgs.count(request.npg.value()) != 0) {
+          fail(i, "NPG already holds a live contract (use resize)");
+          break;
+        }
+        if (!validate_hoses(request, request.npg, &error)) {
+          fail(i, std::move(error));
+          break;
+        }
+        window_npgs.insert(request.npg.value());
+        EvalEntry entry;
+        entry.index = i;
+        entry.npg = request.npg;
+        entry.name = request.npg_name;
+        entry.hoses = &request.hoses;
+        entries.push_back(std::move(entry));
+        break;
+      }
+      case RequestKind::resize: {
+        const AdmittedEntry* existing = find_admitted(request.contract);
+        if (existing == nullptr) {
+          fail(i, "unknown contract id");
+          break;
+        }
+        if (!touched_ids.insert(request.contract).second) {
+          fail(i, "contract already targeted by an earlier request in this window");
+          break;
+        }
+        if (!validate_hoses(request, existing->npg, &error)) {
+          fail(i, std::move(error));
+          break;
+        }
+        EvalEntry entry;
+        entry.index = i;
+        entry.is_resize = true;
+        entry.id = request.contract;
+        entry.npg = existing->npg;
+        entry.name = existing->name;
+        entry.hoses = &request.hoses;
+        entries.push_back(std::move(entry));
+        break;
+      }
+      case RequestKind::release: {
+        const AdmittedEntry* existing = find_admitted(request.contract);
+        if (existing == nullptr) {
+          fail(i, "unknown contract id");
+          break;
+        }
+        if (!touched_ids.insert(request.contract).second) {
+          fail(i, "contract already targeted by an earlier request in this window");
+          break;
+        }
+        released_ids.insert(request.contract);
+        break;  // outcome finalized in phase 4
+      }
+    }
+  }
+
+  // --- Phase 2: joint approval of the window against residual capacity. ---
+  // Releases (and resize targets) free their reservations for the
+  // evaluation: their demands are dropped from the commit history and the
+  // residuals are recomputed from it. A rejected resize keeps its old grant
+  // (restored in phase 4), so the evaluation is optimistic about resizes
+  // that end up rejected — the trade for keeping the window joint.
+  std::set<ContractId> eval_removed = released_ids;
+  for (const EvalEntry& entry : entries) {
+    if (entry.is_resize) eval_removed.insert(entry.id);
+  }
+  ResidualState eval_scratch;
+  const ResidualState* eval_residual = &residual_;
+  if (!eval_removed.empty()) {
+    std::vector<Batch> eval_batches = batches_;
+    for (Batch& batch : eval_batches) {
+      for (auto& per_realization : batch.demands) {
+        std::erase_if(per_realization, [&](const TaggedDemand& tagged) {
+          return eval_removed.count(tagged.owner) != 0;
+        });
+      }
+    }
+    eval_scratch = residuals_of(eval_batches);
+    eval_residual = &eval_scratch;
+  }
+
+  std::vector<HoseRequest> window_hoses;
+  for (EvalEntry& entry : entries) {
+    entry.hose_begin = window_hoses.size();
+    window_hoses.insert(window_hoses.end(), entry.hoses->begin(), entry.hoses->end());
+  }
+
+  // Per-realization demands in the exact placement order the evaluation
+  // used, NPG-tagged; accepted entries' demands become the committed batch.
+  struct DrawnDemand {
+    Demand demand;
+    std::uint32_t npg = 0;
+  };
+  std::vector<std::vector<DrawnDemand>> drawn(realizations);
+  std::vector<HoseApprovalResult> results;
+  if (!window_hoses.empty()) {
+    const auto assess = [&](std::size_t k, std::span<const PipeRequest> pipes) {
+      const std::vector<std::size_t> order = engine_.placement_order(pipes);
+      std::vector<DrawnDemand>& record = drawn[k];
+      record.clear();
+      record.reserve(order.size());
+      for (const std::size_t p : order) {
+        record.push_back({Demand{pipes[p].src, pipes[p].dst, pipes[p].rate}, pipes[p].npg.value()});
+      }
+      return engine_.pipe_approval_with(pipes, [&](std::span<const Demand> demands) {
+        return curves_against_residuals(*eval_residual, k, demands);
+      });
+    };
+    results = engine_.hose_approval_with(window_hoses, {}, rng_, assess);
+  }
+
+  // --- Phase 3: accept/reject each entry. ---------------------------------
+  std::map<std::uint32_t, ContractId> accepted_ids;  // npg -> contract
+  for (EvalEntry& entry : entries) {
+    const std::span<const HoseApprovalResult> slice =
+        std::span<const HoseApprovalResult>(results).subspan(entry.hose_begin,
+                                                             entry.hoses->size());
+    double requested = 0.0;
+    double approved = 0.0;
+    for (const HoseApprovalResult& result : slice) {
+      requested += result.request.rate.value();
+      approved += result.approved.value();
+    }
+    const double fraction = requested > 0.0 ? approved / requested : 0.0;
+    AdmissionOutcome& outcome = outcomes[entry.index];
+    outcome.approvals.assign(slice.begin(), slice.end());
+    if (approved > kEps && fraction + 1e-12 >= config_.admit_min_fraction) {
+      entry.accepted = true;
+      if (!entry.is_resize) entry.id = next_contract_id_++;
+      accepted_ids[entry.npg.value()] = entry.id;
+      outcome.status = entry.is_resize ? AdmissionStatus::resized : AdmissionStatus::admitted;
+      outcome.contract = entry.id;
+    } else {
+      outcome.status = AdmissionStatus::rejected;
+      outcome.contract = entry.is_resize ? entry.id : 0;
+      if (config_.attach_counter_proposals) {
+        // Negotiation probes draw their own realizations; a window-derived
+        // stream keeps the admission RNG (and so request outcomes)
+        // independent of whether proposals are enabled.
+        Rng nego_rng(config_.seed ^ (0x9e3779b97f4a7c15ULL + window_seq_));
+        outcome.proposals = negotiator_.negotiate(slice, nego_rng);
+        m.counter_proposals.add(outcome.proposals.size());
+      }
+    }
+  }
+
+  // --- Phase 4: commit. ----------------------------------------------------
+  Batch batch;
+  batch.demands.resize(realizations);
+  std::size_t committed = 0;
+  for (std::size_t k = 0; k < realizations; ++k) {
+    for (const DrawnDemand& d : drawn[k]) {
+      const auto it = accepted_ids.find(d.npg);
+      if (it == accepted_ids.end()) continue;
+      batch.demands[k].push_back({d.demand, it->second});
+      ++committed;
+    }
+  }
+
+  std::set<ContractId> final_removed = released_ids;
+  for (const EvalEntry& entry : entries) {
+    if (entry.is_resize && entry.accepted) final_removed.insert(entry.id);
+  }
+  if (!final_removed.empty()) {
+    // Releases / accepted resizes remove demands from the middle of the
+    // placement history: no cheaper exact delta exists (water-filling is
+    // order-sensitive), so rebuild the residuals from the pruned history.
+    for (Batch& existing : batches_) {
+      for (auto& per_realization : existing.demands) {
+        std::erase_if(per_realization, [&](const TaggedDemand& tagged) {
+          return final_removed.count(tagged.owner) != 0;
+        });
+      }
+    }
+    if (committed > 0) batches_.push_back(std::move(batch));
+    residual_ = residuals_of(batches_);
+    m.rebuilds.add();
+  } else if (committed > 0) {
+    // Pure-admit hot path: append-only, so the residuals advance with the
+    // same water_fill_demand sequence a from-scratch replay would run.
+    batches_.push_back(std::move(batch));
+    commit_batch(batches_.back());
+  }
+  m.committed_demands.add(committed);
+
+  // Contract database + registry updates.
+  for (const ContractId id : released_ids) {
+    db_.remove(id);
+    std::erase_if(admitted_, [&](const AdmittedEntry& entry) { return entry.id == id; });
+  }
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (window[i].request.kind == RequestKind::release &&
+        released_ids.count(window[i].request.contract) != 0) {
+      outcomes[i].status = AdmissionStatus::released;
+      outcomes[i].contract = window[i].request.contract;
+    }
+  }
+  for (EvalEntry& entry : entries) {
+    if (!entry.accepted) continue;
+    core::EntitlementContract contract;
+    contract.npg = entry.npg;
+    contract.npg_name = entry.name;
+    contract.slo_availability = config_.approval.slo_availability;
+    contract.id = entry.id;
+    for (const HoseApprovalResult& result : outcomes[entry.index].approvals) {
+      contract.entitlements.push_back(core::Entitlement{
+          result.request.npg, result.request.qos, result.request.region,
+          result.request.direction, result.approved, config_.period});
+    }
+    if (entry.is_resize) {
+      db_.remove(entry.id);
+      for (AdmittedEntry& existing : admitted_) {
+        if (existing.id == entry.id) existing.hoses = *entry.hoses;
+      }
+    } else {
+      AdmittedEntry registered;
+      registered.id = entry.id;
+      registered.npg = entry.npg;
+      registered.name = entry.name;
+      registered.hoses = *entry.hoses;
+      admitted_.push_back(std::move(registered));
+    }
+    db_.add(std::move(contract));
+  }
+  return outcomes;
+}
+
+std::vector<risk::AvailabilityCurve> AdmissionController::curves_against_residuals(
+    const ResidualState& residuals, std::size_t k, std::span<const Demand> demands) {
+  router_.warm(demands);
+  const std::span<const risk::FailureScenario> scenarios = engine_.scenarios();
+  const std::size_t scenario_count = scenarios.size();
+  std::vector<std::vector<double>> placed(scenario_count);
+  {
+    const topology::Router::SweepGuard guard(router_);
+    const auto run = [&](std::size_t s) {
+      placed[s] = router_.route_warmed(demands, residuals[k][s]).placed_per_demand;
+    };
+    const std::size_t threads = fanout_threads(scenario_count);
+    if (threads <= 1) {
+      for (std::size_t s = 0; s < scenario_count; ++s) run(s);
+    } else {
+      ThreadPool pool(threads);
+      pool.parallel_for(0, scenario_count, run);
+    }
+  }
+  // Scenario-order merge — the same construction availability_curves uses,
+  // so curves over pristine residuals are bit-identical to the simulator's.
+  std::vector<std::vector<std::pair<double, double>>> outcomes(demands.size());
+  for (auto& per_demand : outcomes) per_demand.reserve(scenario_count);
+  for (std::size_t s = 0; s < scenario_count; ++s) {
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      outcomes[i].emplace_back(placed[s][i], scenarios[s].probability);
+    }
+  }
+  std::vector<risk::AvailabilityCurve> curves;
+  curves.reserve(demands.size());
+  for (auto& per_demand : outcomes) curves.emplace_back(std::move(per_demand));
+  return curves;
+}
+
+void AdmissionController::place_tagged(std::span<const TaggedDemand> demands,
+                                       std::vector<double>& residual) const {
+  for (const TaggedDemand& tagged : demands) {
+    const std::vector<topology::Path>* paths =
+        router_.cached_paths(tagged.demand.src, tagged.demand.dst);
+    NETENT_EXPECTS(paths != nullptr);
+    (void)topology::water_fill_demand(tagged.demand.amount.value(), *paths, residual, {});
+  }
+}
+
+AdmissionController::ResidualState AdmissionController::residuals_of(
+    std::span<const Batch> batches) const {
+  const std::span<const risk::FailureScenario> scenarios = engine_.scenarios();
+  const std::size_t scenario_count = scenarios.size();
+  const std::size_t realizations = config_.approval.realizations;
+  const topology::SrlgIndex& index = engine_.simulator().srlg_index();
+  ResidualState state(realizations);
+  for (auto& per_scenario : state) per_scenario.resize(scenario_count);
+  const auto cell = [&](std::size_t c) {
+    const std::size_t k = c / scenario_count;
+    const std::size_t s = c % scenario_count;
+    std::vector<double>& residual = state[k][s];
+    residual = risk::scenario_capacities(index, base_capacity_, scenarios[s]);
+    for (const Batch& batch : batches) place_tagged(batch.demands[k], residual);
+  };
+  const std::size_t cells = realizations * scenario_count;
+  const std::size_t threads = fanout_threads(cells);
+  if (threads <= 1) {
+    for (std::size_t c = 0; c < cells; ++c) cell(c);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, cells, cell);
+  }
+  return state;
+}
+
+void AdmissionController::commit_batch(const Batch& batch) {
+  const std::size_t scenario_count = engine_.scenarios().size();
+  const std::size_t realizations = config_.approval.realizations;
+  const auto cell = [&](std::size_t c) {
+    const std::size_t k = c / scenario_count;
+    const std::size_t s = c % scenario_count;
+    place_tagged(batch.demands[k], residual_[k][s]);
+  };
+  const std::size_t cells = realizations * scenario_count;
+  const std::size_t threads = fanout_threads(cells);
+  if (threads <= 1) {
+    for (std::size_t c = 0; c < cells; ++c) cell(c);
+  } else {
+    ThreadPool pool(threads);
+    pool.parallel_for(0, cells, cell);
+  }
+}
+
+std::size_t AdmissionController::fanout_threads(std::size_t items) const {
+  if (threads_ <= 1 || items < 2) return 1;
+  return std::min(threads_, items);
+}
+
+std::size_t AdmissionController::admitted_count() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return admitted_.size();
+}
+
+core::ContractDb AdmissionController::contracts_snapshot() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return db_;
+}
+
+AdmissionController::ResidualState AdmissionController::residual_snapshot() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return residual_;
+}
+
+AdmissionController::ResidualState AdmissionController::rebuild_residuals_from_scratch() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return residuals_of(batches_);
+}
+
+}  // namespace netent::service

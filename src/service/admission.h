@@ -1,0 +1,228 @@
+// The online admission service (§1, §5 "agility"): contracts "can be
+// requested at any time", so on top of the batch-mode approval engine this
+// module provides a long-lived, thread-safe admission plane serving a
+// stream of admit / resize / release contract requests.
+//
+// Architecture. The controller owns the admitted-contract set (a
+// core::ContractDb) plus one warmed topology::Router and one
+// approval::ApprovalEngine (scenario set + SRLG index + risk simulator)
+// kept alive across requests. Requests arriving within a batching window
+// are coalesced into ONE joint approval: the window's hoses are
+// concatenated in submission order and assessed through
+// ApprovalEngine::hose_approval_with, so a window evaluated against an
+// empty service is bit-identical to a single hose_approval call on the same
+// set (pinned in tests/test_admission.cpp).
+//
+// Incrementality. Instead of re-approving the whole admitted set per
+// request, the controller maintains RESIDUAL capacity state: for every
+// (realization k, failure scenario s) it keeps the per-link residual
+// capacities left after placing all committed grants' realization-k demands
+// under scenario s (placed in commit order through water_fill_demand — the
+// one placement arithmetic). A new window only places its own pipes against
+// those residuals (O(window pipes × scenarios) instead of O(admitted set)),
+// and accepted grants are committed into the residuals with the exact same
+// water_fill_demand call sequence a from-scratch replay of the commit
+// history would execute — so the maintained state matches a from-scratch
+// rebuild bit-for-bit after any admit/resize/release sequence, at any
+// thread count (also pinned in tests). Releases and accepted resizes remove
+// demands from the middle of the placement history, where no cheaper exact
+// delta exists (water-filling is order-sensitive), so those windows rebuild
+// the residuals from the recorded history; pure-admit windows — the
+// streaming hot path — never do.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "approval/approval.h"
+#include "approval/negotiation.h"
+#include "common/exec_config.h"
+#include "common/expected.h"
+#include "common/rng.h"
+#include "core/contract_db.h"
+#include "hose/requests.h"
+#include "topology/routing.h"
+#include "topology/topology.h"
+
+namespace netent::service {
+
+/// Runtime handle of an admitted contract (also stored on the contract in
+/// the database as EntitlementContract::id).
+using ContractId = std::uint64_t;
+
+enum class RequestKind : std::uint8_t { admit, resize, release };
+
+/// One streamed contract request. `hoses` (admit/resize) may span several
+/// QoS classes and regions but must all belong to `npg`.
+struct AdmissionRequest {
+  RequestKind kind = RequestKind::admit;
+  NpgId npg;                ///< admit: the requesting NPG (one live contract each)
+  std::string npg_name;     ///< admit: display name for the contract
+  ContractId contract = 0;  ///< resize/release: which contract
+  std::vector<hose::HoseRequest> hoses;  ///< admit/resize: requested hoses
+};
+
+enum class AdmissionStatus : std::uint8_t {
+  admitted,  ///< contract created at the approved rates
+  resized,   ///< contract replaced at the newly approved rates
+  released,  ///< contract removed, its capacity reclaimed
+  rejected,  ///< approval below the acceptance threshold; nothing reserved
+  failed,    ///< malformed request or internal error (see `error`)
+};
+
+struct AdmissionOutcome {
+  AdmissionStatus status = AdmissionStatus::failed;
+  ContractId contract = 0;  ///< assigned (admit) or echoed (resize/release)
+  /// Per-hose approvals in request-hose order (admit/resize; empty for
+  /// release). Also populated for rejections, as diagnostics.
+  std::vector<approval::HoseApprovalResult> approvals;
+  /// Negotiation counter-proposals, attached to rejections (§8): partial
+  /// volume, alternative regions, lower QoS classes.
+  std::vector<approval::CounterProposal> proposals;
+  std::optional<Error> error;  ///< set when status == failed
+};
+
+struct AdmissionConfig {
+  /// Approval settings (SLO target, realizations, scenario enumeration).
+  /// The controller resolves its thread count into `approval.exec`, so one
+  /// knob drives the whole service.
+  approval::ApprovalConfig approval;
+  approval::NegotiationConfig negotiation;
+  /// Execution resources for the per-(realization, scenario) fan-outs.
+  /// Unset falls back to `approval.sweep_threads()`. Results are
+  /// bit-identical for every thread count.
+  common::ExecConfig exec;
+  std::size_t router_paths = 4;
+  std::uint64_t seed = 1;  ///< drives realization drawing (deterministic)
+  /// Coalescing window: requests arriving within this span of the first
+  /// queued request are approved jointly (background mode only).
+  double batch_window_seconds = 0.010;
+  /// Minimum approved/requested fraction to admit. 0 admits anything with a
+  /// non-zero guarantee (partial approvals, the default); 1.0 requires the
+  /// full request, turning shortfalls into rejections + counter-proposals.
+  double admit_min_fraction = 0.0;
+  /// Attach negotiation counter-proposals to rejections (costs extra
+  /// approval probes).
+  bool attach_counter_proposals = true;
+  /// Enforcement period written into admitted contracts.
+  core::Period period{0.0, 90.0 * 86400.0};
+  /// true: a worker thread coalesces submissions by wall-clock window.
+  /// false: requests queue until flush() — deterministic windows, used by
+  /// tests and single-threaded drivers.
+  bool background = true;
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const topology::Topology& topo, AdmissionConfig config);
+  ~AdmissionController();
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Enqueues a request; the future resolves when its window is processed.
+  /// Thread-safe; submissions from concurrent callers land in one window.
+  [[nodiscard]] std::future<AdmissionOutcome> submit(AdmissionRequest request);
+
+  /// Synchronous conveniences: submit + (in manual mode) flush + wait.
+  AdmissionOutcome admit(NpgId npg, std::string npg_name,
+                         std::vector<hose::HoseRequest> hoses);
+  AdmissionOutcome resize(ContractId contract, std::vector<hose::HoseRequest> hoses);
+  AdmissionOutcome release(ContractId contract);
+
+  /// Processes every queued request as one window, synchronously. In
+  /// background mode this is a drain (the worker may also be processing).
+  void flush();
+
+  [[nodiscard]] const AdmissionConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t admitted_count() const;
+  /// Copy of the admitted-contract database (runtime ids populated).
+  [[nodiscard]] core::ContractDb contracts_snapshot() const;
+
+  /// Residual per-link capacities, indexed [realization][scenario][link].
+  /// `residual_snapshot` returns the incrementally maintained state;
+  /// `rebuild_residuals_from_scratch` recomputes the same state from the
+  /// recorded commit history. The two are bit-identical after every window —
+  /// the delta-replay equivalence the tests pin.
+  using ResidualState = std::vector<std::vector<std::vector<double>>>;
+  [[nodiscard]] ResidualState residual_snapshot() const;
+  [[nodiscard]] ResidualState rebuild_residuals_from_scratch() const;
+
+ private:
+  /// One committed demand: what was placed and for whom (releases filter the
+  /// history by owner).
+  struct TaggedDemand {
+    topology::Demand demand;
+    ContractId owner = 0;
+  };
+  /// One committed window: per realization, the accepted demands in the
+  /// exact placement order the window's evaluation used.
+  struct Batch {
+    std::vector<std::vector<TaggedDemand>> demands;  ///< [realization]
+  };
+  struct AdmittedEntry {
+    ContractId id = 0;
+    NpgId npg;
+    std::string name;
+    std::vector<hose::HoseRequest> hoses;  ///< requested (for diagnostics)
+  };
+  struct Pending {
+    AdmissionRequest request;
+    std::promise<AdmissionOutcome> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void worker_loop();
+  void process_window(std::vector<Pending> window);
+  [[nodiscard]] std::vector<AdmissionOutcome> evaluate_window(std::vector<Pending>& window);
+
+  /// Availability curves for placement-ordered demands of realization `k`
+  /// against `residuals` (the incremental ASSESS_RISK). Warms the router for
+  /// the demand pairs, then sweeps the scenarios read-only.
+  [[nodiscard]] std::vector<risk::AvailabilityCurve> curves_against_residuals(
+      const ResidualState& residuals, std::size_t k,
+      std::span<const topology::Demand> demands);
+  /// Replays `demands` into `residual` through water_fill_demand — the same
+  /// call sequence for commit and rebuild, which is what keeps the two
+  /// bit-identical.
+  void place_tagged(std::span<const TaggedDemand> demands, std::vector<double>& residual) const;
+  [[nodiscard]] ResidualState residuals_of(std::span<const Batch> batches) const;
+  /// Commits `batch` into residual_ (incremental hot path).
+  void commit_batch(const Batch& batch);
+
+  [[nodiscard]] std::size_t fanout_threads(std::size_t cells) const;
+
+  AdmissionConfig config_;
+  std::size_t threads_ = 1;
+  topology::Router router_;
+  approval::ApprovalEngine engine_;
+  approval::NegotiationEngine negotiator_;
+  std::vector<double> base_capacity_;
+
+  /// Service state, guarded by state_mutex_ (windows are processed one at a
+  /// time; the parallel fan-outs inside a window are internal).
+  mutable std::mutex state_mutex_;
+  ResidualState residual_;
+  std::vector<Batch> batches_;  ///< commit history, window order
+  std::vector<AdmittedEntry> admitted_;
+  core::ContractDb db_;
+  Rng rng_;
+  ContractId next_contract_id_ = 1;
+  std::uint64_t window_seq_ = 0;
+
+  /// Submission queue, guarded by queue_mutex_.
+  std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::vector<Pending> pending_;
+  bool stopping_ = false;
+  std::thread worker_;
+};
+
+}  // namespace netent::service

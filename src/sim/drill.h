@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "common/exec_config.h"
 #include "common/rng.h"
 #include "common/types.h"
 #include "common/units.h"
@@ -75,9 +76,18 @@ struct DrillConfig {
   std::uint32_t marking_groups = 100;
   std::size_t flows_per_host = 25;
 
-  /// Threads for the per-host loops (classification, connection pools).
-  /// Ticks are bit-identical for every value; 1 runs fully serial.
+  /// Execution resources for the per-host loops (classification, connection
+  /// pools). Ticks are bit-identical for every thread count. When
+  /// `exec.threads` is unset the deprecated `num_threads` alias below is
+  /// honored.
+  common::ExecConfig exec;
+  /// DEPRECATED alias for `exec.threads` (kept for one release): threads for
+  /// the per-host loops; 1 runs fully serial. Ignored when `exec.threads` is
+  /// set.
   std::size_t num_threads = 1;
+  /// Effective per-host-loop thread count: `exec.threads` when set, else the
+  /// deprecated `num_threads` alias.
+  [[nodiscard]] std::size_t drill_threads() const { return exec.resolve(num_threads); }
 
   /// Per-agent timer phase jitter: each host's publish and metering timers
   /// start at an independent uniform offset in [0, phase_jitter_seconds)

@@ -253,8 +253,9 @@ std::vector<DrillTick> DrillEngine::run() {
   }
 
   std::unique_ptr<ThreadPool> pool;
-  if (config_.num_threads > 1 && n > 1) {
-    pool = std::make_unique<ThreadPool>(std::min(config_.num_threads, n));
+  const std::size_t drill_threads = config_.drill_threads();
+  if (drill_threads > 1 && n > 1) {
+    pool = std::make_unique<ThreadPool>(std::min(drill_threads, n));
   }
   const auto for_each_host = [&](const std::function<void(std::size_t)>& body) {
     if (pool) {

@@ -1,0 +1,333 @@
+#include "service/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "approval/approval.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "topology/generator.h"
+
+namespace netent::service {
+namespace {
+
+using hose::Direction;
+using hose::HoseRequest;
+
+HoseRequest make_hose(std::uint32_t npg, QosClass qos, std::uint32_t region, double gbps,
+                      Direction direction = Direction::egress) {
+  HoseRequest hose;
+  hose.npg = NpgId(npg);
+  hose.qos = qos;
+  hose.region = RegionId(region);
+  hose.direction = direction;
+  hose.rate = Gbps(gbps);
+  return hose;
+}
+
+/// Matched egress+ingress hoses: the realization drawing needs mass on both
+/// sides of the (NPG, QoS) hose space to generate pipes — a lone egress hose
+/// with no ingress anywhere is unconstrained and passes through.
+std::vector<HoseRequest> hose_pair(std::uint32_t npg, QosClass qos, std::uint32_t src,
+                                   std::uint32_t dst, double gbps) {
+  return {make_hose(npg, qos, src, gbps, Direction::egress),
+          make_hose(npg, qos, dst, gbps, Direction::ingress)};
+}
+
+AdmissionConfig small_config(std::uint64_t seed = 7) {
+  AdmissionConfig config;
+  config.approval.realizations = 3;
+  config.approval.slo_availability = 0.999;
+  config.approval.scenarios.max_simultaneous = 1;
+  config.seed = seed;
+  config.background = false;  // deterministic windows driven by flush()
+  config.attach_counter_proposals = false;
+  return config;
+}
+
+/// One window of requests submitted before a flush() — the manual-mode path
+/// the deterministic tests drive.
+std::vector<AdmissionOutcome> run_window(AdmissionController& controller,
+                                         std::vector<AdmissionRequest> requests) {
+  std::vector<std::future<AdmissionOutcome>> futures;
+  futures.reserve(requests.size());
+  for (AdmissionRequest& request : requests) futures.push_back(controller.submit(std::move(request)));
+  controller.flush();
+  std::vector<AdmissionOutcome> outcomes;
+  outcomes.reserve(futures.size());
+  for (auto& future : futures) outcomes.push_back(future.get());
+  return outcomes;
+}
+
+AdmissionRequest admit_request(std::uint32_t npg, std::vector<HoseRequest> hoses) {
+  AdmissionRequest request;
+  request.kind = RequestKind::admit;
+  request.npg = NpgId(npg);
+  request.npg_name = "npg" + std::to_string(npg);
+  request.hoses = std::move(hoses);
+  return request;
+}
+
+// A window of admissions against an empty service must approve bit-identically
+// to one ApprovalEngine::hose_approval call on the concatenated hose set: the
+// realization drawing shares the RNG stream and empty-state residuals are the
+// scenario capacities themselves.
+TEST(AdmissionService, SingleWindowMatchesBatchApproval) {
+  Rng topo_rng(3);
+  topology::GeneratorConfig topo_config;
+  topo_config.region_count = 6;
+  topo_config.base_capacity = Gbps(300);
+  const topology::Topology topo = topology::generate_backbone(topo_config, topo_rng);
+  const AdmissionConfig config = small_config(41);
+
+  AdmissionController controller(topo, config);
+  std::vector<AdmissionRequest> window;
+  window.push_back(admit_request(1, hose_pair(1, QosClass::c1_low, 0, 2, 90.0)));
+  window.push_back(admit_request(2, hose_pair(2, QosClass::c2_low, 1, 4, 150.0)));
+  window.push_back(admit_request(3, hose_pair(3, QosClass::c3_low, 3, 0, 400.0)));
+  const auto outcomes = run_window(controller, std::move(window));
+
+  // Reference: one engine, one joint call, same seed and thread resolution.
+  topology::Router router(topo, config.router_paths);
+  approval::ApprovalConfig reference_config = config.approval;
+  reference_config.exec.threads = controller.config().approval.exec.threads;
+  const approval::ApprovalEngine engine(router, reference_config);
+  // The same hoses in the same concatenation (= submission) order.
+  std::vector<HoseRequest> all_hoses;
+  for (const auto& hoses : {hose_pair(1, QosClass::c1_low, 0, 2, 90.0),
+                            hose_pair(2, QosClass::c2_low, 1, 4, 150.0),
+                            hose_pair(3, QosClass::c3_low, 3, 0, 400.0)}) {
+    all_hoses.insert(all_hoses.end(), hoses.begin(), hoses.end());
+  }
+  Rng reference_rng(config.seed);
+  const auto reference = engine.hose_approval(all_hoses, reference_rng);
+  ASSERT_EQ(reference.size(), all_hoses.size());
+
+  std::vector<approval::HoseApprovalResult> streamed;
+  for (const AdmissionOutcome& outcome : outcomes) {
+    streamed.insert(streamed.end(), outcome.approvals.begin(), outcome.approvals.end());
+  }
+  ASSERT_EQ(streamed.size(), reference.size());
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    EXPECT_EQ(streamed[i].approved.value(), reference[i].approved.value()) << "hose " << i;
+  }
+}
+
+/// Randomized churn driver: admit / resize / release in multi-request windows,
+/// checking the incremental residual state against a from-scratch replay after
+/// every window. Returns the final residual state for cross-config equality.
+AdmissionController::ResidualState churn(const topology::Topology& topo,
+                                         std::optional<std::size_t> threads) {
+  AdmissionConfig config = small_config(99);
+  config.exec.threads = threads;
+  AdmissionController controller(topo, config);
+  Rng driver(4242);
+  std::vector<ContractId> live;
+  std::uint32_t next_npg = 1;
+  for (int step = 0; step < 8; ++step) {
+    std::vector<AdmissionRequest> window;
+    std::vector<ContractId> touched;  // one request per contract per window
+    const std::size_t requests = 1 + driver.uniform_int(3);
+    for (std::size_t r = 0; r < requests; ++r) {
+      const double coin = driver.uniform(0.0, 1.0);
+      if (live.empty() || touched.size() >= live.size() || coin < 0.5) {
+        const std::uint32_t npg = next_npg++;
+        const auto src = static_cast<std::uint32_t>(driver.uniform_int(5));
+        const auto dst = (src + 1 + static_cast<std::uint32_t>(driver.uniform_int(4))) % 5;
+        window.push_back(admit_request(
+            npg, hose_pair(npg, static_cast<QosClass>(driver.uniform_int(kQosClassCount)), src,
+                           dst, driver.uniform(20.0, 120.0))));
+        continue;
+      }
+      ContractId target = 0;
+      do {
+        target = live[driver.uniform_int(live.size())];
+      } while (std::find(touched.begin(), touched.end(), target) != touched.end());
+      touched.push_back(target);
+      AdmissionRequest request;
+      request.contract = target;
+      if (coin < 0.75) {
+        request.kind = RequestKind::release;
+      } else {
+        request.kind = RequestKind::resize;
+        const core::ContractDb db = controller.contracts_snapshot();
+        const auto* entry = db.find_by_id(target);
+        EXPECT_NE(entry, nullptr);
+        if (entry == nullptr) continue;
+        const auto src = static_cast<std::uint32_t>(driver.uniform_int(5));
+        request.hoses = hose_pair(entry->npg.value(), QosClass::c2_low, src, (src + 2) % 5,
+                                  driver.uniform(10.0, 80.0));
+      }
+      window.push_back(std::move(request));
+    }
+    for (const AdmissionOutcome& outcome : run_window(controller, std::move(window))) {
+      if (outcome.status == AdmissionStatus::admitted) live.push_back(outcome.contract);
+      if (outcome.status == AdmissionStatus::released) std::erase(live, outcome.contract);
+    }
+    // The delta-replay equivalence the service is built on: the maintained
+    // residuals match a from-scratch rebuild of the commit history exactly.
+    EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch())
+        << "divergence after window " << step;
+  }
+  return controller.residual_snapshot();
+}
+
+TEST(AdmissionService, IncrementalMatchesFromScratchUnderChurn) {
+  const topology::Topology topo = topology::figure6_topology();
+  const auto serial = churn(topo, 1);
+  const auto parallel = churn(topo, 4);
+  // Thread count must not change a single bit of the risk state.
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(AdmissionService, RejectionAttachesCounterProposals) {
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionConfig config = small_config();
+  config.admit_min_fraction = 1.0;  // shortfalls become rejections
+  config.attach_counter_proposals = true;
+  AdmissionController controller(topo, config);
+
+  const auto outcome =
+      controller.admit(NpgId(1), "greedy", hose_pair(1, QosClass::c1_low, 0, 1, 1e6));
+  EXPECT_EQ(outcome.status, AdmissionStatus::rejected);
+  EXPECT_EQ(controller.admitted_count(), 0u);
+  ASSERT_FALSE(outcome.approvals.empty());
+  ASSERT_FALSE(outcome.proposals.empty());
+  // The counter-proposal names the admittable volume (option (a), §8).
+  EXPECT_LT(outcome.proposals[0].guaranteed.value(), 1e6);
+  EXPECT_FALSE(outcome.proposals[0].fully_approved());
+}
+
+TEST(AdmissionService, ReleaseFreesTheNpgAndItsCapacity) {
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionController controller(topo, small_config());
+
+  const auto first = controller.admit(NpgId(1), "a", hose_pair(1, QosClass::c1_low, 0, 2, 50.0));
+  ASSERT_EQ(first.status, AdmissionStatus::admitted);
+  // The NPG now holds a live contract: a second admit must fail.
+  const auto duplicate = controller.admit(NpgId(1), "a2", hose_pair(1, QosClass::c1_low, 1, 3, 10.0));
+  EXPECT_EQ(duplicate.status, AdmissionStatus::failed);
+  ASSERT_TRUE(duplicate.error.has_value());
+
+  const auto released = controller.release(first.contract);
+  EXPECT_EQ(released.status, AdmissionStatus::released);
+  EXPECT_EQ(controller.admitted_count(), 0u);
+  // Fully released state is the pristine one: the rebuild has no history.
+  EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch());
+
+  const auto readmitted =
+      controller.admit(NpgId(1), "a3", hose_pair(1, QosClass::c1_low, 0, 2, 50.0));
+  EXPECT_EQ(readmitted.status, AdmissionStatus::admitted);
+  EXPECT_NE(readmitted.contract, first.contract);  // ids are never reused
+}
+
+TEST(AdmissionService, ResizeKeepsTheContractId) {
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionController controller(topo, small_config());
+
+  const auto admitted = controller.admit(NpgId(4), "svc", hose_pair(4, QosClass::c1_low, 0, 3, 40.0));
+  ASSERT_EQ(admitted.status, AdmissionStatus::admitted);
+  std::vector<HoseRequest> bigger = hose_pair(4, QosClass::c1_low, 0, 3, 80.0);
+  const auto extra = hose_pair(4, QosClass::c2_low, 2, 4, 30.0);
+  bigger.insert(bigger.end(), extra.begin(), extra.end());
+  const auto resized = controller.resize(admitted.contract, bigger);
+  ASSERT_EQ(resized.status, AdmissionStatus::resized);
+  EXPECT_EQ(resized.contract, admitted.contract);
+  EXPECT_EQ(controller.admitted_count(), 1u);
+
+  const core::ContractDb db = controller.contracts_snapshot();
+  const auto* contract = db.find_by_id(admitted.contract);
+  ASSERT_NE(contract, nullptr);
+  EXPECT_EQ(contract->entitlements.size(), 4u);
+  EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch());
+
+  // Unknown ids fail cleanly.
+  EXPECT_EQ(controller.resize(999, hose_pair(4, QosClass::c1_low, 0, 3, 1.0)).status,
+            AdmissionStatus::failed);
+  EXPECT_EQ(controller.release(999).status, AdmissionStatus::failed);
+}
+
+TEST(AdmissionService, MalformedRequestsFailWithoutStateChanges) {
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionController controller(topo, small_config());
+
+  // Hose NPG differing from the request NPG.
+  auto mismatched = controller.admit(NpgId(1), "x", {make_hose(2, QosClass::c1_low, 0, 10.0)});
+  EXPECT_EQ(mismatched.status, AdmissionStatus::failed);
+  // Region out of range.
+  auto bad_region = controller.admit(NpgId(1), "x", {make_hose(1, QosClass::c1_low, 99, 10.0)});
+  EXPECT_EQ(bad_region.status, AdmissionStatus::failed);
+  // Zero-bandwidth ask.
+  auto empty_ask = controller.admit(NpgId(1), "x", {make_hose(1, QosClass::c1_low, 0, 0.0)});
+  EXPECT_EQ(empty_ask.status, AdmissionStatus::failed);
+
+  EXPECT_EQ(controller.admitted_count(), 0u);
+  EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch());
+}
+
+// Background mode: concurrent submitters share windows with the coalescing
+// worker; every future resolves and the risk state stays exact. (Run under
+// -DNETENT_SANITIZE=thread via the tsan label.)
+TEST(AdmissionService, BackgroundConcurrentSubmissions) {
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionConfig config = small_config(17);
+  config.background = true;
+  config.batch_window_seconds = 0.002;
+  AdmissionController controller(topo, config);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 3;
+  std::vector<std::thread> submitters;
+  std::vector<std::future<AdmissionOutcome>> futures(kThreads * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const std::uint32_t npg = static_cast<std::uint32_t>(1 + t * kPerThread + i);
+        futures[static_cast<std::size_t>(t * kPerThread + i)] = controller.submit(
+            admit_request(npg, hose_pair(npg, QosClass::c2_low, npg % 5, (npg + 2) % 5, 15.0)));
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  controller.flush();  // drain anything still queued
+
+  std::size_t admitted = 0;
+  for (auto& future : futures) {
+    const AdmissionOutcome outcome = future.get();
+    EXPECT_NE(outcome.status, AdmissionStatus::failed);
+    if (outcome.status == AdmissionStatus::admitted) ++admitted;
+  }
+  EXPECT_EQ(admitted, static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(controller.admitted_count(), admitted);
+  EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch());
+}
+
+TEST(AdmissionService, MetricsRecordedWhenObsEnabled) {
+  if (!obs::kEnabled) GTEST_SKIP() << "NETENT_OBS=OFF build";
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionController controller(topo, small_config());
+  (void)controller.admit(NpgId(1), "m", hose_pair(1, QosClass::c1_low, 0, 2, 25.0));
+
+  const obs::Snapshot snapshot = obs::Registry::global().snapshot();
+  const auto counter = [&](const std::string& name) -> std::uint64_t {
+    for (const auto& c : snapshot.counters) {
+      if (c.name == name) return c.value;
+    }
+    ADD_FAILURE() << "missing counter " << name;
+    return 0;
+  };
+  EXPECT_GE(counter("service.admission.requests"), 1u);
+  EXPECT_GE(counter("service.admission.admitted"), 1u);
+  EXPECT_GE(counter("service.admission.windows"), 1u);
+  const bool has_latency =
+      std::any_of(snapshot.histograms.begin(), snapshot.histograms.end(),
+                  [](const auto& h) { return h.name == "service.admission.latency_seconds"; });
+  EXPECT_TRUE(has_latency);
+}
+
+}  // namespace
+}  // namespace netent::service
