@@ -6,6 +6,7 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -16,6 +17,7 @@
 #include "common/units.h"
 #include "hose/requests.h"
 #include "hose/space.h"
+#include "risk/fast_estimator.h"
 #include "risk/simulator.h"
 #include "topology/routing.h"
 
@@ -43,6 +45,13 @@ struct ApprovalConfig {
   /// is approved at the largest rate meeting the SLO (partial approvals,
   /// §4.3's under-approval discussion).
   bool strict_batch = false;
+  /// Two-tier risk verification (risk/fast_estimator.h): when enabled, pipe
+  /// approvals first try the conservative analytical bound and only fall
+  /// back to the exact scenario sweep when it cannot clear the SLO (plus
+  /// `fastpath.slo_margin`). Approved rates are bit-identical either way —
+  /// the bound is never optimistic, so a fast admit is exactly the full
+  /// approval the sweep would have produced. Default: exact-only.
+  risk::FastPathConfig fastpath;
 };
 
 struct PipeApprovalResult {
@@ -90,11 +99,33 @@ class ApprovalEngine {
   using CurveProvider =
       std::function<std::vector<risk::AvailabilityCurve>(std::span<const topology::Demand>)>;
 
+  /// What the fast tier did for one pipe_approval_with call.
+  struct FastPassResult {
+    bool attempted = false;  ///< a fast estimator was consulted
+    bool hit = false;        ///< every pipe cleared; the exact sweep was skipped
+    /// On a hit: the conservative bound per placement-ordered demand (the
+    /// admission service's audit replays these against the exact sweep).
+    std::vector<double> bounds;
+  };
+
   /// PIPE_APPROVAL with a caller-supplied risk backend. Ordering, SLO
   /// lookup, strict-batch handling and verdict metrics are identical to
   /// pipe_approval; only ASSESS_RISK is delegated.
+  ///
+  /// When `fast` is non-null and `config().fastpath.enabled`, the call first
+  /// tries the analytical tier: if every placement-ordered demand's bound
+  /// clears slo_availability + fastpath.slo_margin (accounting earlier
+  /// window demands via worst-case link charges), all pipes are approved at
+  /// their full requested rates WITHOUT invoking `curves_for` — which is
+  /// exactly what the exact tier would have approved, the bound being a
+  /// lower bound on the exact availability. `fast` must summarize the same
+  /// residual state `curves_for` assesses against (the caller owns that
+  /// contract); `fast_out`, when given, reports the tier taken. On fast hits
+  /// `availability_at_request` carries the conservative bound rather than
+  /// the exact availability.
   [[nodiscard]] std::vector<PipeApprovalResult> pipe_approval_with(
-      std::span<const hose::PipeRequest> pipes, const CurveProvider& curves_for) const;
+      std::span<const hose::PipeRequest> pipes, const CurveProvider& curves_for,
+      const risk::FastEstimator* fast = nullptr, FastPassResult* fast_out = nullptr) const;
 
   /// Per-realization assessor extension point for hose_approval_with:
   /// receives the realization index and that realization's pipes (all
@@ -155,6 +186,10 @@ class ApprovalEngine {
   /// every pipe_approval call — reuse it and the router's warmed path cache
   /// instead of rebuilding per call.
   risk::RiskSimulator simulator_;
+  /// Fast tier over the engine's own assessment state (every pipe_approval
+  /// batch starts from the pristine base capacities). Populated only when
+  /// config_.fastpath.enabled; pipe_approval passes it through.
+  std::optional<risk::FastEstimator> fast_;
 };
 
 /// Total approved / total requested, the Figure 22 metric.

@@ -1,0 +1,123 @@
+#include "risk/fast_estimator.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace netent::risk {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+FastEstimator::FastEstimator(const topology::Topology& topo,
+                             std::span<const FailureScenario> scenarios)
+    : scenarios_(scenarios) {
+  link_srlg_.reserve(topo.link_count());
+  for (const topology::Link& link : topo.links()) link_srlg_.push_back(link.srlg);
+  headroom_.assign(topo.link_count(), kInf);
+  srlg_hit_mass_.assign(topo.srlg_count(), 0.0);
+  for (const FailureScenario& scenario : scenarios_) {
+    total_mass_ += scenario.probability;
+    for (const SrlgId down : scenario.down) {
+      NETENT_EXPECTS(down.value() < srlg_hit_mass_.size());
+      srlg_hit_mass_[down.value()] += scenario.probability;
+    }
+  }
+}
+
+bool FastEstimator::link_alive(LinkId link, const FailureScenario& scenario) const {
+  // Down-sets are sorted (risk/failure.h) and tiny; binary search them.
+  return !std::binary_search(scenario.down.begin(), scenario.down.end(),
+                             link_srlg_[link.value()]);
+}
+
+void FastEstimator::rebuild(std::span<const std::vector<double>> scenario_residuals) {
+  NETENT_EXPECTS(scenario_residuals.size() == scenarios_.size());
+  headroom_.assign(headroom_.size(), kInf);
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    const std::vector<double>& residual = scenario_residuals[s];
+    NETENT_EXPECTS(residual.size() == headroom_.size());
+    for (std::size_t l = 0; l < headroom_.size(); ++l) {
+      if (link_alive(LinkId(static_cast<std::uint32_t>(l)), scenarios_[s])) {
+        headroom_[l] = std::min(headroom_[l], residual[l]);
+      }
+    }
+  }
+}
+
+void FastEstimator::rebuild_pristine(std::span<const double> base_capacity) {
+  // scenario_capacities() only zeroes DEAD links, so for every scenario in
+  // which a link is alive its residual equals the base capacity — the
+  // alive-scenario min is the base capacity itself. (Links alive in no
+  // scenario keep +inf, matching rebuild(); their SRLG hit mass already
+  // drives any bound through them to zero.)
+  NETENT_EXPECTS(base_capacity.size() == headroom_.size());
+  for (std::size_t l = 0; l < headroom_.size(); ++l) {
+    bool alive_somewhere = false;
+    for (const FailureScenario& scenario : scenarios_) {
+      if (link_alive(LinkId(static_cast<std::uint32_t>(l)), scenario)) {
+        alive_somewhere = true;
+        break;
+      }
+    }
+    headroom_[l] = alive_somewhere ? base_capacity[l] : kInf;
+  }
+}
+
+void FastEstimator::refresh_links(std::span<const LinkId> links,
+                                  std::span<const std::vector<double>> scenario_residuals) {
+  NETENT_EXPECTS(scenario_residuals.size() == scenarios_.size());
+  for (const LinkId link : links) {
+    NETENT_EXPECTS(link.value() < headroom_.size());
+    double headroom = kInf;
+    for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+      if (link_alive(link, scenarios_[s])) {
+        headroom = std::min(headroom, scenario_residuals[s][link.value()]);
+      }
+    }
+    headroom_[link.value()] = headroom;
+  }
+}
+
+double FastEstimator::bound(double amount_gbps, std::span<const topology::Path> paths,
+                            std::span<const double> window_consumed) const {
+  if (paths.empty() || paths[0].empty()) return 0.0;
+  if (amount_gbps < kMinRateGbps) return 0.0;
+  const topology::Path& first = paths[0];
+
+  // (1) Prove the first path's bottleneck clears the rate in every scenario
+  // that leaves the path up, with slack against window-charge rounding.
+  for (const LinkId link : first.links) {
+    double room = headroom_[link.value()];
+    if (!window_consumed.empty()) room -= window_consumed[link.value()];
+    if (room < amount_gbps + kHeadroomSlackGbps) return 0.0;
+  }
+
+  // (2) Union-bound the mass of scenarios taking the first path down.
+  std::vector<SrlgId> srlgs;
+  srlgs.reserve(first.links.size());
+  for (const LinkId link : first.links) srlgs.push_back(link_srlg_[link.value()]);
+  std::sort(srlgs.begin(), srlgs.end());
+  srlgs.erase(std::unique(srlgs.begin(), srlgs.end()), srlgs.end());
+  double dead_mass = 0.0;
+  for (const SrlgId srlg : srlgs) dead_mass += srlg_hit_mass_[srlg.value()];
+  return std::max(0.0, total_mass_ - dead_mass);
+}
+
+void FastEstimator::charge(double amount_gbps, std::span<const topology::Path> paths,
+                           std::span<double> window_consumed) {
+  // A link shared by several of the demand's candidate paths is still
+  // charged once per path: under a scenario the demand never carries more
+  // than its rate across any single link, but per-path charging stays on
+  // the cheap side of that bound without a dedup pass, and over-charging
+  // only ever pushes later demands toward the exact tier.
+  for (const topology::Path& path : paths) {
+    for (const LinkId link : path.links) {
+      window_consumed[link.value()] += amount_gbps;
+    }
+  }
+}
+
+}  // namespace netent::risk

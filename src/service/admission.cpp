@@ -36,6 +36,8 @@ struct ServiceMetrics {
   obs::Counter& rebuilds = reg.counter("service.admission.rebuilds");
   obs::Counter& counter_proposals = reg.counter("service.admission.counter_proposals");
   obs::Counter& committed_demands = reg.counter("service.admission.committed_demands");
+  obs::Counter& fastpath_audited = reg.counter("risk.fastpath.audited");
+  obs::Counter& fastpath_audit_violations = reg.counter("risk.fastpath.audit_violations");
   obs::Histogram& window_size = reg.histogram("service.admission.window_size",
                                               std::array{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
   obs::Histogram& latency_seconds = reg.timer_histogram("service.admission.latency_seconds");
@@ -75,6 +77,13 @@ AdmissionController::AdmissionController(const topology::Topology& topo, Admissi
   NETENT_EXPECTS(config_.admit_min_fraction >= 0.0 && config_.admit_min_fraction <= 1.0);
   config_.approval.exec.threads = threads_;  // config() reflects the resolution
   residual_ = residuals_of({});
+  if (config_.approval.fastpath.enabled) {
+    fast_.reserve(config_.approval.realizations);
+    for (std::size_t k = 0; k < config_.approval.realizations; ++k) {
+      fast_.emplace_back(router_.topo(), engine_.scenarios());
+      fast_.back().rebuild(residual_[k]);
+    }
+  }
   if (config_.background) {
     worker_ = std::thread(&AdmissionController::worker_loop, this);
   }
@@ -87,6 +96,9 @@ AdmissionController::~AdmissionController() {
   }
   queue_cv_.notify_all();
   if (worker_.joinable()) worker_.join();
+  // Every fast admit gets its exact audit before the controller dies, so
+  // the violation counters are final.
+  (void)audit_fastpath();
   // Manual-mode leftovers (or submissions that raced shutdown) must not
   // leave dangling futures.
   std::vector<Pending> leftover;
@@ -158,7 +170,24 @@ void AdmissionController::flush() {
 void AdmissionController::worker_loop() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
   for (;;) {
-    queue_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+    // Idle time pays the audit debt: fast admits queued for exact
+    // verification drain while no request is waiting.
+    while (!stopping_ && pending_.empty()) {
+      bool audits_pending = false;
+      {
+        const std::lock_guard<std::mutex> audit_lock(audit_mutex_);
+        audits_pending = !audit_queue_.empty();
+      }
+      if (!audits_pending) {
+        queue_cv_.wait(lock, [&] { return stopping_ || !pending_.empty(); });
+        break;
+      }
+      // One record per iteration, so an arriving request is never stuck
+      // behind a long audit backlog.
+      lock.unlock();
+      (void)audit_one();
+      lock.lock();
+    }
     if (pending_.empty()) {
       if (stopping_) return;
       continue;
@@ -385,6 +414,12 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
   std::vector<std::vector<DrawnDemand>> drawn(realizations);
   std::vector<HoseApprovalResult> results;
   if (!window_hoses.empty()) {
+    // Tier selection for the window: the fast summaries describe the
+    // COMMITTED residual state, so the analytical tier only applies when
+    // the window evaluates against exactly that state — pure-admit windows,
+    // the streaming hot path. Windows with releases/resizes evaluate
+    // against a rebuilt scratch state and always go exact.
+    const bool fast_eligible = !fast_.empty() && eval_residual == &residual_;
     const auto assess = [&](std::size_t k, std::span<const PipeRequest> pipes) {
       const std::vector<std::size_t> order = engine_.placement_order(pipes);
       std::vector<DrawnDemand>& record = drawn[k];
@@ -393,9 +428,47 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
       for (const std::size_t p : order) {
         record.push_back({Demand{pipes[p].src, pipes[p].dst, pipes[p].rate}, pipes[p].npg.value()});
       }
-      return engine_.pipe_approval_with(pipes, [&](std::span<const Demand> demands) {
-        return curves_against_residuals(*eval_residual, k, demands);
-      });
+      const risk::FastEstimator* fast = fast_eligible ? &fast_[k] : nullptr;
+      approval::ApprovalEngine::FastPassResult fast_pass;
+      auto approvals = engine_.pipe_approval_with(
+          pipes,
+          [&](std::span<const Demand> demands) {
+            return curves_against_residuals(*eval_residual, k, demands);
+          },
+          fast, &fast_pass);
+      if (fast_pass.hit) {
+        ++fast_stats_.hits;
+        if (config_.approval.fastpath.audit) {
+          AuditRecord audit;
+          audit.demands.reserve(record.size());
+          for (const DrawnDemand& d : record) audit.demands.push_back(d.demand);
+          audit.bounds = std::move(fast_pass.bounds);
+          // Snapshot the state the bounds summarize — but only the links
+          // the replay's water-fill can read: the demands' candidate paths.
+          for (const DrawnDemand& d : record) {
+            const std::vector<topology::Path>* paths =
+                router_.cached_paths(d.demand.src, d.demand.dst);
+            NETENT_EXPECTS(paths != nullptr);
+            for (const topology::Path& path : *paths) {
+              audit.links.insert(audit.links.end(), path.links.begin(), path.links.end());
+            }
+          }
+          std::sort(audit.links.begin(), audit.links.end());
+          audit.links.erase(std::unique(audit.links.begin(), audit.links.end()),
+                            audit.links.end());
+          audit.residuals.reserve(residual_[k].size() * audit.links.size());
+          for (const std::vector<double>& scenario_residual : residual_[k]) {
+            for (const LinkId link : audit.links) {
+              audit.residuals.push_back(scenario_residual[link.value()]);
+            }
+          }
+          const std::lock_guard<std::mutex> audit_lock(audit_mutex_);
+          audit_queue_.push_back(std::move(audit));
+        }
+      } else if (fast_pass.attempted) {
+        ++fast_stats_.fallbacks;
+      }
+      return approvals;
     };
     results = engine_.hose_approval_with(window_hoses, {}, rng_, assess);
   }
@@ -466,11 +539,13 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
     if (committed > 0) batches_.push_back(std::move(batch));
     residual_ = residuals_of(batches_);
     m.rebuilds.add();
+    refresh_fastpath(nullptr);  // full summary rebuild with the residuals
   } else if (committed > 0) {
     // Pure-admit hot path: append-only, so the residuals advance with the
     // same water_fill_demand sequence a from-scratch replay would run.
     batches_.push_back(std::move(batch));
     commit_batch(batches_.back());
+    refresh_fastpath(&batches_.back());  // only the batch's links moved
   }
   m.committed_demands.add(committed);
 
@@ -627,6 +702,101 @@ AdmissionController::ResidualState AdmissionController::residual_snapshot() cons
 AdmissionController::ResidualState AdmissionController::rebuild_residuals_from_scratch() const {
   const std::lock_guard<std::mutex> lock(state_mutex_);
   return residuals_of(batches_);
+}
+
+void AdmissionController::refresh_fastpath(const Batch* dirty_batch) {
+  if (fast_.empty()) return;
+  if (dirty_batch == nullptr) {
+    for (std::size_t k = 0; k < fast_.size(); ++k) fast_[k].rebuild(residual_[k]);
+    return;
+  }
+  // A commit only subtracts capacity, and only on links of the committed
+  // demands' candidate paths — re-summarize exactly those links per
+  // realization (realizations draw different demand sets).
+  std::vector<LinkId> dirty;
+  for (std::size_t k = 0; k < fast_.size(); ++k) {
+    dirty.clear();
+    for (const TaggedDemand& tagged : dirty_batch->demands[k]) {
+      const std::vector<topology::Path>* paths =
+          router_.cached_paths(tagged.demand.src, tagged.demand.dst);
+      NETENT_EXPECTS(paths != nullptr);
+      for (const topology::Path& path : *paths) {
+        dirty.insert(dirty.end(), path.links.begin(), path.links.end());
+      }
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+    fast_[k].refresh_links(dirty, residual_[k]);
+  }
+}
+
+bool AdmissionController::audit_one() {
+  AuditRecord record;
+  {
+    const std::lock_guard<std::mutex> audit_lock(audit_mutex_);
+    if (audit_queue_.empty()) return false;
+    record = std::move(audit_queue_.front());
+    audit_queue_.erase(audit_queue_.begin());
+  }
+  ServiceMetrics& m = metrics();
+  const std::span<const risk::FailureScenario> scenario_set = engine_.scenarios();
+  // state_mutex_ excludes concurrent path-cache warms; the replay itself is
+  // the read-only warmed sweep.
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<double> exact(record.demands.size(), 0.0);
+  {
+    const topology::Router::SweepGuard guard(router_);
+    // Scatter the snapshotted candidate-path residuals into a full-size
+    // scratch vector per scenario; links off the candidate paths are never
+    // read by the fill, so their value (0) is irrelevant.
+    std::vector<double> scratch(base_capacity_.size(), 0.0);
+    for (std::size_t s = 0; s < scenario_set.size(); ++s) {
+      for (std::size_t i = 0; i < record.links.size(); ++i) {
+        scratch[record.links[i].value()] = record.residuals[s * record.links.size() + i];
+      }
+      const std::vector<double> placed =
+          router_.route_warmed(record.demands, scratch).placed_per_demand;
+      for (std::size_t i = 0; i < record.demands.size(); ++i) {
+        if (placed[i] + 1e-9 >= record.demands[i].amount.value()) {
+          exact[i] += scenario_set[s].probability;
+        }
+      }
+    }
+  }
+  for (std::size_t i = 0; i < record.demands.size(); ++i) {
+    ++fast_stats_.audited;
+    m.fastpath_audited.add();
+    if (record.bounds[i] > exact[i] + 1e-9) {
+      ++fast_stats_.violations;
+      m.fastpath_audit_violations.add();
+    }
+  }
+  return true;
+}
+
+std::size_t AdmissionController::audit_fastpath() {
+  std::size_t drained = 0;
+  while (audit_one()) ++drained;
+  return drained;
+}
+
+AdmissionController::FastPathStats AdmissionController::fastpath_stats() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  return fast_stats_;
+}
+
+std::span<const risk::FailureScenario> AdmissionController::scenarios() const {
+  return engine_.scenarios();
+}
+
+std::vector<std::vector<double>> AdmissionController::fastpath_headroom_snapshot() const {
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  std::vector<std::vector<double>> snapshot;
+  snapshot.reserve(fast_.size());
+  for (const risk::FastEstimator& estimator : fast_) {
+    snapshot.emplace_back(estimator.headroom().begin(), estimator.headroom().end());
+  }
+  return snapshot;
 }
 
 }  // namespace netent::service

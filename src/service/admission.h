@@ -49,6 +49,7 @@
 #include "common/rng.h"
 #include "core/contract_db.h"
 #include "hose/requests.h"
+#include "risk/fast_estimator.h"
 #include "topology/routing.h"
 #include "topology/topology.h"
 
@@ -93,7 +94,14 @@ struct AdmissionOutcome {
 struct AdmissionConfig {
   /// Approval settings (SLO target, realizations, scenario enumeration).
   /// The controller resolves its thread count into `approval.exec`, so one
-  /// knob drives the whole service.
+  /// knob drives the whole service. `approval.fastpath` also selects the
+  /// two-tier risk verification: when enabled, each pure-admit window's
+  /// realizations are first assessed by the analytical FastEstimator bound
+  /// over per-realization residual-headroom summaries, falling back to the
+  /// exact residual sweep when the bound cannot clear the SLO (plus margin).
+  /// Verdicts and residual state are bit-identical to exact-only; fast
+  /// admits are recorded for a deferred exact audit (`audit_fastpath`) when
+  /// `approval.fastpath.audit` is set.
   approval::ApprovalConfig approval;
   approval::NegotiationConfig negotiation;
   /// Execution resources for the per-(realization, scenario) fan-outs.
@@ -155,6 +163,35 @@ class AdmissionController {
   [[nodiscard]] ResidualState residual_snapshot() const;
   [[nodiscard]] ResidualState rebuild_residuals_from_scratch() const;
 
+  /// Two-tier fast-path accounting (all zero when fastpath is disabled).
+  /// `violations` counts audited fast admits whose bound exceeded the exact
+  /// availability — the conservativeness invariant says it must stay zero.
+  struct FastPathStats {
+    std::uint64_t hits = 0;       ///< realizations admitted by the bound
+    std::uint64_t fallbacks = 0;  ///< realizations that fell back to exact
+    std::uint64_t audited = 0;    ///< fast-admitted demands exactly re-checked
+    std::uint64_t violations = 0; ///< bound > exact availability (must be 0)
+  };
+  [[nodiscard]] FastPathStats fastpath_stats() const;
+
+  /// Drains the deferred exact-audit queue: every fast-admitted realization
+  /// is replayed through the exact per-scenario sweep against the residual
+  /// state its bound was computed from, and any bound above the exact
+  /// availability counts as a violation (risk.fastpath.audit_violations).
+  /// The background worker drains opportunistically when idle; manual-mode
+  /// drivers (tests, benches) call this explicitly. Returns the number of
+  /// records audited. Thread-safe.
+  std::size_t audit_fastpath();
+
+  /// The enumerated failure scenarios backing every assessment (shared with
+  /// tests that rebuild summaries / exact sweeps out-of-band).
+  [[nodiscard]] std::span<const risk::FailureScenario> scenarios() const;
+
+  /// The maintained per-realization headroom summaries ([realization][link];
+  /// empty when fastpath is disabled). Tests pin these against summaries
+  /// freshly rebuilt from residual_snapshot() after every kind of window.
+  [[nodiscard]] std::vector<std::vector<double>> fastpath_headroom_snapshot() const;
+
  private:
   /// One committed demand: what was placed and for whom (releases filter the
   /// history by owner).
@@ -179,9 +216,33 @@ class AdmissionController {
     std::chrono::steady_clock::time_point enqueued;
   };
 
+  /// One fast-admitted realization queued for the deferred exact audit: the
+  /// placement-ordered demands, the bounds claimed for them, and a snapshot
+  /// of the per-scenario residuals the bounds were computed against (copied
+  /// at decision time, since the live state advances with every commit).
+  /// A fast-admitted window queued for its deferred exact replay. The
+  /// replay's water-fill only ever reads links on the demands' candidate
+  /// paths, so the decision-time residual snapshot covers exactly those
+  /// `links` — O(scenarios x touched links) gathered on the admission hot
+  /// path instead of a full O(scenarios x links) state clone.
+  struct AuditRecord {
+    std::vector<topology::Demand> demands;
+    std::vector<double> bounds;
+    std::vector<LinkId> links;  ///< sorted, deduped candidate-path links
+    /// Flat [scenario * links.size() + i] residuals for links[i].
+    std::vector<double> residuals;
+  };
+
   void worker_loop();
   void process_window(std::vector<Pending> window);
   [[nodiscard]] std::vector<AdmissionOutcome> evaluate_window(std::vector<Pending>& window);
+  /// Rebuilds / refreshes the per-realization headroom summaries after the
+  /// residual state changed. `dirty_batch` non-null: only links on the
+  /// batch's demands' candidate paths are re-summarized (a pure-admit
+  /// commit); null: full rebuild (release / resize windows).
+  void refresh_fastpath(const Batch* dirty_batch);
+  /// Audits one queued fast-admit record; false when the queue is empty.
+  bool audit_one();
 
   /// Availability curves for placement-ordered demands of realization `k`
   /// against `residuals` (the incremental ASSESS_RISK). Warms the router for
@@ -216,6 +277,16 @@ class AdmissionController {
   Rng rng_;
   ContractId next_contract_id_ = 1;
   std::uint64_t window_seq_ = 0;
+  /// Tier-1 estimators, one per realization, summarizing residual_[k]
+  /// (empty when fastpath is disabled). Guarded by state_mutex_.
+  std::vector<risk::FastEstimator> fast_;
+  FastPathStats fast_stats_;  ///< guarded by state_mutex_
+
+  /// Deferred exact-audit queue, guarded by audit_mutex_. Never hold
+  /// audit_mutex_ while acquiring state_mutex_ (enqueue takes audit under
+  /// state; the drain pops under audit alone, then computes under state).
+  std::mutex audit_mutex_;
+  std::vector<AuditRecord> audit_queue_;
 
   /// Submission queue, guarded by queue_mutex_.
   std::mutex queue_mutex_;

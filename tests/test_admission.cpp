@@ -10,6 +10,7 @@
 #include "approval/approval.h"
 #include "common/rng.h"
 #include "obs/metrics.h"
+#include "risk/fast_estimator.h"
 #include "topology/generator.h"
 
 namespace netent::service {
@@ -117,14 +118,38 @@ TEST(AdmissionService, SingleWindowMatchesBatchApproval) {
   }
 }
 
+/// Everything a churn run decided: per-request verdicts and approved rates
+/// plus the final risk state — the full surface that must be bit-identical
+/// between the exact-only and two-tier configurations.
+struct ChurnResult {
+  AdmissionController::ResidualState residuals;
+  std::vector<AdmissionStatus> statuses;
+  std::vector<double> approved;
+  AdmissionController::FastPathStats fast;
+
+  bool operator==(const ChurnResult& other) const {
+    return residuals == other.residuals && statuses == other.statuses &&
+           approved == other.approved;
+  }
+};
+
 /// Randomized churn driver: admit / resize / release in multi-request windows,
 /// checking the incremental residual state against a from-scratch replay after
-/// every window. Returns the final residual state for cross-config equality.
-AdmissionController::ResidualState churn(const topology::Topology& topo,
-                                         std::optional<std::size_t> threads) {
+/// every window. Returns the decisions and final residual state for
+/// cross-config equality.
+ChurnResult churn(const topology::Topology& topo, std::optional<std::size_t> threads,
+                  bool fastpath = false) {
   AdmissionConfig config = small_config(99);
   config.exec.threads = threads;
+  config.approval.fastpath.enabled = fastpath;
+  // figure6 fibers are ~1.2e-3 unavailable, so the first-path union bound
+  // tops out near 0.9988: at the default 0.999 SLO the fast tier would
+  // always fall back. 0.995 (same for every config — equivalence is judged
+  // at one SLO) lets clean admits fast-path while saturated windows and all
+  // release/resize windows still go exact.
+  config.approval.slo_availability = 0.995;
   AdmissionController controller(topo, config);
+  ChurnResult result;
   Rng driver(4242);
   std::vector<ContractId> live;
   std::uint32_t next_npg = 1;
@@ -167,13 +192,20 @@ AdmissionController::ResidualState churn(const topology::Topology& topo,
     for (const AdmissionOutcome& outcome : run_window(controller, std::move(window))) {
       if (outcome.status == AdmissionStatus::admitted) live.push_back(outcome.contract);
       if (outcome.status == AdmissionStatus::released) std::erase(live, outcome.contract);
+      result.statuses.push_back(outcome.status);
+      for (const auto& approval : outcome.approvals) {
+        result.approved.push_back(approval.approved.value());
+      }
     }
     // The delta-replay equivalence the service is built on: the maintained
     // residuals match a from-scratch rebuild of the commit history exactly.
     EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch())
         << "divergence after window " << step;
   }
-  return controller.residual_snapshot();
+  (void)controller.audit_fastpath();  // drain the deferred exact audit queue
+  result.fast = controller.fastpath_stats();
+  result.residuals = controller.residual_snapshot();
+  return result;
 }
 
 TEST(AdmissionService, IncrementalMatchesFromScratchUnderChurn) {
@@ -182,6 +214,101 @@ TEST(AdmissionService, IncrementalMatchesFromScratchUnderChurn) {
   const auto parallel = churn(topo, 4);
   // Thread count must not change a single bit of the risk state.
   EXPECT_EQ(serial, parallel);
+}
+
+// Decision equivalence for the two-tier fast path: the same churn stream
+// must produce the same verdicts, the same approved rates and bit-identical
+// residual state with the fast path on as exact-only — at 1 and N threads —
+// and the deferred exact audit must find ZERO bound violations.
+TEST(AdmissionService, FastPathChurnMatchesExactOnlyDecisions) {
+  const topology::Topology topo = topology::figure6_topology();
+  const auto exact_serial = churn(topo, 1, /*fastpath=*/false);
+  const auto fast_serial = churn(topo, 1, /*fastpath=*/true);
+  const auto fast_parallel = churn(topo, 4, /*fastpath=*/true);
+
+  EXPECT_EQ(fast_serial, exact_serial);
+  EXPECT_EQ(fast_parallel, exact_serial);
+
+  // The run must actually exercise the fast tier, not vacuously match: some
+  // windows fast-admit (and are audited) while release/resize windows and
+  // borderline admits go exact.
+  EXPECT_GT(fast_serial.fast.hits, 0u);
+  EXPECT_GT(fast_serial.fast.audited, 0u);
+  EXPECT_EQ(fast_serial.fast.violations, 0u);
+  EXPECT_EQ(fast_parallel.fast.violations, 0u);
+  // Every audited window was recorded and drained.
+  EXPECT_EQ(fast_serial.fast.audited, fast_parallel.fast.audited);
+  // Exact-only runs never consult the estimator.
+  EXPECT_EQ(exact_serial.fast.hits, 0u);
+  EXPECT_EQ(exact_serial.fast.audited, 0u);
+}
+
+/// Reference summaries: one freshly built estimator per realization over the
+/// controller's current residual snapshot. The maintained summaries must
+/// equal this after EVERY kind of window.
+std::vector<std::vector<double>> fresh_headroom(const AdmissionController& controller,
+                                                const topology::Topology& topo) {
+  const AdmissionController::ResidualState residuals = controller.residual_snapshot();
+  std::vector<std::vector<double>> out;
+  out.reserve(residuals.size());
+  for (const auto& realization : residuals) {
+    risk::FastEstimator fast(topo, controller.scenarios());
+    fast.rebuild(realization);
+    out.emplace_back(fast.headroom().begin(), fast.headroom().end());
+  }
+  return out;
+}
+
+// Summary maintenance edge cases: the headroom summaries must match a fresh
+// rebuild after a release that empties a realization, after a resize-down,
+// and through the empty-set / single-contract / everything-dirty rebuild
+// paths. A stale summary would silently turn the bound optimistic.
+TEST(AdmissionService, FastPathSummariesStayFreshAcrossChurnEdgeCases) {
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionConfig config = small_config(23);
+  config.approval.fastpath.enabled = true;
+  config.approval.slo_availability = 0.995;  // clearable by the union bound
+  AdmissionController controller(topo, config);
+
+  // Empty-set path: summaries of the pristine state.
+  EXPECT_EQ(controller.fastpath_headroom_snapshot(), fresh_headroom(controller, topo));
+
+  // Single-contract admit (refresh_links path).
+  const auto first = controller.admit(NpgId(1), "a", hose_pair(1, QosClass::c1_low, 0, 2, 60.0));
+  ASSERT_EQ(first.status, AdmissionStatus::admitted);
+  EXPECT_EQ(controller.fastpath_headroom_snapshot(), fresh_headroom(controller, topo));
+
+  // Second contract, then resize the first DOWN (full-rebuild path; the
+  // rebuilt residuals are larger than before on the shrunk links).
+  const auto second = controller.admit(NpgId(2), "b", hose_pair(2, QosClass::c2_low, 1, 4, 80.0));
+  ASSERT_EQ(second.status, AdmissionStatus::admitted);
+  const auto shrunk = controller.resize(first.contract, hose_pair(1, QosClass::c1_low, 0, 2, 15.0));
+  ASSERT_EQ(shrunk.status, AdmissionStatus::resized);
+  EXPECT_EQ(controller.fastpath_headroom_snapshot(), fresh_headroom(controller, topo));
+
+  // Release down to one contract, then to none: the release that empties a
+  // realization must leave summaries equal to the pristine rebuild.
+  ASSERT_EQ(controller.release(second.contract).status, AdmissionStatus::released);
+  EXPECT_EQ(controller.fastpath_headroom_snapshot(), fresh_headroom(controller, topo));
+  ASSERT_EQ(controller.release(first.contract).status, AdmissionStatus::released);
+  EXPECT_EQ(controller.admitted_count(), 0u);
+  EXPECT_EQ(controller.fastpath_headroom_snapshot(), fresh_headroom(controller, topo));
+
+  // Everything-dirty path: one window admitting several contracts touching
+  // most of the topology, committed incrementally.
+  std::vector<AdmissionRequest> window;
+  for (std::uint32_t npg = 10; npg < 15; ++npg) {
+    window.push_back(
+        admit_request(npg, hose_pair(npg, QosClass::c2_low, npg % 5, (npg + 2) % 5, 45.0)));
+  }
+  for (const auto& outcome : run_window(controller, std::move(window))) {
+    EXPECT_EQ(outcome.status, AdmissionStatus::admitted);
+  }
+  EXPECT_EQ(controller.fastpath_headroom_snapshot(), fresh_headroom(controller, topo));
+
+  (void)controller.audit_fastpath();
+  EXPECT_GT(controller.fastpath_stats().audited, 0u);
+  EXPECT_EQ(controller.fastpath_stats().violations, 0u);
 }
 
 TEST(AdmissionService, RejectionAttachesCounterProposals) {
@@ -304,6 +431,46 @@ TEST(AdmissionService, BackgroundConcurrentSubmissions) {
   EXPECT_EQ(admitted, static_cast<std::size_t>(kThreads * kPerThread));
   EXPECT_EQ(controller.admitted_count(), admitted);
   EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch());
+}
+
+// Background mode with the fast path on: the worker thread takes fast-tier
+// decisions, enqueues audit records and drains them while idle, racing
+// concurrent submitters and the final flush. (Run under
+// -DNETENT_SANITIZE=thread via the tsan label.)
+TEST(AdmissionService, BackgroundFastPathAuditsConcurrently) {
+  const topology::Topology topo = topology::figure6_topology();
+  AdmissionConfig config = small_config(31);
+  config.background = true;
+  config.batch_window_seconds = 0.002;
+  config.approval.fastpath.enabled = true;
+  config.approval.slo_availability = 0.995;  // clearable by the union bound
+  {
+    AdmissionController controller(topo, config);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 3;
+    std::vector<std::thread> submitters;
+    std::vector<std::future<AdmissionOutcome>> futures(kThreads * kPerThread);
+    for (int t = 0; t < kThreads; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          const std::uint32_t npg = static_cast<std::uint32_t>(1 + t * kPerThread + i);
+          futures[static_cast<std::size_t>(t * kPerThread + i)] = controller.submit(
+              admit_request(npg, hose_pair(npg, QosClass::c2_low, npg % 5, (npg + 2) % 5, 10.0)));
+        }
+      });
+    }
+    for (std::thread& submitter : submitters) submitter.join();
+    controller.flush();
+    for (auto& future : futures) {
+      EXPECT_EQ(future.get().status, AdmissionStatus::admitted);
+    }
+    EXPECT_EQ(controller.residual_snapshot(), controller.rebuild_residuals_from_scratch());
+    EXPECT_EQ(controller.fastpath_headroom_snapshot(), fresh_headroom(controller, topo));
+    (void)controller.audit_fastpath();  // whatever the worker has not drained
+    const auto stats = controller.fastpath_stats();
+    EXPECT_GT(stats.hits + stats.fallbacks, 0u);
+    EXPECT_EQ(stats.violations, 0u);
+  }  // destructor drains any remaining audit records
 }
 
 TEST(AdmissionService, MetricsRecordedWhenObsEnabled) {
