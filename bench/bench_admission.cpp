@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 #include <vector>
 
 #include "approval/approval.h"
@@ -271,9 +272,101 @@ int main(int argc, char** argv) {
   json.add("fastpath_audit_clean", two_tier.stats.violations == 0);
   json.add("fastpath_decisions_identical", decisions_identical);
 
+  // --- Sharded admission plane: the identical request stream replayed at
+  // 1/2/4/8 shard workers (service/sharded_admission.h). Each window's
+  // realizations fan out across shard-owned routers and are merged in
+  // ascending realization order, so verdicts, approved rates and residual
+  // state must be bit-identical at every shard count; wall-clock should
+  // scale with available cores.
+  print_header("BENCH admission (sharded)",
+               "Per-realization shard fan-out at 1/2/4/8 shards: decisions must "
+               "be bit-identical to the 1-shard run; wall-clock scales with "
+               "cores.");
+
+  service::AdmissionConfig shard_base = tier_base;
+  shard_base.approval.realizations = smoke ? 4 : 8;  // enough sub-windows to fan out
+  const std::size_t shard_contracts = smoke ? 100 : 200;
+  const std::size_t shard_reps = smoke ? 2 : 3;
+
+  struct ShardRunResult {
+    double ms = 0.0;
+    std::vector<double> approved;  // per hose, stream order
+    service::AdmissionController::ResidualState residuals;
+  };
+  // Best-of-N identical streams per shard count (fresh controller, same seed
+  // and request stream each rep).
+  const auto run_sharded = [&](std::size_t shards) {
+    ShardRunResult result;
+    for (std::size_t rep = 0; rep < shard_reps; ++rep) {
+      service::AdmissionConfig cfg = shard_base;
+      cfg.exec.shards = shards;
+      service::AdmissionController ctl(net, cfg);
+      Rng stream_rng(kSeed + 11);
+      std::vector<double> approved;
+      const auto start = std::chrono::steady_clock::now();
+      for (std::size_t i = 0; i < shard_contracts; ++i) {
+        const auto npg = static_cast<std::uint32_t>(i + 1);
+        const auto outcome = ctl.admit(NpgId(npg), "shard" + std::to_string(npg),
+                                       contract_hoses(npg, stream_rng, net.region_count()));
+        for (const auto& approval : outcome.approvals) {
+          approved.push_back(approval.approved.value());
+        }
+      }
+      const double ms = ms_since(start);
+      if (rep == 0 || ms < result.ms) result.ms = ms;
+      result.approved = std::move(approved);
+      result.residuals = ctl.residual_snapshot();
+    }
+    return result;
+  };
+
+  const std::vector<std::size_t> shard_counts{1, 2, 4, 8};
+  Table shard_table({"shards", "stream_ms", "req_per_s", "speedup_vs_1", "identical"}, 2);
+  ShardRunResult shard_reference;
+  bool shard_identical = true;
+  double shard_4_speedup = 0.0;
+  for (const std::size_t shards : shard_counts) {
+    const ShardRunResult run = run_sharded(shards);
+    const bool identical =
+        shards == 1 || (run.approved == shard_reference.approved &&
+                        run.residuals == shard_reference.residuals);
+    if (shards == 1) shard_reference = run;
+    shard_identical = shard_identical && identical;
+    const double speedup = run.ms > 0.0 ? shard_reference.ms / run.ms : 0.0;
+    if (shards == 4) shard_4_speedup = speedup;
+    const double req_per_s =
+        run.ms > 0.0 ? 1000.0 * static_cast<double>(shard_contracts) / run.ms : 0.0;
+    shard_table.add_row({static_cast<double>(shards), run.ms, req_per_s, speedup,
+                         identical ? 1.0 : 0.0});
+    const std::string prefix = "shard_" + std::to_string(shards) + "_";
+    json.add(prefix + "ms", run.ms);
+    json.add(prefix + "req_per_s", req_per_s);
+    json.add(prefix + "speedup", speedup);
+  }
+  shard_table.print(std::cout);
+
+  // The >= 2x-at-4-shards gate is a statement about parallel hardware: on
+  // boxes with fewer than 4 cores the fan-out cannot buy wall-clock, so the
+  // gate reports the core count and passes (decisions equality still gates
+  // unconditionally).
+  const unsigned cores = std::thread::hardware_concurrency();
+  const bool shard_perf_ok = shard_4_speedup >= 2.0 || cores < 4;
+  std::cout << "\nsharded decisions identical to 1-shard run: "
+            << (shard_identical ? "yes" : "NO") << '\n';
+  std::cout << "shard_speedup_2x_at_4: " << (shard_4_speedup >= 2.0 ? "true" : "false") << " ("
+            << shard_4_speedup << "x on " << cores << " cores)\n";
+
+  json.add("shard_contracts", static_cast<std::uint64_t>(shard_contracts));
+  json.add("shard_4_speedup", shard_4_speedup);
+  json.add("shard_speedup_2x_at_4", shard_4_speedup >= 2.0);
+  json.add("shard_hardware_cores", static_cast<std::uint64_t>(cores));
+  json.add("shard_decisions_identical", shard_identical);
+  json.add("shard_perf_ok", shard_perf_ok);
+
   maybe_write_bench_json(argc, argv, json);
   maybe_dump_metrics(argc, argv);
   const bool tier_ok = tier_speedup >= 2.0 && hit_rate >= 0.70 &&
                        two_tier.stats.violations == 0 && decisions_identical;
-  return exact && speedup_at_1000 >= 2.0 && tier_ok ? 0 : 1;
+  const bool shard_ok = shard_identical && shard_perf_ok;
+  return exact && speedup_at_1000 >= 2.0 && tier_ok && shard_ok ? 0 : 1;
 }

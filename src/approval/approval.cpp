@@ -117,6 +117,12 @@ std::vector<std::size_t> ApprovalEngine::placement_order(
 std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval_with(
     std::span<const PipeRequest> pipes, const CurveProvider& curves_for,
     const risk::FastEstimator* fast, FastPassResult* fast_out) const {
+  return pipe_approval_on(router_, pipes, curves_for, fast, fast_out);
+}
+
+std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval_on(
+    topology::Router& router, std::span<const PipeRequest> pipes, const CurveProvider& curves_for,
+    const risk::FastEstimator* fast, FastPassResult* fast_out) const {
   std::vector<PipeApprovalResult> results(pipes.size());
   for (std::size_t i = 0; i < pipes.size(); ++i) results[i].request = pipes[i];
   if (fast_out != nullptr) *fast_out = {};
@@ -139,14 +145,14 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval_with(
   // since each bound is a lower bound on the exact availability at that
   // rate — and skips the sweep entirely.
   if (fast != nullptr && config_.fastpath.enabled) {
-    router_.warm(demands);  // fast hits still commit/audit via cached paths
+    router.warm(demands);  // fast hits still commit/audit via cached paths
     const double need = config_.slo_availability + config_.fastpath.slo_margin;
     std::vector<double> consumed(fast->link_count(), 0.0);
     std::vector<double> bounds;
     bounds.reserve(demands.size());
     bool cleared = true;
     for (const Demand& demand : demands) {
-      const std::vector<topology::Path>* paths = router_.cached_paths(demand.src, demand.dst);
+      const std::vector<topology::Path>* paths = router.cached_paths(demand.src, demand.dst);
       const double bound =
           paths == nullptr ? 0.0 : fast->bound(demand.amount.value(), *paths, consumed);
       if (bound < need) {
@@ -234,6 +240,19 @@ std::vector<HoseApprovalResult> ApprovalEngine::hose_approval_with(
     std::span<const HoseRequest> hoses, std::span<const GroupSegments> segments, Rng& rng,
     const PipeAssessor& assess) const {
   NETENT_EXPECTS(!hoses.empty());
+  const RealizationPipes drawn = draw_realizations(hoses, segments, rng);
+  std::vector<std::vector<PipeApprovalResult>> assessed(drawn.size());
+  for (std::size_t k = 0; k < drawn.size(); ++k) {
+    if (drawn[k].empty()) continue;
+    assessed[k] = assess(k, drawn[k]);
+    NETENT_ENSURES(assessed[k].size() == drawn[k].size());
+  }
+  return aggregate_realizations(hoses, drawn, assessed);
+}
+
+ApprovalEngine::RealizationPipes ApprovalEngine::draw_realizations(
+    std::span<const HoseRequest> hoses, std::span<const GroupSegments> segments, Rng& rng) const {
+  NETENT_EXPECTS(!hoses.empty());
   const std::size_t n = router_.topo().region_count();
 
   // Group hoses into per-(NPG, QoS) spaces.
@@ -257,18 +276,10 @@ std::vector<HoseApprovalResult> ApprovalEngine::hose_approval_with(
     side[hose.region.value()] += hose.rate.value();
   }
 
-  // Per-hose approval fraction, aggregated as min over realizations of the
-  // fraction of the realization's demand on that hose that met the SLO.
-  // (Using fractions rather than absolute sums keeps realizations in which a
-  // hose happens to be lightly used from understating its guarantee.)
-  std::map<std::tuple<std::uint32_t, QosClass, std::uint32_t, Direction>, double> fraction;
-  for (const HoseRequest& hose : hoses) {
-    fraction[{hose.npg.value(), hose.qos, hose.region.value(), hose.direction}] = 1.0;
-  }
-
+  RealizationPipes drawn(config_.realizations);
   for (std::size_t k = 0; k < config_.realizations; ++k) {
     // GEN_DEMAND: one representative realization per group.
-    std::vector<PipeRequest> pipes;
+    std::vector<PipeRequest>& pipes = drawn[k];
     for (auto& [key, group] : groups) {
       hose::HoseSpace space(group.egress, group.ingress);
       for (const GroupSegments& gs : segments) {
@@ -281,9 +292,32 @@ std::vector<HoseApprovalResult> ApprovalEngine::hose_approval_with(
         pipes.push_back(PipeRequest{group.npg, group.qos, demand.src, demand.dst, demand.amount});
       }
     }
-    if (pipes.empty()) continue;
-    const auto pipe_results = assess(k, pipes);
-    NETENT_ENSURES(pipe_results.size() == pipes.size());
+  }
+  return drawn;
+}
+
+std::vector<HoseApprovalResult> ApprovalEngine::aggregate_realizations(
+    std::span<const HoseRequest> hoses, const RealizationPipes& realization_pipes,
+    std::span<const std::vector<PipeApprovalResult>> per_realization) const {
+  NETENT_EXPECTS(!hoses.empty());
+  NETENT_EXPECTS(per_realization.size() == realization_pipes.size());
+
+  // Per-hose approval fraction, aggregated as min over realizations of the
+  // fraction of the realization's demand on that hose that met the SLO.
+  // (Using fractions rather than absolute sums keeps realizations in which a
+  // hose happens to be lightly used from understating its guarantee.)
+  std::map<std::tuple<std::uint32_t, QosClass, std::uint32_t, Direction>, double> fraction;
+  for (const HoseRequest& hose : hoses) {
+    fraction[{hose.npg.value(), hose.qos, hose.region.value(), hose.direction}] = 1.0;
+  }
+
+  // Ascending realization order, always: min() commutes, but folding in a
+  // fixed order keeps the floating-point story boring — results are
+  // byte-comparable no matter where the assessments ran.
+  for (std::size_t k = 0; k < realization_pipes.size(); ++k) {
+    if (realization_pipes[k].empty()) continue;
+    const std::vector<PipeApprovalResult>& pipe_results = per_realization[k];
+    NETENT_EXPECTS(pipe_results.size() == realization_pipes[k].size());
 
     // Aggregate this realization: requested and approved per hose.
     std::map<std::tuple<std::uint32_t, QosClass, std::uint32_t, Direction>,

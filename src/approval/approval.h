@@ -127,6 +127,18 @@ class ApprovalEngine {
       std::span<const hose::PipeRequest> pipes, const CurveProvider& curves_for,
       const risk::FastEstimator* fast = nullptr, FastPassResult* fast_out = nullptr) const;
 
+  /// As pipe_approval_with, but warming (fast tier) through a
+  /// caller-supplied router instead of the engine's own. The sharded
+  /// admission plane runs one of these per shard worker concurrently: every
+  /// shard owns a private Router whose deterministic k-shortest-path cache
+  /// is identical to the engine router's, so results are bit-identical to
+  /// the engine-router call while the engine's router stays untouched by
+  /// the workers. `curves_for` must route through the same `router`.
+  [[nodiscard]] std::vector<PipeApprovalResult> pipe_approval_on(
+      topology::Router& router, std::span<const hose::PipeRequest> pipes,
+      const CurveProvider& curves_for, const risk::FastEstimator* fast = nullptr,
+      FastPassResult* fast_out = nullptr) const;
+
   /// Per-realization assessor extension point for hose_approval_with:
   /// receives the realization index and that realization's pipes (all
   /// groups, input order) and returns their approvals in input order.
@@ -160,10 +172,39 @@ class ApprovalEngine {
   /// the min-over-realizations aggregation are identical to hose_approval;
   /// only the per-realization PIPE_APPROVAL call is delegated, so a window
   /// assessed against untouched residual capacity approves bit-identically
-  /// to hose_approval on the same set.
+  /// to hose_approval on the same set. Implemented as draw_realizations →
+  /// assess each realization in ascending order → aggregate_realizations.
   [[nodiscard]] std::vector<HoseApprovalResult> hose_approval_with(
       std::span<const hose::HoseRequest> hoses, std::span<const GroupSegments> segments, Rng& rng,
       const PipeAssessor& assess) const;
+
+  /// One drawn traffic realization per index: the pipes of realization k,
+  /// in group iteration order (the input order hose_approval assesses).
+  /// An entry may be empty (a degenerate hose set draws no pipes).
+  using RealizationPipes = std::vector<std::vector<hose::PipeRequest>>;
+
+  /// The GEN_DEMAND half of HOSE_APPROVAL, split out so callers can assess
+  /// the realizations elsewhere (the sharded admission plane fans them out
+  /// across shard workers): draws `config().realizations` representative
+  /// pipe sets from the hoses' (NPG, QoS) spaces, consuming exactly the RNG
+  /// stream hose_approval would — realization 0 samples, later ones take
+  /// extreme points. The assessment MUST NOT consume engine RNG state, so
+  /// drawing everything up front is stream-identical to the interleaved
+  /// loop.
+  [[nodiscard]] RealizationPipes draw_realizations(std::span<const hose::HoseRequest> hoses,
+                                                   std::span<const GroupSegments> segments,
+                                                   Rng& rng) const;
+
+  /// The aggregation half of HOSE_APPROVAL: folds per-realization pipe
+  /// approvals (`per_realization[k]` in the order of `realization_pipes[k]`,
+  /// empty-pipe realizations skipped) into per-hose approved rates as
+  /// min-over-realizations of per-hose approved/requested fractions, in
+  /// ascending realization order — the deterministic cross-shard merge.
+  /// draw + per-realization assess + aggregate is bit-identical to one
+  /// hose_approval_with call, at any partition of the assessments.
+  [[nodiscard]] std::vector<HoseApprovalResult> aggregate_realizations(
+      std::span<const hose::HoseRequest> hoses, const RealizationPipes& realization_pipes,
+      std::span<const std::vector<PipeApprovalResult>> per_realization) const;
 
   [[nodiscard]] const ApprovalConfig& config() const { return config_; }
 

@@ -23,6 +23,14 @@ struct ExecConfig {
   /// keeps existing callers working unchanged; when set, this wins.
   std::optional<std::size_t> threads;
 
+  /// Shard workers for consumers that partition work across independent
+  /// shard-owned state (the admission plane partitions realizations across
+  /// shard workers, each owning its own warmed router and estimator state).
+  /// Unset or <= 1 keeps the single-shard in-place path. Orthogonal to
+  /// `threads`, which sizes the fan-out pools *inside* one unit of work.
+  /// Results are bit-identical at any shard count.
+  std::optional<std::size_t> shards;
+
   /// Effective thread count given the consumer's legacy field (clamped to
   /// >= 1).
   [[nodiscard]] std::size_t resolve(std::size_t legacy_fallback) const {
@@ -33,6 +41,11 @@ struct ExecConfig {
   /// the hardware concurrency.
   [[nodiscard]] std::size_t resolve() const {
     return resolve(ThreadPool::default_thread_count());
+  }
+
+  /// Effective shard count (clamped to >= 1; unset means 1 — no sharding).
+  [[nodiscard]] std::size_t resolve_shards() const {
+    return std::max<std::size_t>(1, shards.value_or(1));
   }
 };
 

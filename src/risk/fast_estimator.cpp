@@ -17,12 +17,11 @@ FastEstimator::FastEstimator(const topology::Topology& topo,
   link_srlg_.reserve(topo.link_count());
   for (const topology::Link& link : topo.links()) link_srlg_.push_back(link.srlg);
   headroom_.assign(topo.link_count(), kInf);
-  srlg_hit_mass_.assign(topo.srlg_count(), 0.0);
-  for (const FailureScenario& scenario : scenarios_) {
-    total_mass_ += scenario.probability;
-    for (const SrlgId down : scenario.down) {
-      NETENT_EXPECTS(down.value() < srlg_hit_mass_.size());
-      srlg_hit_mass_[down.value()] += scenario.probability;
+  srlg_scenarios_.resize(topo.srlg_count());
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    total_mass_ += scenarios_[s].probability;
+    for (const SrlgId srlg : scenarios_[s].down) {
+      srlg_scenarios_[srlg.value()].push_back(static_cast<std::uint32_t>(s));
     }
   }
 }
@@ -51,8 +50,8 @@ void FastEstimator::rebuild_pristine(std::span<const double> base_capacity) {
   // scenario_capacities() only zeroes DEAD links, so for every scenario in
   // which a link is alive its residual equals the base capacity — the
   // alive-scenario min is the base capacity itself. (Links alive in no
-  // scenario keep +inf, matching rebuild(); their SRLG hit mass already
-  // drives any bound through them to zero.)
+  // scenario keep +inf, matching rebuild(); a path through one is dead in
+  // every scenario, so the bound's scenario scan never counts it.)
   NETENT_EXPECTS(base_capacity.size() == headroom_.size());
   for (std::size_t l = 0; l < headroom_.size(); ++l) {
     bool alive_somewhere = false;
@@ -85,25 +84,65 @@ double FastEstimator::bound(double amount_gbps, std::span<const topology::Path> 
                             std::span<const double> window_consumed) const {
   if (paths.empty() || paths[0].empty()) return 0.0;
   if (amount_gbps < kMinRateGbps) return 0.0;
-  const topology::Path& first = paths[0];
 
-  // (1) Prove the first path's bottleneck clears the rate in every scenario
-  // that leaves the path up, with slack against window-charge rounding.
-  for (const LinkId link : first.links) {
-    double room = headroom_[link.value()];
-    if (!window_consumed.empty()) room -= window_consumed[link.value()];
-    if (room < amount_gbps + kHeadroomSlackGbps) return 0.0;
+  // cleared[p]: path p's summarized bottleneck (minus the window's
+  // worst-case charges) carries the rate with slack against charge
+  // rounding — in every scenario leaving p alive, the fill-time residual of
+  // each link is at least headroom - consumed. An empty path can never
+  // prove a placement.
+  std::vector<char> cleared(paths.size(), 0);
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    if (paths[p].empty()) continue;
+    bool ok = true;
+    for (const LinkId link : paths[p].links) {
+      double room = headroom_[link.value()];
+      if (!window_consumed.empty()) room -= window_consumed[link.value()];
+      if (room < amount_gbps + kHeadroomSlackGbps) {
+        ok = false;
+        break;
+      }
+    }
+    cleared[p] = ok ? 1 : 0;
   }
 
-  // (2) Union-bound the mass of scenarios taking the first path down.
-  std::vector<SrlgId> srlgs;
-  srlgs.reserve(first.links.size());
-  for (const LinkId link : first.links) srlgs.push_back(link_srlg_[link.value()]);
-  std::sort(srlgs.begin(), srlgs.end());
-  srlgs.erase(std::unique(srlgs.begin(), srlgs.end()), srlgs.end());
-  double dead_mass = 0.0;
-  for (const SrlgId srlg : srlgs) dead_mass += srlg_hit_mass_[srlg.value()];
-  return std::max(0.0, total_mass_ - dead_mass);
+  // Scenario scan: under s, every candidate path in front of the first
+  // fully-alive one has a dead link (residual 0), so water-filling skips it
+  // placing nothing and the full rate reaches the first alive path. If that
+  // path is cleared the demand is provably served in full under s. An empty
+  // path is vacuously alive but never cleared, so it (soundly) blocks every
+  // path behind it.
+  //
+  // A scenario that downs no SRLG of any candidate path leaves every path
+  // alive, so path 0 decides it wholesale. Start from that assumption and
+  // correct only the scenarios indexed under the paths' SRLGs — the scan
+  // stays O(path links + affected scenarios) instead of O(all scenarios).
+  double mass = cleared[0] ? total_mass_ : 0.0;
+  std::vector<std::uint32_t> affected;
+  for (const topology::Path& path : paths) {
+    for (const LinkId link : path.links) {
+      const std::vector<std::uint32_t>& hits = srlg_scenarios_[link_srlg_[link.value()].value()];
+      affected.insert(affected.end(), hits.begin(), hits.end());
+    }
+  }
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()), affected.end());
+  for (const std::uint32_t s : affected) {
+    const FailureScenario& scenario = scenarios_[s];
+    if (cleared[0]) mass -= scenario.probability;  // undo the assumption
+    for (std::size_t p = 0; p < paths.size(); ++p) {
+      bool alive = true;
+      for (const LinkId link : paths[p].links) {
+        if (!link_alive(link, scenario)) {
+          alive = false;
+          break;
+        }
+      }
+      if (!alive) continue;  // a dead link: the fill places nothing here
+      if (cleared[p]) mass += scenario.probability;
+      break;  // first alive path decides the scenario either way
+    }
+  }
+  return mass;
 }
 
 void FastEstimator::charge(double amount_gbps, std::span<const topology::Path> paths,

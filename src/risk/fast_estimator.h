@@ -13,27 +13,35 @@
 //     headroom[L] = min over scenarios s with L alive under s
 //                   of residual_s[L]
 //
-// plus the per-SRLG hit mass  mass_hit[g] = sum of p(s) over scenarios with
-// g in s's down-set. For a demand of rate r whose first candidate path is
-// P1 (the path water-filling fills first), two facts give a sound bound:
+// plus a CLEARED predicate per candidate path P:
 //
-//   1. If min over links L of P1 of (headroom[L] - window_consumed[L]) >= r
-//      then in EVERY scenario that leaves all of P1's SRLGs up, the joint
-//      water-fill places the demand in full on P1 (the fill caps the first
-//      path at its bottleneck residual, which is >= r).
-//   2. The probability mass of scenarios leaving P1 up is at least
-//      total_mass - sum over SRLGs g crossed by P1 of mass_hit[g]
-//      (a union bound: never optimistic, exact for single-failure sets).
+//     cleared(P) = min over links L of P of
+//                  (headroom[L] - window_consumed[L]) >= r + slack
 //
-// So  bound(r, P1) = total_mass - sum mass_hit[g]  when (1) holds, else 0.
-// The bound is NEVER above the exact per-pipe availability (the property
-// suite in tests/test_fast_estimator.cpp pins this across >= 1k randomized
-// draws), so a bound clearing the SLO (plus a configurable margin) admits
-// immediately and bit-identically to the exact tier; anything borderline
-// falls back to the exact sweep. `window_consumed` accounts for earlier
-// demands of the same jointly-evaluated window: each fast-admitted demand is
-// charged at its full rate against every link of every candidate path it
-// could spill onto, which upper-bounds its consumption under any scenario.
+// For a demand of rate r the bound scans the enumerated scenarios: under
+// scenario s, every candidate path in front of the first FULLY-ALIVE path
+// (no link SRLG in s's down-set) contains a dead link, whose residual is 0
+// under s — water-filling skips such a path placing nothing, so the fill
+// reaches the first alive path with the full rate r still unplaced. If that
+// path is cleared(), its fill-time bottleneck is at least
+// headroom - window_consumed >= r + slack on every link, so the fill places
+// exactly r there: the demand is served in full under s, and p(s) is added
+// to the bound. Scenarios whose first alive path is uncleared (or that
+// leave no candidate path alive) contribute nothing — never optimistic.
+//
+// This multi-path scan strictly dominates the first-path-only union bound
+// it replaced (every scenario the old bound counted has the first path
+// alive and cleared), so demands whose shortest path crosses a
+// high-unavailability fiber can still clear a tight SLO through a reliable
+// backup path. The bound is NEVER above the exact per-pipe availability
+// (the property suite in tests/test_fast_estimator.cpp pins this across
+// >= 1k randomized draws), so a bound clearing the SLO (plus a
+// configurable margin) admits immediately and bit-identically to the exact
+// tier; anything borderline falls back to the exact sweep.
+// `window_consumed` accounts for earlier demands of the same
+// jointly-evaluated window: each fast-admitted demand is charged at its
+// full rate against every link of every candidate path it could spill
+// onto, which upper-bounds its consumption under any scenario.
 //
 // Summaries are maintained alongside the residual state they summarize:
 // rebuild() after a from-scratch residual rebuild (release / resize
@@ -90,10 +98,11 @@ class FastEstimator {
                      std::span<const std::vector<double>> scenario_residuals);
 
   /// The conservative availability lower bound for placing `amount_gbps` on
-  /// `paths` (only the first candidate path is used — the one water-filling
-  /// fills first). `window_consumed` (empty, or indexed by LinkId) holds the
-  /// worst-case Gbps already promised to earlier demands of the same joint
-  /// window. Returns 0 when full placement on the first path cannot be
+  /// `paths`: the summed probability of enumerated scenarios under which the
+  /// first fully-alive candidate path provably carries the demand in full
+  /// (see the file comment). `window_consumed` (empty, or indexed by LinkId)
+  /// holds the worst-case Gbps already promised to earlier demands of the
+  /// same joint window. Returns 0 when no scenario's placement can be
   /// proven — the caller falls back to the exact sweep.
   [[nodiscard]] double bound(double amount_gbps, std::span<const topology::Path> paths,
                              std::span<const double> window_consumed) const;
@@ -124,9 +133,13 @@ class FastEstimator {
   [[nodiscard]] bool link_alive(LinkId link, const FailureScenario& scenario) const;
 
   std::span<const FailureScenario> scenarios_;
-  std::vector<SrlgId> link_srlg_;       ///< SRLG of each link, by LinkId
-  std::vector<double> headroom_;        ///< min alive-scenario residual, by LinkId
-  std::vector<double> srlg_hit_mass_;   ///< scenario mass containing the SRLG
+  std::vector<SrlgId> link_srlg_;  ///< SRLG of each link, by LinkId
+  /// Scenario indices downing each SRLG, by SrlgId. bound()'s scenario scan
+  /// only visits scenarios that hit a candidate-path SRLG — every other
+  /// scenario leaves all paths alive and is decided by path 0 wholesale —
+  /// keeping the fast tier O(path links + affected scenarios) per demand.
+  std::vector<std::vector<std::uint32_t>> srlg_scenarios_;
+  std::vector<double> headroom_;   ///< min alive-scenario residual, by LinkId
   double total_mass_ = 0.0;
 };
 

@@ -38,6 +38,10 @@ struct ServiceMetrics {
   obs::Counter& committed_demands = reg.counter("service.admission.committed_demands");
   obs::Counter& fastpath_audited = reg.counter("risk.fastpath.audited");
   obs::Counter& fastpath_audit_violations = reg.counter("risk.fastpath.audit_violations");
+  /// Sharded-mode fan-out accounting: sub-windows posted to shard workers
+  /// and deterministic cross-shard merges completed (one per window).
+  obs::Counter& shard_subwindows = reg.counter("service.admission.shard.subwindows");
+  obs::Counter& shard_merges = reg.counter("service.admission.shard.merges");
   obs::Histogram& window_size = reg.histogram("service.admission.window_size",
                                               std::array{1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0});
   obs::Histogram& latency_seconds = reg.timer_histogram("service.admission.latency_seconds");
@@ -68,7 +72,10 @@ AdmissionOutcome failed_outcome(ErrorCode code, std::string message) {
 AdmissionController::AdmissionController(const topology::Topology& topo, AdmissionConfig config)
     : config_(std::move(config)),
       threads_(config_.exec.resolve(config_.approval.sweep_threads())),
+      shards_(config_.exec.resolve_shards()),
       router_(topo, config_.router_paths),
+      pool_(shards_ > 1 ? std::make_unique<ShardPool>(topo, shards_, config_.router_paths)
+                        : nullptr),
       engine_(router_, with_threads(config_.approval, threads_)),
       negotiator_(router_, with_threads(config_.approval, threads_), config_.negotiation),
       base_capacity_(router_.full_capacities()),
@@ -76,6 +83,7 @@ AdmissionController::AdmissionController(const topology::Topology& topo, Admissi
   NETENT_EXPECTS(config_.batch_window_seconds >= 0.0);
   NETENT_EXPECTS(config_.admit_min_fraction >= 0.0 && config_.admit_min_fraction <= 1.0);
   config_.approval.exec.threads = threads_;  // config() reflects the resolution
+  config_.exec.shards = shards_;
   residual_ = residuals_of({});
   if (config_.approval.fastpath.enabled) {
     fast_.reserve(config_.approval.realizations);
@@ -420,7 +428,25 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
     // the streaming hot path. Windows with releases/resizes evaluate
     // against a rebuilt scratch state and always go exact.
     const bool fast_eligible = !fast_.empty() && eval_residual == &residual_;
-    const auto assess = [&](std::size_t k, std::span<const PipeRequest> pipes) {
+
+    // GEN_DEMAND on the coordinator: the single RNG consumer, so the stream
+    // is identical at every shard count.
+    const approval::ApprovalEngine::RealizationPipes drawn_pipes =
+        engine_.draw_realizations(window_hoses, {}, rng_);
+
+    // Everything one realization's assessment produces, confined to its
+    // shard worker until the ascending-order merge below.
+    struct RealizationOutcome {
+      std::vector<PipeApprovalResult> approvals;
+      approval::ApprovalEngine::FastPassResult fast_pass;
+      std::vector<LinkId> audit_links;
+      std::vector<double> audit_residuals;
+    };
+    std::vector<RealizationOutcome> sub(realizations);
+
+    const auto assess_realization = [&](std::size_t k, topology::Router& router) {
+      const std::span<const PipeRequest> pipes = drawn_pipes[k];
+      if (pipes.empty()) return;
       const std::vector<std::size_t> order = engine_.placement_order(pipes);
       std::vector<DrawnDemand>& record = drawn[k];
       record.clear();
@@ -429,48 +455,94 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
         record.push_back({Demand{pipes[p].src, pipes[p].dst, pipes[p].rate}, pipes[p].npg.value()});
       }
       const risk::FastEstimator* fast = fast_eligible ? &fast_[k] : nullptr;
-      approval::ApprovalEngine::FastPassResult fast_pass;
-      auto approvals = engine_.pipe_approval_with(
-          pipes,
+      RealizationOutcome& out = sub[k];
+      out.approvals = engine_.pipe_approval_on(
+          router, pipes,
           [&](std::span<const Demand> demands) {
-            return curves_against_residuals(*eval_residual, k, demands);
+            return curves_against_residuals(router, *eval_residual, k, demands);
           },
-          fast, &fast_pass);
-      if (fast_pass.hit) {
+          fast, &out.fast_pass);
+      if (out.fast_pass.hit && config_.approval.fastpath.audit) {
+        // Snapshot the state the bounds summarize — but only the links the
+        // audit replay's water-fill can read: the demands' candidate paths
+        // (the shard router's cache, warmed by the approval above, holds
+        // exactly the same deterministic paths as the main router's).
+        for (const DrawnDemand& d : record) {
+          const std::vector<topology::Path>* paths =
+              router.cached_paths(d.demand.src, d.demand.dst);
+          NETENT_EXPECTS(paths != nullptr);
+          for (const topology::Path& path : *paths) {
+            out.audit_links.insert(out.audit_links.end(), path.links.begin(), path.links.end());
+          }
+        }
+        std::sort(out.audit_links.begin(), out.audit_links.end());
+        out.audit_links.erase(std::unique(out.audit_links.begin(), out.audit_links.end()),
+                              out.audit_links.end());
+        out.audit_residuals.reserve(residual_[k].size() * out.audit_links.size());
+        for (const std::vector<double>& scenario_residual : residual_[k]) {
+          for (const LinkId link : out.audit_links) {
+            out.audit_residuals.push_back(scenario_residual[link.value()]);
+          }
+        }
+      }
+    };
+
+    if (pool_ == nullptr) {
+      for (std::size_t k = 0; k < realizations; ++k) assess_realization(k, router_);
+    } else {
+      // Fan the sub-windows out by realization (realization k on shard
+      // k % shards). Each realization's mutable state — drawn[k], sub[k],
+      // fast_[k], the shard's router — is touched by exactly one worker;
+      // residual_/eval_scratch are read-only during assessment; the futures
+      // join is the only synchronization needed.
+      std::vector<std::future<void>> futures;
+      futures.reserve(realizations);
+      for (std::size_t k = 0; k < realizations; ++k) {
+        const std::size_t shard = pool_->shard_of(k);
+        futures.push_back(pool_->post(
+            shard, [&assess_realization, this, k, shard] {
+              assess_realization(k, pool_->router(shard));
+            }));
+        m.shard_subwindows.add();
+      }
+      std::exception_ptr first_error;
+      for (std::future<void>& future : futures) {
+        try {
+          future.get();
+        } catch (...) {
+          // Keep joining: no worker may still reference this frame when the
+          // rethrow unwinds it (process_window fails the whole window).
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+      }
+      if (first_error != nullptr) std::rethrow_exception(first_error);
+    }
+
+    // Deterministic cross-shard merge, ascending realization order: the
+    // fast-path stats, the audit queue and the hose aggregation all fold
+    // exactly as the 1-shard serial loop would.
+    std::vector<std::vector<PipeApprovalResult>> assessed(realizations);
+    for (std::size_t k = 0; k < realizations; ++k) {
+      RealizationOutcome& out = sub[k];
+      assessed[k] = std::move(out.approvals);
+      if (out.fast_pass.hit) {
         ++fast_stats_.hits;
         if (config_.approval.fastpath.audit) {
           AuditRecord audit;
-          audit.demands.reserve(record.size());
-          for (const DrawnDemand& d : record) audit.demands.push_back(d.demand);
-          audit.bounds = std::move(fast_pass.bounds);
-          // Snapshot the state the bounds summarize — but only the links
-          // the replay's water-fill can read: the demands' candidate paths.
-          for (const DrawnDemand& d : record) {
-            const std::vector<topology::Path>* paths =
-                router_.cached_paths(d.demand.src, d.demand.dst);
-            NETENT_EXPECTS(paths != nullptr);
-            for (const topology::Path& path : *paths) {
-              audit.links.insert(audit.links.end(), path.links.begin(), path.links.end());
-            }
-          }
-          std::sort(audit.links.begin(), audit.links.end());
-          audit.links.erase(std::unique(audit.links.begin(), audit.links.end()),
-                            audit.links.end());
-          audit.residuals.reserve(residual_[k].size() * audit.links.size());
-          for (const std::vector<double>& scenario_residual : residual_[k]) {
-            for (const LinkId link : audit.links) {
-              audit.residuals.push_back(scenario_residual[link.value()]);
-            }
-          }
+          audit.demands.reserve(drawn[k].size());
+          for (const DrawnDemand& d : drawn[k]) audit.demands.push_back(d.demand);
+          audit.bounds = std::move(out.fast_pass.bounds);
+          audit.links = std::move(out.audit_links);
+          audit.residuals = std::move(out.audit_residuals);
           const std::lock_guard<std::mutex> audit_lock(audit_mutex_);
           audit_queue_.push_back(std::move(audit));
         }
-      } else if (fast_pass.attempted) {
+      } else if (out.fast_pass.attempted) {
         ++fast_stats_.fallbacks;
       }
-      return approvals;
-    };
-    results = engine_.hose_approval_with(window_hoses, {}, rng_, assess);
+    }
+    if (pool_ != nullptr) m.shard_merges.add();
+    results = engine_.aggregate_realizations(window_hoses, drawn_pipes, assessed);
   }
 
   // --- Phase 3: accept/reject each entry. ---------------------------------
@@ -519,6 +591,19 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
       batch.demands[k].push_back({d.demand, it->second});
       ++committed;
     }
+  }
+
+  if (pool_ != nullptr && committed > 0) {
+    // Sharded mode warmed this window's paths on the shard routers only;
+    // the commit/rebuild replays below read the MAIN router's cache. Warm it
+    // for the committed demands — deterministic KSP, so the paths equal the
+    // shards' (a no-op for anything already cached).
+    std::vector<Demand> to_warm;
+    to_warm.reserve(committed);
+    for (const auto& per_realization : batch.demands) {
+      for (const TaggedDemand& tagged : per_realization) to_warm.push_back(tagged.demand);
+    }
+    router_.warm(to_warm);
   }
 
   std::set<ContractId> final_removed = released_ids;
@@ -592,15 +677,16 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
 }
 
 std::vector<risk::AvailabilityCurve> AdmissionController::curves_against_residuals(
-    const ResidualState& residuals, std::size_t k, std::span<const Demand> demands) {
-  router_.warm(demands);
+    topology::Router& router, const ResidualState& residuals, std::size_t k,
+    std::span<const Demand> demands) {
+  router.warm(demands);
   const std::span<const risk::FailureScenario> scenarios = engine_.scenarios();
   const std::size_t scenario_count = scenarios.size();
   std::vector<std::vector<double>> placed(scenario_count);
   {
-    const topology::Router::SweepGuard guard(router_);
+    const topology::Router::SweepGuard guard(router);
     const auto run = [&](std::size_t s) {
-      placed[s] = router_.route_warmed(demands, residuals[k][s]).placed_per_demand;
+      placed[s] = router.route_warmed(demands, residuals[k][s]).placed_per_demand;
     };
     const std::size_t threads = fanout_threads(scenario_count);
     if (threads <= 1) {
@@ -743,6 +829,10 @@ bool AdmissionController::audit_one() {
   // state_mutex_ excludes concurrent path-cache warms; the replay itself is
   // the read-only warmed sweep.
   const std::lock_guard<std::mutex> lock(state_mutex_);
+  // A fast-hit realization of a window that was ultimately REJECTED never
+  // committed, so in sharded mode only its shard router warmed these pairs
+  // — warm the main router before the replay (a no-op when already cached).
+  router_.warm(record.demands);
   std::vector<double> exact(record.demands.size(), 0.0);
   {
     const topology::Router::SweepGuard guard(router_);

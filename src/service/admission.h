@@ -35,6 +35,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -50,6 +51,7 @@
 #include "core/contract_db.h"
 #include "hose/requests.h"
 #include "risk/fast_estimator.h"
+#include "service/sharded_admission.h"
 #include "topology/routing.h"
 #include "topology/topology.h"
 
@@ -105,8 +107,11 @@ struct AdmissionConfig {
   approval::ApprovalConfig approval;
   approval::NegotiationConfig negotiation;
   /// Execution resources for the per-(realization, scenario) fan-outs.
-  /// Unset falls back to `approval.sweep_threads()`. Results are
-  /// bit-identical for every thread count.
+  /// `exec.threads` (unset falls back to `approval.sweep_threads()`) sizes
+  /// the scenario-sweep pool; `exec.shards` > 1 additionally partitions each
+  /// window's realizations across that many shard workers, each owning a
+  /// private warmed Router (service/sharded_admission.h). Results are
+  /// bit-identical for every thread count AND every shard count.
   common::ExecConfig exec;
   std::size_t router_paths = 4;
   std::uint64_t seed = 1;  ///< drives realization drawing (deterministic)
@@ -245,10 +250,11 @@ class AdmissionController {
   bool audit_one();
 
   /// Availability curves for placement-ordered demands of realization `k`
-  /// against `residuals` (the incremental ASSESS_RISK). Warms the router for
-  /// the demand pairs, then sweeps the scenarios read-only.
+  /// against `residuals` (the incremental ASSESS_RISK). Warms `router` for
+  /// the demand pairs, then sweeps the scenarios read-only. Shard workers
+  /// pass their shard's private router; the serial path passes router_.
   [[nodiscard]] std::vector<risk::AvailabilityCurve> curves_against_residuals(
-      const ResidualState& residuals, std::size_t k,
+      topology::Router& router, const ResidualState& residuals, std::size_t k,
       std::span<const topology::Demand> demands);
   /// Replays `demands` into `residual` through water_fill_demand — the same
   /// call sequence for commit and rebuild, which is what keeps the two
@@ -262,7 +268,11 @@ class AdmissionController {
 
   AdmissionConfig config_;
   std::size_t threads_ = 1;
+  std::size_t shards_ = 1;
   topology::Router router_;
+  /// Shard workers for the per-realization fan-out; null when shards_ == 1
+  /// (the serial path assesses every realization on router_ in place).
+  std::unique_ptr<ShardPool> pool_;
   approval::ApprovalEngine engine_;
   approval::NegotiationEngine negotiator_;
   std::vector<double> base_capacity_;

@@ -1,0 +1,96 @@
+// The admission plane's shard workers (ROADMAP: "shard the admission plane
+// across realizations"). A ShardPool owns N long-lived workers; requests
+// hash to shards by realization id (`shard_of`), every shard owns its own
+// warmed topology::Router (and, through the jobs posted to it, exclusive
+// use of the controller's per-realization FastEstimator state), and each
+// worker is fed by a lock-free common::MpscQueue so any number of posting
+// threads never contend on a shared lock.
+//
+// Partition discipline. Work splits by REALIZATION first: realization k of
+// a window always runs on shard k % shards, so one realization's
+// assessment (its placement order, its residual reads, its fast-estimator
+// probes) is confined to exactly one worker — no cross-shard sharing of
+// mutable state, no locks inside the assessment. Within a realization the
+// scenario sweep may fan out further over the controller's ThreadPool
+// (scenario blocks), which is the second, inner partition axis.
+//
+// Determinism. Shard routers compute the same deterministic k-shortest
+// paths as the controller's main router (same topology, same k, same
+// tie-breaking), each realization's inputs are independent of where it
+// runs, and the coordinator joins all futures and merges per-realization
+// outputs in ascending realization order (approval::aggregate_realizations
+// — the PR 1 scenario-order merge discipline one level up). Decisions are
+// therefore bit-identical at any shard count; tests/test_admission_sharded
+// .cpp tortures this with randomized churn at 1/2/4/8 shards.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/mpsc_queue.h"
+#include "topology/routing.h"
+#include "topology/topology.h"
+
+namespace netent::service {
+
+class ShardPool {
+ public:
+  /// Spawns `shards` workers (clamped to >= 1), each owning a Router over
+  /// `topo` with `router_paths` candidate paths per pair.
+  ShardPool(const topology::Topology& topo, std::size_t shards, std::size_t router_paths);
+
+  /// Stops and joins every worker. Jobs still queued at destruction run to
+  /// completion first — the coordinator holds futures for everything it
+  /// posted, so in practice the queues are already drained.
+  ~ShardPool();
+
+  ShardPool(const ShardPool&) = delete;
+  ShardPool& operator=(const ShardPool&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// The partition function: realization k lives on shard k % shard_count.
+  [[nodiscard]] std::size_t shard_of(std::size_t realization) const {
+    return realization % shards_.size();
+  }
+
+  /// The shard's private router. Only the owning worker may use it while a
+  /// job for that shard is in flight; the coordinator may read it (e.g.
+  /// cached_paths) once every posted future has been joined.
+  [[nodiscard]] topology::Router& router(std::size_t shard) {
+    return shards_[shard]->router;
+  }
+
+  /// Enqueues `job` on `shard`'s lock-free queue and wakes the worker.
+  /// Thread-safe from any number of producers. The future resolves when the
+  /// job returns (or carries its exception).
+  std::future<void> post(std::size_t shard, std::function<void()> job);
+
+ private:
+  struct Shard {
+    explicit Shard(const topology::Topology& topo, std::size_t router_paths)
+        : router(topo, router_paths) {}
+
+    topology::Router router;
+    common::MpscQueue<std::packaged_task<void()>> queue;
+    /// Wakeup handshake only — the queue itself is lock-free. Producers
+    /// notify under the mutex after pushing; the worker re-checks the queue
+    /// depth under it before sleeping, so no wakeup is lost.
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool stopping = false;
+    std::thread worker;
+  };
+
+  void worker_loop(Shard& shard);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace netent::service

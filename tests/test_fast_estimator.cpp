@@ -341,6 +341,73 @@ TEST(FastEstimator, ChargeReservesEveryCandidatePath) {
   EXPECT_EQ(after, 0.0);
 }
 
+// The multi-path bound gap fix: scenarios that take down the FIRST candidate
+// path but leave a cleared later path fully alive must count toward the
+// bound — the water-fill places nothing on a path with a dead link, so the
+// first fully-alive cleared path provably carries the demand. A hand-built
+// triangle where the direct hop is flaky (u ~ 1e-2) and the 2-hop detour is
+// highly reliable: a first-path-only analysis caps out below a 0.995 SLO
+// while the multi-path scan clears it, and the bound stays <= exact.
+TEST(FastEstimator, MultiPathBoundClearsWhereFirstPathOnlyFails) {
+  Topology topo;
+  const RegionId a = topo.add_region("a", topology::RegionKind::data_center);
+  const RegionId b = topo.add_region("b", topology::RegionKind::data_center);
+  const RegionId c = topo.add_region("c", topology::RegionKind::pop);
+  (void)topo.add_fiber(a, b, Gbps(100), 1000.0, 10.0);  // flaky direct hop
+  (void)topo.add_fiber(a, c, Gbps(100), 1.0e6, 1.0);
+  (void)topo.add_fiber(c, b, Gbps(100), 1.0e6, 1.0);
+
+  ScenarioConfig scenario_config;
+  scenario_config.max_simultaneous = 1;
+  const std::vector<FailureScenario> scenarios = enumerate_scenarios(topo, scenario_config);
+  const topology::SrlgIndex index(topo);
+  Router router(topo, 2);  // the direct hop leads, the detour backs it up
+  const std::vector<double> caps = router.full_capacities();
+
+  const Demand demand{a, b, Gbps(40.0)};
+  router.warm(std::span<const Demand>(&demand, 1));
+  const std::vector<Path>* paths = router.cached_paths(a, b);
+  ASSERT_NE(paths, nullptr);
+  ASSERT_GE(paths->size(), 2u);
+  ASSERT_EQ(paths->front().links.size(), 1u);
+
+  FastEstimator fast(topo, scenarios);
+  fast.rebuild_pristine(caps);
+  const std::vector<double> consumed(fast.link_count(), 0.0);
+  const double bound = fast.bound(demand.amount.value(), *paths, consumed);
+
+  // The best a first-path-only analysis can certify: the mass of scenarios
+  // under which the direct hop is fully alive.
+  double first_path_only = 0.0;
+  for (const FailureScenario& scenario : scenarios) {
+    bool alive = true;
+    for (const LinkId link : paths->front().links) {
+      if (std::binary_search(scenario.down.begin(), scenario.down.end(),
+                             topo.link(link).srlg)) {
+        alive = false;
+        break;
+      }
+    }
+    if (alive) first_path_only += scenario.probability;
+  }
+
+  constexpr double kSlo = 0.995;
+  EXPECT_LT(first_path_only, kSlo);  // the old bound would always fall back
+  EXPECT_GT(bound, first_path_only);
+  EXPECT_GE(bound, kSlo);  // the multi-path scan fast-admits
+
+  // Soundness: the bound never exceeds the exact per-scenario availability.
+  double exact = 0.0;
+  for (const FailureScenario& scenario : scenarios) {
+    std::vector<double> residual = scenario_capacities(index, caps, scenario);
+    const double placed =
+        topology::water_fill_demand(demand.amount.value(), *paths, residual, {});
+    if (placed + 1e-9 >= demand.amount.value()) exact += scenario.probability;
+  }
+  EXPECT_LE(bound, exact + 1e-12);
+  EXPECT_GE(exact, kSlo);
+}
+
 // Degenerate inputs never admit: empty path sets and empty first paths
 // have no provable placement.
 TEST(FastEstimator, EmptyPathsDecline) {
