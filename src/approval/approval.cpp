@@ -5,6 +5,7 @@
 #include <map>
 
 #include "common/check.h"
+#include "common/placement_arena.h"
 #include "obs/metrics.h"
 #include "obs/timer.h"
 
@@ -147,20 +148,22 @@ std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval_on(
   if (fast != nullptr && config_.fastpath.enabled) {
     router.warm(demands);  // fast hits still commit/audit via cached paths
     const double need = config_.slo_availability + config_.fastpath.slo_margin;
-    std::vector<double> consumed(fast->link_count(), 0.0);
+    auto consumed_loan = common::PlacementArena::local().doubles();
+    std::vector<double>& consumed = *consumed_loan;
+    consumed.assign(fast->link_count(), 0.0);
     std::vector<double> bounds;
     bounds.reserve(demands.size());
     bool cleared = true;
     for (const Demand& demand : demands) {
-      const std::vector<topology::Path>* paths = router.cached_paths(demand.src, demand.dst);
+      const topology::PathList paths = router.cached_paths(demand.src, demand.dst);
       const double bound =
-          paths == nullptr ? 0.0 : fast->bound(demand.amount.value(), *paths, consumed);
+          paths.valid() ? fast->bound(demand.amount.value(), paths, consumed) : 0.0;
       if (bound < need) {
         cleared = false;
         break;
       }
       bounds.push_back(bound);
-      risk::FastEstimator::charge(demand.amount.value(), *paths, consumed);
+      risk::FastEstimator::charge(demand.amount.value(), paths, consumed);
     }
     if (fast_out != nullptr) fast_out->attempted = true;
     if (cleared) {

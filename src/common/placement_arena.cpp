@@ -1,0 +1,28 @@
+#include "common/placement_arena.h"
+
+namespace netent::common {
+
+PlacementArena& PlacementArena::local() {
+  thread_local PlacementArena arena;
+  return arena;
+}
+
+PlacementArena::DoubleLoan PlacementArena::doubles() {
+  ++stats_.loans;
+  if (free_.empty()) {
+    ++stats_.pool_misses;
+    pool_.push_back(std::make_unique<std::vector<double>>());
+    return DoubleLoan(this, pool_.back().get());
+  }
+  std::vector<double>* vec = free_.back();
+  free_.pop_back();
+  return DoubleLoan(this, vec);
+}
+
+void PlacementArena::give_back(std::vector<double>* vec) { free_.push_back(vec); }
+
+PlacementArena::DoubleLoan::~DoubleLoan() {
+  if (arena_ != nullptr) arena_->give_back(vec_);
+}
+
+}  // namespace netent::common

@@ -80,7 +80,7 @@ void FastEstimator::refresh_links(std::span<const LinkId> links,
   }
 }
 
-double FastEstimator::bound(double amount_gbps, std::span<const topology::Path> paths,
+double FastEstimator::bound(double amount_gbps, topology::PathList paths,
                             std::span<const double> window_consumed) const {
   if (paths.empty() || paths[0].empty()) return 0.0;
   if (amount_gbps < kMinRateGbps) return 0.0;
@@ -89,8 +89,11 @@ double FastEstimator::bound(double amount_gbps, std::span<const topology::Path> 
   // worst-case charges) carries the rate with slack against charge
   // rounding — in every scenario leaving p alive, the fill-time residual of
   // each link is at least headroom - consumed. An empty path can never
-  // prove a placement.
-  std::vector<char> cleared(paths.size(), 0);
+  // prove a placement. Scratch is thread-local so the admission fast tier
+  // stays allocation-free in steady state.
+  static thread_local std::vector<char> cleared;
+  static thread_local std::vector<std::uint32_t> affected;
+  cleared.assign(paths.size(), 0);
   for (std::size_t p = 0; p < paths.size(); ++p) {
     if (paths[p].empty()) continue;
     bool ok = true;
@@ -117,8 +120,8 @@ double FastEstimator::bound(double amount_gbps, std::span<const topology::Path> 
   // correct only the scenarios indexed under the paths' SRLGs — the scan
   // stays O(path links + affected scenarios) instead of O(all scenarios).
   double mass = cleared[0] ? total_mass_ : 0.0;
-  std::vector<std::uint32_t> affected;
-  for (const topology::Path& path : paths) {
+  affected.clear();
+  for (const topology::PathView path : paths) {
     for (const LinkId link : path.links) {
       const std::vector<std::uint32_t>& hits = srlg_scenarios_[link_srlg_[link.value()].value()];
       affected.insert(affected.end(), hits.begin(), hits.end());
@@ -145,14 +148,14 @@ double FastEstimator::bound(double amount_gbps, std::span<const topology::Path> 
   return mass;
 }
 
-void FastEstimator::charge(double amount_gbps, std::span<const topology::Path> paths,
+void FastEstimator::charge(double amount_gbps, topology::PathList paths,
                            std::span<double> window_consumed) {
   // A link shared by several of the demand's candidate paths is still
   // charged once per path: under a scenario the demand never carries more
   // than its rate across any single link, but per-path charging stays on
   // the cheap side of that bound without a dedup pass, and over-charging
   // only ever pushes later demands toward the exact tier.
-  for (const topology::Path& path : paths) {
+  for (const topology::PathView path : paths) {
     for (const LinkId link : path.links) {
       window_consumed[link.value()] += amount_gbps;
     }

@@ -53,7 +53,7 @@
 #include <vector>
 
 #include "risk/failure.h"
-#include "topology/paths.h"
+#include "topology/path_store.h"
 #include "topology/topology.h"
 
 namespace netent::risk {
@@ -103,14 +103,15 @@ class FastEstimator {
   /// (see the file comment). `window_consumed` (empty, or indexed by LinkId)
   /// holds the worst-case Gbps already promised to earlier demands of the
   /// same joint window. Returns 0 when no scenario's placement can be
-  /// proven — the caller falls back to the exact sweep.
-  [[nodiscard]] double bound(double amount_gbps, std::span<const topology::Path> paths,
+  /// proven — the caller falls back to the exact sweep. Scratch is
+  /// thread-local, so steady-state calls perform no heap allocations.
+  [[nodiscard]] double bound(double amount_gbps, topology::PathList paths,
                              std::span<const double> window_consumed) const;
 
   /// Charges a fast-admitted demand's worst-case consumption to
   /// `window_consumed`: its full rate on every link of every candidate path
   /// (under scenarios failing the first path the fill spills onto backups).
-  static void charge(double amount_gbps, std::span<const topology::Path> paths,
+  static void charge(double amount_gbps, topology::PathList paths,
                      std::span<double> window_consumed);
 
   [[nodiscard]] std::size_t link_count() const { return headroom_.size(); }

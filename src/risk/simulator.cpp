@@ -145,6 +145,7 @@ std::vector<std::vector<double>> sweep_scenario_placements(
   std::optional<topology::ScenarioSweeper> sweeper;
   std::vector<topology::ScenarioSweeper::Workspace> workspaces;
   std::vector<std::unique_ptr<ScenarioCapacityScratch>> scratch;
+  std::vector<topology::RouteResult> route_scratch;
 
   if (mode == SweepMode::kIncremental) {
     sweeper.emplace(warmed, demands, base_capacity);
@@ -165,14 +166,19 @@ std::vector<std::vector<double>> sweep_scenario_placements(
     for (std::size_t w = 0; w <= threads_used; ++w) {
       scratch.push_back(std::make_unique<ScenarioCapacityScratch>(index, base_capacity));
     }
+    route_scratch.resize(threads_used + 1);
     m.scenarios_full.add(scenarios.size());
     run_scenario = [&, scenario_timer, timer_stride](std::size_t worker, std::size_t s) {
       std::optional<obs::ScopedTimer> span;
       if (scenario_timer != nullptr && s % timer_stride == 0) span.emplace(*scenario_timer);
       const auto capacity = scratch[worker]->apply(scenarios[s]);
-      auto result = warmed.route_warmed(demands, capacity);
+      // Reuse the worker's RouteResult (and arena residual scratch inside)
+      // so steady-state scenarios never touch the heap beyond the per-
+      // scenario output vector itself.
+      topology::RouteResult& result = route_scratch[worker];
+      warmed.route_warmed_into(demands, capacity, result);
       NETENT_ENSURES(result.placed_per_demand.size() == demands.size());
-      placed[s] = std::move(result.placed_per_demand);
+      placed[s].assign(result.placed_per_demand.begin(), result.placed_per_demand.end());
     };
   }
 
@@ -186,10 +192,10 @@ std::vector<std::vector<double>> sweep_scenario_placements(
 }
 
 RiskSimulator::RiskSimulator(topology::Router& router, std::vector<FailureScenario> scenarios,
-                             std::vector<double> base_capacity_gbps)
+                             std::span<const double> base_capacity_gbps)
     : router_(router),
       scenarios_(std::move(scenarios)),
-      base_capacity_(std::move(base_capacity_gbps)),
+      base_capacity_(base_capacity_gbps.begin(), base_capacity_gbps.end()),
       index_(router.topo()) {
   NETENT_EXPECTS(!scenarios_.empty());
   NETENT_EXPECTS(base_capacity_.size() == router_.topo().link_count());

@@ -116,8 +116,9 @@ class RiskSimulator {
  public:
   /// `base_capacity_gbps` is the per-link capacity available to the batch
   /// (full capacity minus higher-priority reservations), indexed by LinkId.
+  /// Copied once at construction; the span need not outlive the call.
   RiskSimulator(topology::Router& router, std::vector<FailureScenario> scenarios,
-                std::vector<double> base_capacity_gbps);
+                std::span<const double> base_capacity_gbps);
 
   /// Places the batch under every scenario (links on failed SRLGs get zero
   /// capacity) and returns one availability curve per input pipe. Placement

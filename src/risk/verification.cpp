@@ -74,7 +74,7 @@ std::vector<PipeAttainment> SloVerifier::verify(
   m.pipes_verified.add(order.size());
   m.scenarios_replayed.add(scenarios_.size());
 
-  const std::vector<double> base_capacity = router_.full_capacities();
+  const std::span<const double> base_capacity = router_.full_capacities();
   const auto placed = sweep_scenario_placements(router_, demands, base_capacity, index_,
                                                 scenarios_, num_threads, mode,
                                                 &m.replay_seconds, /*timer_stride=*/1);

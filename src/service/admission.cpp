@@ -78,7 +78,7 @@ AdmissionController::AdmissionController(const topology::Topology& topo, Admissi
                         : nullptr),
       engine_(router_, with_threads(config_.approval, threads_)),
       negotiator_(router_, with_threads(config_.approval, threads_), config_.negotiation),
-      base_capacity_(router_.full_capacities()),
+      base_capacity_(router_.full_capacities()),  // view into router_; outlived by it
       rng_(config_.seed) {
   NETENT_EXPECTS(config_.batch_window_seconds >= 0.0);
   NETENT_EXPECTS(config_.admit_min_fraction >= 0.0 && config_.admit_min_fraction <= 1.0);
@@ -468,10 +468,9 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
         // (the shard router's cache, warmed by the approval above, holds
         // exactly the same deterministic paths as the main router's).
         for (const DrawnDemand& d : record) {
-          const std::vector<topology::Path>* paths =
-              router.cached_paths(d.demand.src, d.demand.dst);
-          NETENT_EXPECTS(paths != nullptr);
-          for (const topology::Path& path : *paths) {
+          const topology::PathList paths = router.cached_paths(d.demand.src, d.demand.dst);
+          NETENT_EXPECTS(paths.valid());
+          for (const topology::PathView path : paths) {
             out.audit_links.insert(out.audit_links.end(), path.links.begin(), path.links.end());
           }
         }
@@ -685,15 +684,21 @@ std::vector<risk::AvailabilityCurve> AdmissionController::curves_against_residua
   std::vector<std::vector<double>> placed(scenario_count);
   {
     const topology::Router::SweepGuard guard(router);
-    const auto run = [&](std::size_t s) {
-      placed[s] = router.route_warmed(demands, residuals[k][s]).placed_per_demand;
-    };
     const std::size_t threads = fanout_threads(scenario_count);
+    // Per-worker RouteResult scratch (reused across scenarios) keeps the
+    // fan-out's steady state allocation-free apart from the per-scenario
+    // output vectors.
+    std::vector<topology::RouteResult> scratch(threads + 1);
+    const auto run = [&](std::size_t worker, std::size_t s) {
+      topology::RouteResult& result = scratch[worker];
+      router.route_warmed_into(demands, residuals[k][s], result);
+      placed[s].assign(result.placed_per_demand.begin(), result.placed_per_demand.end());
+    };
     if (threads <= 1) {
-      for (std::size_t s = 0; s < scenario_count; ++s) run(s);
+      for (std::size_t s = 0; s < scenario_count; ++s) run(0, s);
     } else {
       ThreadPool pool(threads);
-      pool.parallel_for(0, scenario_count, run);
+      pool.parallel_for_with_worker(0, scenario_count, run);
     }
   }
   // Scenario-order merge — the same construction availability_curves uses,
@@ -714,10 +719,9 @@ std::vector<risk::AvailabilityCurve> AdmissionController::curves_against_residua
 void AdmissionController::place_tagged(std::span<const TaggedDemand> demands,
                                        std::vector<double>& residual) const {
   for (const TaggedDemand& tagged : demands) {
-    const std::vector<topology::Path>* paths =
-        router_.cached_paths(tagged.demand.src, tagged.demand.dst);
-    NETENT_EXPECTS(paths != nullptr);
-    (void)topology::water_fill_demand(tagged.demand.amount.value(), *paths, residual, {});
+    const topology::PathList paths = router_.cached_paths(tagged.demand.src, tagged.demand.dst);
+    NETENT_EXPECTS(paths.valid());
+    (void)topology::water_fill_demand(tagged.demand.amount.value(), paths, residual, {});
   }
 }
 
@@ -803,10 +807,10 @@ void AdmissionController::refresh_fastpath(const Batch* dirty_batch) {
   for (std::size_t k = 0; k < fast_.size(); ++k) {
     dirty.clear();
     for (const TaggedDemand& tagged : dirty_batch->demands[k]) {
-      const std::vector<topology::Path>* paths =
+      const topology::PathList paths =
           router_.cached_paths(tagged.demand.src, tagged.demand.dst);
-      NETENT_EXPECTS(paths != nullptr);
-      for (const topology::Path& path : *paths) {
+      NETENT_EXPECTS(paths.valid());
+      for (const topology::PathView path : paths) {
         dirty.insert(dirty.end(), path.links.begin(), path.links.end());
       }
     }
@@ -840,12 +844,13 @@ bool AdmissionController::audit_one() {
     // scratch vector per scenario; links off the candidate paths are never
     // read by the fill, so their value (0) is irrelevant.
     std::vector<double> scratch(base_capacity_.size(), 0.0);
+    topology::RouteResult result;  // reused across scenarios
     for (std::size_t s = 0; s < scenario_set.size(); ++s) {
       for (std::size_t i = 0; i < record.links.size(); ++i) {
         scratch[record.links[i].value()] = record.residuals[s * record.links.size() + i];
       }
-      const std::vector<double> placed =
-          router_.route_warmed(record.demands, scratch).placed_per_demand;
+      router_.route_warmed_into(record.demands, scratch, result);
+      const std::vector<double>& placed = result.placed_per_demand;
       for (std::size_t i = 0; i < record.demands.size(); ++i) {
         if (placed[i] + 1e-9 >= record.demands[i].amount.value()) {
           exact[i] += scenario_set[s].probability;

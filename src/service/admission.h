@@ -275,7 +275,8 @@ class AdmissionController {
   std::unique_ptr<ShardPool> pool_;
   approval::ApprovalEngine engine_;
   approval::NegotiationEngine negotiator_;
-  std::vector<double> base_capacity_;
+  /// View of router_'s intact capacity array (router_ outlives it).
+  std::span<const double> base_capacity_;
 
   /// Service state, guarded by state_mutex_ (windows are processed one at a
   /// time; the parallel fan-outs inside a window are internal).

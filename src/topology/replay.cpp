@@ -25,12 +25,12 @@ ScenarioSweeper::ScenarioSweeper(const Router& router, std::span<const Demand> d
   const std::size_t link_count = router.topo().link_count();
   NETENT_EXPECTS(base_capacity_gbps.size() == link_count);
 
-  // Resolve every demand's candidate paths once: replays never pay the
-  // cache-map lookup route_warmed does per demand per scenario.
+  // Resolve every demand's candidate paths once: replays never pay even the
+  // O(1) dense-table lookup route_warmed does per demand per scenario.
   candidate_paths_.reserve(demands_.size());
   for (const Demand& demand : demands_) {
-    const std::vector<Path>* paths = router.cached_paths(demand.src, demand.dst);
-    NETENT_EXPECTS(paths != nullptr);  // warm() must cover the pair
+    const PathList paths = router.cached_paths(demand.src, demand.dst);
+    NETENT_EXPECTS(paths.valid());  // warm() must cover the pair
     candidate_paths_.push_back(paths);
   }
 
@@ -57,7 +57,7 @@ ScenarioSweeper::ScenarioSweeper(const Router& router, std::span<const Demand> d
       checkpoints_.push_back({i, residual});
     }
     links.clear();
-    for (const Path& path : *candidate_paths_[i]) {
+    for (const PathView path : candidate_paths_[i]) {
       for (const LinkId lid : path.links) links.push_back(lid.value());
     }
     std::sort(links.begin(), links.end());
@@ -70,7 +70,7 @@ ScenarioSweeper::ScenarioSweeper(const Router& router, std::span<const Demand> d
     ops.clear();
     std::size_t scanned_paths = 0;
     const double amount = demands_[i].amount.value();
-    baseline_placed_.push_back(water_fill_demand(amount, *candidate_paths_[i], residual, {},
+    baseline_placed_.push_back(water_fill_demand(amount, candidate_paths_[i], residual, {},
                                                  &ops, &scanned_paths, &path_placed));
     for (const auto& [lid, amt] : ops) {
       traces_.ops_link.push_back(lid.value());
@@ -80,7 +80,7 @@ ScenarioSweeper::ScenarioSweeper(const Router& router, std::span<const Demand> d
 
     scan_links.clear();
     for (std::size_t p = 0; p < scanned_paths; ++p) {
-      for (const LinkId lid : (*candidate_paths_[i])[p].links) scan_links.push_back(lid.value());
+      for (const LinkId lid : candidate_paths_[i][p].links) scan_links.push_back(lid.value());
     }
     std::sort(scan_links.begin(), scan_links.end());
     scan_links.erase(std::unique(scan_links.begin(), scan_links.end()), scan_links.end());
@@ -99,7 +99,7 @@ ScenarioSweeper::ScenarioSweeper(const Router& router, std::span<const Demand> d
       std::size_t occurrences = 0;
       std::size_t first_path = 0;
       for (std::size_t p = 0; p < scanned_paths; ++p) {
-        const auto& path_links = (*candidate_paths_[i])[p].links;
+        const auto path_links = candidate_paths_[i][p].links;
         if (std::find(path_links.begin(), path_links.end(), LinkId(l)) != path_links.end()) {
           if (occurrences == 0) first_path = p;
           ++occurrences;
@@ -168,13 +168,12 @@ void ScenarioSweeper::replay(std::span<const SrlgId> down_srlgs, Workspace& work
     workspace.residual_.assign(link_count, 0.0);
   }
   const std::size_t words = (n + 63) / 64;
-  workspace.affected_words_.assign(words, 0);
+  workspace.affected_words_.reset(words);
   workspace.touched_.clear();
 
   const auto mark_dependents = [&](std::uint32_t l) {
     for (std::size_t k = dependents_off_[l]; k < dependents_off_[l + 1]; ++k) {
-      const std::uint32_t d = dependents_[k];
-      workspace.affected_words_[d >> 6] |= std::uint64_t{1} << (d & 63);
+      workspace.affected_words_.set_bit(dependents_[k]);
     }
   };
   for (const SrlgId srlg : down_srlgs) {
@@ -194,7 +193,7 @@ void ScenarioSweeper::replay(std::span<const SrlgId> down_srlgs, Workspace& work
   std::copy(baseline_placed_.begin(), baseline_placed_.end(), placed_out.begin());
   std::size_t replayed = 0;
   for (std::size_t w = first >> 6; w < words; ++w) {
-    std::uint64_t bits = workspace.affected_words_[w] &
+    std::uint64_t bits = workspace.affected_words_.read(w) &
                          (~std::uint64_t{0} << (w == (first >> 6) ? (first & 63) : 0));
     while (bits != 0) {
       const int b = std::countr_zero(bits);
@@ -240,7 +239,7 @@ void ScenarioSweeper::replay(std::span<const SrlgId> down_srlgs, Workspace& work
         const std::uint32_t l = traces_.link[k];
         if (workspace.diverged_[l] == 0) workspace.residual_[l] = traces_.residual_before[k];
       }
-      placed_out[i] = water_fill_demand(amount, *candidate_paths_[i], workspace.residual_, {});
+      placed_out[i] = water_fill_demand(amount, candidate_paths_[i], workspace.residual_, {});
       ++replayed;
       // Re-classify this demand's links: diverged iff the scenario residual
       // now differs from the baseline's post-placement residual. Newly
@@ -260,7 +259,7 @@ void ScenarioSweeper::replay(std::span<const SrlgId> down_srlgs, Workspace& work
       }
       if (marked_new && b < 63) {
         // Pick up any same-word demands the marking just added after i.
-        bits |= workspace.affected_words_[w] & (~std::uint64_t{0} << (b + 1));
+        bits |= workspace.affected_words_.read(w) & (~std::uint64_t{0} << (b + 1));
       }
 
       if (replayed >= kDenseFallbackMinReplayed && replayed * 2 >= i - first + 1) {
@@ -272,7 +271,7 @@ void ScenarioSweeper::replay(std::span<const SrlgId> down_srlgs, Workspace& work
           for (const LinkId lid : index_.links_of(srlg)) workspace.residual_[lid.value()] = 0.0;
         }
         for (std::size_t k = start; k < n; ++k) {
-          placed_out[k] = water_fill_demand(demands_[k].amount.value(), *candidate_paths_[k],
+          placed_out[k] = water_fill_demand(demands_[k].amount.value(), candidate_paths_[k],
                                             workspace.residual_, {});
         }
         for (const LinkId lid : workspace.touched_) workspace.diverged_[lid.value()] = 0;

@@ -90,6 +90,7 @@
 #include <span>
 #include <vector>
 
+#include "common/placement_arena.h"
 #include "topology/routing.h"
 #include "topology/srlg_index.h"
 
@@ -130,12 +131,13 @@ class ScenarioSweeper {
     std::vector<char> diverged_;   ///< per link: residual differs from baseline trace
     std::vector<LinkId> touched_;  ///< links marked during this replay (for reset)
     /// Per demand, one bit: some scanned link is/was diverged. Word-packed
-    /// so the replay walk skips 64 untouched demands per load.
-    std::vector<std::uint64_t> affected_words_;
+    /// so the replay walk skips 64 untouched demands per load; epoch-stamped
+    /// so clearing it per scenario is O(1), not O(demands / 64).
+    common::EpochWords affected_words_;
   };
 
   /// Runs the baseline placement and precomputes the SRLG index, per-demand
-  /// candidate-path pointers and checkpoints. `router` must already be
+  /// candidate-path lists and checkpoints. `router` must already be
   /// warmed for every (src, dst) pair in `demands` and must outlive the
   /// sweeper with its path cache unmodified (take a Router::SweepGuard for
   /// the sweep's duration).
@@ -200,7 +202,7 @@ class ScenarioSweeper {
   };
 
   std::vector<Demand> demands_;
-  std::vector<const std::vector<Path>*> candidate_paths_;  ///< per demand
+  std::vector<PathList> candidate_paths_;  ///< per demand, into the Router's CSR store
   TraceStore traces_;
   /// Per link, CSR: indices of demands whose baseline SCANNED paths
   /// traverse it, in placement order — the inverted index that makes

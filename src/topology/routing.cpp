@@ -1,71 +1,27 @@
 #include "topology/routing.h"
 
-#include <algorithm>
-
-#include "common/check.h"
+#include "common/placement_arena.h"
 
 namespace netent::topology {
 
-namespace {
-constexpr double kEps = 1e-6;
-}
-
-double water_fill_demand(double amount_gbps, std::span<const Path> candidate_paths,
-                         std::span<double> residual, std::span<double> link_load,
-                         std::vector<std::pair<LinkId, double>>* op_log,
-                         std::size_t* scanned_paths_out,
-                         std::vector<double>* path_placed_out) {
-  NETENT_EXPECTS(amount_gbps >= 0.0);
-  if (path_placed_out != nullptr) path_placed_out->assign(candidate_paths.size(), 0.0);
-  double remaining = amount_gbps;
-  std::size_t scanned = 0;
-  for (const Path& path : candidate_paths) {
-    if (remaining <= kEps) break;
-    ++scanned;
-    // Bottleneck residual along this path.
-    double bottleneck = remaining;
-    for (const LinkId lid : path.links) {
-      bottleneck = std::min(bottleneck, residual[lid.value()]);
-    }
-    if (bottleneck <= kEps) continue;
-    if (path_placed_out != nullptr) {
-      (*path_placed_out)[static_cast<std::size_t>(&path - candidate_paths.data())] = bottleneck;
-    }
-    for (const LinkId lid : path.links) {
-      residual[lid.value()] -= bottleneck;
-      if (!link_load.empty()) link_load[lid.value()] += bottleneck;
-      if (op_log != nullptr) op_log->emplace_back(lid, bottleneck);
-    }
-    remaining -= bottleneck;
-  }
-  if (scanned_paths_out != nullptr) *scanned_paths_out = scanned;
-  return amount_gbps - remaining;
-}
-
-Router::Router(const Topology& topo, std::size_t k_paths) : topo_(topo), k_paths_(k_paths) {
+Router::Router(const Topology& topo, std::size_t k_paths)
+    : topo_(topo), k_paths_(k_paths), store_(topo.region_count()) {
   NETENT_EXPECTS(k_paths > 0);
+  full_caps_.resize(topo_.link_count());
+  for (const Link& link : topo_.links()) full_caps_[link.id.value()] = link.capacity.value();
 }
 
-const std::vector<Path>& Router::paths(RegionId src, RegionId dst) {
+PathList Router::paths(RegionId src, RegionId dst) {
   NETENT_EXPECTS(src != dst);
-  const auto key = std::make_pair(src.value(), dst.value());
-  auto it = cache_.find(key);
-  if (it == cache_.end()) {
-    NETENT_EXPECTS(active_sweeps_.load(std::memory_order_acquire) == 0 &&
-                   "path-cache insertion during an active sweep");
-    it = cache_.emplace(key, k_shortest_paths(topo_, src, dst, k_paths_, accept_all_links()))
-             .first;
-  }
-  return it->second;
+  if (const PathList cached = store_.find(src, dst); cached.valid()) return cached;
+  NETENT_EXPECTS(active_sweeps_.load(std::memory_order_acquire) == 0 &&
+                 "path-cache insertion during an active sweep");
+  const std::vector<Path> computed = k_shortest_paths(topo_, src, dst, k_paths_, accept_all_links());
+  return store_.insert(src, dst, computed);
 }
 
 void Router::warm(std::span<const Demand> demands) {
   for (const Demand& demand : demands) (void)paths(demand.src, demand.dst);
-}
-
-const std::vector<Path>* Router::cached_paths(RegionId src, RegionId dst) const {
-  const auto it = cache_.find(std::make_pair(src.value(), dst.value()));
-  return it == cache_.end() ? nullptr : &it->second;
 }
 
 RouteResult Router::route(std::span<const Demand> demands,
@@ -76,36 +32,41 @@ RouteResult Router::route(std::span<const Demand> demands,
 
 RouteResult Router::route_warmed(std::span<const Demand> demands,
                                  std::span<const double> capacity_gbps) const {
-  NETENT_EXPECTS(capacity_gbps.size() == topo_.link_count());
-
   RouteResult result;
-  result.placed_per_demand.reserve(demands.size());
-  PlacementState state(capacity_gbps);
-
-  for (const Demand& demand : demands) {
-    result.demand_total += demand.amount;
-    const std::vector<Path>* candidate_paths = cached_paths(demand.src, demand.dst);
-    NETENT_EXPECTS(candidate_paths != nullptr);  // warm() must cover the pair
-    const double placed =
-        water_fill_demand(demand.amount.value(), *candidate_paths, state.residual, state.link_load);
-    result.placed_total += Gbps(placed);
-    result.placed_per_demand.push_back(placed);
-  }
-
-  result.link_load = std::move(state.link_load);
-  result.fully_placed = (result.demand_total - result.placed_total) <= Gbps(kEps);
+  route_warmed_into(demands, capacity_gbps, result);
   return result;
 }
 
-RouteResult Router::route(std::span<const Demand> demands) {
-  const auto caps = full_capacities();
-  return route(demands, caps);
+void Router::route_warmed_into(std::span<const Demand> demands,
+                               std::span<const double> capacity_gbps,
+                               RouteResult& out) const {
+  NETENT_EXPECTS(capacity_gbps.size() == topo_.link_count());
+
+  out.demand_total = Gbps(0.0);
+  out.placed_total = Gbps(0.0);
+  out.placed_per_demand.clear();
+  out.placed_per_demand.reserve(demands.size());
+  out.link_load.assign(capacity_gbps.size(), 0.0);
+
+  auto residual_loan = common::PlacementArena::local().doubles();
+  std::vector<double>& residual = *residual_loan;
+  residual.assign(capacity_gbps.begin(), capacity_gbps.end());
+
+  for (const Demand& demand : demands) {
+    out.demand_total += demand.amount;
+    const PathList candidate_paths = cached_paths(demand.src, demand.dst);
+    NETENT_EXPECTS(candidate_paths.valid());  // warm() must cover the pair
+    const double placed =
+        water_fill_demand(demand.amount.value(), candidate_paths, residual, out.link_load);
+    out.placed_total += Gbps(placed);
+    out.placed_per_demand.push_back(placed);
+  }
+
+  out.fully_placed = (out.demand_total - out.placed_total) <= Gbps(kPlacementEps);
 }
 
-std::vector<double> Router::full_capacities() const {
-  std::vector<double> caps(topo_.link_count());
-  for (const Link& link : topo_.links()) caps[link.id.value()] = link.capacity.value();
-  return caps;
+RouteResult Router::route(std::span<const Demand> demands) {
+  return route(demands, full_capacities());
 }
 
 }  // namespace netent::topology

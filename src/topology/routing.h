@@ -3,16 +3,24 @@
 // residual capacity, spill the remainder to the next path. This is the
 // routing model shared by the hose-coverage metric, the risk simulator's
 // multi-pipe admissibility and the approval engine.
+//
+// Data layout: candidate path sets live in a CSR `PathStore`
+// (path_store.h) — dense (src, dst) pair table, one flat LinkId array —
+// and placement scratch comes from the thread-local `PlacementArena`
+// (common/placement_arena.h), so the steady-state hot path does no tree
+// lookups and no heap allocations.
 #pragma once
 
 #include <atomic>
-#include <map>
+#include <cstddef>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/check.h"
 #include "common/types.h"
 #include "common/units.h"
+#include "topology/path_store.h"
 #include "topology/paths.h"
 #include "topology/topology.h"
 
@@ -34,24 +42,21 @@ struct RouteResult {
   bool fully_placed = false;    ///< placed_total == demand_total (within epsilon)
 };
 
-/// The mutable state of one placement pass: residual per-link capacity plus
-/// the load accumulated so far. Each route() call owns a fresh instance, so
-/// concurrent placements (e.g. the parallel risk-scenario sweep) never share
-/// mutable state — one PlacementState per thread, passed by value/locally.
-struct PlacementState {
-  explicit PlacementState(std::span<const double> capacity_gbps)
-      : residual(capacity_gbps.begin(), capacity_gbps.end()),
-        link_load(capacity_gbps.size(), 0.0) {}
-
-  std::vector<double> residual;   ///< remaining Gbps per LinkId
-  std::vector<double> link_load;  ///< placed Gbps per LinkId
-};
+/// Placement epsilon: remainders and bottlenecks at or below this many Gbps
+/// are treated as zero by the water-fill.
+inline constexpr double kPlacementEps = 1e-6;
 
 /// THE placement arithmetic: water-fills `amount_gbps` over
 /// `candidate_paths` in order, capping each path at its bottleneck residual
 /// and spilling the remainder to the next path. `residual` (indexed by
 /// LinkId) is updated in place; when `link_load` is non-empty the placed
 /// traffic is also accumulated there. Returns the placed amount.
+///
+/// `candidate_paths` is any random-access range of path-like elements (a
+/// `.links` range of LinkId): `std::vector<Path>`, `std::span<const Path>`,
+/// or the CSR-backed `PathList`. The arithmetic is layout-independent — the
+/// float-op sequence depends only on link ids and residuals, which is what
+/// makes the CSR layout bit-identical to the legacy one.
 ///
 /// When `op_log` is non-null, every `residual[link] -= amount` this call
 /// performs is appended to it in execution order; replaying the log against
@@ -73,18 +78,46 @@ struct PlacementState {
 /// scenario replay (replay.h) — must go through this one function so their
 /// floating-point operation sequences, and therefore their results, stay
 /// bit-identical.
-double water_fill_demand(double amount_gbps, std::span<const Path> candidate_paths,
+template <class PathRange>
+double water_fill_demand(double amount_gbps, const PathRange& candidate_paths,
                          std::span<double> residual, std::span<double> link_load,
                          std::vector<std::pair<LinkId, double>>* op_log = nullptr,
                          std::size_t* scanned_paths_out = nullptr,
-                         std::vector<double>* path_placed_out = nullptr);
+                         std::vector<double>* path_placed_out = nullptr) {
+  NETENT_EXPECTS(amount_gbps >= 0.0);
+  const std::size_t path_count = candidate_paths.size();
+  if (path_placed_out != nullptr) path_placed_out->assign(path_count, 0.0);
+  double remaining = amount_gbps;
+  std::size_t scanned = 0;
+  for (std::size_t p = 0; p < path_count; ++p) {
+    if (remaining <= kPlacementEps) break;
+    ++scanned;
+    decltype(auto) path = candidate_paths[p];
+    // Bottleneck residual along this path.
+    double bottleneck = remaining;
+    for (const LinkId lid : path.links) {
+      bottleneck = std::min(bottleneck, residual[lid.value()]);
+    }
+    if (bottleneck <= kPlacementEps) continue;
+    if (path_placed_out != nullptr) (*path_placed_out)[p] = bottleneck;
+    for (const LinkId lid : path.links) {
+      residual[lid.value()] -= bottleneck;
+      if (!link_load.empty()) link_load[lid.value()] += bottleneck;
+      if (op_log != nullptr) op_log->emplace_back(lid, bottleneck);
+    }
+    remaining -= bottleneck;
+  }
+  if (scanned_paths_out != nullptr) *scanned_paths_out = scanned;
+  return amount_gbps - remaining;
+}
 
-/// Caches k-shortest path sets per (src, dst) pair over a fixed topology.
-/// The cache is populated lazily by `paths()` / the non-const `route()`
-/// overloads (single-threaded use). For concurrent use, `warm()` the cache
-/// with every (src, dst) pair of the demand set up front; `route_warmed()`
-/// is then const, reads only the immutable cache, and keeps all per-
-/// placement mutable state in a thread-confined PlacementState.
+/// Caches k-shortest path sets per (src, dst) pair over a fixed topology,
+/// compiled into a CSR PathStore. The store is populated lazily by `paths()`
+/// / the non-const `route()` overloads (single-threaded use). For concurrent
+/// use, `warm()` the cache with every (src, dst) pair of the demand set up
+/// front; `route_warmed()` is then const, reads only the immutable store,
+/// and keeps all per-placement mutable state in thread-confined arena
+/// scratch.
 class Router {
  public:
   Router(const Topology& topo, std::size_t k_paths);
@@ -113,8 +146,9 @@ class Router {
 
   /// Candidate paths for a pair on the intact topology (computed lazily).
   /// Precondition: no SweepGuard is active when the pair misses the cache
-  /// (insertion would race the sweep's readers).
-  [[nodiscard]] const std::vector<Path>& paths(RegionId src, RegionId dst);
+  /// (insertion would race the sweep's readers). The returned PathList stays
+  /// valid across later insertions.
+  [[nodiscard]] PathList paths(RegionId src, RegionId dst);
 
   /// Precomputes candidate paths for every (src, dst) pair in `demands`.
   /// After this, `route_warmed()` may be called concurrently for any demand
@@ -137,22 +171,39 @@ class Router {
   [[nodiscard]] RouteResult route_warmed(std::span<const Demand> demands,
                                          std::span<const double> capacity_gbps) const;
 
+  /// Allocation-free variant for hot loops: places into `out`, reusing its
+  /// vectors' capacity, and borrows residual scratch from the calling
+  /// thread's PlacementArena. After the first call at a given topology size
+  /// the steady state performs zero heap allocations. Same bits as
+  /// route_warmed().
+  void route_warmed_into(std::span<const Demand> demands,
+                         std::span<const double> capacity_gbps, RouteResult& out) const;
+
   [[nodiscard]] const Topology& topo() const { return topo_; }
   [[nodiscard]] std::size_t k_paths() const { return k_paths_; }
 
-  /// Read-only cache lookup: the candidate paths for a pair, or nullptr if
-  /// the pair was never warmed. Never inserts, so it is safe during an
-  /// active sweep (the incremental replay engine resolves its per-demand
-  /// path pointers through this once, up front).
-  [[nodiscard]] const std::vector<Path>* cached_paths(RegionId src, RegionId dst) const;
+  /// Read-only cache lookup: the candidate paths for a pair, or an invalid
+  /// PathList if the pair was never warmed. Never inserts, so it is safe
+  /// during an active sweep (the incremental replay engine resolves its
+  /// per-demand path lists through this once, up front). O(1): one dense-
+  /// table load, no tree walk.
+  [[nodiscard]] PathList cached_paths(RegionId src, RegionId dst) const {
+    return store_.find(src, dst);
+  }
 
-  /// Per-link capacities of the intact topology, indexed by LinkId.
-  [[nodiscard]] std::vector<double> full_capacities() const;
+  /// Per-link capacities of the intact topology, indexed by LinkId. A view
+  /// of the Router's own capacity array — valid for the Router's lifetime,
+  /// no per-call copy.
+  [[nodiscard]] std::span<const double> full_capacities() const { return full_caps_; }
+
+  /// The underlying CSR store (read-only; for diagnostics and tests).
+  [[nodiscard]] const PathStore& path_store() const { return store_; }
 
  private:
   const Topology& topo_;
   std::size_t k_paths_;
-  std::map<std::pair<std::uint32_t, std::uint32_t>, std::vector<Path>> cache_;
+  PathStore store_;
+  std::vector<double> full_caps_;  ///< intact per-link capacity, by LinkId
   /// Count of live SweepGuards; paths() refuses cache insertion while > 0.
   mutable std::atomic<int> active_sweeps_{0};
 };

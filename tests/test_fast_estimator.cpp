@@ -41,7 +41,9 @@ struct World {
 
   World(Topology t, std::vector<FailureScenario> s)
       : topo(std::move(t)), scenarios(std::move(s)), index(topo) {
-    caps = Router(topo, 1).full_capacities();
+    const Router router(topo, 1);  // named: full_capacities() is a view into it
+    const std::span<const double> view = router.full_capacities();
+    caps.assign(view.begin(), view.end());
   }
 };
 
@@ -82,9 +84,9 @@ std::vector<std::vector<double>> preloaded_residuals(const Router& router, const
   for (const FailureScenario& scenario : world.scenarios) {
     std::vector<double> residual = scenario_capacities(world.index, world.caps, scenario);
     for (const Demand& demand : preload) {
-      const std::vector<Path>* paths = router.cached_paths(demand.src, demand.dst);
-      if (paths == nullptr) continue;  // warmed by the caller; never happens
-      (void)topology::water_fill_demand(demand.amount.value(), *paths, residual, {});
+      const topology::PathList paths = router.cached_paths(demand.src, demand.dst);
+      if (!paths.valid()) continue;  // warmed by the caller; never happens
+      (void)topology::water_fill_demand(demand.amount.value(), paths, residual, {});
     }
     residuals.push_back(std::move(residual));
   }
@@ -130,9 +132,9 @@ void check_draw(const World& world, Router& router, std::span<const Demand> prel
 
   std::vector<double> consumed(fast.link_count(), 0.0);
   for (std::size_t i = 0; i < window.size(); ++i) {
-    const std::vector<Path>* paths = router.cached_paths(window[i].src, window[i].dst);
-    ASSERT_NE(paths, nullptr);
-    const double bound = fast.bound(window[i].amount.value(), *paths, consumed);
+    const topology::PathList paths = router.cached_paths(window[i].src, window[i].dst);
+    ASSERT_TRUE(paths.valid());
+    const double bound = fast.bound(window[i].amount.value(), paths, consumed);
     ++tally.bounds_checked;
 
     // Property 1: the bound is NEVER above the exact availability.
@@ -150,7 +152,7 @@ void check_draw(const World& world, Router& router, std::span<const Demand> prel
 
     // Later window demands see this one's worst-case consumption, exactly
     // as the approval engine charges fast-admitted pipes.
-    FastEstimator::charge(window[i].amount.value(), *paths, consumed);
+    FastEstimator::charge(window[i].amount.value(), paths, consumed);
   }
   ++tally.draws;
 }
@@ -211,12 +213,12 @@ TEST(FastEstimator, RefreshLinksMatchesFreshRebuild) {
   // the touched links.
   std::vector<LinkId> touched;
   for (const Demand& demand : demands) {
-    const std::vector<Path>* paths = router.cached_paths(demand.src, demand.dst);
-    ASSERT_NE(paths, nullptr);
+    const topology::PathList paths = router.cached_paths(demand.src, demand.dst);
+    ASSERT_TRUE(paths.valid());
     for (std::size_t s = 0; s < residuals.size(); ++s) {
-      (void)topology::water_fill_demand(demand.amount.value(), *paths, residuals[s], {});
+      (void)topology::water_fill_demand(demand.amount.value(), paths, residuals[s], {});
     }
-    for (const Path& path : *paths) {
+    for (const topology::PathView path : paths) {
       touched.insert(touched.end(), path.links.begin(), path.links.end());
     }
   }
@@ -296,13 +298,13 @@ TEST(FastEstimator, RatesBelowMinimumAlwaysDecline) {
 
   FastEstimator fast(world.topo, world.scenarios);
   fast.rebuild_pristine(world.caps);
-  const std::vector<Path>* paths = router.cached_paths(demands[0].src, demands[0].dst);
-  ASSERT_NE(paths, nullptr);
+  const topology::PathList paths = router.cached_paths(demands[0].src, demands[0].dst);
+  ASSERT_TRUE(paths.valid());
   const std::vector<double> consumed(fast.link_count(), 0.0);
 
-  EXPECT_EQ(fast.bound(FastEstimator::kMinRateGbps * 0.5, *paths, consumed), 0.0);
-  EXPECT_EQ(fast.bound(0.0, *paths, consumed), 0.0);
-  EXPECT_GT(fast.bound(1.0, *paths, consumed), 0.0);
+  EXPECT_EQ(fast.bound(FastEstimator::kMinRateGbps * 0.5, paths, consumed), 0.0);
+  EXPECT_EQ(fast.bound(0.0, paths, consumed), 0.0);
+  EXPECT_GT(fast.bound(1.0, paths, consumed), 0.0);
 }
 
 // Window charging is worst-case: a charged demand consumes its full rate on
@@ -314,12 +316,12 @@ TEST(FastEstimator, ChargeReservesEveryCandidatePath) {
   Router router(world.topo, 3);
   const std::vector<Demand> demands = draw_demands(world.topo, 1, 50.0, rng);
   router.warm(demands);
-  const std::vector<Path>* paths = router.cached_paths(demands[0].src, demands[0].dst);
-  ASSERT_NE(paths, nullptr);
+  const topology::PathList paths = router.cached_paths(demands[0].src, demands[0].dst);
+  ASSERT_TRUE(paths.valid());
 
   std::vector<double> consumed(world.caps.size(), 0.0);
-  FastEstimator::charge(40.0, *paths, consumed);
-  for (const Path& path : *paths) {
+  FastEstimator::charge(40.0, paths, consumed);
+  for (const topology::PathView path : paths) {
     for (const LinkId link : path.links) {
       EXPECT_GE(consumed[link.value()], 40.0) << "link " << link.value();
     }
@@ -328,13 +330,13 @@ TEST(FastEstimator, ChargeReservesEveryCandidatePath) {
   FastEstimator fast(world.topo, world.scenarios);
   fast.rebuild_pristine(world.caps);
   double bottleneck = std::numeric_limits<double>::infinity();
-  for (const LinkId link : paths->front().links) {
+  for (const LinkId link : paths[0].links) {
     bottleneck = std::min(bottleneck, fast.headroom()[link.value()]);
   }
   const std::vector<double> untouched(world.caps.size(), 0.0);
   const double rate = bottleneck - 20.0;
-  const double before = fast.bound(rate, *paths, untouched);
-  const double after = fast.bound(rate, *paths, consumed);
+  const double before = fast.bound(rate, paths, untouched);
+  const double after = fast.bound(rate, paths, consumed);
   // Charging 40 Gbps against a demand needing all-but-20 of the first
   // path's bottleneck forces the fast tier to decline.
   EXPECT_GT(before, 0.0);
@@ -362,26 +364,26 @@ TEST(FastEstimator, MultiPathBoundClearsWhereFirstPathOnlyFails) {
   const std::vector<FailureScenario> scenarios = enumerate_scenarios(topo, scenario_config);
   const topology::SrlgIndex index(topo);
   Router router(topo, 2);  // the direct hop leads, the detour backs it up
-  const std::vector<double> caps = router.full_capacities();
+  const std::span<const double> caps = router.full_capacities();
 
   const Demand demand{a, b, Gbps(40.0)};
   router.warm(std::span<const Demand>(&demand, 1));
-  const std::vector<Path>* paths = router.cached_paths(a, b);
-  ASSERT_NE(paths, nullptr);
-  ASSERT_GE(paths->size(), 2u);
-  ASSERT_EQ(paths->front().links.size(), 1u);
+  const topology::PathList paths = router.cached_paths(a, b);
+  ASSERT_TRUE(paths.valid());
+  ASSERT_GE(paths.size(), 2u);
+  ASSERT_EQ(paths[0].links.size(), 1u);
 
   FastEstimator fast(topo, scenarios);
   fast.rebuild_pristine(caps);
   const std::vector<double> consumed(fast.link_count(), 0.0);
-  const double bound = fast.bound(demand.amount.value(), *paths, consumed);
+  const double bound = fast.bound(demand.amount.value(), paths, consumed);
 
   // The best a first-path-only analysis can certify: the mass of scenarios
   // under which the direct hop is fully alive.
   double first_path_only = 0.0;
   for (const FailureScenario& scenario : scenarios) {
     bool alive = true;
-    for (const LinkId link : paths->front().links) {
+    for (const LinkId link : paths[0].links) {
       if (std::binary_search(scenario.down.begin(), scenario.down.end(),
                              topo.link(link).srlg)) {
         alive = false;
@@ -401,7 +403,7 @@ TEST(FastEstimator, MultiPathBoundClearsWhereFirstPathOnlyFails) {
   for (const FailureScenario& scenario : scenarios) {
     std::vector<double> residual = scenario_capacities(index, caps, scenario);
     const double placed =
-        topology::water_fill_demand(demand.amount.value(), *paths, residual, {});
+        topology::water_fill_demand(demand.amount.value(), paths, residual, {});
     if (placed + 1e-9 >= demand.amount.value()) exact += scenario.probability;
   }
   EXPECT_LE(bound, exact + 1e-12);
@@ -417,9 +419,12 @@ TEST(FastEstimator, EmptyPathsDecline) {
   fast.rebuild_pristine(world.caps);
   const std::vector<double> consumed(fast.link_count(), 0.0);
 
-  EXPECT_EQ(fast.bound(10.0, {}, consumed), 0.0);
+  EXPECT_EQ(fast.bound(10.0, topology::PathList(), consumed), 0.0);
+  topology::PathStore store(world.topo.region_count());
   const std::vector<Path> degenerate(1);  // one path, zero links
-  EXPECT_EQ(fast.bound(10.0, degenerate, consumed), 0.0);
+  const topology::PathList degenerate_list =
+      store.insert(RegionId(0), RegionId(1), degenerate);
+  EXPECT_EQ(fast.bound(10.0, degenerate_list, consumed), 0.0);
 }
 
 }  // namespace

@@ -69,7 +69,7 @@ TEST(RiskIncremental, SweeperMatchesFullReplayForEveryCheckpointInterval) {
   Router router(sweep.topo, 3);
   router.warm(sweep.pipes);
   const Router& warmed = router;
-  const std::vector<double> caps = router.full_capacities();
+  const std::span<const double> caps = router.full_capacities();
   const topology::SrlgIndex index(sweep.topo);
 
   for (const std::size_t interval : {1u, 3u, 8u, 1000u}) {
@@ -95,7 +95,7 @@ TEST(RiskIncremental, CheckpointCountTracksInterval) {
   Sweep sweep;
   Router router(sweep.topo, 3);
   router.warm(sweep.pipes);
-  const std::vector<double> caps = router.full_capacities();
+  const std::span<const double> caps = router.full_capacities();
 
   const ScenarioSweeper every(static_cast<const Router&>(router), sweep.pipes, caps, {1});
   EXPECT_EQ(every.checkpoint_count(), sweep.pipes.size());
@@ -162,7 +162,7 @@ TEST(RiskIncremental, ScenarioTouchingNoCachedPathShortCircuits) {
   const std::vector<Demand> demands{{a, b, Gbps(60)}};
   Router router(topo, 2);
   router.warm(demands);
-  const std::vector<double> caps = router.full_capacities();
+  const std::span<const double> caps = router.full_capacities();
   const ScenarioSweeper sweeper(static_cast<const Router&>(router), demands, caps);
 
   ScenarioSweeper::Workspace workspace;

@@ -120,7 +120,7 @@ TEST(RiskParallel, RouteWarmedMatchesRoute) {
 TEST(RiskParallel, RouteWarmedRequiresWarmedPairs) {
   Sweep sweep;
   const Router router(sweep.topo, 3);  // nothing cached
-  const std::vector<double> caps = router.full_capacities();
+  const std::span<const double> caps = router.full_capacities();
   const std::vector<Demand> demands{{RegionId(0), RegionId(1), Gbps(10)}};
   EXPECT_THROW((void)router.route_warmed(demands, caps), ContractViolation);
 }

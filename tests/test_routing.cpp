@@ -89,10 +89,19 @@ TEST(Router, ZeroDemandIsNoop) {
 TEST(Router, PathCacheIsStable) {
   const Topology topo = diamond();
   Router router(topo, 2);
-  const auto& first = router.paths(RegionId(0), RegionId(3));
-  const auto& second = router.paths(RegionId(0), RegionId(3));
-  EXPECT_EQ(&first, &second);
+  const PathList first = router.paths(RegionId(0), RegionId(3));
+  const PathList second = router.paths(RegionId(0), RegionId(3));
   EXPECT_FALSE(first.empty());
+  // Both lookups view the same compiled set in the CSR store: identical
+  // sizes and the very same flat-array storage for every path's links.
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t p = 0; p < first.size(); ++p) {
+    EXPECT_EQ(first[p].links.data(), second[p].links.data());
+    EXPECT_EQ(first[p].links.size(), second[p].links.size());
+    EXPECT_EQ(first[p].cost, second[p].cost);
+  }
+  // A second compile is refused: the store is append-once per pair.
+  EXPECT_EQ(router.path_store().pair_count(), 1u);
 }
 
 /// Property: demand conservation — placed_total equals the sum of
