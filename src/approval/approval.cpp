@@ -79,6 +79,26 @@ ApprovalEngine::ApprovalEngine(topology::Router& router, ApprovalConfig config)
   }
 }
 
+bool ApprovalEngine::resync_topology() {
+  std::vector<risk::FailureScenario> fresh =
+      risk::enumerate_scenarios(router_.topo(), config_.scenarios);
+  const bool scenarios_changed =
+      fresh.size() != scenarios_.size() ||
+      !std::equal(fresh.begin(), fresh.end(), scenarios_.begin(),
+                  [](const risk::FailureScenario& a, const risk::FailureScenario& b) {
+                    return a.probability == b.probability && a.down == b.down;
+                  });
+  // Keep the vector physically in place when the set is value-identical, so
+  // scenario spans held by outside fast estimators stay valid.
+  if (scenarios_changed) scenarios_ = std::move(fresh);
+  simulator_.resync(scenarios_, router_.full_capacities());
+  if (config_.fastpath.enabled) {
+    fast_.emplace(router_.topo(), scenarios_);
+    fast_->rebuild_pristine(router_.full_capacities());
+  }
+  return scenarios_changed;
+}
+
 std::vector<PipeApprovalResult> ApprovalEngine::pipe_approval(
     std::span<const PipeRequest> pipes) const {
   // ASSESS_RISK over the full capacity; priority is encoded in the order.

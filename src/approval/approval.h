@@ -29,16 +29,11 @@ struct ApprovalConfig {
   risk::ScenarioConfig scenarios;
   /// Execution resources for the risk-scenario sweep. Approvals are
   /// bit-identical for every thread count; this only changes wall-clock
-  /// time. When `exec.threads` is unset the deprecated `risk_threads` alias
-  /// below is honored.
+  /// time. Unset `exec.threads` means the hardware concurrency.
   common::ExecConfig exec;
-  /// DEPRECATED alias for `exec.threads` (kept for one release so existing
-  /// callers keep compiling): threads for the risk-scenario sweep
-  /// (1 = serial). Ignored when `exec.threads` is set.
-  std::size_t risk_threads = ThreadPool::default_thread_count();
-  /// Effective sweep thread count: `exec.threads` when set, else the
-  /// deprecated `risk_threads` alias.
-  [[nodiscard]] std::size_t sweep_threads() const { return exec.resolve(risk_threads); }
+  /// Effective sweep thread count (`exec.threads`, defaulting to the
+  /// hardware concurrency).
+  [[nodiscard]] std::size_t sweep_threads() const { return exec.resolve(); }
   /// Paper's strict mode: "Only when 100% of the flow meets SLO, the batch
   /// of flows is approved. If any flow fails, the batch is rejected." A
   /// batch is the pipes of one (NPG, QoS class) group. When false, each pipe
@@ -216,6 +211,18 @@ class ApprovalEngine {
   /// The engine-lifetime risk simulator (exposes the SRLG index and base
   /// capacities backing every approval).
   [[nodiscard]] const risk::RiskSimulator& simulator() const { return simulator_; }
+
+  /// Catches the engine up after a topology mutation (the router must have
+  /// resync_topology()'d first): re-enumerates the failure scenarios,
+  /// re-binds the simulator to the new base capacities, and rebuilds the
+  /// engine's pristine fast-tier summary. When the enumerated scenario set
+  /// is value-identical to the old one (capacity-only deltas rarely move
+  /// MTBF/MTTR) the scenarios_ vector is left physically in place, so spans
+  /// from scenarios() taken by outside estimators stay valid. Returns
+  /// whether the scenario set changed — callers holding scenario spans or
+  /// per-scenario state must reconstruct it when true (and when the link
+  /// count grew, regardless).
+  bool resync_topology();
 
  private:
   topology::Router& router_;

@@ -1,9 +1,9 @@
 // `common::ExecConfig`: the one execution-resources knob shared by every
 // parallel subsystem. Historically each subsystem grew its own thread count
 // (`ApprovalConfig::risk_threads`, `DrillConfig::num_threads`, ad-hoc
-// defaults in the lifecycle and the benches); those fields survive for one
-// release as documented deprecated aliases, and every consumer resolves the
-// effective count through this struct so one setting drives them all.
+// defaults in the lifecycle and the benches); those aliases are retired —
+// every consumer resolves its effective count through this struct (with a
+// per-consumer default) so one setting drives them all.
 //
 // Thread counts never change results anywhere in netent — sweeps merge
 // deterministically — so this knob only trades wall-clock for cores.
@@ -19,8 +19,8 @@ namespace netent::common {
 
 struct ExecConfig {
   /// Worker threads for the consumer's parallel sections. Unset (the
-  /// default) falls back to the consumer's deprecated legacy knob, which
-  /// keeps existing callers working unchanged; when set, this wins.
+  /// default) falls back to the consumer's documented default (serial for
+  /// the drill's per-host loops, hardware concurrency for risk sweeps).
   std::optional<std::size_t> threads;
 
   /// Shard workers for consumers that partition work across independent
@@ -31,14 +31,13 @@ struct ExecConfig {
   /// Results are bit-identical at any shard count.
   std::optional<std::size_t> shards;
 
-  /// Effective thread count given the consumer's legacy field (clamped to
-  /// >= 1).
-  [[nodiscard]] std::size_t resolve(std::size_t legacy_fallback) const {
-    return std::max<std::size_t>(1, threads.value_or(legacy_fallback));
+  /// Effective thread count given the consumer's default (clamped to >= 1).
+  [[nodiscard]] std::size_t resolve(std::size_t consumer_default) const {
+    return std::max<std::size_t>(1, threads.value_or(consumer_default));
   }
 
-  /// Effective thread count for consumers with no legacy knob: unset means
-  /// the hardware concurrency.
+  /// Effective thread count for consumers whose default is the hardware
+  /// concurrency.
   [[nodiscard]] std::size_t resolve() const {
     return resolve(ThreadPool::default_thread_count());
   }

@@ -11,10 +11,25 @@ using topology::Topology;
 std::vector<double> srlg_unavailability(const Topology& topo) {
   std::vector<double> u(topo.srlg_count(), 0.0);
   for (const topology::Link& link : topo.links()) {
+    // Retired fibers no longer carry traffic, so their failure contributes
+    // nothing; an SRLG whose fibers are all retired keeps u = 0 and drops
+    // out of scenario enumeration entirely.
+    if (topo.link_retired(link.id)) continue;
     u[link.srlg.value()] = topology::link_unavailability(link);
   }
   return u;
 }
+
+namespace {
+// u / (1 - u), the odds factor each failing SRLG contributes to a scenario
+// probability. Clamped just below 1 so a degenerate always-down link
+// (u == 1, see link_unavailability) yields a huge finite odds instead of
+// inf/NaN; for any sane u the clamp is a bitwise no-op.
+double failure_odds(double u) {
+  const double clamped = std::min(u, 1.0 - 1e-12);
+  return clamped / (1.0 - clamped);
+}
+}  // namespace
 
 std::vector<FailureScenario> enumerate_scenarios(const Topology& topo,
                                                  const ScenarioConfig& config) {
@@ -30,7 +45,7 @@ std::vector<FailureScenario> enumerate_scenarios(const Topology& topo,
 
   // Single failures: P = all_up * u_i / (1 - u_i).
   for (std::size_t i = 0; i < m; ++i) {
-    const double p = all_up * u[i] / (1.0 - u[i]);
+    const double p = all_up * failure_odds(u[i]);
     if (p >= config.min_probability) {
       scenarios.push_back({{SrlgId(static_cast<std::uint32_t>(i))}, p});
     }
@@ -38,9 +53,9 @@ std::vector<FailureScenario> enumerate_scenarios(const Topology& topo,
 
   if (config.max_simultaneous >= 2) {
     for (std::size_t i = 0; i < m; ++i) {
-      const double pi = all_up * u[i] / (1.0 - u[i]);
+      const double pi = all_up * failure_odds(u[i]);
       for (std::size_t j = i + 1; j < m; ++j) {
-        const double p = pi * u[j] / (1.0 - u[j]);
+        const double p = pi * failure_odds(u[j]);
         if (p >= config.min_probability) {
           scenarios.push_back(
               {{SrlgId(static_cast<std::uint32_t>(i)), SrlgId(static_cast<std::uint32_t>(j))}, p});
@@ -53,12 +68,12 @@ std::vector<FailureScenario> enumerate_scenarios(const Topology& topo,
     // Triple failures matter only for very unreliable fibers; enumerate them
     // too when asked (probability pruning keeps this tractable).
     for (std::size_t i = 0; i < m; ++i) {
-      const double pi = all_up * u[i] / (1.0 - u[i]);
+      const double pi = all_up * failure_odds(u[i]);
       for (std::size_t j = i + 1; j < m; ++j) {
-        const double pij = pi * u[j] / (1.0 - u[j]);
+        const double pij = pi * failure_odds(u[j]);
         if (pij < config.min_probability) continue;
         for (std::size_t k = j + 1; k < m; ++k) {
-          const double p = pij * u[k] / (1.0 - u[k]);
+          const double p = pij * failure_odds(u[k]);
           if (p >= config.min_probability) {
             scenarios.push_back({{SrlgId(static_cast<std::uint32_t>(i)),
                                   SrlgId(static_cast<std::uint32_t>(j)),

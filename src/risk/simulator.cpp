@@ -201,6 +201,15 @@ RiskSimulator::RiskSimulator(topology::Router& router, std::vector<FailureScenar
   NETENT_EXPECTS(base_capacity_.size() == router_.topo().link_count());
 }
 
+void RiskSimulator::resync(std::vector<FailureScenario> scenarios,
+                           std::span<const double> base_capacity_gbps) {
+  NETENT_EXPECTS(!scenarios.empty());
+  NETENT_EXPECTS(base_capacity_gbps.size() == router_.topo().link_count());
+  scenarios_ = std::move(scenarios);
+  base_capacity_.assign(base_capacity_gbps.begin(), base_capacity_gbps.end());
+  index_.resync(router_.topo());
+}
+
 std::vector<AvailabilityCurve> RiskSimulator::availability_curves(
     std::span<const topology::Demand> pipes, std::size_t num_threads, SweepMode mode) const {
   NETENT_EXPECTS(!pipes.empty());

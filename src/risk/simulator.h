@@ -134,6 +134,13 @@ class RiskSimulator {
   [[nodiscard]] std::span<const FailureScenario> scenarios() const { return scenarios_; }
   [[nodiscard]] const topology::SrlgIndex& srlg_index() const { return index_; }
 
+  /// Re-binds the simulator to the router's post-mutation topology state:
+  /// swaps in the freshly enumerated scenario set, copies the new base
+  /// capacities and catches the SRLG index up with any added links.
+  /// Equivalent to constructing RiskSimulator(router, scenarios, base) anew
+  /// (reference members make in-place reconstruction the cheaper spelling).
+  void resync(std::vector<FailureScenario> scenarios, std::span<const double> base_capacity_gbps);
+
  private:
   topology::Router& router_;
   std::vector<FailureScenario> scenarios_;

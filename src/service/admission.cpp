@@ -32,6 +32,13 @@ struct ServiceMetrics {
   obs::Counter& released = reg.counter("service.admission.released");
   obs::Counter& rejected = reg.counter("service.admission.rejected");
   obs::Counter& failed = reg.counter("service.admission.failed");
+  /// Topology-lifecycle windows: mutation batches applied, and the verdict
+  /// split over the in-force contracts each delta re-verified.
+  obs::Counter& topology_applied = reg.counter("service.admission.topology_applied");
+  obs::Counter& mutations_applied = reg.counter("service.admission.mutations_applied");
+  obs::Counter& contracts_reverified = reg.counter("service.admission.contracts_reverified");
+  obs::Counter& contracts_shrunk = reg.counter("service.admission.contracts_shrunk");
+  obs::Counter& contracts_revoked = reg.counter("service.admission.contracts_revoked");
   obs::Counter& windows = reg.counter("service.admission.windows");
   obs::Counter& rebuilds = reg.counter("service.admission.rebuilds");
   obs::Counter& counter_proposals = reg.counter("service.admission.counter_proposals");
@@ -95,6 +102,14 @@ AdmissionController::AdmissionController(const topology::Topology& topo, Admissi
   if (config_.background) {
     worker_ = std::thread(&AdmissionController::worker_loop, this);
   }
+}
+
+AdmissionController::AdmissionController(topology::Topology& topo, AdmissionConfig config)
+    : AdmissionController(static_cast<const topology::Topology&>(topo), std::move(config)) {
+  // The delegated constructor may already have started the worker; publish
+  // the mutable handle under the state lock it will read it under.
+  const std::lock_guard<std::mutex> lock(state_mutex_);
+  mutable_topo_ = &topo;
 }
 
 AdmissionController::~AdmissionController() {
@@ -161,6 +176,16 @@ AdmissionOutcome AdmissionController::release(ContractId contract) {
   AdmissionRequest request;
   request.kind = RequestKind::release;
   request.contract = contract;
+  auto future = submit(std::move(request));
+  if (!config_.background) flush();
+  return future.get();
+}
+
+AdmissionOutcome AdmissionController::apply_topology_delta(
+    std::vector<topology::Mutation> mutations) {
+  AdmissionRequest request;
+  request.kind = RequestKind::topology;
+  request.mutations = std::move(mutations);
   auto future = submit(std::move(request));
   if (!config_.background) flush();
   return future.get();
@@ -249,6 +274,7 @@ void AdmissionController::process_window(std::vector<Pending> window) {
       case AdmissionStatus::released: m.released.add(); break;
       case AdmissionStatus::rejected: m.rejected.add(); break;
       case AdmissionStatus::failed: m.failed.add(); break;
+      case AdmissionStatus::topology_applied: m.topology_applied.add(); break;
     }
     m.latency_seconds.record(std::chrono::duration<double>(now - window[i].enqueued).count());
     window[i].promise.set_value(std::move(outcomes[i]));
@@ -261,6 +287,15 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
   const std::size_t realizations = config_.approval.realizations;
   const std::size_t region_count = router_.topo().region_count();
   std::vector<AdmissionOutcome> outcomes(window.size());
+
+  // --- Phase 0: topology windows. Mutation batches are serialized ahead of
+  // the window's contract requests (in submission order among themselves),
+  // so the admits / resizes below evaluate against the evolved network.
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    if (window[i].request.kind == RequestKind::topology) {
+      outcomes[i] = evaluate_topology_window(window[i].request);
+    }
+  }
 
   // --- Phase 1: validate and classify, in submission order. ---------------
   struct EvalEntry {
@@ -379,6 +414,8 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
         released_ids.insert(request.contract);
         break;  // outcome finalized in phase 4
       }
+      case RequestKind::topology:
+        break;  // handled in phase 0
     }
   }
 
@@ -675,6 +712,315 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
   return outcomes;
 }
 
+AdmissionOutcome AdmissionController::evaluate_topology_window(const AdmissionRequest& request) {
+  if (mutable_topo_ == nullptr) {
+    return failed_outcome(ErrorCode::invalid_argument,
+                          "topology windows need the mutable-topology constructor");
+  }
+  if (request.mutations.empty()) {
+    return failed_outcome(ErrorCode::invalid_argument, "topology request has no mutations");
+  }
+  topology::Topology& topo = *mutable_topo_;
+  ServiceMetrics& m = metrics();
+
+  // --- Validate the WHOLE batch before touching anything: one invalid
+  // mutation fails the request with the topology (and every derived cache)
+  // intact. Ids must name pre-batch entities — a mutation may not target a
+  // link/SRLG the same batch creates (split into two windows instead).
+  const std::size_t pre_links = topo.link_count();
+  const std::size_t pre_regions = topo.region_count();
+  const std::size_t pre_srlgs = topo.srlg_count();
+  std::vector<char> sim_retired(pre_links, 0);
+  std::vector<char> sim_drained(pre_regions, 0);
+  std::vector<char> sim_struck(pre_srlgs, 0);
+  for (std::size_t l = 0; l < pre_links; ++l) {
+    sim_retired[l] = topo.link_retired(LinkId(static_cast<std::uint32_t>(l))) ? 1 : 0;
+  }
+  for (std::size_t r = 0; r < pre_regions; ++r) {
+    sim_drained[r] = topo.region_drained(RegionId(static_cast<std::uint32_t>(r))) ? 1 : 0;
+  }
+  for (std::size_t g = 0; g < pre_srlgs; ++g) {
+    sim_struck[g] = topo.srlg_struck(SrlgId(static_cast<std::uint32_t>(g))) ? 1 : 0;
+  }
+  std::string error;
+  const auto invalid = [&](std::string message) {
+    error = std::move(message);
+    return false;
+  };
+  const auto validate = [&](const topology::Mutation& mut) {
+    switch (mut.kind) {
+      case topology::MutationKind::add_fiber: {
+        if (mut.region_a.value() >= pre_regions || mut.region_b.value() >= pre_regions) {
+          return invalid("add_fiber: region out of range");
+        }
+        if (mut.region_a == mut.region_b) return invalid("add_fiber: fiber endpoints equal");
+        if (mut.capacity.value() <= 0.0) return invalid("add_fiber: capacity must be > 0");
+        if (mut.conduit.has_value()) {
+          if (mut.conduit->value() >= pre_links) {
+            return invalid("add_fiber: conduit link must predate the batch");
+          }
+          if (sim_retired[mut.conduit->value()] != 0) {
+            return invalid("add_fiber: conduit link is retired");
+          }
+        } else if (mut.mtbf_hours < 0.0 || mut.mttr_hours < 0.0) {
+          return invalid("add_fiber: negative reliability");
+        }
+        return true;
+      }
+      case topology::MutationKind::retire_fiber: {
+        if (mut.link.value() >= pre_links) {
+          return invalid("retire_fiber: link must predate the batch");
+        }
+        if (sim_retired[mut.link.value()] != 0) return invalid("retire_fiber: already retired");
+        sim_retired[mut.link.value()] = 1;
+        sim_retired[topo.link(mut.link).reverse.value()] = 1;
+        return true;
+      }
+      case topology::MutationKind::resize_fiber: {
+        if (mut.link.value() >= pre_links) {
+          return invalid("resize_fiber: link must predate the batch");
+        }
+        if (sim_retired[mut.link.value()] != 0) return invalid("resize_fiber: link is retired");
+        if (mut.capacity.value() <= 0.0) return invalid("resize_fiber: capacity must be > 0");
+        return true;
+      }
+      case topology::MutationKind::drain_region: {
+        if (mut.region_a.value() >= pre_regions) return invalid("drain_region: out of range");
+        if (sim_drained[mut.region_a.value()] != 0) return invalid("drain_region: already drained");
+        sim_drained[mut.region_a.value()] = 1;
+        return true;
+      }
+      case topology::MutationKind::undrain_region: {
+        if (mut.region_a.value() >= pre_regions) return invalid("undrain_region: out of range");
+        if (sim_drained[mut.region_a.value()] == 0) return invalid("undrain_region: not drained");
+        sim_drained[mut.region_a.value()] = 0;
+        return true;
+      }
+      case topology::MutationKind::strike_srlgs:
+      case topology::MutationKind::repair_srlgs: {
+        if (mut.srlgs.empty()) return invalid("strike/repair: empty SRLG list");
+        std::vector<SrlgId> unique(mut.srlgs);
+        std::sort(unique.begin(), unique.end());
+        unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+        const bool striking = mut.kind == topology::MutationKind::strike_srlgs;
+        for (const SrlgId srlg : unique) {
+          if (srlg.value() >= pre_srlgs) return invalid("strike/repair: SRLG must predate the batch");
+          if ((sim_struck[srlg.value()] != 0) == striking) {
+            return invalid(striking ? "strike_srlgs: already struck"
+                                    : "repair_srlgs: not struck");
+          }
+        }
+        for (const SrlgId srlg : unique) sim_struck[srlg.value()] = striking ? 1 : 0;
+        return true;
+      }
+    }
+    return invalid("unknown mutation kind");
+  };
+  for (const topology::Mutation& mut : request.mutations) {
+    if (!validate(mut)) {
+      return failed_outcome(ErrorCode::invalid_argument, "topology mutation rejected: " + error);
+    }
+  }
+
+  // --- Settle the deferred fast-path audits first: the queued records
+  // snapshot PRE-mutation residuals over the pre-mutation scenario set, so
+  // they must replay against the network they were decided on.
+  {
+    std::vector<AuditRecord> audits;
+    {
+      const std::lock_guard<std::mutex> audit_lock(audit_mutex_);
+      audits.swap(audit_queue_);
+    }
+    for (const AuditRecord& record : audits) audit_record_locked(record);
+  }
+
+  // --- Apply, then resync every topology-derived cache in dependency
+  // order: main router (path store + effective capacities), shard routers
+  // (on their own workers, for the happens-before edge with later jobs),
+  // approval engine (scenarios + simulator + pristine fast summaries), and
+  // finally this controller's base-capacity view.
+  const std::uint64_t from_epoch = topo.epoch();
+  for (const topology::Mutation& mut : request.mutations) (void)topo.apply(mut);
+  m.mutations_applied.add(request.mutations.size());
+
+  topology::TopologyResyncStats resync_stats;
+  std::vector<std::pair<RegionId, RegionId>> changed_pairs;
+  router_.resync_topology(&resync_stats, &changed_pairs);
+  if (pool_ != nullptr) {
+    std::vector<std::future<void>> futures;
+    futures.reserve(pool_->shard_count());
+    for (std::size_t shard = 0; shard < pool_->shard_count(); ++shard) {
+      futures.push_back(
+          pool_->post(shard, [this, shard] { pool_->router(shard).resync_topology(); }));
+    }
+    for (std::future<void>& future : futures) future.get();
+  }
+  const bool scenarios_changed = engine_.resync_topology();
+  base_capacity_ = router_.full_capacities();  // may have grown / moved
+
+  // --- The links whose effective capacity (or existence) the delta moved,
+  // both directions; with `changed_pairs` these bound which contracts the
+  // delta can possibly affect.
+  std::vector<char> link_changed(topo.link_count(), 0);
+  const auto mark_fiber = [&](LinkId id) {
+    link_changed[id.value()] = 1;
+    link_changed[topo.link(id).reverse.value()] = 1;
+  };
+  for (const topology::MutationRecord& rec : topo.mutation_log().since(from_epoch)) {
+    switch (rec.kind) {
+      case topology::MutationKind::add_fiber:
+      case topology::MutationKind::retire_fiber:
+      case topology::MutationKind::resize_fiber:
+        mark_fiber(rec.link);
+        break;
+      case topology::MutationKind::drain_region:
+      case topology::MutationKind::undrain_region:
+        for (const LinkId out : topo.out_links(rec.region)) mark_fiber(out);
+        break;
+      case topology::MutationKind::strike_srlgs:
+      case topology::MutationKind::repair_srlgs:
+        for (const topology::Link& link : topo.links()) {
+          // rec.srlgs is sorted+deduped by Topology::strike/repair_srlgs.
+          if (std::binary_search(rec.srlgs.begin(), rec.srlgs.end(), link.srlg)) {
+            link_changed[link.id.value()] = 1;
+          }
+        }
+        break;
+    }
+  }
+  std::set<std::pair<std::uint32_t, std::uint32_t>> dirty_pairs;
+  for (const auto& [src, dst] : changed_pairs) dirty_pairs.insert({src.value(), dst.value()});
+
+  // A contract needs re-verification when the scenario set itself changed
+  // (every availability curve's probability masses move) or any committed
+  // demand routes over a changed pair / touches a changed link.
+  const auto contract_affected = [&](ContractId id) {
+    if (scenarios_changed) return true;
+    for (const Batch& batch : batches_) {
+      for (const auto& per_realization : batch.demands) {
+        for (const TaggedDemand& tagged : per_realization) {
+          if (tagged.owner != id) continue;
+          if (dirty_pairs.count({tagged.demand.src.value(), tagged.demand.dst.value()}) != 0) {
+            return true;
+          }
+          const topology::PathList paths =
+              router_.cached_paths(tagged.demand.src, tagged.demand.dst);
+          NETENT_EXPECTS(paths.valid());
+          for (const topology::PathView path : paths) {
+            for (const LinkId link : path.links) {
+              if (link_changed[link.value()] != 0) return true;
+            }
+          }
+        }
+      }
+    }
+    return false;
+  };
+  std::vector<ContractId> affected;
+  for (const AdmittedEntry& entry : admitted_) {
+    if (contract_affected(entry.id)) affected.push_back(entry.id);
+  }
+  std::sort(affected.begin(), affected.end());
+
+  // --- Re-verify each affected contract in ascending id order, applying
+  // each verdict before judging the next (deterministic: no RNG, and every
+  // step below is bit-identical at any shard x thread count). A contract is
+  // judged by re-placing its committed demands LAST: against residuals with
+  // every other in-force grant placed, the fraction of each demand that
+  // still clears the SLO target bounds what the evolved network supports.
+  const std::size_t realizations = config_.approval.realizations;
+  const double slo = config_.approval.slo_availability;
+  std::vector<ContractVerdict> verdicts;
+  for (const ContractId id : affected) {
+    std::vector<Batch> others = batches_;
+    for (Batch& batch : others) {
+      for (auto& per_realization : batch.demands) {
+        std::erase_if(per_realization,
+                      [&](const TaggedDemand& tagged) { return tagged.owner == id; });
+      }
+    }
+    const ResidualState minus_c = residuals_of(others);
+    double worst = 1.0;
+    for (std::size_t k = 0; k < realizations; ++k) {
+      std::vector<Demand> demands;
+      for (const Batch& batch : batches_) {
+        for (const TaggedDemand& tagged : batch.demands[k]) {
+          if (tagged.owner == id) demands.push_back(tagged.demand);
+        }
+      }
+      if (demands.empty()) continue;
+      const std::vector<risk::AvailabilityCurve> curves =
+          curves_against_residuals(router_, minus_c, k, demands);
+      for (std::size_t i = 0; i < demands.size(); ++i) {
+        const double amount = demands[i].amount.value();
+        if (amount <= kEps) continue;
+        const double supported = curves[i].bandwidth_at(slo).value();
+        worst = std::min(worst, supported + 1e-9 >= amount ? 1.0 : supported / amount);
+      }
+    }
+    ContractVerdict verdict;
+    verdict.contract = id;
+    m.contracts_reverified.add();
+    if (worst >= 1.0) {
+      verdict.kind = VerdictKind::reaffirmed;
+      verdict.fraction = 1.0;
+    } else if (worst <= kEps) {
+      verdict.kind = VerdictKind::revoked;
+      verdict.fraction = 0.0;
+      for (Batch& batch : batches_) {
+        for (auto& per_realization : batch.demands) {
+          std::erase_if(per_realization,
+                        [&](const TaggedDemand& tagged) { return tagged.owner == id; });
+        }
+      }
+      db_.remove(id);
+      std::erase_if(admitted_, [&](const AdmittedEntry& entry) { return entry.id == id; });
+      m.contracts_revoked.add();
+    } else {
+      verdict.kind = VerdictKind::shrunk;
+      verdict.fraction = worst;
+      for (Batch& batch : batches_) {
+        for (auto& per_realization : batch.demands) {
+          for (TaggedDemand& tagged : per_realization) {
+            if (tagged.owner == id) {
+              tagged.demand.amount = Gbps(tagged.demand.amount.value() * worst);
+            }
+          }
+        }
+      }
+      const core::EntitlementContract* existing = db_.find_by_id(id);
+      NETENT_EXPECTS(existing != nullptr);
+      core::EntitlementContract updated = *existing;
+      for (core::Entitlement& entitlement : updated.entitlements) {
+        entitlement.entitled_rate = Gbps(entitlement.entitled_rate.value() * worst);
+      }
+      db_.remove(id);
+      db_.add(std::move(updated));
+      m.contracts_shrunk.add();
+    }
+    verdicts.push_back(verdict);
+  }
+
+  // --- Rebuild the maintained residual state (the scenario set and link
+  // count may both have changed shape) and the fast-path summaries on the
+  // resynced engine state.
+  residual_ = residuals_of(batches_);
+  m.rebuilds.add();
+  if (config_.approval.fastpath.enabled) {
+    fast_.clear();
+    fast_.reserve(realizations);
+    for (std::size_t k = 0; k < realizations; ++k) {
+      fast_.emplace_back(router_.topo(), engine_.scenarios());
+      fast_.back().rebuild(residual_[k]);
+    }
+  }
+
+  AdmissionOutcome outcome;
+  outcome.status = AdmissionStatus::topology_applied;
+  outcome.reverified = std::move(verdicts);
+  return outcome;
+}
+
 std::vector<risk::AvailabilityCurve> AdmissionController::curves_against_residuals(
     topology::Router& router, const ResidualState& residuals, std::size_t k,
     std::span<const Demand> demands) {
@@ -828,11 +1174,16 @@ bool AdmissionController::audit_one() {
     record = std::move(audit_queue_.front());
     audit_queue_.erase(audit_queue_.begin());
   }
-  ServiceMetrics& m = metrics();
-  const std::span<const risk::FailureScenario> scenario_set = engine_.scenarios();
   // state_mutex_ excludes concurrent path-cache warms; the replay itself is
   // the read-only warmed sweep.
   const std::lock_guard<std::mutex> lock(state_mutex_);
+  audit_record_locked(record);
+  return true;
+}
+
+void AdmissionController::audit_record_locked(const AuditRecord& record) {
+  ServiceMetrics& m = metrics();
+  const std::span<const risk::FailureScenario> scenario_set = engine_.scenarios();
   // A fast-hit realization of a window that was ultimately REJECTED never
   // committed, so in sharded mode only its shard router warmed these pairs
   // — warm the main router before the replay (a no-op when already cached).
@@ -866,7 +1217,6 @@ bool AdmissionController::audit_one() {
       m.fastpath_audit_violations.add();
     }
   }
-  return true;
 }
 
 std::size_t AdmissionController::audit_fastpath() {

@@ -61,7 +61,7 @@ namespace netent::service {
 /// the database as EntitlementContract::id).
 using ContractId = std::uint64_t;
 
-enum class RequestKind : std::uint8_t { admit, resize, release };
+enum class RequestKind : std::uint8_t { admit, resize, release, topology };
 
 /// One streamed contract request. `hoses` (admit/resize) may span several
 /// QoS classes and regions but must all belong to `npg`.
@@ -71,6 +71,9 @@ struct AdmissionRequest {
   std::string npg_name;     ///< admit: display name for the contract
   ContractId contract = 0;  ///< resize/release: which contract
   std::vector<hose::HoseRequest> hoses;  ///< admit/resize: requested hoses
+  /// topology: the mutation batch to apply (validated as a unit — any
+  /// invalid mutation fails the request without applying anything).
+  std::vector<topology::Mutation> mutations;
 };
 
 enum class AdmissionStatus : std::uint8_t {
@@ -79,6 +82,23 @@ enum class AdmissionStatus : std::uint8_t {
   released,  ///< contract removed, its capacity reclaimed
   rejected,  ///< approval below the acceptance threshold; nothing reserved
   failed,    ///< malformed request or internal error (see `error`)
+  topology_applied,  ///< mutation batch applied; `reverified` has the verdicts
+};
+
+/// Verdict on one in-force contract re-verified after a topology delta.
+enum class VerdictKind : std::uint8_t {
+  reaffirmed,  ///< still fully supportable; grant unchanged
+  shrunk,      ///< partially supportable; grant scaled to `fraction`
+  revoked,     ///< no longer supportable; contract removed
+};
+
+struct ContractVerdict {
+  ContractId contract = 0;
+  VerdictKind kind = VerdictKind::reaffirmed;
+  /// Supportable fraction of the current grant in [0, 1] (1 = reaffirmed,
+  /// 0 = revoked). Shrunk contracts keep `fraction` of every committed
+  /// demand and entitlement.
+  double fraction = 1.0;
 };
 
 struct AdmissionOutcome {
@@ -90,6 +110,10 @@ struct AdmissionOutcome {
   /// Negotiation counter-proposals, attached to rejections (§8): partial
   /// volume, alternative regions, lower QoS classes.
   std::vector<approval::CounterProposal> proposals;
+  /// topology_applied: one verdict per re-verified in-force contract, in
+  /// ascending ContractId order (contracts untouched by the delta are not
+  /// listed — they are trivially reaffirmed).
+  std::vector<ContractVerdict> reverified;
   std::optional<Error> error;  ///< set when status == failed
 };
 
@@ -136,6 +160,11 @@ struct AdmissionConfig {
 class AdmissionController {
  public:
   AdmissionController(const topology::Topology& topo, AdmissionConfig config);
+  /// Mutable-topology overload: additionally enables RequestKind::topology
+  /// windows (apply_topology_delta), which mutate `topo` in place and
+  /// re-verify the in-force contract set against the evolved network. The
+  /// controller must be the only mutator of `topo` for its lifetime.
+  AdmissionController(topology::Topology& topo, AdmissionConfig config);
   ~AdmissionController();
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
@@ -149,6 +178,18 @@ class AdmissionController {
                          std::vector<hose::HoseRequest> hoses);
   AdmissionOutcome resize(ContractId contract, std::vector<hose::HoseRequest> hoses);
   AdmissionOutcome release(ContractId contract);
+  /// Applies a topology mutation batch as its own serialized window (the
+  /// mutable-topology constructor is required; otherwise the outcome is
+  /// `failed`). The whole batch is validated first — one invalid mutation
+  /// fails the request without applying anything. On success the router /
+  /// shard routers / approval engine / fast-path summaries are incrementally
+  /// resynced (bit-identical to a from-scratch rebuild on the mutated
+  /// topology) and every in-force contract whose placement the delta can
+  /// affect is re-verified: still-supportable contracts are reaffirmed,
+  /// partially supportable ones shrunk in place, unsupportable ones revoked.
+  /// Verdicts land in AdmissionOutcome::reverified. Deterministic at every
+  /// shard x thread count: topology windows consume no admission RNG.
+  AdmissionOutcome apply_topology_delta(std::vector<topology::Mutation> mutations);
 
   /// Processes every queued request as one window, synchronously. In
   /// background mode this is a drain (the worker may also be processing).
@@ -241,6 +282,11 @@ class AdmissionController {
   void worker_loop();
   void process_window(std::vector<Pending> window);
   [[nodiscard]] std::vector<AdmissionOutcome> evaluate_window(std::vector<Pending>& window);
+  /// Processes one RequestKind::topology request: validate the whole batch,
+  /// apply it to *mutable_topo_, resync every topology-derived cache (main
+  /// router, shard routers, approval engine, base-capacity view, residuals,
+  /// fast-path summaries) and re-verify affected in-force contracts.
+  [[nodiscard]] AdmissionOutcome evaluate_topology_window(const AdmissionRequest& request);
   /// Rebuilds / refreshes the per-realization headroom summaries after the
   /// residual state changed. `dirty_batch` non-null: only links on the
   /// batch's demands' candidate paths are re-summarized (a pure-admit
@@ -248,6 +294,10 @@ class AdmissionController {
   void refresh_fastpath(const Batch* dirty_batch);
   /// Audits one queued fast-admit record; false when the queue is empty.
   bool audit_one();
+  /// The audit replay itself; caller holds state_mutex_. Topology windows
+  /// settle the whole queue through this before mutating (the records
+  /// snapshot PRE-mutation residual state over the pre-mutation scenarios).
+  void audit_record_locked(const AuditRecord& record);
 
   /// Availability curves for placement-ordered demands of realization `k`
   /// against `residuals` (the incremental ASSESS_RISK). Warms `router` for
@@ -269,6 +319,9 @@ class AdmissionController {
   AdmissionConfig config_;
   std::size_t threads_ = 1;
   std::size_t shards_ = 1;
+  /// Non-null iff constructed with the mutable-topology overload; the only
+  /// handle through which topology windows mutate the network.
+  topology::Topology* mutable_topo_ = nullptr;
   topology::Router router_;
   /// Shard workers for the per-realization fan-out; null when shards_ == 1
   /// (the serial path assesses every realization on router_ in place).

@@ -77,17 +77,12 @@ struct DrillConfig {
   std::size_t flows_per_host = 25;
 
   /// Execution resources for the per-host loops (classification, connection
-  /// pools). Ticks are bit-identical for every thread count. When
-  /// `exec.threads` is unset the deprecated `num_threads` alias below is
-  /// honored.
+  /// pools). Ticks are bit-identical for every thread count. Unset
+  /// `exec.threads` runs fully serial (the drill default).
   common::ExecConfig exec;
-  /// DEPRECATED alias for `exec.threads` (kept for one release): threads for
-  /// the per-host loops; 1 runs fully serial. Ignored when `exec.threads` is
-  /// set.
-  std::size_t num_threads = 1;
-  /// Effective per-host-loop thread count: `exec.threads` when set, else the
-  /// deprecated `num_threads` alias.
-  [[nodiscard]] std::size_t drill_threads() const { return exec.resolve(num_threads); }
+  /// Effective per-host-loop thread count (`exec.threads`, defaulting to 1
+  /// — fully serial).
+  [[nodiscard]] std::size_t drill_threads() const { return exec.resolve(1); }
 
   /// Per-agent timer phase jitter: each host's publish and metering timers
   /// start at an independent uniform offset in [0, phase_jitter_seconds)

@@ -1,0 +1,103 @@
+// Topology lifecycle: the mutation vocabulary and the versioned log.
+//
+// The paper's agility story (§5, §7) assumes the backbone itself keeps
+// changing while entitlements are in force — fiber builds, retirements,
+// capacity augments, maintenance drains, correlated SRLG storms. Every such
+// change is expressed as one Mutation applied to the Topology, which records
+// a MutationRecord in its MutationLog and bumps its epoch counter. Consumers
+// that cache topology-derived state (Router path caches, SRLG indexes, the
+// admission plane's residuals) remember the epoch they last synced to and
+// catch up by reading `log.since(epoch)` — the contract that makes
+// incremental re-warm provably equivalent to a from-scratch rebuild.
+//
+// Two mutation classes matter downstream:
+//  * STRUCTURAL (add_fiber, retire_fiber): the set of usable links changes,
+//    so k-shortest-path sets can change and path caches must re-warm the
+//    affected (src, dst) pairs.
+//  * CAPACITY-ONLY (resize_fiber, drain/undrain_region, strike/repair_srlgs):
+//    path costs are hop counts, so candidate path sets are untouched; only
+//    per-link effective capacities move.
+// Links are never physically removed — LinkIds stay dense indices forever; a
+// retired fiber keeps its slot with zero effective capacity and is excluded
+// from new path computation.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.h"
+#include "common/units.h"
+
+namespace netent::topology {
+
+enum class MutationKind : std::uint8_t {
+  add_fiber,       ///< new bidirectional fiber (optionally sharing a conduit)
+  retire_fiber,    ///< fiber removed from service (capacity 0, unusable for new paths)
+  resize_fiber,    ///< capacity augment / reduction, both directions
+  drain_region,    ///< maintenance: all links touching the region carry 0
+  undrain_region,  ///< maintenance over
+  strike_srlgs,    ///< correlated storm: the listed SRLGs are cut
+  repair_srlgs,    ///< storm over: the listed SRLGs restored
+};
+
+/// One requested topology change, the uniform argument of Topology::apply().
+/// Only the fields of the mutation's kind are read; the rest are ignored.
+struct Mutation {
+  MutationKind kind = MutationKind::resize_fiber;
+  /// Caller-supplied event time (simulated hours); log bookkeeping only.
+  double when_hours = 0.0;
+  // add_fiber:
+  RegionId region_a;                 ///< also the drain/undrain target
+  RegionId region_b;
+  Gbps capacity{0.0};                ///< add/resize: per-direction capacity
+  double mtbf_hours = 8760.0;        ///< add (ignored when `conduit` is set)
+  double mttr_hours = 12.0;          ///< add (ignored when `conduit` is set)
+  /// add_fiber: lay the new fiber in this existing link's conduit (same
+  /// SRLG, same reliability — a single cut takes out all co-conduit fibers).
+  std::optional<LinkId> conduit;
+  // retire_fiber / resize_fiber: either direction of the target fiber.
+  LinkId link;
+  // strike_srlgs / repair_srlgs:
+  std::vector<SrlgId> srlgs;
+};
+
+/// One applied mutation as the log stores it. `epoch` is the topology epoch
+/// AFTER applying (epochs increase by exactly 1 per record, starting at 1).
+struct MutationRecord {
+  MutationKind kind = MutationKind::resize_fiber;
+  std::uint64_t epoch = 0;
+  double when_hours = 0.0;
+  LinkId link;                ///< add/retire/resize: forward-direction link id
+  Gbps capacity{0.0};         ///< add/resize: the new per-direction capacity
+  RegionId region;            ///< drain/undrain
+  std::vector<SrlgId> srlgs;  ///< strike/repair (sorted, deduped)
+
+  /// True when the record can change k-shortest-path sets (add/retire);
+  /// capacity-only records never do — path costs are hop counts.
+  [[nodiscard]] bool structural() const {
+    return kind == MutationKind::add_fiber || kind == MutationKind::retire_fiber;
+  }
+};
+
+/// Append-only, time-stamped record of every mutation a Topology underwent
+/// (including build-phase add_fiber calls). Records carry consecutive
+/// epochs, so `since(e)` is an O(1) subspan, not a search.
+class MutationLog {
+ public:
+  [[nodiscard]] std::span<const MutationRecord> records() const { return records_; }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Records applied after the given epoch (i.e. with record.epoch > epoch).
+  [[nodiscard]] std::span<const MutationRecord> since(std::uint64_t epoch) const {
+    if (epoch >= records_.size()) return {};
+    return std::span<const MutationRecord>(records_).subspan(epoch);
+  }
+
+ private:
+  friend class Topology;
+  std::vector<MutationRecord> records_;
+};
+
+}  // namespace netent::topology

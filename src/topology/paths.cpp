@@ -67,6 +67,10 @@ LinkFilter accept_all_links() {
   return [](const Link&) { return true; };
 }
 
+LinkFilter usable_links(const Topology& topo) {
+  return [&topo](const Link& link) { return !topo.link_retired(link.id); };
+}
+
 LinkFilter exclude_srlgs(std::vector<SrlgId> down) {
   std::sort(down.begin(), down.end());
   return [down = std::move(down)](const Link& link) {

@@ -28,6 +28,11 @@ using LinkFilter = std::function<bool(const Link&)>;
 /// Accepts every link.
 [[nodiscard]] LinkFilter accept_all_links();
 
+/// Accepts links that are in service: rejects retired fibers (the topology-
+/// lifecycle exclusion — drained/struck links stay path-eligible, they just
+/// carry zero effective capacity). Captures `topo` by reference.
+[[nodiscard]] LinkFilter usable_links(const Topology& topo);
+
 /// Rejects links whose SRLG appears in `down` (sorted or unsorted list).
 [[nodiscard]] LinkFilter exclude_srlgs(std::vector<SrlgId> down);
 

@@ -111,13 +111,32 @@ double water_fill_demand(double amount_gbps, const PathRange& candidate_paths,
   return amount_gbps - remaining;
 }
 
-/// Caches k-shortest path sets per (src, dst) pair over a fixed topology,
+/// Resync statistics reported by Router::resync_topology.
+struct TopologyResyncStats {
+  std::uint64_t from_epoch = 0;  ///< epoch the Router was synced to before
+  std::uint64_t to_epoch = 0;    ///< topology epoch after the resync
+  std::size_t mutations = 0;     ///< log records replayed
+  std::size_t structural = 0;    ///< add/retire records among them
+  std::size_t pairs_checked = 0;   ///< compiled pairs tested by the dirty predicate
+  std::size_t pairs_dirty = 0;     ///< pairs whose KSP was re-run
+  std::size_t pairs_changed = 0;   ///< pairs whose path set actually changed
+  bool compacted = false;          ///< the store rewrote its arrays garbage-free
+};
+
+/// Caches k-shortest path sets per (src, dst) pair over a topology snapshot,
 /// compiled into a CSR PathStore. The store is populated lazily by `paths()`
 /// / the non-const `route()` overloads (single-threaded use). For concurrent
 /// use, `warm()` the cache with every (src, dst) pair of the demand set up
 /// front; `route_warmed()` is then const, reads only the immutable store,
 /// and keeps all per-placement mutable state in thread-confined arena
 /// scratch.
+///
+/// Topology lifecycle: the Router snapshots the topology's epoch at
+/// construction; after the topology mutates, call `resync_topology()` (no
+/// sweeps active, no PathList/PathView/full_capacities() span held across
+/// the call) to catch up incrementally — only (src, dst) pairs whose
+/// compiled path sets can have changed are recompiled, and the resulting
+/// store content is identical to a freshly built Router's.
 class Router {
  public:
   Router(const Topology& topo, std::size_t k_paths);
@@ -191,10 +210,33 @@ class Router {
     return store_.find(src, dst);
   }
 
-  /// Per-link capacities of the intact topology, indexed by LinkId. A view
-  /// of the Router's own capacity array — valid for the Router's lifetime,
-  /// no per-call copy.
+  /// Per-link EFFECTIVE capacities of the intact (no failure scenario)
+  /// topology, indexed by LinkId: retired/drained/struck links read 0. A
+  /// view of the Router's own capacity array — valid until the next
+  /// `resync_topology()` (which may grow the array and refreshes every
+  /// entry), not just for this epoch's values. Re-take the span after every
+  /// resync.
   [[nodiscard]] std::span<const double> full_capacities() const { return full_caps_; }
+
+  /// Catches the Router up with the topology's mutation log: refreshes the
+  /// effective-capacity array and recompiles exactly the compiled (src, dst)
+  /// pairs whose k-shortest path sets can differ (BFS bound through each
+  /// added/retired fiber against the pair's k-th best compiled cost —
+  /// capacity-only mutations never re-run KSP, path costs are hop counts).
+  /// Postcondition: per-pair store content equals a fresh
+  /// Router(topo, k_paths) warmed on the same pairs, bit-identical.
+  ///
+  /// Invalidates outstanding PathList/PathView handles and the
+  /// full_capacities() span. Preconditions: no SweepGuard active, and
+  /// region_count unchanged since construction.
+  ///
+  /// When `changed_pairs` is non-null it receives the (src, dst) pairs whose
+  /// compiled path set actually changed (ascending slot order).
+  void resync_topology(TopologyResyncStats* stats = nullptr,
+                       std::vector<std::pair<RegionId, RegionId>>* changed_pairs = nullptr);
+
+  /// The topology epoch this Router's caches reflect.
+  [[nodiscard]] std::uint64_t synced_epoch() const { return synced_epoch_; }
 
   /// The underlying CSR store (read-only; for diagnostics and tests).
   [[nodiscard]] const PathStore& path_store() const { return store_; }
@@ -202,8 +244,10 @@ class Router {
  private:
   const Topology& topo_;
   std::size_t k_paths_;
+  std::size_t region_count_;  ///< snapshot; regions are fixed once attached
   PathStore store_;
-  std::vector<double> full_caps_;  ///< intact per-link capacity, by LinkId
+  std::vector<double> full_caps_;  ///< intact per-link effective capacity, by LinkId
+  std::uint64_t synced_epoch_ = 0;
   /// Count of live SweepGuards; paths() refuses cache insertion while > 0.
   mutable std::atomic<int> active_sweeps_{0};
 };

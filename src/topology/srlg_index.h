@@ -15,9 +15,12 @@
 
 namespace netent::topology {
 
-/// Immutable inverted index from SRLG to the directed links riding it.
-/// Every link belongs to exactly one SRLG, so the per-SRLG link lists are
-/// disjoint and their union is the full link set.
+/// Inverted index from SRLG to the directed links riding it. Every link
+/// belongs to exactly one SRLG, so the per-SRLG link lists are disjoint and
+/// their union is the full link set. Links are indexed for life — retired
+/// fibers stay listed (their effective capacity is already 0, so zeroing
+/// them again in a scenario is a no-op); after the topology gains links or
+/// SRLGs, `resync()` appends the new entries.
 class SrlgIndex {
  public:
   explicit SrlgIndex(const Topology& topo);
@@ -27,8 +30,14 @@ class SrlgIndex {
 
   [[nodiscard]] std::size_t srlg_count() const { return links_by_srlg_.size(); }
 
+  /// Catches up with topology growth: indexes links added since the last
+  /// build/resync. Equivalent to rebuilding from scratch (new links have the
+  /// highest ids, so appending keeps each list ascending).
+  void resync(const Topology& topo);
+
  private:
   std::vector<std::vector<LinkId>> links_by_srlg_;
+  std::size_t links_indexed_ = 0;
 };
 
 /// The sorted, deduplicated set of SRLGs traversed by `path`: the path's

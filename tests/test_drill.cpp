@@ -179,7 +179,7 @@ TEST(DrillSim, ParallelTicksBitIdenticalToSerial) {
   DrillConfig serial_config = fast_config();
   serial_config.duration_seconds = 40.0 * 60.0;
   DrillConfig parallel_config = serial_config;
-  parallel_config.num_threads = 4;
+  parallel_config.exec.threads = 4;
 
   DrillSim serial(serial_config, Rng(7));
   DrillSim parallel(parallel_config, Rng(7));

@@ -73,7 +73,7 @@ DrillConfig golden2_config() {
   c.stateful_meter = false;
   c.marking = enforce::MarkingMode::flow_based;
   c.transport = DrillConfig::Transport::aimd;
-  c.num_threads = 2;
+  c.exec.threads = 2;
   return c;
 }
 
@@ -129,7 +129,7 @@ TEST(DrillGolden, JitteredPhasesAreThreadCountInvariant) {
   std::uint64_t baseline = 0;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     DrillConfig c = jittered_config();
-    c.num_threads = threads;
+    c.exec.threads = threads;
     DrillSim sim(c, Rng(20220822));
     const std::uint64_t hash = hash_ticks(sim.run());
     if (threads == 1) {

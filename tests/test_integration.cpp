@@ -137,7 +137,7 @@ TEST(Integration, ContractDrivesEnforcementConvergence) {
 // bit-identically from a fixed seed, across runs and across risk-sweep
 // thread counts (the parallel sweep's determinism guarantee, end to end).
 
-CycleResult run_seeded_cycle(std::size_t risk_threads, std::uint64_t seed) {
+CycleResult run_seeded_cycle(std::size_t sweep_threads, std::uint64_t seed) {
   Rng rng(seed);
   topology::GeneratorConfig topo_config;
   topo_config.region_count = 5;
@@ -157,7 +157,7 @@ CycleResult run_seeded_cycle(std::size_t risk_threads, std::uint64_t seed) {
   config.approval.realizations = 2;
   config.approval.slo_availability = 0.99;
   config.approval.scenarios.min_probability = 1e-7;
-  config.approval.risk_threads = risk_threads;
+  config.approval.exec.threads = sweep_threads;
   config.forecaster.prophet.use_yearly = false;
   config.high_touch_npgs = {0, 1};
   const EntitlementManager manager(topo, config);

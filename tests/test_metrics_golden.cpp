@@ -29,7 +29,7 @@ DrillConfig small_drill(std::size_t num_threads) {
   config.acl_stages = {{12.0 * 60.0, 0.5}, {20.0 * 60.0, 1.0}};
   config.demand_ramp_end_seconds = 15.0 * 60.0;
   config.flows_per_host = 10;
-  config.num_threads = num_threads;
+  config.exec.threads = num_threads;
   return config;
 }
 

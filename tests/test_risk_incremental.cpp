@@ -124,7 +124,7 @@ TEST(RiskIncremental, VerifierAttainmentsBitIdenticalAcrossModes) {
 
   approval::ApprovalConfig config;
   config.slo_availability = 0.999;
-  config.risk_threads = 1;
+  config.exec.threads = 1;
   const approval::ApprovalEngine engine(router, config);
   std::vector<hose::PipeRequest> requests;
   for (std::uint32_t i = 0; i < 24; ++i) {

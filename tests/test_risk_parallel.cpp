@@ -131,7 +131,7 @@ TEST(RiskParallel, SloVerifierAttainmentsBitIdenticalAcrossThreadCounts) {
 
   approval::ApprovalConfig config;
   config.slo_availability = 0.999;
-  config.risk_threads = 1;
+  config.exec.threads = 1;
   const approval::ApprovalEngine engine(router, config);
   std::vector<hose::PipeRequest> requests;
   for (std::uint32_t i = 0; i < 24; ++i) {
