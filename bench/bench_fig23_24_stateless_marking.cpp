@@ -54,9 +54,14 @@ void run_cell(double loss, Table& series, RunningStats& average) {
     dropped.add(static_cast<std::uint64_t>(std::llround(cycle.nonconf_gbps * loss * 1e3)));
     conform_gauge.set(cycle.conform_gbps);
     if (cycle.cycle % 4 == 0) {
-      series.add_row({loss * 100.0, static_cast<double>(cycle.cycle), cycle.conform_gbps,
-                      average.mean(), static_cast<double>(remarked.value()) / 1e3,
-                      static_cast<double>(dropped.value()) / 1e3});
+      // Build the cells from doubles (not a Cell initializer list): copying
+      // variant<string, double> cells trips GCC 12's -Wmaybe-uninitialized
+      // false positive at -O3.
+      const double row[] = {loss * 100.0,   static_cast<double>(cycle.cycle),
+                            cycle.conform_gbps, average.mean(),
+                            static_cast<double>(remarked.value()) / 1e3,
+                            static_cast<double>(dropped.value()) / 1e3};
+      series.add_row(std::vector<Table::Cell>(std::begin(row), std::end(row)));
     }
   });
 }

@@ -17,7 +17,7 @@ using hose::PipeRequest;
 using topology::Demand;
 
 namespace {
-constexpr double kEps = 1e-6;
+constexpr double kEps = kRateEpsGbps;  ///< local alias for brevity
 
 struct ApprovalMetrics {
   obs::Registry& reg = obs::Registry::global();

@@ -23,6 +23,13 @@
 
 namespace netent::approval {
 
+/// The approval plane's rate epsilon (Gbps): rates within this of zero are
+/// "nothing", and a shortfall within this of zero is "fully approved". One
+/// named constant shared by the approval engine, the negotiation layer
+/// (CounterProposal::fully_approved) and the admission service, so the three
+/// surfaces agree on what counts as an approval.
+inline constexpr double kRateEpsGbps = 1e-6;
+
 struct ApprovalConfig {
   double slo_availability = 0.9998;  ///< contract SLO target
   std::size_t realizations = 16;     ///< representative TMs per hose set

@@ -9,6 +9,26 @@ namespace netent::approval {
 using hose::Direction;
 using hose::HoseRequest;
 
+HoseRequest apply_proposal(const CounterProposal& proposal) {
+  HoseRequest request = proposal.original;
+  request.rate = proposal.guaranteed;
+  return request;
+}
+
+HoseRequest apply_proposal(const CounterProposal& proposal, const RegionAlternative& option) {
+  HoseRequest request = proposal.original;
+  request.region = option.region;
+  request.rate = min(proposal.residual, option.guaranteed);
+  return request;
+}
+
+HoseRequest apply_proposal(const CounterProposal& proposal, const QosAlternative& option) {
+  HoseRequest request = proposal.original;
+  request.qos = option.qos;
+  request.rate = min(proposal.residual, option.guaranteed);
+  return request;
+}
+
 NegotiationEngine::NegotiationEngine(topology::Router& router, ApprovalConfig approval_config,
                                      NegotiationConfig config)
     : router_(router), approval_config_(std::move(approval_config)), config_(config) {

@@ -35,8 +35,25 @@ struct CounterProposal {
   std::vector<RegionAlternative> region_options;  ///< option (b), best first
   std::vector<QosAlternative> qos_options;        ///< option (c), best first
 
-  [[nodiscard]] bool fully_approved() const { return residual <= Gbps(1e-6); }
+  [[nodiscard]] bool fully_approved() const { return residual <= Gbps(kRateEpsGbps); }
 };
+
+/// Derives the follow-up request a proposal option stands for, so callers
+/// (operators, the spec::PolicyEngine) act on counter-proposals instead of
+/// re-deriving hose fields by hand.
+///
+/// Option (a), accept the partial grant: the original hose at the guaranteed
+/// volume.
+[[nodiscard]] hose::HoseRequest apply_proposal(const CounterProposal& proposal);
+/// Option (b), move the residual: the original hose re-homed to the
+/// alternative region, at the residual volume capped by what that region can
+/// guarantee.
+[[nodiscard]] hose::HoseRequest apply_proposal(const CounterProposal& proposal,
+                                               const RegionAlternative& option);
+/// Option (c), demote the residual: the original hose at the lower QoS
+/// class, at the residual volume capped by what that class can guarantee.
+[[nodiscard]] hose::HoseRequest apply_proposal(const CounterProposal& proposal,
+                                               const QosAlternative& option);
 
 struct NegotiationConfig {
   /// Only propose alternatives that guarantee at least this fraction of the

@@ -16,6 +16,27 @@
 
 namespace netent {
 
+/// Error taxonomy, used uniformly across the load paths AND the service
+/// surface (admission validation failures, spec parsing/compilation):
+///
+///   parse_error       The bytes are not a well-formed document: broken
+///                     JSON/line syntax, a wrong type for a field, an
+///                     unknown or duplicated key in a strict schema.
+///                     Messages start with "line N:" when a line is known.
+///   io_error          The medium failed — a file or stream could not be
+///                     opened, read or written. The content was never seen.
+///   invalid_argument  The input is well-formed but violates a documented
+///                     semantic precondition: a region outside the topology,
+///                     a negative rate, a resize without hoses, an NPG that
+///                     already holds a live contract.
+///   not_found         A well-formed reference to an entity that does not
+///                     exist — e.g. a resize/release naming an unknown
+///                     contract id. Distinct from invalid_argument so
+///                     callers can treat "stale handle" (retryable after
+///                     re-admission) apart from "bad request" (a bug).
+///
+/// Rule of thumb: parse_error/io_error mean the request never existed;
+/// invalid_argument means fix the request; not_found means fix the handle.
 enum class ErrorCode : std::uint8_t {
   parse_error,       ///< malformed textual input
   io_error,          ///< file/stream could not be opened, read or written

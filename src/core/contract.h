@@ -20,6 +20,7 @@ struct Period {
   double start_seconds = 0.0;
   double end_seconds = 0.0;
 
+  [[nodiscard]] bool operator==(const Period&) const = default;
   [[nodiscard]] bool contains(double t) const { return t >= start_seconds && t < end_seconds; }
   [[nodiscard]] double length_seconds() const { return end_seconds - start_seconds; }
 };

@@ -1,0 +1,528 @@
+#include "core/json.h"
+
+#include <cassert>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace netent::core::json {
+
+namespace {
+
+Error parse_fail(std::size_t line, const std::string& what) {
+  return Error{ErrorCode::parse_error, "line " + std::to_string(line) + ": " + what};
+}
+
+bool is_json_ws(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+
+/// Appends `code_point` UTF-8 encoded. Valid scalar values only (the caller
+/// rejects unpaired surrogates).
+void append_utf8(std::string& out, std::uint32_t code_point) {
+  if (code_point < 0x80) {
+    out.push_back(static_cast<char>(code_point));
+  } else if (code_point < 0x800) {
+    out.push_back(static_cast<char>(0xC0 | (code_point >> 6)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else if (code_point < 0x10000) {
+    out.push_back(static_cast<char>(0xE0 | (code_point >> 12)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  } else {
+    out.push_back(static_cast<char>(0xF0 | (code_point >> 18)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 12) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | ((code_point >> 6) & 0x3F)));
+    out.push_back(static_cast<char>(0x80 | (code_point & 0x3F)));
+  }
+}
+
+}  // namespace
+
+const char* to_string(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::object_begin: return "'{'";
+    case TokenKind::object_end: return "'}'";
+    case TokenKind::array_begin: return "'['";
+    case TokenKind::array_end: return "']'";
+    case TokenKind::comma: return "','";
+    case TokenKind::colon: return "':'";
+    case TokenKind::string: return "string";
+    case TokenKind::number: return "number";
+    case TokenKind::boolean: return "boolean";
+    case TokenKind::null: return "null";
+    case TokenKind::end: return "end of input";
+  }
+  return "unknown token";
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+Expected<Token> Tokenizer::next() {
+  while (pos_ < input_.size() && is_json_ws(input_[pos_])) {
+    if (input_[pos_] == '\n') ++line_;
+    ++pos_;
+  }
+  Token token;
+  token.line = line_;
+  if (pos_ >= input_.size()) {
+    token.kind = TokenKind::end;
+    return token;
+  }
+  const char c = input_[pos_];
+  switch (c) {
+    case '{': ++pos_; token.kind = TokenKind::object_begin; return token;
+    case '}': ++pos_; token.kind = TokenKind::object_end; return token;
+    case '[': ++pos_; token.kind = TokenKind::array_begin; return token;
+    case ']': ++pos_; token.kind = TokenKind::array_end; return token;
+    case ',': ++pos_; token.kind = TokenKind::comma; return token;
+    case ':': ++pos_; token.kind = TokenKind::colon; return token;
+    case '"': return lex_string();
+    default:
+      if (c == '-' || (c >= '0' && c <= '9')) return lex_number();
+      if (c == 't' || c == 'f' || c == 'n') return lex_word();
+      return parse_fail(line_, std::string("unexpected character '") + c + "'");
+  }
+}
+
+Expected<Token> Tokenizer::lex_string() {
+  Token token;
+  token.line = line_;
+  token.kind = TokenKind::string;
+  ++pos_;  // opening quote
+  std::string& out = token.text;
+  while (true) {
+    if (pos_ >= input_.size()) return parse_fail(token.line, "unterminated string");
+    const unsigned char c = static_cast<unsigned char>(input_[pos_]);
+    if (c == '"') {
+      ++pos_;
+      return token;
+    }
+    if (c < 0x20) return parse_fail(line_, "raw control character in string");
+    if (c != '\\') {
+      if (c == '\n') ++line_;  // unreachable (control char), kept for clarity
+      out.push_back(static_cast<char>(c));
+      ++pos_;
+      continue;
+    }
+    // Escape sequence.
+    ++pos_;
+    if (pos_ >= input_.size()) return parse_fail(token.line, "unterminated escape");
+    const char esc = input_[pos_++];
+    switch (esc) {
+      case '"': out.push_back('"'); break;
+      case '\\': out.push_back('\\'); break;
+      case '/': out.push_back('/'); break;
+      case 'b': out.push_back('\b'); break;
+      case 'f': out.push_back('\f'); break;
+      case 'n': out.push_back('\n'); break;
+      case 'r': out.push_back('\r'); break;
+      case 't': out.push_back('\t'); break;
+      case 'u': {
+        const auto hex4 = [&]() -> int {
+          if (pos_ + 4 > input_.size()) return -1;
+          int value = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = input_[pos_ + static_cast<std::size_t>(i)];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= h - '0';
+            else if (h >= 'a' && h <= 'f') value |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') value |= h - 'A' + 10;
+            else return -1;
+          }
+          pos_ += 4;
+          return value;
+        };
+        const int unit = hex4();
+        if (unit < 0) return parse_fail(line_, "malformed \\u escape");
+        std::uint32_t code_point = static_cast<std::uint32_t>(unit);
+        if (code_point >= 0xD800 && code_point <= 0xDBFF) {
+          // High surrogate: a low surrogate escape must follow.
+          if (pos_ + 2 > input_.size() || input_[pos_] != '\\' || input_[pos_ + 1] != 'u') {
+            return parse_fail(line_, "unpaired high surrogate");
+          }
+          pos_ += 2;
+          const int low = hex4();
+          if (low < 0xDC00 || low > 0xDFFF) {
+            return parse_fail(line_, "invalid low surrogate");
+          }
+          code_point = 0x10000 + ((code_point - 0xD800) << 10) +
+                       (static_cast<std::uint32_t>(low) - 0xDC00);
+        } else if (code_point >= 0xDC00 && code_point <= 0xDFFF) {
+          return parse_fail(line_, "unpaired low surrogate");
+        }
+        append_utf8(out, code_point);
+        break;
+      }
+      default: return parse_fail(line_, std::string("unknown escape '\\") + esc + "'");
+    }
+  }
+}
+
+Expected<Token> Tokenizer::lex_number() {
+  Token token;
+  token.line = line_;
+  token.kind = TokenKind::number;
+  const std::size_t start = pos_;
+  if (pos_ < input_.size() && input_[pos_] == '-') ++pos_;
+  // Integer part: 0 | [1-9][0-9]*
+  if (pos_ >= input_.size() || input_[pos_] < '0' || input_[pos_] > '9') {
+    return parse_fail(token.line, "malformed number: missing digits");
+  }
+  if (input_[pos_] == '0') {
+    ++pos_;
+  } else {
+    while (pos_ < input_.size() && input_[pos_] >= '0' && input_[pos_] <= '9') ++pos_;
+  }
+  if (pos_ < input_.size() && input_[pos_] == '.') {
+    ++pos_;
+    if (pos_ >= input_.size() || input_[pos_] < '0' || input_[pos_] > '9') {
+      return parse_fail(token.line, "malformed number: missing fraction digits");
+    }
+    while (pos_ < input_.size() && input_[pos_] >= '0' && input_[pos_] <= '9') ++pos_;
+  }
+  if (pos_ < input_.size() && (input_[pos_] == 'e' || input_[pos_] == 'E')) {
+    ++pos_;
+    if (pos_ < input_.size() && (input_[pos_] == '+' || input_[pos_] == '-')) ++pos_;
+    if (pos_ >= input_.size() || input_[pos_] < '0' || input_[pos_] > '9') {
+      return parse_fail(token.line, "malformed number: missing exponent digits");
+    }
+    while (pos_ < input_.size() && input_[pos_] >= '0' && input_[pos_] <= '9') ++pos_;
+  }
+  const std::string_view raw = input_.substr(start, pos_ - start);
+  double value = 0.0;
+  const auto [end, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (ec != std::errc() || end != raw.data() + raw.size() || !std::isfinite(value)) {
+    return parse_fail(token.line, "number out of range: '" + std::string(raw) + "'");
+  }
+  token.text = std::string(raw);
+  token.number = value;
+  return token;
+}
+
+Expected<Token> Tokenizer::lex_word() {
+  Token token;
+  token.line = line_;
+  const std::string_view rest = input_.substr(pos_);
+  const auto starts = [&](std::string_view word) {
+    if (rest.substr(0, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  };
+  if (starts("true")) {
+    token.kind = TokenKind::boolean;
+    token.flag = true;
+    return token;
+  }
+  if (starts("false")) {
+    token.kind = TokenKind::boolean;
+    token.flag = false;
+    return token;
+  }
+  if (starts("null")) {
+    token.kind = TokenKind::null;
+    return token;
+  }
+  return parse_fail(line_, "unexpected bare word");
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+Error Reader::fail(std::size_t line, const std::string& what) const {
+  return parse_fail(line, what);
+}
+
+Expected<Token> Reader::take() {
+  if (lookahead_) {
+    Token token = std::move(*lookahead_);
+    lookahead_.reset();
+    last_line_ = token.line;
+    return token;
+  }
+  auto token = tokenizer_.next();
+  if (token) last_line_ = token->line;
+  return token;
+}
+
+Expected<Token> Reader::peek() {
+  if (!lookahead_) {
+    auto token = tokenizer_.next();
+    if (!token) return token;
+    lookahead_ = std::move(*token);
+  }
+  return *lookahead_;
+}
+
+Expected<void> Reader::begin_object() {
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind != TokenKind::object_begin) {
+    return fail(token->line, std::string("expected '{', got ") + to_string(token->kind));
+  }
+  if (stack_.size() >= kMaxDepth) return fail(token->line, "nesting too deep");
+  stack_.push_back({/*is_object=*/true, /*first=*/true});
+  return {};
+}
+
+Expected<void> Reader::begin_array() {
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind != TokenKind::array_begin) {
+    return fail(token->line, std::string("expected '[', got ") + to_string(token->kind));
+  }
+  if (stack_.size() >= kMaxDepth) return fail(token->line, "nesting too deep");
+  stack_.push_back({/*is_object=*/false, /*first=*/true});
+  return {};
+}
+
+Expected<std::optional<std::string>> Reader::next_key() {
+  if (stack_.empty() || !stack_.back().is_object) {
+    return fail(last_line_, "next_key outside an object");
+  }
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind == TokenKind::object_end) {
+    stack_.pop_back();
+    return std::optional<std::string>{};
+  }
+  if (!stack_.back().first) {
+    if (token->kind != TokenKind::comma) {
+      return fail(token->line, std::string("expected ',' or '}', got ") + to_string(token->kind));
+    }
+    auto next = take();
+    if (!next) return next.error();
+    token = std::move(*next);
+  }
+  stack_.back().first = false;
+  if (token->kind != TokenKind::string) {
+    return fail(token->line, std::string("expected member name, got ") + to_string(token->kind));
+  }
+  auto colon = take();
+  if (!colon) return colon.error();
+  if (colon->kind != TokenKind::colon) {
+    return fail(colon->line, std::string("expected ':', got ") + to_string(colon->kind));
+  }
+  return std::optional<std::string>{std::move(token->text)};
+}
+
+Expected<bool> Reader::next_element() {
+  if (stack_.empty() || stack_.back().is_object) {
+    return fail(last_line_, "next_element outside an array");
+  }
+  auto token = peek();
+  if (!token) return token.error();
+  if (token->kind == TokenKind::array_end) {
+    (void)take();  // consume ']'
+    stack_.pop_back();
+    return false;
+  }
+  if (!stack_.back().first) {
+    if (token->kind != TokenKind::comma) {
+      return fail(token->line, std::string("expected ',' or ']', got ") + to_string(token->kind));
+    }
+    (void)take();  // consume ','
+  }
+  stack_.back().first = false;
+  return true;
+}
+
+Expected<double> Reader::number() {
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind != TokenKind::number) {
+    return fail(token->line, std::string("expected number, got ") + to_string(token->kind));
+  }
+  return token->number;
+}
+
+Expected<std::uint64_t> Reader::unsigned_integer() {
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind != TokenKind::number) {
+    return fail(token->line, std::string("expected integer, got ") + to_string(token->kind));
+  }
+  // Re-parse the raw spelling as an integer: rejects fractions, exponents
+  // and values that do not fit, which a double round-trip would mask.
+  std::uint64_t value = 0;
+  const std::string& raw = token->text;
+  const auto [end, ec] = std::from_chars(raw.data(), raw.data() + raw.size(), value);
+  if (ec != std::errc() || end != raw.data() + raw.size()) {
+    return fail(token->line, "expected unsigned integer, got '" + raw + "'");
+  }
+  return value;
+}
+
+Expected<std::string> Reader::string() {
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind != TokenKind::string) {
+    return fail(token->line, std::string("expected string, got ") + to_string(token->kind));
+  }
+  return std::move(token->text);
+}
+
+Expected<bool> Reader::boolean() {
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind != TokenKind::boolean) {
+    return fail(token->line, std::string("expected boolean, got ") + to_string(token->kind));
+  }
+  return token->flag;
+}
+
+Expected<void> Reader::skip_value() {
+  std::size_t depth = 0;
+  do {
+    auto token = take();
+    if (!token) return token.error();
+    switch (token->kind) {
+      case TokenKind::object_begin:
+      case TokenKind::array_begin:
+        if (++depth > kMaxDepth) return fail(token->line, "nesting too deep");
+        break;
+      case TokenKind::object_end:
+      case TokenKind::array_end:
+        if (depth == 0) return fail(token->line, "unbalanced container close");
+        --depth;
+        break;
+      case TokenKind::string:
+      case TokenKind::number:
+      case TokenKind::boolean:
+      case TokenKind::null:
+        break;
+      case TokenKind::comma:
+      case TokenKind::colon:
+        if (depth == 0) {
+          return fail(token->line, std::string("expected value, got ") + to_string(token->kind));
+        }
+        break;
+      case TokenKind::end:
+        return fail(token->line, "unexpected end of input inside value");
+    }
+  } while (depth > 0);
+  return {};
+}
+
+Expected<void> Reader::finish() {
+  if (!stack_.empty()) return fail(last_line_, "unclosed container at end of document");
+  auto token = take();
+  if (!token) return token.error();
+  if (token->kind != TokenKind::end) {
+    return fail(token->line,
+                std::string("trailing content after document: ") + to_string(token->kind));
+  }
+  return {};
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+void Writer::begin_value() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;
+  }
+  if (!first_stack_.empty()) {
+    if (!first_stack_.back()) out_.push_back(',');
+    first_stack_.back() = false;
+  }
+}
+
+void Writer::begin_object() {
+  begin_value();
+  out_.push_back('{');
+  first_stack_.push_back(true);
+}
+
+void Writer::end_object() {
+  NETENT_EXPECTS(!first_stack_.empty() && !key_pending_);
+  first_stack_.pop_back();
+  out_.push_back('}');
+}
+
+void Writer::begin_array() {
+  begin_value();
+  out_.push_back('[');
+  first_stack_.push_back(true);
+}
+
+void Writer::end_array() {
+  NETENT_EXPECTS(!first_stack_.empty() && !key_pending_);
+  first_stack_.pop_back();
+  out_.push_back(']');
+}
+
+void Writer::key(std::string_view name) {
+  NETENT_EXPECTS(!first_stack_.empty() && !key_pending_);
+  if (!first_stack_.back()) out_.push_back(',');
+  first_stack_.back() = false;
+  append_escaped(name);
+  out_.push_back(':');
+  key_pending_ = true;
+}
+
+void Writer::value(double v) {
+  NETENT_EXPECTS(std::isfinite(v));  // NaN/Inf have no JSON spelling
+  begin_value();
+  char buffer[32];
+  const auto [end, ec] = std::to_chars(buffer, buffer + sizeof(buffer), v);
+  NETENT_ENSURES(ec == std::errc());
+  out_.append(buffer, end);
+}
+
+void Writer::value(std::uint64_t v) {
+  begin_value();
+  out_.append(std::to_string(v));
+}
+
+void Writer::value(bool v) {
+  begin_value();
+  out_.append(v ? "true" : "false");
+}
+
+void Writer::value(std::string_view v) {
+  begin_value();
+  append_escaped(v);
+}
+
+void Writer::null() {
+  begin_value();
+  out_.append("null");
+}
+
+void Writer::append_escaped(std::string_view text) {
+  out_.push_back('"');
+  for (const char c : text) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out_.append("\\\""); break;
+      case '\\': out_.append("\\\\"); break;
+      case '\b': out_.append("\\b"); break;
+      case '\f': out_.append("\\f"); break;
+      case '\n': out_.append("\\n"); break;
+      case '\r': out_.append("\\r"); break;
+      case '\t': out_.append("\\t"); break;
+      default:
+        if (u < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", u);
+          out_.append(buffer);
+        } else {
+          out_.push_back(c);
+        }
+    }
+  }
+  out_.push_back('"');
+}
+
+std::string Writer::take() {
+  NETENT_EXPECTS(first_stack_.empty() && !key_pending_);
+  return std::move(out_);
+}
+
+}  // namespace netent::core::json

@@ -1,0 +1,169 @@
+// Minimal JSON substrate for the serialization layer (`netent::core::json`):
+// a hand-rolled pull tokenizer / structured reader with line-number
+// diagnostics, and a byte-stable writer. This backs the declarative contract
+// front-end (src/spec) and the negotiation-outcome logging surface
+// (core/serialize.h) — both need the same guarantees:
+//
+//  * Reads NEVER crash or throw on malformed input: every failure is a
+//    typed netent::Error (ErrorCode::parse_error with "line N: ..."), so a
+//    fuzzer can feed the parser arbitrary bytes (tests/test_spec.cpp does).
+//  * Writes are byte-stable: fixed key order is the caller's job, number
+//    formatting is the shortest round-trip form (std::to_chars), strings are
+//    escaped canonically — so goldens pin the output and value round-trips
+//    are exact (write(parse(write(x))) == write(x)).
+//  * Nesting depth is capped (kMaxDepth) so adversarial "[[[[..." input
+//    cannot overflow the stack.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.h"
+
+namespace netent::core::json {
+
+/// Containers deeper than this are a parse_error (stack-safety bound).
+inline constexpr std::size_t kMaxDepth = 64;
+
+enum class TokenKind : std::uint8_t {
+  object_begin,  // {
+  object_end,    // }
+  array_begin,   // [
+  array_end,     // ]
+  comma,         // ,
+  colon,         // :
+  string,        // "..." (text holds the decoded value)
+  number,        // text holds the raw spelling, number the parsed value
+  boolean,       // true / false
+  null,          // null
+  end,           // end of input
+};
+
+struct Token {
+  TokenKind kind = TokenKind::end;
+  std::string text;
+  double number = 0.0;
+  bool flag = false;        ///< boolean tokens
+  std::size_t line = 1;     ///< 1-based line the token starts on
+};
+
+/// Streaming tokenizer over a complete in-memory document. next() never
+/// throws; malformed lexemes (bad escapes, bare words, out-of-range numbers,
+/// stray control characters) return parse_error with the line number.
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view input) : input_(input) {}
+
+  [[nodiscard]] Expected<Token> next();
+  [[nodiscard]] std::size_t line() const { return line_; }
+
+ private:
+  [[nodiscard]] Expected<Token> lex_string();
+  [[nodiscard]] Expected<Token> lex_number();
+  [[nodiscard]] Expected<Token> lex_word();
+
+  std::string_view input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+};
+
+/// Structured reader: the recursive-descent layer the spec / proposal
+/// parsers are written against. Object/array nesting is tracked internally,
+/// so field loops are flat:
+///
+///   json::Reader reader(text);
+///   if (auto ok = reader.begin_object(); !ok) return ok.error();
+///   while (true) {
+///     auto key = reader.next_key();            // nullopt at '}'
+///     if (!key) return key.error();
+///     if (!*key) break;
+///     if (**key == "gbps") { auto v = reader.number(); ... }
+///     else if (auto skipped = reader.skip_value(); !skipped) ...
+///   }
+///
+/// Every accessor returns Expected; the first error poisons nothing — the
+/// caller simply propagates it (the reader is not reusable after an error).
+class Reader {
+ public:
+  explicit Reader(std::string_view input) : tokenizer_(input) {}
+
+  /// Consumes '{' / '['.
+  [[nodiscard]] Expected<void> begin_object();
+  [[nodiscard]] Expected<void> begin_array();
+
+  /// Inside an object: the next member key, or nullopt when '}' closes the
+  /// object (consumed). Handles comma bookkeeping and the ':' separator.
+  [[nodiscard]] Expected<std::optional<std::string>> next_key();
+
+  /// Inside an array: true when another element follows (caller must then
+  /// read exactly one value), false when ']' closes the array (consumed).
+  [[nodiscard]] Expected<bool> next_element();
+
+  /// Scalar accessors. Type mismatches are parse_errors naming the actual
+  /// token ("line 3: expected number, got string").
+  [[nodiscard]] Expected<double> number();
+  [[nodiscard]] Expected<std::string> string();
+  [[nodiscard]] Expected<bool> boolean();
+  /// number() restricted to unsigned integers that fit std::uint64_t.
+  [[nodiscard]] Expected<std::uint64_t> unsigned_integer();
+
+  /// Skips exactly one value of any type (depth-capped).
+  [[nodiscard]] Expected<void> skip_value();
+
+  /// Verifies the document is fully consumed (trailing garbage is an error).
+  [[nodiscard]] Expected<void> finish();
+
+  /// Line of the most recently consumed token (for caller diagnostics).
+  [[nodiscard]] std::size_t line() const { return last_line_; }
+
+ private:
+  struct Frame {
+    bool is_object = false;
+    bool first = true;
+  };
+
+  [[nodiscard]] Expected<Token> take();
+  [[nodiscard]] Expected<Token> peek();
+  [[nodiscard]] Error fail(std::size_t line, const std::string& what) const;
+
+  Tokenizer tokenizer_;
+  std::optional<Token> lookahead_;
+  std::vector<Frame> stack_;
+  std::size_t last_line_ = 1;
+};
+
+[[nodiscard]] const char* to_string(TokenKind kind);
+
+/// Byte-stable JSON writer. Compact output (no whitespace), insertion-order
+/// keys, shortest-round-trip doubles. The caller is responsible for writing
+/// a structurally valid document (begin/end pairing is NETENT_EXPECTS'd).
+class Writer {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view name);
+  void value(double v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::uint64_t>(v)); }
+  void value(bool v);
+  void value(std::string_view v);
+  void null();
+
+  /// The finished document. All containers must be closed.
+  [[nodiscard]] std::string take();
+
+ private:
+  void begin_value();
+  void append_escaped(std::string_view text);
+
+  std::string out_;
+  std::vector<bool> first_stack_;  ///< per open container
+  bool key_pending_ = false;
+};
+
+}  // namespace netent::core::json

@@ -2,8 +2,12 @@
 
 #include <fstream>
 #include <iomanip>
+#include <limits>
 #include <optional>
 #include <sstream>
+#include <utility>
+
+#include "core/json.h"
 
 namespace netent::core {
 
@@ -125,6 +129,248 @@ Expected<void> save_contracts(const std::string& path, const ContractDb& db) {
   os.flush();
   if (!os) return Error{ErrorCode::io_error, "write to '" + path + "' failed"};
   return {};
+}
+
+// ---------------------------------------------------------------------------
+// Counter-proposal JSON (core/json.h substrate). Strict schema: unknown or
+// duplicated keys are parse_errors, so the reader and writer stay in
+// lockstep.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_hose(json::Writer& w, const hose::HoseRequest& hose) {
+  w.begin_object();
+  w.key("npg");
+  w.value(std::uint64_t{hose.npg.value()});
+  w.key("qos");
+  w.value(std::string_view(to_string(hose.qos)));
+  w.key("region");
+  w.value(std::uint64_t{hose.region.value()});
+  w.key("direction");
+  w.value(std::string_view(to_string(hose.direction)));
+  w.key("rate_gbps");
+  w.value(hose.rate.value());
+  w.end_object();
+}
+
+Error json_fail(const json::Reader& reader, const std::string& field, const std::string& what) {
+  return Error{ErrorCode::parse_error,
+               "line " + std::to_string(reader.line()) + ": " + field + ": " + what};
+}
+
+Expected<void> json_mark_seen(const json::Reader& reader, const std::string& field, bool& seen) {
+  if (seen) return json_fail(reader, field, "duplicate key");
+  seen = true;
+  return {};
+}
+
+Expected<std::uint32_t> json_read_u32(json::Reader& reader, const std::string& field) {
+  auto v = reader.unsigned_integer();
+  if (!v) return Error{v.error().code, field + ": " + v.error().message};
+  if (*v > std::numeric_limits<std::uint32_t>::max()) {
+    return json_fail(reader, field, "out of 32-bit id range");
+  }
+  return static_cast<std::uint32_t>(*v);
+}
+
+Expected<Gbps> json_read_gbps(json::Reader& reader, const std::string& field) {
+  auto v = reader.number();
+  if (!v) return Error{v.error().code, field + ": " + v.error().message};
+  return Gbps(*v);
+}
+
+Expected<QosClass> json_read_qos(json::Reader& reader, const std::string& field) {
+  auto name = reader.string();
+  if (!name) return Error{name.error().code, field + ": " + name.error().message};
+  const auto qos = qos_from_string(*name);
+  if (!qos) return json_fail(reader, field, "unknown QoS class '" + *name + "'");
+  return *qos;
+}
+
+Expected<hose::HoseRequest> parse_hose_json(json::Reader& reader, const std::string& field) {
+  hose::HoseRequest hose{};  // value-init: HoseRequest has no default member initializers
+  if (auto ok = reader.begin_object(); !ok) return ok.error();
+  bool seen_npg = false, seen_qos = false, seen_region = false;
+  bool seen_direction = false, seen_rate = false;
+  while (true) {
+    auto key = reader.next_key();
+    if (!key) return key.error();
+    if (!*key) break;
+    const std::string path = field + "." + **key;
+    if (**key == "npg") {
+      if (auto ok = json_mark_seen(reader, path, seen_npg); !ok) return ok.error();
+      auto v = json_read_u32(reader, path);
+      if (!v) return v.error();
+      hose.npg = NpgId(*v);
+    } else if (**key == "qos") {
+      if (auto ok = json_mark_seen(reader, path, seen_qos); !ok) return ok.error();
+      auto v = json_read_qos(reader, path);
+      if (!v) return v.error();
+      hose.qos = *v;
+    } else if (**key == "region") {
+      if (auto ok = json_mark_seen(reader, path, seen_region); !ok) return ok.error();
+      auto v = json_read_u32(reader, path);
+      if (!v) return v.error();
+      hose.region = RegionId(*v);
+    } else if (**key == "direction") {
+      if (auto ok = json_mark_seen(reader, path, seen_direction); !ok) return ok.error();
+      auto name = reader.string();
+      if (!name) return Error{name.error().code, path + ": " + name.error().message};
+      const auto direction = direction_from_string(*name);
+      if (!direction) return json_fail(reader, path, "unknown direction '" + *name + "'");
+      hose.direction = *direction;
+    } else if (**key == "rate_gbps") {
+      if (auto ok = json_mark_seen(reader, path, seen_rate); !ok) return ok.error();
+      auto v = json_read_gbps(reader, path);
+      if (!v) return v.error();
+      hose.rate = *v;
+    } else {
+      return json_fail(reader, path, "unknown key");
+    }
+  }
+  if (!seen_npg || !seen_qos || !seen_region || !seen_direction || !seen_rate) {
+    return json_fail(reader, field, "missing required hose key");
+  }
+  return hose;
+}
+
+}  // namespace
+
+std::string proposal_to_json(const approval::CounterProposal& proposal) {
+  json::Writer w;
+  w.begin_object();
+  w.key("original");
+  write_hose(w, proposal.original);
+  w.key("guaranteed_gbps");
+  w.value(proposal.guaranteed.value());
+  w.key("residual_gbps");
+  w.value(proposal.residual.value());
+  w.key("region_options");
+  w.begin_array();
+  for (const approval::RegionAlternative& option : proposal.region_options) {
+    w.begin_object();
+    w.key("region");
+    w.value(std::uint64_t{option.region.value()});
+    w.key("guaranteed_gbps");
+    w.value(option.guaranteed.value());
+    w.end_object();
+  }
+  w.end_array();
+  w.key("qos_options");
+  w.begin_array();
+  for (const approval::QosAlternative& option : proposal.qos_options) {
+    w.begin_object();
+    w.key("qos");
+    w.value(std::string_view(to_string(option.qos)));
+    w.key("guaranteed_gbps");
+    w.value(option.guaranteed.value());
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+Expected<approval::CounterProposal> proposal_from_json(std::string_view text) {
+  json::Reader reader(text);
+  approval::CounterProposal proposal;
+  if (auto ok = reader.begin_object(); !ok) return ok.error();
+  bool seen_original = false, seen_guaranteed = false, seen_residual = false;
+  bool seen_regions = false, seen_qos = false;
+  while (true) {
+    auto key = reader.next_key();
+    if (!key) return key.error();
+    if (!*key) break;
+    const std::string path = "proposal." + **key;
+    if (**key == "original") {
+      if (auto ok = json_mark_seen(reader, path, seen_original); !ok) return ok.error();
+      auto hose = parse_hose_json(reader, path);
+      if (!hose) return hose.error();
+      proposal.original = *hose;
+    } else if (**key == "guaranteed_gbps") {
+      if (auto ok = json_mark_seen(reader, path, seen_guaranteed); !ok) return ok.error();
+      auto v = json_read_gbps(reader, path);
+      if (!v) return v.error();
+      proposal.guaranteed = *v;
+    } else if (**key == "residual_gbps") {
+      if (auto ok = json_mark_seen(reader, path, seen_residual); !ok) return ok.error();
+      auto v = json_read_gbps(reader, path);
+      if (!v) return v.error();
+      proposal.residual = *v;
+    } else if (**key == "region_options") {
+      if (auto ok = json_mark_seen(reader, path, seen_regions); !ok) return ok.error();
+      if (auto ok = reader.begin_array(); !ok) return ok.error();
+      while (true) {
+        auto more = reader.next_element();
+        if (!more) return more.error();
+        if (!*more) break;
+        const std::string item = path + "[" + std::to_string(proposal.region_options.size()) + "]";
+        approval::RegionAlternative option;
+        if (auto ok = reader.begin_object(); !ok) return ok.error();
+        bool seen_region = false, seen_value = false;
+        while (true) {
+          auto inner = reader.next_key();
+          if (!inner) return inner.error();
+          if (!*inner) break;
+          const std::string inner_path = item + "." + **inner;
+          if (**inner == "region") {
+            if (auto ok = json_mark_seen(reader, inner_path, seen_region); !ok) return ok.error();
+            auto v = json_read_u32(reader, inner_path);
+            if (!v) return v.error();
+            option.region = RegionId(*v);
+          } else if (**inner == "guaranteed_gbps") {
+            if (auto ok = json_mark_seen(reader, inner_path, seen_value); !ok) return ok.error();
+            auto v = json_read_gbps(reader, inner_path);
+            if (!v) return v.error();
+            option.guaranteed = *v;
+          } else {
+            return json_fail(reader, inner_path, "unknown key");
+          }
+        }
+        if (!seen_region || !seen_value) return json_fail(reader, item, "missing required key");
+        proposal.region_options.push_back(option);
+      }
+    } else if (**key == "qos_options") {
+      if (auto ok = json_mark_seen(reader, path, seen_qos); !ok) return ok.error();
+      if (auto ok = reader.begin_array(); !ok) return ok.error();
+      while (true) {
+        auto more = reader.next_element();
+        if (!more) return more.error();
+        if (!*more) break;
+        const std::string item = path + "[" + std::to_string(proposal.qos_options.size()) + "]";
+        approval::QosAlternative option;
+        if (auto ok = reader.begin_object(); !ok) return ok.error();
+        bool seen_class = false, seen_value = false;
+        while (true) {
+          auto inner = reader.next_key();
+          if (!inner) return inner.error();
+          if (!*inner) break;
+          const std::string inner_path = item + "." + **inner;
+          if (**inner == "qos") {
+            if (auto ok = json_mark_seen(reader, inner_path, seen_class); !ok) return ok.error();
+            auto v = json_read_qos(reader, inner_path);
+            if (!v) return v.error();
+            option.qos = *v;
+          } else if (**inner == "guaranteed_gbps") {
+            if (auto ok = json_mark_seen(reader, inner_path, seen_value); !ok) return ok.error();
+            auto v = json_read_gbps(reader, inner_path);
+            if (!v) return v.error();
+            option.guaranteed = *v;
+          } else {
+            return json_fail(reader, inner_path, "unknown key");
+          }
+        }
+        if (!seen_class || !seen_value) return json_fail(reader, item, "missing required key");
+        proposal.qos_options.push_back(option);
+      }
+    } else {
+      return json_fail(reader, path, "unknown key");
+    }
+  }
+  if (!seen_original) return json_fail(reader, "proposal", "missing required key 'original'");
+  if (auto ok = reader.finish(); !ok) return ok.error();
+  return proposal;
 }
 
 }  // namespace netent::core

@@ -12,11 +12,16 @@
 // parse_error with the offending line number in the message, unreadable or
 // unwritable files are ErrorCode::io_error, and the [[nodiscard]] result
 // forces every caller to handle the failure.
+// Negotiation counter-proposals additionally serialize to JSON
+// (core/json.h): byte-stable output for goldens and an Expected-returning
+// parser, so a proposal can be logged, shipped to a tenant and replayed.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
+#include "approval/negotiation.h"
 #include "common/expected.h"
 #include "core/contract_db.h"
 
@@ -39,5 +44,16 @@ void write_contracts(std::ostream& os, const ContractDb& db);
 /// stream fails, parse_error (with line number) on malformed content.
 [[nodiscard]] Expected<ContractDb> load_contracts(const std::string& path);
 [[nodiscard]] Expected<void> save_contracts(const std::string& path, const ContractDb& db);
+
+/// Byte-stable JSON form of one negotiation counter-proposal (§8): the
+/// original hose, option (a)'s guaranteed/residual split, and the ranked
+/// option (b)/(c) alternatives. proposal_from_json(proposal_to_json(p))
+/// reproduces `p` exactly (Gbps values round-trip via shortest-form
+/// doubles); tests/test_policy.cpp pins the output bytes.
+[[nodiscard]] std::string proposal_to_json(const approval::CounterProposal& proposal);
+
+/// Parses proposal_to_json output. Never throws; malformed or type-confused
+/// input yields ErrorCode::parse_error with line/field diagnostics.
+[[nodiscard]] Expected<approval::CounterProposal> proposal_from_json(std::string_view text);
 
 }  // namespace netent::core

@@ -50,10 +50,17 @@
 #include "approval/negotiation.h"
 #include "core/contract.h"
 #include "core/contract_db.h"
+#include "core/json.h"
 #include "core/lifecycle.h"
 #include "core/manager.h"
 #include "core/report.h"
 #include "core/serialize.h"
+
+// Declarative front-end: the entitlement spec language, the negotiation
+// policy engine and the closed-loop tenant fleet driver.
+#include "spec/fleet.h"
+#include "spec/policy.h"
+#include "spec/spec.h"
 
 // Enforcement: host agents, markers/meters, switch ports, central control.
 #include "enforce/agent.h"

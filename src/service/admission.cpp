@@ -22,7 +22,10 @@ using topology::Demand;
 
 namespace {
 
-constexpr double kEps = 1e-6;
+/// The shared approval-plane rate epsilon (approval/approval.h): the service
+/// must agree with the engine and the negotiation layer on what counts as
+/// "zero bandwidth".
+constexpr double kEps = approval::kRateEpsGbps;
 
 struct ServiceMetrics {
   obs::Registry& reg = obs::Registry::global();
@@ -313,8 +316,8 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
   std::set<ContractId> touched_ids;     ///< resize/release targets seen this window
   std::set<std::uint32_t> window_npgs;  ///< NPGs claimed by this window's admits
 
-  const auto fail = [&](std::size_t i, std::string message) {
-    outcomes[i] = failed_outcome(ErrorCode::invalid_argument, std::move(message));
+  const auto fail = [&](std::size_t i, ErrorCode code, std::string message) {
+    outcomes[i] = failed_outcome(code, std::move(message));
   };
   const auto find_admitted = [&](ContractId id) -> const AdmittedEntry* {
     for (const AdmittedEntry& entry : admitted_) {
@@ -322,38 +325,41 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
     }
     return nullptr;
   };
-  const auto validate_hoses = [&](const AdmissionRequest& request, NpgId npg,
-                                  std::string* error) {
+  // Request-shape validation, Expected-style (common/expected.h taxonomy):
+  // every failure is invalid_argument with the offending hose index in the
+  // message, so a spec-compiled or hand-built request fails identically.
+  const auto validate_hoses = [&](const AdmissionRequest& request,
+                                  NpgId npg) -> Expected<void> {
     if (request.hoses.empty()) {
-      *error = "request has no hoses";
-      return false;
+      return Error{ErrorCode::invalid_argument, "request has no hoses"};
     }
     double total = 0.0;
-    for (const HoseRequest& hose : request.hoses) {
+    for (std::size_t h = 0; h < request.hoses.size(); ++h) {
+      const HoseRequest& hose = request.hoses[h];
+      const std::string field = "hoses[" + std::to_string(h) + "]";
       if (hose.npg != npg) {
-        *error = "hose NPG differs from the request's NPG";
-        return false;
+        return Error{ErrorCode::invalid_argument,
+                     field + ".npg: differs from the request's NPG"};
       }
       if (hose.region.value() >= region_count) {
-        *error = "hose region out of range";
-        return false;
+        return Error{ErrorCode::invalid_argument,
+                     field + ".region: region " + std::to_string(hose.region.value()) +
+                         " out of range (topology has " + std::to_string(region_count) +
+                         " regions)"};
       }
       if (hose.rate < Gbps(0)) {
-        *error = "hose rate must be >= 0";
-        return false;
+        return Error{ErrorCode::invalid_argument, field + ".rate: must be >= 0"};
       }
       total += hose.rate.value();
     }
     if (total <= kEps) {
-      *error = "request asks for zero bandwidth";
-      return false;
+      return Error{ErrorCode::invalid_argument, "request asks for zero bandwidth"};
     }
-    return true;
+    return {};
   };
 
   for (std::size_t i = 0; i < window.size(); ++i) {
     const AdmissionRequest& request = window[i].request;
-    std::string error;
     switch (request.kind) {
       case RequestKind::admit: {
         const bool live = std::any_of(
@@ -361,11 +367,11 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
               return entry.npg == request.npg && released_ids.count(entry.id) == 0;
             });
         if (live || window_npgs.count(request.npg.value()) != 0) {
-          fail(i, "NPG already holds a live contract (use resize)");
+          fail(i, ErrorCode::invalid_argument, "NPG already holds a live contract (use resize)");
           break;
         }
-        if (!validate_hoses(request, request.npg, &error)) {
-          fail(i, std::move(error));
+        if (auto ok = validate_hoses(request, request.npg); !ok) {
+          fail(i, ok.error().code, ok.error().message);
           break;
         }
         window_npgs.insert(request.npg.value());
@@ -380,15 +386,17 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
       case RequestKind::resize: {
         const AdmittedEntry* existing = find_admitted(request.contract);
         if (existing == nullptr) {
-          fail(i, "unknown contract id");
+          fail(i, ErrorCode::not_found,
+               "unknown contract id " + std::to_string(request.contract));
           break;
         }
         if (!touched_ids.insert(request.contract).second) {
-          fail(i, "contract already targeted by an earlier request in this window");
+          fail(i, ErrorCode::invalid_argument,
+               "contract already targeted by an earlier request in this window");
           break;
         }
-        if (!validate_hoses(request, existing->npg, &error)) {
-          fail(i, std::move(error));
+        if (auto ok = validate_hoses(request, existing->npg); !ok) {
+          fail(i, ok.error().code, ok.error().message);
           break;
         }
         EvalEntry entry;
@@ -404,11 +412,13 @@ std::vector<AdmissionOutcome> AdmissionController::evaluate_window(std::vector<P
       case RequestKind::release: {
         const AdmittedEntry* existing = find_admitted(request.contract);
         if (existing == nullptr) {
-          fail(i, "unknown contract id");
+          fail(i, ErrorCode::not_found,
+               "unknown contract id " + std::to_string(request.contract));
           break;
         }
         if (!touched_ids.insert(request.contract).second) {
-          fail(i, "contract already targeted by an earlier request in this window");
+          fail(i, ErrorCode::invalid_argument,
+               "contract already targeted by an earlier request in this window");
           break;
         }
         released_ids.insert(request.contract);

@@ -1,0 +1,248 @@
+#include "spec/fleet.h"
+
+#include <chrono>
+#include <cmath>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace netent::spec {
+
+using service::AdmissionOutcome;
+using service::AdmissionRequest;
+using service::AdmissionStatus;
+
+namespace {
+
+/// FNV-1a 64-bit over the decision stream: order-sensitive, so any drift in
+/// decisions OR their order across exec configs changes the fingerprint.
+struct Fingerprint {
+  std::uint64_t hash = 14695981039346656037ULL;
+
+  void mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      hash ^= (value >> (8 * i)) & 0xffULL;
+      hash *= 1099511628211ULL;
+    }
+  }
+};
+
+/// Approved volumes enter the transcript as integer milli-Gbps: exact for
+/// the bit-identical decisions the service guarantees, stable to print.
+std::uint64_t milli_gbps(Gbps rate) {
+  return static_cast<std::uint64_t>(std::llround(rate.value() * 1000.0));
+}
+
+/// The non-premium classes ordinary tenants draw from (heavy tenants take
+/// c1_low and create the contention the negotiation loop resolves).
+constexpr std::array<QosClass, 5> kOrdinaryClasses = {
+    QosClass::c2_low, QosClass::c2_high, QosClass::c3_low, QosClass::c3_high, QosClass::c4_low};
+
+}  // namespace
+
+TenantFleet::TenantFleet(service::AdmissionController& controller, FleetConfig config)
+    : controller_(controller), config_(config) {
+  NETENT_EXPECTS(!controller.config().background);  // the fleet owns window boundaries
+  NETENT_EXPECTS(config_.tenants > 0 && config_.regions >= 2);
+  NETENT_EXPECTS(config_.admits_per_window > 0);
+}
+
+EntitlementSpec TenantFleet::make_admit_spec(Tenant& tenant) const {
+  const bool heavy = config_.heavy_every > 0 && tenant.id % config_.heavy_every == 0;
+  EntitlementSpec spec;
+  spec.tenant = "tenant-" + std::to_string(tenant.id);
+  spec.npg = NpgId(static_cast<std::uint32_t>(tenant.id + 1));
+  spec.action = SpecAction::admit;
+  spec.qos = heavy ? QosClass::c1_low
+                   : kOrdinaryClasses[tenant.rng.uniform_int(kOrdinaryClasses.size())];
+  spec.slo_availability = config_.slo_availability;
+  spec.window = controller_.config().period;
+  spec.policy.strategy = static_cast<Strategy>(tenant.id % kStrategyCount);
+  spec.policy.min_accept_fraction = 0.1;
+
+  const double rate = heavy ? config_.heavy_rate_gbps
+                            : tenant.rng.uniform(config_.base_rate_lo_gbps,
+                                                 config_.base_rate_hi_gbps);
+  const std::uint32_t src = static_cast<std::uint32_t>(tenant.rng.uniform_int(config_.regions));
+  std::uint32_t dst = static_cast<std::uint32_t>(tenant.rng.uniform_int(config_.regions - 1));
+  if (dst >= src) ++dst;  // distinct endpoint pair
+  // Matched egress+ingress pair: realization drawing needs mass on both
+  // sides of the hose space (a lone egress hose is unconstrained).
+  spec.hoses.push_back({RegionId(src), hose::Direction::egress, Gbps(rate), std::nullopt});
+  spec.hoses.push_back({RegionId(dst), hose::Direction::ingress, Gbps(rate), std::nullopt});
+  return spec;
+}
+
+FleetReport TenantFleet::run() {
+  using Clock = std::chrono::steady_clock;
+  FleetReport report;
+  Fingerprint fp;
+
+  std::vector<Tenant> tenants(config_.tenants);
+  for (std::size_t i = 0; i < tenants.size(); ++i) {
+    tenants[i].id = i;
+    tenants[i].rng = Rng(config_.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+    tenants[i].spec = make_admit_spec(tenants[i]);
+  }
+
+  /// One in-flight submission of a window: who asked, what kind, when.
+  struct InFlight {
+    std::size_t tenant = 0;
+    SpecAction action = SpecAction::admit;
+    std::future<AdmissionOutcome> future;
+    Clock::time_point submitted;
+  };
+
+  // Serializes a spec through the full front-end pipeline — to JSON, back,
+  // compile — and submits the compiled request. Every fleet request takes
+  // this path, so the run exercises parser + compiler end to end.
+  const auto submit_spec = [&](const EntitlementSpec& spec, std::size_t tenant,
+                               std::vector<InFlight>& window) {
+    const std::string text = spec_to_json(spec);
+    Expected<EntitlementSpec> parsed = parse_spec(text);
+    NETENT_EXPECTS(parsed.has_value() && *parsed == spec);  // round-trip is exact
+    Expected<AdmissionRequest> request = compile_spec(*parsed, config_.regions);
+    NETENT_EXPECTS(request.has_value());
+    InFlight flight;
+    flight.tenant = tenant;
+    flight.action = spec.action;
+    flight.submitted = Clock::now();
+    flight.future = controller_.submit(std::move(*request));
+    window.push_back(std::move(flight));
+  };
+
+  const auto record_outcome = [&](std::size_t round, const InFlight& flight,
+                                  const AdmissionOutcome& outcome) {
+    ++report.decisions;
+    fp.mix(round);
+    fp.mix(flight.tenant);
+    fp.mix(static_cast<std::uint64_t>(flight.action));
+    fp.mix(static_cast<std::uint64_t>(outcome.status));
+    fp.mix(outcome.contract);
+    for (const approval::HoseApprovalResult& approval : outcome.approvals) {
+      fp.mix(milli_gbps(approval.approved));
+    }
+    switch (outcome.status) {
+      case AdmissionStatus::admitted: ++report.admitted; break;
+      case AdmissionStatus::resized: ++report.resized; break;
+      case AdmissionStatus::released: ++report.released; break;
+      case AdmissionStatus::rejected: ++report.rejected; break;
+      default: ++report.failed; break;
+    }
+  };
+
+  // Flushes one window and feeds every outcome through `handle`.
+  const auto run_window = [&](std::size_t round, std::vector<InFlight>& window, auto&& handle) {
+    if (window.empty()) return;
+    controller_.flush();
+    for (InFlight& flight : window) {
+      const AdmissionOutcome outcome = flight.future.get();
+      const double us = std::chrono::duration<double, std::micro>(Clock::now() -
+                                                                  flight.submitted)
+                            .count();
+      report.decision_latency_us.push_back(us);
+      record_outcome(round, flight, outcome);
+      handle(flight, outcome);
+    }
+    window.clear();
+  };
+
+  for (std::size_t round = 0; round < config_.rounds; ++round) {
+    // --- Phase A: churn. Every release/resize of the round lands in ONE
+    // window, bounding the service's residual rebuilds to one per round.
+    std::vector<InFlight> churn_window;
+    std::vector<std::vector<SpecHose>> proposed_resize(tenants.size());
+    for (Tenant& tenant : tenants) {
+      if (tenant.contract == 0) continue;
+      const double draw = tenant.rng.uniform();
+      if (draw < config_.release_probability) {
+        EntitlementSpec release = tenant.spec;
+        release.action = SpecAction::release;
+        release.contract = tenant.contract;
+        release.hoses.clear();
+        submit_spec(release, tenant.id, churn_window);
+      } else if (draw < config_.release_probability + config_.resize_probability) {
+        const double scale = tenant.rng.uniform(0.6, 1.4);
+        EntitlementSpec resize = tenant.spec;
+        resize.action = SpecAction::resize;
+        resize.contract = tenant.contract;
+        for (SpecHose& hose : resize.hoses) hose.rate = hose.rate * scale;
+        proposed_resize[tenant.id] = resize.hoses;
+        submit_spec(resize, tenant.id, churn_window);
+      }
+    }
+    run_window(round, churn_window, [&](const InFlight& flight, const AdmissionOutcome& outcome) {
+      Tenant& tenant = tenants[flight.tenant];
+      if (outcome.status == AdmissionStatus::released) {
+        tenant.contract = 0;  // re-admits in a later round's Phase B
+        tenant.negotiation = NegotiationState{};
+      } else if (outcome.status == AdmissionStatus::resized) {
+        tenant.spec.hoses = std::move(proposed_resize[flight.tenant]);
+      }
+      // Rejected resizes keep the old grant; nothing to update.
+    });
+
+    // --- Phase B: admissions, in windows of admits_per_window (pure-admit
+    // windows are the service's incremental hot path).
+    std::vector<std::size_t> queue;
+    for (const Tenant& tenant : tenants) {
+      if (tenant.contract == 0 && !tenant.dormant && tenant.wait_until_round <= round) {
+        queue.push_back(tenant.id);
+      }
+    }
+    const auto handle_admit = [&](const InFlight& flight, const AdmissionOutcome& outcome) {
+      Tenant& tenant = tenants[flight.tenant];
+      if (outcome.status == AdmissionStatus::admitted) {
+        tenant.contract = outcome.contract;
+        tenant.negotiation = NegotiationState{};
+        return;
+      }
+      if (outcome.status != AdmissionStatus::rejected) {
+        tenant.dormant = true;  // malformed/internal: leave the loop
+        return;
+      }
+      const Resolution resolution =
+          policy_engine_.resolve(outcome.proposals, tenant.spec.policy, tenant.negotiation);
+      fp.mix(round);
+      fp.mix(tenant.id);
+      fp.mix(100 + static_cast<std::uint64_t>(resolution.kind));
+      fp.mix(static_cast<std::uint64_t>(resolution.strategy));
+      switch (resolution.kind) {
+        case ResolutionKind::resubmit:
+          // The follow-up becomes the tenant's spec (per-hose qos overrides
+          // carry any demotion); it resubmits next round.
+          ++report.resubmits;
+          ++report.strategy_resolutions[static_cast<std::size_t>(resolution.strategy)];
+          tenant.spec.hoses.clear();
+          for (const hose::HoseRequest& hose : resolution.hoses) {
+            tenant.spec.hoses.push_back({hose.region, hose.direction, hose.rate, hose.qos});
+          }
+          break;
+        case ResolutionKind::wait:
+          ++report.waits;
+          ++report.strategy_resolutions[static_cast<std::size_t>(resolution.strategy)];
+          tenant.wait_until_round = round + 1 + resolution.wait_rounds;
+          break;
+        case ResolutionKind::give_up:
+          ++report.give_ups;
+          tenant.dormant = true;
+          break;
+      }
+    };
+    std::vector<InFlight> admit_window;
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+      submit_spec(tenants[queue[i]].spec, queue[i], admit_window);
+      if (admit_window.size() >= config_.admits_per_window) {
+        run_window(round, admit_window, handle_admit);
+      }
+    }
+    run_window(round, admit_window, handle_admit);
+  }
+
+  report.transcript_fingerprint = fp.hash;
+  return report;
+}
+
+}  // namespace netent::spec

@@ -1,0 +1,167 @@
+#include "spec/policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "obs/metrics.h"
+
+namespace netent::spec {
+
+using approval::CounterProposal;
+using hose::HoseRequest;
+
+namespace {
+
+struct PolicyMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& resolutions = reg.counter("spec.policy.resolutions");
+  obs::Counter& accept_partial = reg.counter("spec.policy.accept_partial");
+  obs::Counter& move_regions = reg.counter("spec.policy.move_regions");
+  obs::Counter& demote_qos = reg.counter("spec.policy.demote_qos");
+  obs::Counter& retry_later = reg.counter("spec.policy.retry_later");
+  obs::Counter& give_up = reg.counter("spec.policy.give_up");
+};
+
+PolicyMetrics& metrics() {
+  static PolicyMetrics instance;
+  return instance;
+}
+
+obs::Counter& strategy_counter(PolicyMetrics& m, Strategy strategy) {
+  switch (strategy) {
+    case Strategy::accept_partial: return m.accept_partial;
+    case Strategy::move_regions: return m.move_regions;
+    case Strategy::demote_qos: return m.demote_qos;
+    case Strategy::retry_later: return m.retry_later;
+  }
+  NETENT_EXPECTS(false);
+}
+
+Gbps requested_total(std::span<const CounterProposal> proposals) {
+  Gbps total(0);
+  for (const CounterProposal& p : proposals) total = total + p.original.rate;
+  return total;
+}
+
+Gbps hose_total(std::span<const HoseRequest> hoses) {
+  Gbps total(0);
+  for (const HoseRequest& h : hoses) total = total + h.rate;
+  return total;
+}
+
+/// accept_partial: every hose at its guaranteed volume (option (a)). Hoses
+/// the plane can guarantee nothing on are dropped entirely.
+std::vector<HoseRequest> build_accept_partial(std::span<const CounterProposal> proposals) {
+  std::vector<HoseRequest> hoses;
+  hoses.reserve(proposals.size());
+  for (const CounterProposal& p : proposals) {
+    const HoseRequest request = approval::apply_proposal(p);
+    if (request.rate > Gbps(approval::kRateEpsGbps)) hoses.push_back(request);
+  }
+  return hoses;
+}
+
+/// move_regions: keep each partial grant, and re-home each unmet residual to
+/// its best alternative region (option (b)). Residuals with no region option
+/// fall back to the partial grant alone.
+std::vector<HoseRequest> build_move_regions(std::span<const CounterProposal> proposals) {
+  std::vector<HoseRequest> hoses;
+  hoses.reserve(proposals.size() * 2);
+  for (const CounterProposal& p : proposals) {
+    if (p.fully_approved()) {
+      hoses.push_back(p.original);
+      continue;
+    }
+    const HoseRequest kept = approval::apply_proposal(p);
+    if (kept.rate > Gbps(approval::kRateEpsGbps)) hoses.push_back(kept);
+    if (!p.region_options.empty()) {
+      const HoseRequest moved = approval::apply_proposal(p, p.region_options.front());
+      if (moved.rate > Gbps(approval::kRateEpsGbps)) hoses.push_back(moved);
+    }
+  }
+  return hoses;
+}
+
+/// demote_qos: keep each partial grant, and re-request each unmet residual
+/// at its best lower QoS class (option (c)). Residuals with no QoS option
+/// fall back to the partial grant alone.
+std::vector<HoseRequest> build_demote_qos(std::span<const CounterProposal> proposals) {
+  std::vector<HoseRequest> hoses;
+  hoses.reserve(proposals.size() * 2);
+  for (const CounterProposal& p : proposals) {
+    if (p.fully_approved()) {
+      hoses.push_back(p.original);
+      continue;
+    }
+    const HoseRequest kept = approval::apply_proposal(p);
+    if (kept.rate > Gbps(approval::kRateEpsGbps)) hoses.push_back(kept);
+    if (!p.qos_options.empty()) {
+      const HoseRequest demoted = approval::apply_proposal(p, p.qos_options.front());
+      if (demoted.rate > Gbps(approval::kRateEpsGbps)) hoses.push_back(demoted);
+    }
+  }
+  return hoses;
+}
+
+}  // namespace
+
+Expected<Strategy> strategy_from_string(std::string_view name) {
+  if (name == "accept_partial") return Strategy::accept_partial;
+  if (name == "move_regions") return Strategy::move_regions;
+  if (name == "demote_qos") return Strategy::demote_qos;
+  if (name == "retry_later") return Strategy::retry_later;
+  return Error{ErrorCode::invalid_argument, "unknown negotiation strategy: " + std::string(name)};
+}
+
+Resolution PolicyEngine::resolve(std::span<const CounterProposal> proposals,
+                                 const PolicyConfig& policy, NegotiationState& state) const {
+  PolicyMetrics& m = metrics();
+  m.resolutions.add();
+
+  Resolution resolution;
+  resolution.strategy = policy.strategy;
+
+  if (state.attempts >= policy.max_attempts || proposals.empty()) {
+    resolution.kind = ResolutionKind::give_up;
+    m.give_up.add();
+    return resolution;
+  }
+  const std::size_t attempt = state.attempts++;
+
+  if (policy.strategy == Strategy::retry_later) {
+    // Capped exponential backoff: base * 2^attempt fleet rounds, saturated
+    // at the cap (the shift is bounded by the cap check, not UB-prone).
+    std::size_t wait = policy.base_backoff_rounds;
+    for (std::size_t i = 0; i < attempt && wait < policy.max_backoff_rounds; ++i) wait *= 2;
+    resolution.kind = ResolutionKind::wait;
+    resolution.wait_rounds = std::min(std::max<std::size_t>(wait, 1), policy.max_backoff_rounds);
+    strategy_counter(m, policy.strategy).add();
+    return resolution;
+  }
+
+  switch (policy.strategy) {
+    case Strategy::accept_partial: resolution.hoses = build_accept_partial(proposals); break;
+    case Strategy::move_regions: resolution.hoses = build_move_regions(proposals); break;
+    case Strategy::demote_qos: resolution.hoses = build_demote_qos(proposals); break;
+    case Strategy::retry_later: break;  // handled above
+  }
+
+  // A follow-up worth less than min_accept_fraction of the original demand
+  // is not worth holding capacity for: give up instead.
+  const Gbps original = requested_total(proposals);
+  const Gbps follow_up = hose_total(resolution.hoses);
+  if (resolution.hoses.empty() ||
+      follow_up.value() < policy.min_accept_fraction * original.value()) {
+    resolution.kind = ResolutionKind::give_up;
+    resolution.hoses.clear();
+    m.give_up.add();
+    return resolution;
+  }
+
+  resolution.kind = ResolutionKind::resubmit;
+  resolution.expected = follow_up;
+  strategy_counter(m, policy.strategy).add();
+  return resolution;
+}
+
+}  // namespace netent::spec

@@ -1,0 +1,112 @@
+// Negotiation policy engine (`netent::spec::PolicyEngine`): closes the §8
+// negotiation loop. The approval plane answers a shortfall with a
+// CounterProposal (partial volume, alternative regions, lower QoS classes);
+// until now acting on one was the caller's manual job. A tenant's spec names
+// a *strategy* instead, and the engine mechanically resolves every proposal
+// into the follow-up it implies:
+//
+//   accept_partial  take option (a): re-request at the guaranteed volume
+//   move_regions    take option (b): keep the grant, move each unmet
+//                   residual to the best alternative region
+//   demote_qos      take option (c): keep the grant, re-request each unmet
+//                   residual at the best lower QoS class
+//   retry_later     resubmit the original request unchanged after a capped
+//                   exponential backoff (contention may clear)
+//
+// Every resolution is counted in the `spec.policy.*` obs counters, so a
+// fleet run shows exactly how contention was resolved.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "approval/negotiation.h"
+#include "common/expected.h"
+
+namespace netent::spec {
+
+enum class Strategy : std::uint8_t {
+  accept_partial = 0,
+  move_regions,
+  demote_qos,
+  retry_later,
+};
+
+inline constexpr std::size_t kStrategyCount = 4;
+
+[[nodiscard]] constexpr const char* to_string(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::accept_partial: return "accept_partial";
+    case Strategy::move_regions: return "move_regions";
+    case Strategy::demote_qos: return "demote_qos";
+    case Strategy::retry_later: return "retry_later";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] Expected<Strategy> strategy_from_string(std::string_view name);
+
+/// Per-tenant negotiation policy (the `policy` block of an entitlement
+/// spec).
+struct PolicyConfig {
+  Strategy strategy = Strategy::accept_partial;
+  /// Give up instead of resubmitting when the follow-up request would total
+  /// less than this fraction of the original volume.
+  double min_accept_fraction = 0.25;
+  /// Negotiation attempts per spec (resubmits + scheduled retries) before
+  /// giving up.
+  std::size_t max_attempts = 3;
+  /// retry_later: first wait, in fleet rounds; doubles per attempt.
+  std::size_t base_backoff_rounds = 1;
+  /// retry_later: backoff cap.
+  std::size_t max_backoff_rounds = 8;
+
+  [[nodiscard]] bool operator==(const PolicyConfig&) const = default;
+};
+
+/// Mutable per-request negotiation progress, owned by the caller (the fleet
+/// keeps one per in-flight spec).
+struct NegotiationState {
+  std::size_t attempts = 0;
+};
+
+enum class ResolutionKind : std::uint8_t {
+  resubmit,  ///< `hoses` is the follow-up request, submit it
+  wait,      ///< resubmit the ORIGINAL request after `wait_rounds`
+  give_up,   ///< no acceptable follow-up; stop negotiating this spec
+};
+
+[[nodiscard]] constexpr const char* to_string(ResolutionKind kind) {
+  switch (kind) {
+    case ResolutionKind::resubmit: return "resubmit";
+    case ResolutionKind::wait: return "wait";
+    case ResolutionKind::give_up: return "give_up";
+  }
+  return "unknown";
+}
+
+struct Resolution {
+  ResolutionKind kind = ResolutionKind::give_up;
+  Strategy strategy = Strategy::accept_partial;  ///< the policy that decided
+  std::vector<hose::HoseRequest> hoses;          ///< resubmit: follow-up hoses
+  std::size_t wait_rounds = 0;                   ///< wait: backoff length
+  /// resubmit: the volume the follow-up asks for that the proposals already
+  /// guarantee (diagnostics; the admission plane re-assesses regardless).
+  Gbps expected = Gbps(0);
+};
+
+/// Stateless resolver: proposals in, follow-up out. Thread-safe (the obs
+/// counters are sharded); all state lives in the caller's NegotiationState.
+class PolicyEngine {
+ public:
+  /// Resolves the counter-proposals of one rejected request under `policy`.
+  /// `state.attempts` is advanced; once it reaches `policy.max_attempts`
+  /// every further call resolves to give_up. Proposals must be the rejected
+  /// request's, in request-hose order (AdmissionOutcome::proposals).
+  [[nodiscard]] Resolution resolve(std::span<const approval::CounterProposal> proposals,
+                                   const PolicyConfig& policy, NegotiationState& state) const;
+};
+
+}  // namespace netent::spec

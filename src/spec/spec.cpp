@@ -1,0 +1,414 @@
+#include "spec/spec.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+#include "core/json.h"
+
+namespace netent::spec {
+
+namespace json = core::json;
+
+namespace {
+
+/// Schema-level failure at the reader's current position: the line plus the
+/// spec field path, so "which field of which hose" never needs guessing.
+Error fail_at(const json::Reader& reader, const std::string& field, const std::string& what,
+              ErrorCode code = ErrorCode::parse_error) {
+  return Error{code, "line " + std::to_string(reader.line()) + ": " + field + ": " + what};
+}
+
+/// Marks a key as seen; duplicated keys are a strict-schema error.
+Expected<void> mark_seen(json::Reader& reader, const std::string& field, bool& seen) {
+  if (seen) return fail_at(reader, field, "duplicate key");
+  seen = true;
+  return {};
+}
+
+Expected<std::uint64_t> read_unsigned(json::Reader& reader, const std::string& field) {
+  auto v = reader.unsigned_integer();
+  if (!v) return Error{v.error().code, field + ": " + v.error().message};
+  return *v;
+}
+
+Expected<double> read_number(json::Reader& reader, const std::string& field) {
+  auto v = reader.number();
+  if (!v) return Error{v.error().code, field + ": " + v.error().message};
+  return *v;
+}
+
+Expected<std::string> read_string(json::Reader& reader, const std::string& field) {
+  auto v = reader.string();
+  if (!v) return Error{v.error().code, field + ": " + v.error().message};
+  return std::move(*v);
+}
+
+Expected<double> read_fraction(json::Reader& reader, const std::string& field) {
+  auto v = read_number(reader, field);
+  if (!v) return v.error();
+  if (*v < 0.0 || *v > 1.0) {
+    return fail_at(reader, field, "must be in [0, 1]", ErrorCode::invalid_argument);
+  }
+  return *v;
+}
+
+Expected<std::uint32_t> read_u32(json::Reader& reader, const std::string& field) {
+  auto v = read_unsigned(reader, field);
+  if (!v) return v.error();
+  if (*v > std::numeric_limits<std::uint32_t>::max()) {
+    return fail_at(reader, field, "out of 32-bit id range", ErrorCode::invalid_argument);
+  }
+  return static_cast<std::uint32_t>(*v);
+}
+
+Expected<PolicyConfig> parse_policy(json::Reader& reader, const std::string& field) {
+  PolicyConfig policy;
+  if (auto ok = reader.begin_object(); !ok) return ok.error();
+  bool seen_strategy = false, seen_fraction = false, seen_attempts = false;
+  bool seen_base = false, seen_max = false;
+  while (true) {
+    auto key = reader.next_key();
+    if (!key) return key.error();
+    if (!*key) break;
+    const std::string path = field + "." + **key;
+    if (**key == "strategy") {
+      if (auto ok = mark_seen(reader, path, seen_strategy); !ok) return ok.error();
+      auto name = read_string(reader, path);
+      if (!name) return name.error();
+      auto strategy = strategy_from_string(*name);
+      if (!strategy) return fail_at(reader, path, strategy.error().message);
+      policy.strategy = *strategy;
+    } else if (**key == "min_accept_fraction") {
+      if (auto ok = mark_seen(reader, path, seen_fraction); !ok) return ok.error();
+      auto v = read_fraction(reader, path);
+      if (!v) return v.error();
+      policy.min_accept_fraction = *v;
+    } else if (**key == "max_attempts") {
+      if (auto ok = mark_seen(reader, path, seen_attempts); !ok) return ok.error();
+      auto v = read_u32(reader, path);
+      if (!v) return v.error();
+      policy.max_attempts = static_cast<std::size_t>(*v);
+    } else if (**key == "base_backoff_rounds") {
+      if (auto ok = mark_seen(reader, path, seen_base); !ok) return ok.error();
+      auto v = read_u32(reader, path);
+      if (!v) return v.error();
+      policy.base_backoff_rounds = static_cast<std::size_t>(*v);
+    } else if (**key == "max_backoff_rounds") {
+      if (auto ok = mark_seen(reader, path, seen_max); !ok) return ok.error();
+      auto v = read_u32(reader, path);
+      if (!v) return v.error();
+      policy.max_backoff_rounds = static_cast<std::size_t>(*v);
+    } else {
+      return fail_at(reader, path, "unknown key");
+    }
+  }
+  return policy;
+}
+
+Expected<core::Period> parse_window(json::Reader& reader, const std::string& field) {
+  core::Period window;
+  if (auto ok = reader.begin_object(); !ok) return ok.error();
+  bool seen_start = false, seen_end = false;
+  while (true) {
+    auto key = reader.next_key();
+    if (!key) return key.error();
+    if (!*key) break;
+    const std::string path = field + "." + **key;
+    if (**key == "start_seconds") {
+      if (auto ok = mark_seen(reader, path, seen_start); !ok) return ok.error();
+      auto v = read_number(reader, path);
+      if (!v) return v.error();
+      window.start_seconds = *v;
+    } else if (**key == "end_seconds") {
+      if (auto ok = mark_seen(reader, path, seen_end); !ok) return ok.error();
+      auto v = read_number(reader, path);
+      if (!v) return v.error();
+      window.end_seconds = *v;
+    } else {
+      return fail_at(reader, path, "unknown key");
+    }
+  }
+  if (!seen_start || !seen_end) {
+    return fail_at(reader, field, "requires both start_seconds and end_seconds");
+  }
+  if (window.end_seconds < window.start_seconds) {
+    return fail_at(reader, field, "end_seconds before start_seconds", ErrorCode::invalid_argument);
+  }
+  return window;
+}
+
+Expected<SpecHose> parse_hose(json::Reader& reader, const std::string& field) {
+  SpecHose hose;
+  if (auto ok = reader.begin_object(); !ok) return ok.error();
+  bool seen_region = false, seen_direction = false, seen_rate = false, seen_qos = false;
+  while (true) {
+    auto key = reader.next_key();
+    if (!key) return key.error();
+    if (!*key) break;
+    const std::string path = field + "." + **key;
+    if (**key == "region") {
+      if (auto ok = mark_seen(reader, path, seen_region); !ok) return ok.error();
+      auto v = read_u32(reader, path);
+      if (!v) return v.error();
+      hose.region = RegionId(*v);
+    } else if (**key == "direction") {
+      if (auto ok = mark_seen(reader, path, seen_direction); !ok) return ok.error();
+      auto name = read_string(reader, path);
+      if (!name) return name.error();
+      auto direction = direction_from_string(*name);
+      if (!direction) return fail_at(reader, path, direction.error().message);
+      hose.direction = *direction;
+    } else if (**key == "rate_gbps") {
+      if (auto ok = mark_seen(reader, path, seen_rate); !ok) return ok.error();
+      auto v = read_number(reader, path);
+      if (!v) return v.error();
+      if (*v < 0.0) return fail_at(reader, path, "must be >= 0", ErrorCode::invalid_argument);
+      hose.rate = Gbps(*v);
+    } else if (**key == "qos") {
+      if (auto ok = mark_seen(reader, path, seen_qos); !ok) return ok.error();
+      auto name = read_string(reader, path);
+      if (!name) return name.error();
+      auto qos = qos_from_string(*name);
+      if (!qos) return fail_at(reader, path, qos.error().message);
+      hose.qos = *qos;
+    } else {
+      return fail_at(reader, path, "unknown key");
+    }
+  }
+  if (!seen_region) return fail_at(reader, field, "missing required key 'region'");
+  if (!seen_rate) return fail_at(reader, field, "missing required key 'rate_gbps'");
+  return hose;
+}
+
+}  // namespace
+
+Expected<SpecAction> action_from_string(std::string_view name) {
+  if (name == "admit") return SpecAction::admit;
+  if (name == "resize") return SpecAction::resize;
+  if (name == "release") return SpecAction::release;
+  return Error{ErrorCode::invalid_argument, "unknown action: " + std::string(name)};
+}
+
+Expected<QosClass> qos_from_string(std::string_view name) {
+  for (const QosClass qos : qos_priority_order()) {
+    if (name == to_string(qos)) return qos;
+  }
+  return Error{ErrorCode::invalid_argument, "unknown qos class: " + std::string(name)};
+}
+
+Expected<hose::Direction> direction_from_string(std::string_view name) {
+  if (name == "egress") return hose::Direction::egress;
+  if (name == "ingress") return hose::Direction::ingress;
+  return Error{ErrorCode::invalid_argument, "unknown direction: " + std::string(name)};
+}
+
+Expected<EntitlementSpec> parse_spec(std::string_view text) {
+  json::Reader reader(text);
+  EntitlementSpec spec;
+  if (auto ok = reader.begin_object(); !ok) return ok.error();
+
+  bool seen_version = false, seen_tenant = false, seen_npg = false, seen_action = false;
+  bool seen_contract = false, seen_qos = false, seen_slo = false, seen_window = false;
+  bool seen_policy = false, seen_hoses = false;
+
+  while (true) {
+    auto key = reader.next_key();
+    if (!key) return key.error();
+    if (!*key) break;
+    const std::string path = "spec." + **key;
+    if (**key == "version") {
+      if (auto ok = mark_seen(reader, path, seen_version); !ok) return ok.error();
+      auto v = read_unsigned(reader, path);
+      if (!v) return v.error();
+      if (*v != kSpecVersion) {
+        return fail_at(reader, path, "unsupported spec version " + std::to_string(*v),
+                       ErrorCode::invalid_argument);
+      }
+      spec.version = *v;
+    } else if (**key == "tenant") {
+      if (auto ok = mark_seen(reader, path, seen_tenant); !ok) return ok.error();
+      auto v = read_string(reader, path);
+      if (!v) return v.error();
+      spec.tenant = std::move(*v);
+    } else if (**key == "npg") {
+      if (auto ok = mark_seen(reader, path, seen_npg); !ok) return ok.error();
+      auto v = read_u32(reader, path);
+      if (!v) return v.error();
+      spec.npg = NpgId(*v);
+    } else if (**key == "action") {
+      if (auto ok = mark_seen(reader, path, seen_action); !ok) return ok.error();
+      auto name = read_string(reader, path);
+      if (!name) return name.error();
+      auto action = action_from_string(*name);
+      if (!action) return fail_at(reader, path, action.error().message);
+      spec.action = *action;
+    } else if (**key == "contract") {
+      if (auto ok = mark_seen(reader, path, seen_contract); !ok) return ok.error();
+      auto v = read_unsigned(reader, path);
+      if (!v) return v.error();
+      spec.contract = *v;
+    } else if (**key == "qos") {
+      if (auto ok = mark_seen(reader, path, seen_qos); !ok) return ok.error();
+      auto name = read_string(reader, path);
+      if (!name) return name.error();
+      auto qos = qos_from_string(*name);
+      if (!qos) return fail_at(reader, path, qos.error().message);
+      spec.qos = *qos;
+    } else if (**key == "slo_availability") {
+      if (auto ok = mark_seen(reader, path, seen_slo); !ok) return ok.error();
+      auto v = read_fraction(reader, path);
+      if (!v) return v.error();
+      spec.slo_availability = *v;
+    } else if (**key == "window") {
+      if (auto ok = mark_seen(reader, path, seen_window); !ok) return ok.error();
+      auto window = parse_window(reader, path);
+      if (!window) return window.error();
+      spec.window = *window;
+    } else if (**key == "policy") {
+      if (auto ok = mark_seen(reader, path, seen_policy); !ok) return ok.error();
+      auto policy = parse_policy(reader, path);
+      if (!policy) return policy.error();
+      spec.policy = *policy;
+    } else if (**key == "hoses") {
+      if (auto ok = mark_seen(reader, path, seen_hoses); !ok) return ok.error();
+      if (auto ok = reader.begin_array(); !ok) return ok.error();
+      while (true) {
+        auto more = reader.next_element();
+        if (!more) return more.error();
+        if (!*more) break;
+        auto hose = parse_hose(reader, path + "[" + std::to_string(spec.hoses.size()) + "]");
+        if (!hose) return hose.error();
+        spec.hoses.push_back(std::move(*hose));
+      }
+    } else {
+      return fail_at(reader, path, "unknown key");
+    }
+  }
+
+  if (!seen_version) return fail_at(reader, "spec", "missing required key 'version'");
+  if (!seen_tenant) return fail_at(reader, "spec", "missing required key 'tenant'");
+  if (!seen_npg) return fail_at(reader, "spec", "missing required key 'npg'");
+  if (!seen_action) return fail_at(reader, "spec", "missing required key 'action'");
+  if (auto ok = reader.finish(); !ok) return ok.error();
+  return spec;
+}
+
+Expected<EntitlementSpec> load_spec(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Error{ErrorCode::io_error, "cannot open spec file: " + path};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Error{ErrorCode::io_error, "read failed: " + path};
+  return parse_spec(buffer.str());
+}
+
+std::string spec_to_json(const EntitlementSpec& spec) {
+  json::Writer w;
+  w.begin_object();
+  w.key("version");
+  w.value(spec.version);
+  w.key("tenant");
+  w.value(std::string_view(spec.tenant));
+  w.key("npg");
+  w.value(std::uint64_t{spec.npg.value()});
+  w.key("action");
+  w.value(std::string_view(to_string(spec.action)));
+  w.key("contract");
+  w.value(std::uint64_t{spec.contract});
+  w.key("qos");
+  w.value(std::string_view(to_string(spec.qos)));
+  w.key("slo_availability");
+  w.value(spec.slo_availability);
+  w.key("window");
+  w.begin_object();
+  w.key("start_seconds");
+  w.value(spec.window.start_seconds);
+  w.key("end_seconds");
+  w.value(spec.window.end_seconds);
+  w.end_object();
+  w.key("policy");
+  w.begin_object();
+  w.key("strategy");
+  w.value(std::string_view(to_string(spec.policy.strategy)));
+  w.key("min_accept_fraction");
+  w.value(spec.policy.min_accept_fraction);
+  w.key("max_attempts");
+  w.value(std::uint64_t{spec.policy.max_attempts});
+  w.key("base_backoff_rounds");
+  w.value(std::uint64_t{spec.policy.base_backoff_rounds});
+  w.key("max_backoff_rounds");
+  w.value(std::uint64_t{spec.policy.max_backoff_rounds});
+  w.end_object();
+  w.key("hoses");
+  w.begin_array();
+  for (const SpecHose& hose : spec.hoses) {
+    w.begin_object();
+    w.key("region");
+    w.value(std::uint64_t{hose.region.value()});
+    w.key("direction");
+    w.value(std::string_view(to_string(hose.direction)));
+    w.key("rate_gbps");
+    w.value(hose.rate.value());
+    if (hose.qos) {
+      w.key("qos");
+      w.value(std::string_view(to_string(*hose.qos)));
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+Expected<service::AdmissionRequest> compile_spec(const EntitlementSpec& spec,
+                                                 std::size_t region_count) {
+  service::AdmissionRequest request;
+  switch (spec.action) {
+    case SpecAction::admit: request.kind = service::RequestKind::admit; break;
+    case SpecAction::resize: request.kind = service::RequestKind::resize; break;
+    case SpecAction::release: request.kind = service::RequestKind::release; break;
+  }
+  request.npg = spec.npg;
+  request.npg_name = spec.tenant;
+  request.contract = spec.contract;
+
+  if (spec.action != SpecAction::admit && spec.contract == 0) {
+    return Error{ErrorCode::invalid_argument,
+                 "spec.contract: " + std::string(to_string(spec.action)) +
+                     " requires a contract id"};
+  }
+  if (spec.action == SpecAction::release) {
+    if (!spec.hoses.empty()) {
+      return Error{ErrorCode::invalid_argument, "spec.hoses: release takes no hoses"};
+    }
+    return request;
+  }
+  if (spec.hoses.empty()) {
+    return Error{ErrorCode::invalid_argument,
+                 "spec.hoses: " + std::string(to_string(spec.action)) +
+                     " requires at least one hose"};
+  }
+
+  request.hoses.reserve(spec.hoses.size());
+  for (std::size_t i = 0; i < spec.hoses.size(); ++i) {
+    const SpecHose& hose = spec.hoses[i];
+    const std::string path = "spec.hoses[" + std::to_string(i) + "]";
+    if (hose.region.value() >= region_count) {
+      return Error{ErrorCode::invalid_argument,
+                   path + ".region: region " + std::to_string(hose.region.value()) +
+                       " out of range (topology has " + std::to_string(region_count) +
+                       " regions)"};
+    }
+    if (!std::isfinite(hose.rate.value()) || hose.rate <= Gbps(0)) {
+      return Error{ErrorCode::invalid_argument, path + ".rate_gbps: must be finite and > 0"};
+    }
+    request.hoses.push_back(hose::HoseRequest{spec.npg, hose.qos.value_or(spec.qos), hose.region,
+                                              hose.direction, hose.rate});
+  }
+  return request;
+}
+
+}  // namespace netent::spec

@@ -1,0 +1,116 @@
+// The entitlement spec language (`netent::spec`): a declarative, versioned
+// JSON front-end over the admission plane. A tenant writes WHAT it is
+// entitled to — QoS class, hose endpoints and volumes, SLO target, time
+// window, negotiation policy — and the spec layer compiles that into the
+// imperative admit / resize / release requests `service::AdmissionController`
+// consumes.
+//
+// Schema (version 1, all keys shown; see DESIGN.md "Contract front-end"):
+//
+//   {
+//     "version": 1,
+//     "tenant": "web-frontend",
+//     "npg": 7,
+//     "action": "admit",                     // admit | resize | release
+//     "contract": 0,                         // resize/release: runtime id
+//     "qos": "c2_low",                       // spec-level class, hoses inherit
+//     "slo_availability": 0.9995,            // 0 = service default
+//     "window": {"start_seconds": 0, "end_seconds": 7776000},
+//     "policy": {"strategy": "move_regions", "min_accept_fraction": 0.25,
+//                "max_attempts": 3, "base_backoff_rounds": 1,
+//                "max_backoff_rounds": 8},
+//     "hoses": [{"region": 0, "direction": "egress", "rate_gbps": 10,
+//                "qos": "c3_low"}]           // per-hose "qos" is optional
+//   }
+//
+// Parsing NEVER crashes or throws on malformed input: every failure is a
+// typed Error (parse_error / invalid_argument) carrying the line number and
+// the spec field path ("line 9: spec.hoses[1].rate_gbps: ..."). The schema
+// is strict — unknown or duplicated keys are errors, so a typo'd spec fails
+// loudly instead of silently requesting nothing. Writing is byte-stable
+// (fixed key order, shortest-round-trip numbers), so parse(to_json(s)) == s
+// exactly and goldens can pin the output.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/expected.h"
+#include "common/types.h"
+#include "common/units.h"
+#include "core/contract.h"
+#include "service/admission.h"
+#include "spec/policy.h"
+
+namespace netent::spec {
+
+/// Spec schema version this build reads and writes.
+inline constexpr std::uint64_t kSpecVersion = 1;
+
+enum class SpecAction : std::uint8_t { admit, resize, release };
+
+[[nodiscard]] constexpr const char* to_string(SpecAction action) {
+  switch (action) {
+    case SpecAction::admit: return "admit";
+    case SpecAction::resize: return "resize";
+    case SpecAction::release: return "release";
+  }
+  return "unknown";
+}
+
+[[nodiscard]] Expected<SpecAction> action_from_string(std::string_view name);
+[[nodiscard]] Expected<QosClass> qos_from_string(std::string_view name);
+[[nodiscard]] Expected<hose::Direction> direction_from_string(std::string_view name);
+
+/// One hose endpoint of a spec: a per-region ingress/egress volume. `qos`
+/// unset inherits the spec-level class.
+struct SpecHose {
+  RegionId region;
+  hose::Direction direction = hose::Direction::egress;
+  Gbps rate;
+  std::optional<QosClass> qos;
+
+  [[nodiscard]] bool operator==(const SpecHose&) const = default;
+};
+
+/// A parsed, validated entitlement spec — the declarative form of one
+/// admission request.
+struct EntitlementSpec {
+  std::uint64_t version = kSpecVersion;
+  std::string tenant;                    ///< display name (contract npg_name)
+  NpgId npg;
+  SpecAction action = SpecAction::admit;
+  service::ContractId contract = 0;      ///< resize/release target
+  QosClass qos = QosClass::c4_high;      ///< default class for the hoses
+  double slo_availability = 0.0;         ///< 0 = service default
+  core::Period window;                   ///< {0, 0} = service default period
+  PolicyConfig policy;                   ///< negotiation strategy
+  std::vector<SpecHose> hoses;
+
+  [[nodiscard]] bool operator==(const EntitlementSpec&) const = default;
+};
+
+/// Parses a spec document. Never throws; malformed input yields parse_error
+/// (bad JSON / wrong types / unknown keys) or invalid_argument (well-formed
+/// JSON violating schema semantics), always with line + field diagnostics.
+[[nodiscard]] Expected<EntitlementSpec> parse_spec(std::string_view text);
+
+/// parse_spec over a file (io_error when unreadable).
+[[nodiscard]] Expected<EntitlementSpec> load_spec(const std::string& path);
+
+/// Byte-stable serialization: fixed key order, compact, shortest-round-trip
+/// numbers. parse_spec(spec_to_json(s)) reproduces `s` exactly.
+[[nodiscard]] std::string spec_to_json(const EntitlementSpec& spec);
+
+/// Compiles a spec into the admission request it stands for, validating
+/// semantics against the target network: regions must exist
+/// (`region_count`), rates must be positive and finite, admit/resize need
+/// hoses, resize/release need a contract id. The compiled request is what
+/// AdmissionController::submit consumes.
+[[nodiscard]] Expected<service::AdmissionRequest> compile_spec(const EntitlementSpec& spec,
+                                                               std::size_t region_count);
+
+}  // namespace netent::spec

@@ -1,0 +1,221 @@
+#include "spec/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/serialize.h"
+
+namespace netent::spec {
+namespace {
+
+using approval::CounterProposal;
+using approval::QosAlternative;
+using approval::RegionAlternative;
+using hose::Direction;
+
+CounterProposal partial_proposal() {
+  CounterProposal proposal;
+  proposal.original = {NpgId(5), QosClass::c1_low, RegionId(2), Direction::egress, Gbps(100)};
+  proposal.guaranteed = Gbps(40);
+  proposal.residual = Gbps(60);
+  proposal.region_options = {{RegionId(4), Gbps(55)}, {RegionId(1), Gbps(30)}};
+  proposal.qos_options = {{QosClass::c2_low, Gbps(60)}, {QosClass::c3_low, Gbps(45)}};
+  return proposal;
+}
+
+// --- apply_proposal: the three counter-proposal options. --------------------
+
+TEST(ApplyProposal, AcceptPartialKeepsHoseAtGuaranteedVolume) {
+  const hose::HoseRequest follow_up = apply_proposal(partial_proposal());
+  EXPECT_EQ(follow_up.npg, NpgId(5));
+  EXPECT_EQ(follow_up.qos, QosClass::c1_low);
+  EXPECT_EQ(follow_up.region, RegionId(2));
+  EXPECT_EQ(follow_up.direction, Direction::egress);
+  EXPECT_DOUBLE_EQ(follow_up.rate.value(), 40.0);
+}
+
+TEST(ApplyProposal, MoveRegionsRehomesResidualCappedByGuarantee) {
+  const CounterProposal proposal = partial_proposal();
+  const hose::HoseRequest follow_up = apply_proposal(proposal, proposal.region_options[0]);
+  EXPECT_EQ(follow_up.region, RegionId(4));
+  EXPECT_EQ(follow_up.qos, QosClass::c1_low);
+  EXPECT_DOUBLE_EQ(follow_up.rate.value(), 55.0);  // min(residual 60, guaranteed 55)
+  const hose::HoseRequest second = apply_proposal(proposal, proposal.region_options[1]);
+  EXPECT_DOUBLE_EQ(second.rate.value(), 30.0);
+}
+
+TEST(ApplyProposal, DemoteQosKeepsRegionCappedByGuarantee) {
+  const CounterProposal proposal = partial_proposal();
+  const hose::HoseRequest follow_up = apply_proposal(proposal, proposal.qos_options[0]);
+  EXPECT_EQ(follow_up.region, RegionId(2));
+  EXPECT_EQ(follow_up.qos, QosClass::c2_low);
+  EXPECT_DOUBLE_EQ(follow_up.rate.value(), 60.0);  // full residual fits at c2_low
+  const hose::HoseRequest second = apply_proposal(proposal, proposal.qos_options[1]);
+  EXPECT_EQ(second.qos, QosClass::c3_low);
+  EXPECT_DOUBLE_EQ(second.rate.value(), 45.0);
+}
+
+// --- PolicyEngine resolution shapes. ----------------------------------------
+
+TEST(PolicyEngine, AcceptPartialResolvesToGuaranteedVolumes) {
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  policy.strategy = Strategy::accept_partial;
+  NegotiationState state;
+  const std::vector<CounterProposal> proposals = {partial_proposal()};
+  const Resolution resolution = engine.resolve(proposals, policy, state);
+  EXPECT_EQ(resolution.kind, ResolutionKind::resubmit);
+  EXPECT_EQ(resolution.strategy, Strategy::accept_partial);
+  ASSERT_EQ(resolution.hoses.size(), 1u);
+  EXPECT_DOUBLE_EQ(resolution.hoses[0].rate.value(), 40.0);
+  EXPECT_DOUBLE_EQ(resolution.expected.value(), 40.0);
+  EXPECT_EQ(state.attempts, 1u);
+}
+
+TEST(PolicyEngine, MoveRegionsKeepsGrantAndBestAlternative) {
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  policy.strategy = Strategy::move_regions;
+  NegotiationState state;
+  const std::vector<CounterProposal> proposals = {partial_proposal()};
+  const Resolution resolution = engine.resolve(proposals, policy, state);
+  EXPECT_EQ(resolution.kind, ResolutionKind::resubmit);
+  ASSERT_EQ(resolution.hoses.size(), 2u);  // partial grant + rehomed residual
+  EXPECT_EQ(resolution.hoses[0].region, RegionId(2));
+  EXPECT_DOUBLE_EQ(resolution.hoses[0].rate.value(), 40.0);
+  EXPECT_EQ(resolution.hoses[1].region, RegionId(4));  // best option first
+  EXPECT_DOUBLE_EQ(resolution.hoses[1].rate.value(), 55.0);
+  EXPECT_DOUBLE_EQ(resolution.expected.value(), 95.0);
+}
+
+TEST(PolicyEngine, DemoteQosKeepsGrantAndDemotesResidual) {
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  policy.strategy = Strategy::demote_qos;
+  NegotiationState state;
+  const std::vector<CounterProposal> proposals = {partial_proposal()};
+  const Resolution resolution = engine.resolve(proposals, policy, state);
+  EXPECT_EQ(resolution.kind, ResolutionKind::resubmit);
+  ASSERT_EQ(resolution.hoses.size(), 2u);
+  EXPECT_EQ(resolution.hoses[0].qos, QosClass::c1_low);
+  EXPECT_EQ(resolution.hoses[1].qos, QosClass::c2_low);
+  EXPECT_DOUBLE_EQ(resolution.expected.value(), 100.0);
+}
+
+TEST(PolicyEngine, FullyApprovedProposalPassesThroughUnchanged) {
+  CounterProposal proposal = partial_proposal();
+  proposal.guaranteed = Gbps(100);
+  proposal.residual = Gbps(0);
+  proposal.region_options.clear();
+  proposal.qos_options.clear();
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  policy.strategy = Strategy::move_regions;
+  NegotiationState state;
+  const std::vector<CounterProposal> proposals = {proposal};
+  const Resolution resolution = engine.resolve(proposals, policy, state);
+  EXPECT_EQ(resolution.kind, ResolutionKind::resubmit);
+  ASSERT_EQ(resolution.hoses.size(), 1u);
+  EXPECT_DOUBLE_EQ(resolution.hoses[0].rate.value(), 100.0);
+}
+
+TEST(PolicyEngine, RetryLaterBacksOffExponentiallyWithCap) {
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  policy.strategy = Strategy::retry_later;
+  policy.base_backoff_rounds = 1;
+  policy.max_backoff_rounds = 5;
+  policy.max_attempts = 10;
+  NegotiationState state;
+  const std::vector<CounterProposal> proposals = {partial_proposal()};
+  std::vector<std::size_t> waits;
+  for (int i = 0; i < 5; ++i) {
+    const Resolution resolution = engine.resolve(proposals, policy, state);
+    ASSERT_EQ(resolution.kind, ResolutionKind::wait);
+    EXPECT_EQ(resolution.strategy, Strategy::retry_later);
+    EXPECT_TRUE(resolution.hoses.empty());
+    waits.push_back(resolution.wait_rounds);
+  }
+  EXPECT_EQ(waits, (std::vector<std::size_t>{1, 2, 4, 5, 5}));  // doubling, capped
+}
+
+TEST(PolicyEngine, GivesUpWhenAttemptsExhausted) {
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  policy.strategy = Strategy::accept_partial;
+  policy.max_attempts = 2;
+  NegotiationState state;
+  const std::vector<CounterProposal> proposals = {partial_proposal()};
+  EXPECT_EQ(engine.resolve(proposals, policy, state).kind, ResolutionKind::resubmit);
+  EXPECT_EQ(engine.resolve(proposals, policy, state).kind, ResolutionKind::resubmit);
+  EXPECT_EQ(engine.resolve(proposals, policy, state).kind, ResolutionKind::give_up);
+  EXPECT_EQ(engine.resolve(proposals, policy, state).kind, ResolutionKind::give_up);
+}
+
+TEST(PolicyEngine, GivesUpBelowMinAcceptFraction) {
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  policy.strategy = Strategy::accept_partial;
+  policy.min_accept_fraction = 0.5;  // guaranteed 40 of 100 < 50%
+  NegotiationState state;
+  const std::vector<CounterProposal> proposals = {partial_proposal()};
+  EXPECT_EQ(engine.resolve(proposals, policy, state).kind, ResolutionKind::give_up);
+}
+
+TEST(PolicyEngine, GivesUpOnEmptyProposals) {
+  const PolicyEngine engine;
+  PolicyConfig policy;
+  NegotiationState state;
+  EXPECT_EQ(engine.resolve({}, policy, state).kind, ResolutionKind::give_up);
+}
+
+TEST(Policy, StrategyStringsRoundTrip) {
+  for (std::size_t s = 0; s < kStrategyCount; ++s) {
+    const Strategy strategy = static_cast<Strategy>(s);
+    EXPECT_EQ(*strategy_from_string(to_string(strategy)), strategy);
+  }
+  EXPECT_FALSE(strategy_from_string("surrender"));
+}
+
+// --- CounterProposal JSON round-trip (satellite: serialization). ------------
+
+TEST(ProposalJson, GoldenBytesAndRoundTrip) {
+  const CounterProposal proposal = partial_proposal();
+  const std::string golden =
+      R"({"original":{"npg":5,"qos":"c1_low","region":2,"direction":"egress",)"
+      R"("rate_gbps":100},"guaranteed_gbps":40,"residual_gbps":60,)"
+      R"("region_options":[{"region":4,"guaranteed_gbps":55},)"
+      R"({"region":1,"guaranteed_gbps":30}],)"
+      R"("qos_options":[{"qos":"c2_low","guaranteed_gbps":60},)"
+      R"({"qos":"c3_low","guaranteed_gbps":45}]})";
+  const std::string json = core::proposal_to_json(proposal);
+  EXPECT_EQ(json, golden);
+
+  const Expected<CounterProposal> parsed = core::proposal_from_json(json);
+  ASSERT_TRUE(parsed) << parsed.error().message;
+  EXPECT_EQ(parsed->original.npg, proposal.original.npg);
+  EXPECT_EQ(parsed->original.qos, proposal.original.qos);
+  EXPECT_DOUBLE_EQ(parsed->guaranteed.value(), 40.0);
+  EXPECT_DOUBLE_EQ(parsed->residual.value(), 60.0);
+  ASSERT_EQ(parsed->region_options.size(), 2u);
+  EXPECT_EQ(parsed->region_options[0].region, RegionId(4));
+  ASSERT_EQ(parsed->qos_options.size(), 2u);
+  EXPECT_EQ(parsed->qos_options[1].qos, QosClass::c3_low);
+  // Byte-stable: serializing the parse reproduces the bytes.
+  EXPECT_EQ(core::proposal_to_json(*parsed), json);
+}
+
+TEST(ProposalJson, MalformedInputYieldsTypedErrors) {
+  for (const char* text : {"", "{", "[]", R"({"guaranteed_gbps": 1})",
+                           R"({"original": 7, "guaranteed_gbps": 1, "residual_gbps": 0,)"
+                           R"( "region_options": [], "qos_options": []})"}) {
+    const auto result = core::proposal_from_json(text);
+    ASSERT_FALSE(result) << text;
+    EXPECT_EQ(result.error().code, ErrorCode::parse_error) << text;
+  }
+}
+
+}  // namespace
+}  // namespace netent::spec

@@ -1,0 +1,279 @@
+#include "spec/spec.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace netent::spec {
+namespace {
+
+// --- Property: randomized specs round-trip byte-stably. ---------------------
+
+EntitlementSpec random_spec(Rng& rng) {
+  static constexpr const char* kNames[] = {"ads", "web-frontend", "storage.cold", "ml_train",
+                                           "search", "cdn-edge-7", "", "a b c"};
+  EntitlementSpec spec;
+  spec.version = kSpecVersion;
+  spec.tenant = kNames[rng.uniform_int(std::size(kNames))];
+  spec.npg = NpgId(static_cast<std::uint32_t>(rng.uniform_int(10000)));
+  spec.action = static_cast<SpecAction>(rng.uniform_int(3));
+  spec.contract = rng.uniform_int(1 << 20);
+  spec.qos = static_cast<QosClass>(rng.uniform_int(kQosClassCount));
+  spec.slo_availability = rng.bernoulli(0.5) ? 0.0 : rng.uniform();
+  const double start = rng.uniform(0.0, 1e6);
+  spec.window = {start, start + rng.uniform(0.0, 1e7)};
+  spec.policy.strategy = static_cast<Strategy>(rng.uniform_int(kStrategyCount));
+  spec.policy.min_accept_fraction = rng.uniform();
+  spec.policy.max_attempts = rng.uniform_int(10);
+  spec.policy.base_backoff_rounds = 1 + rng.uniform_int(4);
+  spec.policy.max_backoff_rounds = 1 + rng.uniform_int(16);
+  const std::size_t hose_count = rng.uniform_int(5);
+  for (std::size_t i = 0; i < hose_count; ++i) {
+    SpecHose hose;
+    hose.region = RegionId(static_cast<std::uint32_t>(rng.uniform_int(32)));
+    hose.direction = rng.bernoulli(0.5) ? hose::Direction::egress : hose::Direction::ingress;
+    hose.rate = Gbps(rng.uniform(0.001, 5000.0));
+    if (rng.bernoulli(0.5)) hose.qos = static_cast<QosClass>(rng.uniform_int(kQosClassCount));
+    spec.hoses.push_back(hose);
+  }
+  return spec;
+}
+
+TEST(Spec, ThousandRandomSpecsRoundTripExactly) {
+  Rng rng(20220822);
+  for (int i = 0; i < 1000; ++i) {
+    const EntitlementSpec spec = random_spec(rng);
+    const std::string json = spec_to_json(spec);
+    const Expected<EntitlementSpec> parsed = parse_spec(json);
+    ASSERT_TRUE(parsed) << "iteration " << i << ": " << json << " -> "
+                        << parsed.error().message;
+    EXPECT_EQ(*parsed, spec) << "iteration " << i << ": " << json;
+    // Byte-stable: re-serializing the parse reproduces the input bytes.
+    EXPECT_EQ(spec_to_json(*parsed), json) << "iteration " << i;
+  }
+}
+
+TEST(Spec, GoldenJsonBytes) {
+  EntitlementSpec spec;
+  spec.tenant = "web-frontend";
+  spec.npg = NpgId(7);
+  spec.action = SpecAction::admit;
+  spec.qos = QosClass::c2_low;
+  spec.slo_availability = 0.9995;
+  spec.window = {0.0, 7776000.0};
+  spec.policy.strategy = Strategy::move_regions;
+  spec.hoses.push_back({RegionId(0), hose::Direction::egress, Gbps(10), {}});
+  spec.hoses.push_back({RegionId(3), hose::Direction::ingress, Gbps(10), QosClass::c3_low});
+
+  const std::string golden =
+      R"({"version":1,"tenant":"web-frontend","npg":7,"action":"admit","contract":0,)"
+      R"("qos":"c2_low","slo_availability":0.9995,)"
+      R"("window":{"start_seconds":0,"end_seconds":7776000},)"
+      R"("policy":{"strategy":"move_regions","min_accept_fraction":0.25,"max_attempts":3,)"
+      R"("base_backoff_rounds":1,"max_backoff_rounds":8},)"
+      R"("hoses":[{"region":0,"direction":"egress","rate_gbps":10},)"
+      R"({"region":3,"direction":"ingress","rate_gbps":10,"qos":"c3_low"}]})";
+  EXPECT_EQ(spec_to_json(spec), golden);
+  EXPECT_EQ(*parse_spec(golden), spec);
+}
+
+// --- Malformed input: typed errors, never a crash. --------------------------
+
+// A complete, valid document used as the base for truncation / mutation.
+const char* valid_doc() {
+  return R"({"version": 1, "tenant": "ads", "npg": 9, "action": "admit",
+             "qos": "c1_low", "slo_availability": 0.999,
+             "window": {"start_seconds": 10, "end_seconds": 20},
+             "policy": {"strategy": "retry_later", "min_accept_fraction": 0.5,
+                        "max_attempts": 4, "base_backoff_rounds": 2,
+                        "max_backoff_rounds": 6},
+             "hoses": [{"region": 1, "direction": "egress", "rate_gbps": 12.5},
+                       {"region": 2, "direction": "ingress", "rate_gbps": 12.5,
+                        "qos": "c2_high"}]})";
+}
+
+void expect_typed_failure(const std::string& text, const char* what) {
+  const Expected<EntitlementSpec> result = parse_spec(text);
+  ASSERT_FALSE(result) << what << ": accepted " << text;
+  EXPECT_TRUE(result.error().code == ErrorCode::parse_error ||
+              result.error().code == ErrorCode::invalid_argument)
+      << what << ": " << result.error().message;
+  EXPECT_FALSE(result.error().message.empty()) << what;
+}
+
+TEST(Spec, MalformedCorpusYieldsTypedErrors) {
+  const std::vector<std::pair<const char*, const char*>> corpus = {
+      {"", "empty input"},
+      {"   \n\t ", "whitespace only"},
+      {"{", "truncated object"},
+      {"[]", "top-level array"},
+      {"null", "top-level null"},
+      {"version: 1", "not JSON"},
+      {R"({"version": 1})", "missing required keys"},
+      {R"({"tenant": "x", "npg": 1, "action": "admit"})", "missing version"},
+      {R"({"version": 2, "tenant": "x", "npg": 1, "action": "admit"})", "wrong version"},
+      {R"({"version": "1", "tenant": "x", "npg": 1, "action": "admit"})", "version as string"},
+      {R"({"version": 1, "tenant": 7, "npg": 1, "action": "admit"})", "tenant as number"},
+      {R"({"version": 1, "tenant": "x", "npg": "seven", "action": "admit"})", "npg as string"},
+      {R"({"version": 1, "tenant": "x", "npg": -3, "action": "admit"})", "negative npg"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": 1})", "action as number"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "upgrade"})", "unknown action"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "qos": "c9_low"})",
+       "unknown qos"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "qos": 2})",
+       "qos as number"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "slo_availability": 1.5})",
+       "slo out of range"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "slo_availability": "high"})",
+       "slo as string"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "window": 7})",
+       "window as number"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "window": {"start_seconds": 5, "end_seconds": 1}})",
+       "window ends before it starts"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "window": {"start_seconds": 0}})",
+       "window missing end"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "policy": []})",
+       "policy as array"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "policy": {"strategy": "panic"}})",
+       "unknown strategy"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "policy": {"min_accept_fraction": -0.5}})",
+       "negative fraction"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "policy": {"max_attempts": 99999999999}})",
+       "attempts beyond 32-bit"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "hoses": {}})",
+       "hoses as object"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "hoses": [7]})",
+       "hose as number"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "hoses": [{"direction": "egress", "rate_gbps": 1}]})",
+       "hose missing region"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "hoses": [{"region": 0}]})",
+       "hose missing rate"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "hoses": [{"region": 0, "direction": "sideways", "rate_gbps": 1}]})",
+       "unknown direction"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit",)"
+       R"( "hoses": [{"region": 0, "rate_gbps": "ten"}]})",
+       "rate as string"},
+      {R"({"version": 1, "version": 1, "tenant": "x", "npg": 1, "action": "admit"})",
+       "duplicate key"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit", "color": "red"})",
+       "unknown key"},
+      {R"({"version": 1, "tenant": "x", "npg": 1, "action": "admit"} trailing)",
+       "trailing garbage"},
+      {R"({"version": [[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]]})",
+       "deeply nested wrong type"},
+  };
+  for (const auto& [text, what] : corpus) expect_typed_failure(text, what);
+}
+
+TEST(Spec, EveryTruncationOfAValidDocFailsTyped) {
+  const std::string doc = valid_doc();
+  ASSERT_TRUE(parse_spec(doc)) << parse_spec(doc).error().message;
+  for (std::size_t len = 0; len < doc.size(); ++len) {
+    expect_typed_failure(doc.substr(0, len), "truncation");
+  }
+}
+
+TEST(Spec, RandomByteMutationsNeverCrash) {
+  const std::string doc = valid_doc();
+  Rng rng(42);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = doc;
+    const std::size_t edits = 1 + rng.uniform_int(4);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.uniform_int(mutated.size());
+      mutated[pos] = static_cast<char>(rng.uniform_int(256));
+    }
+    const Expected<EntitlementSpec> result = parse_spec(mutated);
+    if (!result) {
+      EXPECT_TRUE(result.error().code == ErrorCode::parse_error ||
+                  result.error().code == ErrorCode::invalid_argument)
+          << mutated;
+    }
+  }
+}
+
+TEST(Spec, ErrorsCarryLineAndFieldDiagnostics) {
+  const auto result = parse_spec("{\n  \"version\": 1,\n  \"tenant\": \"x\",\n"
+                                 "  \"npg\": 1,\n  \"action\": \"fly\"\n}");
+  ASSERT_FALSE(result);
+  EXPECT_NE(result.error().message.find("line"), std::string::npos) << result.error().message;
+  EXPECT_NE(result.error().message.find("action"), std::string::npos) << result.error().message;
+}
+
+TEST(Spec, LoadSpecMissingFileIsIoError) {
+  const auto result = load_spec("/nonexistent/spec.json");
+  ASSERT_FALSE(result);
+  EXPECT_EQ(result.error().code, ErrorCode::io_error);
+}
+
+// --- compile_spec semantics. ------------------------------------------------
+
+EntitlementSpec admit_spec() {
+  EntitlementSpec spec;
+  spec.tenant = "ads";
+  spec.npg = NpgId(3);
+  spec.qos = QosClass::c2_low;
+  spec.hoses.push_back({RegionId(0), hose::Direction::egress, Gbps(10), {}});
+  spec.hoses.push_back({RegionId(1), hose::Direction::ingress, Gbps(10), QosClass::c3_high});
+  return spec;
+}
+
+TEST(Spec, CompileAdmitInheritsSpecQos) {
+  const auto request = compile_spec(admit_spec(), 4);
+  ASSERT_TRUE(request) << request.error().message;
+  EXPECT_EQ(request->kind, service::RequestKind::admit);
+  EXPECT_EQ(request->npg, NpgId(3));
+  EXPECT_EQ(request->npg_name, "ads");
+  ASSERT_EQ(request->hoses.size(), 2u);
+  EXPECT_EQ(request->hoses[0].qos, QosClass::c2_low);   // inherited
+  EXPECT_EQ(request->hoses[1].qos, QosClass::c3_high);  // per-hose override
+}
+
+TEST(Spec, CompileRejectsBadSemantics) {
+  {
+    EntitlementSpec spec = admit_spec();
+    spec.hoses[1].region = RegionId(9);  // topology only has 4 regions
+    EXPECT_EQ(compile_spec(spec, 4).error().code, ErrorCode::invalid_argument);
+  }
+  {
+    EntitlementSpec spec = admit_spec();
+    spec.hoses[0].rate = Gbps(0);
+    EXPECT_EQ(compile_spec(spec, 4).error().code, ErrorCode::invalid_argument);
+  }
+  {
+    EntitlementSpec spec = admit_spec();
+    spec.hoses.clear();  // admit requires hoses
+    EXPECT_EQ(compile_spec(spec, 4).error().code, ErrorCode::invalid_argument);
+  }
+  {
+    EntitlementSpec spec = admit_spec();
+    spec.action = SpecAction::resize;  // resize requires a contract id
+    EXPECT_EQ(compile_spec(spec, 4).error().code, ErrorCode::invalid_argument);
+  }
+  {
+    EntitlementSpec spec = admit_spec();
+    spec.action = SpecAction::release;
+    spec.contract = 11;  // release takes no hoses
+    EXPECT_EQ(compile_spec(spec, 4).error().code, ErrorCode::invalid_argument);
+    spec.hoses.clear();
+    const auto request = compile_spec(spec, 4);
+    ASSERT_TRUE(request);
+    EXPECT_EQ(request->kind, service::RequestKind::release);
+    EXPECT_EQ(request->contract, 11u);
+  }
+}
+
+}  // namespace
+}  // namespace netent::spec
